@@ -1,0 +1,65 @@
+//! Geometry primitives underneath split generation, routing and
+//! output: linearization, slab intersection, run covers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use sidr_coords::{ContiguousPartition, Coord, Shape, Slab};
+
+fn bench_coords(c: &mut Criterion) {
+    let space = Shape::new(vec![3600, 10, 20, 5]).expect("valid"); // Query 1 K'^T
+    let coords: Vec<Coord> = (0..100_000u64)
+        .map(|i| space.delinearize((i * 104_729) % space.count()).expect("in bounds"))
+        .collect();
+
+    let mut group = c.benchmark_group("coords");
+    group.throughput(Throughput::Elements(coords.len() as u64));
+    group.bench_function("linearize", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in &coords {
+                acc = acc.wrapping_add(space.linearize(black_box(k)).expect("in bounds"));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("delinearize", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                let c = space.delinearize((i * 31) % space.count()).expect("in bounds");
+                acc = acc.wrapping_add(c[0]);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("slabs");
+    let a = Slab::new(Coord::from([100, 0, 0, 0]), Shape::new(vec![500, 10, 20, 5]).unwrap())
+        .expect("valid");
+    let b_slab = Slab::new(Coord::from([300, 2, 5, 1]), Shape::new(vec![900, 8, 10, 4]).unwrap())
+        .expect("valid");
+    group.bench_function("intersect", |bch| {
+        bch.iter(|| black_box(&a).intersect(black_box(&b_slab)).expect("same rank"))
+    });
+    group.finish();
+
+    // Keyblock cover computation: the routing-table build cost per
+    // reduce task at plan time.
+    let mut group = c.benchmark_group("partition_geometry");
+    let partition = ContiguousPartition::with_skew_bound(space, 528, 1000).expect("valid");
+    group.bench_function("block_cover_all_528", |bch| {
+        bch.iter(|| {
+            let mut n = 0usize;
+            for r in 0..528 {
+                n += partition.block_cover(r).expect("valid").len();
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coords);
+criterion_main!(benches);

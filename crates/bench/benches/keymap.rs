@@ -1,0 +1,46 @@
+//! The `K → K′` extraction-shape key translation (§3 Area 2) — the
+//! per-record cost added to every Map invocation under SIDR.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use sidr_bench::bench_query;
+use sidr_coords::Coord;
+
+fn bench_keymap(c: &mut Criterion) {
+    let query = bench_query();
+    // Input keys spread through K^T.
+    let space = query.input_space().clone();
+    let keys: Vec<Coord> = (0..100_000u64)
+        .map(|i| space.delinearize((i * 7919) % space.count()).expect("in bounds"))
+        .collect();
+
+    let mut group = c.benchmark_group("keymap");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("map_key", |b| {
+        b.iter(|| {
+            let mut alive = 0usize;
+            for k in &keys {
+                if query.map_key(black_box(k)).is_some() {
+                    alive += 1;
+                }
+            }
+            black_box(alive)
+        })
+    });
+    group.bench_function("map_key_linear", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in &keys {
+                if let Some(i) = query.extraction.map_key_linear(black_box(k)).expect("in bounds") {
+                    acc = acc.wrapping_add(i);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_keymap);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! §4.5: time to partition intermediate key/value pairs — Hadoop's
+//! hash-modulo default vs `partition+` (paper: 200 ms vs 223 ms for
+//! 6.48M pairs; the claim is that the overhead is negligible).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use sidr_bench::{bench_query, intermediate_keys};
+use sidr_core::PartitionPlus;
+use sidr_mapreduce::{CoordHashPartitioner, Partitioner};
+
+const REDUCERS: usize = 22;
+
+fn bench_partition(c: &mut Criterion) {
+    let query = bench_query();
+    // Criterion repeats the measurement; 648k keys per iteration keeps
+    // wall time sane while preserving the paper's per-pair metric.
+    let keys = intermediate_keys(&query, 648_000);
+    let hash = CoordHashPartitioner;
+    let plus = PartitionPlus::for_query(&query, REDUCERS).expect("partition+ builds");
+
+    let mut group = c.benchmark_group("partition");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function(BenchmarkId::new("default_hash_modulo", keys.len()), |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for k in &keys {
+                acc = acc.wrapping_add(hash.partition(k, REDUCERS));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(BenchmarkId::new("partition_plus", keys.len()), |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for k in &keys {
+                acc = acc.wrapping_add(Partitioner::partition(&plus, k, REDUCERS));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

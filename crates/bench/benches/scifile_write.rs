@@ -1,0 +1,71 @@
+//! Table 2's write paths as micro-benchmarks: dense contiguous slab
+//! (SIDR), sentinel-filled full space (stock Hadoop) and explicit
+//! coordinate/value pairs, at a fixed per-task payload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sidr_coords::{Coord, Shape, Slab};
+use sidr_scifile::sparse::{write_dense_output, write_sentinel_output, CoordValueWriter};
+
+/// Payload per simulated reduce task: 100k doubles (~0.8 MB).
+const TASK_ELEMS: u64 = 100_000;
+const COLS: u64 = 500;
+
+fn bench_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sidr-bench-write-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+    dir
+}
+
+fn bench_writes(c: &mut Criterion) {
+    let dir = bench_dir();
+    let rows = TASK_ELEMS / COLS;
+    let slab = Slab::new(
+        Coord::from([0, 0]),
+        Shape::new(vec![rows, COLS]).expect("valid"),
+    )
+    .expect("valid");
+    let data = vec![1.0f64; TASK_ELEMS as usize];
+    let points: Vec<(Coord, f64)> = slab.iter_coords().map(|c| (c, 1.0)).collect();
+
+    let mut group = c.benchmark_group("reduce_output_write");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(TASK_ELEMS * 8));
+
+    group.bench_function("sidr_dense_slab", |b| {
+        let path = dir.join("dense.scinc");
+        b.iter(|| {
+            write_dense_output(&path, "out", &slab, &data).expect("write succeeds");
+        })
+    });
+
+    // Sentinel files for total spaces 4x and 16x the task payload —
+    // the cost that scales with the reducer count in Table 2.
+    for factor in [4u64, 16] {
+        let total = Shape::new(vec![rows * factor, COLS]).expect("valid");
+        group.bench_function(BenchmarkId::new("hadoop_sentinel", factor), |b| {
+            let path = dir.join(format!("sentinel-{factor}.scinc"));
+            b.iter(|| {
+                write_sentinel_output(&path, "out", &total, f64::NAN, &points)
+                    .expect("write succeeds");
+            })
+        });
+    }
+
+    group.bench_function("coord_value_pairs", |b| {
+        let path = dir.join("pairs.sccv");
+        b.iter(|| {
+            let mut w = CoordValueWriter::<f64>::create(&path, 2).expect("create succeeds");
+            for (c, v) in &points {
+                w.push(c, *v).expect("push succeeds");
+            }
+            w.finish().expect("finish succeeds");
+        })
+    });
+
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_writes);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Reduce-side sort/merge of map-output files — the post-barrier cost
+//! every reduce task pays (§2.3: "merge all their data into a sorted
+//! list").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+use sidr_mapreduce::{merge_files, MapOutputFile};
+
+/// Builds `files` sorted map-output files of `per_file` keyed records,
+/// with keys interleaved across files (the shuffle's worst case).
+fn make_files(files: usize, per_file: usize) -> Vec<Arc<MapOutputFile<u64, f64>>> {
+    (0..files)
+        .map(|f| {
+            let records: Vec<(u64, f64)> = (0..per_file)
+                .map(|i| ((i * files + f) as u64, f as f64))
+                .collect();
+            Arc::new(MapOutputFile {
+                records,
+                raw_count: per_file as u64,
+            })
+        })
+        .collect()
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shuffle_merge");
+    for (files, per_file) in [(8usize, 20_000usize), (64, 2_500), (256, 625)] {
+        let input = make_files(files, per_file);
+        let total = (files * per_file) as u64;
+        group.throughput(Throughput::Elements(total));
+        group.bench_function(BenchmarkId::new("merge", format!("{files}files")), |b| {
+            b.iter(|| {
+                let merged = merge_files(&input);
+                assert_eq!(merged.len(), files * per_file);
+                merged
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Shared fixtures for the Criterion micro-benchmarks.
+//!
+//! One bench target per micro-measurement in the paper's evaluation:
+//!
+//! * `partition` — §4.5: default hash vs `partition+` over 6.48M pairs,
+//! * `keymap` — the `K → K′` extraction translation (§3 Area 2),
+//! * `scifile_write` — Table 2: dense vs sentinel vs pair output,
+//! * `shuffle_merge` — reduce-side sort/merge of map-output files,
+//! * `deps` — §3.2.1: dependency derivation (store) vs one-keyblock
+//!   recomputation,
+//! * `coords_ops` — geometry primitives underneath everything.
+
+use sidr_core::{Operator, StructuralQuery};
+use sidr_coords::{Coord, Shape};
+
+/// The laptop-scale Query 1 used across benches.
+pub fn bench_query() -> StructuralQuery {
+    StructuralQuery::new(
+        "windspeed",
+        Shape::new(vec![720, 36, 72, 50]).expect("valid"),
+        Shape::new(vec![2, 36, 36, 10]).expect("valid"),
+        Operator::Median,
+    )
+    .expect("query is valid")
+}
+
+/// `n` intermediate keys cycling through the query's `K′ᵀ`.
+pub fn intermediate_keys(query: &StructuralQuery, n: usize) -> Vec<Coord> {
+    let base: Vec<Coord> = query.intermediate_space().iter_coords().collect();
+    (0..n).map(|i| base[i % base.len()].clone()).collect()
+}

@@ -1,0 +1,242 @@
+//! n-dimensional coordinates (points in a logical keyspace).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+use crate::error::CoordError;
+use crate::Result;
+
+/// A point in an n-dimensional logical space.
+///
+/// In the paper's notation a `Coord` is a key `k ∈ K` (input keyspace)
+/// or `k′ ∈ K′` (intermediate keyspace). Coordinates are unsigned and
+/// relative to the origin of the space they live in, matching the
+/// corner/shape addressing used by scientific access libraries.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Coord(Vec<u64>);
+
+impl Coord {
+    /// Creates a coordinate from per-dimension components.
+    pub fn new(components: impl Into<Vec<u64>>) -> Self {
+        Coord(components.into())
+    }
+
+    /// The origin (all-zero) coordinate of a `rank`-dimensional space.
+    pub fn origin(rank: usize) -> Self {
+        Coord(vec![0; rank])
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Per-dimension components.
+    #[inline]
+    pub fn components(&self) -> &[u64] {
+        &self.0
+    }
+
+    /// Mutable access to the components (rank cannot change).
+    #[inline]
+    pub fn components_mut(&mut self) -> &mut [u64] {
+        &mut self.0
+    }
+
+    /// Consumes the coordinate, returning its components.
+    pub fn into_components(self) -> Vec<u64> {
+        self.0
+    }
+
+    /// Component-wise addition. Errors on rank mismatch.
+    pub fn checked_add(&self, other: &Coord) -> Result<Coord> {
+        self.same_rank(other)?;
+        Ok(Coord(
+            self.0.iter().zip(&other.0).map(|(a, b)| a + b).collect(),
+        ))
+    }
+
+    /// Component-wise subtraction. Errors on rank mismatch or underflow
+    /// (reported as `OutOfBounds` in the offending dimension).
+    pub fn checked_sub(&self, other: &Coord) -> Result<Coord> {
+        self.same_rank(other)?;
+        let mut out = Vec::with_capacity(self.rank());
+        for (dim, (a, b)) in self.0.iter().zip(&other.0).enumerate() {
+            out.push(a.checked_sub(*b).ok_or(CoordError::OutOfBounds {
+                dim,
+                coordinate: *a,
+                extent: *b,
+            })?);
+        }
+        Ok(Coord(out))
+    }
+
+    /// Component-wise integer division (used by extraction-shape key
+    /// translation: `k′[d] = k[d] / e[d]`, §3 Area 2).
+    pub fn component_div(&self, divisors: &[u64]) -> Result<Coord> {
+        if divisors.len() != self.rank() {
+            return Err(CoordError::RankMismatch {
+                expected: self.rank(),
+                actual: divisors.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(self.rank());
+        for (dim, (a, d)) in self.0.iter().zip(divisors).enumerate() {
+            if *d == 0 {
+                return Err(CoordError::ZeroDim { dim });
+            }
+            out.push(a / d);
+        }
+        Ok(Coord(out))
+    }
+
+    /// Component-wise multiplication (inverse of `component_div` up to
+    /// remainder; used to compute tile corners).
+    pub fn component_mul(&self, factors: &[u64]) -> Result<Coord> {
+        if factors.len() != self.rank() {
+            return Err(CoordError::RankMismatch {
+                expected: self.rank(),
+                actual: factors.len(),
+            });
+        }
+        Ok(Coord(
+            self.0.iter().zip(factors).map(|(a, f)| a * f).collect(),
+        ))
+    }
+
+    /// True when every component of `self` is strictly less than the
+    /// matching component of `extents`.
+    pub fn strictly_below(&self, extents: &[u64]) -> bool {
+        debug_assert_eq!(self.rank(), extents.len());
+        self.0.iter().zip(extents).all(|(c, e)| c < e)
+    }
+
+    fn same_rank(&self, other: &Coord) -> Result<()> {
+        if self.rank() == other.rank() {
+            Ok(())
+        } else {
+            Err(CoordError::RankMismatch {
+                expected: self.rank(),
+                actual: other.rank(),
+            })
+        }
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Coord{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl Index<usize> for Coord {
+    type Output = u64;
+    #[inline]
+    fn index(&self, dim: usize) -> &u64 {
+        &self.0[dim]
+    }
+}
+
+impl From<Vec<u64>> for Coord {
+    fn from(v: Vec<u64>) -> Self {
+        Coord(v)
+    }
+}
+
+impl From<&[u64]> for Coord {
+    fn from(v: &[u64]) -> Self {
+        Coord(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[u64; N]> for Coord {
+    fn from(v: [u64; N]) -> Self {
+        Coord(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_is_all_zero() {
+        let o = Coord::origin(4);
+        assert_eq!(o.rank(), 4);
+        assert!(o.components().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Coord::from([5, 7, 9]);
+        let b = Coord::from([1, 2, 3]);
+        let sum = a.checked_add(&b).unwrap();
+        assert_eq!(sum, Coord::from([6, 9, 12]));
+        assert_eq!(sum.checked_sub(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn sub_underflow_reports_dimension() {
+        let a = Coord::from([5, 1]);
+        let b = Coord::from([1, 2]);
+        match a.checked_sub(&b) {
+            Err(CoordError::OutOfBounds { dim: 1, .. }) => {}
+            other => panic!("expected underflow in dim 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rank_mismatch_detected() {
+        let a = Coord::from([1, 2]);
+        let b = Coord::from([1, 2, 3]);
+        assert!(matches!(
+            a.checked_add(&b),
+            Err(CoordError::RankMismatch { expected: 2, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn component_div_matches_paper_example() {
+        // §3 Area 2: key {157, 34, 82} with extraction shape {7, 5, 1}
+        // maps to {22, 6, 82}.
+        let k = Coord::from([157, 34, 82]);
+        let kp = k.component_div(&[7, 5, 1]).unwrap();
+        assert_eq!(kp, Coord::from([22, 6, 82]));
+    }
+
+    #[test]
+    fn component_div_by_zero_rejected() {
+        let k = Coord::from([4, 4]);
+        assert!(matches!(
+            k.component_div(&[2, 0]),
+            Err(CoordError::ZeroDim { dim: 1 })
+        ));
+    }
+
+    #[test]
+    fn display_uses_brace_notation() {
+        assert_eq!(Coord::from([100, 0, 0]).to_string(), "{100, 0, 0}");
+    }
+
+    #[test]
+    fn ordering_is_row_major_lexicographic() {
+        let a = Coord::from([0, 9]);
+        let b = Coord::from([1, 0]);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for coordinate-space operations.
+
+use std::fmt;
+
+/// Errors produced by geometric operations.
+///
+/// Every fallible operation in this crate reports exactly what was
+/// inconsistent so callers (split generators, partitioners, the query
+/// planner) can surface precise diagnostics to users.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordError {
+    /// Two objects that must share a rank (number of dimensions) do not.
+    RankMismatch { expected: usize, actual: usize },
+    /// A shape had a zero-length dimension, which denotes an empty
+    /// space and is rejected at construction time.
+    ZeroDim { dim: usize },
+    /// A coordinate lies outside the space it was used against.
+    OutOfBounds {
+        dim: usize,
+        coordinate: u64,
+        extent: u64,
+    },
+    /// A linear index exceeded the element count of the space.
+    IndexOutOfBounds { index: u64, count: u64 },
+    /// A rank-0 (empty) coordinate or shape was supplied where a
+    /// non-empty one is required.
+    EmptyRank,
+    /// The number of elements overflows `u64`.
+    Overflow,
+    /// A requested partition count was zero.
+    ZeroPartitions,
+    /// A skew bound smaller than one element was requested.
+    SkewBoundTooSmall { bound: u64 },
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected {expected} dimensions, got {actual}")
+            }
+            CoordError::ZeroDim { dim } => {
+                write!(f, "dimension {dim} has zero extent")
+            }
+            CoordError::OutOfBounds { dim, coordinate, extent } => write!(
+                f,
+                "coordinate {coordinate} out of bounds in dimension {dim} (extent {extent})"
+            ),
+            CoordError::IndexOutOfBounds { index, count } => {
+                write!(f, "linear index {index} out of bounds (element count {count})")
+            }
+            CoordError::EmptyRank => write!(f, "rank-0 coordinate or shape not permitted here"),
+            CoordError::Overflow => write!(f, "element count overflows u64"),
+            CoordError::ZeroPartitions => write!(f, "partition count must be at least 1"),
+            CoordError::SkewBoundTooSmall { bound } => {
+                write!(f, "skew bound {bound} is smaller than one element")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}

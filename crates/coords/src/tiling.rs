@@ -1,0 +1,593 @@
+//! Logical tilings of a space by a shape.
+//!
+//! The paper's extraction shape "is logically tiled, in a given order,
+//! over `K_T` with each instance representing a unique `k′` key in `K′`"
+//! (§2.4.2). `partition+` likewise tiles the intermediate keyspace with
+//! a skew-bounded shape and deals out contiguous runs of instances
+//! (§3.1, Fig. 7). [`Tiling`] is that shared machinery: a space, a tile
+//! shape, an optional stride, and a policy for partial tiles.
+
+use serde::{Deserialize, Serialize};
+
+use crate::coord::Coord;
+use crate::error::CoordError;
+use crate::shape::Shape;
+use crate::slab::Slab;
+use crate::Result;
+
+/// What to do with tile instances that stick out past the edge of the
+/// space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartialPolicy {
+    /// Drop partial instances entirely. This matches the paper's
+    /// example: a `{365,250,200}` space tiled by `{7,5,1}` yields a
+    /// `{52,50,200}` grid, "assuming we throw away the data from the
+    /// 365-th day" (§3 Area 3).
+    Discard,
+    /// Keep partial instances, clipped to the space. Used when tiling
+    /// the intermediate keyspace into keyblocks, where every key must
+    /// land in some block.
+    Clip,
+}
+
+/// A tiling of `space` by `tile`, with instances placed every `stride`
+/// elements (stride defaults to the tile shape, i.e. disjoint tiles).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tiling {
+    space: Shape,
+    tile: Shape,
+    stride: Vec<u64>,
+    policy: PartialPolicy,
+    /// Number of tile instances per dimension (may contain zeros when
+    /// the tile is larger than the space under `Discard`).
+    grid: Vec<u64>,
+}
+
+impl Tiling {
+    /// Disjoint tiling (stride = tile shape).
+    pub fn new(space: Shape, tile: Shape, policy: PartialPolicy) -> Result<Self> {
+        let stride = tile.extents().to_vec();
+        Self::with_stride(space, tile, stride, policy)
+    }
+
+    /// Strided tiling: instance `j` in dimension `d` has its corner at
+    /// `j * stride[d]`. Requires `stride[d] >= tile[d]` (instances may
+    /// not overlap — overlapping extraction would duplicate input
+    /// keys, which the MapReduce model does not express).
+    pub fn with_stride(
+        space: Shape,
+        tile: Shape,
+        stride: Vec<u64>,
+        policy: PartialPolicy,
+    ) -> Result<Self> {
+        if tile.rank() != space.rank() {
+            return Err(CoordError::RankMismatch {
+                expected: space.rank(),
+                actual: tile.rank(),
+            });
+        }
+        if stride.len() != space.rank() {
+            return Err(CoordError::RankMismatch {
+                expected: space.rank(),
+                actual: stride.len(),
+            });
+        }
+        for (dim, (&s, &t)) in stride.iter().zip(tile.extents()).enumerate() {
+            if s == 0 {
+                return Err(CoordError::ZeroDim { dim });
+            }
+            if s < t {
+                return Err(CoordError::OutOfBounds {
+                    dim,
+                    coordinate: s,
+                    extent: t,
+                });
+            }
+        }
+        let grid = Self::grid_extents(&space, &tile, &stride, policy);
+        Ok(Tiling {
+            space,
+            tile,
+            stride,
+            policy,
+            grid,
+        })
+    }
+
+    fn grid_extents(space: &Shape, tile: &Shape, stride: &[u64], policy: PartialPolicy) -> Vec<u64> {
+        space
+            .extents()
+            .iter()
+            .zip(tile.extents())
+            .zip(stride)
+            .map(|((&e, &t), &s)| match policy {
+                // Positions j with j*s + t <= e.
+                PartialPolicy::Discard => {
+                    if e < t {
+                        0
+                    } else {
+                        (e - t) / s + 1
+                    }
+                }
+                // Positions j with j*s < e.
+                PartialPolicy::Clip => e.div_ceil(s),
+            })
+            .collect()
+    }
+
+    /// The tiled space.
+    pub fn space(&self) -> &Shape {
+        &self.space
+    }
+
+    /// The tile shape.
+    pub fn tile(&self) -> &Shape {
+        &self.tile
+    }
+
+    /// Per-dimension stride between instance corners.
+    pub fn stride(&self) -> &[u64] {
+        &self.stride
+    }
+
+    /// Partial-tile policy.
+    pub fn policy(&self) -> PartialPolicy {
+        self.policy
+    }
+
+    /// Number of tile instances per dimension.
+    pub fn grid(&self) -> &[u64] {
+        &self.grid
+    }
+
+    /// Total number of tile instances (`IntShapes` in Fig. 7).
+    pub fn instance_count(&self) -> u64 {
+        self.grid.iter().product()
+    }
+
+    /// Row-major linear index of a grid coordinate.
+    pub fn linearize_grid(&self, grid_coord: &Coord) -> Result<u64> {
+        if grid_coord.rank() != self.grid.len() {
+            return Err(CoordError::RankMismatch {
+                expected: self.grid.len(),
+                actual: grid_coord.rank(),
+            });
+        }
+        let mut index = 0u64;
+        for (dim, (&c, &e)) in grid_coord.components().iter().zip(&self.grid).enumerate() {
+            if c >= e {
+                return Err(CoordError::OutOfBounds {
+                    dim,
+                    coordinate: c,
+                    extent: e,
+                });
+            }
+            index = index * e + c;
+        }
+        Ok(index)
+    }
+
+    /// Inverse of [`Tiling::linearize_grid`].
+    pub fn delinearize_grid(&self, mut index: u64) -> Result<Coord> {
+        let count = self.instance_count();
+        if index >= count {
+            return Err(CoordError::IndexOutOfBounds { index, count });
+        }
+        let mut components = vec![0u64; self.grid.len()];
+        for dim in (0..self.grid.len()).rev() {
+            let e = self.grid[dim];
+            components[dim] = index % e;
+            index /= e;
+        }
+        Ok(Coord::new(components))
+    }
+
+    /// The grid coordinate of the instance containing `coord`, or
+    /// `None` when the coordinate falls in a stride gap or (under
+    /// `Discard`) in a discarded partial instance.
+    pub fn instance_of(&self, coord: &Coord) -> Result<Option<Coord>> {
+        if coord.rank() != self.space.rank() {
+            return Err(CoordError::RankMismatch {
+                expected: self.space.rank(),
+                actual: coord.rank(),
+            });
+        }
+        let mut grid_coord = Vec::with_capacity(coord.rank());
+        for dim in 0..coord.rank() {
+            let c = coord[dim];
+            if c >= self.space[dim] {
+                return Err(CoordError::OutOfBounds {
+                    dim,
+                    coordinate: c,
+                    extent: self.space[dim],
+                });
+            }
+            let j = c / self.stride[dim];
+            if j >= self.grid[dim] {
+                // Inside a partial instance that Discard dropped.
+                return Ok(None);
+            }
+            let within = c - j * self.stride[dim];
+            if within >= self.tile[dim] {
+                // In the gap between strided instances.
+                return Ok(None);
+            }
+            grid_coord.push(j);
+        }
+        Ok(Some(Coord::new(grid_coord)))
+    }
+
+    /// Linear instance index containing `coord` (see
+    /// [`Tiling::instance_of`]).
+    pub fn instance_index_of(&self, coord: &Coord) -> Result<Option<u64>> {
+        if coord.rank() != self.space.rank() {
+            return Err(CoordError::RankMismatch {
+                expected: self.space.rank(),
+                actual: coord.rank(),
+            });
+        }
+        for (dim, &c) in coord.components().iter().enumerate() {
+            if c >= self.space[dim] {
+                return Err(CoordError::OutOfBounds {
+                    dim,
+                    coordinate: c,
+                    extent: self.space[dim],
+                });
+            }
+        }
+        Ok(self.instance_index_fast(coord))
+    }
+
+    /// Allocation-free hot path of [`Tiling::instance_index_of`]:
+    /// computes the row-major instance index directly. The caller must
+    /// guarantee `coord` has this tiling's rank and is in bounds
+    /// (checked only by debug assertions) — this sits on the per-pair
+    /// partitioning path whose cost §4.5 measures.
+    #[inline]
+    pub fn instance_index_fast(&self, coord: &Coord) -> Option<u64> {
+        debug_assert_eq!(coord.rank(), self.space.rank());
+        let mut index = 0u64;
+        for dim in 0..self.grid.len() {
+            let c = coord[dim];
+            debug_assert!(c < self.space[dim]);
+            let s = self.stride[dim];
+            let j = c / s;
+            if j >= self.grid[dim] || c - j * s >= self.tile[dim] {
+                return None;
+            }
+            index = index * self.grid[dim] + j;
+        }
+        Some(index)
+    }
+
+    /// The slab in the underlying space covered by instance `index`
+    /// (clipped to the space under `Clip`; always full under
+    /// `Discard`).
+    pub fn instance_slab(&self, index: u64) -> Result<Slab> {
+        let g = self.delinearize_grid(index)?;
+        let corner: Vec<u64> = g
+            .components()
+            .iter()
+            .zip(&self.stride)
+            .map(|(&j, &s)| j * s)
+            .collect();
+        let extents: Vec<u64> = corner
+            .iter()
+            .zip(self.tile.extents())
+            .zip(self.space.extents())
+            .map(|((&c, &t), &e)| t.min(e - c))
+            .collect();
+        Slab::new(Coord::new(corner), Shape::new(extents)?)
+    }
+
+    /// The slab of the underlying space covered by a *row-major
+    /// contiguous run* of instances `[start, end)`.
+    ///
+    /// Returns the bounding slabs (one or more) that exactly cover the
+    /// run: a possibly-partial leading row, a dense middle block, and a
+    /// possibly-partial trailing row. Runs are how `partition+` hands a
+    /// keyblock its extent in `K′` (§3.1) — the cover being a handful
+    /// of slabs rather than per-instance lists is what makes routing
+    /// logic and contiguous output cheap.
+    pub fn run_cover(&self, start: u64, end: u64) -> Result<Vec<Slab>> {
+        let count = self.instance_count();
+        if start > end || end > count {
+            return Err(CoordError::IndexOutOfBounds { index: end, count });
+        }
+        if start == end {
+            return Ok(Vec::new());
+        }
+        // Work in grid space first, then map each grid slab to the
+        // underlying space.
+        let grid_slabs = contiguous_run_cover(&self.grid, start, end);
+        grid_slabs
+            .into_iter()
+            .map(|gs| self.grid_slab_to_space(&gs))
+            .collect()
+    }
+
+    /// The grid slab (range of instances per dimension) touched by a
+    /// slab of the underlying space, or `None` when no instance is
+    /// touched. Under strided tilings this is a *bounding* set: every
+    /// touched instance is inside it (a safe superset for dependency
+    /// derivation, §3.2).
+    pub fn instances_touched_by(&self, slab: &Slab) -> Result<Option<Slab>> {
+        if slab.rank() != self.space.rank() {
+            return Err(CoordError::RankMismatch {
+                expected: self.space.rank(),
+                actual: slab.rank(),
+            });
+        }
+        let mut corner = Vec::with_capacity(slab.rank());
+        let mut extents = Vec::with_capacity(slab.rank());
+        for dim in 0..slab.rank() {
+            let c = slab.corner()[dim];
+            let e = slab.shape()[dim];
+            let s = self.stride[dim];
+            let t = self.tile[dim];
+            // Smallest j with j*s + t > c.
+            let j_lo = if c + 1 > t { (c + 1 - t).div_ceil(s) } else { 0 };
+            // Largest j with j*s < c + e, exclusive bound, clamped.
+            let j_hi = ((c + e - 1) / s + 1).min(self.grid[dim]);
+            if j_lo >= j_hi {
+                return Ok(None);
+            }
+            corner.push(j_lo);
+            extents.push(j_hi - j_lo);
+        }
+        Ok(Some(Slab::new(Coord::new(corner), Shape::new(extents)?)?))
+    }
+
+    /// Maps a slab of grid coordinates to the slab of the underlying
+    /// space covered by those instances (clipped to the space).
+    pub fn grid_slab_to_space(&self, grid_slab: &Slab) -> Result<Slab> {
+        let corner: Vec<u64> = grid_slab
+            .corner()
+            .components()
+            .iter()
+            .zip(&self.stride)
+            .map(|(&j, &s)| j * s)
+            .collect();
+        let extents: Vec<u64> = grid_slab
+            .corner()
+            .components()
+            .iter()
+            .zip(grid_slab.shape().extents())
+            .enumerate()
+            .map(|(dim, (&j0, &n))| {
+                // Instances j0..j0+n along this dimension: from
+                // j0*stride to (j0+n-1)*stride + tile, clipped.
+                let lo = j0 * self.stride[dim];
+                let hi = ((j0 + n - 1) * self.stride[dim] + self.tile[dim]).min(self.space[dim]);
+                hi - lo
+            })
+            .collect();
+        Slab::new(Coord::new(corner), Shape::new(extents)?)
+    }
+}
+
+/// Covers the row-major index run `[start, end)` of a grid with the
+/// minimal set of grid-space slabs: partial first row, dense middle,
+/// partial last row (recursively over leading dimensions).
+fn contiguous_run_cover(grid: &[u64], start: u64, end: u64) -> Vec<Slab> {
+    debug_assert!(start < end);
+    let rank = grid.len();
+    if rank == 1 {
+        return vec![slab_1d(&[start], &[end - start], 0, rank)];
+    }
+    // Size of one "row": the product of all but the first dimension.
+    let row: u64 = grid[1..].iter().product();
+    let first_row = start / row;
+    let last_row = (end - 1) / row;
+    if first_row == last_row {
+        // Entire run inside one row: recurse into the tail dims.
+        let inner = contiguous_run_cover(&grid[1..], start - first_row * row, end - first_row * row);
+        return inner
+            .into_iter()
+            .map(|s| prepend_dim(&s, first_row, 1))
+            .collect();
+    }
+    let mut out = Vec::new();
+    // Leading partial row.
+    let lead_end = (first_row + 1) * row;
+    if start > first_row * row {
+        for s in contiguous_run_cover(&grid[1..], start - first_row * row, row) {
+            out.push(prepend_dim(&s, first_row, 1));
+        }
+    } else {
+        // start is row-aligned: fold the first row into the middle.
+        out.extend(middle_rows(grid, first_row, first_row + 1));
+    }
+    // Dense middle rows.
+    let mid_start = if start > first_row * row { first_row + 1 } else { first_row + 1 };
+    let mid_end = if end < (last_row + 1) * row { last_row } else { last_row + 1 };
+    if mid_end > mid_start {
+        out.extend(middle_rows(grid, mid_start, mid_end));
+    }
+    // Trailing partial row.
+    if end < (last_row + 1) * row {
+        for s in contiguous_run_cover(&grid[1..], 0, end - last_row * row) {
+            out.push(prepend_dim(&s, last_row, 1));
+        }
+    }
+    let _ = lead_end;
+    merge_adjacent_rows(out)
+}
+
+/// A slab spanning complete rows `[row_start, row_end)` of the grid.
+fn middle_rows(grid: &[u64], row_start: u64, row_end: u64) -> Vec<Slab> {
+    let mut corner = vec![0u64; grid.len()];
+    corner[0] = row_start;
+    let mut extents = grid.to_vec();
+    extents[0] = row_end - row_start;
+    vec![Slab::new(
+        Coord::new(corner),
+        Shape::new(extents).expect("grid dims nonzero on nonempty run"),
+    )
+    .expect("within grid")]
+}
+
+/// Prepends a fixed leading dimension to a slab of lower rank.
+fn prepend_dim(s: &Slab, coordinate: u64, extent: u64) -> Slab {
+    let mut corner = Vec::with_capacity(s.rank() + 1);
+    corner.push(coordinate);
+    corner.extend_from_slice(s.corner().components());
+    let mut extents = Vec::with_capacity(s.rank() + 1);
+    extents.push(extent);
+    extents.extend_from_slice(s.shape().extents());
+    Slab::new(Coord::new(corner), Shape::new(extents).expect("nonzero")).expect("valid")
+}
+
+fn slab_1d(corner: &[u64], extents: &[u64], _start: u64, _rank: usize) -> Slab {
+    Slab::new(
+        Coord::new(corner.to_vec()),
+        Shape::new(extents.to_vec()).expect("nonzero"),
+    )
+    .expect("valid")
+}
+
+/// Merges slabs that span full rows and are adjacent along dimension 0.
+fn merge_adjacent_rows(mut slabs: Vec<Slab>) -> Vec<Slab> {
+    slabs.sort_by(|a, b| a.corner().cmp(b.corner()));
+    let mut out: Vec<Slab> = Vec::with_capacity(slabs.len());
+    for s in slabs {
+        if let Some(prev) = out.last_mut() {
+            if mergeable_along_dim0(prev, &s) {
+                let mut extents = prev.shape().extents().to_vec();
+                extents[0] += s.shape()[0];
+                *prev = Slab::new(prev.corner().clone(), Shape::new(extents).expect("nonzero"))
+                    .expect("valid");
+                continue;
+            }
+        }
+        out.push(s);
+    }
+    out
+}
+
+fn mergeable_along_dim0(a: &Slab, b: &Slab) -> bool {
+    if a.rank() != b.rank() {
+        return false;
+    }
+    // Same footprint in trailing dims, and b starts where a ends.
+    a.corner().components()[1..] == b.corner().components()[1..]
+        && a.shape().extents()[1..] == b.shape().extents()[1..]
+        && a.corner()[0] + a.shape()[0] == b.corner()[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(v: &[u64]) -> Shape {
+        Shape::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn paper_weekly_downsample_grid() {
+        // {365,250,200} tiled by {7,5,1}, partials discarded → {52,50,200}.
+        let t = Tiling::new(shape(&[365, 250, 200]), shape(&[7, 5, 1]), PartialPolicy::Discard)
+            .unwrap();
+        assert_eq!(t.grid(), &[52, 50, 200]);
+        assert_eq!(t.instance_count(), 52 * 50 * 200);
+    }
+
+    #[test]
+    fn clip_keeps_partials() {
+        let t = Tiling::new(shape(&[365, 250, 200]), shape(&[7, 5, 1]), PartialPolicy::Clip)
+            .unwrap();
+        assert_eq!(t.grid(), &[53, 50, 200]);
+        // The last instance along dim 0 is clipped to 1 day.
+        let last = t
+            .instance_slab(t.linearize_grid(&Coord::from([52, 0, 0])).unwrap())
+            .unwrap();
+        assert_eq!(last.shape().extents()[0], 1);
+    }
+
+    #[test]
+    fn instance_of_discard_drops_tail() {
+        let t =
+            Tiling::new(shape(&[365]), shape(&[7]), PartialPolicy::Discard).unwrap();
+        assert_eq!(t.instance_of(&Coord::from([0])).unwrap(), Some(Coord::from([0])));
+        assert_eq!(t.instance_of(&Coord::from([363])).unwrap(), Some(Coord::from([51])));
+        // Day 364 (the 365th) belongs to the discarded partial week.
+        assert_eq!(t.instance_of(&Coord::from([364])).unwrap(), None);
+    }
+
+    #[test]
+    fn strided_gaps_return_none() {
+        // Tile {2}, stride {5}: instances cover [0,2), [5,7), [10,12)…
+        let t = Tiling::with_stride(shape(&[20]), shape(&[2]), vec![5], PartialPolicy::Discard)
+            .unwrap();
+        assert_eq!(t.grid(), &[4]);
+        assert_eq!(t.instance_index_of(&Coord::from([6])).unwrap(), Some(1));
+        assert_eq!(t.instance_index_of(&Coord::from([3])).unwrap(), None);
+        assert_eq!(t.instance_index_of(&Coord::from([12])).unwrap(), None);
+    }
+
+    #[test]
+    fn stride_smaller_than_tile_rejected() {
+        assert!(Tiling::with_stride(shape(&[10]), shape(&[3]), vec![2], PartialPolicy::Clip)
+            .is_err());
+    }
+
+    #[test]
+    fn instance_slab_roundtrip() {
+        let t = Tiling::new(shape(&[10, 9]), shape(&[3, 4]), PartialPolicy::Clip).unwrap();
+        for idx in 0..t.instance_count() {
+            let s = t.instance_slab(idx).unwrap();
+            // Every coordinate in the slab maps back to this instance.
+            for c in s.iter_coords() {
+                assert_eq!(t.instance_index_of(&c).unwrap(), Some(idx));
+            }
+        }
+    }
+
+    #[test]
+    fn every_coord_covered_under_clip() {
+        let t = Tiling::new(shape(&[7, 5]), shape(&[2, 3]), PartialPolicy::Clip).unwrap();
+        for c in shape(&[7, 5]).iter_coords() {
+            assert!(t.instance_index_of(&c).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn run_cover_full_space_is_single_slab() {
+        let t = Tiling::new(shape(&[6, 6]), shape(&[2, 2]), PartialPolicy::Discard).unwrap();
+        let cover = t.run_cover(0, t.instance_count()).unwrap();
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0], Slab::whole(&shape(&[6, 6])));
+    }
+
+    #[test]
+    fn run_cover_counts_match() {
+        let t = Tiling::new(shape(&[6, 6]), shape(&[2, 2]), PartialPolicy::Discard).unwrap();
+        // grid 3x3 = 9 instances. Run [1,5) = instances 1,2,3,4.
+        let cover = t.run_cover(1, 5).unwrap();
+        let covered: u64 = cover.iter().map(Slab::count).sum();
+        assert_eq!(covered, 4 * 4); // 4 instances x 4 elements each
+        // Each instance in the run is inside exactly one cover slab.
+        for idx in 1..5 {
+            let inst = t.instance_slab(idx).unwrap();
+            let n = cover.iter().filter(|s| s.contains_slab(&inst)).count();
+            assert_eq!(n, 1, "instance {idx} covered {n} times");
+        }
+        // Instances outside the run are not covered.
+        for idx in [0u64, 5, 6, 7, 8] {
+            let inst = t.instance_slab(idx).unwrap();
+            assert!(cover.iter().all(|s| !s.intersects(&inst)));
+        }
+    }
+
+    #[test]
+    fn run_cover_empty_run() {
+        let t = Tiling::new(shape(&[4]), shape(&[2]), PartialPolicy::Discard).unwrap();
+        assert!(t.run_cover(1, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn run_cover_rejects_bad_range() {
+        let t = Tiling::new(shape(&[4]), shape(&[2]), PartialPolicy::Discard).unwrap();
+        assert!(t.run_cover(0, 3).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Property-based tests for the coordinate-geometry invariants that
+//! SIDR's correctness rests on: linearization is a bijection, slab
+//! intersection is sound, extraction-shape images/preimages are
+//! consistent, and `partition+` geometry covers every key exactly once
+//! with bounded skew.
+
+use proptest::prelude::*;
+use sidr_coords::{
+    choose_skew_shape, ContiguousPartition, Coord, ExtractionShape, PartialPolicy, Shape, Slab,
+    Tiling,
+};
+
+/// Small shapes (rank 1–4, extents 1–12) keep exhaustive inner loops
+/// cheap while still exercising carries across every dimension.
+fn small_shape() -> impl Strategy<Value = Shape> {
+    prop::collection::vec(1u64..=12, 1..=4).prop_map(|v| Shape::new(v).unwrap())
+}
+
+/// A shape and a tile no larger than it in any dimension.
+fn shape_and_tile() -> impl Strategy<Value = (Shape, Shape)> {
+    small_shape().prop_flat_map(|space| {
+        let tiles = space
+            .extents()
+            .iter()
+            .map(|&e| 1u64..=e)
+            .collect::<Vec<_>>();
+        (Just(space), tiles).prop_map(|(space, t)| (space, Shape::new(t).unwrap()))
+    })
+}
+
+/// A shape and an in-bounds slab of it.
+fn shape_and_slab() -> impl Strategy<Value = (Shape, Slab)> {
+    small_shape().prop_flat_map(|space| {
+        let dims = space
+            .extents()
+            .iter()
+            .map(|&e| (0u64..e).prop_flat_map(move |c| (Just(c), 1u64..=(e - c))))
+            .collect::<Vec<_>>();
+        (Just(space), dims).prop_map(|(space, cs)| {
+            let corner: Vec<u64> = cs.iter().map(|&(c, _)| c).collect();
+            let shape: Vec<u64> = cs.iter().map(|&(_, s)| s).collect();
+            (
+                space,
+                Slab::new(Coord::new(corner), Shape::new(shape).unwrap()).unwrap(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn linearize_delinearize_bijection(space in small_shape()) {
+        let count = space.count();
+        for idx in 0..count {
+            let c = space.delinearize(idx).unwrap();
+            prop_assert_eq!(space.linearize(&c).unwrap(), idx);
+        }
+    }
+
+    #[test]
+    fn iter_coords_is_exhaustive_and_ordered(space in small_shape()) {
+        let coords: Vec<Coord> = space.iter_coords().collect();
+        prop_assert_eq!(coords.len() as u64, space.count());
+        for (i, c) in coords.iter().enumerate() {
+            prop_assert_eq!(space.linearize(c).unwrap(), i as u64);
+        }
+    }
+
+    #[test]
+    fn slab_intersection_agrees_with_membership((space, a) in shape_and_slab()) {
+        // Build a second slab from the same space by reflecting the
+        // corner; compare intersect() against brute-force membership.
+        let b = Slab::whole(&space);
+        let i = a.intersect(&b).unwrap();
+        match i {
+            Some(inter) => {
+                for c in space.iter_coords() {
+                    prop_assert_eq!(
+                        inter.contains(&c),
+                        a.contains(&c) && b.contains(&c)
+                    );
+                }
+            }
+            None => {
+                for c in space.iter_coords() {
+                    prop_assert!(!(a.contains(&c) && b.contains(&c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_along_longest_partitions((_, slab) in shape_and_slab(), n in 1u64..6) {
+        let pieces = slab.split_along_longest(n);
+        let total: u64 = pieces.iter().map(Slab::count).sum();
+        prop_assert_eq!(total, slab.count());
+        for (i, a) in pieces.iter().enumerate() {
+            prop_assert!(slab.contains_slab(a));
+            for b in &pieces[i + 1..] {
+                prop_assert!(!a.intersects(b));
+            }
+        }
+    }
+
+    #[test]
+    fn tiling_clip_assigns_every_coord((space, tile) in shape_and_tile()) {
+        let t = Tiling::new(space.clone(), tile, PartialPolicy::Clip).unwrap();
+        for c in space.iter_coords() {
+            let idx = t.instance_index_of(&c).unwrap();
+            prop_assert!(idx.is_some());
+            let slab = t.instance_slab(idx.unwrap()).unwrap();
+            prop_assert!(slab.contains(&c));
+        }
+    }
+
+    #[test]
+    fn tiling_instance_slabs_are_disjoint((space, tile) in shape_and_tile()) {
+        let t = Tiling::new(space, tile, PartialPolicy::Clip).unwrap();
+        let n = t.instance_count();
+        for i in 0..n {
+            let a = t.instance_slab(i).unwrap();
+            for j in (i + 1)..n {
+                prop_assert!(!a.intersects(&t.instance_slab(j).unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn run_cover_is_exact((space, tile) in shape_and_tile(), frac_start in 0.0f64..1.0, frac_len in 0.0f64..1.0) {
+        let t = Tiling::new(space, tile, PartialPolicy::Discard).unwrap();
+        let n = t.instance_count();
+        if n == 0 { return Ok(()); }
+        let start = ((n as f64) * frac_start) as u64 % n;
+        let end = (start + 1 + ((n - start - 1) as f64 * frac_len) as u64).min(n);
+        let cover = t.run_cover(start, end).unwrap();
+        // Exactness: total covered elements equal the run's elements,
+        // and every instance in the run lies inside exactly one slab.
+        let covered: u64 = cover.iter().map(Slab::count).sum();
+        let expected: u64 = (start..end).map(|i| t.instance_slab(i).unwrap().count()).sum();
+        prop_assert_eq!(covered, expected);
+        for i in start..end {
+            let inst = t.instance_slab(i).unwrap();
+            prop_assert_eq!(cover.iter().filter(|s| s.contains_slab(&inst)).count(), 1);
+        }
+        for i in (0..start).chain(end..n) {
+            let inst = t.instance_slab(i).unwrap();
+            prop_assert!(cover.iter().all(|s| !s.intersects(&inst)));
+        }
+    }
+
+    #[test]
+    fn extraction_image_soundness((space, tile) in shape_and_tile()) {
+        let es = ExtractionShape::new(space.clone(), tile).unwrap();
+        // The image of any slab contains the mapped key of every input
+        // key in the slab.
+        let whole = Slab::whole(&space);
+        for piece in whole.split_along_longest(3) {
+            let image = es.image_of_slab(&piece).unwrap();
+            for k in piece.iter_coords() {
+                if let Some(kp) = es.map_key(&k).unwrap() {
+                    let img = image.as_ref().expect("image must exist when keys map");
+                    prop_assert!(img.contains(&kp));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_preimage_soundness((space, tile) in shape_and_tile()) {
+        let es = ExtractionShape::new(space.clone(), tile).unwrap();
+        let Ok(kspace) = es.intermediate_space() else { return Ok(()); };
+        for kp in kspace.iter_coords() {
+            let pre = es.preimage_of_key(&kp).unwrap();
+            for k in pre.iter_coords() {
+                prop_assert_eq!(es.map_key(&k).unwrap(), Some(kp.clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn partition_covers_once((space, tile) in shape_and_tile(), r in 1usize..8) {
+        let p = ContiguousPartition::new(space.clone(), tile, r).unwrap();
+        let mut counts = vec![0u64; r];
+        for k in space.iter_coords() {
+            let b = p.keyblock_of_key(&k).unwrap();
+            prop_assert!(b < r);
+            counts[b] += 1;
+        }
+        for (id, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(c, p.block_key_count(id).unwrap());
+        }
+        prop_assert_eq!(counts.iter().sum::<u64>(), space.count());
+    }
+
+    #[test]
+    fn partition_with_chosen_shape_is_row_major_contiguous(space in small_shape(), r in 1usize..8, bound in 1u64..64) {
+        // With the system-chosen skew shape (a row-major-contiguous
+        // prefix shape), block ids are monotone non-decreasing along
+        // row-major K' — the contiguity that makes Reduce output dense
+        // (§3.1, §4.4).
+        let p = ContiguousPartition::with_skew_bound(space.clone(), r, bound).unwrap();
+        let mut last = 0usize;
+        for k in space.iter_coords() {
+            let b = p.keyblock_of_key(&k).unwrap();
+            prop_assert!(b >= last, "block id decreased at {}", k);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn partition_block_sizes_monotone_nonincreasing((space, tile) in shape_and_tile(), r in 1usize..8) {
+        // Instance-run lengths never increase with block id: the final
+        // partition is "allowed to be smaller than the rest" (§3.1).
+        let p = ContiguousPartition::new(space, tile, r).unwrap();
+        let sizes: Vec<u64> = (0..r).map(|i| { let (s, e) = p.block_run(i); e - s }).collect();
+        prop_assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+        prop_assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn chosen_skew_shape_respects_bound(space in small_shape(), bound in 1u64..64) {
+        let s = choose_skew_shape(&space, bound).unwrap();
+        prop_assert!(s.count() <= bound);
+        prop_assert_eq!(s.rank(), space.rank());
+        for d in 0..s.rank() {
+            prop_assert!(s[d] <= space[d] || s[d] == 1);
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! The framework facade: run one structural query on a SciNC dataset
+//! under any of the three frameworks the paper compares.
+//!
+//! | mode        | splits                 | partition        | barrier      | scheduling    |
+//! |-------------|------------------------|------------------|--------------|---------------|
+//! | `Hadoop`    | naive byte-range-style | hash-modulo      | global       | maps first    |
+//! | `SciHadoop` | extraction-aligned     | hash-modulo      | global       | maps first    |
+//! | `Sidr`      | extraction-aligned     | `partition+`     | actual deps  | reduces first |
+
+use std::time::Duration;
+
+use sidr_coords::{Coord, Slab};
+use sidr_mapreduce::{
+    run_job, CoordHashPartitioner, DefaultPlan, InMemoryOutput, InputSplit, JobConfig, JobResult,
+    RoutingPlan, SplitGenerator,
+};
+use sidr_scifile::{DataType, Element, ScincFile};
+
+use crate::operators::OperatorReducer;
+use crate::plan::SidrPlanner;
+use crate::query::StructuralQuery;
+use crate::source::{scinc_source_factory, StructuralMapper};
+use crate::{Result, SidrError};
+
+/// Which framework executes the query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameworkMode {
+    /// Stock Hadoop: structure-oblivious splits, hash partitioning,
+    /// global barrier.
+    Hadoop,
+    /// SciHadoop: structure-aware splits (§2.4), stock routing.
+    SciHadoop,
+    /// SIDR: structure-aware splits *and* routing (§3).
+    Sidr,
+}
+
+impl std::fmt::Display for FrameworkMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameworkMode::Hadoop => write!(f, "Hadoop"),
+            FrameworkMode::SciHadoop => write!(f, "SciHadoop"),
+            FrameworkMode::Sidr => write!(f, "SIDR"),
+        }
+    }
+}
+
+/// Execution options.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    pub mode: FrameworkMode,
+    pub num_reducers: usize,
+    /// Cluster-wide map slots.
+    pub map_slots: usize,
+    /// Cluster-wide reduce slots.
+    pub reduce_slots: usize,
+    /// Split size budget in bytes (HDFS block-sized by default).
+    pub split_bytes: u64,
+    /// Cross-check count annotations (§3.2.1 approach 2, SIDR only).
+    pub validate_annotations: bool,
+    /// Prioritize keyblocks covering this region of `K′` (§3.4, SIDR
+    /// only).
+    pub priority_region: Option<Slab>,
+    /// Inject a failure into these reducers' first attempts.
+    pub fail_reducers: Vec<usize>,
+    /// Do not persist intermediate data; recover failed reduces by
+    /// re-executing dependent maps (§6).
+    pub volatile_intermediate: bool,
+    /// Artificial per-task costs (examples/teaching).
+    pub map_think: Duration,
+    pub reduce_think: Duration,
+    /// Spill map output to annotated on-disk files (Hadoop's real
+    /// shuffle path) under this directory.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Push a `Filter` operator's predicate below the shuffle (Query
+    /// 2's regime: Reduce tasks "process far less data", §4.1).
+    /// Output is unchanged; count-annotation validation is disabled
+    /// because the geometric tallies no longer apply (§3.2.1 approach
+    /// 1 — the dependency barrier — still guarantees correctness).
+    pub filter_pushdown: bool,
+}
+
+impl RunOptions {
+    pub fn new(mode: FrameworkMode, num_reducers: usize) -> Self {
+        RunOptions {
+            mode,
+            num_reducers,
+            map_slots: 4,
+            reduce_slots: 3,
+            split_bytes: 1 << 20,
+            validate_annotations: false,
+            priority_region: None,
+            fail_reducers: Vec::new(),
+            volatile_intermediate: false,
+            map_think: Duration::ZERO,
+            reduce_think: Duration::ZERO,
+            spill_dir: None,
+            filter_pushdown: false,
+        }
+    }
+}
+
+/// What a query run produced.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    pub mode: FrameworkMode,
+    /// Output records sorted by intermediate key (commit order varies
+    /// across modes; sorting makes outcomes comparable).
+    pub records: Vec<(Coord, f64)>,
+    /// Engine result: counters and the task timeline.
+    pub result: JobResult,
+    /// Number of Map tasks the run used.
+    pub num_maps: usize,
+    /// Keys per reducer (output weights), for availability curves.
+    pub reducer_key_counts: Vec<u64>,
+}
+
+/// Runs `query` against `file` under the given framework mode.
+pub fn run_query(
+    file: &ScincFile,
+    query: &StructuralQuery,
+    opts: &RunOptions,
+) -> Result<QueryOutcome> {
+    let var = file.metadata().variable(&query.variable)?;
+    match var.dtype {
+        DataType::I32 => run_typed::<i32>(file, query, opts),
+        DataType::I64 => run_typed::<i64>(file, query, opts),
+        DataType::F32 => run_typed::<f32>(file, query, opts),
+        DataType::F64 => run_typed::<f64>(file, query, opts),
+    }
+}
+
+/// Generates the splits a mode would use (exposed for planning-only
+/// consumers such as the cluster simulator and Table 3).
+pub fn generate_splits(
+    file: &ScincFile,
+    query: &StructuralQuery,
+    mode: FrameworkMode,
+    split_bytes: u64,
+) -> Result<Vec<InputSplit>> {
+    let space = file.metadata().variable_shape(&query.variable)?;
+    let region = query.region();
+    if !sidr_coords::Slab::whole(&space).contains_slab(&region) {
+        return Err(SidrError::Plan(format!(
+            "query region {region} exceeds the variable space {space}"
+        )));
+    }
+    let esize = file.metadata().variable(&query.variable)?.dtype.size() as u64;
+    let gen = SplitGenerator::new(space, esize)
+        .for_region(region)
+        .map_err(SidrError::Engine)?;
+    let splits = match mode {
+        FrameworkMode::Hadoop => gen.naive_linear(split_bytes)?,
+        FrameworkMode::SciHadoop | FrameworkMode::Sidr => {
+            gen.aligned(split_bytes, query.extraction.shape()[0])?
+        }
+    };
+    Ok(splits)
+}
+
+fn run_typed<E: Element>(
+    file: &ScincFile,
+    query: &StructuralQuery,
+    opts: &RunOptions,
+) -> Result<QueryOutcome> {
+    let splits = generate_splits(file, query, opts.mode, opts.split_bytes)?;
+    let pushdown = match (opts.filter_pushdown, query.operator) {
+        (true, crate::operators::Operator::Filter { threshold }) => Some(threshold),
+        _ => None,
+    };
+    let mut mapper = StructuralMapper::for_query(query);
+    if let Some(threshold) = pushdown {
+        mapper = mapper.push_down_filter(threshold);
+    }
+    let reducer = OperatorReducer { op: query.operator };
+    let combiner = query.operator.combiner();
+    let output = InMemoryOutput::<Coord, f64>::new();
+    let config = JobConfig {
+        map_slots: opts.map_slots,
+        reduce_slots: opts.reduce_slots,
+        // Push-down breaks the geometric raw-count expectation.
+        validate_annotations: opts.validate_annotations && pushdown.is_none(),
+        fail_reducers: opts.fail_reducers.clone(),
+        volatile_intermediate: opts.volatile_intermediate,
+        map_think: opts.map_think,
+        reduce_think: opts.reduce_think,
+        spill_dir: opts.spill_dir.clone(),
+        map_spill_records: None,
+    };
+    let source_factory = scinc_source_factory::<E>(file, &query.variable);
+
+    let (result, reducer_key_counts) = match opts.mode {
+        FrameworkMode::Hadoop | FrameworkMode::SciHadoop => {
+            let plan = DefaultPlan::<Coord, _>::new(CoordHashPartitioner, opts.num_reducers);
+            let r = run_job(
+                &splits,
+                &source_factory,
+                &mapper,
+                combiner
+                    .as_ref()
+                    .map(|c| c as &dyn sidr_mapreduce::Combiner<Key = Coord, Value = f64>),
+                &reducer,
+                &plan,
+                &output,
+                &config,
+            )?;
+            // Hash partitioning has no geometric key counts; weigh
+            // reducers equally.
+            (r, vec![1u64; opts.num_reducers])
+        }
+        FrameworkMode::Sidr => {
+            let mut planner = SidrPlanner::new(query, opts.num_reducers);
+            if let Some(region) = &opts.priority_region {
+                planner = planner.prioritize_region(region.clone());
+            }
+            let plan = planner.build(&splits)?;
+            let counts = (0..opts.num_reducers)
+                .map(|r| plan.partition().keyblock_key_count(r))
+                .collect::<Result<Vec<u64>>>()?;
+            let r = run_job(
+                &splits,
+                &source_factory,
+                &mapper,
+                combiner
+                    .as_ref()
+                    .map(|c| c as &dyn sidr_mapreduce::Combiner<Key = Coord, Value = f64>),
+                &reducer,
+                &plan as &dyn RoutingPlan<Coord>,
+                &output,
+                &config,
+            )?;
+            (r, counts)
+        }
+    };
+
+    Ok(QueryOutcome {
+        mode: opts.mode,
+        records: output.sorted_records(),
+        result,
+        num_maps: splits.len(),
+        reducer_key_counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::Operator;
+    use sidr_coords::Shape;
+    use sidr_scifile::gen::{DatasetSpec, ValueModel};
+
+    fn shape(v: &[u64]) -> Shape {
+        Shape::new(v.to_vec()).unwrap()
+    }
+
+    fn temp_file(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sidr-framework-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.scinc", std::process::id()))
+    }
+
+    /// Generates a small dataset and returns (file, spec).
+    fn dataset(name: &str, space: &[u64]) -> (ScincFile, DatasetSpec) {
+        let spec = DatasetSpec {
+            variable: "t".into(),
+            dim_names: (0..space.len()).map(|i| format!("d{i}")).collect(),
+            space: shape(space),
+            model: ValueModel::LinearIndex,
+            seed: 0,
+        };
+        let path = temp_file(name);
+        let file = spec.generate::<f64>(&path).unwrap();
+        (file, spec)
+    }
+
+    /// Ground truth for a mean query over a dataset spec.
+    fn expected_means(q: &StructuralQuery, spec: &DatasetSpec) -> Vec<(Coord, f64)> {
+        q.intermediate_space()
+            .iter_coords()
+            .map(|kp| {
+                let pre = q.extraction.preimage_of_key(&kp).unwrap();
+                let vals: Vec<f64> = pre.iter_coords().map(|k| spec.value_at(&k)).collect();
+                (kp, vals.iter().sum::<f64>() / vals.len() as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_three_modes_agree_with_ground_truth() {
+        let (file, spec) = dataset("agree", &[24, 6, 4]);
+        let q = StructuralQuery::new("t", shape(&[24, 6, 4]), shape(&[4, 3, 2]), Operator::Mean)
+            .unwrap();
+        let expect = expected_means(&q, &spec);
+        for mode in [FrameworkMode::Hadoop, FrameworkMode::SciHadoop, FrameworkMode::Sidr] {
+            let mut opts = RunOptions::new(mode, 3);
+            opts.split_bytes = 6 * 4 * 8 * 4; // 4 leading rows per split
+            opts.validate_annotations = mode == FrameworkMode::Sidr;
+            let got = run_query(&file, &q, &opts).unwrap();
+            assert_eq!(got.records.len(), expect.len(), "{mode}");
+            for ((gk, gv), (ek, ev)) in got.records.iter().zip(&expect) {
+                assert_eq!(gk, ek, "{mode}");
+                assert!((gv - ev).abs() < 1e-9, "{mode}: {gk} {gv} != {ev}");
+            }
+        }
+    }
+
+    #[test]
+    fn sidr_uses_fewer_connections() {
+        let (file, _) = dataset("conns", &[40, 6, 4]);
+        let q = StructuralQuery::new("t", shape(&[40, 6, 4]), shape(&[4, 3, 2]), Operator::Mean)
+            .unwrap();
+        let mut opts = RunOptions::new(FrameworkMode::SciHadoop, 5);
+        opts.split_bytes = 6 * 4 * 8 * 4;
+        let sh = run_query(&file, &q, &opts).unwrap();
+        opts.mode = FrameworkMode::Sidr;
+        let ss = run_query(&file, &q, &opts).unwrap();
+        assert_eq!(
+            sh.result.counters.shuffle_connections,
+            (sh.num_maps * 5) as u64,
+            "stock Hadoop contacts every map from every reducer"
+        );
+        assert!(
+            ss.result.counters.shuffle_connections < sh.result.counters.shuffle_connections,
+            "SIDR {} >= SciHadoop {}",
+            ss.result.counters.shuffle_connections,
+            sh.result.counters.shuffle_connections
+        );
+    }
+
+    #[test]
+    fn filter_query_produces_value_lists() {
+        let (file, spec) = dataset("filter", &[16, 4, 4]);
+        let threshold = (16.0 * 4.0 * 4.0) / 2.0; // median of linear index
+        let q = StructuralQuery::new(
+            "t",
+            shape(&[16, 4, 4]),
+            shape(&[4, 2, 2]),
+            Operator::Filter { threshold },
+        )
+        .unwrap();
+        let opts = RunOptions::new(FrameworkMode::Sidr, 2);
+        let got = run_query(&file, &q, &opts).unwrap();
+        // Ground truth: every input value > threshold appears once,
+        // under its k' key.
+        let mut expect = Vec::new();
+        for kp in q.intermediate_space().iter_coords() {
+            let pre = q.extraction.preimage_of_key(&kp).unwrap();
+            let mut vals: Vec<f64> = pre
+                .iter_coords()
+                .map(|k| spec.value_at(&k))
+                .filter(|&v| v > threshold)
+                .collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for v in vals {
+                expect.push((kp.clone(), v));
+            }
+        }
+        let mut got_sorted = got.records.clone();
+        got_sorted.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).unwrap()));
+        expect.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.partial_cmp(&b.1).unwrap()));
+        assert_eq!(got_sorted, expect);
+    }
+
+    #[test]
+    fn filter_pushdown_shrinks_the_shuffle_without_changing_output() {
+        let (file, _) = dataset("pushdown", &[32, 6, 4]);
+        let threshold = 32.0 * 6.0 * 4.0 * 0.9; // top 10 % of linear indices
+        let q = StructuralQuery::new(
+            "t",
+            shape(&[32, 6, 4]),
+            shape(&[4, 3, 2]),
+            Operator::Filter { threshold },
+        )
+        .unwrap();
+        let mut opts = RunOptions::new(FrameworkMode::Sidr, 3);
+        let plain = run_query(&file, &q, &opts).unwrap();
+        opts.filter_pushdown = true;
+        opts.validate_annotations = true; // silently disabled with push-down
+        let pushed = run_query(&file, &q, &opts).unwrap();
+        assert_eq!(plain.records, pushed.records, "push-down must not change output");
+        assert!(
+            pushed.result.counters.shuffled_records * 5
+                < plain.result.counters.shuffled_records,
+            "push-down shuffled {} vs {}",
+            pushed.result.counters.shuffled_records,
+            plain.result.counters.shuffled_records
+        );
+    }
+
+    #[test]
+    fn annotation_validation_passes_on_honest_runs() {
+        let (file, _) = dataset("annot", &[20, 4, 4]);
+        let q = StructuralQuery::new("t", shape(&[20, 4, 4]), shape(&[5, 2, 2]), Operator::Max)
+            .unwrap();
+        let mut opts = RunOptions::new(FrameworkMode::Sidr, 3);
+        opts.validate_annotations = true;
+        // Max is distributive → a combiner folds pairs; annotations
+        // must still tally the raw counts.
+        let got = run_query(&file, &q, &opts).unwrap();
+        assert!(got.result.counters.combined_records < got.result.counters.map_records_out);
+    }
+}

@@ -1,0 +1,483 @@
+//! The array query language.
+//!
+//! SciHadoop defines "a simple, array-based query language including
+//! an extraction shape that explicitly describes the units of data in
+//! the input that the specified operator will process together"
+//! (§2.4). This module is that front end: a textual form that binds
+//! against a dataset's metadata to produce a [`StructuralQuery`].
+//!
+//! ```text
+//! query  := func '(' ident args? ')' 'over' shape ( 'stride' shape )?
+//!           ( 'within' 'corner' shape 'shape' shape )?
+//! func   := mean | median | min | max | sum | count | sortvalues
+//!         | variance | stddev | range
+//!         | filter     (args: ', >' number)
+//!         | countabove (args: ',' number)
+//!         | percentile (args: ',' number)
+//! shape  := '{' number ( ',' number )* '}'
+//! ```
+//!
+//! Examples (whitespace-insensitive, case-insensitive keywords):
+//!
+//! ```text
+//! median(windspeed) over {2, 36, 36, 10}
+//! mean(temperature) over {7, 5, 1}
+//! filter(samples, > 4.5) over {2, 40, 40, 10}
+//! max(windspeed) over {2, 2, 2, 2} stride {4, 2, 2, 2}
+//! percentile(windspeed, 95) over {24, 1, 1, 1}
+//! mean(temperature) over {7, 5, 1} within corner {90, 0, 0} shape {182, 250, 200}
+//! ```
+
+use sidr_coords::Shape;
+use sidr_scifile::Metadata;
+
+use crate::operators::Operator;
+use crate::query::StructuralQuery;
+use crate::{Result, SidrError};
+
+/// A parsed but unbound query: operator, variable name, shapes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedQuery {
+    pub operator: Operator,
+    pub variable: String,
+    pub extraction_shape: Vec<u64>,
+    pub stride: Option<Vec<u64>>,
+    /// Optional input region `T` as `(corner, shape)` (§2.1).
+    pub region: Option<(Vec<u64>, Vec<u64>)>,
+}
+
+impl ParsedQuery {
+    /// Binds the parsed query against a dataset's metadata, validating
+    /// the variable and the shape's rank against the variable's space.
+    pub fn bind(&self, metadata: &Metadata) -> Result<StructuralQuery> {
+        let space = metadata.variable_shape(&self.variable)?;
+        if self.extraction_shape.len() != space.rank() {
+            return Err(SidrError::Plan(format!(
+                "extraction shape has {} dimensions but variable '{}' has {}",
+                self.extraction_shape.len(),
+                self.variable,
+                space.rank()
+            )));
+        }
+        let ext = Shape::new(self.extraction_shape.clone())?;
+        match (&self.region, &self.stride) {
+            (Some((corner, rshape)), None) => {
+                let region = sidr_coords::Slab::new(
+                    sidr_coords::Coord::new(corner.clone()),
+                    Shape::new(rshape.clone())?,
+                )?;
+                StructuralQuery::over_region(
+                    self.variable.clone(),
+                    &space,
+                    region,
+                    ext,
+                    self.operator,
+                )
+            }
+            (Some(_), Some(_)) => Err(SidrError::Plan(
+                "'within' and 'stride' cannot be combined (strided sub-region \
+                 queries are not supported)"
+                    .into(),
+            )),
+            (None, None) => StructuralQuery::new(self.variable.clone(), space, ext, self.operator),
+            (None, Some(stride)) => StructuralQuery::with_stride(
+                self.variable.clone(),
+                space,
+                ext,
+                stride.clone(),
+                self.operator,
+            ),
+        }
+    }
+}
+
+/// Parses query text; see the module docs for the grammar.
+///
+/// ```
+/// use sidr_core::lang::parse;
+/// use sidr_core::Operator;
+///
+/// let q = parse("median(windspeed) over {2, 36, 36, 10}").unwrap();
+/// assert_eq!(q.operator, Operator::Median);
+/// assert_eq!(q.extraction_shape, vec![2, 36, 36, 10]);
+/// ```
+pub fn parse(text: &str) -> Result<ParsedQuery> {
+    Parser::new(text).parse()
+}
+
+/// Parses and binds in one step.
+pub fn parse_query(text: &str, metadata: &Metadata) -> Result<StructuralQuery> {
+    parse(text)?.bind(metadata)
+}
+
+struct Parser<'t> {
+    rest: &'t str,
+    offset: usize,
+}
+
+impl<'t> Parser<'t> {
+    fn new(text: &'t str) -> Self {
+        Parser { rest: text, offset: 0 }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SidrError {
+        SidrError::Plan(format!("query parse error at byte {}: {}", self.offset, msg.into()))
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest.trim_start();
+        self.offset += self.rest.len() - trimmed.len();
+        self.rest = trimmed;
+    }
+
+    fn eat(&mut self, token: &str) -> Result<()> {
+        self.skip_ws();
+        if let Some(rest) = self.rest.strip_prefix(token) {
+            self.offset += token.len();
+            self.rest = rest;
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected '{token}', found '{}'",
+                &self.rest[..self.rest.len().min(12)]
+            )))
+        }
+    }
+
+    fn peek_is(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        self.rest.starts_with(token)
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let end = self
+            .rest
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return Err(self.err("expected an identifier"));
+        }
+        let word = &self.rest[..end];
+        self.offset += end;
+        self.rest = &self.rest[end..];
+        Ok(word.to_string())
+    }
+
+    /// Case-insensitive keyword match.
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        self.skip_ws();
+        let have = &self.rest[..self.rest.len().min(kw.len())];
+        if have.eq_ignore_ascii_case(kw) {
+            self.offset += kw.len();
+            self.rest = &self.rest[kw.len()..];
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword '{kw}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        self.skip_ws();
+        let end = self
+            .rest
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+            .unwrap_or(self.rest.len());
+        let raw = &self.rest[..end];
+        let value: f64 = raw
+            .parse()
+            .map_err(|_| self.err(format!("expected a number, found '{raw}'")))?;
+        self.offset += end;
+        self.rest = &self.rest[end..];
+        Ok(value)
+    }
+
+    /// Case-insensitive keyword lookahead.
+    fn peek_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        self.rest.len() >= kw.len() && self.rest[..kw.len()].eq_ignore_ascii_case(kw)
+    }
+
+    fn shape(&mut self) -> Result<Vec<u64>> {
+        let dims = self.shape_allowing_zero()?;
+        if let Some(zero_at) = dims.iter().position(|&d| d == 0) {
+            return Err(self.err(format!("shape extent {zero_at} must be positive")));
+        }
+        Ok(dims)
+    }
+
+    /// A brace list of non-negative integers (corners may be zero).
+    fn shape_allowing_zero(&mut self) -> Result<Vec<u64>> {
+        self.eat("{")?;
+        let mut dims = Vec::new();
+        loop {
+            let n = self.number()?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(self.err(format!("expected a non-negative integer, got {n}")));
+            }
+            dims.push(n as u64);
+            self.skip_ws();
+            if self.peek_is(",") {
+                self.eat(",")?;
+            } else {
+                break;
+            }
+        }
+        self.eat("}")?;
+        Ok(dims)
+    }
+
+    fn parse(mut self) -> Result<ParsedQuery> {
+        let func = self.ident()?.to_ascii_lowercase();
+        self.eat("(")?;
+        let variable = self.ident()?;
+        let operator = match func.as_str() {
+            "mean" | "average" | "avg" => Operator::Mean,
+            "median" => Operator::Median,
+            "min" => Operator::Min,
+            "max" => Operator::Max,
+            "sum" => Operator::Sum,
+            "count" => Operator::Count,
+            "sortvalues" | "sort" => Operator::SortValues,
+            "variance" | "var" => Operator::Variance,
+            "stddev" | "std" => Operator::StdDev,
+            "range" => Operator::Range,
+            "filter" => {
+                self.eat(",")?;
+                self.eat(">")?;
+                Operator::Filter {
+                    threshold: self.number()?,
+                }
+            }
+            "countabove" => {
+                self.eat(",")?;
+                Operator::CountAbove {
+                    threshold: self.number()?,
+                }
+            }
+            "percentile" => {
+                self.eat(",")?;
+                let p = self.number()?;
+                if !(0.0..=100.0).contains(&p) {
+                    return Err(self.err(format!("percentile must be in [0, 100], got {p}")));
+                }
+                Operator::Percentile { p }
+            }
+            "histogram" => {
+                self.eat(",")?;
+                let lo = self.number()?;
+                self.eat(",")?;
+                let hi = self.number()?;
+                self.eat(",")?;
+                let buckets = self.number()?;
+                if hi <= lo {
+                    return Err(self.err(format!("histogram needs lo < hi, got [{lo}, {hi})")));
+                }
+                if buckets < 1.0 || buckets.fract() != 0.0 {
+                    return Err(self.err(format!(
+                        "histogram bucket count must be a positive integer, got {buckets}"
+                    )));
+                }
+                Operator::Histogram {
+                    lo,
+                    hi,
+                    buckets: buckets as u32,
+                }
+            }
+            other => return Err(self.err(format!("unknown operator '{other}'"))),
+        };
+        self.eat(")")?;
+        self.keyword("over")?;
+        let extraction_shape = self.shape()?;
+        let stride = if self.peek_keyword("stride") {
+            self.keyword("stride")?;
+            let s = self.shape()?;
+            if s.len() != extraction_shape.len() {
+                return Err(self.err(format!(
+                    "stride has {} dimensions, extraction shape has {}",
+                    s.len(),
+                    extraction_shape.len()
+                )));
+            }
+            Some(s)
+        } else {
+            None
+        };
+        let region = if self.peek_keyword("within") {
+            self.keyword("within")?;
+            self.keyword("corner")?;
+            let corner = self.shape_allowing_zero()?;
+            self.keyword("shape")?;
+            let rshape = self.shape()?;
+            if corner.len() != extraction_shape.len() || rshape.len() != extraction_shape.len() {
+                return Err(self.err(format!(
+                    "region rank must match the extraction shape's {} dimensions",
+                    extraction_shape.len()
+                )));
+            }
+            Some((corner, rshape))
+        } else {
+            None
+        };
+        self.skip_ws();
+        if !self.rest.is_empty() {
+            return Err(self.err(format!("trailing input: '{}'", self.rest)));
+        }
+        Ok(ParsedQuery {
+            operator,
+            variable,
+            extraction_shape,
+            stride,
+            region,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidr_scifile::{DataType, Dimension, Variable};
+
+    fn metadata() -> Metadata {
+        Metadata::new(
+            vec![
+                Dimension::new("time", 7200),
+                Dimension::new("lat", 360),
+                Dimension::new("lon", 720),
+                Dimension::new("elevation", 50),
+            ],
+            vec![Variable::new(
+                "windspeed",
+                DataType::F32,
+                vec!["time".into(), "lat".into(), "lon".into(), "elevation".into()],
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_paper_query1() {
+        let q = parse("median(windspeed) over {2, 36, 36, 10}").unwrap();
+        assert_eq!(q.operator, Operator::Median);
+        assert_eq!(q.variable, "windspeed");
+        assert_eq!(q.extraction_shape, vec![2, 36, 36, 10]);
+        assert_eq!(q.stride, None);
+        let bound = q.bind(&metadata()).unwrap();
+        assert_eq!(
+            bound.intermediate_space(),
+            Shape::new(vec![3600, 10, 20, 5]).unwrap()
+        );
+    }
+
+    #[test]
+    fn parses_filter_with_threshold() {
+        let q = parse("filter(windspeed, > 4.5) over {2, 40, 40, 10}").unwrap();
+        assert_eq!(q.operator, Operator::Filter { threshold: 4.5 });
+    }
+
+    #[test]
+    fn parses_stride_clause() {
+        let q = parse("max(windspeed) over {2,2,2,2} stride {4,2,2,2}").unwrap();
+        assert_eq!(q.stride, Some(vec![4, 2, 2, 2]));
+        let bound = q.bind(&metadata()).unwrap();
+        assert_eq!(bound.extraction.stride(), &[4, 2, 2, 2]);
+    }
+
+    #[test]
+    fn parses_percentile_and_countabove() {
+        assert_eq!(
+            parse("percentile(windspeed, 95) over {2,2,2,2}").unwrap().operator,
+            Operator::Percentile { p: 95.0 }
+        );
+        assert_eq!(
+            parse("countabove(windspeed, 12.5) over {2,2,2,2}").unwrap().operator,
+            Operator::CountAbove { threshold: 12.5 }
+        );
+    }
+
+    #[test]
+    fn parses_within_region() {
+        let q = parse(
+            "mean(windspeed) over {2,2,2,2} within corner {100, 0, 0, 0} shape {200, 360, 720, 50}",
+        )
+        .unwrap();
+        assert_eq!(
+            q.region,
+            Some((vec![100, 0, 0, 0], vec![200, 360, 720, 50]))
+        );
+        let bound = q.bind(&metadata()).unwrap();
+        assert_eq!(
+            bound.region(),
+            sidr_coords::Slab::new(
+                sidr_coords::Coord::from([100, 0, 0, 0]),
+                Shape::new(vec![200, 360, 720, 50]).unwrap()
+            )
+            .unwrap()
+        );
+        assert_eq!(bound.intermediate_space(), Shape::new(vec![100, 180, 360, 25]).unwrap());
+        // Stride + within is rejected at bind time.
+        let q2 = parse(
+            "mean(windspeed) over {2,2,2,2} stride {4,2,2,2} within corner {0,0,0,0} shape {8,8,8,8}",
+        )
+        .unwrap();
+        assert!(q2.bind(&metadata()).is_err());
+        // Region rank mismatch is a parse error.
+        assert!(parse("mean(v) over {2,2} within corner {0} shape {4,4}").is_err());
+    }
+
+    #[test]
+    fn parses_histogram() {
+        let q = parse("histogram(windspeed, 0, 45, 9) over {2,2,2,2}").unwrap();
+        assert_eq!(
+            q.operator,
+            Operator::Histogram { lo: 0.0, hi: 45.0, buckets: 9 }
+        );
+        assert!(parse("histogram(v, 5, 5, 3) over {2}").is_err());
+        assert!(parse("histogram(v, 0, 5, 0) over {2}").is_err());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_and_ws_flexible() {
+        let q = parse("  MEAN( windspeed )   OVER   { 2 , 36 , 36 , 10 } ").unwrap();
+        assert_eq!(q.operator, Operator::Mean);
+    }
+
+    #[test]
+    fn rejects_bad_input_with_positions() {
+        for bad in [
+            "frobnicate(v) over {2}",
+            "mean(v) over {0}",
+            "mean(v) over {2",
+            "mean(v)",
+            "mean(v) over {2} stride {2, 2}",
+            "percentile(v, 150) over {2}",
+            "mean(v) over {2} trailing",
+        ] {
+            let err = parse(bad);
+            assert!(err.is_err(), "should reject: {bad}");
+            let msg = format!("{}", err.unwrap_err());
+            assert!(msg.contains("parse error"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn bind_validates_variable_and_rank() {
+        let md = metadata();
+        assert!(parse("mean(nope) over {2,2,2,2}").unwrap().bind(&md).is_err());
+        assert!(parse("mean(windspeed) over {2,2}").unwrap().bind(&md).is_err());
+    }
+
+    #[test]
+    fn bound_query_runs_like_a_builder_query() {
+        let parsed = parse_query("mean(windspeed) over {2, 36, 36, 10}", &metadata()).unwrap();
+        let built = StructuralQuery::new(
+            "windspeed",
+            Shape::new(vec![7200, 360, 720, 50]).unwrap(),
+            Shape::new(vec![2, 36, 36, 10]).unwrap(),
+            Operator::Mean,
+        )
+        .unwrap();
+        assert_eq!(parsed.variable, built.variable);
+        assert_eq!(parsed.extraction, built.extraction);
+    }
+}

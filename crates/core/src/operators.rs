@@ -1,0 +1,312 @@
+//! Query operators applied to each extraction instance.
+//!
+//! The paper's example queries (§2.2, §4.1): weekly averages, medians
+//! over multi-day regions, threshold filters, per-unit sorts. Each
+//! operator consumes the complete value list of one intermediate key
+//! — MapReduce guarantee 2 (§2.3) makes that safe — and emits one or
+//! more output values.
+
+use serde::{Deserialize, Serialize};
+
+use sidr_mapreduce::{Combiner, Reducer};
+
+/// The operator of a structural query.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Operator {
+    /// Arithmetic mean of the unit (query example 1, §2.2).
+    Mean,
+    /// Median of the unit (Query 1, §4.1). Holistic: no combiner.
+    Median,
+    Min,
+    Max,
+    Sum,
+    /// Number of values in the unit.
+    Count,
+    /// All values strictly greater than `threshold` (Query 2, §4.1:
+    /// "results will contain a list of all values greater than the
+    /// threshold"). May emit zero values.
+    Filter { threshold: f64 },
+    /// The unit's values in ascending order (query example 3, §2.2).
+    SortValues,
+    /// Population variance of the unit.
+    Variance,
+    /// Population standard deviation of the unit.
+    StdDev,
+    /// `max - min` of the unit — the "24-hour temperature variation"
+    /// of query example 2 (§2.2) in aggregate form.
+    Range,
+    /// Number of values strictly exceeding `threshold` — the counting
+    /// form of query example 2, and the histogramming workload of
+    /// high-energy physics (§2.2).
+    CountAbove { threshold: f64 },
+    /// The `p`-th percentile (0 ≤ p ≤ 100) by nearest-rank — the
+    /// periodogram/percentile analyses of §2.2's survey.
+    Percentile { p: f64 },
+    /// A fixed-bin histogram of the unit: emits `buckets` counts for
+    /// `[lo, hi)`, out-of-range values clamped to the edge bins —
+    /// "functionally equivalent to histogramming in high energy
+    /// physics" (§2.2).
+    Histogram { lo: f64, hi: f64, buckets: u32 },
+}
+
+impl Operator {
+    /// Applies the operator to one complete unit.
+    pub fn apply(&self, values: &[f64]) -> Vec<f64> {
+        if values.is_empty() {
+            return Vec::new();
+        }
+        match *self {
+            Operator::Mean => vec![values.iter().sum::<f64>() / values.len() as f64],
+            Operator::Median => vec![median(values)],
+            Operator::Min => vec![values.iter().copied().fold(f64::INFINITY, f64::min)],
+            Operator::Max => vec![values.iter().copied().fold(f64::NEG_INFINITY, f64::max)],
+            Operator::Sum => vec![values.iter().sum()],
+            Operator::Count => vec![values.len() as f64],
+            Operator::Filter { threshold } => {
+                values.iter().copied().filter(|&v| v > threshold).collect()
+            }
+            Operator::SortValues => {
+                let mut v = values.to_vec();
+                v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in datasets"));
+                v
+            }
+            Operator::Variance => vec![variance(values)],
+            Operator::StdDev => vec![variance(values).sqrt()],
+            Operator::Range => {
+                let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                vec![hi - lo]
+            }
+            Operator::CountAbove { threshold } => {
+                vec![values.iter().filter(|&&v| v > threshold).count() as f64]
+            }
+            Operator::Percentile { p } => vec![percentile(values, p)],
+            Operator::Histogram { lo, hi, buckets } => {
+                let n = buckets.max(1) as usize;
+                let mut counts = vec![0.0f64; n];
+                let width = (hi - lo) / n as f64;
+                for &v in values {
+                    let bin = if width > 0.0 {
+                        (((v - lo) / width).floor() as i64).clamp(0, n as i64 - 1) as usize
+                    } else {
+                        0
+                    };
+                    counts[bin] += 1.0;
+                }
+                counts
+            }
+        }
+    }
+
+    /// Whether the operator is distributive — computable from partial
+    /// aggregates — and therefore combinable at the Map side. HOP-style
+    /// systems are *limited* to these (§5); SIDR is not, but uses
+    /// combiners for them when available.
+    pub fn is_distributive(&self) -> bool {
+        matches!(self, Operator::Min | Operator::Max | Operator::Sum)
+    }
+
+    /// Whether the operator emits exactly one value per unit (such
+    /// output fills a dense array; list-valued output goes to
+    /// coordinate/value pair files, §2.4.2 / §4.4).
+    pub fn single_valued(&self) -> bool {
+        !matches!(
+            self,
+            Operator::Filter { .. } | Operator::SortValues | Operator::Histogram { .. }
+        )
+    }
+
+    /// A map-side combiner for distributive operators, `None`
+    /// otherwise.
+    pub fn combiner(&self) -> Option<OperatorCombiner> {
+        self.is_distributive().then_some(OperatorCombiner { op: *self })
+    }
+}
+
+fn median(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in datasets"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+fn variance(values: &[f64]) -> f64 {
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n
+}
+
+/// Nearest-rank percentile on a sorted copy; `p` is clamped to
+/// `[0, 100]`.
+fn percentile(values: &[f64], p: f64) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in datasets"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
+    v[rank.max(1) - 1]
+}
+
+/// The engine-facing Reduce function of a structural query: applies
+/// the operator to each key's complete unit.
+pub struct OperatorReducer {
+    pub op: Operator,
+}
+
+impl Reducer for OperatorReducer {
+    type Key = sidr_coords::Coord;
+    type InValue = f64;
+    type OutValue = f64;
+
+    fn reduce(&self, _key: &sidr_coords::Coord, values: &[f64], emit: &mut dyn FnMut(f64)) {
+        for v in self.op.apply(values) {
+            emit(v);
+        }
+    }
+}
+
+/// Map-side combiner for distributive operators (min/max/sum fold
+/// losslessly; the shuffle annotation still counts raw pairs,
+/// §3.2.1).
+pub struct OperatorCombiner {
+    op: Operator,
+}
+
+impl Combiner for OperatorCombiner {
+    type Key = sidr_coords::Coord;
+    type Value = f64;
+
+    fn combine(&self, _key: &sidr_coords::Coord, values: Vec<f64>) -> Vec<f64> {
+        debug_assert!(self.op.is_distributive());
+        self.op.apply(&values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_of_known_values() {
+        assert_eq!(Operator::Mean.apply(&[1.0, 2.0, 3.0, 4.0]), vec![2.5]);
+        assert_eq!(Operator::Median.apply(&[5.0, 1.0, 3.0]), vec![3.0]);
+        assert_eq!(Operator::Median.apply(&[4.0, 1.0, 3.0, 2.0]), vec![2.5]);
+    }
+
+    #[test]
+    fn min_max_sum_count() {
+        let vs = [3.0, -1.0, 7.5];
+        assert_eq!(Operator::Min.apply(&vs), vec![-1.0]);
+        assert_eq!(Operator::Max.apply(&vs), vec![7.5]);
+        assert_eq!(Operator::Sum.apply(&vs), vec![9.5]);
+        assert_eq!(Operator::Count.apply(&vs), vec![3.0]);
+    }
+
+    #[test]
+    fn filter_keeps_only_exceeding() {
+        let op = Operator::Filter { threshold: 2.0 };
+        assert_eq!(op.apply(&[1.0, 2.0, 3.0, 4.0]), vec![3.0, 4.0]);
+        assert_eq!(op.apply(&[1.0]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn sort_values_orders() {
+        assert_eq!(
+            Operator::SortValues.apply(&[3.0, 1.0, 2.0]),
+            vec![1.0, 2.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn empty_unit_emits_nothing() {
+        for op in [Operator::Mean, Operator::Median, Operator::Sum] {
+            assert!(op.apply(&[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn distributivity_classification() {
+        assert!(Operator::Sum.is_distributive());
+        assert!(Operator::Max.is_distributive());
+        assert!(!Operator::Median.is_distributive());
+        assert!(!Operator::Mean.is_distributive()); // mean of means is wrong
+        assert!(Operator::Median.combiner().is_none());
+        assert!(Operator::Sum.combiner().is_some());
+    }
+
+    #[test]
+    fn single_valuedness() {
+        assert!(Operator::Mean.single_valued());
+        assert!(!Operator::Filter { threshold: 0.0 }.single_valued());
+        assert!(!Operator::SortValues.single_valued());
+    }
+
+    #[test]
+    fn variance_stddev_range() {
+        let vs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(Operator::Variance.apply(&vs), vec![4.0]);
+        assert_eq!(Operator::StdDev.apply(&vs), vec![2.0]);
+        assert_eq!(Operator::Range.apply(&vs), vec![7.0]);
+    }
+
+    #[test]
+    fn count_above_counts_strictly() {
+        let op = Operator::CountAbove { threshold: 4.0 };
+        assert_eq!(op.apply(&[2.0, 4.0, 5.0, 9.0]), vec![2.0]);
+        assert_eq!(op.apply(&[1.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let vs = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(Operator::Percentile { p: 30.0 }.apply(&vs), vec![20.0]);
+        assert_eq!(Operator::Percentile { p: 100.0 }.apply(&vs), vec![50.0]);
+        assert_eq!(Operator::Percentile { p: 0.0 }.apply(&vs), vec![15.0]);
+        // p=50 nearest-rank equals the lower median.
+        assert_eq!(Operator::Percentile { p: 50.0 }.apply(&vs), vec![35.0]);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let op = Operator::Histogram { lo: 0.0, hi: 10.0, buckets: 5 };
+        let counts = op.apply(&[-1.0, 0.0, 1.9, 2.0, 5.5, 9.99, 10.0, 42.0]);
+        // bins: [0,2) [2,4) [4,6) [6,8) [8,10); out-of-range clamps.
+        assert_eq!(counts, vec![3.0, 1.0, 1.0, 0.0, 3.0]);
+        assert_eq!(counts.iter().sum::<f64>(), 8.0, "every value lands somewhere");
+        assert!(!op.single_valued());
+        assert!(op.apply(&[]).is_empty());
+    }
+
+    #[test]
+    fn new_operators_are_single_valued_and_holistic() {
+        for op in [
+            Operator::Variance,
+            Operator::StdDev,
+            Operator::Range,
+            Operator::CountAbove { threshold: 0.0 },
+            Operator::Percentile { p: 75.0 },
+        ] {
+            assert!(op.single_valued(), "{op:?}");
+            assert!(!op.is_distributive(), "{op:?}");
+            assert!(op.apply(&[]).is_empty(), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn combiner_is_lossless_for_distributive_ops() {
+        // Combining partial groups then reducing equals reducing the
+        // whole group.
+        let all = [4.0, -2.0, 9.0, 3.5, 0.0, 7.0];
+        for op in [Operator::Min, Operator::Max, Operator::Sum] {
+            let c = op.combiner().unwrap();
+            let k = sidr_coords::Coord::from([0]);
+            let part1 = c.combine(&k, all[..3].to_vec());
+            let part2 = c.combine(&k, all[3..].to_vec());
+            let combined: Vec<f64> = part1.into_iter().chain(part2).collect();
+            assert_eq!(op.apply(&combined), op.apply(&all), "{op:?}");
+        }
+    }
+}

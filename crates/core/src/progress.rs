@@ -1,0 +1,118 @@
+//! Progress curves: "fraction of total output available" over time —
+//! the y-axis of the paper's Figures 9–13.
+
+use std::time::Duration;
+
+use sidr_mapreduce::{JobResult, TaskEvent, TaskKind};
+
+/// One point of a completion curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CurvePoint {
+    pub at: Duration,
+    pub fraction: f64,
+}
+
+/// Fraction of Map tasks complete over time.
+pub fn map_completion_curve(result: &JobResult) -> Vec<CurvePoint> {
+    fraction_curve(&result.events, TaskKind::MapEnd, None)
+}
+
+/// Fraction of total output available over time. When `weights` is
+/// provided (keys per reducer, from `partition+`), fractions are
+/// weighted by each reducer's share of the output; otherwise each
+/// reduce task counts equally (how the paper's figures plot task
+/// completion).
+pub fn output_availability_curve(
+    result: &JobResult,
+    weights: Option<&[u64]>,
+) -> Vec<CurvePoint> {
+    fraction_curve(&result.events, TaskKind::ReduceEnd, weights)
+}
+
+fn fraction_curve(
+    events: &[TaskEvent],
+    kind: TaskKind,
+    weights: Option<&[u64]>,
+) -> Vec<CurvePoint> {
+    let mut done: Vec<(Duration, usize)> = events
+        .iter()
+        .filter(|e| e.kind == kind)
+        .map(|e| (e.at, e.task))
+        .collect();
+    done.sort();
+    let total: f64 = match weights {
+        Some(w) => w.iter().sum::<u64>() as f64,
+        None => done.len() as f64,
+    };
+    if total == 0.0 {
+        return Vec::new();
+    }
+    let mut acc = 0.0;
+    done.into_iter()
+        .map(|(at, task)| {
+            acc += match weights {
+                Some(w) => w[task] as f64,
+                None => 1.0,
+            };
+            CurvePoint {
+                at,
+                fraction: acc / total,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidr_mapreduce::CountersSnapshot;
+
+    fn ev(kind: TaskKind, task: usize, ms: u64) -> TaskEvent {
+        TaskEvent {
+            kind,
+            task,
+            at: Duration::from_millis(ms),
+        }
+    }
+
+    fn result(events: Vec<TaskEvent>) -> JobResult {
+        JobResult {
+            counters: CountersSnapshot::default(),
+            elapsed: events.iter().map(|e| e.at).max().unwrap_or_default(),
+            events,
+        }
+    }
+
+    #[test]
+    fn unweighted_curve_counts_tasks() {
+        let r = result(vec![
+            ev(TaskKind::ReduceEnd, 0, 10),
+            ev(TaskKind::ReduceEnd, 1, 30),
+            ev(TaskKind::MapEnd, 0, 5),
+        ]);
+        let curve = output_availability_curve(&r, None);
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[0].fraction, 0.5);
+        assert_eq!(curve[1].fraction, 1.0);
+        let maps = map_completion_curve(&r);
+        assert_eq!(maps.len(), 1);
+        assert_eq!(maps[0].fraction, 1.0);
+    }
+
+    #[test]
+    fn weighted_curve_uses_key_counts() {
+        let r = result(vec![
+            ev(TaskKind::ReduceEnd, 0, 10), // weight 30
+            ev(TaskKind::ReduceEnd, 1, 20), // weight 10
+        ]);
+        let curve = output_availability_curve(&r, Some(&[30, 10]));
+        assert_eq!(curve[0].fraction, 0.75);
+        assert_eq!(curve[1].fraction, 1.0);
+    }
+
+    #[test]
+    fn empty_events_empty_curve() {
+        let r = result(vec![]);
+        assert!(output_availability_curve(&r, None).is_empty());
+    }
+}

@@ -1,0 +1,301 @@
+//! Structural queries: the class of queries SIDR routes intelligently.
+//!
+//! A structural query names a variable, the extraction shape tiling
+//! its space (the "units of data that the specified operator will
+//! process together", §2.4), and the operator applied to each unit.
+//! Everything SIDR needs — the intermediate keyspace `K′ᵀ`, the
+//! key translation, dependency footprints — derives from this plus the
+//! dataset's metadata.
+
+use sidr_coords::{Coord, ExtractionShape, Shape, Slab};
+
+use crate::operators::Operator;
+use crate::{Result, SidrError};
+
+/// One structural query over an n-dimensional variable.
+#[derive(Clone, Debug)]
+pub struct StructuralQuery {
+    /// Variable the query ranges over.
+    pub variable: String,
+    /// The extraction geometry (shape + optional stride) over the
+    /// query's input region.
+    pub extraction: ExtractionShape,
+    /// The operator applied to each extraction instance.
+    pub operator: Operator,
+    /// Corner of the query's input region `T` in the variable's
+    /// space; `None` when the query ranges over the whole variable.
+    /// §2.1: query inputs are corner+shape pairs "in the input data
+    /// set" — this is the corner. Intermediate keys stay relative to
+    /// the region (their global position is recoverable through the
+    /// corner, as with dense output files, §4.4).
+    region_corner: Option<Coord>,
+}
+
+impl StructuralQuery {
+    /// Builds a query; the extraction shape must fit the input space
+    /// in every dimension (otherwise the query has no output).
+    pub fn new(
+        variable: impl Into<String>,
+        input_space: Shape,
+        extraction_shape: Shape,
+        operator: Operator,
+    ) -> Result<Self> {
+        let extraction = ExtractionShape::new(input_space, extraction_shape)?;
+        // Validate now that the query produces output at all.
+        extraction.intermediate_space().map_err(|_| {
+            SidrError::Plan("extraction shape exceeds the input space; query output is empty".into())
+        })?;
+        Ok(StructuralQuery {
+            variable: variable.into(),
+            extraction,
+            operator,
+            region_corner: None,
+        })
+    }
+
+    /// Builds a strided query (§2.4.2: "reading data at regularly
+    /// spaced intervals").
+    pub fn with_stride(
+        variable: impl Into<String>,
+        input_space: Shape,
+        extraction_shape: Shape,
+        stride: Vec<u64>,
+        operator: Operator,
+    ) -> Result<Self> {
+        let extraction = ExtractionShape::with_stride(input_space, extraction_shape, stride)?;
+        extraction.intermediate_space().map_err(|_| {
+            SidrError::Plan("extraction shape exceeds the input space; query output is empty".into())
+        })?;
+        Ok(StructuralQuery {
+            variable: variable.into(),
+            extraction,
+            operator,
+            region_corner: None,
+        })
+    }
+
+    /// Builds a query over a sub-region `T` of the variable (§2.1:
+    /// corner+shape "in the input data set"). `variable_space` is the
+    /// variable's full shape; `region` must lie inside it. The
+    /// extraction shape tiles the region; intermediate keys are
+    /// region-relative.
+    pub fn over_region(
+        variable: impl Into<String>,
+        variable_space: &Shape,
+        region: Slab,
+        extraction_shape: Shape,
+        operator: Operator,
+    ) -> Result<Self> {
+        if !Slab::whole(variable_space).contains_slab(&region) {
+            return Err(SidrError::Plan(format!(
+                "query region {region} exceeds the variable space {variable_space}"
+            )));
+        }
+        let corner = region.corner().clone();
+        let mut q = StructuralQuery::new(
+            variable,
+            region.shape().clone(),
+            extraction_shape,
+            operator,
+        )?;
+        if corner.components().iter().any(|&c| c != 0) {
+            q.region_corner = Some(corner);
+        }
+        Ok(q)
+    }
+
+    /// The input keyspace `Kᵀ` (the region's shape).
+    pub fn input_space(&self) -> &Shape {
+        self.extraction.input_space()
+    }
+
+    /// The query's input region `T` in the variable's space.
+    pub fn region(&self) -> Slab {
+        let corner = self
+            .region_corner
+            .clone()
+            .unwrap_or_else(|| Coord::origin(self.input_space().rank()));
+        Slab::new(corner, self.input_space().clone()).expect("validated at construction")
+    }
+
+    /// The exact intermediate keyspace `K′ᵀ` (§3 Area 3).
+    pub fn intermediate_space(&self) -> Shape {
+        self.extraction
+            .intermediate_space()
+            .expect("validated at construction")
+    }
+
+    /// Translates an absolute input key to its intermediate key
+    /// (§3 Area 2). Keys outside the query region map to nothing.
+    pub fn map_key(&self, k: &Coord) -> Option<Coord> {
+        match &self.region_corner {
+            None => self
+                .extraction
+                .map_key(k)
+                .expect("key rank validated by caller"),
+            Some(corner) => {
+                let rel = k.checked_sub(corner).ok()?;
+                if !self.input_space().contains(&rel) {
+                    return None;
+                }
+                self.extraction
+                    .map_key(&rel)
+                    .expect("relative key is in bounds")
+            }
+        }
+    }
+
+    /// The intermediate keys an input split (absolute coordinates)
+    /// can produce.
+    pub fn image_of_split(&self, split: &Slab) -> Result<Option<Slab>> {
+        let rel = match &self.region_corner {
+            None => split.clone(),
+            Some(corner) => {
+                let Some(overlap) = split.intersect(&self.region())? else {
+                    return Ok(None);
+                };
+                Slab::new(
+                    overlap.corner().checked_sub(corner)?,
+                    overlap.shape().clone(),
+                )?
+            }
+        };
+        Ok(self.extraction.image_of_slab(&rel)?)
+    }
+
+    /// The absolute input keys folding into one intermediate key.
+    pub fn preimage_of_key(&self, k_prime: &Coord) -> Result<Slab> {
+        let rel = self.extraction.preimage_of_key(k_prime)?;
+        match &self.region_corner {
+            None => Ok(rel),
+            Some(corner) => Ok(Slab::new(
+                rel.corner().checked_add(corner)?,
+                rel.shape().clone(),
+            )?),
+        }
+    }
+
+    /// Raw input keys folding into one intermediate key.
+    pub fn fold_in_count(&self) -> u64 {
+        self.extraction.shape().count()
+    }
+
+    /// The paper's Query 1 at full scale: a median over 2-day ×
+    /// 18°×36° × 10-elevation units of a `{7200, 360, 720, 50}`
+    /// wind-speed dataset, extraction shape `{2, 36, 36, 10}` (§4.1).
+    pub fn query1() -> Result<Self> {
+        StructuralQuery::new(
+            "windspeed",
+            Shape::new(vec![7200, 360, 720, 50])?,
+            Shape::new(vec![2, 36, 36, 10])?,
+            Operator::Median,
+        )
+    }
+
+    /// A laptop-sized Query 1 variant with the same extraction shape:
+    /// input `{720, 36, 72, 50}`, intermediate space `{360, 1, 2, 5}`.
+    /// Used by tests and examples where generating 348 GB is not an
+    /// option.
+    pub fn query1_small() -> Result<Self> {
+        StructuralQuery::new(
+            "windspeed",
+            Shape::new(vec![720, 36, 72, 50])?,
+            Shape::new(vec![2, 36, 36, 10])?,
+            Operator::Median,
+        )
+    }
+
+    /// The paper's Query 2 at full scale: a 3σ filter over the same
+    /// size dataset, extraction shape `{2, 40, 40, 10}` "out of
+    /// convenience" (§4.1).
+    pub fn query2(mean: f64, std_dev: f64) -> Result<Self> {
+        StructuralQuery::new(
+            "samples",
+            Shape::new(vec![7200, 360, 720, 50])?,
+            Shape::new(vec![2, 40, 40, 10])?,
+            Operator::Filter {
+                threshold: mean + 3.0 * std_dev,
+            },
+        )
+    }
+
+    /// A laptop-sized Query 2 variant: input `{720, 40, 80, 50}`,
+    /// extraction `{2, 40, 40, 10}`.
+    pub fn query2_small(mean: f64, std_dev: f64) -> Result<Self> {
+        StructuralQuery::new(
+            "samples",
+            Shape::new(vec![720, 40, 80, 50])?,
+            Shape::new(vec![2, 40, 40, 10])?,
+            Operator::Filter {
+                threshold: mean + 3.0 * std_dev,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(v: &[u64]) -> Shape {
+        Shape::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn weekly_average_query_spaces() {
+        let q = StructuralQuery::new(
+            "temperature",
+            shape(&[365, 250, 200]),
+            shape(&[7, 5, 1]),
+            Operator::Mean,
+        )
+        .unwrap();
+        assert_eq!(q.intermediate_space(), shape(&[52, 50, 200]));
+        assert_eq!(q.fold_in_count(), 35);
+        assert_eq!(
+            q.map_key(&Coord::from([157, 34, 82])),
+            Some(Coord::from([22, 6, 82]))
+        );
+    }
+
+    #[test]
+    fn paper_query1_full_scale_space() {
+        let q = StructuralQuery::query1().unwrap();
+        assert_eq!(q.input_space(), &shape(&[7200, 360, 720, 50]));
+        assert_eq!(q.intermediate_space(), shape(&[3600, 10, 20, 5]));
+    }
+
+    #[test]
+    fn small_variants_are_consistent() {
+        let q1 = StructuralQuery::query1_small().unwrap();
+        assert_eq!(q1.intermediate_space(), shape(&[360, 1, 2, 5]));
+        let q2 = StructuralQuery::query2_small(0.0, 1.0).unwrap();
+        assert_eq!(q2.intermediate_space(), shape(&[360, 1, 2, 5]));
+    }
+
+    #[test]
+    fn oversized_extraction_rejected() {
+        let err = StructuralQuery::new(
+            "v",
+            shape(&[10, 10]),
+            shape(&[20, 1]),
+            Operator::Mean,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn strided_query_constructs() {
+        let q = StructuralQuery::with_stride(
+            "v",
+            shape(&[100]),
+            shape(&[2]),
+            vec![10],
+            Operator::Max,
+        )
+        .unwrap();
+        assert_eq!(q.intermediate_space(), shape(&[10]));
+        assert_eq!(q.map_key(&Coord::from([11])), Some(Coord::from([1])));
+        assert_eq!(q.map_key(&Coord::from([5])), None);
+    }
+}

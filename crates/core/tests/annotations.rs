@@ -1,0 +1,145 @@
+//! §3.2.1 approach 2 as a *tripwire*: the count annotations exist to
+//! catch a Reduce task that would otherwise start on insufficient
+//! input. These tests prove the tripwire fires.
+
+use sidr_core::operators::OperatorReducer;
+use sidr_core::source::{scinc_source_factory, StructuralMapper};
+use sidr_core::{Operator, SidrPlanner, StructuralQuery};
+use sidr_coords::{Coord, ExtractionShape, Shape};
+use sidr_mapreduce::{run_job, InMemoryOutput, JobConfig, Mapper, MrError, SplitGenerator};
+use sidr_scifile::gen::{DatasetSpec, ValueModel};
+
+fn shape(v: &[u64]) -> Shape {
+    Shape::new(v.to_vec()).unwrap()
+}
+
+fn dataset(name: &str, space: &[u64]) -> (sidr_scifile::ScincFile, DatasetSpec) {
+    let spec = DatasetSpec {
+        variable: "v".into(),
+        dim_names: (0..space.len()).map(|i| format!("d{i}")).collect(),
+        space: shape(space),
+        model: ValueModel::LinearIndex,
+        seed: 0,
+    };
+    let dir = std::env::temp_dir().join("sidr-annot-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}-{}.scinc", std::process::id()));
+    let file = spec.generate::<f64>(&path).unwrap();
+    (file, spec)
+}
+
+/// A mapper that silently drops a fraction of its records — the kind
+/// of bug (or combiner-count confusion) the annotation tally exists to
+/// catch before a reduce runs on partial input.
+struct LossyMapper {
+    inner: StructuralMapper,
+}
+
+impl Mapper for LossyMapper {
+    type InKey = Coord;
+    type InValue = f64;
+    type OutKey = Coord;
+    type OutValue = f64;
+
+    fn map(&self, key: &Coord, value: &f64, emit: &mut dyn FnMut(Coord, f64)) {
+        // Drop every 17th record.
+        if key.components().iter().sum::<u64>() % 17 == 0 {
+            return;
+        }
+        self.inner.map(key, value, emit);
+    }
+}
+
+#[test]
+fn honest_run_passes_annotation_validation() {
+    let (file, _) = dataset("honest", &[40, 8]);
+    let q = StructuralQuery::new("v", shape(&[40, 8]), shape(&[4, 4]), Operator::Mean).unwrap();
+    let splits = SplitGenerator::new(q.input_space().clone(), 8)
+        .exact_count(5)
+        .unwrap();
+    let plan = SidrPlanner::new(&q, 3).build(&splits).unwrap();
+    let mapper = StructuralMapper::new(q.extraction.clone());
+    let reducer = OperatorReducer { op: q.operator };
+    let factory = scinc_source_factory::<f64>(&file, "v");
+    let output = InMemoryOutput::new();
+    let result = run_job(
+        &splits,
+        &factory,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        &JobConfig {
+            validate_annotations: true,
+            ..Default::default()
+        },
+    );
+    assert!(result.is_ok(), "honest run must validate: {result:?}");
+}
+
+#[test]
+fn lossy_mapper_trips_the_annotation_check() {
+    let (file, _) = dataset("lossy", &[40, 8]);
+    let q = StructuralQuery::new("v", shape(&[40, 8]), shape(&[4, 4]), Operator::Mean).unwrap();
+    let splits = SplitGenerator::new(q.input_space().clone(), 8)
+        .exact_count(5)
+        .unwrap();
+    let plan = SidrPlanner::new(&q, 3).build(&splits).unwrap();
+    let mapper = LossyMapper {
+        inner: StructuralMapper::new(ExtractionShape::new(shape(&[40, 8]), shape(&[4, 4])).unwrap()),
+    };
+    let reducer = OperatorReducer { op: q.operator };
+    let factory = scinc_source_factory::<f64>(&file, "v");
+    let output = InMemoryOutput::new();
+    let result = run_job(
+        &splits,
+        &factory,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        &JobConfig {
+            validate_annotations: true,
+            ..Default::default()
+        },
+    );
+    match result {
+        Err(MrError::AnnotationMismatch { expected, actual, .. }) => {
+            assert!(actual < expected, "tally {actual} must fall short of {expected}");
+        }
+        other => panic!("expected AnnotationMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn without_validation_the_lossy_run_silently_succeeds() {
+    // The contrast case: disable the cross-check and the engine happily
+    // produces an answer based on insufficient input — exactly the
+    // hazard §3.2.1 describes.
+    let (file, _) = dataset("silent", &[40, 8]);
+    let q = StructuralQuery::new("v", shape(&[40, 8]), shape(&[4, 4]), Operator::Mean).unwrap();
+    let splits = SplitGenerator::new(q.input_space().clone(), 8)
+        .exact_count(5)
+        .unwrap();
+    let plan = SidrPlanner::new(&q, 3).build(&splits).unwrap();
+    let mapper = LossyMapper {
+        inner: StructuralMapper::new(ExtractionShape::new(shape(&[40, 8]), shape(&[4, 4])).unwrap()),
+    };
+    let reducer = OperatorReducer { op: q.operator };
+    let factory = scinc_source_factory::<f64>(&file, "v");
+    let output = InMemoryOutput::new();
+    let result = run_job(
+        &splits,
+        &factory,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        &JobConfig::default(),
+    );
+    assert!(result.is_ok());
+    assert!(!output.is_empty());
+}

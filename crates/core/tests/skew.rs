@@ -1,0 +1,122 @@
+//! §4.3's intermediate-key-skew pathology reproduced on the *real*
+//! threaded engine (the fig13 binary reproduces it at paper scale on
+//! the simulator).
+
+use sidr_core::operators::OperatorReducer;
+use sidr_core::source::{scinc_source_factory, StructuralMapper};
+use sidr_core::{Operator, SidrPlanner, StructuralQuery};
+use sidr_coords::{Coord, Shape};
+use sidr_mapreduce::{
+    run_job, CoordHashPartitioner, DefaultPlan, InMemoryOutput, JobConfig, SplitGenerator,
+};
+use sidr_scifile::gen::{DatasetSpec, ValueModel};
+
+const REDUCERS: usize = 22;
+
+fn shape(v: &[u64]) -> Shape {
+    Shape::new(v.to_vec()).unwrap()
+}
+
+fn per_reducer_records(output: &InMemoryOutput<Coord, f64>) -> Vec<usize> {
+    let mut counts = vec![0usize; REDUCERS];
+    for c in output.commits() {
+        counts[c.reducer] += c.records.len();
+    }
+    counts
+}
+
+#[test]
+fn corner_keys_starve_reducers_under_hash_but_not_under_partition_plus() {
+    // Even-sided extraction {2, 4} → all corner coordinates even.
+    let space = shape(&[80, 44]);
+    let spec = DatasetSpec {
+        variable: "v".into(),
+        dim_names: vec!["d0".into(), "d1".into()],
+        space: space.clone(),
+        model: ValueModel::LinearIndex,
+        seed: 0,
+    };
+    let dir = std::env::temp_dir().join("sidr-skew-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("skew-{}.scinc", std::process::id()));
+    let file = spec.generate::<f64>(&path).unwrap();
+
+    let q = StructuralQuery::new("v", space.clone(), shape(&[2, 4]), Operator::Mean).unwrap();
+    let splits = SplitGenerator::new(space, 8).exact_count(10).unwrap();
+    let reducer = OperatorReducer { op: q.operator };
+    let factory = scinc_source_factory::<f64>(&file, "v");
+
+    // Stock: corner keys + hash-modulo.
+    let stock_output = InMemoryOutput::new();
+    let stock_mapper = StructuralMapper::new(q.extraction.clone()).emit_corner_keys();
+    let stock_plan = DefaultPlan::<Coord, _>::new(CoordHashPartitioner, REDUCERS);
+    run_job(
+        &splits,
+        &factory,
+        &stock_mapper,
+        None,
+        &reducer,
+        &stock_plan,
+        &stock_output,
+        &JobConfig::default(),
+    )
+    .unwrap();
+    let stock = per_reducer_records(&stock_output);
+    let starved = stock.iter().filter(|&&c| c == 0).count();
+    assert!(
+        starved >= REDUCERS / 2,
+        "hash over all-even corner keys should starve >= half the reducers: {stock:?}"
+    );
+    let busiest = *stock.iter().max().unwrap() as f64;
+    let mean = stock.iter().sum::<usize>() as f64 / REDUCERS as f64;
+    assert!(
+        busiest > 1.8 * mean,
+        "overloaded reducers should see ~2x the mean: busiest {busiest}, mean {mean}"
+    );
+
+    // SIDR: partition+ over normalized keys — balanced.
+    let sidr_output = InMemoryOutput::new();
+    let sidr_mapper = StructuralMapper::new(q.extraction.clone());
+    let sidr_plan = SidrPlanner::new(&q, REDUCERS).build(&splits).unwrap();
+    run_job(
+        &splits,
+        &factory,
+        &sidr_mapper,
+        None,
+        &reducer,
+        &sidr_plan,
+        &sidr_output,
+        &JobConfig::default(),
+    )
+    .unwrap();
+    let sidr = per_reducer_records(&sidr_output);
+    assert_eq!(sidr.iter().filter(|&&c| c == 0).count(), 0, "{sidr:?}");
+    let max = *sidr.iter().max().unwrap();
+    let min = *sidr.iter().min().unwrap();
+    assert!(
+        (max - min) as u64 <= sidr_plan.partition().partition().skew_shape().count(),
+        "partition+ skew beyond one dealing unit: {sidr:?}"
+    );
+
+    // Both produce the same *number* of output keys (the stock run's
+    // keys are corner-scaled but 1:1 with SIDR's).
+    assert_eq!(stock.iter().sum::<usize>(), sidr.iter().sum::<usize>());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn strided_corner_keys_use_stride_spacing() {
+    // With a stride, corner coordinates step by the stride, not the
+    // tile — the mapper must honor that.
+    let space = shape(&[40]);
+    let q = StructuralQuery::with_stride("v", space, shape(&[2]), vec![10], Operator::Mean)
+        .unwrap();
+    let mapper = StructuralMapper::new(q.extraction.clone()).emit_corner_keys();
+    let mut out = Vec::new();
+    use sidr_mapreduce::Mapper as _;
+    for i in 0..40u64 {
+        mapper.map(&Coord::from([i]), &0.0, &mut |k, v| out.push((k, v)));
+    }
+    let keys: Vec<u64> = out.iter().map(|(k, _)| k[0]).collect();
+    assert_eq!(keys, vec![0, 0, 10, 10, 20, 20, 30, 30]);
+}

@@ -1,0 +1,25 @@
+//! An HDFS-like distributed-filesystem model.
+//!
+//! The paper's cluster stores datasets in HDFS with a 128 MB block
+//! size and 3× replication (§4). What MapReduce actually consumes from
+//! HDFS is *placement metadata*: which datanodes hold replicas of the
+//! blocks backing each input split, so the scheduler can place Map
+//! tasks near their data ("data locality information is often used to
+//! partition and assign the input", §2.3). This crate models exactly
+//! that metadata path:
+//!
+//! * [`DfsConfig`] — cluster size, block size, replication factor,
+//! * [`NameNode`] — file → block map and replica placement (HDFS's
+//!   default policy shape: pseudo-random, replicas on distinct nodes),
+//! * locality queries — which nodes host a byte range, what fraction
+//!   of a range is local to a node.
+//!
+//! Block *data* is not stored here: datasets live in SciNC files on
+//! the local filesystem (see DESIGN.md's substitution table); the DFS
+//! model supplies the placement and locality structure that drives
+//! split generation and scheduling, which is all the paper's results
+//! depend on.
+
+pub mod namenode;
+
+pub use namenode::{BlockInfo, DfsConfig, DfsError, FileId, LocalityLevel, NameNode, NodeId};

@@ -1,0 +1,557 @@
+//! NameNode: file → block maps, replica placement and locality
+//! queries.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A datanode in the modeled cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A registered file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FileId(pub u64);
+
+/// One block of a file and the replicas that host it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockInfo {
+    /// Index of the block within its file.
+    pub index: u64,
+    /// Byte offset of the block within the file.
+    pub offset: u64,
+    /// Block length (the final block may be short).
+    pub len: u64,
+    /// Datanodes hosting a replica, primary first.
+    pub replicas: Vec<NodeId>,
+}
+
+/// Cluster-level configuration, defaulting to the paper's setup:
+/// 24 datanodes on one switch (a single rack), 128 MB blocks, 3×
+/// replication (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DfsConfig {
+    pub num_datanodes: usize,
+    pub block_size: u64,
+    pub replication: usize,
+    /// Racks the datanodes are spread over (contiguous groups). With
+    /// more than one rack, placement follows HDFS's default policy:
+    /// first replica anywhere, second on a *different* rack, third on
+    /// the second's rack but a different node. Hadoop's locality tree
+    /// (§3.3) then has three levels: node-local, rack-local, off-rack.
+    pub racks: usize,
+    /// Seed for the deterministic placement policy.
+    pub placement_seed: u64,
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig {
+            num_datanodes: 24,
+            block_size: 128 << 20,
+            replication: 3,
+            racks: 1,
+            placement_seed: 0x51D8,
+        }
+    }
+}
+
+/// How close a node is to a block replica — the levels of the
+/// scheduler's locality tree (§3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LocalityLevel {
+    NodeLocal,
+    RackLocal,
+    OffRack,
+}
+
+/// Errors from the DFS model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// Zero datanodes, zero block size or zero replication.
+    BadConfig(String),
+    /// Unknown file.
+    NoSuchFile(FileId),
+    /// A file with this name already exists.
+    DuplicatePath(String),
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::BadConfig(msg) => write!(f, "bad DFS config: {msg}"),
+            DfsError::NoSuchFile(id) => write!(f, "no such file: {:?}", id),
+            DfsError::DuplicatePath(p) => write!(f, "path already registered: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+struct FileEntry {
+    path: String,
+    len: u64,
+    blocks: Vec<BlockInfo>,
+}
+
+/// The placement authority of the modeled cluster.
+///
+/// Thread-safe: split generation and schedulers query it concurrently.
+pub struct NameNode {
+    config: DfsConfig,
+    inner: RwLock<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    files: Vec<FileEntry>,
+    by_path: HashMap<String, FileId>,
+}
+
+impl NameNode {
+    /// Creates a namenode; validates the configuration.
+    pub fn new(config: DfsConfig) -> Result<Self, DfsError> {
+        if config.num_datanodes == 0 {
+            return Err(DfsError::BadConfig("num_datanodes must be > 0".into()));
+        }
+        if config.block_size == 0 {
+            return Err(DfsError::BadConfig("block_size must be > 0".into()));
+        }
+        if config.replication == 0 {
+            return Err(DfsError::BadConfig("replication must be > 0".into()));
+        }
+        if config.racks == 0 || config.racks > config.num_datanodes {
+            return Err(DfsError::BadConfig(format!(
+                "racks must be in 1..={}",
+                config.num_datanodes
+            )));
+        }
+        Ok(NameNode {
+            config,
+            inner: RwLock::new(Inner::default()),
+        })
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &DfsConfig {
+        &self.config
+    }
+
+    /// All datanodes.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        (0..self.config.num_datanodes).map(NodeId).collect()
+    }
+
+    /// Registers a file of `len` bytes, placing its blocks. Placement
+    /// is deterministic in `(placement_seed, path, block index)` —
+    /// HDFS-shaped: replicas of one block land on distinct nodes,
+    /// blocks spread pseudo-randomly across the cluster.
+    pub fn register_file(&self, path: &str, len: u64) -> Result<FileId, DfsError> {
+        let mut inner = self.inner.write();
+        if inner.by_path.contains_key(path) {
+            return Err(DfsError::DuplicatePath(path.to_string()));
+        }
+        let id = FileId(inner.files.len() as u64);
+        let blocks = self.place_blocks(path, len);
+        inner.files.push(FileEntry {
+            path: path.to_string(),
+            len,
+            blocks,
+        });
+        inner.by_path.insert(path.to_string(), id);
+        Ok(id)
+    }
+
+    /// The rack a node sits in (contiguous node groups).
+    pub fn rack_of(&self, node: NodeId) -> usize {
+        node.0 * self.config.racks / self.config.num_datanodes
+    }
+
+    /// The locality level of `node` with respect to a block.
+    pub fn locality_level(&self, node: NodeId, block: &BlockInfo) -> LocalityLevel {
+        if block.replicas.contains(&node) {
+            return LocalityLevel::NodeLocal;
+        }
+        let rack = self.rack_of(node);
+        if block.replicas.iter().any(|&r| self.rack_of(r) == rack) {
+            LocalityLevel::RackLocal
+        } else {
+            LocalityLevel::OffRack
+        }
+    }
+
+    fn place_blocks(&self, path: &str, len: u64) -> Vec<BlockInfo> {
+        let bs = self.config.block_size;
+        let n_nodes = self.config.num_datanodes;
+        let repl = self.config.replication.min(n_nodes);
+        let path_hash = path.bytes().fold(self.config.placement_seed, |h, b| {
+            splitmix64(h ^ u64::from(b))
+        });
+        let n_blocks = len.div_ceil(bs).max(1);
+        (0..n_blocks)
+            .map(|index| {
+                let offset = index * bs;
+                let blen = bs.min(len.saturating_sub(offset));
+                let replicas = self.place_replicas(splitmix64(path_hash ^ index), repl);
+                BlockInfo {
+                    index,
+                    offset,
+                    len: blen,
+                    replicas,
+                }
+            })
+            .collect()
+    }
+
+    /// HDFS's default policy shape: first replica anywhere; when the
+    /// cluster has multiple racks, the second replica goes to a
+    /// *different* rack and the third to the second's rack on another
+    /// node; further replicas land anywhere distinct.
+    fn place_replicas(&self, mut h: u64, repl: usize) -> Vec<NodeId> {
+        let n_nodes = self.config.num_datanodes;
+        let multi_rack = self.config.racks > 1;
+        let mut replicas: Vec<NodeId> = Vec::with_capacity(repl);
+        let mut draw = |accept: &dyn Fn(NodeId) -> bool, replicas: &Vec<NodeId>| -> NodeId {
+            loop {
+                let node = NodeId((h % n_nodes as u64) as usize);
+                h = splitmix64(h);
+                if !replicas.contains(&node) && accept(node) {
+                    return node;
+                }
+            }
+        };
+        for i in 0..repl {
+            let node = if !multi_rack || i == 0 || i >= 3 {
+                draw(&|_| true, &replicas)
+            } else if i == 1 {
+                let first_rack = self.rack_of(replicas[0]);
+                draw(&|n| self.rack_of(n) != first_rack, &replicas)
+            } else {
+                // i == 2: same rack as the second replica when that
+                // rack has room, else anywhere.
+                let second_rack = self.rack_of(replicas[1]);
+                let nodes_in_rack = (0..n_nodes)
+                    .filter(|&n| self.rack_of(NodeId(n)) == second_rack)
+                    .count();
+                if nodes_in_rack >= 2 {
+                    draw(&|n| self.rack_of(n) == second_rack, &replicas)
+                } else {
+                    draw(&|_| true, &replicas)
+                }
+            };
+            replicas.push(node);
+        }
+        replicas
+    }
+
+    /// Looks up a file by path.
+    pub fn lookup(&self, path: &str) -> Option<FileId> {
+        self.inner.read().by_path.get(path).copied()
+    }
+
+    /// The registered length of a file.
+    pub fn file_len(&self, id: FileId) -> Result<u64, DfsError> {
+        let inner = self.inner.read();
+        inner
+            .files
+            .get(id.0 as usize)
+            .map(|f| f.len)
+            .ok_or(DfsError::NoSuchFile(id))
+    }
+
+    /// The path a file was registered under.
+    pub fn file_path(&self, id: FileId) -> Result<String, DfsError> {
+        let inner = self.inner.read();
+        inner
+            .files
+            .get(id.0 as usize)
+            .map(|f| f.path.clone())
+            .ok_or(DfsError::NoSuchFile(id))
+    }
+
+    /// All blocks of a file.
+    pub fn blocks(&self, id: FileId) -> Result<Vec<BlockInfo>, DfsError> {
+        let inner = self.inner.read();
+        inner
+            .files
+            .get(id.0 as usize)
+            .map(|f| f.blocks.clone())
+            .ok_or(DfsError::NoSuchFile(id))
+    }
+
+    /// Blocks overlapping the byte range `[start, end)`.
+    pub fn blocks_in_range(
+        &self,
+        id: FileId,
+        start: u64,
+        end: u64,
+    ) -> Result<Vec<BlockInfo>, DfsError> {
+        Ok(self
+            .blocks(id)?
+            .into_iter()
+            .filter(|b| b.offset < end && b.offset + b.len > start)
+            .collect())
+    }
+
+    /// Bytes of `[start, end)` hosted on `node` (over any replica).
+    pub fn local_bytes(
+        &self,
+        id: FileId,
+        start: u64,
+        end: u64,
+        node: NodeId,
+    ) -> Result<u64, DfsError> {
+        Ok(self
+            .blocks_in_range(id, start, end)?
+            .iter()
+            .filter(|b| b.replicas.contains(&node))
+            .map(|b| b.offset.max(start).abs_diff((b.offset + b.len).min(end)))
+            .sum())
+    }
+
+    /// Nodes hosting any part of `[start, end)`, ranked by local byte
+    /// count (descending). The scheduler's locality tree is derived
+    /// from this ranking.
+    pub fn nodes_for_range(
+        &self,
+        id: FileId,
+        start: u64,
+        end: u64,
+    ) -> Result<Vec<(NodeId, u64)>, DfsError> {
+        let mut per_node: HashMap<NodeId, u64> = HashMap::new();
+        for b in self.blocks_in_range(id, start, end)? {
+            let overlap = b.offset.max(start).abs_diff((b.offset + b.len).min(end));
+            for r in &b.replicas {
+                *per_node.entry(*r).or_default() += overlap;
+            }
+        }
+        let mut ranked: Vec<(NodeId, u64)> = per_node.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        Ok(ranked)
+    }
+}
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nn() -> NameNode {
+        NameNode::new(DfsConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = DfsConfig::default();
+        assert_eq!(c.num_datanodes, 24);
+        assert_eq!(c.block_size, 128 << 20);
+        assert_eq!(c.replication, 3);
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        for cfg in [
+            DfsConfig { num_datanodes: 0, ..Default::default() },
+            DfsConfig { block_size: 0, ..Default::default() },
+            DfsConfig { replication: 0, ..Default::default() },
+        ] {
+            assert!(NameNode::new(cfg).is_err());
+        }
+    }
+
+    #[test]
+    fn block_layout_covers_file() {
+        let nn = nn();
+        let len = 348u64 << 30; // the paper's 348 GB dataset
+        let id = nn.register_file("/data/windspeed.scinc", len).unwrap();
+        let blocks = nn.blocks(id).unwrap();
+        assert_eq!(blocks.len() as u64, len.div_ceil(128 << 20));
+        let mut expected_offset = 0;
+        for b in &blocks {
+            assert_eq!(b.offset, expected_offset);
+            expected_offset += b.len;
+        }
+        assert_eq!(expected_offset, len);
+    }
+
+    #[test]
+    fn replicas_distinct_and_correct_count() {
+        let nn = nn();
+        let id = nn.register_file("/f", 10 * (128 << 20)).unwrap();
+        for b in nn.blocks(id).unwrap() {
+            assert_eq!(b.replicas.len(), 3);
+            let mut uniq = b.replicas.clone();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3, "replicas not distinct: {:?}", b.replicas);
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = nn();
+        let b = nn();
+        let ia = a.register_file("/f", 5 * (128 << 20)).unwrap();
+        let ib = b.register_file("/f", 5 * (128 << 20)).unwrap();
+        assert_eq!(a.blocks(ia).unwrap(), b.blocks(ib).unwrap());
+    }
+
+    #[test]
+    fn placement_spreads_across_cluster() {
+        let nn = nn();
+        let id = nn.register_file("/big", 200 * (128u64 << 20)).unwrap();
+        let mut used: std::collections::HashSet<NodeId> = Default::default();
+        for b in nn.blocks(id).unwrap() {
+            used.extend(b.replicas.iter().copied());
+        }
+        // 200 blocks x 3 replicas over 24 nodes: every node should
+        // host something.
+        assert_eq!(used.len(), 24);
+    }
+
+    #[test]
+    fn range_queries_respect_block_boundaries() {
+        let nn = nn();
+        let bs = 128u64 << 20;
+        let id = nn.register_file("/f", 4 * bs).unwrap();
+        let in_second = nn.blocks_in_range(id, bs, bs + 1).unwrap();
+        assert_eq!(in_second.len(), 1);
+        assert_eq!(in_second[0].index, 1);
+        let spanning = nn.blocks_in_range(id, bs - 1, bs + 1).unwrap();
+        assert_eq!(spanning.len(), 2);
+    }
+
+    #[test]
+    fn local_bytes_counts_overlap_only() {
+        let nn = nn();
+        let bs = 128u64 << 20;
+        let id = nn.register_file("/f", 2 * bs).unwrap();
+        let blocks = nn.blocks(id).unwrap();
+        let node = blocks[0].replicas[0];
+        // Range = last half of block 0.
+        let local = nn.local_bytes(id, bs / 2, bs, node).unwrap();
+        assert_eq!(local, bs / 2);
+    }
+
+    #[test]
+    fn nodes_for_range_ranked_by_locality() {
+        let nn = nn();
+        let bs = 128u64 << 20;
+        let id = nn.register_file("/f", 8 * bs).unwrap();
+        let ranked = nn.nodes_for_range(id, 0, 8 * bs).unwrap();
+        assert!(!ranked.is_empty());
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        let total: u64 = ranked.iter().map(|(_, b)| b).sum();
+        assert_eq!(total, 8 * bs * 3); // 3 replicas per byte
+    }
+
+    #[test]
+    fn rack_aware_placement_spans_two_racks() {
+        let nn = NameNode::new(DfsConfig {
+            racks: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        let id = nn.register_file("/racked", 50 * (128u64 << 20)).unwrap();
+        for b in nn.blocks(id).unwrap() {
+            let racks: std::collections::HashSet<usize> =
+                b.replicas.iter().map(|&r| nn.rack_of(r)).collect();
+            assert_eq!(racks.len(), 2, "HDFS default: exactly two racks: {:?}", b.replicas);
+            // Second and third replica share a rack distinct from the
+            // first's.
+            assert_ne!(nn.rack_of(b.replicas[0]), nn.rack_of(b.replicas[1]));
+            assert_eq!(nn.rack_of(b.replicas[1]), nn.rack_of(b.replicas[2]));
+        }
+    }
+
+    #[test]
+    fn locality_levels_are_ordered() {
+        let nn = NameNode::new(DfsConfig {
+            racks: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        let id = nn.register_file("/levels", 128 << 20).unwrap();
+        let block = &nn.blocks(id).unwrap()[0];
+        // The replica itself: node-local.
+        assert_eq!(
+            nn.locality_level(block.replicas[0], block),
+            LocalityLevel::NodeLocal
+        );
+        // Some node shares a rack with a replica; some doesn't.
+        let mut seen = std::collections::HashSet::new();
+        for n in nn.nodes() {
+            seen.insert(nn.locality_level(n, block));
+        }
+        assert!(seen.contains(&LocalityLevel::RackLocal));
+        assert!(seen.contains(&LocalityLevel::OffRack));
+        assert!(LocalityLevel::NodeLocal < LocalityLevel::RackLocal);
+        assert!(LocalityLevel::RackLocal < LocalityLevel::OffRack);
+    }
+
+    #[test]
+    fn single_rack_cluster_has_no_off_rack() {
+        let nn = nn(); // default: one rack (the paper's single switch)
+        let id = nn.register_file("/flat", 128 << 20).unwrap();
+        let block = &nn.blocks(id).unwrap()[0];
+        for n in nn.nodes() {
+            assert_ne!(nn.locality_level(n, block), LocalityLevel::OffRack);
+        }
+    }
+
+    #[test]
+    fn bad_rack_count_rejected() {
+        for racks in [0usize, 25] {
+            assert!(NameNode::new(DfsConfig {
+                racks,
+                ..Default::default()
+            })
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn duplicate_path_rejected() {
+        let nn = nn();
+        nn.register_file("/f", 1).unwrap();
+        assert!(matches!(
+            nn.register_file("/f", 1),
+            Err(DfsError::DuplicatePath(_))
+        ));
+    }
+
+    #[test]
+    fn lookup_and_len() {
+        let nn = nn();
+        let id = nn.register_file("/f", 123).unwrap();
+        assert_eq!(nn.lookup("/f"), Some(id));
+        assert_eq!(nn.lookup("/g"), None);
+        assert_eq!(nn.file_len(id).unwrap(), 123);
+        assert_eq!(nn.file_path(id).unwrap(), "/f");
+    }
+
+    #[test]
+    fn empty_file_gets_one_block() {
+        let nn = nn();
+        let id = nn.register_file("/empty", 0).unwrap();
+        let blocks = nn.blocks(id).unwrap();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].len, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the DFS placement model: block layouts tile
+//! files exactly, replicas are distinct, range queries are consistent
+//! with layouts, and placement is a pure function of its inputs.
+
+use proptest::prelude::*;
+
+use sidr_dfs::{DfsConfig, NameNode, NodeId};
+
+fn configs() -> impl Strategy<Value = DfsConfig> {
+    (1usize..40, 1u64..=1024, 1usize..5, 0u64..1000, 1usize..6).prop_map(
+        |(nodes, block_kib, replication, seed, racks)| DfsConfig {
+            num_datanodes: nodes,
+            block_size: block_kib << 10,
+            replication,
+            racks: racks.min(nodes),
+            placement_seed: seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocks_tile_the_file_exactly(cfg in configs(), len in 0u64..(64 << 20)) {
+        let nn = NameNode::new(cfg).unwrap();
+        let id = nn.register_file("/f", len).unwrap();
+        let blocks = nn.blocks(id).unwrap();
+        prop_assert!(!blocks.is_empty());
+        let mut offset = 0;
+        for (i, b) in blocks.iter().enumerate() {
+            prop_assert_eq!(b.index, i as u64);
+            prop_assert_eq!(b.offset, offset);
+            prop_assert!(b.len <= cfg.block_size);
+            offset += b.len;
+        }
+        prop_assert_eq!(offset, len);
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_valid(cfg in configs(), len in 1u64..(16 << 20)) {
+        let nn = NameNode::new(cfg).unwrap();
+        let id = nn.register_file("/f", len).unwrap();
+        for b in nn.blocks(id).unwrap() {
+            prop_assert_eq!(b.replicas.len(), cfg.replication.min(cfg.num_datanodes));
+            let mut uniq: Vec<NodeId> = b.replicas.clone();
+            uniq.sort();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), b.replicas.len());
+            for r in &b.replicas {
+                prop_assert!(r.0 < cfg.num_datanodes);
+            }
+        }
+    }
+
+    #[test]
+    fn range_locality_sums_to_replication(cfg in configs(), len in 1u64..(16 << 20)) {
+        let nn = NameNode::new(cfg).unwrap();
+        let id = nn.register_file("/f", len).unwrap();
+        let ranked = nn.nodes_for_range(id, 0, len).unwrap();
+        let total: u64 = ranked.iter().map(|(_, b)| b).sum();
+        prop_assert_eq!(total, len * cfg.replication.min(cfg.num_datanodes) as u64);
+        // Per-node local bytes agree with the ranking.
+        for (node, bytes) in &ranked {
+            prop_assert_eq!(nn.local_bytes(id, 0, len, *node).unwrap(), *bytes);
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_in_inputs(cfg in configs(), len in 1u64..(8 << 20)) {
+        let a = NameNode::new(cfg).unwrap();
+        let b = NameNode::new(cfg).unwrap();
+        let ia = a.register_file("/same", len).unwrap();
+        let ib = b.register_file("/same", len).unwrap();
+        prop_assert_eq!(a.blocks(ia).unwrap(), b.blocks(ib).unwrap());
+        // A different path or seed moves blocks (almost surely, for
+        // non-degenerate clusters).
+        if cfg.num_datanodes > 4 {
+            let ic = a.register_file("/other", len).unwrap();
+            let same = a.blocks(ia).unwrap() == a.blocks(ic).unwrap();
+            // Not asserting inequality (collisions are possible), just
+            // exercising the path-dependence code path.
+            let _ = same;
+        }
+    }
+
+    #[test]
+    fn subrange_locality_never_exceeds_full_range(cfg in configs(), len in 2u64..(8 << 20)) {
+        let nn = NameNode::new(cfg).unwrap();
+        let id = nn.register_file("/f", len).unwrap();
+        let mid = len / 2;
+        for node in nn.nodes().into_iter().take(8) {
+            let part = nn.local_bytes(id, 0, mid, node).unwrap();
+            let full = nn.local_bytes(id, 0, len, node).unwrap();
+            prop_assert!(part <= full);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 12: Variance in SIDR task completion times across 10 runs,
+//! Query 1, 22 vs 88 reducers.
+//!
+//! Paper observations:
+//! * "Data dependencies are small(er) barriers, so Reduce tasks
+//!   display at least as much variance as the set of Map tasks they
+//!   depend on."
+//! * "Increasing the number of Reduce tasks diminishes that set (per
+//!   Reduce task) and the probability of a Reduce task depending on
+//!   several abnormally long-running Map tasks" — 88 reducers show
+//!   less completion-time variance than 22.
+
+use sidr_core::{FrameworkMode, StructuralQuery};
+use sidr_experiments::{compare, mean_std, write_csv, Curve};
+use sidr_simcluster::{build_sim_job, simulate, CostModel, SimClusterConfig, SimWorkload};
+
+const RUNS: u64 = 10;
+const FRACTIONS: &[f64] = &[0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+
+/// Per-fraction mean and std of completion times over RUNS seeds.
+fn variance_profile(query: &StructuralQuery, reducers: usize, maps: bool) -> Vec<(f64, f64, f64)> {
+    let cluster = SimClusterConfig::default();
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); FRACTIONS.len()];
+    for run in 0..RUNS {
+        let model = CostModel {
+            seed: 0xF16_12 + run,
+            jitter_frac: 0.10,
+            // A few "abnormally long-running" tasks per run (§4.2).
+            straggler_prob: 0.01,
+            straggler_factor: 2.5,
+            ..Default::default()
+        };
+        let w = SimWorkload::new(query.clone(), FrameworkMode::Sidr, reducers);
+        let trace = simulate(&build_sim_job(&w).expect("plans"), &cluster, &model);
+        let curve = if maps {
+            Curve::maps("m", &trace)
+        } else {
+            Curve::reduces("r", &trace)
+        };
+        for (i, &f) in FRACTIONS.iter().enumerate() {
+            samples[i].push(curve.time_at_fraction(f));
+        }
+    }
+    FRACTIONS
+        .iter()
+        .zip(&samples)
+        .map(|(&f, xs)| {
+            let (m, s) = mean_std(xs);
+            (f, m, s)
+        })
+        .collect()
+}
+
+fn main() {
+    let query = StructuralQuery::query1().expect("paper query is valid");
+
+    let maps22 = variance_profile(&query, 22, true);
+    let red22 = variance_profile(&query, 22, false);
+    let red88 = variance_profile(&query, 88, false);
+
+    println!("== Figure 12: completion time mean +/- std over {RUNS} runs ==");
+    println!(
+        "{:>9} {:>22} {:>22} {:>22}",
+        "fraction", "maps (22R job)", "22 reducers", "88 reducers"
+    );
+    let mut rows = Vec::new();
+    for i in 0..FRACTIONS.len() {
+        println!(
+            "{:>8.0}% {:>14.0} ± {:>4.0}s {:>14.0} ± {:>4.0}s {:>14.0} ± {:>4.0}s",
+            FRACTIONS[i] * 100.0,
+            maps22[i].1,
+            maps22[i].2,
+            red22[i].1,
+            red22[i].2,
+            red88[i].1,
+            red88[i].2
+        );
+        rows.push(format!(
+            "{},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1}",
+            FRACTIONS[i], maps22[i].1, maps22[i].2, red22[i].1, red22[i].2, red88[i].1, red88[i].2
+        ));
+    }
+    let path = write_csv(
+        "fig12",
+        "fraction,map_mean_s,map_std_s,r22_mean_s,r22_std_s,r88_mean_s,r88_std_s",
+        &rows,
+    );
+    println!("[csv] {}", path.display());
+
+    // Aggregate variance at mid-curve fractions (where Fig 12's error
+    // bars are widest).
+    let mid = |prof: &[(f64, f64, f64)]| -> f64 {
+        prof.iter()
+            .filter(|(f, _, _)| (0.25..=0.9).contains(f))
+            .map(|(_, _, s)| *s)
+            .sum::<f64>()
+    };
+    println!("\nShape checks vs paper:");
+    compare(
+        "reduce variance >= the map variance they depend on",
+        "at least as much variance",
+        &format!("{:.0} vs {:.0} (summed mid-curve std)", mid(&red22), mid(&maps22)),
+        mid(&red22) >= 0.8 * mid(&maps22),
+    );
+    compare(
+        "more reducers -> less completion variance",
+        "88R tighter than 22R",
+        &format!("{:.0} vs {:.0} (summed mid-curve std)", mid(&red88), mid(&red22)),
+        mid(&red88) <= mid(&red22),
+    );
+}

@@ -1,0 +1,135 @@
+//! Table 2: Individual Reduce write time and size scaling — real file
+//! I/O through the SciNC substrate.
+//!
+//! The paper fixes the useful data per Reduce task and scales the
+//! *total* output (doubling data and task count at each step), then
+//! measures one representative Reduce task's write:
+//!
+//! * **Hadoop (sentinel)**: scattered keys force each task to write a
+//!   file spanning the entire output space with sentinel values —
+//!   time and file size double at every step (6 s/494 MB →
+//!   24.2 s/1 976 MB in the paper).
+//! * **SIDR (dense)**: partition+ keyblocks are contiguous, so the
+//!   task writes only its own slab — constant 0.3 s/24.8 MB.
+//!
+//! We run at 1/10 the paper's bytes (laptop disk vs their cluster
+//! node) — the scaling *shape* (doubling vs constant) is the claim.
+
+use std::time::Instant;
+
+use sidr_coords::{Coord, Shape, Slab};
+use sidr_experiments::{compare, mean_std, write_csv};
+use sidr_scifile::sparse::{write_dense_output, write_sentinel_output};
+
+const RUNS: usize = 5;
+/// Useful doubles per Reduce task: ~2.48 MB at 1/10 paper scale.
+const TASK_ELEMS: u64 = 325_000;
+
+fn temp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sidr-table2-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir is creatable");
+    dir
+}
+
+/// Times one closure over RUNS runs; returns (mean s, std s).
+fn timed(mut f: impl FnMut(usize)) -> (f64, f64) {
+    let mut times = Vec::with_capacity(RUNS);
+    for run in 0..RUNS {
+        let t0 = Instant::now();
+        f(run);
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    mean_std(&times)
+}
+
+fn main() {
+    let dir = temp_dir();
+    println!("== Table 2: individual Reduce write time and size scaling ==");
+    println!("(1/10 of the paper's bytes; shape of scaling is the claim)\n");
+    println!(
+        "{:>14} {:>22} {:>14}",
+        "total reduces", "avg time (std)", "output size"
+    );
+
+    let mut rows = Vec::new();
+
+    // Hadoop sentinel strategy: one representative task writes the
+    // whole output space, sentinel-filled, with its own points set.
+    let mut sentinel_results = Vec::new();
+    for (step, total_reduces) in [20u64, 40, 80].into_iter().enumerate() {
+        let total_elems = TASK_ELEMS * total_reduces;
+        // Output space: a 2-D grid holding all tasks' data.
+        let cols = 1_000u64;
+        let space = Shape::new(vec![total_elems / cols, cols]).expect("valid");
+        // This task's points: a contiguous stripe (values don't matter
+        // for write cost; coordinates do).
+        let points: Vec<(Coord, f64)> = (0..TASK_ELEMS / cols)
+            .flat_map(|r| (0..cols).map(move |c| (Coord::from([r, c]), 1.0f64)))
+            .collect();
+        let (mean_s, std_s) = timed(|run| {
+            let path = dir.join(format!("sentinel-{total_reduces}-{run}.scinc"));
+            write_sentinel_output(&path, "out", &space, f64::NAN, &points)
+                .expect("sentinel write succeeds");
+        });
+        let size_mb =
+            std::fs::metadata(dir.join(format!("sentinel-{total_reduces}-0.scinc")))
+                .expect("file written")
+                .len() as f64
+                / 1e6;
+        println!("{total_reduces:>14} {:>15.2} ({:.2}) {:>11.1} MB   [Hadoop sentinel]", mean_s, std_s, size_mb);
+        rows.push(format!("hadoop_sentinel,{total_reduces},{mean_s:.3},{std_s:.3},{size_mb:.1}"));
+        sentinel_results.push((mean_s, size_mb));
+        let _ = step;
+    }
+
+    // SIDR dense strategy: the task writes just its contiguous slab,
+    // independent of the total.
+    let slab = Slab::new(
+        Coord::from([0, 0]),
+        Shape::new(vec![TASK_ELEMS / 1_000, 1_000]).expect("valid"),
+    )
+    .expect("valid");
+    let data = vec![1.0f64; TASK_ELEMS as usize];
+    let (dense_mean, dense_std) = timed(|run| {
+        let path = dir.join(format!("dense-{run}.scinc"));
+        write_dense_output(&path, "out", &slab, &data).expect("dense write succeeds");
+    });
+    let dense_mb = std::fs::metadata(dir.join("dense-0.scinc"))
+        .expect("file written")
+        .len() as f64
+        / 1e6;
+    println!("{:>14} {dense_mean:>15.2} ({dense_std:.2}) {dense_mb:>11.1} MB   [SIDR dense]", "*");
+    rows.push(format!("sidr_dense,*,{dense_mean:.3},{dense_std:.3},{dense_mb:.1}"));
+
+    let path = write_csv("table2", "strategy,total_reduces,mean_s,std_s,size_mb", &rows);
+    println!("[csv] {}", path.display());
+
+    println!("\nShape checks vs paper:");
+    compare(
+        "sentinel size doubles with the reducer count",
+        "494 -> 988 -> 1976 MB",
+        &format!(
+            "{:.0} -> {:.0} -> {:.0} MB",
+            sentinel_results[0].1, sentinel_results[1].1, sentinel_results[2].1
+        ),
+        sentinel_results[1].1 > 1.8 * sentinel_results[0].1
+            && sentinel_results[2].1 > 1.8 * sentinel_results[1].1,
+    );
+    compare(
+        "sentinel time grows with the total output",
+        "6 -> 11.4 -> 24.2 s",
+        &format!(
+            "{:.2} -> {:.2} -> {:.2} s",
+            sentinel_results[0].0, sentinel_results[1].0, sentinel_results[2].0
+        ),
+        sentinel_results[2].0 > 2.0 * sentinel_results[0].0,
+    );
+    compare(
+        "dense write is far smaller and faster than any sentinel step",
+        "0.3 s / 24.8 MB",
+        &format!("{dense_mean:.2} s / {dense_mb:.1} MB"),
+        dense_mb < 0.2 * sentinel_results[0].1 && dense_mean < 0.5 * sentinel_results[0].0,
+    );
+
+    std::fs::remove_dir_all(&dir).expect("temp dir removable");
+}

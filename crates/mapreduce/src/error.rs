@@ -1,0 +1,54 @@
+//! Error type for the MapReduce engine.
+
+use std::fmt;
+
+use sidr_coords::CoordError;
+
+/// Errors surfaced by job planning and execution.
+#[derive(Debug)]
+pub enum MrError {
+    /// Geometry inconsistency during split generation or routing.
+    Coord(CoordError),
+    /// A job was configured inconsistently.
+    BadConfig(String),
+    /// The record source failed (I/O or format error from the
+    /// scientific file layer).
+    Source(String),
+    /// A user task (map/combine/reduce) panicked or failed; the
+    /// runtime reports the task and the cause.
+    TaskFailed { task: String, cause: String },
+    /// Annotation validation (§3.2.1 approach 2) detected that a
+    /// Reduce task would have started with insufficient input.
+    AnnotationMismatch {
+        reducer: usize,
+        expected: u64,
+        actual: u64,
+    },
+    /// Output collection failed.
+    Output(String),
+}
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrError::Coord(e) => write!(f, "coordinate error: {e}"),
+            MrError::BadConfig(msg) => write!(f, "bad job config: {msg}"),
+            MrError::Source(msg) => write!(f, "record source error: {msg}"),
+            MrError::TaskFailed { task, cause } => write!(f, "task {task} failed: {cause}"),
+            MrError::AnnotationMismatch { reducer, expected, actual } => write!(
+                f,
+                "reducer {reducer} annotation tally {actual} != expected {expected}: \
+                 reduce would start on insufficient input"
+            ),
+            MrError::Output(msg) => write!(f, "output error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {}
+
+impl From<CoordError> for MrError {
+    fn from(e: CoordError) -> Self {
+        MrError::Coord(e)
+    }
+}

@@ -1,0 +1,58 @@
+//! A Hadoop-like MapReduce engine, built from scratch as the execution
+//! substrate for the SIDR reproduction.
+//!
+//! The engine reproduces the pieces of Hadoop 1.0's architecture that
+//! the paper's claims are about (§2.3):
+//!
+//! * **Input splits** ([`split`]) — byte-range-style naive splits
+//!   (stock Hadoop) and logical-coordinate, extraction-aligned splits
+//!   (SciHadoop, §2.4.1),
+//! * **Map / Combine / Reduce** user functions ([`task`]),
+//! * **Partitioner** ([`partitioner`]) — including Hadoop's
+//!   modulo-of-the-binary-representation default whose skew pathology
+//!   §4.3 demonstrates,
+//! * **Shuffle** ([`shuffle`]) — per-(map, reducer) output files with
+//!   count annotations (§3.2.1) and per-fetch connection accounting
+//!   (Table 3),
+//! * **Barrier & scheduling policy** ([`plan`]) — the global MapReduce
+//!   barrier, or per-reducer dependency barriers with SIDR's inverted
+//!   reduce-first scheduling (§3.2–3.3),
+//! * **A threaded runtime** ([`runtime`]) — slot-limited map/reduce
+//!   worker pools, overlapped copy phase, task timelines ([`timeline`])
+//!   and counters ([`counters`]).
+//!
+//! The SIDR-specific planner (partition+, dependency derivation,
+//! keyblock prioritization) lives in the `sidr-core` crate and plugs in
+//! through the [`plan::RoutingPlan`] trait; this crate provides the
+//! general, SIDR-agnostic machinery plus the stock-Hadoop defaults.
+
+pub mod counters;
+pub mod error;
+pub mod output;
+pub mod partitioner;
+pub mod plan;
+pub mod runtime;
+pub mod shuffle;
+pub mod shuffle_file;
+pub mod split;
+pub mod task;
+pub mod timeline;
+pub mod wire;
+
+pub use counters::{Counters, CountersSnapshot};
+pub use error::MrError;
+pub use output::{InMemoryOutput, OutputCollector};
+pub use partitioner::{CoordHashPartitioner, ModuloPartitioner, Partitioner};
+pub use plan::{DefaultPlan, RoutingPlan};
+pub use runtime::{run_job, JobConfig, JobResult};
+pub use shuffle::{merge_files, MapOutputBuilder, MapOutputFile, ShuffleStore, SpillCodec};
+pub use wire::WireFormat;
+pub use split::{InputSplit, MapTaskId, SplitGenerator};
+pub use task::{
+    Combiner, FnMapper, FnReducer, Mapper, MrKey, MrValue, RecordSource, Reducer,
+    SliceRecordSource,
+};
+pub use timeline::{TaskEvent, TaskKind, Timeline};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, MrError>;

@@ -1,0 +1,580 @@
+//! The threaded job runtime: slot-limited Map/Reduce worker pools,
+//! barrier policies, inverted scheduling, fault injection and
+//! dependency-based recovery.
+//!
+//! The runtime executes one job at a time over `map_slots` map workers
+//! and `reduce_slots` reduce workers (Hadoop's per-TaskTracker slots,
+//! §4: 4 map + 3 reduce per node). Reduce tasks occupy a slot from the
+//! start of their copy phase, fetching map outputs as the maps finish
+//! — the overlap stock Hadoop already has — and begin their merge +
+//! reduce only when their barrier is met: *all* maps under the global
+//! barrier, or exactly their dependency set `I_ℓ` under a SIDR plan
+//! (§3.2, Fig. 4).
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::counters::{Counters, CountersSnapshot};
+use crate::error::MrError;
+use crate::output::OutputCollector;
+use crate::plan::RoutingPlan;
+use crate::shuffle::{merge_files, MapOutputBuilder, MapOutputFile, ShuffleStore};
+use crate::split::{InputSplit, MapTaskId};
+use crate::task::{Combiner, Mapper, MrKey, MrValue, RecordSource, Reducer};
+use crate::timeline::{TaskEvent, TaskKind, Timeline};
+use crate::Result;
+
+/// Runtime configuration.
+#[derive(Clone, Debug)]
+pub struct JobConfig {
+    /// Concurrent Map tasks (cluster-wide map slots).
+    pub map_slots: usize,
+    /// Concurrent Reduce tasks (cluster-wide reduce slots).
+    pub reduce_slots: usize,
+    /// Cross-check the shuffle's count annotations against the plan's
+    /// expected raw counts before each reduce starts (§3.2.1
+    /// approach 2).
+    pub validate_annotations: bool,
+    /// Reducers whose first attempt fails after the barrier (fault
+    /// injection for the §6 recovery experiments).
+    pub fail_reducers: Vec<usize>,
+    /// Intermediate data is consumed on fetch instead of persisted; a
+    /// failed reduce must then re-execute the Map tasks it fetched
+    /// from (§6 future work).
+    pub volatile_intermediate: bool,
+    /// Artificial per-Map-task cost (examples/teaching only).
+    pub map_think: Duration,
+    /// Artificial per-Reduce-task cost (examples/teaching only).
+    pub reduce_think: Duration,
+    /// When set, map output is spilled to annotated on-disk files
+    /// (the SMOF format of [`crate::shuffle_file`]) in this directory
+    /// instead of staying resident — Hadoop's actual shuffle path.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Map-side sort-buffer limit in records: buffers exceeding it
+    /// are sorted and spilled as runs, merged at task end (Hadoop's
+    /// `io.sort.mb` pipeline). `None` keeps everything in memory.
+    pub map_spill_records: Option<usize>,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            map_slots: 4,
+            reduce_slots: 3,
+            validate_annotations: false,
+            fail_reducers: Vec::new(),
+            volatile_intermediate: false,
+            map_think: Duration::ZERO,
+            reduce_think: Duration::ZERO,
+            spill_dir: None,
+            map_spill_records: None,
+        }
+    }
+}
+
+/// Outcome of a completed job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    pub counters: CountersSnapshot,
+    pub events: Vec<TaskEvent>,
+    pub elapsed: Duration,
+}
+
+impl JobResult {
+    /// Time of the first committed reduce output.
+    pub fn first_result(&self) -> Option<Duration> {
+        self.completions(TaskKind::ReduceEnd).first().copied()
+    }
+
+    /// Sorted completion times of one event kind.
+    pub fn completions(&self, kind: TaskKind) -> Vec<Duration> {
+        let mut t: Vec<Duration> = self
+            .events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.at)
+            .collect();
+        t.sort();
+        t
+    }
+
+    /// Fraction of Map tasks complete when the first result committed.
+    pub fn maps_done_at_first_result(&self) -> Option<f64> {
+        let first = self.first_result()?;
+        let maps = self.completions(TaskKind::MapEnd);
+        if maps.is_empty() {
+            return None;
+        }
+        Some(maps.iter().filter(|&&t| t <= first).count() as f64 / maps.len() as f64)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum MapStatus {
+    /// Not yet eligible (SIDR inverted scheduling: no running reduce
+    /// depends on it yet, §3.3).
+    Ineligible,
+    /// Ready to be claimed by a map worker.
+    Eligible,
+    Running,
+    Done,
+    /// No reduce depends on this map; it never runs.
+    Skipped,
+}
+
+struct State {
+    maps: Vec<MapStatus>,
+    /// Next position in the plan's reduce launch order.
+    reduce_cursor: usize,
+    reduces_done: usize,
+    failed: bool,
+}
+
+struct Shared<'j, K2: MrKey, V2: MrValue> {
+    state: Mutex<State>,
+    cv: Condvar,
+    shuffle: ShuffleStore<K2, V2>,
+    counters: Counters,
+    timeline: Timeline,
+    error: Mutex<Option<MrError>>,
+    plan: &'j dyn RoutingPlan<K2>,
+    config: &'j JobConfig,
+    num_maps: usize,
+}
+
+impl<K2: MrKey, V2: MrValue> Shared<'_, K2, V2> {
+    fn fail(&self, err: MrError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        self.state.lock().failed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Runs one MapReduce job to completion.
+///
+/// * `splits` — the input splits (one Map task each),
+/// * `source_factory` — opens the RecordReader for a split,
+/// * `mapper` / `combiner` / `reducer` — the user functions,
+/// * `plan` — partitioning, barrier, fetch and scheduling policy,
+/// * `output` — where committed reduce output goes.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job<K1, V1, K2, V2, V3, SF, S>(
+    splits: &[InputSplit],
+    source_factory: &SF,
+    mapper: &dyn Mapper<InKey = K1, InValue = V1, OutKey = K2, OutValue = V2>,
+    combiner: Option<&dyn Combiner<Key = K2, Value = V2>>,
+    reducer: &dyn Reducer<Key = K2, InValue = V2, OutValue = V3>,
+    plan: &dyn RoutingPlan<K2>,
+    output: &dyn OutputCollector<K2, V3>,
+    config: &JobConfig,
+) -> Result<JobResult>
+where
+    K1: MrKey,
+    V1: MrValue,
+    K2: MrKey + crate::wire::WireFormat,
+    V2: MrValue + crate::wire::WireFormat,
+    V3: MrValue,
+    SF: Fn(MapTaskId, &InputSplit) -> Result<S> + Sync,
+    S: RecordSource<Key = K1, Value = V1>,
+{
+    if config.map_slots == 0 || config.reduce_slots == 0 {
+        return Err(MrError::BadConfig("map_slots and reduce_slots must be > 0".into()));
+    }
+    if splits.is_empty() {
+        return Err(MrError::BadConfig("no input splits".into()));
+    }
+    let num_maps = splits.len();
+    let num_reducers = plan.num_reducers();
+    let reduce_order = plan.reduce_order();
+    if reduce_order.len() != num_reducers {
+        return Err(MrError::BadConfig(format!(
+            "reduce_order has {} entries for {} reducers",
+            reduce_order.len(),
+            num_reducers
+        )));
+    }
+
+    // Initial map eligibility: everything eligible under classic
+    // scheduling; nothing eligible under inverted scheduling except
+    // that maps no reduce depends on are skipped outright.
+    let mut maps = vec![
+        if plan.invert_scheduling() {
+            MapStatus::Ineligible
+        } else {
+            MapStatus::Eligible
+        };
+        num_maps
+    ];
+    if plan.invert_scheduling() {
+        let mut needed = vec![false; num_maps];
+        let mut any_global = false;
+        for r in 0..num_reducers {
+            match plan.reduce_deps(r) {
+                None => {
+                    any_global = true;
+                    break;
+                }
+                Some(deps) => {
+                    for m in deps {
+                        if m >= num_maps {
+                            return Err(MrError::BadConfig(format!(
+                                "reduce {r} depends on nonexistent map {m}"
+                            )));
+                        }
+                        needed[m] = true;
+                    }
+                }
+            }
+        }
+        if any_global {
+            maps.fill(MapStatus::Ineligible);
+        } else {
+            for (m, &need) in needed.iter().enumerate() {
+                if !need {
+                    maps[m] = MapStatus::Skipped;
+                }
+            }
+        }
+    }
+
+    let shared = Shared {
+        state: Mutex::new(State {
+            maps,
+            reduce_cursor: 0,
+            reduces_done: 0,
+            failed: false,
+        }),
+        cv: Condvar::new(),
+        shuffle: match &config.spill_dir {
+            None => ShuffleStore::new(config.volatile_intermediate),
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(|e| {
+                    MrError::BadConfig(format!("spill dir {}: {e}", dir.display()))
+                })?;
+                ShuffleStore::with_spill(
+                    config.volatile_intermediate,
+                    crate::shuffle::SpillCodec::smof(dir.clone()),
+                )
+            }
+        },
+        counters: Counters::default(),
+        timeline: Timeline::new(),
+        error: Mutex::new(None),
+        plan,
+        config,
+        num_maps,
+    };
+    {
+        let skipped = shared
+            .state
+            .lock()
+            .maps
+            .iter()
+            .filter(|&&s| s == MapStatus::Skipped)
+            .count();
+        Counters::add(&shared.counters.maps_skipped, skipped as u64);
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..config.map_slots {
+            scope.spawn(|| map_worker(&shared, splits, source_factory, mapper, combiner));
+        }
+        for _ in 0..config.reduce_slots {
+            scope.spawn(|| reduce_worker(&shared, &reduce_order, reducer, output));
+        }
+    });
+
+    if let Some(err) = shared.error.lock().take() {
+        return Err(err);
+    }
+    let elapsed = shared
+        .timeline
+        .job_end()
+        .unwrap_or_default();
+    Ok(JobResult {
+        counters: shared.counters.snapshot(),
+        events: shared.timeline.events(),
+        elapsed,
+    })
+}
+
+fn map_worker<K1, V1, K2, V2, SF, S>(
+    shared: &Shared<'_, K2, V2>,
+    splits: &[InputSplit],
+    source_factory: &SF,
+    mapper: &dyn Mapper<InKey = K1, InValue = V1, OutKey = K2, OutValue = V2>,
+    combiner: Option<&dyn Combiner<Key = K2, Value = V2>>,
+) where
+    K1: MrKey,
+    V1: MrValue,
+    K2: MrKey + crate::wire::WireFormat,
+    V2: MrValue + crate::wire::WireFormat,
+    SF: Fn(MapTaskId, &InputSplit) -> Result<S> + Sync,
+    S: RecordSource<Key = K1, Value = V1>,
+{
+    loop {
+        let task = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.failed || st.reduces_done == shared.plan.num_reducers() {
+                    return;
+                }
+                if let Some(i) = st.maps.iter().position(|&s| s == MapStatus::Eligible) {
+                    st.maps[i] = MapStatus::Running;
+                    break i;
+                }
+                // Nothing eligible: either all maps are done/skipped
+                // (reduces still draining) or eligibility will arrive
+                // when a reduce starts / recovery re-enqueues.
+                shared.cv.wait(&mut st);
+            }
+        };
+
+        shared.timeline.record(TaskKind::MapStart, task);
+        match run_map_task(shared, task, &splits[task], source_factory, mapper, combiner) {
+            Ok(()) => {
+                if !shared.config.map_think.is_zero() {
+                    std::thread::sleep(shared.config.map_think);
+                }
+                shared.timeline.record(TaskKind::MapEnd, task);
+                let mut st = shared.state.lock();
+                st.maps[task] = MapStatus::Done;
+                drop(st);
+                shared.cv.notify_all();
+            }
+            Err(e) => {
+                shared.fail(MrError::TaskFailed {
+                    task: format!("map {task}"),
+                    cause: e.to_string(),
+                });
+                return;
+            }
+        }
+    }
+}
+
+fn run_map_task<K1, V1, K2, V2, SF, S>(
+    shared: &Shared<'_, K2, V2>,
+    task: MapTaskId,
+    split: &InputSplit,
+    source_factory: &SF,
+    mapper: &dyn Mapper<InKey = K1, InValue = V1, OutKey = K2, OutValue = V2>,
+    combiner: Option<&dyn Combiner<Key = K2, Value = V2>>,
+) -> Result<()>
+where
+    K1: MrKey,
+    V1: MrValue,
+    K2: MrKey + crate::wire::WireFormat,
+    V2: MrValue + crate::wire::WireFormat,
+    SF: Fn(MapTaskId, &InputSplit) -> Result<S> + Sync,
+    S: RecordSource<Key = K1, Value = V1>,
+{
+    let mut source = source_factory(task, split)?;
+    let mut builder = MapOutputBuilder::new(shared.plan.num_reducers());
+    if let Some(limit) = shared.config.map_spill_records {
+        let dir = shared
+            .config
+            .spill_dir
+            .clone()
+            .unwrap_or_else(|| std::env::temp_dir().join("sidr-map-spill"));
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| MrError::BadConfig(format!("map spill dir {}: {e}", dir.display())))?;
+        builder = builder.with_spill(limit, dir, task);
+    }
+    let mut records_in = 0u64;
+    let mut records_out = 0u64;
+    // The emit callback cannot return errors; park the first one.
+    let mut push_err: Option<MrError> = None;
+    while let Some((k, v)) = source.next_record()? {
+        records_in += 1;
+        mapper.map(&k, &v, &mut |k2, v2| {
+            if push_err.is_some() {
+                return;
+            }
+            let reducer = shared.plan.partition(&k2);
+            if let Err(e) = builder.push(reducer, k2, v2) {
+                push_err = Some(e);
+            }
+            records_out += 1;
+        });
+        if let Some(e) = push_err {
+            return Err(e);
+        }
+    }
+    Counters::add(&shared.counters.map_records_in, records_in);
+    Counters::add(&shared.counters.map_records_out, records_out);
+    for (reducer, file) in builder.finish(combiner, &shared.counters)? {
+        shared.shuffle.put(task, reducer, file)?;
+    }
+    Ok(())
+}
+
+fn reduce_worker<K2, V2, V3>(
+    shared: &Shared<'_, K2, V2>,
+    reduce_order: &[usize],
+    reducer_fn: &dyn Reducer<Key = K2, InValue = V2, OutValue = V3>,
+    output: &dyn OutputCollector<K2, V3>,
+) where
+    K2: MrKey,
+    V2: MrValue,
+    V3: MrValue,
+{
+    loop {
+        let r = {
+            let mut st = shared.state.lock();
+            if st.failed || st.reduce_cursor >= reduce_order.len() {
+                return;
+            }
+            let r = reduce_order[st.reduce_cursor];
+            st.reduce_cursor += 1;
+            // SIDR inverted scheduling: starting this reduce makes the
+            // maps it depends on eligible ("whenever a Reduce task is
+            // scheduled … all Map tasks that contribute to the Reduce
+            // task are marked as schedulable", §3.3).
+            if shared.plan.invert_scheduling() {
+                match shared.plan.reduce_deps(r) {
+                    Some(deps) => {
+                        for m in deps {
+                            if st.maps[m] == MapStatus::Ineligible {
+                                st.maps[m] = MapStatus::Eligible;
+                            }
+                        }
+                    }
+                    None => {
+                        // Global-barrier reduce under inverted
+                        // scheduling: everything becomes eligible.
+                        for s in st.maps.iter_mut() {
+                            if *s == MapStatus::Ineligible {
+                                *s = MapStatus::Eligible;
+                            }
+                        }
+                    }
+                }
+            }
+            drop(st);
+            shared.cv.notify_all();
+            r
+        };
+
+        shared.timeline.record(TaskKind::ReduceStart, r);
+        if let Err(e) = run_reduce_task(shared, r, reducer_fn, output) {
+            shared.fail(e);
+            return;
+        }
+        let mut st = shared.state.lock();
+        st.reduces_done += 1;
+        drop(st);
+        shared.cv.notify_all();
+    }
+}
+
+fn run_reduce_task<K2, V2, V3>(
+    shared: &Shared<'_, K2, V2>,
+    r: usize,
+    reducer_fn: &dyn Reducer<Key = K2, InValue = V2, OutValue = V3>,
+    output: &dyn OutputCollector<K2, V3>,
+) -> Result<()>
+where
+    K2: MrKey,
+    V2: MrValue,
+    V3: MrValue,
+{
+    let sources: Vec<MapTaskId> = match shared.plan.fetch_sources(r) {
+        Some(deps) => deps,
+        None => (0..shared.num_maps).collect(),
+    };
+    let mut attempt = 0;
+    loop {
+        // Copy phase: fetch from each source as soon as it completes.
+        let mut files: Vec<(MapTaskId, std::sync::Arc<MapOutputFile<K2, V2>>)> = Vec::new();
+        for &m in &sources {
+            {
+                let mut st = shared.state.lock();
+                loop {
+                    if st.failed {
+                        return Ok(()); // another task already reported
+                    }
+                    match st.maps[m] {
+                        MapStatus::Done => break,
+                        MapStatus::Skipped => {
+                            return Err(MrError::BadConfig(format!(
+                                "reduce {r} depends on skipped map {m}"
+                            )));
+                        }
+                        _ => shared.cv.wait(&mut st),
+                    }
+                }
+            }
+            if let Some(f) = shared.shuffle.fetch(m, r, &shared.counters)? {
+                files.push((m, f));
+            }
+        }
+        shared.timeline.record(TaskKind::ReduceBarrierMet, r);
+
+        // §3.2.1 approach 2: tally the raw ⟨k,v⟩ annotation before
+        // processing; starting with less input than the geometry
+        // promises would produce "an answer based on insufficient
+        // input".
+        if shared.config.validate_annotations {
+            if let Some(expected) = shared.plan.expected_raw_count(r) {
+                let actual: u64 = files.iter().map(|(_, f)| f.raw_count).sum();
+                if actual != expected {
+                    return Err(MrError::AnnotationMismatch {
+                        reducer: r,
+                        expected,
+                        actual,
+                    });
+                }
+            }
+        }
+
+        // Fault injection: first attempt dies after the barrier.
+        if attempt == 0 && shared.config.fail_reducers.contains(&r) {
+            attempt += 1;
+            Counters::add(&shared.counters.reduce_failures, 1);
+            shared.timeline.record(TaskKind::ReduceFailed, r);
+            if shared.config.volatile_intermediate {
+                // The fetched files were consumed; re-execute exactly
+                // the maps whose data this reduce lost (§6: "re-execute
+                // subsets of Map tasks in the event of a Reduce task
+                // failure in place of persisting all intermediate
+                // data").
+                let lost: Vec<MapTaskId> = files.iter().map(|(m, _)| *m).collect();
+                let mut st = shared.state.lock();
+                for m in &lost {
+                    if st.maps[*m] == MapStatus::Done {
+                        st.maps[*m] = MapStatus::Eligible;
+                        Counters::add(&shared.counters.maps_reexecuted, 1);
+                    }
+                }
+                drop(st);
+                shared.cv.notify_all();
+            }
+            continue;
+        }
+
+        // Sort/merge + reduce.
+        let merged = merge_files(&files.iter().map(|(_, f)| Arc::clone(f)).collect::<Vec<_>>());
+        let mut out: Vec<(K2, V3)> = Vec::new();
+        let mut emitted = 0u64;
+        for (key, values) in merged {
+            reducer_fn.reduce(&key, &values, &mut |v3| {
+                out.push((key.clone(), v3));
+                emitted += 1;
+            });
+        }
+        Counters::add(&shared.counters.reduce_records_out, emitted);
+        if !shared.config.reduce_think.is_zero() {
+            std::thread::sleep(shared.config.reduce_think);
+        }
+        output
+            .commit(r, out)
+            .map_err(|e| MrError::Output(e.to_string()))?;
+        shared.timeline.record(TaskKind::ReduceEnd, r);
+        return Ok(());
+    }
+}

@@ -1,0 +1,508 @@
+//! Shuffle: map-output files, fetch accounting, and sort-merge.
+//!
+//! Each Map task leaves one output file per reducer it produced data
+//! for. A file's header carries the §3.2.1 *annotation*: "how many
+//! ⟨k,v⟩ are represented by the set of all ⟨k′,v′⟩ in that file",
+//! which lets a Reduce task tally raw input coverage without parsing
+//! the file — the cross-check SIDR uses to validate that starting
+//! early never consumes insufficient input.
+//!
+//! Fetches are counted: every (map, reducer) contact is one network
+//! connection, the quantity Table 3 reports.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::counters::Counters;
+use crate::split::MapTaskId;
+use crate::task::{MrKey, MrValue};
+
+/// One map-output file: the intermediate pairs a single Map task
+/// produced for a single reducer, sorted by key.
+#[derive(Clone, Debug)]
+pub struct MapOutputFile<K, V> {
+    /// Records sorted by key (Hadoop sorts map output per partition).
+    pub records: Vec<(K, V)>,
+    /// Annotation: raw ⟨k,v⟩ pairs represented (≥ `records.len()` when
+    /// a combiner folded pairs together).
+    pub raw_count: u64,
+}
+
+impl<K, V> Default for MapOutputFile<K, V> {
+    fn default() -> Self {
+        MapOutputFile {
+            records: Vec::new(),
+            raw_count: 0,
+        }
+    }
+}
+
+/// One stored map-output file: resident or spilled to disk.
+enum Stored<K, V> {
+    Memory(Arc<MapOutputFile<K, V>>),
+    Spilled {
+        path: std::path::PathBuf,
+        /// Header fields cached so annotation tallies never re-read.
+        raw_count: u64,
+        records: u64,
+    },
+}
+
+/// The TaskTracker-served map-output files: held in memory by default,
+/// or written to a spill directory in the on-disk format of
+/// [`crate::shuffle_file`] (the header-annotated files of §3.2.1).
+///
+/// `fetch` optionally *consumes* the file, modeling the §6 future-work
+/// regime where intermediate data is not persisted and a failed
+/// Reduce task forces re-execution of the Map tasks it depended on.
+pub struct ShuffleStore<K, V> {
+    files: Mutex<HashMap<(MapTaskId, usize), Stored<K, V>>>,
+    /// Signalled when new files arrive (fetchers waiting on slow maps).
+    arrival: Condvar,
+    /// Whether fetches remove files from the store.
+    consume_on_fetch: bool,
+    /// Spill codec, present when the store is disk-backed.
+    spill: Option<SpillCodec<K, V>>,
+}
+
+/// Monomorphized writers/readers for the spill path, so the store (and
+/// the runtime above it) needs no `WireFormat` bounds of its own.
+pub struct SpillCodec<K, V> {
+    pub dir: std::path::PathBuf,
+    pub write: fn(&std::path::Path, &MapOutputFile<K, V>) -> crate::Result<()>,
+    pub read: fn(&std::path::Path) -> crate::Result<MapOutputFile<K, V>>,
+}
+
+impl<K, V> SpillCodec<K, V>
+where
+    K: MrKey + crate::wire::WireFormat,
+    V: MrValue + crate::wire::WireFormat,
+{
+    /// The standard codec: `shuffle_file`'s SMOF format under `dir`.
+    pub fn smof(dir: impl Into<std::path::PathBuf>) -> Self {
+        SpillCodec {
+            dir: dir.into(),
+            write: |path, file| crate::shuffle_file::write_map_output(path, file),
+            read: |path| crate::shuffle_file::read_map_output(path),
+        }
+    }
+}
+
+impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
+    pub fn new(consume_on_fetch: bool) -> Self {
+        ShuffleStore {
+            files: Mutex::new(HashMap::new()),
+            arrival: Condvar::new(),
+            consume_on_fetch,
+            spill: None,
+        }
+    }
+
+    /// A disk-backed store spilling through `codec`.
+    pub fn with_spill(consume_on_fetch: bool, codec: SpillCodec<K, V>) -> Self {
+        ShuffleStore {
+            files: Mutex::new(HashMap::new()),
+            arrival: Condvar::new(),
+            consume_on_fetch,
+            spill: Some(codec),
+        }
+    }
+
+    /// Stores (or replaces, on re-execution) one map-output file.
+    pub fn put(&self, map: MapTaskId, reducer: usize, file: MapOutputFile<K, V>) -> crate::Result<()> {
+        let stored = match &self.spill {
+            None => Stored::Memory(Arc::new(file)),
+            Some(codec) => {
+                let path = codec.dir.join(format!("map{map:06}-r{reducer:05}.smof"));
+                (codec.write)(&path, &file)?;
+                Stored::Spilled {
+                    path,
+                    raw_count: file.raw_count,
+                    records: file.records.len() as u64,
+                }
+            }
+        };
+        let mut files = self.files.lock();
+        files.insert((map, reducer), stored);
+        self.arrival.notify_all();
+        Ok(())
+    }
+
+    /// Fetches the file `map` produced for `reducer`, counting one
+    /// connection (contacts happen even when the map produced nothing
+    /// for this reducer — Hadoop "requires that every Reduce task
+    /// contact every completed Map task", §4.6). Returns `None` for an
+    /// empty (absent) file.
+    pub fn fetch(
+        &self,
+        map: MapTaskId,
+        reducer: usize,
+        counters: &Counters,
+    ) -> crate::Result<Option<Arc<MapOutputFile<K, V>>>> {
+        Counters::add(&counters.shuffle_connections, 1);
+        let entry = {
+            let mut files = self.files.lock();
+            if self.consume_on_fetch {
+                files.remove(&(map, reducer))
+            } else {
+                match files.get(&(map, reducer)) {
+                    None => None,
+                    Some(Stored::Memory(f)) => Some(Stored::Memory(Arc::clone(f))),
+                    Some(Stored::Spilled { path, raw_count, records }) => Some(Stored::Spilled {
+                        path: path.clone(),
+                        raw_count: *raw_count,
+                        records: *records,
+                    }),
+                }
+            }
+        };
+        let got = match entry {
+            None => None,
+            Some(Stored::Memory(f)) => Some(f),
+            Some(Stored::Spilled { path, .. }) => {
+                let codec = self
+                    .spill
+                    .as_ref()
+                    .expect("spilled entries only exist in spilling stores");
+                let file = (codec.read)(&path)?;
+                if self.consume_on_fetch {
+                    // Not persisted: the bytes are gone once consumed.
+                    std::fs::remove_file(&path).ok();
+                }
+                Some(Arc::new(file))
+            }
+        };
+        if let Some(f) = &got {
+            Counters::add(&counters.shuffled_records, f.records.len() as u64);
+        }
+        Ok(got)
+    }
+
+    /// The annotation of a stored file without reading its records —
+    /// `(raw ⟨k,v⟩ represented, ⟨k′,v′⟩ records)` (§3.2.1).
+    pub fn annotation(&self, map: MapTaskId, reducer: usize) -> Option<(u64, u64)> {
+        match self.files.lock().get(&(map, reducer)) {
+            None => None,
+            Some(Stored::Memory(f)) => Some((f.raw_count, f.records.len() as u64)),
+            Some(Stored::Spilled { raw_count, records, .. }) => Some((*raw_count, *records)),
+        }
+    }
+
+    /// Whether a file is currently present (recovery logic checks
+    /// before deciding to re-execute a map).
+    pub fn contains(&self, map: MapTaskId, reducer: usize) -> bool {
+        self.files.lock().contains_key(&(map, reducer))
+    }
+
+    /// Number of files currently stored.
+    pub fn len(&self) -> usize {
+        self.files.lock().len()
+    }
+
+    /// True when the store holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.lock().is_empty()
+    }
+}
+
+/// Builds the per-reducer output files of one Map task: partitions,
+/// optionally combines, sorts, annotates.
+pub struct MapOutputBuilder<K, V> {
+    per_reducer: Vec<Vec<(K, V)>>,
+    raw_counts: Vec<u64>,
+    buffered: usize,
+    spill: Option<BuilderSpill<K, V>>,
+}
+
+/// Map-side sort-buffer spill configuration (Hadoop's `io.sort.mb`
+/// pipeline, with the buffer limit expressed in records).
+struct BuilderSpill<K, V> {
+    /// Spill once this many records are buffered.
+    threshold: usize,
+    dir: std::path::PathBuf,
+    /// Unique prefix (the map task id) for run-file names.
+    task: MapTaskId,
+    /// Sorted run files written so far, per reducer.
+    runs: Vec<Vec<std::path::PathBuf>>,
+    seq: usize,
+    write: fn(&std::path::Path, &MapOutputFile<K, V>) -> crate::Result<()>,
+    read: fn(&std::path::Path) -> crate::Result<MapOutputFile<K, V>>,
+}
+
+impl<K: MrKey, V: MrValue> MapOutputBuilder<K, V> {
+    pub fn new(num_reducers: usize) -> Self {
+        MapOutputBuilder {
+            per_reducer: (0..num_reducers).map(|_| Vec::new()).collect(),
+            raw_counts: vec![0; num_reducers],
+            buffered: 0,
+            spill: None,
+        }
+    }
+
+    /// Enables map-side spilling: when more than `threshold` records
+    /// are buffered, each partition is sorted and written out as a
+    /// run; `finish` merges the runs — Hadoop's sort/spill/merge
+    /// pipeline.
+    pub fn with_spill(mut self, threshold: usize, dir: std::path::PathBuf, task: MapTaskId) -> Self
+    where
+        K: crate::wire::WireFormat,
+        V: crate::wire::WireFormat,
+    {
+        let n = self.per_reducer.len();
+        self.spill = Some(BuilderSpill {
+            threshold: threshold.max(1),
+            dir,
+            task,
+            runs: (0..n).map(|_| Vec::new()).collect(),
+            seq: 0,
+            write: |path, file| crate::shuffle_file::write_map_output(path, file),
+            read: |path| crate::shuffle_file::read_map_output(path),
+        });
+        self
+    }
+
+    /// Adds one intermediate pair destined for `reducer`.
+    #[inline]
+    pub fn push(&mut self, reducer: usize, key: K, value: V) -> crate::Result<()> {
+        self.per_reducer[reducer].push((key, value));
+        self.raw_counts[reducer] += 1;
+        self.buffered += 1;
+        if let Some(spill) = &self.spill {
+            if self.buffered >= spill.threshold {
+                self.spill_runs()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes every non-empty buffer out as a sorted run.
+    fn spill_runs(&mut self) -> crate::Result<()> {
+        let spill = self.spill.as_mut().expect("called only when spilling");
+        for (reducer, records) in self.per_reducer.iter_mut().enumerate() {
+            if records.is_empty() {
+                continue;
+            }
+            records.sort_by(|a, b| a.0.cmp(&b.0));
+            let path = spill.dir.join(format!(
+                "map{:06}-r{reducer:05}-run{:04}.smof",
+                spill.task, spill.seq
+            ));
+            let run = MapOutputFile {
+                records: std::mem::take(records),
+                raw_count: 0, // the annotation is stamped at finish
+            };
+            (spill.write)(&path, &run)?;
+            spill.runs[reducer].push(path);
+        }
+        spill.seq += 1;
+        self.buffered = 0;
+        Ok(())
+    }
+
+    /// Finalizes into per-reducer files: sorts by key (merging any
+    /// spilled runs), applies the combiner per key group, and stamps
+    /// the raw-count annotation. Returns `(reducer, file)` for every
+    /// non-empty partition; empty ones produce nothing (Hadoop serves
+    /// an empty response for those; the store models that as absence).
+    pub fn finish(
+        mut self,
+        combiner: Option<&dyn crate::task::Combiner<Key = K, Value = V>>,
+        counters: &Counters,
+    ) -> crate::Result<Vec<(usize, MapOutputFile<K, V>)>> {
+        let spill = self.spill.take();
+        let mut out = Vec::new();
+        for (reducer, mut records) in self.per_reducer.into_iter().enumerate() {
+            let raw = self.raw_counts[reducer];
+            records.sort_by(|a, b| a.0.cmp(&b.0));
+            // Merge spilled runs back in (each run is sorted, as is
+            // the in-memory residue; merge_files does the k-way merge).
+            if let Some(spill) = &spill {
+                if !spill.runs[reducer].is_empty() {
+                    let mut parts = vec![Arc::new(MapOutputFile {
+                        records,
+                        raw_count: 0,
+                    })];
+                    for path in &spill.runs[reducer] {
+                        parts.push(Arc::new((spill.read)(path)?));
+                        std::fs::remove_file(path).ok();
+                    }
+                    records = merge_files(&parts)
+                        .into_iter()
+                        .flat_map(|(k, vs)| vs.into_iter().map(move |v| (k.clone(), v)))
+                        .collect();
+                }
+            }
+            if records.is_empty() {
+                continue;
+            }
+            if let Some(c) = combiner {
+                records = combine_sorted(records, c);
+            }
+            Counters::add(&counters.combined_records, records.len() as u64);
+            out.push((
+                reducer,
+                MapOutputFile {
+                    records,
+                    raw_count: raw,
+                },
+            ));
+        }
+        Ok(out)
+    }
+}
+
+/// Applies a combiner to a key-sorted run.
+fn combine_sorted<K: MrKey, V: MrValue>(
+    records: Vec<(K, V)>,
+    combiner: &dyn crate::task::Combiner<Key = K, Value = V>,
+) -> Vec<(K, V)> {
+    let mut out = Vec::with_capacity(records.len());
+    let mut iter = records.into_iter();
+    let Some((mut key, first)) = iter.next() else {
+        return out;
+    };
+    let mut group = vec![first];
+    for (k, v) in iter {
+        if k == key {
+            group.push(v);
+        } else {
+            let combined = combiner.combine(&key, std::mem::take(&mut group));
+            out.extend(combined.into_iter().map(|v| (key.clone(), v)));
+            key = k;
+            group.push(v);
+        }
+    }
+    let combined = combiner.combine(&key, group);
+    out.extend(combined.into_iter().map(|v| (key.clone(), v)));
+    out
+}
+
+/// K-way merge of key-sorted files into key groups, delivering every
+/// value of a key together — MapReduce guarantee 2 (§2.3).
+pub fn merge_files<K: MrKey, V: MrValue>(
+    files: &[Arc<MapOutputFile<K, V>>],
+) -> Vec<(K, Vec<V>)> {
+    // Files are individually sorted; a flatten+sort is O(n log n) like
+    // a heap-based merge and considerably simpler. Stability keeps
+    // values grouped deterministically by (file order, record order).
+    let mut all: Vec<(K, V)> = files
+        .iter()
+        .flat_map(|f| f.records.iter().cloned())
+        .collect();
+    all.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out: Vec<(K, Vec<V>)> = Vec::new();
+    for (k, v) in all {
+        match out.last_mut() {
+            Some((lk, vs)) if *lk == k => vs.push(v),
+            _ => out.push((k, vec![v])),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Combiner;
+
+    struct SumCombiner;
+    impl Combiner for SumCombiner {
+        type Key = u64;
+        type Value = u64;
+        fn combine(&self, _key: &u64, values: Vec<u64>) -> Vec<u64> {
+            vec![values.iter().sum()]
+        }
+    }
+
+    #[test]
+    fn builder_partitions_and_sorts() {
+        let counters = Counters::default();
+        let mut b = MapOutputBuilder::<u64, u64>::new(2);
+        b.push(0, 5, 50).unwrap();
+        b.push(0, 1, 10).unwrap();
+        b.push(1, 2, 20).unwrap();
+        let files = b.finish(None, &counters).unwrap();
+        assert_eq!(files.len(), 2);
+        let f0 = &files.iter().find(|(r, _)| *r == 0).unwrap().1;
+        assert_eq!(f0.records, vec![(1, 10), (5, 50)]);
+        assert_eq!(f0.raw_count, 2);
+    }
+
+    #[test]
+    fn combiner_folds_but_annotation_keeps_raw_count() {
+        let counters = Counters::default();
+        let mut b = MapOutputBuilder::<u64, u64>::new(1);
+        b.push(0, 7, 1).unwrap();
+        b.push(0, 7, 2).unwrap();
+        b.push(0, 7, 3).unwrap();
+        b.push(0, 9, 4).unwrap();
+        let files = b.finish(Some(&SumCombiner), &counters).unwrap();
+        let f = &files[0].1;
+        assert_eq!(f.records, vec![(7, 6), (9, 4)]);
+        assert_eq!(f.raw_count, 4, "annotation counts raw pairs, not combined");
+    }
+
+    #[test]
+    fn empty_partitions_produce_no_file() {
+        let counters = Counters::default();
+        let mut b = MapOutputBuilder::<u64, u64>::new(3);
+        b.push(1, 1, 1).unwrap();
+        let files = b.finish(None, &counters).unwrap();
+        assert_eq!(files.len(), 1);
+        assert_eq!(files[0].0, 1);
+    }
+
+    #[test]
+    fn fetch_counts_connections_even_when_empty() {
+        let counters = Counters::default();
+        let store = ShuffleStore::<u64, u64>::new(false);
+        store
+            .put(
+                0,
+                0,
+                MapOutputFile {
+                    records: vec![(1, 1)],
+                    raw_count: 1,
+                },
+            )
+            .unwrap();
+        assert!(store.fetch(0, 0, &counters).unwrap().is_some());
+        assert!(store.fetch(5, 0, &counters).unwrap().is_none()); // empty fetch
+        assert_eq!(counters.snapshot().shuffle_connections, 2);
+        assert_eq!(counters.snapshot().shuffled_records, 1);
+    }
+
+    #[test]
+    fn consume_on_fetch_removes_files() {
+        let counters = Counters::default();
+        let store = ShuffleStore::<u64, u64>::new(true);
+        store.put(0, 0, MapOutputFile { records: vec![(1, 1)], raw_count: 1 }).unwrap();
+        assert!(store.fetch(0, 0, &counters).unwrap().is_some());
+        assert!(!store.contains(0, 0));
+        assert!(store.fetch(0, 0, &counters).unwrap().is_none());
+    }
+
+    #[test]
+    fn merge_groups_values_across_files() {
+        let f1 = Arc::new(MapOutputFile {
+            records: vec![(1u64, 10u64), (3, 30)],
+            raw_count: 2,
+        });
+        let f2 = Arc::new(MapOutputFile {
+            records: vec![(1, 11), (2, 20)],
+            raw_count: 2,
+        });
+        let merged = merge_files(&[f1, f2]);
+        assert_eq!(
+            merged,
+            vec![(1, vec![10, 11]), (2, vec![20]), (3, vec![30])]
+        );
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let merged: Vec<(u64, Vec<u64>)> = merge_files(&[]);
+        assert!(merged.is_empty());
+    }
+}

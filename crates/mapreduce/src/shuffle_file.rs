@@ -1,0 +1,194 @@
+//! On-disk map-output files with the §3.2.1 count annotation in the
+//! header.
+//!
+//! "Approach 2 requires the addition of a field to the header for each
+//! Map output file that indicates how many ⟨k,v⟩ are represented by
+//! the set of all ⟨k′,v′⟩ in that file. With this addition, a Reduce
+//! task can track the count of how many ⟨k,v⟩ are represented by the
+//! contents of the files containing its intermediate data **without
+//! having to read and parse those files**."
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic    b"SMOF"
+//! version  u32
+//! raw      u64   <- the annotation: raw ⟨k,v⟩ pairs represented
+//! records  u64   <- ⟨k′,v′⟩ records that follow
+//! payload  records × (key, value) in WireFormat encoding
+//! ```
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::error::MrError;
+use crate::shuffle::MapOutputFile;
+use crate::task::{MrKey, MrValue};
+use crate::wire::WireFormat;
+use crate::Result;
+
+const MAGIC: [u8; 4] = *b"SMOF";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 4 + 4 + 8 + 8;
+
+/// Writes one map-output file to `path`.
+pub fn write_map_output<K, V>(path: impl AsRef<Path>, file: &MapOutputFile<K, V>) -> Result<()>
+where
+    K: MrKey + WireFormat,
+    V: MrValue + WireFormat,
+{
+    let mut out = BufWriter::new(File::create(path).map_err(io_err)?);
+    out.write_all(&MAGIC).map_err(io_err)?;
+    out.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
+    out.write_all(&file.raw_count.to_le_bytes()).map_err(io_err)?;
+    out.write_all(&(file.records.len() as u64).to_le_bytes())
+        .map_err(io_err)?;
+    let mut buf = Vec::new();
+    for (k, v) in &file.records {
+        buf.clear();
+        k.encode(&mut buf);
+        v.encode(&mut buf);
+        out.write_all(&buf).map_err(io_err)?;
+    }
+    out.flush().map_err(io_err)?;
+    Ok(())
+}
+
+/// Reads *only* the header: `(raw_count, record_count)` — the
+/// annotation tally path that lets a Reduce task understand its data
+/// "at the logical level" without parsing it (§3.2.1).
+pub fn read_annotation(path: impl AsRef<Path>) -> Result<(u64, u64)> {
+    let mut file = File::open(path).map_err(io_err)?;
+    let mut header = [0u8; HEADER_LEN];
+    file.read_exact(&mut header).map_err(io_err)?;
+    parse_header(&header)
+}
+
+fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u64, u64)> {
+    if header[..4] != MAGIC {
+        return Err(MrError::Source(format!(
+            "not a map-output file (magic {:?})",
+            &header[..4]
+        )));
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().expect("len 4"));
+    if version != VERSION {
+        return Err(MrError::Source(format!("unknown map-output version {version}")));
+    }
+    let raw = u64::from_le_bytes(header[8..16].try_into().expect("len 8"));
+    let records = u64::from_le_bytes(header[16..24].try_into().expect("len 8"));
+    Ok((raw, records))
+}
+
+/// Reads a complete map-output file back.
+pub fn read_map_output<K, V>(path: impl AsRef<Path>) -> Result<MapOutputFile<K, V>>
+where
+    K: MrKey + WireFormat,
+    V: MrValue + WireFormat,
+{
+    let mut file = File::open(path).map_err(io_err)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes).map_err(io_err)?;
+    if bytes.len() < HEADER_LEN {
+        return Err(MrError::Source("map-output file shorter than header".into()));
+    }
+    let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("len checked");
+    let (raw_count, n_records) = parse_header(header)?;
+    let mut buf = &bytes[HEADER_LEN..];
+    // Cap the pre-allocation: a corrupt count field must not trigger a
+    // huge allocation before decoding fails.
+    let mut records = Vec::with_capacity((n_records as usize).min(1 << 20));
+    for _ in 0..n_records {
+        let k = K::decode(&mut buf)?;
+        let v = V::decode(&mut buf)?;
+        records.push((k, v));
+    }
+    if !buf.is_empty() {
+        return Err(MrError::Source(format!(
+            "{} trailing bytes after {} records",
+            buf.len(),
+            n_records
+        )));
+    }
+    Ok(MapOutputFile { records, raw_count })
+}
+
+fn io_err(e: std::io::Error) -> MrError {
+    MrError::Source(format!("shuffle spill I/O: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidr_coords::Coord;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sidr-smof-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn sample() -> MapOutputFile<Coord, f64> {
+        MapOutputFile {
+            records: vec![
+                (Coord::from([0, 1]), 1.5),
+                (Coord::from([0, 2]), -2.25),
+                (Coord::from([1, 0]), 0.0),
+            ],
+            raw_count: 12, // combiner folded 12 raw pairs into 3
+        }
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let path = temp_path("roundtrip");
+        let f = sample();
+        write_map_output(&path, &f).unwrap();
+        let back: MapOutputFile<Coord, f64> = read_map_output(&path).unwrap();
+        assert_eq!(back.records, f.records);
+        assert_eq!(back.raw_count, 12);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn annotation_read_is_header_only() {
+        let path = temp_path("annotation");
+        write_map_output(&path, &sample()).unwrap();
+        // Truncate the payload: the annotation must still be readable
+        // (it never touches the records).
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..HEADER_LEN]).unwrap();
+        let (raw, records) = read_annotation(&path).unwrap();
+        assert_eq!((raw, records), (12, 3));
+        // But a full read of the truncated file fails loudly.
+        assert!(read_map_output::<Coord, f64>(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let path = temp_path("magic");
+        write_map_output(&path, &sample()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_annotation(&path).is_err());
+        bytes[0] = b'S';
+        bytes[4] = 9;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_annotation(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let path = temp_path("trailing");
+        write_map_output(&path, &sample()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0xAB);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_map_output::<Coord, f64>(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,138 @@
+//! Task timelines: the raw material of the paper's Figures 9–13
+//! (task completion over time).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskKind {
+    MapStart,
+    MapEnd,
+    /// Reduce task occupied a slot and began its copy phase.
+    ReduceStart,
+    /// All of the reduce task's fetch sources had completed and been
+    /// fetched — its barrier (global or dependency-based) was met.
+    ReduceBarrierMet,
+    /// Reduce output committed (a correct partial result is now
+    /// available, §3.4).
+    ReduceEnd,
+    /// Injected reduce failure (recovery experiments).
+    ReduceFailed,
+}
+
+/// One timeline event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskEvent {
+    pub kind: TaskKind,
+    /// Map task id or reducer id, per kind.
+    pub task: usize,
+    /// Time since job start.
+    pub at: Duration,
+}
+
+/// Thread-safe event recorder.
+pub struct Timeline {
+    start: Instant,
+    events: Mutex<Vec<TaskEvent>>,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Timeline {
+    pub fn new() -> Self {
+        Timeline {
+            start: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records an event now.
+    pub fn record(&self, kind: TaskKind, task: usize) {
+        let at = self.start.elapsed();
+        self.events.lock().push(TaskEvent { kind, task, at });
+    }
+
+    /// All events, sorted by time.
+    pub fn events(&self) -> Vec<TaskEvent> {
+        let mut evs = self.events.lock().clone();
+        evs.sort_by_key(|e| e.at);
+        evs
+    }
+
+    /// Completion times of all events of `kind`, sorted.
+    pub fn completions(&self, kind: TaskKind) -> Vec<Duration> {
+        let mut times: Vec<Duration> = self
+            .events
+            .lock()
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.at)
+            .collect();
+        times.sort();
+        times
+    }
+
+    /// Time of the first committed reduce output — the paper's
+    /// "time to first result".
+    pub fn first_result(&self) -> Option<Duration> {
+        self.completions(TaskKind::ReduceEnd).first().copied()
+    }
+
+    /// Time of the last committed reduce output — total query time.
+    pub fn job_end(&self) -> Option<Duration> {
+        self.completions(TaskKind::ReduceEnd).last().copied()
+    }
+
+    /// Fraction of Map tasks complete at the moment the first reduce
+    /// result committed (the paper's "initial results with only 6 % of
+    /// the query completed" metric).
+    pub fn maps_done_at_first_result(&self) -> Option<f64> {
+        let first = self.first_result()?;
+        let map_ends = self.completions(TaskKind::MapEnd);
+        if map_ends.is_empty() {
+            return None;
+        }
+        let done = map_ends.iter().filter(|&&t| t <= first).count();
+        Some(done as f64 / map_ends.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sorts_events() {
+        let tl = Timeline::new();
+        tl.record(TaskKind::MapStart, 0);
+        tl.record(TaskKind::MapEnd, 0);
+        tl.record(TaskKind::ReduceEnd, 0);
+        let evs = tl.events();
+        assert_eq!(evs.len(), 3);
+        assert!(evs.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn first_result_and_fraction() {
+        let tl = Timeline::new();
+        tl.record(TaskKind::MapEnd, 0);
+        tl.record(TaskKind::ReduceEnd, 0);
+        tl.record(TaskKind::MapEnd, 1);
+        assert!(tl.first_result().is_some());
+        let frac = tl.maps_done_at_first_result().unwrap();
+        assert!((frac - 0.5).abs() < 1e-9, "frac {frac}");
+    }
+
+    #[test]
+    fn empty_timeline_has_no_result() {
+        let tl = Timeline::new();
+        assert_eq!(tl.first_result(), None);
+        assert_eq!(tl.maps_done_at_first_result(), None);
+    }
+}

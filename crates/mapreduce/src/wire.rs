@@ -1,0 +1,162 @@
+//! Wire encoding for intermediate keys and values.
+//!
+//! Map-output files live on TaskTracker disks and cross the network
+//! during the shuffle (§2.3), so intermediate keys and values need a
+//! byte encoding. Little-endian, length-prefixed where variable.
+
+use bytes::{Buf, BufMut};
+
+use crate::error::MrError;
+use crate::Result;
+
+/// A type that can cross the shuffle on disk / the wire.
+pub trait WireFormat: Sized {
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value from the front of `buf`, advancing it.
+    fn decode(buf: &mut &[u8]) -> Result<Self>;
+}
+
+fn need(buf: &&[u8], n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        return Err(MrError::Source(format!(
+            "truncated shuffle record: need {n} bytes, have {}",
+            buf.remaining()
+        )));
+    }
+    Ok(())
+}
+
+macro_rules! impl_wire_num {
+    ($t:ty, $get:ident, $put:ident) => {
+        impl WireFormat for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.$put(*self);
+            }
+            fn decode(buf: &mut &[u8]) -> Result<Self> {
+                need(buf, std::mem::size_of::<$t>())?;
+                Ok(buf.$get())
+            }
+        }
+    };
+}
+
+impl_wire_num!(u32, get_u32_le, put_u32_le);
+impl_wire_num!(u64, get_u64_le, put_u64_le);
+impl_wire_num!(i32, get_i32_le, put_i32_le);
+impl_wire_num!(i64, get_i64_le, put_i64_le);
+impl_wire_num!(f32, get_f32_le, put_f32_le);
+impl_wire_num!(f64, get_f64_le, put_f64_le);
+
+impl WireFormat for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u32_le(self.len() as u32);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        need(buf, 4)?;
+        let len = buf.get_u32_le() as usize;
+        need(buf, len)?;
+        let s = std::str::from_utf8(&buf[..len])
+            .map_err(|e| MrError::Source(format!("invalid UTF-8 in shuffle record: {e}")))?
+            .to_string();
+        buf.advance(len);
+        Ok(s)
+    }
+}
+
+impl WireFormat for sidr_coords::Coord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u32_le(self.rank() as u32);
+        for &c in self.components() {
+            out.put_u64_le(c);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        need(buf, 4)?;
+        let rank = buf.get_u32_le() as usize;
+        need(buf, rank * 8)?;
+        let comps: Vec<u64> = (0..rank).map(|_| buf.get_u64_le()).collect();
+        Ok(sidr_coords::Coord::new(comps))
+    }
+}
+
+impl<A: WireFormat, B: WireFormat> WireFormat for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<T: WireFormat> WireFormat for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u32_le(self.len() as u32);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self> {
+        need(buf, 4)?;
+        let n = buf.get_u32_le() as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidr_coords::Coord;
+
+    fn roundtrip<T: WireFormat + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        assert_eq!(T::decode(&mut slice).unwrap(), v);
+        assert!(slice.is_empty(), "trailing bytes after decode");
+    }
+
+    #[test]
+    fn numeric_roundtrips() {
+        roundtrip(42u32);
+        roundtrip(u64::MAX);
+        roundtrip(-7i32);
+        roundtrip(i64::MIN);
+        roundtrip(3.25f32);
+        roundtrip(-1.5e300f64);
+    }
+
+    #[test]
+    fn string_and_coord_roundtrips() {
+        roundtrip(String::from("weekly averages"));
+        roundtrip(String::new());
+        roundtrip(Coord::from([157, 34, 82]));
+        roundtrip((Coord::from([1, 2]), 9.5f64));
+        roundtrip(vec![1u64, 2, 3]);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        Coord::from([1, 2, 3]).encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            assert!(Coord::decode(&mut slice).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let mut slice = buf.as_slice();
+        assert!(String::decode(&mut slice).is_err());
+    }
+}

@@ -1,0 +1,515 @@
+//! End-to-end tests of the MapReduce engine: correctness of the full
+//! map → shuffle → reduce pipeline, barrier semantics, connection
+//! accounting, inverted scheduling, fault injection and recovery.
+
+use std::time::Duration;
+
+use sidr_coords::{Coord, Shape, Slab};
+use sidr_mapreduce::{
+    run_job, DefaultPlan, FnMapper, FnReducer, InMemoryOutput, InputSplit, JobConfig, MapTaskId,
+    ModuloPartitioner, RoutingPlan, SliceRecordSource, TaskKind,
+};
+
+/// Splits `0..n` into `pieces` integer-keyed splits.
+fn number_splits(n: u64, pieces: u64) -> Vec<InputSplit> {
+    let space = Shape::new(vec![n]).unwrap();
+    Slab::whole(&space)
+        .split_along_longest(pieces)
+        .into_iter()
+        .map(|slab| InputSplit {
+            byte_range: (slab.corner()[0] * 8, (slab.corner()[0] + slab.shape()[0]) * 8),
+            slab,
+            preferred_nodes: vec![],
+        })
+        .collect()
+}
+
+/// Source yielding `(i, i)` for each coordinate of the split.
+fn identity_source(
+    _id: MapTaskId,
+    split: &InputSplit,
+) -> sidr_mapreduce::Result<SliceRecordSource<u64, u64>> {
+    let records: Vec<(u64, u64)> = split
+        .slab
+        .iter_coords()
+        .map(|c: Coord| (c[0], c[0]))
+        .collect();
+    Ok(SliceRecordSource::new(records))
+}
+
+fn sum_by_mod10() -> (
+    FnMapper<u64, u64, u64, u64, impl Fn(&u64, &u64, &mut dyn FnMut(u64, u64)) + Send + Sync>,
+    FnReducer<u64, u64, u64, impl Fn(&u64, &[u64], &mut dyn FnMut(u64)) + Send + Sync>,
+) {
+    (
+        FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(k % 10, *v)),
+        FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
+            emit(vs.iter().sum())
+        }),
+    )
+}
+
+#[test]
+fn sums_by_key_are_exact() {
+    let splits = number_splits(1000, 7);
+    let (mapper, reducer) = sum_by_mod10();
+    let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 4);
+    let output = InMemoryOutput::new();
+    let result = run_job(
+        &splits,
+        &identity_source,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        &JobConfig::default(),
+    )
+    .unwrap();
+
+    // Ground truth: sum of i in 0..1000 with i % 10 == d.
+    let records = output.sorted_records();
+    assert_eq!(records.len(), 10);
+    for (d, sum) in &records {
+        let expect: u64 = (0..1000u64).filter(|i| i % 10 == *d).sum();
+        assert_eq!(*sum, expect, "digit {d}");
+    }
+    assert_eq!(result.counters.map_records_in, 1000);
+    assert_eq!(result.counters.map_records_out, 1000);
+    assert_eq!(result.counters.reduce_records_out, 10);
+}
+
+#[test]
+fn hadoop_mode_contacts_every_map() {
+    // Table 3's Hadoop column: connections = maps × reducers.
+    let splits = number_splits(100, 5);
+    let (mapper, reducer) = sum_by_mod10();
+    let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 4);
+    let output = InMemoryOutput::new();
+    let result = run_job(
+        &splits,
+        &identity_source,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        &JobConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(result.counters.shuffle_connections, 5 * 4);
+}
+
+#[test]
+fn global_barrier_orders_all_maps_before_any_reduce_barrier() {
+    let splits = number_splits(200, 8);
+    let (mapper, reducer) = sum_by_mod10();
+    let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 3);
+    let output = InMemoryOutput::new();
+    let result = run_job(
+        &splits,
+        &identity_source,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        &JobConfig {
+            map_think: Duration::from_millis(2),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let last_map_end = *result.completions(TaskKind::MapEnd).last().unwrap();
+    let first_barrier = result.completions(TaskKind::ReduceBarrierMet)[0];
+    assert!(
+        first_barrier >= last_map_end,
+        "global barrier violated: barrier {first_barrier:?} before last map {last_map_end:?}"
+    );
+}
+
+/// A hand-built dependency-aware plan over modulo keys: reducer d owns
+/// keys ≡ d (mod r); with splits that are contiguous ranges, *every*
+/// split produces keys for every reducer, so deps are still all maps —
+/// instead we give it artificial 1:1 deps to test the mechanics.
+struct OneToOnePlan {
+    n: usize,
+}
+
+impl RoutingPlan<u64> for OneToOnePlan {
+    fn num_reducers(&self) -> usize {
+        self.n
+    }
+    fn partition(&self, key: &u64) -> usize {
+        (*key as usize) % self.n
+    }
+    fn reduce_deps(&self, reducer: usize) -> Option<Vec<MapTaskId>> {
+        Some(vec![reducer])
+    }
+    fn invert_scheduling(&self) -> bool {
+        true
+    }
+}
+
+/// Source where split i yields only key i (so reducer i depends only
+/// on map i under mod-n partitioning with n splits).
+fn diagonal_source(
+    id: MapTaskId,
+    _split: &InputSplit,
+) -> sidr_mapreduce::Result<SliceRecordSource<u64, u64>> {
+    Ok(SliceRecordSource::new(vec![(id as u64, 100 + id as u64)]))
+}
+
+#[test]
+fn dependency_barrier_lets_reduces_finish_before_all_maps() {
+    let n = 6usize;
+    let splits = number_splits(n as u64, n as u64);
+    let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*k, *v));
+    let reducer = FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
+        emit(vs.iter().sum())
+    });
+    let plan = OneToOnePlan { n };
+    let output = InMemoryOutput::new();
+    let result = run_job(
+        &splits,
+        &diagonal_source,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        &JobConfig {
+            map_slots: 1, // serialize maps so overlap is observable
+            reduce_slots: 2,
+            map_think: Duration::from_millis(5),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    // With 1:1 deps and serialized maps, the first reduce commits
+    // before the last map finishes (Fig. 4b).
+    let first_result = result.first_result().unwrap();
+    let last_map = *result.completions(TaskKind::MapEnd).last().unwrap();
+    assert!(
+        first_result < last_map,
+        "no early result: first result {first_result:?}, last map {last_map:?}"
+    );
+    // Connections: one per (reducer, dep) = n, not n².
+    assert_eq!(result.counters.shuffle_connections, n as u64);
+    // Output is still complete and correct.
+    let records = output.sorted_records();
+    assert_eq!(records.len(), n);
+    for (k, v) in records {
+        assert_eq!(v, 100 + k);
+    }
+}
+
+#[test]
+fn inverted_scheduling_skips_undepended_maps() {
+    // 8 maps but only 4 reducers with 1:1 deps: maps 4..8 are skipped.
+    let n = 4usize;
+    let splits = number_splits(8, 8);
+    let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*k, *v));
+    let reducer = FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
+        emit(vs.iter().sum())
+    });
+    let plan = OneToOnePlan { n };
+    let output = InMemoryOutput::new();
+    let result = run_job(
+        &splits,
+        &diagonal_source,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        &JobConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(result.counters.maps_skipped, 4);
+    assert_eq!(result.completions(TaskKind::MapEnd).len(), 4);
+    assert_eq!(output.len(), 4);
+}
+
+#[test]
+fn injected_reduce_failure_recovers_by_reexecuting_maps() {
+    let n = 5usize;
+    let splits = number_splits(n as u64, n as u64);
+    let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*k, *v));
+    let reducer = FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
+        emit(vs.iter().sum())
+    });
+    let plan = OneToOnePlan { n };
+    let output = InMemoryOutput::new();
+    let result = run_job(
+        &splits,
+        &diagonal_source,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        &JobConfig {
+            fail_reducers: vec![2],
+            volatile_intermediate: true, // §6: intermediate data not persisted
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(result.counters.reduce_failures, 1);
+    assert_eq!(result.counters.maps_reexecuted, 1, "only the dep map re-runs");
+    // Output still complete and correct despite the failure.
+    let records = output.sorted_records();
+    assert_eq!(records.len(), n);
+    for (k, v) in records {
+        assert_eq!(v, 100 + k);
+    }
+}
+
+#[test]
+fn failure_without_volatile_store_needs_no_reexecution() {
+    let n = 4usize;
+    let splits = number_splits(n as u64, n as u64);
+    let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*k, *v));
+    let reducer = FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
+        emit(vs.iter().sum())
+    });
+    let plan = OneToOnePlan { n };
+    let output = InMemoryOutput::new();
+    let result = run_job(
+        &splits,
+        &diagonal_source,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        &JobConfig {
+            fail_reducers: vec![1],
+            volatile_intermediate: false, // Hadoop persists map output
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(result.counters.reduce_failures, 1);
+    assert_eq!(result.counters.maps_reexecuted, 0);
+    assert_eq!(output.len(), n);
+}
+
+#[test]
+fn empty_splits_rejected() {
+    let (mapper, reducer) = sum_by_mod10();
+    let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 2);
+    let output = InMemoryOutput::new();
+    let err = run_job(
+        &[],
+        &identity_source,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        &JobConfig::default(),
+    );
+    assert!(err.is_err());
+}
+
+#[test]
+fn zero_slots_rejected() {
+    let splits = number_splits(10, 2);
+    let (mapper, reducer) = sum_by_mod10();
+    let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 2);
+    let output = InMemoryOutput::new();
+    for cfg in [
+        JobConfig { map_slots: 0, ..Default::default() },
+        JobConfig { reduce_slots: 0, ..Default::default() },
+    ] {
+        assert!(run_job(
+            &splits,
+            &identity_source,
+            &mapper,
+            None,
+            &reducer,
+            &plan,
+            &output,
+            &cfg,
+        )
+        .is_err());
+    }
+}
+
+#[test]
+fn spilled_shuffle_matches_in_memory() {
+    let splits = number_splits(500, 6);
+    let (mapper, reducer) = sum_by_mod10();
+    let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 4);
+
+    let run_with = |spill: Option<std::path::PathBuf>| {
+        let output = InMemoryOutput::new();
+        let result = run_job(
+            &splits,
+            &identity_source,
+            &mapper,
+            None,
+            &reducer,
+            &plan,
+            &output,
+            &JobConfig {
+                spill_dir: spill,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (output.sorted_records(), result.counters)
+    };
+
+    let dir = std::env::temp_dir().join(format!("sidr-engine-spill-{}", std::process::id()));
+    let (mem_records, mem_counters) = run_with(None);
+    let (disk_records, disk_counters) = run_with(Some(dir.clone()));
+    assert_eq!(mem_records, disk_records);
+    assert_eq!(
+        mem_counters.shuffled_records,
+        disk_counters.shuffled_records
+    );
+    // The spill directory actually held SMOF files during the run.
+    assert!(dir.exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn map_side_spill_produces_identical_output() {
+    // A tiny sort buffer forces many spill runs per map task; the
+    // merged result must equal the all-in-memory run, including with
+    // a combiner.
+    let splits = number_splits(3000, 5);
+    let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| {
+        emit(k % 37, *v)
+    });
+    let reducer = FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
+        emit(vs.iter().sum())
+    });
+    struct SumCombiner;
+    impl sidr_mapreduce::Combiner for SumCombiner {
+        type Key = u64;
+        type Value = u64;
+        fn combine(&self, _key: &u64, values: Vec<u64>) -> Vec<u64> {
+            vec![values.iter().sum()]
+        }
+    }
+    let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 4);
+
+    let run_with = |spill: Option<usize>| {
+        let output = InMemoryOutput::new();
+        let dir = std::env::temp_dir().join(format!(
+            "sidr-mapspill-{}-{}",
+            std::process::id(),
+            spill.unwrap_or(0)
+        ));
+        let result = run_job(
+            &splits,
+            &identity_source,
+            &mapper,
+            Some(&SumCombiner),
+            &reducer,
+            &plan,
+            &output,
+            &JobConfig {
+                map_spill_records: spill,
+                spill_dir: spill.map(|_| dir.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        if dir.exists() {
+            // Run files are merged and deleted; only final SMOF files
+            // (from the spilled shuffle store) remain.
+            let leftover_runs = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .file_name()
+                        .to_string_lossy()
+                        .contains("-run")
+                })
+                .count();
+            assert_eq!(leftover_runs, 0, "spill runs must be cleaned up");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        (output.sorted_records(), result.counters)
+    };
+
+    let (mem, _) = run_with(None);
+    let (spilled, counters) = run_with(Some(64)); // ~10 spills per map
+    assert_eq!(mem, spilled);
+    // The combiner still folded records despite spilling.
+    assert!(counters.combined_records < counters.map_records_out);
+}
+
+#[test]
+fn spilled_volatile_recovery_reexecutes_and_recovers() {
+    // The §6 regime with a *real* on-disk shuffle: consuming a fetch
+    // deletes the file; the injected failure forces map re-execution
+    // which regenerates it.
+    let n = 5usize;
+    let splits = number_splits(n as u64, n as u64);
+    let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*k, *v));
+    let reducer = FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
+        emit(vs.iter().sum())
+    });
+    let plan = OneToOnePlan { n };
+    let output = InMemoryOutput::new();
+    let dir = std::env::temp_dir().join(format!("sidr-engine-spillvol-{}", std::process::id()));
+    let result = run_job(
+        &splits,
+        &diagonal_source,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        &JobConfig {
+            fail_reducers: vec![2],
+            volatile_intermediate: true,
+            spill_dir: Some(dir.clone()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(result.counters.maps_reexecuted, 1);
+    assert_eq!(output.len(), n);
+    // All files were consumed by fetches: nothing persists.
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reduce_waves_with_few_slots() {
+    // 10 reducers over 2 slots: all complete, in waves.
+    let splits = number_splits(100, 4);
+    let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| {
+        emit(k % 10, *v)
+    });
+    let reducer = FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
+        emit(vs.len() as u64)
+    });
+    let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 10);
+    let output = InMemoryOutput::new();
+    let result = run_job(
+        &splits,
+        &identity_source,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        &JobConfig {
+            reduce_slots: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(result.completions(TaskKind::ReduceEnd).len(), 10);
+    assert_eq!(output.len(), 10);
+}

@@ -1,0 +1,189 @@
+//! CDL — the textual metadata notation of the paper's Figure 1.
+//!
+//! ```text
+//! dimensions:
+//!     time = 365;
+//!     lat = 250;
+//!     lon = 200;
+//! variables:
+//!     int temperature(time, lat, lon);
+//!     :source = "NOAA";
+//! ```
+//!
+//! [`parse_cdl`] inverts [`Metadata`]'s `Display` impl, so metadata
+//! survives a text round-trip — handy for writing dataset descriptions
+//! by hand (the `sidr generate` flow) and for tests.
+
+use crate::error::ScifileError;
+use crate::metadata::{DataType, Dimension, Metadata, Variable};
+use crate::Result;
+
+/// Parses CDL text into [`Metadata`].
+pub fn parse_cdl(text: &str) -> Result<Metadata> {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Dimensions,
+        Variables,
+    }
+    let mut section = Section::None;
+    let mut dims = Vec::new();
+    let mut vars = Vec::new();
+    let mut attrs: Vec<(String, String)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with("//") {
+            continue;
+        }
+        let err = |msg: &str| {
+            ScifileError::CorruptHeader(format!("CDL line {}: {msg}: '{line}'", lineno + 1))
+        };
+        if line.eq_ignore_ascii_case("dimensions:") {
+            section = Section::Dimensions;
+            continue;
+        }
+        if line.eq_ignore_ascii_case("variables:") {
+            section = Section::Variables;
+            continue;
+        }
+        // Attributes (`:name = "value";`) are legal in any section.
+        if let Some(rest) = line.strip_prefix(':') {
+            let rest = rest.strip_suffix(';').ok_or_else(|| err("missing ';'"))?;
+            let (key, value) = rest.split_once('=').ok_or_else(|| err("missing '='"))?;
+            let value = value.trim();
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| err("attribute value must be double-quoted"))?;
+            attrs.push((key.trim().to_string(), value.to_string()));
+            continue;
+        }
+        match section {
+            Section::None => return Err(err("content before 'dimensions:' or 'variables:'")),
+            Section::Dimensions => {
+                let body = line.strip_suffix(';').ok_or_else(|| err("missing ';'"))?;
+                let (name, len) = body.split_once('=').ok_or_else(|| err("missing '='"))?;
+                let len: u64 = len
+                    .trim()
+                    .parse()
+                    .map_err(|_| err("dimension length must be an integer"))?;
+                dims.push(Dimension::new(name.trim(), len));
+            }
+            Section::Variables => {
+                let body = line.strip_suffix(';').ok_or_else(|| err("missing ';'"))?;
+                let (head, dims_part) = body
+                    .split_once('(')
+                    .ok_or_else(|| err("expected 'type name(dims...)'"))?;
+                let dims_part = dims_part
+                    .strip_suffix(')')
+                    .ok_or_else(|| err("missing ')'"))?;
+                let mut head_words = head.split_whitespace();
+                let type_word = head_words.next().ok_or_else(|| err("missing type"))?;
+                let name = head_words.next().ok_or_else(|| err("missing variable name"))?;
+                if head_words.next().is_some() {
+                    return Err(err("unexpected tokens before '('"));
+                }
+                let dtype = match type_word {
+                    "int" => DataType::I32,
+                    "int64" => DataType::I64,
+                    "float" => DataType::F32,
+                    "double" => DataType::F64,
+                    other => {
+                        return Err(ScifileError::CorruptHeader(format!(
+                            "CDL line {}: unknown type '{other}'",
+                            lineno + 1
+                        )))
+                    }
+                };
+                let var_dims: Vec<String> = if dims_part.trim().is_empty() {
+                    Vec::new()
+                } else {
+                    dims_part.split(',').map(|d| d.trim().to_string()).collect()
+                };
+                vars.push(Variable::new(name, dtype, var_dims));
+            }
+        }
+    }
+
+    let mut md = Metadata::new(dims, vars)?;
+    for (k, v) in attrs {
+        md.set_attribute(k, v);
+    }
+    Ok(md)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE1: &str = "\
+dimensions:
+    time = 365;
+    lat = 250;
+    lon = 200;
+variables:
+    int temperature(time, lat, lon);
+";
+
+    #[test]
+    fn parses_figure1() {
+        let md = parse_cdl(FIGURE1).unwrap();
+        assert_eq!(md.dimension_len("time").unwrap(), 365);
+        assert_eq!(md.dimension_len("lat").unwrap(), 250);
+        let var = md.variable("temperature").unwrap();
+        assert_eq!(var.dtype, DataType::I32);
+        assert_eq!(var.dims, vec!["time", "lat", "lon"]);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let mut md = parse_cdl(FIGURE1).unwrap();
+        md.set_attribute("source", "sidr-repro");
+        let text = md.to_string();
+        let back = parse_cdl(&text).unwrap();
+        assert_eq!(back, md);
+    }
+
+    #[test]
+    fn attributes_and_comments() {
+        let md = parse_cdl(
+            "// a comment\ndimensions:\n  t = 4;\nvariables:\n  double v(t);\n  :unit = \"m/s\";\n",
+        )
+        .unwrap();
+        assert_eq!(md.attributes().get("unit").map(String::as_str), Some("m/s"));
+    }
+
+    #[test]
+    fn all_types_parse() {
+        let md = parse_cdl(
+            "dimensions:\n t = 2;\nvariables:\n int a(t);\n int64 b(t);\n float c(t);\n double d(t);\n",
+        )
+        .unwrap();
+        assert_eq!(md.variable("a").unwrap().dtype, DataType::I32);
+        assert_eq!(md.variable("b").unwrap().dtype, DataType::I64);
+        assert_eq!(md.variable("c").unwrap().dtype, DataType::F32);
+        assert_eq!(md.variable("d").unwrap().dtype, DataType::F64);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for bad in [
+            "dimensions:\n time 365;\n",         // missing '='
+            "dimensions:\n time = x;\n",         // non-integer
+            "variables:\n quux temperature(t);\n", // unknown type before dims declared
+            "time = 3;\n",                       // content before a section
+            "dimensions:\n time = 3\n",          // missing ';'
+        ] {
+            let err = parse_cdl(bad).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("CDL line") || msg.contains("undefined"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn dangling_dimension_still_caught() {
+        let err = parse_cdl("dimensions:\n t = 2;\nvariables:\n int v(missing);\n").unwrap_err();
+        assert!(matches!(err, ScifileError::DanglingDimension { .. }));
+    }
+}

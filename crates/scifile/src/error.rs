@@ -1,0 +1,89 @@
+//! Error type for SciNC file operations.
+
+use std::fmt;
+use std::io;
+
+use sidr_coords::CoordError;
+
+/// Errors from SciNC file I/O and metadata handling.
+#[derive(Debug)]
+pub enum ScifileError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// Coordinate-space inconsistency (rank mismatch, out of bounds…).
+    Coord(CoordError),
+    /// The file is not a SciNC file or is from an unknown version.
+    BadMagic { found: [u8; 4] },
+    /// Unsupported format version.
+    BadVersion { found: u32 },
+    /// Header bytes could not be decoded.
+    CorruptHeader(String),
+    /// A named dimension or variable does not exist.
+    NoSuchDimension(String),
+    /// A named variable does not exist.
+    NoSuchVariable(String),
+    /// A variable references a dimension missing from the metadata.
+    DanglingDimension { variable: String, dimension: String },
+    /// The requested element type does not match the variable's type.
+    TypeMismatch {
+        variable: String,
+        expected: crate::metadata::DataType,
+        actual: crate::metadata::DataType,
+    },
+    /// A write supplied the wrong number of elements for its slab.
+    LengthMismatch { expected: u64, actual: u64 },
+    /// Duplicate dimension or variable name at metadata construction.
+    DuplicateName(String),
+}
+
+impl fmt::Display for ScifileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScifileError::Io(e) => write!(f, "I/O error: {e}"),
+            ScifileError::Coord(e) => write!(f, "coordinate error: {e}"),
+            ScifileError::BadMagic { found } => {
+                write!(f, "not a SciNC file (magic {found:?})")
+            }
+            ScifileError::BadVersion { found } => {
+                write!(f, "unsupported SciNC version {found}")
+            }
+            ScifileError::CorruptHeader(msg) => write!(f, "corrupt header: {msg}"),
+            ScifileError::NoSuchDimension(name) => write!(f, "no such dimension: {name}"),
+            ScifileError::NoSuchVariable(name) => write!(f, "no such variable: {name}"),
+            ScifileError::DanglingDimension { variable, dimension } => write!(
+                f,
+                "variable {variable} references undefined dimension {dimension}"
+            ),
+            ScifileError::TypeMismatch { variable, expected, actual } => write!(
+                f,
+                "variable {variable} holds {actual:?}, requested {expected:?}"
+            ),
+            ScifileError::LengthMismatch { expected, actual } => {
+                write!(f, "expected {expected} elements, got {actual}")
+            }
+            ScifileError::DuplicateName(name) => write!(f, "duplicate name: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for ScifileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScifileError::Io(e) => Some(e),
+            ScifileError::Coord(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ScifileError {
+    fn from(e: io::Error) -> Self {
+        ScifileError::Io(e)
+    }
+}
+
+impl From<CoordError> for ScifileError {
+    fn from(e: CoordError) -> Self {
+        ScifileError::Coord(e)
+    }
+}

@@ -1,0 +1,231 @@
+//! Binary on-disk layout of SciNC files.
+//!
+//! ```text
+//! offset 0:  magic  b"SCNC"
+//!            version u32 LE
+//!            header_len u64 LE        (bytes of the metadata block)
+//!            metadata block           (see encode_metadata)
+//!            padding to 8-byte alignment
+//! data:      one dense row-major array per variable, in declaration
+//!            order, each 8-byte aligned
+//! ```
+//!
+//! All integers are little-endian. Strings are u32-length-prefixed
+//! UTF-8.
+
+use bytes::{Buf, BufMut};
+
+use crate::error::ScifileError;
+use crate::metadata::{DataType, Dimension, Metadata, Variable};
+use crate::Result;
+
+/// File magic.
+pub const MAGIC: [u8; 4] = *b"SCNC";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Rounds `n` up to the next multiple of 8.
+pub fn align8(n: u64) -> u64 {
+    n.div_ceil(8) * 8
+}
+
+/// Encodes the full file header (magic + version + metadata block +
+/// padding). The data section begins at the returned buffer's length.
+pub fn encode_header(metadata: &Metadata) -> Vec<u8> {
+    let block = encode_metadata(metadata);
+    let mut out = Vec::with_capacity(16 + block.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.put_u32_le(VERSION);
+    out.put_u64_le(block.len() as u64);
+    out.extend_from_slice(&block);
+    while out.len() as u64 % 8 != 0 {
+        out.push(0);
+    }
+    out
+}
+
+/// Decodes a header previously produced by [`encode_header`].
+/// Returns the metadata and the offset at which the data section
+/// begins.
+pub fn decode_header(bytes: &[u8]) -> Result<(Metadata, u64)> {
+    if bytes.len() < 16 {
+        return Err(ScifileError::CorruptHeader("file shorter than fixed header".into()));
+    }
+    let mut buf = bytes;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(ScifileError::BadMagic { found: magic });
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(ScifileError::BadVersion { found: version });
+    }
+    let block_len = buf.get_u64_le() as usize;
+    if buf.remaining() < block_len {
+        return Err(ScifileError::CorruptHeader(format!(
+            "metadata block truncated: need {block_len}, have {}",
+            buf.remaining()
+        )));
+    }
+    let metadata = decode_metadata(&buf[..block_len])?;
+    let data_start = align8(16 + block_len as u64);
+    Ok((metadata, data_start))
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(ScifileError::CorruptHeader("truncated string length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(ScifileError::CorruptHeader("truncated string body".into()));
+    }
+    let s = std::str::from_utf8(&buf[..len])
+        .map_err(|e| ScifileError::CorruptHeader(format!("invalid UTF-8: {e}")))?
+        .to_string();
+    buf.advance(len);
+    Ok(s)
+}
+
+/// Encodes just the metadata block.
+pub fn encode_metadata(md: &Metadata) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.put_u32_le(md.dimensions().len() as u32);
+    for d in md.dimensions() {
+        put_string(&mut out, &d.name);
+        out.put_u64_le(d.len);
+    }
+    out.put_u32_le(md.variables().len() as u32);
+    for v in md.variables() {
+        put_string(&mut out, &v.name);
+        out.push(v.dtype.tag());
+        out.put_u32_le(v.dims.len() as u32);
+        for dim in &v.dims {
+            put_string(&mut out, dim);
+        }
+    }
+    out.put_u32_le(md.attributes().len() as u32);
+    for (k, v) in md.attributes() {
+        put_string(&mut out, k);
+        put_string(&mut out, v);
+    }
+    out
+}
+
+/// Decodes a metadata block.
+pub fn decode_metadata(mut buf: &[u8]) -> Result<Metadata> {
+    let need_u32 = |buf: &mut &[u8]| -> Result<u32> {
+        if buf.remaining() < 4 {
+            return Err(ScifileError::CorruptHeader("truncated count".into()));
+        }
+        Ok(buf.get_u32_le())
+    };
+
+    let n_dims = need_u32(&mut buf)?;
+    // Never pre-allocate from untrusted counts: corrupt headers could
+    // name counts in the billions. Capacity grows as items decode.
+    let mut dims = Vec::with_capacity((n_dims as usize).min(256));
+    for _ in 0..n_dims {
+        let name = get_string(&mut buf)?;
+        if buf.remaining() < 8 {
+            return Err(ScifileError::CorruptHeader("truncated dimension length".into()));
+        }
+        let len = buf.get_u64_le();
+        dims.push(Dimension::new(name, len));
+    }
+
+    let n_vars = need_u32(&mut buf)?;
+    let mut vars = Vec::with_capacity((n_vars as usize).min(256));
+    for _ in 0..n_vars {
+        let name = get_string(&mut buf)?;
+        if buf.remaining() < 1 {
+            return Err(ScifileError::CorruptHeader("truncated dtype tag".into()));
+        }
+        let tag = buf.get_u8();
+        let dtype = DataType::from_tag(tag)
+            .ok_or_else(|| ScifileError::CorruptHeader(format!("unknown dtype tag {tag}")))?;
+        let n_vdims = need_u32(&mut buf)?;
+        let mut vdims = Vec::with_capacity((n_vdims as usize).min(256));
+        for _ in 0..n_vdims {
+            vdims.push(get_string(&mut buf)?);
+        }
+        vars.push(Variable::new(name, dtype, vdims));
+    }
+
+    let mut md = Metadata::new(dims, vars)?;
+    let n_attrs = need_u32(&mut buf)?;
+    for _ in 0..n_attrs {
+        let k = get_string(&mut buf)?;
+        let v = get_string(&mut buf)?;
+        md.set_attribute(k, v);
+    }
+    Ok(md)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Metadata {
+        let mut md = Metadata::new(
+            vec![Dimension::new("time", 365), Dimension::new("lat", 250)],
+            vec![Variable::new(
+                "temperature",
+                DataType::I32,
+                vec!["time".into(), "lat".into()],
+            )],
+        )
+        .unwrap();
+        md.set_attribute("source", "sidr-repro");
+        md
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let md = sample();
+        let header = encode_header(&md);
+        assert_eq!(header.len() as u64 % 8, 0);
+        let (decoded, data_start) = decode_header(&header).unwrap();
+        assert_eq!(decoded, md);
+        assert_eq!(data_start, header.len() as u64);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut header = encode_header(&sample());
+        header[0] = b'X';
+        assert!(matches!(decode_header(&header), Err(ScifileError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn bad_version_detected() {
+        let mut header = encode_header(&sample());
+        header[4] = 99;
+        assert!(matches!(
+            decode_header(&header),
+            Err(ScifileError::BadVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn truncation_detected_not_panicking() {
+        let header = encode_header(&sample());
+        for cut in [0, 3, 8, 15, 20, header.len() - 10] {
+            let res = decode_header(&header[..cut]);
+            assert!(res.is_err(), "cut at {cut} should error");
+        }
+    }
+
+    #[test]
+    fn empty_metadata_roundtrip() {
+        let md = Metadata::default();
+        let (decoded, _) = decode_header(&encode_header(&md)).unwrap();
+        assert_eq!(decoded, md);
+    }
+}

@@ -1,0 +1,269 @@
+//! Deterministic dataset generators for the paper's workloads.
+//!
+//! Every generated value is a pure function of `(seed, coordinate)`,
+//! so any process — a Map task, a test, a verifier — can recompute the
+//! expected contents of any slab without reading the file. This is
+//! what lets the integration tests check end-to-end query output
+//! against an independently computed ground truth.
+
+use sidr_coords::{Coord, Shape, Slab};
+
+use crate::file::ScincFile;
+use crate::metadata::{DataType, Dimension, Metadata, Variable};
+use crate::value::Element;
+use crate::Result;
+
+/// SplitMix64 — tiny, high-quality 64-bit mixer used to derive
+/// per-coordinate randomness.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Uniform `[0, 1)` double derived from a hash.
+#[inline]
+fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The synthetic value distributions used by the evaluation workloads.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ValueModel {
+    /// Seasonal temperature-like signal plus noise (Fig. 2 dataset):
+    /// `base + amplitude·sin(2π·day/period) + noise`.
+    Seasonal {
+        base: f64,
+        amplitude: f64,
+        period: f64,
+        noise: f64,
+    },
+    /// Normally distributed values (Query 2): Box–Muller over two
+    /// hash draws.
+    Normal { mean: f64, std_dev: f64 },
+    /// Uniform values in `[lo, hi)` (wind-speed style, Query 1).
+    Uniform { lo: f64, hi: f64 },
+    /// The row-major linear index itself — handy for exact-value
+    /// tests.
+    LinearIndex,
+}
+
+impl ValueModel {
+    /// The deterministic value at `coord` of a dataset with this model,
+    /// `seed`, and `space`.
+    pub fn value_at(&self, seed: u64, space: &Shape, coord: &Coord) -> f64 {
+        let idx = space
+            .linearize(coord)
+            .expect("caller passes in-bounds coordinates");
+        let h = splitmix64(seed ^ splitmix64(idx));
+        match *self {
+            ValueModel::Seasonal {
+                base,
+                amplitude,
+                period,
+                noise,
+            } => {
+                let day = coord[0] as f64;
+                base + amplitude * (2.0 * std::f64::consts::PI * day / period).sin()
+                    + noise * (unit_f64(h) - 0.5)
+            }
+            ValueModel::Normal { mean, std_dev } => {
+                let u1 = unit_f64(h).max(f64::MIN_POSITIVE);
+                let u2 = unit_f64(splitmix64(h));
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                mean + std_dev * z
+            }
+            ValueModel::Uniform { lo, hi } => lo + (hi - lo) * unit_f64(h),
+            ValueModel::LinearIndex => idx as f64,
+        }
+    }
+}
+
+/// Description of a dataset to generate.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    pub variable: String,
+    pub dim_names: Vec<String>,
+    pub space: Shape,
+    pub model: ValueModel,
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The paper's Figure 1/2 temperature dataset, scaled by `space`.
+    pub fn temperature(space: Shape, seed: u64) -> Self {
+        let dim_names = default_dim_names(&["time", "lat", "lon"], space.rank());
+        DatasetSpec {
+            variable: "temperature".into(),
+            dim_names,
+            space,
+            model: ValueModel::Seasonal {
+                base: 50.0,
+                amplitude: 20.0,
+                period: 365.0,
+                noise: 10.0,
+            },
+            seed,
+        }
+    }
+
+    /// Query 1's wind-speed dataset (hourly speed at elevations).
+    pub fn windspeed(space: Shape, seed: u64) -> Self {
+        let dim_names = default_dim_names(&["time", "lat", "lon", "elevation"], space.rank());
+        DatasetSpec {
+            variable: "windspeed".into(),
+            dim_names,
+            space,
+            model: ValueModel::Uniform { lo: 0.0, hi: 45.0 },
+            seed,
+        }
+    }
+
+    /// Query 2's normally distributed dataset for the 3σ filter.
+    pub fn normal(space: Shape, mean: f64, std_dev: f64, seed: u64) -> Self {
+        let dim_names = default_dim_names(&["time", "lat", "lon", "elevation"], space.rank());
+        DatasetSpec {
+            variable: "samples".into(),
+            dim_names,
+            space,
+            model: ValueModel::Normal { mean, std_dev },
+            seed,
+        }
+    }
+
+    /// The deterministic value at a coordinate (ground truth for
+    /// tests).
+    pub fn value_at(&self, coord: &Coord) -> f64 {
+        self.model.value_at(self.seed, &self.space, coord)
+    }
+
+    /// SciNC metadata for this dataset.
+    pub fn metadata(&self, dtype: DataType) -> Metadata {
+        let dims: Vec<Dimension> = self
+            .dim_names
+            .iter()
+            .zip(self.space.extents())
+            .map(|(n, &e)| Dimension::new(n.clone(), e))
+            .collect();
+        let mut md = Metadata::new(
+            dims,
+            vec![Variable::new(
+                self.variable.clone(),
+                dtype,
+                self.dim_names.clone(),
+            )],
+        )
+        .expect("spec names are unique");
+        md.set_attribute("seed", self.seed.to_string());
+        md
+    }
+
+    /// Generates the dataset into a SciNC file at `path`, writing in
+    /// bounded chunks.
+    pub fn generate<E: Element>(&self, path: impl AsRef<std::path::Path>) -> Result<ScincFile> {
+        let file = ScincFile::create(path, self.metadata(E::DATA_TYPE))?;
+        let whole = Slab::whole(&self.space);
+        // One leading-dimension row per chunk keeps memory flat.
+        for chunk in whole.split_along_longest(self.space[0]) {
+            let data: Vec<E> = chunk
+                .iter_coords()
+                .map(|c| E::from_f64(self.value_at(&c)))
+                .collect();
+            file.write_slab(&self.variable, &chunk, &data)?;
+        }
+        file.sync()?;
+        Ok(file)
+    }
+}
+
+fn default_dim_names(preferred: &[&str], rank: usize) -> Vec<String> {
+    (0..rank)
+        .map(|i| {
+            preferred
+                .get(i)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| format!("d{i}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(v: &[u64]) -> Shape {
+        Shape::new(v.to_vec()).unwrap()
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sidr-gen-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn values_are_deterministic() {
+        let spec = DatasetSpec::temperature(shape(&[10, 4, 4]), 42);
+        let c = Coord::from([3, 2, 1]);
+        assert_eq!(spec.value_at(&c), spec.value_at(&c));
+        let spec2 = DatasetSpec::temperature(shape(&[10, 4, 4]), 43);
+        assert_ne!(spec.value_at(&c), spec2.value_at(&c));
+    }
+
+    #[test]
+    fn generated_file_matches_ground_truth() {
+        let path = temp_path("truth");
+        let spec = DatasetSpec::temperature(shape(&[6, 3, 3]), 7);
+        let f = spec.generate::<f64>(&path).unwrap();
+        for c in shape(&[6, 3, 3]).iter_coords() {
+            let got: f64 = f.read_point("temperature", &c).unwrap();
+            assert_eq!(got, spec.value_at(&c));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn normal_model_has_plausible_moments() {
+        let spec = DatasetSpec::normal(shape(&[40, 25, 25]), 10.0, 2.0, 99);
+        let n = 40 * 25 * 25;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for c in spec.space.iter_coords() {
+            let v = spec.value_at(&c);
+            sum += v;
+            sum_sq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_model_in_range() {
+        let spec = DatasetSpec::windspeed(shape(&[8, 4, 4, 3]), 5);
+        for c in spec.space.iter_coords() {
+            let v = spec.value_at(&c);
+            assert!((0.0..45.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn linear_index_model_is_the_index() {
+        let space = shape(&[3, 4]);
+        let model = ValueModel::LinearIndex;
+        for c in space.iter_coords() {
+            assert_eq!(model.value_at(0, &space, &c), space.linearize(&c).unwrap() as f64);
+        }
+    }
+
+    #[test]
+    fn metadata_names_scale_with_rank() {
+        let spec = DatasetSpec::temperature(shape(&[4, 4]), 1);
+        assert_eq!(spec.dim_names, vec!["time", "lat"]);
+        let spec5 = DatasetSpec::windspeed(shape(&[2, 2, 2, 2, 2]), 1);
+        assert_eq!(spec5.dim_names[4], "d4");
+    }
+}

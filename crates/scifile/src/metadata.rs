@@ -1,0 +1,315 @@
+//! Structural metadata: dimensions, variables and attributes.
+//!
+//! "Scientific file formats typically encode structural metadata
+//! alongside data in a single file. This metadata is typically exposed
+//! by a function that returns the dimensions and data type being
+//! stored" (§2.1). [`Metadata`] is that function's return value, and
+//! its `Display` impl prints the CDL-like notation of the paper's
+//! Figure 1.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sidr_coords::Shape;
+
+use crate::error::ScifileError;
+use crate::Result;
+
+/// Storage type of a variable's elements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    I32,
+    I64,
+    F32,
+    F64,
+}
+
+impl DataType {
+    /// Encoded element size in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            DataType::I32 | DataType::F32 => 4,
+            DataType::I64 | DataType::F64 => 8,
+        }
+    }
+
+    /// CDL keyword (`int temperature(time, lat, lon);`).
+    pub fn cdl_name(self) -> &'static str {
+        match self {
+            DataType::I32 => "int",
+            DataType::I64 => "int64",
+            DataType::F32 => "float",
+            DataType::F64 => "double",
+        }
+    }
+
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            DataType::I32 => 0,
+            DataType::I64 => 1,
+            DataType::F32 => 2,
+            DataType::F64 => 3,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => DataType::I32,
+            1 => DataType::I64,
+            2 => DataType::F32,
+            3 => DataType::F64,
+            _ => return None,
+        })
+    }
+}
+
+/// A named axis of the dataset (`time = 365;`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dimension {
+    pub name: String,
+    pub len: u64,
+}
+
+impl Dimension {
+    pub fn new(name: impl Into<String>, len: u64) -> Self {
+        Dimension { name: name.into(), len }
+    }
+}
+
+/// A named array over a list of dimensions
+/// (`int temperature(time, lat, lon);`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Variable {
+    pub name: String,
+    pub dtype: DataType,
+    pub dims: Vec<String>,
+}
+
+impl Variable {
+    pub fn new(name: impl Into<String>, dtype: DataType, dims: Vec<String>) -> Self {
+        Variable {
+            name: name.into(),
+            dtype,
+            dims,
+        }
+    }
+}
+
+/// Complete structural metadata of a SciNC file.
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Metadata {
+    dimensions: Vec<Dimension>,
+    variables: Vec<Variable>,
+    attributes: BTreeMap<String, String>,
+}
+
+impl Metadata {
+    /// Builds metadata, validating that names are unique and that
+    /// every variable's dimensions exist.
+    pub fn new(dimensions: Vec<Dimension>, variables: Vec<Variable>) -> Result<Self> {
+        let mut md = Metadata {
+            dimensions: Vec::new(),
+            variables: Vec::new(),
+            attributes: BTreeMap::new(),
+        };
+        for d in dimensions {
+            md.add_dimension(d)?;
+        }
+        for v in variables {
+            md.add_variable(v)?;
+        }
+        Ok(md)
+    }
+
+    /// Adds a dimension; names must be unique.
+    pub fn add_dimension(&mut self, dim: Dimension) -> Result<()> {
+        if self.dimensions.iter().any(|d| d.name == dim.name) {
+            return Err(ScifileError::DuplicateName(dim.name));
+        }
+        self.dimensions.push(dim);
+        Ok(())
+    }
+
+    /// Adds a variable; all referenced dimensions must already exist.
+    pub fn add_variable(&mut self, var: Variable) -> Result<()> {
+        if self.variables.iter().any(|v| v.name == var.name) {
+            return Err(ScifileError::DuplicateName(var.name));
+        }
+        for dname in &var.dims {
+            if !self.dimensions.iter().any(|d| &d.name == dname) {
+                return Err(ScifileError::DanglingDimension {
+                    variable: var.name.clone(),
+                    dimension: dname.clone(),
+                });
+            }
+        }
+        self.variables.push(var);
+        Ok(())
+    }
+
+    /// Sets a free-form global attribute.
+    pub fn set_attribute(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.attributes.insert(key.into(), value.into());
+    }
+
+    pub fn dimensions(&self) -> &[Dimension] {
+        &self.dimensions
+    }
+
+    pub fn variables(&self) -> &[Variable] {
+        &self.variables
+    }
+
+    pub fn attributes(&self) -> &BTreeMap<String, String> {
+        &self.attributes
+    }
+
+    /// Looks up a dimension's length.
+    pub fn dimension_len(&self, name: &str) -> Result<u64> {
+        self.dimensions
+            .iter()
+            .find(|d| d.name == name)
+            .map(|d| d.len)
+            .ok_or_else(|| ScifileError::NoSuchDimension(name.to_string()))
+    }
+
+    /// Looks up a variable.
+    pub fn variable(&self, name: &str) -> Result<&Variable> {
+        self.variables
+            .iter()
+            .find(|v| v.name == name)
+            .ok_or_else(|| ScifileError::NoSuchVariable(name.to_string()))
+    }
+
+    /// The logical shape of a variable (its dimensions' lengths, in
+    /// declaration order) — the space `Kᵀ` a query over it ranges on.
+    pub fn variable_shape(&self, name: &str) -> Result<Shape> {
+        let var = self.variable(name)?;
+        let extents = var
+            .dims
+            .iter()
+            .map(|d| self.dimension_len(d))
+            .collect::<Result<Vec<u64>>>()?;
+        Ok(Shape::new(extents)?)
+    }
+
+    /// Bytes occupied by a variable's dense data.
+    pub fn variable_byte_len(&self, name: &str) -> Result<u64> {
+        let shape = self.variable_shape(name)?;
+        let var = self.variable(name)?;
+        Ok(shape.count() * var.dtype.size() as u64)
+    }
+}
+
+impl fmt::Display for Metadata {
+    /// Prints CDL-style metadata, as in the paper's Figure 1:
+    ///
+    /// ```text
+    /// dimensions:
+    ///     time = 365;
+    ///     lat = 250;
+    /// variables:
+    ///     int temperature(time, lat, lon);
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dimensions:")?;
+        for d in &self.dimensions {
+            writeln!(f, "    {} = {};", d.name, d.len)?;
+        }
+        writeln!(f, "variables:")?;
+        for v in &self.variables {
+            writeln!(
+                f,
+                "    {} {}({});",
+                v.dtype.cdl_name(),
+                v.name,
+                v.dims.join(", ")
+            )?;
+        }
+        for (k, v) in &self.attributes {
+            writeln!(f, "    :{k} = \"{v}\";")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_metadata() -> Metadata {
+        Metadata::new(
+            vec![
+                Dimension::new("time", 365),
+                Dimension::new("lat", 250),
+                Dimension::new("lon", 200),
+            ],
+            vec![Variable::new(
+                "temperature",
+                DataType::I32,
+                vec!["time".into(), "lat".into(), "lon".into()],
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1_shape() {
+        let md = figure1_metadata();
+        assert_eq!(
+            md.variable_shape("temperature").unwrap(),
+            Shape::new(vec![365, 250, 200]).unwrap()
+        );
+        assert_eq!(
+            md.variable_byte_len("temperature").unwrap(),
+            365 * 250 * 200 * 4
+        );
+    }
+
+    #[test]
+    fn figure1_display() {
+        let text = figure1_metadata().to_string();
+        assert!(text.contains("time = 365;"));
+        assert!(text.contains("int temperature(time, lat, lon);"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut md = figure1_metadata();
+        assert!(matches!(
+            md.add_dimension(Dimension::new("time", 1)),
+            Err(ScifileError::DuplicateName(_))
+        ));
+        assert!(matches!(
+            md.add_variable(Variable::new("temperature", DataType::F32, vec![])),
+            Err(ScifileError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn dangling_dimension_rejected() {
+        let mut md = figure1_metadata();
+        assert!(matches!(
+            md.add_variable(Variable::new(
+                "wind",
+                DataType::F32,
+                vec!["elevation".into()]
+            )),
+            Err(ScifileError::DanglingDimension { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_lookups_error() {
+        let md = figure1_metadata();
+        assert!(matches!(
+            md.dimension_len("nope"),
+            Err(ScifileError::NoSuchDimension(_))
+        ));
+        assert!(matches!(
+            md.variable("nope"),
+            Err(ScifileError::NoSuchVariable(_))
+        ));
+    }
+}

@@ -1,0 +1,278 @@
+//! The three Reduce-output strategies compared in §4.4 / Table 2.
+//!
+//! * [`write_dense_output`] — SIDR's approach: `partition+` gives each
+//!   Reduce task a dense, contiguous keyblock, so the task writes a
+//!   small file holding just its slab, with the slab's global origin
+//!   recorded in an attribute ("coordinates of individual points are
+//!   relative to the origin of that dense array and their global
+//!   position … is inferred from that origin point").
+//! * [`write_sentinel_output`] — stock Hadoop's common workaround for
+//!   scattered keys: each Reduce task writes a file representing the
+//!   *entire* output space, filled with a sentinel, with its own keys
+//!   poked in. File size = total output size per task; write time
+//!   grows with the reducer count.
+//! * [`CoordValueWriter`] — the other workaround: explicit
+//!   coordinate/value pairs, constant overhead per useful element.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use sidr_coords::{Coord, Shape, Slab};
+
+use crate::error::ScifileError;
+use crate::file::ScincFile;
+use crate::metadata::{DataType, Dimension, Metadata, Variable};
+use crate::value::Element;
+use crate::Result;
+
+/// Dimension-name prefix used for generated output dimensions.
+fn output_metadata(variable: &str, dtype: DataType, shape: &Shape, origin: &Coord) -> Metadata {
+    let dims: Vec<Dimension> = shape
+        .extents()
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| Dimension::new(format!("d{i}"), e))
+        .collect();
+    let dim_names = dims.iter().map(|d| d.name.clone()).collect();
+    let mut md = Metadata::new(dims, vec![Variable::new(variable, dtype, dim_names)])
+        .expect("generated names are unique");
+    md.set_attribute(
+        "origin",
+        origin
+            .components()
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    md
+}
+
+/// Parses the `origin` attribute written by [`write_dense_output`].
+pub fn read_origin(md: &Metadata) -> Option<Coord> {
+    let raw = md.attributes().get("origin")?;
+    let comps: Option<Vec<u64>> = raw.split(',').map(|p| p.parse().ok()).collect();
+    Some(Coord::new(comps?))
+}
+
+/// SIDR's dense, contiguous output: a file exactly the size of the
+/// task's keyblock slab, origin recorded in metadata. Write time and
+/// size are independent of the total output size (Table 2, bottom
+/// row).
+pub fn write_dense_output<E: Element>(
+    path: impl AsRef<Path>,
+    variable: &str,
+    slab: &Slab,
+    data: &[E],
+) -> Result<ScincFile> {
+    let md = output_metadata(variable, E::DATA_TYPE, slab.shape(), slab.corner());
+    let f = ScincFile::create(path, md)?;
+    let local = Slab::whole(slab.shape());
+    f.write_slab(variable, &local, data)?;
+    f.sync()?;
+    Ok(f)
+}
+
+/// Stock Hadoop's sentinel strategy: the file spans the whole output
+/// space, absent keys hold `sentinel`, and this task's elements are
+/// written at their global coordinates. Write time and size grow with
+/// the total output (Table 2, top rows).
+pub fn write_sentinel_output<E: Element>(
+    path: impl AsRef<Path>,
+    variable: &str,
+    total_space: &Shape,
+    sentinel: E,
+    points: &[(Coord, E)],
+) -> Result<ScincFile> {
+    let md = output_metadata(variable, E::DATA_TYPE, total_space, &Coord::origin(total_space.rank()));
+    let f = ScincFile::create(path, md)?;
+    f.fill(variable, sentinel)?;
+    let one = Shape::new(vec![1; total_space.rank()])?;
+    for (coord, value) in points {
+        let cell = Slab::new(coord.clone(), one.clone())?;
+        f.write_slab(variable, &cell, std::slice::from_ref(value))?;
+    }
+    f.sync()?;
+    Ok(f)
+}
+
+/// Streaming writer of explicit coordinate/value pairs — "both the
+/// data and coordinate are explicitly stored, rather than the
+/// coordinate being implicit", a constant-factor overhead independent
+/// of the reducer count (§4.4).
+pub struct CoordValueWriter<E: Element> {
+    out: BufWriter<File>,
+    rank: usize,
+    written: u64,
+    _marker: std::marker::PhantomData<E>,
+}
+
+impl<E: Element> CoordValueWriter<E> {
+    /// Creates a pair file for `rank`-dimensional coordinates.
+    pub fn create(path: impl AsRef<Path>, rank: usize) -> Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(b"SCCV")?;
+        out.write_all(&(rank as u32).to_le_bytes())?;
+        out.write_all(&[E::DATA_TYPE.tag()])?;
+        Ok(CoordValueWriter {
+            out,
+            rank,
+            written: 0,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Appends one pair.
+    pub fn push(&mut self, coord: &Coord, value: E) -> Result<()> {
+        if coord.rank() != self.rank {
+            return Err(ScifileError::Coord(sidr_coords::CoordError::RankMismatch {
+                expected: self.rank,
+                actual: coord.rank(),
+            }));
+        }
+        for &c in coord.components() {
+            self.out.write_all(&c.to_le_bytes())?;
+        }
+        let mut buf = Vec::with_capacity(E::SIZE);
+        value.write_le(&mut buf);
+        self.out.write_all(&buf)?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Pairs written so far.
+    pub fn len(&self) -> u64 {
+        self.written
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.written == 0
+    }
+
+    /// Flushes and closes the file.
+    pub fn finish(mut self) -> Result<()> {
+        self.out.flush()?;
+        Ok(())
+    }
+}
+
+/// Reads back a coordinate/value pair file in write order.
+pub fn read_coord_value_pairs<E: Element>(path: impl AsRef<Path>) -> Result<Vec<(Coord, E)>> {
+    let mut input = BufReader::new(File::open(path)?);
+    let mut fixed = [0u8; 9];
+    input.read_exact(&mut fixed)?;
+    if &fixed[..4] != b"SCCV" {
+        return Err(ScifileError::BadMagic {
+            found: fixed[..4].try_into().expect("len 4"),
+        });
+    }
+    let rank = u32::from_le_bytes(fixed[4..8].try_into().expect("len 4")) as usize;
+    let tag = fixed[8];
+    if Some(E::DATA_TYPE) != DataType::from_tag(tag) {
+        return Err(ScifileError::CorruptHeader(format!(
+            "pair file holds dtype tag {tag}, requested {:?}",
+            E::DATA_TYPE
+        )));
+    }
+    let mut pairs = Vec::new();
+    let mut rec = vec![0u8; rank * 8 + E::SIZE];
+    loop {
+        match input.read_exact(&mut rec) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let comps: Vec<u64> = rec[..rank * 8]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("len 8")))
+            .collect();
+        let value = E::read_le(&rec[rank * 8..]);
+        pairs.push((Coord::new(comps), value));
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sidr-sparse-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn shape(v: &[u64]) -> Shape {
+        Shape::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn dense_output_roundtrip_with_origin() {
+        let path = temp_path("dense");
+        let slab = Slab::new(Coord::from([10, 20]), shape(&[2, 3])).unwrap();
+        let data: Vec<f64> = (0..6).map(f64::from).collect();
+        write_dense_output(&path, "out", &slab, &data).unwrap();
+
+        let f = ScincFile::open(&path).unwrap();
+        assert_eq!(read_origin(f.metadata()), Some(Coord::from([10, 20])));
+        assert_eq!(
+            f.read_slab::<f64>("out", &Slab::whole(&shape(&[2, 3]))).unwrap(),
+            data
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dense_output_size_is_slab_size() {
+        let path = temp_path("dense-size");
+        let slab = Slab::new(Coord::from([0, 0]), shape(&[4, 4])).unwrap();
+        write_dense_output(&path, "out", &slab, &vec![0.0f64; 16]).unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        // Header is small; data is 16 doubles.
+        assert!(len >= 16 * 8 && len < 16 * 8 + 512, "len {len}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sentinel_output_spans_total_space() {
+        let path = temp_path("sentinel");
+        let total = shape(&[8, 8]);
+        let points = vec![(Coord::from([1, 1]), 5i32), (Coord::from([7, 0]), 9i32)];
+        write_sentinel_output(&path, "out", &total, -1i32, &points).unwrap();
+        let f = ScincFile::open(&path).unwrap();
+        let all = f.read_slab::<i32>("out", &Slab::whole(&total)).unwrap();
+        let lin = |c: &Coord| total.linearize(c).unwrap() as usize;
+        assert_eq!(all[lin(&Coord::from([1, 1]))], 5);
+        assert_eq!(all[lin(&Coord::from([7, 0]))], 9);
+        let sentinels = all.iter().filter(|&&v| v == -1).count();
+        assert_eq!(sentinels, 64 - 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn coord_value_pairs_roundtrip() {
+        let path = temp_path("pairs");
+        let mut w = CoordValueWriter::<f32>::create(&path, 3).unwrap();
+        let pairs = vec![
+            (Coord::from([0, 0, 0]), 1.5f32),
+            (Coord::from([9, 2, 4]), -3.25f32),
+        ];
+        for (c, v) in &pairs {
+            w.push(c, *v).unwrap();
+        }
+        assert_eq!(w.len(), 2);
+        w.finish().unwrap();
+        assert_eq!(read_coord_value_pairs::<f32>(&path).unwrap(), pairs);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn coord_value_rank_mismatch_rejected() {
+        let path = temp_path("pairs-rank");
+        let mut w = CoordValueWriter::<f32>::create(&path, 2).unwrap();
+        assert!(w.push(&Coord::from([1, 2, 3]), 0.0).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

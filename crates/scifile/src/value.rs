@@ -1,0 +1,127 @@
+//! Element types storable in SciNC variables.
+
+use crate::metadata::DataType;
+
+/// A dynamically-typed scalar read from a variable.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    I32(i32),
+    I64(i64),
+    F32(f32),
+    F64(f64),
+}
+
+impl Value {
+    /// The storage type of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::I32(_) => DataType::I32,
+            Value::I64(_) => DataType::I64,
+            Value::F32(_) => DataType::F32,
+            Value::F64(_) => DataType::F64,
+        }
+    }
+
+    /// Lossy conversion to `f64` (exact for everything but large
+    /// `i64`), used by numeric operators.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Value::I32(v) => f64::from(v),
+            Value::I64(v) => v as f64,
+            Value::F32(v) => f64::from(v),
+            Value::F64(v) => v,
+        }
+    }
+}
+
+/// A fixed-width scalar that can live in a SciNC variable.
+///
+/// Sealed to the four NetCDF-style numeric types the paper's datasets
+/// use. Little-endian on disk.
+pub trait Element: Copy + Send + Sync + PartialOrd + 'static {
+    /// The dynamic tag for this type.
+    const DATA_TYPE: DataType;
+    /// Encoded size in bytes.
+    const SIZE: usize;
+
+    /// Appends the little-endian encoding of `self` to `out`.
+    fn write_le(&self, out: &mut Vec<u8>);
+    /// Decodes from exactly `Self::SIZE` bytes.
+    fn read_le(bytes: &[u8]) -> Self;
+    /// Wraps into a dynamic [`Value`].
+    fn into_value(self) -> Value;
+    /// Lossy `f64` view, used by operators.
+    fn to_f64(self) -> f64;
+    /// Lossy construction from `f64`, used by generators.
+    fn from_f64(v: f64) -> Self;
+}
+
+macro_rules! impl_element {
+    ($t:ty, $tag:expr, $variant:ident) => {
+        impl Element for $t {
+            const DATA_TYPE: DataType = $tag;
+            const SIZE: usize = std::mem::size_of::<$t>();
+
+            #[inline]
+            fn write_le(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn read_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes[..Self::SIZE].try_into().expect("size checked"))
+            }
+
+            #[inline]
+            fn into_value(self) -> Value {
+                Value::$variant(self)
+            }
+
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+        }
+    };
+}
+
+impl_element!(i32, DataType::I32, I32);
+impl_element!(i64, DataType::I64, I64);
+impl_element!(f32, DataType::F32, F32);
+impl_element!(f64, DataType::F64, F64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        fn roundtrip<E: Element + std::fmt::Debug + PartialEq>(v: E) {
+            let mut buf = Vec::new();
+            v.write_le(&mut buf);
+            assert_eq!(buf.len(), E::SIZE);
+            assert_eq!(E::read_le(&buf), v);
+        }
+        roundtrip(-42i32);
+        roundtrip(1i64 << 40);
+        roundtrip(3.5f32);
+        roundtrip(-2.25e300f64);
+    }
+
+    #[test]
+    fn value_type_tags() {
+        assert_eq!(Value::I32(1).data_type(), DataType::I32);
+        assert_eq!(Value::F64(1.0).data_type(), DataType::F64);
+    }
+
+    #[test]
+    fn as_f64_is_exact_for_small_ints() {
+        assert_eq!(Value::I32(-7).as_f64(), -7.0);
+        assert_eq!(Value::I64(1 << 50).as_f64(), (1u64 << 50) as f64);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the SciNC substrate: slab I/O is exact for any
+//! in-bounds hyperslab, headers survive arbitrary content and reject
+//! arbitrary corruption without panicking, and generated datasets are
+//! pure functions of (seed, coordinate).
+
+use proptest::prelude::*;
+
+use sidr_coords::{Coord, Shape, Slab};
+use sidr_scifile::format::{decode_header, encode_header};
+use sidr_scifile::gen::{DatasetSpec, ValueModel};
+use sidr_scifile::{DataType, Dimension, Metadata, ScincFile, Variable};
+
+fn unique_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join("sidr-scifile-proptests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{tag}-{}-{}.scinc",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Rank 1-3 spaces with extents 1-10 and an in-bounds slab.
+fn space_and_slab() -> impl Strategy<Value = (Shape, Slab)> {
+    prop::collection::vec(1u64..=10, 1..=3).prop_flat_map(|extents| {
+        let dims = extents
+            .iter()
+            .map(|&e| (0u64..e).prop_flat_map(move |c| (Just(c), 1u64..=(e - c))))
+            .collect::<Vec<_>>();
+        (Just(extents), dims).prop_map(|(extents, cs)| {
+            let corner: Vec<u64> = cs.iter().map(|&(c, _)| c).collect();
+            let shape: Vec<u64> = cs.iter().map(|&(_, s)| s).collect();
+            (
+                Shape::new(extents).unwrap(),
+                Slab::new(Coord::new(corner), Shape::new(shape).unwrap()).unwrap(),
+            )
+        })
+    })
+}
+
+fn metadata_for(space: &Shape, dtype: DataType) -> Metadata {
+    let dims: Vec<Dimension> = space
+        .extents()
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| Dimension::new(format!("d{i}"), e))
+        .collect();
+    let names = dims.iter().map(|d| d.name.clone()).collect();
+    Metadata::new(dims, vec![Variable::new("v", dtype, names)]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn slab_write_then_read_is_identity((space, slab) in space_and_slab(), seed in 0u64..1000) {
+        let path = unique_path("rw");
+        let file = ScincFile::create(&path, metadata_for(&space, DataType::F64)).unwrap();
+        let data: Vec<f64> = (0..slab.count())
+            .map(|i| (seed.wrapping_mul(31).wrapping_add(i)) as f64 * 0.5)
+            .collect();
+        file.write_slab("v", &slab, &data).unwrap();
+        prop_assert_eq!(file.read_slab::<f64>("v", &slab).unwrap(), data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disjoint_slab_writes_do_not_interfere((space, slab) in space_and_slab()) {
+        let path = unique_path("disjoint");
+        let file = ScincFile::create(&path, metadata_for(&space, DataType::I64)).unwrap();
+        // Write the whole space as zeros, then the slab as ones; reads
+        // outside the slab must still be zero.
+        let whole = Slab::whole(&space);
+        file.write_slab("v", &whole, &vec![0i64; space.count() as usize]).unwrap();
+        file.write_slab("v", &slab, &vec![1i64; slab.count() as usize]).unwrap();
+        let all = file.read_slab::<i64>("v", &whole).unwrap();
+        for (i, coord) in whole.iter_coords().enumerate() {
+            let expect = i64::from(slab.contains(&coord));
+            prop_assert_eq!(all[i], expect, "at {}", coord);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_decode_never_panics_on_corruption(
+        (space, _) in space_and_slab(),
+        cut in 0usize..64,
+        flip_at in 0usize..64,
+        flip_to in 0u8..=255,
+    ) {
+        let md = metadata_for(&space, DataType::F32);
+        let mut header = encode_header(&md);
+        // Truncation at any point is an error, never a panic.
+        let cut = cut.min(header.len());
+        let _ = decode_header(&header[..cut]);
+        // A byte flip either still decodes (harmless field) or errors.
+        let at = flip_at.min(header.len() - 1);
+        header[at] = flip_to;
+        let _ = decode_header(&header);
+    }
+
+    #[test]
+    fn generated_values_are_pure_functions((space, slab) in space_and_slab(), seed in 0u64..100) {
+        let spec = DatasetSpec {
+            variable: "v".into(),
+            dim_names: (0..space.rank()).map(|i| format!("d{i}")).collect(),
+            space: space.clone(),
+            model: ValueModel::Normal { mean: 0.0, std_dev: 1.0 },
+            seed,
+        };
+        let path = unique_path("gen");
+        let file = spec.generate::<f64>(&path).unwrap();
+        let got = file.read_slab::<f64>("v", &slab).unwrap();
+        for (i, coord) in slab.iter_coords().enumerate() {
+            prop_assert_eq!(got[i], spec.value_at(&coord));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn point_reads_agree_with_slab_reads((space, slab) in space_and_slab()) {
+        let path = unique_path("points");
+        let file = ScincFile::create(&path, metadata_for(&space, DataType::F32)).unwrap();
+        let data: Vec<f32> = (0..slab.count()).map(|i| i as f32).collect();
+        file.write_slab("v", &slab, &data).unwrap();
+        for (i, coord) in slab.iter_coords().enumerate() {
+            prop_assert_eq!(file.read_point::<f32>("v", &coord).unwrap(), data[i]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,522 @@
+//! The cluster simulation proper.
+
+use std::collections::VecDeque;
+
+use crate::event::{secs, to_secs, Event, EventQueue, SimTime};
+use crate::model::{CostModel, SimClusterConfig};
+
+/// One simulated Map task.
+#[derive(Clone, Debug)]
+pub struct SimMapTask {
+    /// Bytes the task reads.
+    pub input_bytes: u64,
+    /// Nodes hosting a replica of the split (from the DFS model).
+    pub preferred_nodes: Vec<usize>,
+    /// Structure-oblivious read path (stock Hadoop over scientific
+    /// files): over-read and likely-remote (§2.4.1).
+    pub oblivious: bool,
+}
+
+/// One simulated Reduce task.
+#[derive(Clone, Debug)]
+pub struct SimReduceTask {
+    /// Bytes the task fetches, merges, reduces and writes.
+    pub input_bytes: u64,
+    /// Map tasks it depends on (`I_ℓ`); `None` = global barrier.
+    pub deps: Option<Vec<usize>>,
+}
+
+/// A complete simulated job.
+#[derive(Clone, Debug)]
+pub struct SimJob {
+    pub maps: Vec<SimMapTask>,
+    pub reduces: Vec<SimReduceTask>,
+    /// Launch order of reduce tasks (monotone ids for stock Hadoop,
+    /// §3.3; possibly prioritized for SIDR, §3.4).
+    pub reduce_order: Vec<usize>,
+    /// SIDR inverted scheduling: maps become eligible only once a
+    /// running reduce depends on them (§3.3).
+    pub invert_scheduling: bool,
+}
+
+/// Timestamps (seconds) of everything that happened.
+#[derive(Clone, Debug)]
+pub struct SimTrace {
+    /// Per-map completion; `None` when the map never ran (no reduce
+    /// depended on it).
+    pub map_end_s: Vec<Option<f64>>,
+    /// Per-reduce slot occupancy start.
+    pub reduce_start_s: Vec<f64>,
+    /// Per-reduce barrier satisfaction.
+    pub reduce_ready_s: Vec<f64>,
+    /// Per-reduce commit.
+    pub reduce_end_s: Vec<f64>,
+}
+
+impl SimTrace {
+    /// Job completion time.
+    pub fn makespan_s(&self) -> f64 {
+        self.reduce_end_s.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Time of the first committed result.
+    pub fn first_result_s(&self) -> f64 {
+        self.reduce_end_s
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Sorted map completion times (ran maps only).
+    pub fn map_completions(&self) -> Vec<f64> {
+        let mut t: Vec<f64> = self.map_end_s.iter().flatten().copied().collect();
+        t.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        t
+    }
+
+    /// Sorted reduce completion times.
+    pub fn reduce_completions(&self) -> Vec<f64> {
+        let mut t = self.reduce_end_s.clone();
+        t.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        t
+    }
+
+    /// Fraction of maps complete when the first result committed —
+    /// the paper's "initial results with only 6 % of the query
+    /// completed" (§4.1 headline).
+    pub fn maps_done_at_first_result(&self) -> f64 {
+        let first = self.first_result_s();
+        let done = self
+            .map_end_s
+            .iter()
+            .flatten()
+            .filter(|&&t| t <= first)
+            .count();
+        done as f64 / self.map_end_s.len() as f64
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MapState {
+    Ineligible,
+    Eligible,
+    Running,
+    Done,
+}
+
+struct ReduceRun {
+    /// Unfinished dependencies (or unfinished maps, for global).
+    remaining: usize,
+    node: usize,
+    start: SimTime,
+}
+
+/// Runs the simulation to completion.
+pub fn simulate(job: &SimJob, cluster: &SimClusterConfig, model: &CostModel) -> SimTrace {
+    let n_maps = job.maps.len();
+    let n_reduces = job.reduces.len();
+    assert!(n_reduces > 0, "job needs at least one reduce");
+    assert_eq!(job.reduce_order.len(), n_reduces, "order must cover reduces");
+
+    let mut queue = EventQueue::new();
+    let mut map_state = vec![
+        if job.invert_scheduling {
+            MapState::Ineligible
+        } else {
+            MapState::Eligible
+        };
+        n_maps
+    ];
+    // Eligible-map queues: per-node locality lists plus a global FIFO,
+    // with lazy deletion — the shape of Hadoop's locality tree (§3.3).
+    let mut node_queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); cluster.num_nodes];
+    let mut global_queue: VecDeque<usize> = VecDeque::new();
+    let mut free_map_slots = vec![cluster.map_slots_per_node; cluster.num_nodes];
+    let mut maps_done = 0usize;
+
+    let enqueue_eligible =
+        |m: usize, node_queues: &mut Vec<VecDeque<usize>>, global_queue: &mut VecDeque<usize>| {
+            for &n in &job.maps[m].preferred_nodes {
+                if n < cluster.num_nodes {
+                    node_queues[n].push_back(m);
+                }
+            }
+            global_queue.push_back(m);
+        };
+
+    if !job.invert_scheduling {
+        for m in 0..n_maps {
+            enqueue_eligible(m, &mut node_queues, &mut global_queue);
+        }
+    }
+
+    // Reduce bookkeeping.
+    let mut reduce_cursor = 0usize;
+    let mut running: Vec<Option<ReduceRun>> = (0..n_reduces).map(|_| None).collect();
+    let mut free_reduce_slots = cluster.total_reduce_slots();
+    // Speculation bookkeeping: scheduled end per running map and
+    // whether a backup copy is already out.
+    let mut map_sched_end: Vec<Option<SimTime>> = vec![None; n_maps];
+    let mut map_duplicated = vec![false; n_maps];
+    let mut reduce_start = vec![0f64; n_reduces];
+    let mut reduce_ready = vec![0f64; n_reduces];
+    let mut reduce_end = vec![0f64; n_reduces];
+    let mut map_end: Vec<Option<f64>> = vec![None; n_maps];
+
+    // Launches pending reduces onto free slots, marking dependencies
+    // eligible under inverted scheduling. Returns maps made eligible.
+    macro_rules! launch_reduces {
+        ($now:expr) => {{
+            while free_reduce_slots > 0 && reduce_cursor < n_reduces {
+                let r = job.reduce_order[reduce_cursor];
+                reduce_cursor += 1;
+                free_reduce_slots -= 1;
+                let node = r % cluster.num_nodes;
+                reduce_start[r] = to_secs($now);
+                let remaining = match &job.reduces[r].deps {
+                    Some(deps) => {
+                        if job.invert_scheduling {
+                            for &m in deps {
+                                if map_state[m] == MapState::Ineligible {
+                                    map_state[m] = MapState::Eligible;
+                                    enqueue_eligible(m, &mut node_queues, &mut global_queue);
+                                }
+                            }
+                        }
+                        deps.iter().filter(|&&m| map_state[m] != MapState::Done).count()
+                    }
+                    None => {
+                        if job.invert_scheduling {
+                            for m in 0..n_maps {
+                                if map_state[m] == MapState::Ineligible {
+                                    map_state[m] = MapState::Eligible;
+                                    enqueue_eligible(m, &mut node_queues, &mut global_queue);
+                                }
+                            }
+                        }
+                        n_maps - maps_done
+                    }
+                };
+                if remaining == 0 {
+                    reduce_ready[r] = to_secs($now);
+                    let dur = model.reduce_duration_s(job.reduces[r].input_bytes, r as u64);
+                    queue.push($now + secs(dur), Event::ReduceEnd { reduce: r, node });
+                    running[r] = None;
+                    // Slot stays occupied until ReduceEnd.
+                } else {
+                    running[r] = Some(ReduceRun {
+                        remaining,
+                        node,
+                        start: $now,
+                    });
+                }
+            }
+        }};
+    }
+
+    // Assigns eligible maps to free slots, locality-first.
+    macro_rules! schedule_maps {
+        ($now:expr) => {{
+            for node in 0..cluster.num_nodes {
+                while free_map_slots[node] > 0 {
+                    // Local candidates first, then the global queue —
+                    // the locality-tree walk of §3.3.
+                    let mut picked = None;
+                    while let Some(&m) = node_queues[node].front() {
+                        if map_state[m] == MapState::Eligible {
+                            picked = Some((m, true));
+                            break;
+                        }
+                        node_queues[node].pop_front();
+                    }
+                    if picked.is_none() {
+                        while let Some(&m) = global_queue.front() {
+                            if map_state[m] == MapState::Eligible {
+                                let local = job.maps[m].preferred_nodes.contains(&node);
+                                picked = Some((m, local));
+                                break;
+                            }
+                            global_queue.pop_front();
+                        }
+                    }
+                    let Some((m, local)) = picked else {
+                        // Nothing pending: Hadoop's speculative
+                        // execution duplicates the slowest running map
+                        // ("first copy to finish wins").
+                        if cluster.speculative_maps {
+                            let candidate = (0..n_maps)
+                                .filter(|&m| {
+                                    map_state[m] == MapState::Running
+                                        && !map_duplicated[m]
+                                        && map_sched_end[m].is_some_and(|e| e > $now)
+                                })
+                                .max_by_key(|&m| map_sched_end[m]);
+                            if let Some(m) = candidate {
+                                map_duplicated[m] = true;
+                                free_map_slots[node] -= 1;
+                                let local = job.maps[m].preferred_nodes.contains(&node);
+                                let dur = model.map_duration_s(
+                                    job.maps[m].input_bytes,
+                                    local,
+                                    job.maps[m].oblivious,
+                                    m as u64 ^ 0x0D0B_1E5C, // fresh straggler roll
+                                );
+                                let end = $now + secs(dur);
+                                // The earlier copy defines completion.
+                                if map_sched_end[m].is_some_and(|e| end < e) {
+                                    map_sched_end[m] = Some(end);
+                                }
+                                queue.push(end, Event::MapEnd { map: m, node });
+                                continue;
+                            }
+                        }
+                        break;
+                    };
+                    map_state[m] = MapState::Running;
+                    free_map_slots[node] -= 1;
+                    let dur = model.map_duration_s(
+                        job.maps[m].input_bytes,
+                        local,
+                        job.maps[m].oblivious,
+                        m as u64,
+                    );
+                    map_sched_end[m] = Some($now + secs(dur));
+                    queue.push($now + secs(dur), Event::MapEnd { map: m, node });
+                }
+            }
+        }};
+    }
+
+    launch_reduces!(0);
+    schedule_maps!(0);
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::MapEnd { map, node } => {
+                if map_state[map] == MapState::Done {
+                    // The losing speculative copy: just release the
+                    // slot (Hadoop kills it; we let it finish idle).
+                    free_map_slots[node] += 1;
+                    schedule_maps!(now);
+                    continue;
+                }
+                map_state[map] = MapState::Done;
+                maps_done += 1;
+                map_end[map] = Some(to_secs(now));
+                free_map_slots[node] += 1;
+                // Wake reduces waiting on this map.
+                for r in 0..n_reduces {
+                    let hit = match &mut running[r] {
+                        Some(run) => {
+                            let depends = match &job.reduces[r].deps {
+                                Some(deps) => deps.contains(&map),
+                                None => true,
+                            };
+                            if depends {
+                                run.remaining -= 1;
+                                run.remaining == 0
+                            } else {
+                                false
+                            }
+                        }
+                        None => false,
+                    };
+                    if hit {
+                        let run = running[r].take().expect("checked above");
+                        let ready = now.max(run.start);
+                        reduce_ready[r] = to_secs(ready);
+                        let dur = model.reduce_duration_s(job.reduces[r].input_bytes, r as u64);
+                        queue.push(ready + secs(dur), Event::ReduceEnd { reduce: r, node: run.node });
+                    }
+                }
+                schedule_maps!(now);
+            }
+            Event::ReduceEnd { reduce, node: _ } => {
+                reduce_end[reduce] = to_secs(now);
+                free_reduce_slots += 1;
+                launch_reduces!(now);
+                schedule_maps!(now);
+            }
+        }
+    }
+
+    SimTrace {
+        map_end_s: map_end,
+        reduce_start_s: reduce_start,
+        reduce_ready_s: reduce_ready,
+        reduce_end_s: reduce_end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel {
+            jitter_frac: 0.0,
+            task_overhead_s: 0.0,
+            hadoop_remote_penalty: 0.0,
+            ..Default::default()
+        }
+    }
+
+    fn uniform_job(n_maps: usize, n_reduces: usize, global: bool) -> SimJob {
+        SimJob {
+            maps: (0..n_maps)
+                .map(|_| SimMapTask {
+                    input_bytes: 64 << 20,
+                    preferred_nodes: vec![0, 1, 2],
+                    oblivious: false,
+                })
+                .collect(),
+            reduces: (0..n_reduces)
+                .map(|r| SimReduceTask {
+                    input_bytes: 32 << 20,
+                    deps: if global {
+                        None
+                    } else {
+                        // Reduce r depends on a contiguous slice of
+                        // maps; the last reduce takes the remainder.
+                        let per = n_maps / n_reduces;
+                        let end = if r + 1 == n_reduces { n_maps } else { (r + 1) * per };
+                        Some((r * per..end).collect())
+                    },
+                })
+                .collect(),
+            reduce_order: (0..n_reduces).collect(),
+            invert_scheduling: !global,
+        }
+    }
+
+    #[test]
+    fn global_barrier_blocks_all_reduces() {
+        let job = uniform_job(32, 4, true);
+        let trace = simulate(&job, &SimClusterConfig::default(), &model());
+        let last_map = trace.map_completions().last().copied().unwrap();
+        for r in 0..4 {
+            assert!(
+                trace.reduce_ready_s[r] >= last_map,
+                "reduce {r} ready {} before last map {last_map}",
+                trace.reduce_ready_s[r]
+            );
+        }
+    }
+
+    #[test]
+    fn dependency_barrier_releases_early() {
+        let job = uniform_job(32, 4, false);
+        let trace = simulate(&job, &SimClusterConfig::default(), &model());
+        let last_map = trace.map_completions().last().copied().unwrap();
+        assert!(
+            trace.first_result_s() < last_map,
+            "first result {} not before last map {last_map}",
+            trace.first_result_s()
+        );
+    }
+
+    #[test]
+    fn all_tasks_complete() {
+        for global in [true, false] {
+            let job = uniform_job(50, 7, global);
+            let trace = simulate(&job, &SimClusterConfig::default(), &model());
+            assert_eq!(trace.map_completions().len(), 50);
+            assert!(trace.reduce_end_s.iter().all(|&t| t > 0.0));
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let job = uniform_job(64, 8, false);
+        let a = simulate(&job, &SimClusterConfig::default(), &CostModel::default());
+        let b = simulate(&job, &SimClusterConfig::default(), &CostModel::default());
+        assert_eq!(a.reduce_end_s, b.reduce_end_s);
+        assert_eq!(a.map_end_s, b.map_end_s);
+    }
+
+    #[test]
+    fn more_slots_do_not_slow_the_job() {
+        let job = uniform_job(64, 8, true);
+        let small = SimClusterConfig {
+            num_nodes: 4,
+            ..Default::default()
+        };
+        let big = SimClusterConfig::default();
+        let t_small = simulate(&job, &small, &model()).makespan_s();
+        let t_big = simulate(&job, &big, &model()).makespan_s();
+        assert!(t_big <= t_small, "{t_big} > {t_small}");
+    }
+
+    #[test]
+    fn undepended_maps_never_run_under_inversion() {
+        let mut job = uniform_job(33, 4, false); // 33rd map unused (32/4=8 per reduce)
+        job.maps.push(SimMapTask {
+            input_bytes: 1,
+            preferred_nodes: vec![],
+            oblivious: false,
+        });
+        let trace = simulate(&job, &SimClusterConfig::default(), &model());
+        assert!(trace.map_end_s.last().unwrap().is_none());
+    }
+
+    #[test]
+    fn speculation_beats_stragglers_under_the_global_barrier() {
+        // Heavy stragglers, global barrier: the last map defines the
+        // makespan, so duplicating the slowest map helps; SIDR-style
+        // dependency barriers localize the damage instead.
+        let job = uniform_job(96, 4, true);
+        let straggly = CostModel {
+            jitter_frac: 0.0,
+            task_overhead_s: 0.0,
+            hadoop_remote_penalty: 0.0,
+            straggler_prob: 0.05,
+            straggler_factor: 6.0,
+            ..Default::default()
+        };
+        let plain = simulate(&job, &SimClusterConfig::default(), &straggly);
+        let spec_cluster = SimClusterConfig {
+            speculative_maps: true,
+            ..Default::default()
+        };
+        let speculated = simulate(&job, &spec_cluster, &straggly);
+        assert!(
+            speculated.makespan_s() < 0.9 * plain.makespan_s(),
+            "speculation {} vs plain {}",
+            speculated.makespan_s(),
+            plain.makespan_s()
+        );
+        // Every map still completes exactly once in the trace.
+        assert_eq!(speculated.map_completions().len(), 96);
+    }
+
+    #[test]
+    fn speculation_is_a_noop_without_stragglers() {
+        let job = uniform_job(96, 4, true);
+        let m = model();
+        let plain = simulate(&job, &SimClusterConfig::default(), &m);
+        let speculated = simulate(
+            &job,
+            &SimClusterConfig {
+                speculative_maps: true,
+                ..Default::default()
+            },
+            &m,
+        );
+        // Uniform tasks: duplicates never finish first, makespan holds.
+        assert!((speculated.makespan_s() / plain.makespan_s() - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn reduce_waves_respect_slot_limit() {
+        // 100 reduces over 72 slots: last 28 must start after some end.
+        let job = uniform_job(20, 100, true);
+        let trace = simulate(&job, &SimClusterConfig::default(), &model());
+        let starts = {
+            let mut s = trace.reduce_start_s.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s
+        };
+        assert_eq!(starts.iter().filter(|&&t| t == 0.0).count(), 72);
+        assert!(starts[72] > 0.0);
+    }
+}

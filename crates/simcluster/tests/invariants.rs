@@ -1,0 +1,130 @@
+//! Simulator invariants, property-tested over randomized jobs: causal
+//! ordering (barriers respected), conservation (everything needed
+//! runs), and policy dominance (dependency barriers never finish
+//! later than the global barrier, all else equal).
+
+use proptest::prelude::*;
+
+use sidr_simcluster::{simulate, CostModel, SimClusterConfig, SimJob, SimMapTask, SimReduceTask};
+
+/// Random job: 4-60 maps, 1-12 reduces, contiguous dep slices.
+fn jobs() -> impl Strategy<Value = SimJob> {
+    (4usize..60, 1usize..12, any::<bool>(), 0u64..3).prop_map(
+        |(n_maps, n_reduces, invert, node_salt)| {
+            let maps = (0..n_maps)
+                .map(|i| SimMapTask {
+                    input_bytes: 1 << 20,
+                    preferred_nodes: vec![
+                        (i + node_salt as usize) % 24,
+                        (i * 7 + 3) % 24,
+                        (i * 13 + 11) % 24,
+                    ],
+                    oblivious: false,
+                })
+                .collect();
+            let per = n_maps / n_reduces;
+            let reduces = (0..n_reduces)
+                .map(|r| {
+                    let end = if r + 1 == n_reduces { n_maps } else { (r + 1) * per };
+                    SimReduceTask {
+                        input_bytes: 1 << 19,
+                        deps: Some((r * per..end).collect()),
+                    }
+                })
+                .collect();
+            SimJob {
+                maps,
+                reduces,
+                reduce_order: (0..n_reduces).collect(),
+                invert_scheduling: invert,
+            }
+        },
+    )
+}
+
+fn model() -> CostModel {
+    CostModel {
+        jitter_frac: 0.03,
+        hadoop_remote_penalty: 0.0,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn barriers_are_causal(job in jobs()) {
+        let trace = simulate(&job, &SimClusterConfig::default(), &model());
+        for (r, task) in job.reduces.iter().enumerate() {
+            let deps = task.deps.as_ref().expect("generated jobs have deps");
+            // A reduce never becomes ready before its last dependency.
+            for &m in deps {
+                let map_end = trace.map_end_s[m].expect("dep maps must run");
+                prop_assert!(
+                    trace.reduce_ready_s[r] >= map_end - 1e-9,
+                    "reduce {r} ready {} before dep map {m} at {map_end}",
+                    trace.reduce_ready_s[r]
+                );
+            }
+            // End >= ready >= slot start.
+            prop_assert!(trace.reduce_end_s[r] >= trace.reduce_ready_s[r]);
+            prop_assert!(trace.reduce_ready_s[r] >= trace.reduce_start_s[r] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_needed_maps_run_exactly_when_needed(job in jobs()) {
+        let trace = simulate(&job, &SimClusterConfig::default(), &model());
+        let mut needed = vec![false; job.maps.len()];
+        for task in &job.reduces {
+            for &m in task.deps.as_ref().expect("deps") {
+                needed[m] = true;
+            }
+        }
+        for (m, &need) in needed.iter().enumerate() {
+            if need {
+                prop_assert!(trace.map_end_s[m].is_some(), "needed map {m} never ran");
+            } else if job.invert_scheduling {
+                prop_assert!(
+                    trace.map_end_s[m].is_none(),
+                    "unneeded map {m} ran under inverted scheduling"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dependency_barrier_never_slower_than_global(job in jobs()) {
+        let dep_trace = simulate(&job, &SimClusterConfig::default(), &model());
+        let mut global = job.clone();
+        for r in global.reduces.iter_mut() {
+            r.deps = None;
+        }
+        global.invert_scheduling = false;
+        let global_trace = simulate(&global, &SimClusterConfig::default(), &model());
+        // First results strictly ordered, makespan no worse (ties
+        // allowed: the final reduce waits for the last map either way).
+        prop_assert!(
+            dep_trace.first_result_s() <= global_trace.first_result_s() + 1e-6,
+            "deps {} vs global {}",
+            dep_trace.first_result_s(),
+            global_trace.first_result_s()
+        );
+        prop_assert!(
+            dep_trace.makespan_s() <= global_trace.makespan_s() * 1.05 + 1e-6,
+            "deps {} vs global {}",
+            dep_trace.makespan_s(),
+            global_trace.makespan_s()
+        );
+    }
+
+    #[test]
+    fn traces_are_reproducible(job in jobs()) {
+        let a = simulate(&job, &SimClusterConfig::default(), &model());
+        let b = simulate(&job, &SimClusterConfig::default(), &model());
+        prop_assert_eq!(a.map_end_s, b.map_end_s);
+        prop_assert_eq!(a.reduce_end_s, b.reduce_end_s);
+        prop_assert_eq!(a.reduce_ready_s, b.reduce_ready_s);
+    }
+}

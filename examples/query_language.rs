@@ -1,0 +1,80 @@
+//! The array query language front end (§2.4): parse a textual query,
+//! bind it against a dataset's metadata, and execute it under SIDR —
+//! then stream the early results as they commit (§6).
+//!
+//! ```sh
+//! cargo run --release --example query_language
+//! cargo run --release --example query_language -- "max(windspeed) over {4, 6, 8, 10}"
+//! ```
+
+use sidr_repro::core::early::streaming_output;
+use sidr_repro::core::lang::parse_query;
+use sidr_repro::core::operators::OperatorReducer;
+use sidr_repro::core::source::{scinc_source_factory, StructuralMapper};
+use sidr_repro::core::SidrPlanner;
+use sidr_repro::coords::Shape;
+use sidr_repro::mapreduce::{run_job, JobConfig, SplitGenerator};
+use sidr_repro::scifile::gen::DatasetSpec;
+
+fn main() {
+    let text = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "median(windspeed) over {2, 6, 8, 10}".to_string());
+
+    // A laptop-sized wind-speed dataset.
+    let space = Shape::new(vec![120, 12, 16, 10]).expect("valid shape");
+    let spec = DatasetSpec::windspeed(space, 21);
+    let path = std::env::temp_dir().join("sidr-lang-windspeed.scinc");
+    let file = spec.generate::<f32>(&path).expect("dataset generates");
+    println!("dataset metadata:\n{}", file.metadata());
+
+    let query = match parse_query(&text, file.metadata()) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("could not parse '{text}': {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "query: {text}\n  -> operator {:?}, intermediate space {}",
+        query.operator,
+        query.intermediate_space()
+    );
+
+    let splits = SplitGenerator::new(query.input_space().clone(), 4)
+        .aligned(12 * 16 * 10 * 4 * 8, query.extraction.shape()[0])
+        .expect("splits generate");
+    let plan = SidrPlanner::new(&query, 4).build(&splits).expect("plan builds");
+    let mapper = StructuralMapper::new(query.extraction.clone());
+    let reducer = OperatorReducer { op: query.operator };
+    let factory = scinc_source_factory::<f32>(&file, &query.variable);
+    let (collector, rx) = streaming_output();
+
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for early in rx.iter() {
+                println!(
+                    "  [{:>6.1} ms] keyblock {} committed: {} records (first: {:?})",
+                    early.at.as_secs_f64() * 1e3,
+                    early.reducer,
+                    early.records.len(),
+                    early.records.first().map(|(k, v)| format!("{k} -> {v:.2}")),
+                );
+            }
+        });
+        run_job(
+            &splits,
+            &factory,
+            &mapper,
+            None,
+            &reducer,
+            &plan,
+            &collector,
+            &JobConfig::default(),
+        )
+        .expect("query executes");
+        drop(collector);
+    });
+
+    std::fs::remove_file(&path).ok();
+}
