@@ -1,0 +1,489 @@
+//! Static plan verification for SIDR.
+//!
+//! SIDR replaces MapReduce's global reduce barrier with per-keyblock
+//! dependency barriers and lets reducers start — and emit *final*
+//! results — before all maps finish (§3.2, §4.1). That only works if
+//! the plan's geometry is right: a missing dependency edge means a
+//! reducer answers from incomplete input; an overlapping keyblock
+//! means a key is reduced twice; a wrong count annotation either
+//! blocks a healthy reducer or waves a starving one through. This
+//! crate *proves* those invariants statically, before any task runs:
+//!
+//! 1. **Coverage & disjointness** (`SIDR-E001`/`SIDR-E002`) — the
+//!    keyblocks tile `K′ᵀ` exactly: slab covers are in-bounds,
+//!    pairwise disjoint and count-balanced, and the per-key partition
+//!    function agrees with the covers, hot path included.
+//! 2. **Dependency soundness & completeness**
+//!    (`SIDR-E003`/`SIDR-W004`) — each `I_ℓ` is recomputed
+//!    independently from the extraction-shape algebra (image of each
+//!    split, reference per-key routing) and compared edge by edge.
+//! 3. **Skew certificate** (`SIDR-E005`) — the dealing unit respects
+//!    the permissible skew and observed keyblock sizes differ by at
+//!    most one unit, with witness keyblocks (§3.1).
+//! 4. **Scheduling feasibility** (`SIDR-E006`/`SIDR-E007`) — the
+//!    reduce order is a permutation and the bipartite map→keyblock
+//!    graph is consistent, in-range and starvation-free.
+//! 5. **Annotation conservation** (`SIDR-E008`/`SIDR-E009`) — the
+//!    predicted per-keyblock raw-pair counts sum to `|K′ᵀ| × fold`
+//!    and match each keyblock's geometry (§3.2.1 approach 2).
+//!
+//! The cheap structural half of these checks also runs automatically
+//! in [`sidr_core::plan::SidrPlanner::build`]
+//! (see [`sidr_core::verify`]); this crate layers the exhaustive
+//! geometric half on top, renders findings through
+//! [`sidr_core::diag`], and ships the `sidr-lint` CLI.
+
+use std::collections::BTreeSet;
+
+use sidr_coords::{cover, CoverDefect, Slab};
+use sidr_core::diag::{codes, Diagnostic, Report};
+use sidr_core::spec::JobSpec;
+use sidr_core::verify::{structural_check, PlanView};
+use sidr_core::{PartitionPlus, SidrPlan, StructuralQuery};
+use sidr_mapreduce::{InputSplit, Partitioner};
+
+pub mod presets;
+
+pub use sidr_core::diag;
+pub use sidr_core::verify;
+
+/// How many detailed diagnostics to emit per finding family before
+/// collapsing the rest into a summary line.
+const DETAIL_CAP: usize = 5;
+
+/// Verifier knobs.
+#[derive(Clone, Debug)]
+pub struct AnalyzeOptions {
+    /// The permissible skew the plan is supposed to honor (§3.1).
+    /// `None` accepts the partition's own dealing unit as the bound.
+    pub skew_bound: Option<u64>,
+    /// Total per-key work budget across the exhaustive passes
+    /// (membership over `K′ᵀ` plus per-split image enumeration).
+    /// Passes that would exceed it are skipped with `SIDR-I010`.
+    pub key_budget: u64,
+    /// Pairwise slab-intersection work cap for the disjointness
+    /// proof; covers with more slabs skip the O(n²) pass (the count
+    /// balance and membership passes still run).
+    pub pairwise_slab_limit: usize,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            skew_bound: None,
+            key_budget: 16_000_000,
+            pairwise_slab_limit: 20_000,
+        }
+    }
+}
+
+/// Verifies a built plan end to end.
+pub fn analyze_plan(
+    query: &StructuralQuery,
+    splits: &[InputSplit],
+    plan: &SidrPlan,
+    opts: &AnalyzeOptions,
+) -> Report {
+    let view = PlanView::of_plan(plan, query, splits);
+    analyze(query, splits, &view, opts)
+}
+
+/// Verifies a plan view: the structural checks from
+/// [`sidr_core::verify`] plus the exhaustive geometric proofs.
+pub fn analyze(
+    query: &StructuralQuery,
+    splits: &[InputSplit],
+    view: &PlanView,
+    opts: &AnalyzeOptions,
+) -> Report {
+    let mut report = structural_check(view);
+    let mut budget = opts.key_budget;
+    check_cover_geometry(view, opts, &mut report);
+    check_membership(view, &mut budget, &mut report);
+    check_dependencies(query, splits, view, &mut budget, &mut report);
+    check_skew(view, opts, &mut report);
+    report
+}
+
+/// Lints a serialized job submission: re-derives the plan geometry
+/// from the spec's own query and splits, checks the stored tables
+/// against it, then runs the full analysis over the stored view.
+pub fn analyze_spec(spec: &JobSpec, opts: &AnalyzeOptions) -> sidr_core::Result<Report> {
+    let query = spec.query()?;
+    let partition = PartitionPlus::for_query(&query, spec.num_reducers)?;
+
+    // The spec stores the keyblock covers it promised reducers; they
+    // must match the geometry its query implies.
+    let mut report = Report::new();
+    for b in 0..spec.num_reducers {
+        let derived = partition.keyblock_cover(b)?;
+        match spec.keyblock_covers.get(b) {
+            Some(stored) if *stored == derived => {}
+            _ => {
+                report.push(
+                    Diagnostic::error(
+                        codes::COVERAGE,
+                        "stored keyblock cover disagrees with the query geometry",
+                    )
+                    .with("keyblock", b),
+                );
+            }
+        }
+    }
+
+    let view = PlanView {
+        partition,
+        map_feeds: invert_deps(&spec.reduce_deps, spec.splits.len()),
+        reduce_deps: spec.reduce_deps.clone(),
+        reduce_order: spec.reduce_order.clone(),
+        expected_raw: spec.expected_raw.clone(),
+        kspace: query.intermediate_space(),
+        fold_in: query.fold_in_count(),
+        num_splits: spec.splits.len(),
+    };
+    report.merge(analyze(&query, &spec.splits, &view, opts));
+    Ok(report)
+}
+
+fn invert_deps(reduce_deps: &[Vec<usize>], num_splits: usize) -> Vec<Vec<usize>> {
+    let mut feeds: Vec<Vec<usize>> = vec![Vec::new(); num_splits];
+    for (b, deps) in reduce_deps.iter().enumerate() {
+        for &m in deps {
+            if m < num_splits {
+                feeds[m].push(b);
+            }
+        }
+    }
+    feeds
+}
+
+/// Invariant 1, algebraic half: the keyblock slab covers form an
+/// exact cover of `K′ᵀ` — in bounds, pairwise disjoint, counts
+/// balancing to `|K′ᵀ|` (`SIDR-E001`/`SIDR-E002`).
+fn check_cover_geometry(view: &PlanView, opts: &AnalyzeOptions, report: &mut Report) {
+    let cp = view.partition.partition();
+    let mut slabs: Vec<Slab> = Vec::new();
+    let mut owners: Vec<usize> = Vec::new();
+    for b in 0..view.num_reducers() {
+        match cp.block_cover(b) {
+            Ok(c) => {
+                for s in c {
+                    slabs.push(s);
+                    owners.push(b);
+                }
+            }
+            // Un-computable covers are already reported by the
+            // structural count-balance check.
+            Err(_) => return,
+        }
+    }
+    if slabs.len() > opts.pairwise_slab_limit {
+        report.push(
+            Diagnostic::info(
+                codes::TRUNCATED,
+                "cover has too many slabs for the pairwise disjointness proof",
+            )
+            .with("slabs", slabs.len())
+            .with("limit", opts.pairwise_slab_limit),
+        );
+        return;
+    }
+    match cover::exact_cover_defect(&slabs, &view.kspace) {
+        None => {}
+        Some(CoverDefect::OutOfBounds { index }) => {
+            report.push(
+                Diagnostic::error(codes::COVERAGE, "keyblock cover extends outside K′ᵀ")
+                    .with("keyblock", owners[index])
+                    .with("slab", &slabs[index]),
+            );
+        }
+        Some(CoverDefect::Overlap { a, b, shared }) => {
+            report.push(
+                Diagnostic::error(codes::OVERLAP, "keyblock covers overlap")
+                    .with("keyblock_a", owners[a])
+                    .with("keyblock_b", owners[b])
+                    .with("shared_keys", shared),
+            );
+        }
+        Some(CoverDefect::CountMismatch { covered, expected }) => {
+            report.push(
+                Diagnostic::error(codes::COVERAGE, "keyblock covers do not tile K′ᵀ")
+                    .with("covered_keys", covered)
+                    .with("keyspace_keys", expected),
+            );
+        }
+    }
+}
+
+/// Invariant 1, exhaustive half: route every key of `K′ᵀ` through the
+/// partition function — reference path and the strength-reduced hot
+/// path maps actually use — and balance the per-keyblock tallies
+/// against the claimed key counts.
+fn check_membership(view: &PlanView, budget: &mut u64, report: &mut Report) {
+    let cp = view.partition.partition();
+    let r = view.num_reducers();
+    let total = view.kspace.count();
+    if total > *budget {
+        report.push(
+            Diagnostic::info(codes::TRUNCATED, "K′ᵀ too large for exhaustive membership")
+                .with("keys", total)
+                .with("budget", *budget),
+        );
+        return;
+    }
+    *budget -= total;
+
+    let mut tallies = vec![0u64; r];
+    for key in Slab::whole(&view.kspace).iter_coords() {
+        let b = match cp.keyblock_of_key(&key) {
+            Ok(b) if b < r => b,
+            _ => {
+                report.push(
+                    Diagnostic::error(codes::COVERAGE, "key is owned by no keyblock")
+                        .with("key", &key),
+                );
+                return;
+            }
+        };
+        let fast = Partitioner::partition(&view.partition, &key, r);
+        if fast != b {
+            report.push(
+                Diagnostic::error(
+                    codes::OVERLAP,
+                    "hot-path routing disagrees with the reference partition",
+                )
+                .with("key", &key)
+                .with("reference_keyblock", b)
+                .with("hot_path_keyblock", fast),
+            );
+            return;
+        }
+        tallies[b] += 1;
+    }
+    let mut mismatches = 0usize;
+    for (b, &tally) in tallies.iter().enumerate() {
+        let claimed = match cp.block_key_count(b) {
+            Ok(c) => c,
+            Err(_) => return, // structural check already flagged
+        };
+        if tally != claimed {
+            mismatches += 1;
+            if mismatches <= DETAIL_CAP {
+                report.push(
+                    Diagnostic::error(
+                        codes::COVERAGE,
+                        "keyblock owns a different number of keys than claimed",
+                    )
+                    .with("keyblock", b)
+                    .with("routed_keys", tally)
+                    .with("claimed_keys", claimed),
+                );
+            }
+        }
+    }
+    if mismatches > DETAIL_CAP {
+        report.push(
+            Diagnostic::error(
+                codes::COVERAGE,
+                "further keyblock tally mismatches suppressed",
+            )
+            .with("total_mismatches", mismatches),
+        );
+    }
+}
+
+/// Invariant 2: recompute each split's keyblock set independently —
+/// image of the split under the extraction shape, then reference
+/// per-key routing — and compare against the plan's dependency
+/// tables edge by edge (`SIDR-E003` missing, `SIDR-W004` spurious).
+fn check_dependencies(
+    query: &StructuralQuery,
+    splits: &[InputSplit],
+    view: &PlanView,
+    budget: &mut u64,
+    report: &mut Report,
+) {
+    let cp = view.partition.partition();
+    let mut skipped = 0usize;
+    let mut missing = 0usize;
+    let mut spurious = 0usize;
+    for (m, split) in splits.iter().enumerate() {
+        let image = match query.image_of_split(&split.slab) {
+            Ok(i) => i,
+            Err(e) => {
+                report.push(
+                    Diagnostic::error(codes::DEP_MISSING, "split image is not computable")
+                        .with("split", m)
+                        .with("cause", e),
+                );
+                return;
+            }
+        };
+        let expected: BTreeSet<usize> = match image {
+            None => BTreeSet::new(),
+            Some(img) => {
+                let n = img.count();
+                if n > *budget {
+                    skipped += 1;
+                    continue;
+                }
+                *budget -= n;
+                img.iter_coords()
+                    .filter_map(|kp| cp.keyblock_of_key(&kp).ok())
+                    .collect()
+            }
+        };
+        let actual: BTreeSet<usize> = view
+            .map_feeds
+            .get(m)
+            .map(|f| f.iter().copied().collect())
+            .unwrap_or_default();
+        for &b in expected.difference(&actual) {
+            missing += 1;
+            if missing <= DETAIL_CAP {
+                report.push(
+                    Diagnostic::error(
+                        codes::DEP_MISSING,
+                        "split feeds a keyblock that does not list it: \
+                         the reduce barrier would release on incomplete input",
+                    )
+                    .with("split", m)
+                    .with("keyblock", b),
+                );
+            }
+        }
+        for &b in actual.difference(&expected) {
+            spurious += 1;
+            if spurious <= DETAIL_CAP {
+                report.push(
+                    Diagnostic::warning(
+                        codes::DEP_SPURIOUS,
+                        "dependency set lists a split that contributes nothing; \
+                         the barrier is later than necessary",
+                    )
+                    .with("split", m)
+                    .with("keyblock", b),
+                );
+            }
+        }
+    }
+    if missing > DETAIL_CAP {
+        report.push(
+            Diagnostic::error(
+                codes::DEP_MISSING,
+                "further missing dependency edges suppressed",
+            )
+            .with("total_missing", missing),
+        );
+    }
+    if spurious > DETAIL_CAP {
+        report.push(
+            Diagnostic::warning(
+                codes::DEP_SPURIOUS,
+                "further spurious dependency edges suppressed",
+            )
+            .with("total_spurious", spurious),
+        );
+    }
+    if skipped > 0 {
+        report.push(
+            Diagnostic::info(codes::TRUNCATED, "split images exceeded the key budget")
+                .with("splits_skipped", skipped),
+        );
+    }
+}
+
+/// Invariant 3: the skew certificate (`SIDR-E005`). The dealing unit
+/// must respect the permissible skew, and the observed spread across
+/// non-empty keyblocks must stay within one unit — witnessed by the
+/// largest and smallest keyblocks.
+fn check_skew(view: &PlanView, opts: &AnalyzeOptions, report: &mut Report) {
+    let cp = view.partition.partition();
+    let unit = cp.skew_shape().count();
+    let bound = opts.skew_bound.unwrap_or(unit);
+    if unit > bound {
+        report.push(
+            Diagnostic::error(
+                codes::SKEW,
+                "the partition's dealing unit exceeds the permissible skew",
+            )
+            .with("dealing_unit_keys", unit)
+            .with("permissible_skew", bound)
+            .with("skew_shape", cp.skew_shape()),
+        );
+    }
+    let mut hi: Option<(usize, u64)> = None;
+    let mut lo: Option<(usize, u64)> = None;
+    for b in 0..view.num_reducers() {
+        let c = match cp.block_key_count(b) {
+            Ok(c) => c,
+            Err(_) => return, // structural check already flagged
+        };
+        if c == 0 {
+            continue;
+        }
+        if hi.is_none_or(|(_, best)| c > best) {
+            hi = Some((b, c));
+        }
+        if lo.is_none_or(|(_, best)| c < best) {
+            lo = Some((b, c));
+        }
+    }
+    if let (Some((hb, hc)), Some((lb, lc))) = (hi, lo) {
+        let observed = hc - lc;
+        if observed > unit {
+            report.push(
+                Diagnostic::error(
+                    codes::SKEW,
+                    "observed keyblock skew exceeds one dealing unit",
+                )
+                .with("observed_skew", observed)
+                .with("dealing_unit_keys", unit)
+                .with("largest_keyblock", hb)
+                .with("largest_keys", hc)
+                .with("smallest_keyblock", lb)
+                .with("smallest_keys", lc),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sidr_core::{Operator, SidrPlanner};
+    use sidr_mapreduce::SplitGenerator;
+
+    #[test]
+    fn clean_plan_analyzes_clean() {
+        let q = StructuralQuery::new(
+            "t",
+            sidr_coords::Shape::new(vec![48, 6, 6]).unwrap(),
+            sidr_coords::Shape::new(vec![4, 3, 1]).unwrap(),
+            Operator::Mean,
+        )
+        .unwrap();
+        let splits = SplitGenerator::new(q.input_space().clone(), 8)
+            .exact_count(6)
+            .unwrap();
+        let plan = SidrPlanner::new(&q, 3).build(&splits).unwrap();
+        let report = analyze_plan(&q, &splits, &plan, &AnalyzeOptions::default());
+        assert!(report.is_clean(), "unexpected findings:\n{report}");
+    }
+
+    #[test]
+    fn tiny_budget_truncates_instead_of_failing() {
+        let q = StructuralQuery::query1_small().unwrap();
+        let splits = SplitGenerator::new(q.input_space().clone(), 4)
+            .aligned(1 << 16, 2)
+            .unwrap();
+        let plan = SidrPlanner::new(&q, 6).build(&splits).unwrap();
+        let opts = AnalyzeOptions {
+            key_budget: 10,
+            ..AnalyzeOptions::default()
+        };
+        let report = analyze_plan(&q, &splits, &plan, &opts);
+        assert!(!report.has_errors(), "unexpected errors:\n{report}");
+        assert!(report.has_code(codes::TRUNCATED));
+    }
+}

@@ -1,0 +1,244 @@
+//! Mutation coverage for the static plan verifier: corrupt each
+//! invariant class by hand and prove the analyzer rejects it with the
+//! documented stable code, while the untouched plan passes clean.
+
+use sidr_analyze::diag::codes;
+use sidr_analyze::verify::PlanView;
+use sidr_analyze::{analyze, analyze_spec, AnalyzeOptions};
+use sidr_coords::Shape;
+use sidr_core::spec::JobSpec;
+use sidr_core::{Operator, PartitionPlus, SidrPlanner, StructuralQuery};
+use sidr_mapreduce::{InputSplit, SplitGenerator};
+
+fn fixture() -> (StructuralQuery, Vec<InputSplit>, PlanView) {
+    let q = StructuralQuery::new(
+        "t",
+        Shape::new(vec![48, 6, 6]).unwrap(),
+        Shape::new(vec![4, 3, 1]).unwrap(),
+        Operator::Mean,
+    )
+    .unwrap();
+    let splits = SplitGenerator::new(q.input_space().clone(), 8)
+        .exact_count(6)
+        .unwrap();
+    let plan = SidrPlanner::new(&q, 3).build(&splits).unwrap();
+    let view = PlanView::of_plan(&plan, &q, &splits);
+    (q, splits, view)
+}
+
+fn run(q: &StructuralQuery, splits: &[InputSplit], view: &PlanView) -> sidr_core::Report {
+    analyze(q, splits, view, &AnalyzeOptions::default())
+}
+
+#[test]
+fn untouched_plan_is_clean() {
+    let (q, splits, view) = fixture();
+    let report = run(&q, &splits, &view);
+    assert!(report.is_clean(), "unexpected findings:\n{report}");
+}
+
+/// Invariant 2 (soundness): drop one dependency edge *consistently*
+/// from both tables, as a buggy derivation would — the structural
+/// inversion check stays green, the independent geometric
+/// recomputation catches it.
+#[test]
+fn dropped_dependency_edge_is_e003() {
+    let (q, splits, mut view) = fixture();
+    let b = *view.map_feeds[0].first().expect("split 0 feeds something");
+    view.map_feeds[0].retain(|&x| x != b);
+    view.reduce_deps[b].retain(|&m| m != 0);
+    let report = run(&q, &splits, &view);
+    assert!(report.has_errors());
+    assert!(
+        report.has_code(codes::DEP_MISSING),
+        "wrong codes:\n{report}"
+    );
+}
+
+/// Invariant 2 (completeness): a spurious edge is safe but delays the
+/// barrier — warning, not error.
+#[test]
+fn spurious_dependency_edge_is_w004() {
+    let (q, splits, mut view) = fixture();
+    // Find a (split, keyblock) pair that is NOT an edge.
+    let (m, b) = (0..splits.len())
+        .flat_map(|m| (0..view.num_reducers()).map(move |b| (m, b)))
+        .find(|&(m, b)| !view.map_feeds[m].contains(&b))
+        .expect("small plans have non-edges");
+    view.map_feeds[m].push(b);
+    view.reduce_deps[b].push(m);
+    view.reduce_deps[b].sort_unstable();
+    let report = run(&q, &splits, &view);
+    assert!(
+        !report.has_errors(),
+        "spurious edges must not be errors:\n{report}"
+    );
+    assert!(
+        report.has_code(codes::DEP_SPURIOUS),
+        "wrong codes:\n{report}"
+    );
+}
+
+/// Invariant 1: a partition built over a widened keyspace cannot
+/// tile the query's K′ᵀ.
+#[test]
+fn widened_keyblock_space_is_e001() {
+    let (q, splits, mut view) = fixture();
+    let mut wide = view.kspace.extents().to_vec();
+    wide[0] *= 2;
+    view.partition = PartitionPlus::with_skew_bound(Shape::new(wide).unwrap(), 3, 12).unwrap();
+    let report = run(&q, &splits, &view);
+    assert!(report.has_errors());
+    assert!(report.has_code(codes::COVERAGE), "wrong codes:\n{report}");
+}
+
+/// Invariant 5: a corrupted per-keyblock tally breaks both the
+/// per-block equation and the global conservation law.
+#[test]
+fn corrupted_key_count_is_e009_and_e008() {
+    let (q, splits, mut view) = fixture();
+    view.expected_raw[1] += 7;
+    let report = run(&q, &splits, &view);
+    assert!(report.has_errors());
+    assert!(
+        report.has_code(codes::BLOCK_COUNT),
+        "wrong codes:\n{report}"
+    );
+    assert!(
+        report.has_code(codes::CONSERVATION),
+        "wrong codes:\n{report}"
+    );
+}
+
+/// Invariant 4: a schedule that repeats a keyblock silently drops
+/// another.
+#[test]
+fn non_permutation_schedule_is_e006() {
+    let (q, splits, mut view) = fixture();
+    view.reduce_order = vec![0, 0, 2];
+    let report = run(&q, &splits, &view);
+    assert!(report.has_errors());
+    assert!(
+        report.has_code(codes::SCHED_ORDER),
+        "wrong codes:\n{report}"
+    );
+}
+
+/// Invariant 4: a dependency on a map task that does not exist can
+/// never be met.
+#[test]
+fn dangling_map_dependency_is_e007() {
+    let (q, splits, mut view) = fixture();
+    let ghost = splits.len() + 3;
+    view.reduce_deps[0].push(ghost);
+    let report = run(&q, &splits, &view);
+    assert!(report.has_errors());
+    assert!(
+        report.has_code(codes::SCHED_GRAPH),
+        "wrong codes:\n{report}"
+    );
+}
+
+/// Invariant 4: a keyblock that expects data but depends on nothing
+/// starves forever under inverted scheduling.
+#[test]
+fn starved_keyblock_is_e007() {
+    let (q, splits, mut view) = fixture();
+    view.reduce_deps[2].clear();
+    for feeds in &mut view.map_feeds {
+        feeds.retain(|&b| b != 2);
+    }
+    let report = run(&q, &splits, &view);
+    assert!(report.has_errors());
+    assert!(
+        report.has_code(codes::SCHED_GRAPH),
+        "wrong codes:\n{report}"
+    );
+}
+
+/// Invariant 3: a partition whose dealing unit exceeds the declared
+/// permissible skew fails its certificate, with witness context.
+#[test]
+fn violated_skew_bound_is_e005() {
+    let (q, splits, view) = fixture();
+    let unit = view.partition.partition().skew_shape().count();
+    assert!(unit > 1, "fixture needs a non-trivial dealing unit");
+    let opts = AnalyzeOptions {
+        skew_bound: Some(unit - 1),
+        ..AnalyzeOptions::default()
+    };
+    let report = analyze(&q, &splits, &view, &opts);
+    assert!(report.has_errors());
+    assert!(report.has_code(codes::SKEW), "wrong codes:\n{report}");
+    let skew = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == codes::SKEW)
+        .unwrap();
+    assert!(
+        skew.context.iter().any(|(k, _)| k == "permissible_skew"),
+        "skew diagnostic must carry its witness context"
+    );
+}
+
+/// The honored bound passes.
+#[test]
+fn honored_skew_bound_is_clean() {
+    let (q, splits, view) = fixture();
+    let unit = view.partition.partition().skew_shape().count();
+    let opts = AnalyzeOptions {
+        skew_bound: Some(unit),
+        ..AnalyzeOptions::default()
+    };
+    let report = analyze(&q, &splits, &view, &opts);
+    assert!(report.is_clean(), "unexpected findings:\n{report}");
+}
+
+/// The JSON renderer carries the stable codes machine consumers key
+/// on.
+#[test]
+fn json_report_carries_stable_codes() {
+    let (q, splits, mut view) = fixture();
+    view.expected_raw[0] += 1;
+    let json = run(&q, &splits, &view).to_json();
+    assert!(json.contains("\"code\":\"SIDR-E009\""), "json was: {json}");
+    assert!(json.contains("\"severity\":\"Error\""));
+}
+
+/// Spec documents get the same scrutiny: a dependency edge dropped
+/// from a serialized submission is caught after a JSON round-trip.
+#[test]
+fn corrupted_job_spec_is_caught() {
+    let (q, splits, _) = fixture();
+    let plan = SidrPlanner::new(&q, 3).build(&splits).unwrap();
+    let spec = JobSpec::from_plan(&q, &splits, &plan).unwrap();
+
+    let clean = analyze_spec(&spec, &AnalyzeOptions::default()).unwrap();
+    assert!(clean.is_clean(), "unexpected findings:\n{clean}");
+
+    let mut bad = JobSpec::from_json(&spec.to_json()).unwrap();
+    let victim = bad.reduce_deps.iter().position(|d| !d.is_empty()).unwrap();
+    bad.reduce_deps[victim].remove(0);
+    let report = analyze_spec(&bad, &AnalyzeOptions::default()).unwrap();
+    assert!(report.has_errors());
+    assert!(
+        report.has_code(codes::DEP_MISSING),
+        "wrong codes:\n{report}"
+    );
+}
+
+/// The planner's built-in pre-flight is on by default and opt-out.
+#[test]
+fn planner_preflight_is_opt_out() {
+    let (q, splits, _) = fixture();
+    assert!(SidrPlanner::new(&q, 3).build(&splits).is_ok());
+    assert!(SidrPlanner::new(&q, 3)
+        .skip_preflight()
+        .build(&splits)
+        .is_ok());
+    // End-to-end rejection: the analyzer (superset of the pre-flight)
+    // rejects at least five distinct corruption classes — covered by
+    // the tests above; here we prove the pre-flight path itself runs
+    // by checking a degenerate planner input still errors cleanly.
+    assert!(SidrPlanner::new(&q, 0).build(&splits).is_err());
+}

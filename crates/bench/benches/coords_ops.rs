@@ -9,7 +9,11 @@ use sidr_coords::{ContiguousPartition, Coord, Shape, Slab};
 fn bench_coords(c: &mut Criterion) {
     let space = Shape::new(vec![3600, 10, 20, 5]).expect("valid"); // Query 1 K'^T
     let coords: Vec<Coord> = (0..100_000u64)
-        .map(|i| space.delinearize((i * 104_729) % space.count()).expect("in bounds"))
+        .map(|i| {
+            space
+                .delinearize((i * 104_729) % space.count())
+                .expect("in bounds")
+        })
         .collect();
 
     let mut group = c.benchmark_group("coords");
@@ -27,7 +31,9 @@ fn bench_coords(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u64;
             for i in 0..100_000u64 {
-                let c = space.delinearize((i * 31) % space.count()).expect("in bounds");
+                let c = space
+                    .delinearize((i * 31) % space.count())
+                    .expect("in bounds");
                 acc = acc.wrapping_add(c[0]);
             }
             black_box(acc)
@@ -36,12 +42,22 @@ fn bench_coords(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("slabs");
-    let a = Slab::new(Coord::from([100, 0, 0, 0]), Shape::new(vec![500, 10, 20, 5]).unwrap())
-        .expect("valid");
-    let b_slab = Slab::new(Coord::from([300, 2, 5, 1]), Shape::new(vec![900, 8, 10, 4]).unwrap())
-        .expect("valid");
+    let a = Slab::new(
+        Coord::from([100, 0, 0, 0]),
+        Shape::new(vec![500, 10, 20, 5]).unwrap(),
+    )
+    .expect("valid");
+    let b_slab = Slab::new(
+        Coord::from([300, 2, 5, 1]),
+        Shape::new(vec![900, 8, 10, 4]).unwrap(),
+    )
+    .expect("valid");
     group.bench_function("intersect", |bch| {
-        bch.iter(|| black_box(&a).intersect(black_box(&b_slab)).expect("same rank"))
+        bch.iter(|| {
+            black_box(&a)
+                .intersect(black_box(&b_slab))
+                .expect("same rank")
+        })
     });
     group.finish();
 

@@ -19,9 +19,7 @@ fn bench_deps(c: &mut Criterion) {
     for reducers in [22usize, 176] {
         let pp = PartitionPlus::for_query(&query, reducers).expect("partition+ builds");
         group.bench_function(BenchmarkId::new("derive_all", reducers), |b| {
-            b.iter(|| {
-                black_box(Dependencies::derive(&query, &pp, &splits).expect("derives"))
-            })
+            b.iter(|| black_box(Dependencies::derive(&query, &pp, &splits).expect("derives")))
         });
         group.bench_function(BenchmarkId::new("recompute_one_keyblock", reducers), |b| {
             let target = reducers / 2;

@@ -12,7 +12,11 @@ fn bench_keymap(c: &mut Criterion) {
     // Input keys spread through K^T.
     let space = query.input_space().clone();
     let keys: Vec<Coord> = (0..100_000u64)
-        .map(|i| space.delinearize((i * 7919) % space.count()).expect("in bounds"))
+        .map(|i| {
+            space
+                .delinearize((i * 7919) % space.count())
+                .expect("in bounds")
+        })
         .collect();
 
     let mut group = c.benchmark_group("keymap");
@@ -32,7 +36,11 @@ fn bench_keymap(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u64;
             for k in &keys {
-                if let Some(i) = query.extraction.map_key_linear(black_box(k)).expect("in bounds") {
+                if let Some(i) = query
+                    .extraction
+                    .map_key_linear(black_box(k))
+                    .expect("in bounds")
+                {
                     acc = acc.wrapping_add(i);
                 }
             }

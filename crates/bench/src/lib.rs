@@ -10,8 +10,8 @@
 //!   recomputation,
 //! * `coords_ops` — geometry primitives underneath everything.
 
-use sidr_core::{Operator, StructuralQuery};
 use sidr_coords::{Coord, Shape};
+use sidr_core::{Operator, StructuralQuery};
 
 /// The laptop-scale Query 1 used across benches.
 pub fn bench_query() -> StructuralQuery {

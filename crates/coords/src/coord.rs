@@ -206,7 +206,10 @@ mod tests {
         let b = Coord::from([1, 2, 3]);
         assert!(matches!(
             a.checked_add(&b),
-            Err(CoordError::RankMismatch { expected: 2, actual: 3 })
+            Err(CoordError::RankMismatch {
+                expected: 2,
+                actual: 3
+            })
         ));
     }
 

@@ -37,17 +37,27 @@ impl fmt::Display for CoordError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoordError::RankMismatch { expected, actual } => {
-                write!(f, "rank mismatch: expected {expected} dimensions, got {actual}")
+                write!(
+                    f,
+                    "rank mismatch: expected {expected} dimensions, got {actual}"
+                )
             }
             CoordError::ZeroDim { dim } => {
                 write!(f, "dimension {dim} has zero extent")
             }
-            CoordError::OutOfBounds { dim, coordinate, extent } => write!(
+            CoordError::OutOfBounds {
+                dim,
+                coordinate,
+                extent,
+            } => write!(
                 f,
                 "coordinate {coordinate} out of bounds in dimension {dim} (extent {extent})"
             ),
             CoordError::IndexOutOfBounds { index, count } => {
-                write!(f, "linear index {index} out of bounds (element count {count})")
+                write!(
+                    f,
+                    "linear index {index} out of bounds (element count {count})"
+                )
             }
             CoordError::EmptyRank => write!(f, "rank-0 coordinate or shape not permitted here"),
             CoordError::Overflow => write!(f, "element count overflows u64"),

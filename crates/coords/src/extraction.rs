@@ -247,7 +247,10 @@ mod tests {
         // Tile {2}, stride {4} over {16}: instances at 0,4,8,12.
         let es = ExtractionShape::with_stride(shape(&[16]), shape(&[2]), vec![4]).unwrap();
         assert_eq!(es.intermediate_space().unwrap(), shape(&[4]));
-        assert_eq!(es.map_key(&Coord::from([5])).unwrap(), Some(Coord::from([1])));
+        assert_eq!(
+            es.map_key(&Coord::from([5])).unwrap(),
+            Some(Coord::from([1]))
+        );
         assert_eq!(es.map_key(&Coord::from([6])).unwrap(), None);
         // A slab covering only a gap still yields a bounding image —
         // superset-safe, possibly non-empty.

@@ -16,13 +16,16 @@
 //! * [`ExtractionShape`] — the `K → K′` key translation and its
 //!   preimage (§3, Areas 2 and 3),
 //! * [`partition`] — contiguous, skew-bounded partition geometry used
-//!   by `partition+` (§3.1, Fig. 7).
+//!   by `partition+` (§3.1, Fig. 7),
+//! * [`cover`] — slab-intersection and exact-cover checks used by the
+//!   static plan verifier to prove keyblocks tile `K′ᵀ`.
 //!
 //! All public constructors validate dimensionality and return
 //! [`CoordError`] on mismatch; hot-path accessors assume validated
 //! inputs and use debug assertions.
 
 pub mod coord;
+pub mod cover;
 pub mod error;
 pub mod extraction;
 pub mod partition;
@@ -31,6 +34,7 @@ pub mod slab;
 pub mod tiling;
 
 pub use coord::Coord;
+pub use cover::{exact_cover_defect, first_overlap, overlap_count, CoverDefect};
 pub use error::CoordError;
 pub use extraction::ExtractionShape;
 pub use partition::{choose_skew_shape, ContiguousPartition, KeyblockId, KeyblockSpec};

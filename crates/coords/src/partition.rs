@@ -294,12 +294,12 @@ mod tests {
     #[test]
     fn every_key_in_exactly_one_block() {
         let p = ContiguousPartition::with_skew_bound(shape(&[13, 7]), 4, 5).unwrap();
-        let mut counts = vec![0u64; 4];
+        let mut counts = [0u64; 4];
         for k in shape(&[13, 7]).iter_coords() {
             counts[p.keyblock_of_key(&k).unwrap()] += 1;
         }
-        for id in 0..4 {
-            assert_eq!(counts[id], p.block_key_count(id).unwrap(), "block {id}");
+        for (id, &c) in counts.iter().enumerate() {
+            assert_eq!(c, p.block_key_count(id).unwrap(), "block {id}");
         }
         assert_eq!(counts.iter().sum::<u64>(), 13 * 7);
     }
@@ -348,7 +348,10 @@ mod tests {
             for idx in 0..instances {
                 let b = p.keyblock_of_instance(idx);
                 let (s, e) = p.block_run(b);
-                assert!(idx >= s && idx < e, "instance {idx} not in run of block {b}");
+                assert!(
+                    idx >= s && idx < e,
+                    "instance {idx} not in run of block {b}"
+                );
             }
         }
     }

@@ -232,8 +232,14 @@ mod tests {
 
     #[test]
     fn rejects_zero_dim_and_empty() {
-        assert!(matches!(Shape::new(vec![3, 0, 2]), Err(CoordError::ZeroDim { dim: 1 })));
-        assert!(matches!(Shape::new(Vec::<u64>::new()), Err(CoordError::EmptyRank)));
+        assert!(matches!(
+            Shape::new(vec![3, 0, 2]),
+            Err(CoordError::ZeroDim { dim: 1 })
+        ));
+        assert!(matches!(
+            Shape::new(Vec::<u64>::new()),
+            Err(CoordError::EmptyRank)
+        ));
     }
 
     #[test]

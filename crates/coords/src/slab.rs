@@ -188,8 +188,11 @@ impl Slab {
             let mut extents = self.shape.extents().to_vec();
             extents[dim] = this_len;
             out.push(
-                Slab::new(Coord::new(corner), Shape::new(extents).expect("nonzero piece"))
-                    .expect("piece within parent"),
+                Slab::new(
+                    Coord::new(corner),
+                    Shape::new(extents).expect("nonzero piece"),
+                )
+                .expect("piece within parent"),
             );
             offset += this_len;
         }

@@ -94,7 +94,12 @@ impl Tiling {
         })
     }
 
-    fn grid_extents(space: &Shape, tile: &Shape, stride: &[u64], policy: PartialPolicy) -> Vec<u64> {
+    fn grid_extents(
+        space: &Shape,
+        tile: &Shape,
+        stride: &[u64],
+        policy: PartialPolicy,
+    ) -> Vec<u64> {
         space
             .extents()
             .iter()
@@ -326,7 +331,11 @@ impl Tiling {
             let s = self.stride[dim];
             let t = self.tile[dim];
             // Smallest j with j*s + t > c.
-            let j_lo = if c + 1 > t { (c + 1 - t).div_ceil(s) } else { 0 };
+            let j_lo = if c + 1 > t {
+                (c + 1 - t).div_ceil(s)
+            } else {
+                0
+            };
             // Largest j with j*s < c + e, exclusive bound, clamped.
             let j_hi = ((c + e - 1) / s + 1).min(self.grid[dim]);
             if j_lo >= j_hi {
@@ -381,7 +390,8 @@ fn contiguous_run_cover(grid: &[u64], start: u64, end: u64) -> Vec<Slab> {
     let last_row = (end - 1) / row;
     if first_row == last_row {
         // Entire run inside one row: recurse into the tail dims.
-        let inner = contiguous_run_cover(&grid[1..], start - first_row * row, end - first_row * row);
+        let inner =
+            contiguous_run_cover(&grid[1..], start - first_row * row, end - first_row * row);
         return inner
             .into_iter()
             .map(|s| prepend_dim(&s, first_row, 1))
@@ -389,7 +399,6 @@ fn contiguous_run_cover(grid: &[u64], start: u64, end: u64) -> Vec<Slab> {
     }
     let mut out = Vec::new();
     // Leading partial row.
-    let lead_end = (first_row + 1) * row;
     if start > first_row * row {
         for s in contiguous_run_cover(&grid[1..], start - first_row * row, row) {
             out.push(prepend_dim(&s, first_row, 1));
@@ -398,9 +407,15 @@ fn contiguous_run_cover(grid: &[u64], start: u64, end: u64) -> Vec<Slab> {
         // start is row-aligned: fold the first row into the middle.
         out.extend(middle_rows(grid, first_row, first_row + 1));
     }
-    // Dense middle rows.
-    let mid_start = if start > first_row * row { first_row + 1 } else { first_row + 1 };
-    let mid_end = if end < (last_row + 1) * row { last_row } else { last_row + 1 };
+    // Dense middle rows: the leading row is already covered either
+    // way (partial cover above, or folded in as a full row), so the
+    // middle always starts right after it.
+    let mid_start = first_row + 1;
+    let mid_end = if end < (last_row + 1) * row {
+        last_row
+    } else {
+        last_row + 1
+    };
     if mid_end > mid_start {
         out.extend(middle_rows(grid, mid_start, mid_end));
     }
@@ -410,7 +425,6 @@ fn contiguous_run_cover(grid: &[u64], start: u64, end: u64) -> Vec<Slab> {
             out.push(prepend_dim(&s, last_row, 1));
         }
     }
-    let _ = lead_end;
     merge_adjacent_rows(out)
 }
 
@@ -486,16 +500,24 @@ mod tests {
     #[test]
     fn paper_weekly_downsample_grid() {
         // {365,250,200} tiled by {7,5,1}, partials discarded → {52,50,200}.
-        let t = Tiling::new(shape(&[365, 250, 200]), shape(&[7, 5, 1]), PartialPolicy::Discard)
-            .unwrap();
+        let t = Tiling::new(
+            shape(&[365, 250, 200]),
+            shape(&[7, 5, 1]),
+            PartialPolicy::Discard,
+        )
+        .unwrap();
         assert_eq!(t.grid(), &[52, 50, 200]);
         assert_eq!(t.instance_count(), 52 * 50 * 200);
     }
 
     #[test]
     fn clip_keeps_partials() {
-        let t = Tiling::new(shape(&[365, 250, 200]), shape(&[7, 5, 1]), PartialPolicy::Clip)
-            .unwrap();
+        let t = Tiling::new(
+            shape(&[365, 250, 200]),
+            shape(&[7, 5, 1]),
+            PartialPolicy::Clip,
+        )
+        .unwrap();
         assert_eq!(t.grid(), &[53, 50, 200]);
         // The last instance along dim 0 is clipped to 1 day.
         let last = t
@@ -506,10 +528,15 @@ mod tests {
 
     #[test]
     fn instance_of_discard_drops_tail() {
-        let t =
-            Tiling::new(shape(&[365]), shape(&[7]), PartialPolicy::Discard).unwrap();
-        assert_eq!(t.instance_of(&Coord::from([0])).unwrap(), Some(Coord::from([0])));
-        assert_eq!(t.instance_of(&Coord::from([363])).unwrap(), Some(Coord::from([51])));
+        let t = Tiling::new(shape(&[365]), shape(&[7]), PartialPolicy::Discard).unwrap();
+        assert_eq!(
+            t.instance_of(&Coord::from([0])).unwrap(),
+            Some(Coord::from([0]))
+        );
+        assert_eq!(
+            t.instance_of(&Coord::from([363])).unwrap(),
+            Some(Coord::from([51]))
+        );
         // Day 364 (the 365th) belongs to the discarded partial week.
         assert_eq!(t.instance_of(&Coord::from([364])).unwrap(), None);
     }
@@ -527,8 +554,9 @@ mod tests {
 
     #[test]
     fn stride_smaller_than_tile_rejected() {
-        assert!(Tiling::with_stride(shape(&[10]), shape(&[3]), vec![2], PartialPolicy::Clip)
-            .is_err());
+        assert!(
+            Tiling::with_stride(shape(&[10]), shape(&[3]), vec![2], PartialPolicy::Clip).is_err()
+        );
     }
 
     #[test]
@@ -566,7 +594,7 @@ mod tests {
         let cover = t.run_cover(1, 5).unwrap();
         let covered: u64 = cover.iter().map(Slab::count).sum();
         assert_eq!(covered, 4 * 4); // 4 instances x 4 elements each
-        // Each instance in the run is inside exactly one cover slab.
+                                    // Each instance in the run is inside exactly one cover slab.
         for idx in 1..5 {
             let inst = t.instance_slab(idx).unwrap();
             let n = cover.iter().filter(|s| s.contains_slab(&inst)).count();

@@ -150,11 +150,7 @@ mod tests {
     }
 
     /// Brute-force ground truth: which keyblocks a split feeds.
-    fn brute_keyblocks(
-        q: &StructuralQuery,
-        pp: &PartitionPlus,
-        split: &Slab,
-    ) -> Vec<usize> {
+    fn brute_keyblocks(q: &StructuralQuery, pp: &PartitionPlus, split: &Slab) -> Vec<usize> {
         let mut blocks: Vec<usize> = split
             .iter_coords()
             .filter_map(|k| q.map_key(&k))
@@ -204,13 +200,7 @@ mod tests {
 
     #[test]
     fn discarded_region_split_feeds_nothing() {
-        let q = StructuralQuery::new(
-            "v",
-            shape(&[10, 4]),
-            shape(&[4, 4]),
-            Operator::Mean,
-        )
-        .unwrap();
+        let q = StructuralQuery::new("v", shape(&[10, 4]), shape(&[4, 4]), Operator::Mean).unwrap();
         let pp = PartitionPlus::for_query(&q, 2).unwrap();
         // Rows 8..10 are in the discarded partial instance.
         let split = Slab::new(Coord::from([8, 0]), shape(&[2, 4])).unwrap();

@@ -77,6 +77,10 @@ pub struct RunOptions {
     /// because the geometric tallies no longer apply (§3.2.1 approach
     /// 1 — the dependency barrier — still guarantees correctness).
     pub filter_pushdown: bool,
+    /// Skip the static pre-flight verification the planner runs on
+    /// every SIDR plan (see `sidr_core::verify`). On by default; opt
+    /// out only for throwaway planning loops.
+    pub skip_preflight: bool,
 }
 
 impl RunOptions {
@@ -95,6 +99,7 @@ impl RunOptions {
             reduce_think: Duration::ZERO,
             spill_dir: None,
             filter_pushdown: false,
+            skip_preflight: false,
         }
     }
 }
@@ -212,6 +217,9 @@ fn run_typed<E: Element>(
             if let Some(region) = &opts.priority_region {
                 planner = planner.prioritize_region(region.clone());
             }
+            if opts.skip_preflight {
+                planner = planner.skip_preflight();
+            }
             let plan = planner.build(&splits)?;
             let counts = (0..opts.num_reducers)
                 .map(|r| plan.partition().keyblock_key_count(r))
@@ -290,7 +298,11 @@ mod tests {
         let q = StructuralQuery::new("t", shape(&[24, 6, 4]), shape(&[4, 3, 2]), Operator::Mean)
             .unwrap();
         let expect = expected_means(&q, &spec);
-        for mode in [FrameworkMode::Hadoop, FrameworkMode::SciHadoop, FrameworkMode::Sidr] {
+        for mode in [
+            FrameworkMode::Hadoop,
+            FrameworkMode::SciHadoop,
+            FrameworkMode::Sidr,
+        ] {
             let mut opts = RunOptions::new(mode, 3);
             opts.split_bytes = 6 * 4 * 8 * 4; // 4 leading rows per split
             opts.validate_annotations = mode == FrameworkMode::Sidr;
@@ -376,10 +388,12 @@ mod tests {
         opts.filter_pushdown = true;
         opts.validate_annotations = true; // silently disabled with push-down
         let pushed = run_query(&file, &q, &opts).unwrap();
-        assert_eq!(plain.records, pushed.records, "push-down must not change output");
+        assert_eq!(
+            plain.records, pushed.records,
+            "push-down must not change output"
+        );
         assert!(
-            pushed.result.counters.shuffled_records * 5
-                < plain.result.counters.shuffled_records,
+            pushed.result.counters.shuffled_records * 5 < plain.result.counters.shuffled_records,
             "push-down shuffled {} vs {}",
             pushed.result.counters.shuffled_records,
             plain.result.counters.shuffled_records

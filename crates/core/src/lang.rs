@@ -117,11 +117,18 @@ struct Parser<'t> {
 
 impl<'t> Parser<'t> {
     fn new(text: &'t str) -> Self {
-        Parser { rest: text, offset: 0 }
+        Parser {
+            rest: text,
+            offset: 0,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> SidrError {
-        SidrError::Plan(format!("query parse error at byte {}: {}", self.offset, msg.into()))
+        SidrError::Plan(format!(
+            "query parse error at byte {}: {}",
+            self.offset,
+            msg.into()
+        ))
     }
 
     fn skip_ws(&mut self) {
@@ -349,7 +356,12 @@ mod tests {
             vec![Variable::new(
                 "windspeed",
                 DataType::F32,
-                vec!["time".into(), "lat".into(), "lon".into(), "elevation".into()],
+                vec![
+                    "time".into(),
+                    "lat".into(),
+                    "lon".into(),
+                    "elevation".into(),
+                ],
             )],
         )
         .unwrap()
@@ -386,11 +398,15 @@ mod tests {
     #[test]
     fn parses_percentile_and_countabove() {
         assert_eq!(
-            parse("percentile(windspeed, 95) over {2,2,2,2}").unwrap().operator,
+            parse("percentile(windspeed, 95) over {2,2,2,2}")
+                .unwrap()
+                .operator,
             Operator::Percentile { p: 95.0 }
         );
         assert_eq!(
-            parse("countabove(windspeed, 12.5) over {2,2,2,2}").unwrap().operator,
+            parse("countabove(windspeed, 12.5) over {2,2,2,2}")
+                .unwrap()
+                .operator,
             Operator::CountAbove { threshold: 12.5 }
         );
     }
@@ -414,7 +430,10 @@ mod tests {
             )
             .unwrap()
         );
-        assert_eq!(bound.intermediate_space(), Shape::new(vec![100, 180, 360, 25]).unwrap());
+        assert_eq!(
+            bound.intermediate_space(),
+            Shape::new(vec![100, 180, 360, 25]).unwrap()
+        );
         // Stride + within is rejected at bind time.
         let q2 = parse(
             "mean(windspeed) over {2,2,2,2} stride {4,2,2,2} within corner {0,0,0,0} shape {8,8,8,8}",
@@ -430,7 +449,11 @@ mod tests {
         let q = parse("histogram(windspeed, 0, 45, 9) over {2,2,2,2}").unwrap();
         assert_eq!(
             q.operator,
-            Operator::Histogram { lo: 0.0, hi: 45.0, buckets: 9 }
+            Operator::Histogram {
+                lo: 0.0,
+                hi: 45.0,
+                buckets: 9
+            }
         );
         assert!(parse("histogram(v, 5, 5, 3) over {2}").is_err());
         assert!(parse("histogram(v, 0, 5, 0) over {2}").is_err());
@@ -463,8 +486,14 @@ mod tests {
     #[test]
     fn bind_validates_variable_and_rank() {
         let md = metadata();
-        assert!(parse("mean(nope) over {2,2,2,2}").unwrap().bind(&md).is_err());
-        assert!(parse("mean(windspeed) over {2,2}").unwrap().bind(&md).is_err());
+        assert!(parse("mean(nope) over {2,2,2,2}")
+            .unwrap()
+            .bind(&md)
+            .is_err());
+        assert!(parse("mean(windspeed) over {2,2}")
+            .unwrap()
+            .bind(&md)
+            .is_err());
     }
 
     #[test]

@@ -21,7 +21,12 @@
 //! * write output as dense contiguous slabs — [`output`] (§4.4),
 //! * recover from Reduce failures by re-executing only dependent Map
 //!   tasks instead of persisting intermediate data (§6; exercised
-//!   through the engine's `volatile_intermediate` mode).
+//!   through the engine's `volatile_intermediate` mode),
+//! * statically verify every plan before a task runs — [`verify`]
+//!   pre-flights the structural invariants inside
+//!   [`plan::SidrPlanner::build`], and the `sidr-analyze` crate
+//!   extends the same [`diag::Report`] machinery into a full
+//!   geometric proof plus the `sidr-lint` CLI.
 //!
 //! The high-level entry point is [`framework::run_query`], which runs
 //! one structural query under any of the three compared frameworks
@@ -39,13 +44,17 @@ pub mod source;
 pub mod spec;
 
 pub mod deps;
+pub mod diag;
 pub mod partition_plus;
+pub mod verify;
 
+pub use diag::{Diagnostic, Report, Severity};
 pub use framework::{run_query, FrameworkMode, QueryOutcome};
 pub use operators::Operator;
 pub use partition_plus::PartitionPlus;
 pub use plan::{SidrPlan, SidrPlanner};
 pub use query::StructuralQuery;
+pub use verify::{structural_check, PlanView};
 
 /// Errors from SIDR planning and execution.
 #[derive(Debug)]

@@ -25,7 +25,9 @@ pub enum Operator {
     /// All values strictly greater than `threshold` (Query 2, §4.1:
     /// "results will contain a list of all values greater than the
     /// threshold"). May emit zero values.
-    Filter { threshold: f64 },
+    Filter {
+        threshold: f64,
+    },
     /// The unit's values in ascending order (query example 3, §2.2).
     SortValues,
     /// Population variance of the unit.
@@ -38,15 +40,23 @@ pub enum Operator {
     /// Number of values strictly exceeding `threshold` — the counting
     /// form of query example 2, and the histogramming workload of
     /// high-energy physics (§2.2).
-    CountAbove { threshold: f64 },
+    CountAbove {
+        threshold: f64,
+    },
     /// The `p`-th percentile (0 ≤ p ≤ 100) by nearest-rank — the
     /// periodogram/percentile analyses of §2.2's survey.
-    Percentile { p: f64 },
+    Percentile {
+        p: f64,
+    },
     /// A fixed-bin histogram of the unit: emits `buckets` counts for
     /// `[lo, hi)`, out-of-range values clamped to the edge bins —
     /// "functionally equivalent to histogramming in high energy
     /// physics" (§2.2).
-    Histogram { lo: f64, hi: f64, buckets: u32 },
+    Histogram {
+        lo: f64,
+        hi: f64,
+        buckets: u32,
+    },
 }
 
 impl Operator {
@@ -119,7 +129,8 @@ impl Operator {
     /// A map-side combiner for distributive operators, `None`
     /// otherwise.
     pub fn combiner(&self) -> Option<OperatorCombiner> {
-        self.is_distributive().then_some(OperatorCombiner { op: *self })
+        self.is_distributive()
+            .then_some(OperatorCombiner { op: *self })
     }
 }
 
@@ -271,11 +282,19 @@ mod tests {
 
     #[test]
     fn histogram_bins_and_clamps() {
-        let op = Operator::Histogram { lo: 0.0, hi: 10.0, buckets: 5 };
+        let op = Operator::Histogram {
+            lo: 0.0,
+            hi: 10.0,
+            buckets: 5,
+        };
         let counts = op.apply(&[-1.0, 0.0, 1.9, 2.0, 5.5, 9.99, 10.0, 42.0]);
         // bins: [0,2) [2,4) [4,6) [6,8) [8,10); out-of-range clamps.
         assert_eq!(counts, vec![3.0, 1.0, 1.0, 0.0, 3.0]);
-        assert_eq!(counts.iter().sum::<f64>(), 8.0, "every value lands somewhere");
+        assert_eq!(
+            counts.iter().sum::<f64>(),
+            8.0,
+            "every value lands somewhere"
+        );
         assert!(!op.single_valued());
         assert!(op.apply(&[]).is_empty());
     }

@@ -76,9 +76,7 @@ impl OutputCollector<Coord, f64> for DenseSlabOutput {
                     }
                 }
             }
-            let path = self
-                .dir
-                .join(format!("part-r{reducer:05}-s{i}.scinc"));
+            let path = self.dir.join(format!("part-r{reducer:05}-s{i}.scinc"));
             write_dense_output(&path, &self.variable, slab, &data)
                 .map_err(|e| MrError::Output(e.to_string()))?;
             self.written.lock().push(path);
@@ -152,11 +150,7 @@ pub fn reassemble_dense_output(
     let names = dims.iter().map(|d| d.name.clone()).collect();
     let md = Metadata::new(
         dims,
-        vec![Variable::new(
-            variable,
-            sidr_scifile::DataType::F64,
-            names,
-        )],
+        vec![Variable::new(variable, sidr_scifile::DataType::F64, names)],
     )?;
     let out = ScincFile::create(destination.into(), md)?;
 
@@ -233,14 +227,10 @@ mod tests {
         let f = ScincFile::open(&files[0]).unwrap();
         let origin = sidr_scifile::sparse::read_origin(f.metadata()).unwrap();
         let local_shape = f.metadata().variable_shape("t").unwrap();
-        let data = f
-            .read_slab::<f64>("t", &Slab::whole(&local_shape))
-            .unwrap();
-        let mut i = 0;
-        for rel in local_shape.iter_coords() {
+        let data = f.read_slab::<f64>("t", &Slab::whole(&local_shape)).unwrap();
+        for (i, rel) in local_shape.iter_coords().enumerate() {
             let abs = rel.checked_add(&origin).unwrap();
             assert_eq!(data[i], abs[0] as f64 * 10.0 + abs[1] as f64);
-            i += 1;
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }

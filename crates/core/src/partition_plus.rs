@@ -225,7 +225,7 @@ mod tests {
         let q = weekly_query();
         let pp = PartitionPlus::for_query(&q, 22).unwrap();
         let kspace = q.intermediate_space();
-        let mut counts = vec![0u64; 22];
+        let mut counts = [0u64; 22];
         for k in kspace.iter_coords() {
             counts[Partitioner::partition(&pp, &k, 22)] += 1;
         }
@@ -261,12 +261,9 @@ mod tests {
     fn default_bound_gives_enough_units() {
         let kspace = shape(&[3600, 10, 20, 5]); // Query 1 K'^T
         for r in [22usize, 66, 176, 528, 1024] {
-            let pp = PartitionPlus::with_skew_bound(
-                kspace.clone(),
-                r,
-                default_skew_bound(&kspace, r),
-            )
-            .unwrap();
+            let pp =
+                PartitionPlus::with_skew_bound(kspace.clone(), r, default_skew_bound(&kspace, r))
+                    .unwrap();
             // Dealing units comfortably exceed reducers → every
             // reducer gets work.
             for block in 0..r {
@@ -305,7 +302,7 @@ mod tests {
         // The §4.3 pathology: all-even intermediate keys. partition+
         // is oblivious to the binary representation.
         let pp = PartitionPlus::with_skew_bound(shape(&[60, 60]), 22, 60).unwrap();
-        let mut counts = vec![0u64; 22];
+        let mut counts = [0u64; 22];
         for k in shape(&[60, 60]).iter_coords() {
             // Only consider the patterned (all-even) subset.
             if k[0] % 2 == 0 && k[1] % 2 == 0 {

@@ -78,6 +78,7 @@ pub struct SidrPlanner<'q> {
     skew_bound: Option<u64>,
     priority_region: Option<Slab>,
     invert: bool,
+    preflight: bool,
 }
 
 impl<'q> SidrPlanner<'q> {
@@ -88,6 +89,7 @@ impl<'q> SidrPlanner<'q> {
             skew_bound: None,
             priority_region: None,
             invert: true,
+            preflight: true,
         }
     }
 
@@ -109,6 +111,17 @@ impl<'q> SidrPlanner<'q> {
     /// without reduce-first scheduling).
     pub fn classic_scheduling(mut self) -> Self {
         self.invert = false;
+        self
+    }
+
+    /// Disables the structural pre-flight check that [`build`]
+    /// otherwise runs on the finished plan (see [`crate::verify`]).
+    /// The check is cheap — O(reducers + dependency edges) — so opt
+    /// out only when building millions of throwaway plans.
+    ///
+    /// [`build`]: SidrPlanner::build
+    pub fn skip_preflight(mut self) -> Self {
+        self.preflight = false;
         self
     }
 
@@ -147,13 +160,30 @@ impl<'q> SidrPlanner<'q> {
             .map(|r| Ok(partition.keyblock_key_count(r)? * fold))
             .collect::<Result<Vec<u64>>>()?;
 
-        Ok(SidrPlan {
+        let plan = SidrPlan {
             partition,
             deps,
             reduce_order,
             invert: self.invert,
             expected_raw,
-        })
+        };
+
+        // Pre-flight: prove the structural invariants before anything
+        // runs (coverage balance, schedule permutation, dependency
+        // feasibility, annotation conservation). A planner bug
+        // surfaces here as a diagnostic report instead of a hung
+        // barrier or a silently wrong answer downstream.
+        if self.preflight {
+            let view = crate::verify::PlanView::of_plan(&plan, self.query, splits);
+            let report = crate::verify::structural_check(&view);
+            if report.has_errors() {
+                return Err(SidrError::Plan(format!(
+                    "pre-flight verification failed:\n{report}"
+                )));
+            }
+        }
+
+        Ok(plan)
     }
 }
 
@@ -190,13 +220,7 @@ mod tests {
     }
 
     fn query() -> StructuralQuery {
-        StructuralQuery::new(
-            "t",
-            shape(&[64, 10, 10]),
-            shape(&[4, 5, 1]),
-            Operator::Mean,
-        )
-        .unwrap()
+        StructuralQuery::new("t", shape(&[64, 10, 10]), shape(&[4, 5, 1]), Operator::Mean).unwrap()
     }
 
     fn splits(q: &StructuralQuery, n: u64) -> Vec<InputSplit> {
@@ -217,10 +241,7 @@ mod tests {
         assert_eq!(plan.fetch_sources(0), plan.reduce_deps(0));
         // Expected raw counts sum to the mapped portion of the input.
         let total: u64 = (0..4).map(|r| plan.expected_raw_count(r).unwrap()).sum();
-        assert_eq!(
-            total,
-            q.intermediate_space().count() * q.fold_in_count()
-        );
+        assert_eq!(total, q.intermediate_space().count() * q.fold_in_count());
     }
 
     #[test]
@@ -257,7 +278,10 @@ mod tests {
     fn classic_scheduling_flag() {
         let q = query();
         let s = splits(&q, 4);
-        let plan = SidrPlanner::new(&q, 2).classic_scheduling().build(&s).unwrap();
+        let plan = SidrPlanner::new(&q, 2)
+            .classic_scheduling()
+            .build(&s)
+            .unwrap();
         assert!(!plan.invert_scheduling());
     }
 

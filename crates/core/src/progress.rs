@@ -22,10 +22,7 @@ pub fn map_completion_curve(result: &JobResult) -> Vec<CurvePoint> {
 /// weighted by each reducer's share of the output; otherwise each
 /// reduce task counts equally (how the paper's figures plot task
 /// completion).
-pub fn output_availability_curve(
-    result: &JobResult,
-    weights: Option<&[u64]>,
-) -> Vec<CurvePoint> {
+pub fn output_availability_curve(result: &JobResult, weights: Option<&[u64]>) -> Vec<CurvePoint> {
     fraction_curve(&result.events, TaskKind::ReduceEnd, weights)
 }
 

@@ -43,7 +43,9 @@ impl StructuralQuery {
         let extraction = ExtractionShape::new(input_space, extraction_shape)?;
         // Validate now that the query produces output at all.
         extraction.intermediate_space().map_err(|_| {
-            SidrError::Plan("extraction shape exceeds the input space; query output is empty".into())
+            SidrError::Plan(
+                "extraction shape exceeds the input space; query output is empty".into(),
+            )
         })?;
         Ok(StructuralQuery {
             variable: variable.into(),
@@ -64,7 +66,9 @@ impl StructuralQuery {
     ) -> Result<Self> {
         let extraction = ExtractionShape::with_stride(input_space, extraction_shape, stride)?;
         extraction.intermediate_space().map_err(|_| {
-            SidrError::Plan("extraction shape exceeds the input space; query output is empty".into())
+            SidrError::Plan(
+                "extraction shape exceeds the input space; query output is empty".into(),
+            )
         })?;
         Ok(StructuralQuery {
             variable: variable.into(),
@@ -92,12 +96,8 @@ impl StructuralQuery {
             )));
         }
         let corner = region.corner().clone();
-        let mut q = StructuralQuery::new(
-            variable,
-            region.shape().clone(),
-            extraction_shape,
-            operator,
-        )?;
+        let mut q =
+            StructuralQuery::new(variable, region.shape().clone(), extraction_shape, operator)?;
         if corner.components().iter().any(|&c| c != 0) {
             q.region_corner = Some(corner);
         }
@@ -275,25 +275,15 @@ mod tests {
 
     #[test]
     fn oversized_extraction_rejected() {
-        let err = StructuralQuery::new(
-            "v",
-            shape(&[10, 10]),
-            shape(&[20, 1]),
-            Operator::Mean,
-        );
+        let err = StructuralQuery::new("v", shape(&[10, 10]), shape(&[20, 1]), Operator::Mean);
         assert!(err.is_err());
     }
 
     #[test]
     fn strided_query_constructs() {
-        let q = StructuralQuery::with_stride(
-            "v",
-            shape(&[100]),
-            shape(&[2]),
-            vec![10],
-            Operator::Max,
-        )
-        .unwrap();
+        let q =
+            StructuralQuery::with_stride("v", shape(&[100]), shape(&[2]), vec![10], Operator::Max)
+                .unwrap();
         assert_eq!(q.intermediate_space(), shape(&[10]));
         assert_eq!(q.map_key(&Coord::from([11])), Some(Coord::from([1])));
         assert_eq!(q.map_key(&Coord::from([5])), None);

@@ -10,7 +10,7 @@
 //! which is the contract the count annotations rely on (§3.2.1).
 
 use sidr_coords::{Coord, ExtractionShape};
-use sidr_mapreduce::{InputSplit, Mapper, MapTaskId, MrError, RecordSource};
+use sidr_mapreduce::{InputSplit, MapTaskId, Mapper, MrError, RecordSource};
 use sidr_scifile::{Element, ScincFile, SlabRecordReader};
 
 /// Streams `(Coord, f64)` records of one split from a SciNC file,

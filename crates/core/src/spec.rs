@@ -48,7 +48,11 @@ pub struct JobSpec {
 
 impl JobSpec {
     /// Builds the submission document for a planned job.
-    pub fn from_plan(query: &StructuralQuery, splits: &[InputSplit], plan: &SidrPlan) -> Result<Self> {
+    pub fn from_plan(
+        query: &StructuralQuery,
+        splits: &[InputSplit],
+        plan: &SidrPlan,
+    ) -> Result<Self> {
         let r = plan.num_reducers();
         Ok(JobSpec {
             query: QuerySpec {
@@ -114,8 +118,7 @@ impl JobSpec {
 
     /// Deserializes a submission document.
     pub fn from_json(text: &str) -> Result<Self> {
-        serde_json::from_str(text)
-            .map_err(|e| SidrError::Plan(format!("malformed job spec: {e}")))
+        serde_json::from_str(text).map_err(|e| SidrError::Plan(format!("malformed job spec: {e}")))
     }
 
     /// The §3.2.1 "small IO cost to job submission", in bytes.

@@ -2,10 +2,10 @@
 //! catch a Reduce task that would otherwise start on insufficient
 //! input. These tests prove the tripwire fires.
 
+use sidr_coords::{Coord, ExtractionShape, Shape};
 use sidr_core::operators::OperatorReducer;
 use sidr_core::source::{scinc_source_factory, StructuralMapper};
 use sidr_core::{Operator, SidrPlanner, StructuralQuery};
-use sidr_coords::{Coord, ExtractionShape, Shape};
 use sidr_mapreduce::{run_job, InMemoryOutput, JobConfig, Mapper, MrError, SplitGenerator};
 use sidr_scifile::gen::{DatasetSpec, ValueModel};
 
@@ -87,7 +87,9 @@ fn lossy_mapper_trips_the_annotation_check() {
         .unwrap();
     let plan = SidrPlanner::new(&q, 3).build(&splits).unwrap();
     let mapper = LossyMapper {
-        inner: StructuralMapper::new(ExtractionShape::new(shape(&[40, 8]), shape(&[4, 4])).unwrap()),
+        inner: StructuralMapper::new(
+            ExtractionShape::new(shape(&[40, 8]), shape(&[4, 4])).unwrap(),
+        ),
     };
     let reducer = OperatorReducer { op: q.operator };
     let factory = scinc_source_factory::<f64>(&file, "v");
@@ -106,8 +108,13 @@ fn lossy_mapper_trips_the_annotation_check() {
         },
     );
     match result {
-        Err(MrError::AnnotationMismatch { expected, actual, .. }) => {
-            assert!(actual < expected, "tally {actual} must fall short of {expected}");
+        Err(MrError::AnnotationMismatch {
+            expected, actual, ..
+        }) => {
+            assert!(
+                actual < expected,
+                "tally {actual} must fall short of {expected}"
+            );
         }
         other => panic!("expected AnnotationMismatch, got {other:?}"),
     }
@@ -125,7 +132,9 @@ fn without_validation_the_lossy_run_silently_succeeds() {
         .unwrap();
     let plan = SidrPlanner::new(&q, 3).build(&splits).unwrap();
     let mapper = LossyMapper {
-        inner: StructuralMapper::new(ExtractionShape::new(shape(&[40, 8]), shape(&[4, 4])).unwrap()),
+        inner: StructuralMapper::new(
+            ExtractionShape::new(shape(&[40, 8]), shape(&[4, 4])).unwrap(),
+        ),
     };
     let reducer = OperatorReducer { op: q.operator };
     let factory = scinc_source_factory::<f64>(&file, "v");

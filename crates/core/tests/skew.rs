@@ -2,10 +2,10 @@
 //! threaded engine (the fig13 binary reproduces it at paper scale on
 //! the simulator).
 
+use sidr_coords::{Coord, Shape};
 use sidr_core::operators::OperatorReducer;
 use sidr_core::source::{scinc_source_factory, StructuralMapper};
 use sidr_core::{Operator, SidrPlanner, StructuralQuery};
-use sidr_coords::{Coord, Shape};
 use sidr_mapreduce::{
     run_job, CoordHashPartitioner, DefaultPlan, InMemoryOutput, JobConfig, SplitGenerator,
 };
@@ -109,8 +109,8 @@ fn strided_corner_keys_use_stride_spacing() {
     // With a stride, corner coordinates step by the stride, not the
     // tile — the mapper must honor that.
     let space = shape(&[40]);
-    let q = StructuralQuery::with_stride("v", space, shape(&[2]), vec![10], Operator::Mean)
-        .unwrap();
+    let q =
+        StructuralQuery::with_stride("v", space, shape(&[2]), vec![10], Operator::Mean).unwrap();
     let mapper = StructuralMapper::new(q.extraction.clone()).emit_corner_keys();
     let mut out = Vec::new();
     use sidr_mapreduce::Mapper as _;

@@ -4,11 +4,11 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
+use sidr_coords::Shape;
 use sidr_core::early::streaming_output;
 use sidr_core::operators::OperatorReducer;
 use sidr_core::source::{scinc_source_factory, StructuralMapper};
 use sidr_core::{Operator, SidrPlanner, StructuralQuery};
-use sidr_coords::Shape;
 use sidr_mapreduce::{run_job, JobConfig, SplitGenerator};
 use sidr_scifile::gen::{DatasetSpec, ValueModel};
 

@@ -365,9 +365,18 @@ mod tests {
     #[test]
     fn bad_config_rejected() {
         for cfg in [
-            DfsConfig { num_datanodes: 0, ..Default::default() },
-            DfsConfig { block_size: 0, ..Default::default() },
-            DfsConfig { replication: 0, ..Default::default() },
+            DfsConfig {
+                num_datanodes: 0,
+                ..Default::default()
+            },
+            DfsConfig {
+                block_size: 0,
+                ..Default::default()
+            },
+            DfsConfig {
+                replication: 0,
+                ..Default::default()
+            },
         ] {
             assert!(NameNode::new(cfg).is_err());
         }
@@ -472,7 +481,12 @@ mod tests {
         for b in nn.blocks(id).unwrap() {
             let racks: std::collections::HashSet<usize> =
                 b.replicas.iter().map(|&r| nn.rack_of(r)).collect();
-            assert_eq!(racks.len(), 2, "HDFS default: exactly two racks: {:?}", b.replicas);
+            assert_eq!(
+                racks.len(),
+                2,
+                "HDFS default: exactly two racks: {:?}",
+                b.replicas
+            );
             // Second and third replica share a rack distinct from the
             // first's.
             assert_ne!(nn.rack_of(b.replicas[0]), nn.rack_of(b.replicas[1]));

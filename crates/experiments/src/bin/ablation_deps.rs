@@ -63,7 +63,9 @@ fn main() {
         println!(
             "{reducers:>10} {store_ms:>17.1} ms {recompute_ms:>21.2} ms {break_even:>15.1} tasks"
         );
-        rows.push(format!("{reducers},{store_ms:.2},{recompute_ms:.3},{break_even:.1}"));
+        rows.push(format!(
+            "{reducers},{store_ms:.2},{recompute_ms:.3},{break_even:.1}"
+        ));
     }
     let path = write_csv(
         "ablation_deps",
@@ -74,7 +76,9 @@ fn main() {
 
     // The store side's actual IO cost: the dependency relationships
     // "stored as part of the job specification" (§3.2.1).
-    let plan = SidrPlanner::new(&query, 528).build(&splits).expect("plan builds");
+    let plan = SidrPlanner::new(&query, 528)
+        .build(&splits)
+        .expect("plan builds");
     let spec = JobSpec::from_plan(&query, &splits, &plan).expect("spec builds");
     println!(
         "\njob-submission document at 528 reducers: {} KiB total, of which \

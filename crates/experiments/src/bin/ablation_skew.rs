@@ -8,9 +8,9 @@
 //! bound makes blocks simple contiguous bricks at the cost of up to
 //! one dealing-unit of imbalance.
 
+use sidr_coords::Shape;
 use sidr_core::deps::Dependencies;
 use sidr_core::{Operator, PartitionPlus, StructuralQuery};
-use sidr_coords::Shape;
 use sidr_experiments::{compare, write_csv};
 use sidr_mapreduce::SplitGenerator;
 
@@ -53,7 +53,11 @@ fn main() {
         rows.push(format!("{bound},{skew},{slabs},{conns}"));
         results.push((bound, skew, slabs, conns));
     }
-    let path = write_csv("ablation_skew", "skew_bound,max_skew,cover_slabs,connections", &rows);
+    let path = write_csv(
+        "ablation_skew",
+        "skew_bound,max_skew,cover_slabs,connections",
+        &rows,
+    );
     println!("[csv] {}", path.display());
 
     println!("\nChecks:");
@@ -62,13 +66,19 @@ fn main() {
     compare(
         "larger bound -> simpler keyblock shapes (fewer cover slabs)",
         "footnote 1 trade-off",
-        &format!("{} slabs at bound 1 vs {} at bound 10k", tightest.2, loosest.2),
+        &format!(
+            "{} slabs at bound 1 vs {} at bound 10k",
+            tightest.2, loosest.2
+        ),
         loosest.2 <= tightest.2,
     );
     compare(
         "larger bound -> fewer dependencies / connections",
         "reduced data dependencies",
-        &format!("{} conns at bound 1 vs {} at bound 10k", tightest.3, loosest.3),
+        &format!(
+            "{} conns at bound 1 vs {} at bound 10k",
+            tightest.3, loosest.3
+        ),
         loosest.3 <= tightest.3,
     );
     compare(

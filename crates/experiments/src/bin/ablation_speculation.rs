@@ -52,7 +52,11 @@ fn main() {
         ));
         results.push((label, trace.first_result_s(), trace.makespan_s()));
     }
-    let path = write_csv("ablation_speculation", "config,first_result_s,makespan_s", &rows);
+    let path = write_csv(
+        "ablation_speculation",
+        "config,first_result_s,makespan_s",
+        &rows,
+    );
     println!("[csv] {}", path.display());
 
     println!("\nChecks:");

@@ -13,8 +13,8 @@
 //! output space), and measure how much of the hot region each policy
 //! delivers before eviction.
 
-use sidr_core::{FrameworkMode, SidrPlanner, StructuralQuery};
 use sidr_coords::{Coord, Shape, Slab};
+use sidr_core::{FrameworkMode, SidrPlanner, StructuralQuery};
 use sidr_experiments::{compare, write_csv};
 use sidr_mapreduce::{RoutingPlan, SplitGenerator};
 use sidr_simcluster::{build_sim_job, simulate, CostModel, SimClusterConfig, SimWorkload};
@@ -53,8 +53,12 @@ fn main() {
 
     // Deadline: 40 % of the SciHadoop makespan.
     let sh = simulate(
-        &build_sim_job(&SimWorkload::new(query.clone(), FrameworkMode::SciHadoop, 22))
-            .expect("plans"),
+        &build_sim_job(&SimWorkload::new(
+            query.clone(),
+            FrameworkMode::SciHadoop,
+            22,
+        ))
+        .expect("plans"),
         &cluster,
         &model,
     );
@@ -63,10 +67,14 @@ fn main() {
     println!("== §3.4: hot-region output available before eviction at {deadline:.0} s ==\n");
     let mut rows = Vec::new();
     let mut fractions = Vec::new();
-    for (label, region) in [("SciHadoop", None), ("SIDR default order", None), ("SIDR hot-first", Some(hot.clone()))]
-        .into_iter()
-        .enumerate()
-        .map(|(i, (l, r))| ((i, l), r))
+    for (label, region) in [
+        ("SciHadoop", None),
+        ("SIDR default order", None),
+        ("SIDR hot-first", Some(hot.clone())),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, (l, r))| ((i, l), r))
     {
         let (i, label) = label;
         let trace = if i == 0 {
@@ -81,17 +89,28 @@ fn main() {
             .filter(|&r| trace.reduce_end_s[r] <= deadline)
             .map(|r| if i == 0 { 0 } else { hot_keys_of(r) })
             .sum();
-        let fraction = if total_hot == 0 { 0.0 } else { hot_done as f64 / total_hot as f64 };
+        let fraction = if total_hot == 0 {
+            0.0
+        } else {
+            hot_done as f64 / total_hot as f64
+        };
         println!(
             "{label:>20}: {:>5.1} % of the hot region delivered before eviction \
              (first result {:.0} s)",
             100.0 * fraction,
             trace.first_result_s()
         );
-        rows.push(format!("{label},{fraction:.4},{:.1}", trace.first_result_s()));
+        rows.push(format!(
+            "{label},{fraction:.4},{:.1}",
+            trace.first_result_s()
+        ));
         fractions.push(fraction);
     }
-    let path = write_csv("burst_buffer", "policy,hot_fraction_by_deadline,first_result_s", &rows);
+    let path = write_csv(
+        "burst_buffer",
+        "policy,hot_fraction_by_deadline,first_result_s",
+        &rows,
+    );
     println!("[csv] {}", path.display());
 
     println!("\nChecks:");
@@ -104,7 +123,11 @@ fn main() {
     compare(
         "prioritization delivers the hot region within the window",
         "capitalize on the window",
-        &format!("{:.0} % vs {:.0} % unprioritized", 100.0 * fractions[2], 100.0 * fractions[1]),
+        &format!(
+            "{:.0} % vs {:.0} % unprioritized",
+            100.0 * fractions[2],
+            100.0 * fractions[1]
+        ),
         fractions[2] > fractions[1] && fractions[2] > 0.9,
     );
     // Priority order actually front-loads the hot keyblocks.

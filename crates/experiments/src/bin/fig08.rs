@@ -11,9 +11,9 @@
 
 use std::collections::BTreeSet;
 
+use sidr_coords::Shape;
 use sidr_core::deps::Dependencies;
 use sidr_core::{Operator, PartitionPlus, StructuralQuery};
-use sidr_coords::Shape;
 use sidr_experiments::{compare, write_csv};
 use sidr_mapreduce::{CoordHashPartitioner, Partitioner, SplitGenerator};
 
@@ -38,7 +38,10 @@ fn main() {
     let hash = CoordHashPartitioner;
     let mut hash_deps: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); reducers];
     for (m, split) in splits.iter().enumerate() {
-        if let Some(image) = query.image_of_split(&split.slab).expect("geometry is valid") {
+        if let Some(image) = query
+            .image_of_split(&split.slab)
+            .expect("geometry is valid")
+        {
             let mut blocks = BTreeSet::new();
             for kp in image.iter_coords() {
                 blocks.insert(hash.partition(&kp, reducers));
@@ -73,11 +76,11 @@ fn main() {
     let mut plus_total = 0usize;
     let mut hash_span_total = 0usize;
     let mut plus_span_total = 0usize;
-    for b in 0..reducers {
+    for (b, hash_set) in hash_deps.iter().enumerate() {
         let plus_set: BTreeSet<usize> = deps.reduce_deps(b).iter().copied().collect();
-        let h_n = hash_deps[b].len();
+        let h_n = hash_set.len();
         let p_n = plus_set.len();
-        let h_s = span(&hash_deps[b]);
+        let h_s = span(hash_set);
         let p_s = span(&plus_set);
         if b < 6 || b == reducers - 1 {
             println!("{b:>10} {h_n:>14} ({h_s:>4}) {p_n:>15} ({p_s:>4})");
@@ -109,7 +112,10 @@ fn main() {
     compare(
         "modulo keyblocks depend on splits spread through the file",
         "Fig 8a: global spread",
-        &format!("mean span {:.0} of {n_splits} splits", hash_span_total as f64 / r),
+        &format!(
+            "mean span {:.0} of {n_splits} splits",
+            hash_span_total as f64 / r
+        ),
         hash_span_total as f64 / r > 0.9 * n_splits as f64,
     );
     compare(
@@ -125,7 +131,11 @@ fn main() {
     compare(
         "partition+ dependency sets are far smaller",
         "exposes natural alignment",
-        &format!("{:.1} vs {:.1} deps per keyblock", plus_total as f64 / r, hash_total as f64 / r),
+        &format!(
+            "{:.1} vs {:.1} deps per keyblock",
+            plus_total as f64 / r,
+            hash_total as f64 / r
+        ),
         plus_total * 5 < hash_total,
     );
 }

@@ -40,7 +40,11 @@ fn main() {
         stats.push((tag, trace));
     }
 
-    report_curves("fig09", "Figure 9: task completion over time, Query 1, 22 reducers", &curves);
+    report_curves(
+        "fig09",
+        "Figure 9: task completion over time, Query 1, 22 reducers",
+        &curves,
+    );
 
     let h = &stats[0].1;
     let sh = &stats[1].1;
@@ -49,7 +53,11 @@ fn main() {
     compare(
         "SIDR first result well before SciHadoop's",
         "625 s vs 1132 s",
-        &format!("{:.0} s vs {:.0} s", ss.first_result_s(), sh.first_result_s()),
+        &format!(
+            "{:.0} s vs {:.0} s",
+            ss.first_result_s(),
+            sh.first_result_s()
+        ),
         ss.first_result_s() < 0.75 * sh.first_result_s(),
     );
     compare(

@@ -55,11 +55,17 @@ fn main() {
 
     println!("\nShape checks vs paper:");
     let makespans: Vec<f64> = sidr_traces.iter().map(|(_, t)| t.makespan_s()).collect();
-    let firsts: Vec<f64> = sidr_traces.iter().map(|(_, t)| t.first_result_s()).collect();
+    let firsts: Vec<f64> = sidr_traces
+        .iter()
+        .map(|(_, t)| t.first_result_s())
+        .collect();
     compare(
         "first result improves monotonically with reducers",
         "22 -> 528 decreasing",
-        &format!("{:.0}/{:.0}/{:.0}/{:.0} s", firsts[0], firsts[1], firsts[2], firsts[3]),
+        &format!(
+            "{:.0}/{:.0}/{:.0}/{:.0} s",
+            firsts[0], firsts[1], firsts[2], firsts[3]
+        ),
         firsts.windows(2).all(|w| w[1] <= w[0] * 1.02),
     );
     compare(

@@ -23,7 +23,7 @@ fn variance_profile(query: &StructuralQuery, reducers: usize, maps: bool) -> Vec
     let mut samples: Vec<Vec<f64>> = vec![Vec::new(); FRACTIONS.len()];
     for run in 0..RUNS {
         let model = CostModel {
-            seed: 0xF16_12 + run,
+            seed: 0xF1612 + run,
             jitter_frac: 0.10,
             // A few "abnormally long-running" tasks per run (§4.2).
             straggler_prob: 0.01,
@@ -99,13 +99,21 @@ fn main() {
     compare(
         "reduce variance >= the map variance they depend on",
         "at least as much variance",
-        &format!("{:.0} vs {:.0} (summed mid-curve std)", mid(&red22), mid(&maps22)),
+        &format!(
+            "{:.0} vs {:.0} (summed mid-curve std)",
+            mid(&red22),
+            mid(&maps22)
+        ),
         mid(&red22) >= 0.8 * mid(&maps22),
     );
     compare(
         "more reducers -> less completion variance",
         "88R tighter than 22R",
-        &format!("{:.0} vs {:.0} (summed mid-curve std)", mid(&red88), mid(&red22)),
+        &format!(
+            "{:.0} vs {:.0} (summed mid-curve std)",
+            mid(&red88),
+            mid(&red22)
+        ),
         mid(&red88) <= mid(&red22),
     );
 }

@@ -6,8 +6,8 @@
 //! their even-numbered counterparts receive twice as much" (§4.3).
 //! SIDR's partition+ distributes evenly and "completes 42 % faster".
 
-use sidr_core::{FrameworkMode, Operator, StructuralQuery};
 use sidr_coords::Shape;
+use sidr_core::{FrameworkMode, Operator, StructuralQuery};
 use sidr_experiments::{compare, report_curves, Curve};
 use sidr_simcluster::{
     build_sim_job, simulate, workload::hash_key_weights, workload::HashKeyModel, CostModel,
@@ -94,7 +94,10 @@ fn main() {
     compare(
         "stock reduce CDF has a long straggler tail; SIDR does not",
         "Fig 13 tail",
-        &format!("stock tail {:.0} s vs SIDR tail {:.0} s", tail_gap, sidr_gap),
+        &format!(
+            "stock tail {:.0} s vs SIDR tail {:.0} s",
+            tail_gap, sidr_gap
+        ),
         tail_gap > 2.0 * sidr_gap,
     );
 }

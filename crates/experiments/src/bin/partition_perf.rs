@@ -11,8 +11,8 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use sidr_core::{Operator, PartitionPlus, StructuralQuery};
 use sidr_coords::{Coord, Shape};
+use sidr_core::{Operator, PartitionPlus, StructuralQuery};
 use sidr_experiments::{compare, mean_std, write_csv};
 use sidr_mapreduce::{CoordHashPartitioner, Partitioner};
 
@@ -54,9 +54,16 @@ fn main() {
     let (plus_ms, plus_std) = bench(&|k| Partitioner::partition(&plus, k, REDUCERS));
 
     println!("== §4.5: time to partition {PAIRS} intermediate pairs ({RUNS} runs) ==\n");
-    println!("  default (hash-modulo): {def_ms:>8.1} ms (σ {def_std:.1} ms)   [paper: 200 ms, σ 18.8]");
-    println!("  partition+           : {plus_ms:>8.1} ms (σ {plus_std:.1} ms)   [paper: 223 ms, σ 21]");
-    println!("  overhead             : {:>8.1} %", 100.0 * (plus_ms / def_ms - 1.0));
+    println!(
+        "  default (hash-modulo): {def_ms:>8.1} ms (σ {def_std:.1} ms)   [paper: 200 ms, σ 18.8]"
+    );
+    println!(
+        "  partition+           : {plus_ms:>8.1} ms (σ {plus_std:.1} ms)   [paper: 223 ms, σ 21]"
+    );
+    println!(
+        "  overhead             : {:>8.1} %",
+        100.0 * (plus_ms / def_ms - 1.0)
+    );
 
     let path = write_csv(
         "partition_perf",

@@ -14,9 +14,9 @@
 //!   failure, which dependency information bounds at `|I_ℓ|` instead
 //!   of "all maps".
 
+use sidr_coords::Shape;
 use sidr_core::framework::RunOptions;
 use sidr_core::{run_query, FrameworkMode, Operator, StructuralQuery};
-use sidr_coords::Shape;
 use sidr_experiments::{compare, write_csv};
 use sidr_scifile::gen::{DatasetSpec, ValueModel};
 
@@ -33,8 +33,13 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("temp dir creatable");
     let path = dir.join("data.scinc");
     let file = spec.generate::<f64>(&path).expect("dataset generates");
-    let query = StructuralQuery::new("v", space, Shape::new(vec![8, 4, 4]).expect("valid"), Operator::Mean)
-        .expect("query is structural");
+    let query = StructuralQuery::new(
+        "v",
+        space,
+        Shape::new(vec![8, 4, 4]).expect("valid"),
+        Operator::Mean,
+    )
+    .expect("query is structural");
     let reducers = 8;
 
     println!("== §6: recovery by re-execution vs persisting intermediate data ==\n");
@@ -72,9 +77,18 @@ fn main() {
             outcome.result.counters.maps_reexecuted,
             outcome.result.counters.shuffled_records
         ));
-        results.push((n_failures, outcome.num_maps, outcome.result.counters.maps_reexecuted, ok));
+        results.push((
+            n_failures,
+            outcome.num_maps,
+            outcome.result.counters.maps_reexecuted,
+            ok,
+        ));
     }
-    let csv = write_csv("recovery", "failures,maps,maps_reexecuted,shuffled_records", &rows);
+    let csv = write_csv(
+        "recovery",
+        "failures,maps,maps_reexecuted,shuffled_records",
+        &rows,
+    );
     println!("[csv] {}", csv.display());
 
     println!("\nChecks:");

@@ -71,13 +71,17 @@ fn main() {
             write_sentinel_output(&path, "out", &space, f64::NAN, &points)
                 .expect("sentinel write succeeds");
         });
-        let size_mb =
-            std::fs::metadata(dir.join(format!("sentinel-{total_reduces}-0.scinc")))
-                .expect("file written")
-                .len() as f64
-                / 1e6;
-        println!("{total_reduces:>14} {:>15.2} ({:.2}) {:>11.1} MB   [Hadoop sentinel]", mean_s, std_s, size_mb);
-        rows.push(format!("hadoop_sentinel,{total_reduces},{mean_s:.3},{std_s:.3},{size_mb:.1}"));
+        let size_mb = std::fs::metadata(dir.join(format!("sentinel-{total_reduces}-0.scinc")))
+            .expect("file written")
+            .len() as f64
+            / 1e6;
+        println!(
+            "{total_reduces:>14} {:>15.2} ({:.2}) {:>11.1} MB   [Hadoop sentinel]",
+            mean_s, std_s, size_mb
+        );
+        rows.push(format!(
+            "hadoop_sentinel,{total_reduces},{mean_s:.3},{std_s:.3},{size_mb:.1}"
+        ));
         sentinel_results.push((mean_s, size_mb));
         let _ = step;
     }
@@ -98,10 +102,19 @@ fn main() {
         .expect("file written")
         .len() as f64
         / 1e6;
-    println!("{:>14} {dense_mean:>15.2} ({dense_std:.2}) {dense_mb:>11.1} MB   [SIDR dense]", "*");
-    rows.push(format!("sidr_dense,*,{dense_mean:.3},{dense_std:.3},{dense_mb:.1}"));
+    println!(
+        "{:>14} {dense_mean:>15.2} ({dense_std:.2}) {dense_mb:>11.1} MB   [SIDR dense]",
+        "*"
+    );
+    rows.push(format!(
+        "sidr_dense,*,{dense_mean:.3},{dense_std:.3},{dense_mb:.1}"
+    ));
 
-    let path = write_csv("table2", "strategy,total_reduces,mean_s,std_s,size_mb", &rows);
+    let path = write_csv(
+        "table2",
+        "strategy,total_reduces,mean_s,std_s,size_mb",
+        &rows,
+    );
     println!("[csv] {}", path.display());
 
     println!("\nShape checks vs paper:");

@@ -41,7 +41,11 @@ fn main() {
         rows.push(format!("{reducers},{hadoop},{sidr}"));
         sidr_counts.push((reducers, sidr));
     }
-    let path = write_csv("table3", "reducers,hadoop_connections,sidr_connections", &rows);
+    let path = write_csv(
+        "table3",
+        "reducers,hadoop_connections,sidr_connections",
+        &rows,
+    );
     println!("[csv] {}", path.display());
 
     println!("\nShape checks vs paper:");
@@ -62,7 +66,10 @@ fn main() {
     compare(
         "SIDR count is monotone in the reducer count",
         "2820 .. 5106 increasing",
-        &format!("{:?}", sidr_counts.iter().map(|&(_, c)| c).collect::<Vec<_>>()),
+        &format!(
+            "{:?}",
+            sidr_counts.iter().map(|&(_, c)| c).collect::<Vec<_>>()
+        ),
         sidr_counts.windows(2).all(|w| w[1].1 >= w[0].1),
     );
 }

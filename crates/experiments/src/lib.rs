@@ -77,8 +77,8 @@ impl Curve {
         if self.times_s.is_empty() {
             return 0.0;
         }
-        let idx = ((self.times_s.len() as f64 * fraction).ceil() as usize)
-            .clamp(1, self.times_s.len());
+        let idx =
+            ((self.times_s.len() as f64 * fraction).ceil() as usize).clamp(1, self.times_s.len());
         self.times_s[idx - 1]
     }
 
@@ -117,7 +117,8 @@ pub fn report_curves(name: &str, title: &str, curves: &[Curve]) {
         let n = c.times_s.len();
         for (i, t) in c.times_s.iter().enumerate() {
             let mut row = String::new();
-            write!(row, "{},{},{:.3}", c.label, (i + 1) as f64 / n as f64, t).expect("string write");
+            write!(row, "{},{},{:.3}", c.label, (i + 1) as f64 / n as f64, t)
+                .expect("string write");
             rows.push(row);
         }
     }

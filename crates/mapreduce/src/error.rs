@@ -35,7 +35,11 @@ impl fmt::Display for MrError {
             MrError::BadConfig(msg) => write!(f, "bad job config: {msg}"),
             MrError::Source(msg) => write!(f, "record source error: {msg}"),
             MrError::TaskFailed { task, cause } => write!(f, "task {task} failed: {cause}"),
-            MrError::AnnotationMismatch { reducer, expected, actual } => write!(
+            MrError::AnnotationMismatch {
+                reducer,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "reducer {reducer} annotation tally {actual} != expected {expected}: \
                  reduce would start on insufficient input"

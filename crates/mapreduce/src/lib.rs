@@ -46,13 +46,12 @@ pub use partitioner::{CoordHashPartitioner, ModuloPartitioner, Partitioner};
 pub use plan::{DefaultPlan, RoutingPlan};
 pub use runtime::{run_job, JobConfig, JobResult};
 pub use shuffle::{merge_files, MapOutputBuilder, MapOutputFile, ShuffleStore, SpillCodec};
-pub use wire::WireFormat;
 pub use split::{InputSplit, MapTaskId, SplitGenerator};
 pub use task::{
-    Combiner, FnMapper, FnReducer, Mapper, MrKey, MrValue, RecordSource, Reducer,
-    SliceRecordSource,
+    Combiner, FnMapper, FnReducer, Mapper, MrKey, MrValue, RecordSource, Reducer, SliceRecordSource,
 };
 pub use timeline::{TaskEvent, TaskKind, Timeline};
+pub use wire::WireFormat;
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, MrError>;

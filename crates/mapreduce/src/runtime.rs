@@ -182,7 +182,9 @@ where
     S: RecordSource<Key = K1, Value = V1>,
 {
     if config.map_slots == 0 || config.reduce_slots == 0 {
-        return Err(MrError::BadConfig("map_slots and reduce_slots must be > 0".into()));
+        return Err(MrError::BadConfig(
+            "map_slots and reduce_slots must be > 0".into(),
+        ));
     }
     if splits.is_empty() {
         return Err(MrError::BadConfig("no input splits".into()));
@@ -252,9 +254,8 @@ where
         shuffle: match &config.spill_dir {
             None => ShuffleStore::new(config.volatile_intermediate),
             Some(dir) => {
-                std::fs::create_dir_all(dir).map_err(|e| {
-                    MrError::BadConfig(format!("spill dir {}: {e}", dir.display()))
-                })?;
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| MrError::BadConfig(format!("spill dir {}: {e}", dir.display())))?;
                 ShuffleStore::with_spill(
                     config.volatile_intermediate,
                     crate::shuffle::SpillCodec::smof(dir.clone()),
@@ -291,12 +292,30 @@ where
     if let Some(err) = shared.error.lock().take() {
         return Err(err);
     }
-    let elapsed = shared
-        .timeline
-        .job_end()
-        .unwrap_or_default();
+    let counters = shared.counters.snapshot();
+    // §3.2.1 approach 2, whole-job form: in debug builds, balance the
+    // runtime map-output tally against the plan's static prediction.
+    // Only meaningful when annotation validation is on (filter
+    // pushdown voids the geometric tallies) and every map ran exactly
+    // once (skips and recovery re-executions change the totals).
+    #[cfg(debug_assertions)]
+    if shared.config.validate_annotations
+        && counters.maps_skipped == 0
+        && counters.maps_reexecuted == 0
+    {
+        let expected: Option<u64> = (0..num_reducers)
+            .map(|r| shared.plan.expected_raw_count(r))
+            .sum();
+        if let Some(expected) = expected {
+            debug_assert_eq!(
+                counters.map_records_out, expected,
+                "static plan prediction disagrees with the runtime map-output tally"
+            );
+        }
+    }
+    let elapsed = shared.timeline.job_end().unwrap_or_default();
     Ok(JobResult {
-        counters: shared.counters.snapshot(),
+        counters,
         events: shared.timeline.events(),
         elapsed,
     })
@@ -335,7 +354,14 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
         };
 
         shared.timeline.record(TaskKind::MapStart, task);
-        match run_map_task(shared, task, &splits[task], source_factory, mapper, combiner) {
+        match run_map_task(
+            shared,
+            task,
+            &splits[task],
+            source_factory,
+            mapper,
+            combiner,
+        ) {
             Ok(()) => {
                 if !shared.config.map_think.is_zero() {
                     std::thread::sleep(shared.config.map_think);

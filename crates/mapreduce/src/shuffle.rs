@@ -110,7 +110,12 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
     }
 
     /// Stores (or replaces, on re-execution) one map-output file.
-    pub fn put(&self, map: MapTaskId, reducer: usize, file: MapOutputFile<K, V>) -> crate::Result<()> {
+    pub fn put(
+        &self,
+        map: MapTaskId,
+        reducer: usize,
+        file: MapOutputFile<K, V>,
+    ) -> crate::Result<()> {
         let stored = match &self.spill {
             None => Stored::Memory(Arc::new(file)),
             Some(codec) => {
@@ -149,7 +154,11 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
                 match files.get(&(map, reducer)) {
                     None => None,
                     Some(Stored::Memory(f)) => Some(Stored::Memory(Arc::clone(f))),
-                    Some(Stored::Spilled { path, raw_count, records }) => Some(Stored::Spilled {
+                    Some(Stored::Spilled {
+                        path,
+                        raw_count,
+                        records,
+                    }) => Some(Stored::Spilled {
                         path: path.clone(),
                         raw_count: *raw_count,
                         records: *records,
@@ -185,7 +194,9 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
         match self.files.lock().get(&(map, reducer)) {
             None => None,
             Some(Stored::Memory(f)) => Some((f.raw_count, f.records.len() as u64)),
-            Some(Stored::Spilled { raw_count, records, .. }) => Some((*raw_count, *records)),
+            Some(Stored::Spilled {
+                raw_count, records, ..
+            }) => Some((*raw_count, *records)),
         }
     }
 
@@ -380,9 +391,7 @@ fn combine_sorted<K: MrKey, V: MrValue>(
 
 /// K-way merge of key-sorted files into key groups, delivering every
 /// value of a key together — MapReduce guarantee 2 (§2.3).
-pub fn merge_files<K: MrKey, V: MrValue>(
-    files: &[Arc<MapOutputFile<K, V>>],
-) -> Vec<(K, Vec<V>)> {
+pub fn merge_files<K: MrKey, V: MrValue>(files: &[Arc<MapOutputFile<K, V>>]) -> Vec<(K, Vec<V>)> {
     // Files are individually sorted; a flatten+sort is O(n log n) like
     // a heap-based merge and considerably simpler. Stability keeps
     // values grouped deterministically by (file order, record order).
@@ -477,7 +486,16 @@ mod tests {
     fn consume_on_fetch_removes_files() {
         let counters = Counters::default();
         let store = ShuffleStore::<u64, u64>::new(true);
-        store.put(0, 0, MapOutputFile { records: vec![(1, 1)], raw_count: 1 }).unwrap();
+        store
+            .put(
+                0,
+                0,
+                MapOutputFile {
+                    records: vec![(1, 1)],
+                    raw_count: 1,
+                },
+            )
+            .unwrap();
         assert!(store.fetch(0, 0, &counters).unwrap().is_some());
         assert!(!store.contains(0, 0));
         assert!(store.fetch(0, 0, &counters).unwrap().is_none());

@@ -41,7 +41,8 @@ where
     let mut out = BufWriter::new(File::create(path).map_err(io_err)?);
     out.write_all(&MAGIC).map_err(io_err)?;
     out.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
-    out.write_all(&file.raw_count.to_le_bytes()).map_err(io_err)?;
+    out.write_all(&file.raw_count.to_le_bytes())
+        .map_err(io_err)?;
     out.write_all(&(file.records.len() as u64).to_le_bytes())
         .map_err(io_err)?;
     let mut buf = Vec::new();
@@ -74,7 +75,9 @@ fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u64, u64)> {
     }
     let version = u32::from_le_bytes(header[4..8].try_into().expect("len 4"));
     if version != VERSION {
-        return Err(MrError::Source(format!("unknown map-output version {version}")));
+        return Err(MrError::Source(format!(
+            "unknown map-output version {version}"
+        )));
     }
     let raw = u64::from_le_bytes(header[8..16].try_into().expect("len 8"));
     let records = u64::from_le_bytes(header[16..24].try_into().expect("len 8"));
@@ -91,7 +94,9 @@ where
     let mut bytes = Vec::new();
     file.read_to_end(&mut bytes).map_err(io_err)?;
     if bytes.len() < HEADER_LEN {
-        return Err(MrError::Source("map-output file shorter than header".into()));
+        return Err(MrError::Source(
+            "map-output file shorter than header".into(),
+        ));
     }
     let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("len checked");
     let (raw_count, n_records) = parse_header(header)?;

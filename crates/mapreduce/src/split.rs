@@ -187,18 +187,20 @@ impl<'a> SplitGenerator<'a> {
         let first = self.space.linearize(slab.corner())?;
         let end_coord = slab.end();
         // end() is exclusive: clamp to last in-bounds coordinate.
-        let last_comps: Vec<u64> = end_coord
-            .components()
-            .iter()
-            .map(|&c| c - 1)
-            .collect();
+        let last_comps: Vec<u64> = end_coord.components().iter().map(|&c| c - 1).collect();
         let last = self
             .space
             .linearize(&Coord::new(last_comps))
             .map_err(|e| match e {
-                CoordError::OutOfBounds { dim, coordinate, extent } => {
-                    CoordError::OutOfBounds { dim, coordinate, extent }
-                }
+                CoordError::OutOfBounds {
+                    dim,
+                    coordinate,
+                    extent,
+                } => CoordError::OutOfBounds {
+                    dim,
+                    coordinate,
+                    extent,
+                },
                 other => other,
             })?;
         Ok((

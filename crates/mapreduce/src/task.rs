@@ -113,6 +113,8 @@ pub trait Combiner: Send + Sync {
 /// A mapper from a plain function pointer / closure.
 pub struct FnMapper<IK, IV, OK, OV, F> {
     f: F,
+    // Variance/ownership marker, not data: keep the fn signature.
+    #[allow(clippy::type_complexity)]
     _marker: std::marker::PhantomData<fn(IK, IV) -> (OK, OV)>,
 }
 
@@ -195,16 +197,14 @@ mod tests {
 
     #[test]
     fn fn_mapper_and_reducer_adapt_closures() {
-        let m = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| {
-            emit(k % 2, v * 10)
-        });
+        let m =
+            FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(k % 2, v * 10));
         let mut out = Vec::new();
         m.map(&3, &7, &mut |k, v| out.push((k, v)));
         assert_eq!(out, vec![(1, 70)]);
 
-        let r = FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
-            emit(vs.iter().sum())
-        });
+        let r =
+            FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.iter().sum()));
         let mut out = Vec::new();
         r.reduce(&1, &[70, 30], &mut |v| out.push(v));
         assert_eq!(out, vec![100]);

@@ -17,7 +17,10 @@ fn number_splits(n: u64, pieces: u64) -> Vec<InputSplit> {
         .split_along_longest(pieces)
         .into_iter()
         .map(|slab| InputSplit {
-            byte_range: (slab.corner()[0] * 8, (slab.corner()[0] + slab.shape()[0]) * 8),
+            byte_range: (
+                slab.corner()[0] * 8,
+                (slab.corner()[0] + slab.shape()[0]) * 8,
+            ),
             slab,
             preferred_nodes: vec![],
         })
@@ -37,15 +40,14 @@ fn identity_source(
     Ok(SliceRecordSource::new(records))
 }
 
+#[allow(clippy::type_complexity)] // the FnMapper/FnReducer generics spell out the closure shapes
 fn sum_by_mod10() -> (
     FnMapper<u64, u64, u64, u64, impl Fn(&u64, &u64, &mut dyn FnMut(u64, u64)) + Send + Sync>,
     FnReducer<u64, u64, u64, impl Fn(&u64, &[u64], &mut dyn FnMut(u64)) + Send + Sync>,
 ) {
     (
         FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(k % 10, *v)),
-        FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
-            emit(vs.iter().sum())
-        }),
+        FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.iter().sum())),
     )
 }
 
@@ -165,9 +167,8 @@ fn dependency_barrier_lets_reduces_finish_before_all_maps() {
     let n = 6usize;
     let splits = number_splits(n as u64, n as u64);
     let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*k, *v));
-    let reducer = FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
-        emit(vs.iter().sum())
-    });
+    let reducer =
+        FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.iter().sum()));
     let plan = OneToOnePlan { n };
     let output = InMemoryOutput::new();
     let result = run_job(
@@ -211,9 +212,8 @@ fn inverted_scheduling_skips_undepended_maps() {
     let n = 4usize;
     let splits = number_splits(8, 8);
     let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*k, *v));
-    let reducer = FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
-        emit(vs.iter().sum())
-    });
+    let reducer =
+        FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.iter().sum()));
     let plan = OneToOnePlan { n };
     let output = InMemoryOutput::new();
     let result = run_job(
@@ -237,9 +237,8 @@ fn injected_reduce_failure_recovers_by_reexecuting_maps() {
     let n = 5usize;
     let splits = number_splits(n as u64, n as u64);
     let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*k, *v));
-    let reducer = FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
-        emit(vs.iter().sum())
-    });
+    let reducer =
+        FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.iter().sum()));
     let plan = OneToOnePlan { n };
     let output = InMemoryOutput::new();
     let result = run_job(
@@ -258,7 +257,10 @@ fn injected_reduce_failure_recovers_by_reexecuting_maps() {
     )
     .unwrap();
     assert_eq!(result.counters.reduce_failures, 1);
-    assert_eq!(result.counters.maps_reexecuted, 1, "only the dep map re-runs");
+    assert_eq!(
+        result.counters.maps_reexecuted, 1,
+        "only the dep map re-runs"
+    );
     // Output still complete and correct despite the failure.
     let records = output.sorted_records();
     assert_eq!(records.len(), n);
@@ -272,9 +274,8 @@ fn failure_without_volatile_store_needs_no_reexecution() {
     let n = 4usize;
     let splits = number_splits(n as u64, n as u64);
     let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*k, *v));
-    let reducer = FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
-        emit(vs.iter().sum())
-    });
+    let reducer =
+        FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.iter().sum()));
     let plan = OneToOnePlan { n };
     let output = InMemoryOutput::new();
     let result = run_job(
@@ -322,8 +323,14 @@ fn zero_slots_rejected() {
     let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 2);
     let output = InMemoryOutput::new();
     for cfg in [
-        JobConfig { map_slots: 0, ..Default::default() },
-        JobConfig { reduce_slots: 0, ..Default::default() },
+        JobConfig {
+            map_slots: 0,
+            ..Default::default()
+        },
+        JobConfig {
+            reduce_slots: 0,
+            ..Default::default()
+        },
     ] {
         assert!(run_job(
             &splits,
@@ -383,12 +390,9 @@ fn map_side_spill_produces_identical_output() {
     // merged result must equal the all-in-memory run, including with
     // a combiner.
     let splits = number_splits(3000, 5);
-    let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| {
-        emit(k % 37, *v)
-    });
-    let reducer = FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
-        emit(vs.iter().sum())
-    });
+    let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(k % 37, *v));
+    let reducer =
+        FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.iter().sum()));
     struct SumCombiner;
     impl sidr_mapreduce::Combiner for SumCombiner {
         type Key = u64;
@@ -455,9 +459,8 @@ fn spilled_volatile_recovery_reexecutes_and_recovers() {
     let n = 5usize;
     let splits = number_splits(n as u64, n as u64);
     let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*k, *v));
-    let reducer = FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
-        emit(vs.iter().sum())
-    });
+    let reducer =
+        FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.iter().sum()));
     let plan = OneToOnePlan { n };
     let output = InMemoryOutput::new();
     let dir = std::env::temp_dir().join(format!("sidr-engine-spillvol-{}", std::process::id()));
@@ -488,12 +491,9 @@ fn spilled_volatile_recovery_reexecutes_and_recovers() {
 fn reduce_waves_with_few_slots() {
     // 10 reducers over 2 slots: all complete, in waves.
     let splits = number_splits(100, 4);
-    let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| {
-        emit(k % 10, *v)
-    });
-    let reducer = FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
-        emit(vs.len() as u64)
-    });
+    let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(k % 10, *v));
+    let reducer =
+        FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.len() as u64));
     let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 10);
     let output = InMemoryOutput::new();
     let result = run_job(

@@ -16,7 +16,10 @@ fn number_splits(n: u64, pieces: u64) -> Vec<InputSplit> {
         .split_along_longest(pieces)
         .into_iter()
         .map(|slab| InputSplit {
-            byte_range: (slab.corner()[0] * 8, (slab.corner()[0] + slab.shape()[0]) * 8),
+            byte_range: (
+                slab.corner()[0] * 8,
+                (slab.corner()[0] + slab.shape()[0]) * 8,
+            ),
             slab,
             preferred_nodes: vec![],
         })
@@ -33,12 +36,10 @@ fn identity_source(
 }
 
 fn run_one(n: u64, splits: u64, reducers: usize, config: &JobConfig) -> u64 {
-    let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| {
-        emit(k % 101, *v)
-    });
-    let reducer = FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
-        emit(vs.iter().sum())
-    });
+    let mapper =
+        FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(k % 101, *v));
+    let reducer =
+        FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.iter().sum()));
     let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, reducers);
     let output = InMemoryOutput::new();
     run_job(
@@ -119,13 +120,13 @@ fn repeated_runs_with_failures_are_stable() {
     for round in 0..10u64 {
         let n_red = 8usize;
         let splits = number_splits(4000, 32); // 125 keys per split
-        let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| {
-            emit(*k, *v)
-        });
-        let reducer = FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| {
-            emit(vs.iter().sum())
-        });
-        let plan = ContigPlan { n: n_red, maps_per: 4 };
+        let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*k, *v));
+        let reducer =
+            FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.iter().sum()));
+        let plan = ContigPlan {
+            n: n_red,
+            maps_per: 4,
+        };
         let output = InMemoryOutput::new();
         let result = run_job(
             &splits,

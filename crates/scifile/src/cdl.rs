@@ -80,7 +80,9 @@ pub fn parse_cdl(text: &str) -> Result<Metadata> {
                     .ok_or_else(|| err("missing ')'"))?;
                 let mut head_words = head.split_whitespace();
                 let type_word = head_words.next().ok_or_else(|| err("missing type"))?;
-                let name = head_words.next().ok_or_else(|| err("missing variable name"))?;
+                let name = head_words
+                    .next()
+                    .ok_or_else(|| err("missing variable name"))?;
                 if head_words.next().is_some() {
                     return Err(err("unexpected tokens before '('"));
                 }
@@ -169,15 +171,18 @@ variables:
     #[test]
     fn errors_carry_line_numbers() {
         for bad in [
-            "dimensions:\n time 365;\n",         // missing '='
-            "dimensions:\n time = x;\n",         // non-integer
+            "dimensions:\n time 365;\n",           // missing '='
+            "dimensions:\n time = x;\n",           // non-integer
             "variables:\n quux temperature(t);\n", // unknown type before dims declared
-            "time = 3;\n",                       // content before a section
-            "dimensions:\n time = 3\n",          // missing ';'
+            "time = 3;\n",                         // content before a section
+            "dimensions:\n time = 3\n",            // missing ';'
         ] {
             let err = parse_cdl(bad).unwrap_err();
             let msg = err.to_string();
-            assert!(msg.contains("CDL line") || msg.contains("undefined"), "{msg}");
+            assert!(
+                msg.contains("CDL line") || msg.contains("undefined"),
+                "{msg}"
+            );
         }
     }
 

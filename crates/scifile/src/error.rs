@@ -50,11 +50,18 @@ impl fmt::Display for ScifileError {
             ScifileError::CorruptHeader(msg) => write!(f, "corrupt header: {msg}"),
             ScifileError::NoSuchDimension(name) => write!(f, "no such dimension: {name}"),
             ScifileError::NoSuchVariable(name) => write!(f, "no such variable: {name}"),
-            ScifileError::DanglingDimension { variable, dimension } => write!(
+            ScifileError::DanglingDimension {
+                variable,
+                dimension,
+            } => write!(
                 f,
                 "variable {variable} references undefined dimension {dimension}"
             ),
-            ScifileError::TypeMismatch { variable, expected, actual } => write!(
+            ScifileError::TypeMismatch {
+                variable,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "variable {variable} holds {actual:?}, requested {expected:?}"
             ),

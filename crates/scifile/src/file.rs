@@ -178,7 +178,8 @@ impl ScincFile {
         let mut buf: Vec<u8> = Vec::new();
         Self::for_each_run(&vshape, slab, |file_el, _slab_el, run| {
             buf.resize((run * esize) as usize, 0);
-            self.file.read_exact_at(&mut buf, var_off + file_el * esize)?;
+            self.file
+                .read_exact_at(&mut buf, var_off + file_el * esize)?;
             out.extend(buf.chunks_exact(E::SIZE).map(E::read_le));
             Ok(())
         })?;
@@ -331,9 +332,17 @@ mod tests {
         let wa = slab(&[0, 0, 0], &[4, 3, 5]);
         let wb = slab(&[0, 0], &[3, 5]);
         f.write_slab("a", &wa, &vec![1.5f64; 60]).unwrap();
-        f.write_slab("b", &wb, &vec![7i32; 15]).unwrap();
-        assert!(f.read_slab::<f64>("a", &wa).unwrap().iter().all(|&v| v == 1.5));
-        assert!(f.read_slab::<i32>("b", &wb).unwrap().iter().all(|&v| v == 7));
+        f.write_slab("b", &wb, &[7i32; 15]).unwrap();
+        assert!(f
+            .read_slab::<f64>("a", &wa)
+            .unwrap()
+            .iter()
+            .all(|&v| v == 1.5));
+        assert!(f
+            .read_slab::<i32>("b", &wb)
+            .unwrap()
+            .iter()
+            .all(|&v| v == 7));
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -365,7 +374,10 @@ mod tests {
         let s = slab(&[0, 0, 0], &[1, 1, 2]);
         assert!(matches!(
             f.write_slab("a", &s, &[1.0f64]),
-            Err(ScifileError::LengthMismatch { expected: 2, actual: 1 })
+            Err(ScifileError::LengthMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
         std::fs::remove_file(&path).unwrap();
     }
@@ -376,7 +388,11 @@ mod tests {
         let f = ScincFile::create(&path, small_md()).unwrap();
         f.fill("b", -1i32).unwrap();
         let wb = slab(&[0, 0], &[3, 5]);
-        assert!(f.read_slab::<i32>("b", &wb).unwrap().iter().all(|&v| v == -1));
+        assert!(f
+            .read_slab::<i32>("b", &wb)
+            .unwrap()
+            .iter()
+            .all(|&v| v == -1));
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -385,7 +401,11 @@ mod tests {
         let path = temp_path("zero");
         let f = ScincFile::create(&path, small_md()).unwrap();
         let wb = slab(&[0, 0], &[3, 5]);
-        assert!(f.read_slab::<i32>("b", &wb).unwrap().iter().all(|&v| v == 0));
+        assert!(f
+            .read_slab::<i32>("b", &wb)
+            .unwrap()
+            .iter()
+            .all(|&v| v == 0));
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -38,9 +38,8 @@ pub fn encode_header(metadata: &Metadata) -> Vec<u8> {
     out.put_u32_le(VERSION);
     out.put_u64_le(block.len() as u64);
     out.extend_from_slice(&block);
-    while out.len() as u64 % 8 != 0 {
-        out.push(0);
-    }
+    let pad = out.len().next_multiple_of(8) - out.len();
+    out.resize(out.len() + pad, 0);
     out
 }
 
@@ -49,7 +48,9 @@ pub fn encode_header(metadata: &Metadata) -> Vec<u8> {
 /// begins.
 pub fn decode_header(bytes: &[u8]) -> Result<(Metadata, u64)> {
     if bytes.len() < 16 {
-        return Err(ScifileError::CorruptHeader("file shorter than fixed header".into()));
+        return Err(ScifileError::CorruptHeader(
+            "file shorter than fixed header".into(),
+        ));
     }
     let mut buf = bytes;
     let mut magic = [0u8; 4];
@@ -80,7 +81,9 @@ fn put_string(out: &mut Vec<u8>, s: &str) {
 
 fn get_string(buf: &mut &[u8]) -> Result<String> {
     if buf.remaining() < 4 {
-        return Err(ScifileError::CorruptHeader("truncated string length".into()));
+        return Err(ScifileError::CorruptHeader(
+            "truncated string length".into(),
+        ));
     }
     let len = buf.get_u32_le() as usize;
     if buf.remaining() < len {
@@ -134,7 +137,9 @@ pub fn decode_metadata(mut buf: &[u8]) -> Result<Metadata> {
     for _ in 0..n_dims {
         let name = get_string(&mut buf)?;
         if buf.remaining() < 8 {
-            return Err(ScifileError::CorruptHeader("truncated dimension length".into()));
+            return Err(ScifileError::CorruptHeader(
+                "truncated dimension length".into(),
+            ));
         }
         let len = buf.get_u64_le();
         dims.push(Dimension::new(name, len));
@@ -200,7 +205,10 @@ mod tests {
     fn bad_magic_detected() {
         let mut header = encode_header(&sample());
         header[0] = b'X';
-        assert!(matches!(decode_header(&header), Err(ScifileError::BadMagic { .. })));
+        assert!(matches!(
+            decode_header(&header),
+            Err(ScifileError::BadMagic { .. })
+        ));
     }
 
     #[test]

@@ -255,7 +255,10 @@ mod tests {
         let space = shape(&[3, 4]);
         let model = ValueModel::LinearIndex;
         for c in space.iter_coords() {
-            assert_eq!(model.value_at(0, &space, &c), space.linearize(&c).unwrap() as f64);
+            assert_eq!(
+                model.value_at(0, &space, &c),
+                space.linearize(&c).unwrap() as f64
+            );
         }
     }
 

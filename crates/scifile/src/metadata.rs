@@ -73,7 +73,10 @@ pub struct Dimension {
 
 impl Dimension {
     pub fn new(name: impl Into<String>, len: u64) -> Self {
-        Dimension { name: name.into(), len }
+        Dimension {
+            name: name.into(),
+            len,
+        }
     }
 }
 

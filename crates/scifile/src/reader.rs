@@ -139,7 +139,11 @@ mod tests {
     fn make_file(path: &std::path::Path) -> ScincFile {
         let md = Metadata::new(
             vec![Dimension::new("t", 6), Dimension::new("x", 4)],
-            vec![Variable::new("v", DataType::I64, vec!["t".into(), "x".into()])],
+            vec![Variable::new(
+                "v",
+                DataType::I64,
+                vec!["t".into(), "x".into()],
+            )],
         )
         .unwrap();
         let f = ScincFile::create(path, md).unwrap();

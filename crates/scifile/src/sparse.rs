@@ -85,7 +85,12 @@ pub fn write_sentinel_output<E: Element>(
     sentinel: E,
     points: &[(Coord, E)],
 ) -> Result<ScincFile> {
-    let md = output_metadata(variable, E::DATA_TYPE, total_space, &Coord::origin(total_space.rank()));
+    let md = output_metadata(
+        variable,
+        E::DATA_TYPE,
+        total_space,
+        &Coord::origin(total_space.rank()),
+    );
     let f = ScincFile::create(path, md)?;
     f.fill(variable, sentinel)?;
     let one = Shape::new(vec![1; total_space.rank()])?;
@@ -218,7 +223,8 @@ mod tests {
         let f = ScincFile::open(&path).unwrap();
         assert_eq!(read_origin(f.metadata()), Some(Coord::from([10, 20])));
         assert_eq!(
-            f.read_slab::<f64>("out", &Slab::whole(&shape(&[2, 3]))).unwrap(),
+            f.read_slab::<f64>("out", &Slab::whole(&shape(&[2, 3])))
+                .unwrap(),
             data
         );
         std::fs::remove_file(&path).unwrap();
@@ -228,10 +234,10 @@ mod tests {
     fn dense_output_size_is_slab_size() {
         let path = temp_path("dense-size");
         let slab = Slab::new(Coord::from([0, 0]), shape(&[4, 4])).unwrap();
-        write_dense_output(&path, "out", &slab, &vec![0.0f64; 16]).unwrap();
+        write_dense_output(&path, "out", &slab, &[0.0f64; 16]).unwrap();
         let len = std::fs::metadata(&path).unwrap().len();
         // Header is small; data is 16 doubles.
-        assert!(len >= 16 * 8 && len < 16 * 8 + 512, "len {len}");
+        assert!((16 * 8..16 * 8 + 512).contains(&len), "len {len}");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -116,7 +116,11 @@ pub fn simulate(job: &SimJob, cluster: &SimClusterConfig, model: &CostModel) -> 
     let n_maps = job.maps.len();
     let n_reduces = job.reduces.len();
     assert!(n_reduces > 0, "job needs at least one reduce");
-    assert_eq!(job.reduce_order.len(), n_reduces, "order must cover reduces");
+    assert_eq!(
+        job.reduce_order.len(),
+        n_reduces,
+        "order must cover reduces"
+    );
 
     let mut queue = EventQueue::new();
     let mut map_state = vec![
@@ -183,7 +187,9 @@ pub fn simulate(job: &SimJob, cluster: &SimClusterConfig, model: &CostModel) -> 
                                 }
                             }
                         }
-                        deps.iter().filter(|&&m| map_state[m] != MapState::Done).count()
+                        deps.iter()
+                            .filter(|&&m| map_state[m] != MapState::Done)
+                            .count()
                     }
                     None => {
                         if job.invert_scheduling {
@@ -326,7 +332,13 @@ pub fn simulate(job: &SimJob, cluster: &SimClusterConfig, model: &CostModel) -> 
                         let ready = now.max(run.start);
                         reduce_ready[r] = to_secs(ready);
                         let dur = model.reduce_duration_s(job.reduces[r].input_bytes, r as u64);
-                        queue.push(ready + secs(dur), Event::ReduceEnd { reduce: r, node: run.node });
+                        queue.push(
+                            ready + secs(dur),
+                            Event::ReduceEnd {
+                                reduce: r,
+                                node: run.node,
+                            },
+                        );
                     }
                 }
                 schedule_maps!(now);
@@ -379,7 +391,11 @@ mod tests {
                         // Reduce r depends on a contiguous slice of
                         // maps; the last reduce takes the remainder.
                         let per = n_maps / n_reduces;
-                        let end = if r + 1 == n_reduces { n_maps } else { (r + 1) * per };
+                        let end = if r + 1 == n_reduces {
+                            n_maps
+                        } else {
+                            (r + 1) * per
+                        };
                         Some((r * per..end).collect())
                     },
                 })

@@ -80,14 +80,13 @@ impl SimWorkload {
 /// Derives the [`SimJob`] for a workload: real splits with real DFS
 /// placement, real keyblock sizes, real dependency sets.
 pub fn build_sim_job(w: &SimWorkload) -> sidr_core::Result<SimJob> {
-    let dfs = NameNode::new(DfsConfig::default())
-        .expect("default DFS config is valid");
+    let dfs = NameNode::new(DfsConfig::default()).expect("default DFS config is valid");
     let file = dfs
         .register_file("/sim/input.scinc", w.input_bytes())
         .expect("fresh namenode has no duplicates");
 
-    let generator = SplitGenerator::new(w.query.input_space().clone(), w.element_size)
-        .with_dfs(&dfs, file, 0);
+    let generator =
+        SplitGenerator::new(w.query.input_space().clone(), w.element_size).with_dfs(&dfs, file, 0);
     let splits = match w.mode {
         FrameworkMode::Hadoop => generator.naive_linear(w.split_bytes)?,
         FrameworkMode::SciHadoop | FrameworkMode::Sidr => {
@@ -137,8 +136,8 @@ pub fn build_sim_job(w: &SimWorkload) -> sidr_core::Result<SimJob> {
                 .map(|r| {
                     let kw = plan.partition().keyblock_key_count(r)?;
                     Ok(SimReduceTask {
-                        input_bytes: (total_intermediate as u128 * kw as u128
-                            / total_keys as u128) as u64,
+                        input_bytes: (total_intermediate as u128 * kw as u128 / total_keys as u128)
+                            as u64,
                         deps: Some(plan.dependencies().reduce_deps(r).to_vec()),
                     })
                 })
@@ -170,15 +169,13 @@ pub fn hash_key_weights(
     for kp in kspace.iter_coords() {
         let key = match model {
             HashKeyModel::Uniform => kp,
-            HashKeyModel::CornerCoords => {
-                Coord::new(
-                    kp.components()
-                        .iter()
-                        .zip(&ext)
-                        .map(|(&c, &e)| c * e)
-                        .collect::<Vec<u64>>(),
-                )
-            }
+            HashKeyModel::CornerCoords => Coord::new(
+                kp.components()
+                    .iter()
+                    .zip(&ext)
+                    .map(|(&c, &e)| c * e)
+                    .collect::<Vec<u64>>(),
+            ),
         };
         weights[p.partition(&key, num_reducers)] += 1;
     }
@@ -231,7 +228,10 @@ mod tests {
         for r in &job.reduces {
             let deps = r.deps.as_ref().unwrap();
             assert!(!deps.is_empty());
-            assert!(deps.len() < job.maps.len(), "deps should be a strict subset");
+            assert!(
+                deps.len() < job.maps.len(),
+                "deps should be a strict subset"
+            );
         }
         // Reduce input bytes sum to ~total intermediate bytes.
         let total: u64 = job.reduces.iter().map(|r| r.input_bytes).sum();

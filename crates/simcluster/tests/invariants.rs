@@ -25,7 +25,11 @@ fn jobs() -> impl Strategy<Value = SimJob> {
             let per = n_maps / n_reduces;
             let reduces = (0..n_reduces)
                 .map(|r| {
-                    let end = if r + 1 == n_reduces { n_maps } else { (r + 1) * per };
+                    let end = if r + 1 == n_reduces {
+                        n_maps
+                    } else {
+                        (r + 1) * per
+                    };
                     SimReduceTask {
                         input_bytes: 1 << 19,
                         deps: Some((r * per..end).collect()),

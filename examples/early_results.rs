@@ -13,9 +13,9 @@
 
 use std::time::Duration;
 
+use sidr_repro::coords::{Coord, Shape, Slab};
 use sidr_repro::core::framework::RunOptions;
 use sidr_repro::core::{run_query, FrameworkMode, Operator, StructuralQuery};
-use sidr_repro::coords::{Coord, Shape, Slab};
 use sidr_repro::mapreduce::TaskKind;
 use sidr_repro::scifile::gen::DatasetSpec;
 
@@ -43,7 +43,10 @@ fn main() {
     )
     .expect("valid region");
 
-    for (label, priority) in [("default order", None), ("hot region first", Some(hot.clone()))] {
+    for (label, priority) in [
+        ("default order", None),
+        ("hot region first", Some(hot.clone())),
+    ] {
         let mut opts = RunOptions::new(FrameworkMode::Sidr, 8);
         opts.reduce_slots = 2; // force scheduling waves so order matters
         opts.map_think = Duration::from_millis(2);
@@ -69,9 +72,15 @@ fn main() {
             outcome.records.len(),
             hot_records.len()
         );
-        println!("  reduce commit order: {:?}", commit_order.iter().map(|(r, _)| *r).collect::<Vec<_>>());
+        println!(
+            "  reduce commit order: {:?}",
+            commit_order.iter().map(|(r, _)| *r).collect::<Vec<_>>()
+        );
         if let Some((r, at)) = commit_order.first() {
-            println!("  first commit: reducer {r} at {:.0} ms", at.as_secs_f64() * 1e3);
+            println!(
+                "  first commit: reducer {r} at {:.0} ms",
+                at.as_secs_f64() * 1e3
+            );
         }
     }
 

@@ -9,9 +9,9 @@
 //! cargo run --release --example failure_recovery
 //! ```
 
+use sidr_repro::coords::Shape;
 use sidr_repro::core::framework::RunOptions;
 use sidr_repro::core::{run_query, FrameworkMode, Operator, StructuralQuery};
-use sidr_repro::coords::Shape;
 use sidr_repro::scifile::gen::DatasetSpec;
 
 fn main() {
@@ -47,7 +47,10 @@ fn main() {
         match &baseline {
             None => baseline = Some(outcome.records),
             Some(expect) => {
-                assert_eq!(&outcome.records, expect, "recovery must not change the answer");
+                assert_eq!(
+                    &outcome.records, expect,
+                    "recovery must not change the answer"
+                );
                 println!("  output identical to the persisted-data run");
             }
         }

@@ -7,12 +7,12 @@
 //! cargo run --release --example query_language -- "max(windspeed) over {4, 6, 8, 10}"
 //! ```
 
+use sidr_repro::coords::Shape;
 use sidr_repro::core::early::streaming_output;
 use sidr_repro::core::lang::parse_query;
 use sidr_repro::core::operators::OperatorReducer;
 use sidr_repro::core::source::{scinc_source_factory, StructuralMapper};
 use sidr_repro::core::SidrPlanner;
-use sidr_repro::coords::Shape;
 use sidr_repro::mapreduce::{run_job, JobConfig, SplitGenerator};
 use sidr_repro::scifile::gen::DatasetSpec;
 
@@ -44,7 +44,9 @@ fn main() {
     let splits = SplitGenerator::new(query.input_space().clone(), 4)
         .aligned(12 * 16 * 10 * 4 * 8, query.extraction.shape()[0])
         .expect("splits generate");
-    let plan = SidrPlanner::new(&query, 4).build(&splits).expect("plan builds");
+    let plan = SidrPlanner::new(&query, 4)
+        .build(&splits)
+        .expect("plan builds");
     let mapper = StructuralMapper::new(query.extraction.clone());
     let reducer = OperatorReducer { op: query.operator };
     let factory = scinc_source_factory::<f32>(&file, &query.variable);

@@ -6,9 +6,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use sidr_repro::coords::Shape;
 use sidr_repro::core::framework::RunOptions;
 use sidr_repro::core::{run_query, FrameworkMode, Operator, StructuralQuery};
-use sidr_repro::coords::Shape;
 use sidr_repro::scifile::gen::DatasetSpec;
 
 fn main() {
@@ -19,7 +19,12 @@ fn main() {
     let spec = DatasetSpec::temperature(space.clone(), 42);
     let path = std::env::temp_dir().join("sidr-quickstart-temps.scinc");
     let file = spec.generate::<f64>(&path).expect("dataset generates");
-    println!("generated {} ({} elements)\n{}", path.display(), space.count(), file.metadata());
+    println!(
+        "generated {} ({} elements)\n{}",
+        path.display(),
+        space.count(),
+        file.metadata()
+    );
 
     // "Find the weekly averages for every unique location", with
     // latitude down-sampled 1/10 deg -> 1/2 deg: extraction {7, 5, 1}.

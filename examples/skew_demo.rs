@@ -10,8 +10,8 @@
 //! cargo run --release --example skew_demo
 //! ```
 
-use sidr_repro::core::{Operator, PartitionPlus, StructuralQuery};
 use sidr_repro::coords::{Coord, Shape};
+use sidr_repro::core::{Operator, PartitionPlus, StructuralQuery};
 use sidr_repro::mapreduce::{CoordHashPartitioner, Partitioner};
 
 fn main() {
@@ -50,7 +50,10 @@ fn main() {
 
     let total = kspace.count();
     println!("{} intermediate keys over {reducers} reducers\n", total);
-    println!("{:>8} {:>16} {:>16}", "reducer", "stock (hash)", "SIDR (part+)");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "reducer", "stock (hash)", "SIDR (part+)"
+    );
     for r in 0..reducers {
         let bar = |n: u64| "#".repeat((n * 40 / total.max(1)) as usize);
         println!(

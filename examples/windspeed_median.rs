@@ -27,7 +27,11 @@ fn main() {
     );
 
     let mut reference: Option<Vec<(sidr_repro::coords::Coord, f64)>> = None;
-    for mode in [FrameworkMode::Hadoop, FrameworkMode::SciHadoop, FrameworkMode::Sidr] {
+    for mode in [
+        FrameworkMode::Hadoop,
+        FrameworkMode::SciHadoop,
+        FrameworkMode::Sidr,
+    ] {
         let mut opts = RunOptions::new(mode, 6);
         opts.split_bytes = 1 << 20;
         // A little artificial task cost so the timeline is visible.
@@ -54,7 +58,11 @@ fn main() {
                     &outcome.records, expect,
                     "{mode} output differs from Hadoop's — all three must agree"
                 );
-                println!("{:>9}  output identical to Hadoop's ({} medians)", "", expect.len());
+                println!(
+                    "{:>9}  output identical to Hadoop's ({} medians)",
+                    "",
+                    expect.len()
+                );
             }
         }
     }

@@ -1,0 +1,133 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! Provides the [`Buf`] and [`BufMut`] extension traits for the two
+//! concrete types this workspace reads and writes: `&[u8]` cursors and
+//! `Vec<u8>` sinks. Little-endian accessors only, matching the wire
+//! formats in `sidr-mapreduce` and `sidr-scifile`.
+
+macro_rules! get_num {
+    ($name:ident, $t:ty) => {
+        /// Reads one value from the front of the buffer, advancing it.
+        /// Panics when the buffer is too short (callers bounds-check).
+        fn $name(&mut self) -> $t {
+            const N: usize = std::mem::size_of::<$t>();
+            let mut raw = [0u8; N];
+            self.copy_to_slice(&mut raw);
+            <$t>::from_le_bytes(raw)
+        }
+    };
+}
+
+/// Read side: a cursor over bytes.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Copies `dst.len()` bytes out, advancing.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    get_num!(get_u32_le, u32);
+    get_num!(get_u64_le, u64);
+    get_num!(get_i32_le, i32);
+    get_num!(get_i64_le, i64);
+    get_num!(get_f32_le, f32);
+    get_num!(get_f64_le, f64);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+macro_rules! put_num {
+    ($name:ident, $t:ty) => {
+        /// Appends the little-endian encoding of one value.
+        fn $name(&mut self, v: $t) {
+            self.put_slice(&v.to_le_bytes());
+        }
+    };
+}
+
+/// Write side: an append-only byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    put_num!(put_u32_le, u32);
+    put_num!(put_u64_le, u64);
+    put_num!(put_i32_le, i32);
+    put_num!(put_i64_le, i64);
+    put_num!(put_f32_le, f32);
+    put_num!(put_f64_le, f64);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(7);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u64_le(u64::MAX - 1);
+        out.put_i32_le(-5);
+        out.put_i64_le(i64::MIN);
+        out.put_f32_le(1.5);
+        out.put_f64_le(-2.25);
+        let mut buf = out.as_slice();
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_u64_le(), u64::MAX - 1);
+        assert_eq!(buf.get_i32_le(), -5);
+        assert_eq!(buf.get_i64_le(), i64::MIN);
+        assert_eq!(buf.get_f32_le(), 1.5);
+        assert_eq!(buf.get_f64_le(), -2.25);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_and_copy() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut buf = &data[..];
+        buf.advance(2);
+        let mut dst = [0u8; 2];
+        buf.copy_to_slice(&mut dst);
+        assert_eq!(dst, [3, 4]);
+        assert_eq!(buf.chunk(), &[5]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Runs each benchmark closure for a short, fixed wall-clock budget
+//! and prints the mean time per iteration (plus throughput when
+//! configured). No statistical analysis, warm-up tuning, or HTML
+//! reports — just enough to keep `cargo bench` meaningful offline.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion's public name.
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Criterion's CLI-config entry point; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Criterion's post-run summary hook; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Per-iteration work measured under a group's settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sample-count hint; ignored (the shim uses a time budget).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint; ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: std::fmt::Display, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input handle.
+    pub fn bench_with_input<I: std::fmt::Display, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Work per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, repeating it until the budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed call warms caches and sizes the batch.
+        let start = Instant::now();
+        black_box(routine());
+        let probe = start.elapsed().max(Duration::from_nanos(50));
+        let budget = bench_budget();
+        let batch = (budget.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += batch;
+    }
+}
+
+/// Wall-clock budget per benchmark; `SIDR_BENCH_BUDGET_MS` overrides.
+fn bench_budget() -> Duration {
+    std::env::var("SIDR_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(300))
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name}: no iterations recorded");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(", {:.1} MiB/s", n as f64 / per_iter / (1 << 20) as f64),
+        Throughput::Elements(n) => format!(", {:.1} Melem/s", n as f64 / per_iter / 1e6),
+    });
+    println!(
+        "{name}: {:.3} ms/iter ({} iters{})",
+        per_iter * 1e3,
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

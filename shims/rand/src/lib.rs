@@ -1,0 +1,55 @@
+//! Minimal offline stand-in for `rand`.
+//!
+//! The workspace declares `rand` in several manifests but does not
+//! currently call into it (all randomness in the repo is hand-rolled
+//! deterministic hashing). This shim keeps those manifests valid
+//! offline and offers a small seedable generator should a crate start
+//! using one.
+
+/// A tiny splitmix64 generator: deterministic, seedable, good enough
+/// for test-data jitter. Not cryptographic.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn bounded_draws_in_range() {
+        let mut g = SplitMix64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert!(g.next_below(13) < 13);
+        }
+    }
+}

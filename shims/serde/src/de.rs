@@ -1,0 +1,511 @@
+//! JSON deserialization: the read half of the shim's data model.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// A deserialization error with a human-readable message.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        DeError::new(format!("missing field `{field}` in {ty}"))
+    }
+
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError::new(format!("unknown variant `{variant}` of {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+pub type Result<T> = std::result::Result<T, DeError>;
+
+/// A cursor over a JSON document.
+pub struct JsonDe<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonDe<'a> {
+    pub fn new(text: &'a str) -> Self {
+        JsonDe {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8> {
+        match self.peek() {
+            Some(b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => Err(DeError::new("unexpected end of input")),
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<()> {
+        let got = self.bump()?;
+        if got != want {
+            return Err(DeError::new(format!(
+                "expected `{}` at byte {}, found `{}`",
+                want as char,
+                self.pos - 1,
+                got as char
+            )));
+        }
+        Ok(())
+    }
+
+    /// True when the next value is a string literal.
+    pub fn peek_is_string(&mut self) -> bool {
+        self.peek() == Some(b'"')
+    }
+
+    /// Consumes `{`; returns whether the object has any entries (and
+    /// consumes the `}` when it does not).
+    pub fn begin_object(&mut self) -> Result<bool> {
+        self.expect(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// Parses `"key":` inside an object.
+    pub fn object_key(&mut self) -> Result<String> {
+        let key = self.parse_string()?;
+        self.expect(b':')?;
+        Ok(key)
+    }
+
+    /// After an entry's value: consumes `,` (more entries, true) or
+    /// `}` (done, false).
+    pub fn object_continue(&mut self) -> Result<bool> {
+        match self.bump()? {
+            b',' => Ok(true),
+            b'}' => Ok(false),
+            c => Err(DeError::new(format!(
+                "expected `,` or `}}` in object, found `{}`",
+                c as char
+            ))),
+        }
+    }
+
+    /// Consumes `[`; returns whether the array has any elements (and
+    /// consumes the `]` when it does not).
+    pub fn begin_array(&mut self) -> Result<bool> {
+        self.expect(b'[')?;
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// After an element: consumes `,` (more, true) or `]` (done,
+    /// false).
+    pub fn array_continue(&mut self) -> Result<bool> {
+        match self.bump()? {
+            b',' => Ok(true),
+            b']' => Ok(false),
+            c => Err(DeError::new(format!(
+                "expected `,` or `]` in array, found `{}`",
+                c as char
+            ))),
+        }
+    }
+
+    /// Parses a string literal, resolving escapes.
+    pub fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| DeError::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| DeError::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| DeError::new("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| DeError::new("non-ASCII \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| DeError::new("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| DeError::new("invalid \\u code point"))?,
+                            );
+                        }
+                        c => {
+                            return Err(DeError::new(format!(
+                                "unsupported escape `\\{}`",
+                                c as char
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 sequences whole.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let chunk = self
+                        .bytes
+                        .get(start..start + width)
+                        .ok_or_else(|| DeError::new("truncated UTF-8 sequence"))?;
+                    let s = std::str::from_utf8(chunk)
+                        .map_err(|_| DeError::new("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = start + width;
+                }
+            }
+        }
+    }
+
+    pub fn parse_bool(&mut self) -> Result<bool> {
+        if self.eat_word("true") {
+            Ok(true)
+        } else if self.eat_word("false") {
+            Ok(false)
+        } else {
+            Err(DeError::new("expected boolean"))
+        }
+    }
+
+    /// Consumes `null` if present.
+    pub fn eat_null(&mut self) -> bool {
+        self.eat_word("null")
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn number_token(&mut self) -> Result<&'a str> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(DeError::new(format!("expected number at byte {start}")));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| DeError::new("invalid number bytes"))
+    }
+
+    pub fn parse_u64(&mut self) -> Result<u64> {
+        let tok = self.number_token()?;
+        tok.parse()
+            .map_err(|e| DeError::new(format!("invalid unsigned integer `{tok}`: {e}")))
+    }
+
+    pub fn parse_i64(&mut self) -> Result<i64> {
+        let tok = self.number_token()?;
+        tok.parse()
+            .map_err(|e| DeError::new(format!("invalid integer `{tok}`: {e}")))
+    }
+
+    pub fn parse_f64(&mut self) -> Result<f64> {
+        if self.eat_null() {
+            // Mirror of the writer's policy for non-finite floats.
+            return Ok(f64::NAN);
+        }
+        let tok = self.number_token()?;
+        tok.parse()
+            .map_err(|e| DeError::new(format!("invalid float `{tok}`: {e}")))
+    }
+
+    /// Skips one complete JSON value (for unknown object fields).
+    pub fn skip_value(&mut self) -> Result<()> {
+        match self.peek().ok_or_else(|| DeError::new("unexpected end"))? {
+            b'"' => {
+                self.parse_string()?;
+            }
+            b'{' => {
+                if self.begin_object()? {
+                    loop {
+                        self.object_key()?;
+                        self.skip_value()?;
+                        if !self.object_continue()? {
+                            break;
+                        }
+                    }
+                }
+            }
+            b'[' => {
+                if self.begin_array()? {
+                    loop {
+                        self.skip_value()?;
+                        if !self.array_continue()? {
+                            break;
+                        }
+                    }
+                }
+            }
+            b't' | b'f' => {
+                self.parse_bool()?;
+            }
+            b'n' => {
+                if !self.eat_null() {
+                    return Err(DeError::new("expected null"));
+                }
+            }
+            _ => {
+                self.number_token()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Errors when unconsumed non-whitespace input remains.
+    pub fn end(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(DeError::new(format!(
+                "trailing characters at byte {}",
+                self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// A value that can be read back from JSON.
+pub trait Deserialize: Sized {
+    fn deserialize(d: &mut JsonDe<'_>) -> Result<Self>;
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(d: &mut JsonDe<'_>) -> Result<Self> {
+                let v = d.parse_u64()?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::new(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(d: &mut JsonDe<'_>) -> Result<Self> {
+                let v = d.parse_i64()?;
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::new(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+de_uint!(u8, u16, u32, u64, usize);
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for bool {
+    fn deserialize(d: &mut JsonDe<'_>) -> Result<Self> {
+        d.parse_bool()
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(d: &mut JsonDe<'_>) -> Result<Self> {
+        d.parse_f64()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(d: &mut JsonDe<'_>) -> Result<Self> {
+        Ok(d.parse_f64()? as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(d: &mut JsonDe<'_>) -> Result<Self> {
+        d.parse_string()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(d: &mut JsonDe<'_>) -> Result<Self> {
+        if d.peek() == Some(b'n') && d.eat_null() {
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize(d)?))
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(d: &mut JsonDe<'_>) -> Result<Self> {
+        let mut out = Vec::new();
+        if d.begin_array()? {
+            loop {
+                out.push(T::deserialize(d)?);
+                if !d.array_continue()? {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(d: &mut JsonDe<'_>) -> Result<Self> {
+        if !d.begin_array()? {
+            return Err(DeError::new("expected 2-element array"));
+        }
+        let a = A::deserialize(d)?;
+        if !d.array_continue()? {
+            return Err(DeError::new("expected 2 elements, found 1"));
+        }
+        let b = B::deserialize(d)?;
+        if d.array_continue()? {
+            return Err(DeError::new("expected 2 elements, found more"));
+        }
+        Ok((a, b))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(d: &mut JsonDe<'_>) -> Result<Self> {
+        if !d.begin_array()? {
+            return Err(DeError::new("expected 3-element array"));
+        }
+        let a = A::deserialize(d)?;
+        if !d.array_continue()? {
+            return Err(DeError::new("expected 3 elements, found 1"));
+        }
+        let b = B::deserialize(d)?;
+        if !d.array_continue()? {
+            return Err(DeError::new("expected 3 elements, found 2"));
+        }
+        let c = C::deserialize(d)?;
+        if d.array_continue()? {
+            return Err(DeError::new("expected 3 elements, found more"));
+        }
+        Ok((a, b, c))
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(d: &mut JsonDe<'_>) -> Result<Self> {
+        let mut out = BTreeMap::new();
+        if d.begin_object()? {
+            loop {
+                let k = d.object_key()?;
+                out.insert(k, V::deserialize(d)?);
+                if !d.object_continue()? {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize(d: &mut JsonDe<'_>) -> Result<Self> {
+        let mut secs: Option<u64> = None;
+        let mut nanos: Option<u32> = None;
+        if d.begin_object()? {
+            loop {
+                let k = d.object_key()?;
+                match k.as_str() {
+                    "secs" => secs = Some(d.parse_u64()?),
+                    "nanos" => nanos = Some(u32::deserialize(d)?),
+                    _ => d.skip_value()?,
+                }
+                if !d.object_continue()? {
+                    break;
+                }
+            }
+        }
+        Ok(Duration::new(
+            secs.ok_or_else(|| DeError::missing_field("secs", "Duration"))?,
+            nanos.ok_or_else(|| DeError::missing_field("nanos", "Duration"))?,
+        ))
+    }
+}
+
+/// Parses a complete document (used by the `serde_json` shim).
+pub fn from_json_str<T: Deserialize>(text: &str) -> Result<T> {
+    let mut d = JsonDe::new(text);
+    let v = T::deserialize(&mut d)?;
+    d.end()?;
+    Ok(v)
+}

@@ -1,0 +1,17 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! Unlike real serde, the data model is concretely JSON: `Serialize`
+//! writes into a [`ser::JsonSer`] and `Deserialize` reads from a
+//! [`de::JsonDe`]. The derive macros (re-exported from the sibling
+//! `serde_derive` shim) generate impls against these traits, and the
+//! `serde_json` shim exposes `to_string`/`from_str` over them. The
+//! encoding matches serde_json's defaults for everything this
+//! workspace serializes: externally tagged enums, newtype structs as
+//! their inner value, `Duration` as `{"secs":…,"nanos":…}`.
+
+pub mod de;
+pub mod ser;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+pub use serde_derive::{Deserialize, Serialize};

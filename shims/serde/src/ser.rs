@@ -1,0 +1,270 @@
+//! JSON serialization: the write half of the shim's data model.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A JSON writer with automatic comma placement.
+pub struct JsonSer {
+    out: String,
+    /// One entry per open object/array: whether a separator is needed
+    /// before the next item.
+    needs_comma: Vec<bool>,
+}
+
+impl Default for JsonSer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonSer {
+    pub fn new() -> Self {
+        JsonSer {
+            out: String::new(),
+            needs_comma: Vec::new(),
+        }
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    pub fn begin_object(&mut self) {
+        self.out.push('{');
+        self.needs_comma.push(false);
+    }
+
+    pub fn end_object(&mut self) {
+        self.out.push('}');
+        self.needs_comma.pop();
+    }
+
+    pub fn begin_array(&mut self) {
+        self.out.push('[');
+        self.needs_comma.push(false);
+    }
+
+    pub fn end_array(&mut self) {
+        self.out.push(']');
+        self.needs_comma.pop();
+    }
+
+    /// Starts an object entry: separator plus `"name":`.
+    pub fn field(&mut self, name: &str) {
+        self.elem();
+        self.write_escaped(name);
+        self.out.push(':');
+    }
+
+    /// Starts an array element (separator only).
+    pub fn elem(&mut self) {
+        if let Some(top) = self.needs_comma.last_mut() {
+            if *top {
+                self.out.push(',');
+            }
+            *top = true;
+        }
+    }
+
+    pub fn write_bool(&mut self, v: bool) {
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.out.push_str(&v.to_string());
+    }
+
+    pub fn write_i64(&mut self, v: i64) {
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a finite float. Rust's shortest-roundtrip `Display` is
+    /// valid JSON for finite values; non-finite values are encoded as
+    /// `null` (serde_json errors instead, but nothing here emits
+    /// non-finite floats).
+    pub fn write_f64(&mut self, v: f64) {
+        if v.is_finite() {
+            let s = v.to_string();
+            self.out.push_str(&s);
+            // serde_json always marks floats; keep `1.0` distinct
+            // from the integer `1` for readability.
+            if !s.contains(['.', 'e', 'E']) {
+                self.out.push_str(".0");
+            }
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    pub fn write_null(&mut self) {
+        self.out.push_str("null");
+    }
+
+    /// Writes a JSON string literal with escapes.
+    pub fn write_string(&mut self, v: &str) {
+        self.write_escaped(v);
+    }
+
+    fn write_escaped(&mut self, v: &str) {
+        self.out.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+/// A value that can be written as JSON.
+pub trait Serialize {
+    fn serialize(&self, s: &mut JsonSer);
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut JsonSer) {
+                s.write_u64(*self as u64);
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut JsonSer) {
+                s.write_i64(*self as i64);
+            }
+        }
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize(&self, s: &mut JsonSer) {
+        s.write_bool(*self);
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, s: &mut JsonSer) {
+        s.write_f64(f64::from(*self));
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, s: &mut JsonSer) {
+        s.write_f64(*self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut JsonSer) {
+        s.write_string(self);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, s: &mut JsonSer) {
+        s.write_string(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, s: &mut JsonSer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut JsonSer) {
+        match self {
+            None => s.write_null(),
+            Some(v) => v.serialize(s),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut JsonSer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, s: &mut JsonSer) {
+        s.begin_array();
+        for item in self {
+            s.elem();
+            item.serialize(s);
+        }
+        s.end_array();
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self, s: &mut JsonSer) {
+        s.begin_array();
+        s.elem();
+        self.0.serialize(s);
+        s.elem();
+        self.1.serialize(s);
+        s.end_array();
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self, s: &mut JsonSer) {
+        s.begin_array();
+        s.elem();
+        self.0.serialize(s);
+        s.elem();
+        self.1.serialize(s);
+        s.elem();
+        self.2.serialize(s);
+        s.end_array();
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self, s: &mut JsonSer) {
+        s.begin_object();
+        for (k, v) in self {
+            s.field(k);
+            v.serialize(s);
+        }
+        s.end_object();
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize(&self, s: &mut JsonSer) {
+        s.begin_object();
+        s.field("secs");
+        s.write_u64(self.as_secs());
+        s.field("nanos");
+        s.write_u64(u64::from(self.subsec_nanos()));
+        s.end_object();
+    }
+}
+
+/// Serializes any value to a JSON string (used by the `serde_json`
+/// shim).
+pub fn to_json_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut s = JsonSer::new();
+    value.serialize(&mut s);
+    s.finish()
+}

@@ -1,0 +1,458 @@
+//! Offline replacement for `serde_derive`.
+//!
+//! Derives the JSON-model `Serialize`/`Deserialize` traits of the
+//! sibling `serde` shim. Implemented directly on `proc_macro` token
+//! trees (no syn/quote): supports non-generic structs (named, tuple,
+//! unit) and enums with unit/tuple/struct variants — exactly the
+//! shapes this workspace derives. Generic types are rejected with a
+//! clear compile-time panic. `#[serde(...)]` attributes are accepted
+//! by the macro signature but not interpreted.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Toks = Peekable<proc_macro::token_stream::IntoIter>;
+
+struct TypeDef {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    gen_serialize(&def)
+        .parse()
+        .expect("serde shim: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    gen_deserialize(&def)
+        .parse()
+        .expect("serde shim: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------
+
+fn parse_type(input: TokenStream) -> TypeDef {
+    let mut t = input.into_iter().peekable();
+    loop {
+        match t.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                t.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                skip_vis_scope(&mut t);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                return parse_struct(&mut t)
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => return parse_enum(&mut t),
+            other => panic!("serde shim derive: unexpected token before item keyword: {other:?}"),
+        }
+    }
+}
+
+fn skip_vis_scope(t: &mut Toks) {
+    if let Some(TokenTree::Group(g)) = t.peek() {
+        if g.delimiter() == Delimiter::Parenthesis {
+            t.next();
+        }
+    }
+}
+
+fn expect_ident(t: &mut Toks) -> String {
+    match t.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn reject_generics(t: &mut Toks, name: &str) {
+    if let Some(TokenTree::Punct(p)) = t.peek() {
+        if p.as_char() == '<' {
+            panic!(
+                "serde shim derive: generic type `{name}` is not supported; \
+                 implement Serialize/Deserialize by hand"
+            );
+        }
+    }
+}
+
+fn parse_struct(t: &mut Toks) -> TypeDef {
+    let name = expect_ident(t);
+    reject_generics(t, &name);
+    let body = match t.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Body::NamedStruct(named_field_names(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::TupleStruct(count_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+        None => Body::UnitStruct,
+        other => panic!("serde shim derive: unexpected struct body for `{name}`: {other:?}"),
+    };
+    TypeDef { name, body }
+}
+
+fn parse_enum(t: &mut Toks) -> TypeDef {
+    let name = expect_ident(t);
+    reject_generics(t, &name);
+    let group = match t.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("serde shim derive: expected enum body for `{name}`, found {other:?}"),
+    };
+    let mut variants = Vec::new();
+    let mut vt = group.stream().into_iter().peekable();
+    loop {
+        match vt.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                vt.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let vname = id.to_string();
+                let kind = match vt.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let k = VariantKind::Tuple(count_fields(g.stream()));
+                        vt.next();
+                        k
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let k = VariantKind::Named(named_field_names(g.stream()));
+                        vt.next();
+                        k
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Skip anything up to the variant separator (covers
+                // explicit discriminants, which this shim ignores).
+                for tok in vt.by_ref() {
+                    if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+                variants.push(Variant { name: vname, kind });
+            }
+            other => panic!("serde shim derive: unexpected token in enum `{name}`: {other:?}"),
+        }
+    }
+    TypeDef {
+        name,
+        body: Body::Enum(variants),
+    }
+}
+
+/// Field names of a `{ ... }` field list; types are skipped with
+/// angle-bracket depth tracking so `BTreeMap<String, String>` commas
+/// do not end a field early.
+fn named_field_names(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut t = stream.into_iter().peekable();
+    loop {
+        match t.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                t.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                skip_vis_scope(&mut t);
+            }
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                match t.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!(
+                        "serde shim derive: expected `:` after field `{id}`, found {other:?}"
+                    ),
+                }
+                skip_type(&mut t);
+            }
+            other => panic!("serde shim derive: unexpected token in field list: {other:?}"),
+        }
+    }
+    names
+}
+
+/// Consumes one type, stopping after the top-level `,` (or at end).
+fn skip_type(t: &mut Toks) {
+    let mut angle_depth = 0i32;
+    for tok in t.by_ref() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+/// Number of fields in a `( ... )` field list.
+fn count_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut fields = 0usize;
+    let mut pending = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                fields += 1;
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        fields += 1;
+    }
+    fields
+}
+
+// ---------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------
+
+const SER: &str = "::serde::ser::Serialize";
+const DE: &str = "::serde::de::Deserialize";
+const DE_ERR: &str = "::serde::de::DeError";
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let mut body = String::new();
+    match &def.body {
+        Body::NamedStruct(fields) => {
+            body.push_str("s.begin_object();");
+            for f in fields {
+                body.push_str(&format!(
+                    "s.field(\"{f}\"); {SER}::serialize(&self.{f}, s);"
+                ));
+            }
+            body.push_str("s.end_object();");
+        }
+        Body::TupleStruct(1) => {
+            body.push_str(&format!("{SER}::serialize(&self.0, s);"));
+        }
+        Body::TupleStruct(n) => {
+            body.push_str("s.begin_array();");
+            for i in 0..*n {
+                body.push_str(&format!("s.elem(); {SER}::serialize(&self.{i}, s);"));
+            }
+            body.push_str("s.end_array();");
+        }
+        Body::UnitStruct => body.push_str("s.write_null();"),
+        Body::Enum(variants) => {
+            body.push_str("match self {");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        body.push_str(&format!("{name}::{vn} => s.write_string(\"{vn}\"),"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        body.push_str(&format!(
+                            "{name}::{vn}(__v0) => {{ s.begin_object(); s.field(\"{vn}\"); \
+                             {SER}::serialize(__v0, s); s.end_object(); }}"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__v{i}")).collect();
+                        let mut inner = String::from("s.begin_array();");
+                        for b in &binds {
+                            inner.push_str(&format!("s.elem(); {SER}::serialize({b}, s);"));
+                        }
+                        inner.push_str("s.end_array();");
+                        body.push_str(&format!(
+                            "{name}::{vn}({}) => {{ s.begin_object(); s.field(\"{vn}\"); \
+                             {inner} s.end_object(); }}",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inner = String::from("s.begin_object();");
+                        for f in fields {
+                            inner.push_str(&format!("s.field(\"{f}\"); {SER}::serialize({f}, s);"));
+                        }
+                        inner.push_str("s.end_object();");
+                        body.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ s.begin_object(); s.field(\"{vn}\"); \
+                             {inner} s.end_object(); }}",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "#[automatically_derived] #[allow(clippy::all)] \
+         impl {SER} for {name} {{ \
+             fn serialize(&self, s: &mut ::serde::ser::JsonSer) {{ {body} }} \
+         }}"
+    )
+}
+
+/// Statements that read named fields into `__f_*` options plus the
+/// final constructor expression (usable as a block tail).
+fn named_fields_de(ctor: &str, label: &str, fields: &[String]) -> String {
+    let mut s = String::new();
+    for f in fields {
+        s.push_str(&format!("let mut __f_{f}: Option<_> = None;"));
+    }
+    s.push_str("if d.begin_object()? { loop { let __k = d.object_key()?; match __k.as_str() {");
+    for f in fields {
+        s.push_str(&format!(
+            "\"{f}\" => {{ __f_{f} = Some({DE}::deserialize(d)?); }}"
+        ));
+    }
+    s.push_str("_ => { d.skip_value()?; } } if !d.object_continue()? { break; } } }");
+    s.push_str(&format!("{ctor} {{"));
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: match __f_{f} {{ Some(__v) => __v, \
+             None => return Err({DE_ERR}::missing_field(\"{f}\", \"{label}\")) }},"
+        ));
+    }
+    s.push('}');
+    s
+}
+
+/// Statements that read `n` tuple fields as a JSON array plus the
+/// final constructor expression.
+fn tuple_fields_de(ctor: &str, label: &str, n: usize) -> String {
+    let mut s = format!(
+        "if !d.begin_array()? {{ \
+           return Err({DE_ERR}::new(\"expected {n}-element array for {label}\")); }}"
+    );
+    for i in 0..n {
+        if i > 0 {
+            s.push_str(&format!(
+                "if !d.array_continue()? {{ \
+                   return Err({DE_ERR}::new(\"too few elements for {label}\")); }}"
+            ));
+        }
+        s.push_str(&format!("let __v{i} = {DE}::deserialize(d)?;"));
+    }
+    s.push_str(&format!(
+        "if d.array_continue()? {{ \
+           return Err({DE_ERR}::new(\"too many elements for {label}\")); }}"
+    ));
+    let binds: Vec<String> = (0..n).map(|i| format!("__v{i}")).collect();
+    s.push_str(&format!("{ctor}({})", binds.join(", ")));
+    s
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.body {
+        Body::NamedStruct(fields) => {
+            format!("Ok({{ {} }})", named_fields_de(name, name, fields))
+        }
+        Body::TupleStruct(1) => format!("Ok({name}({DE}::deserialize(d)?))"),
+        Body::TupleStruct(n) => format!("Ok({{ {} }})", tuple_fields_de(name, name, *n)),
+        Body::UnitStruct => format!(
+            "if d.eat_null() {{ Ok({name}) }} \
+             else {{ Err({DE_ERR}::new(\"expected null for unit struct {name}\")) }}"
+        ),
+        Body::Enum(variants) => {
+            let units: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let payloads: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let mut s = String::new();
+            if !units.is_empty() {
+                s.push_str(
+                    "if d.peek_is_string() { let __tag = d.parse_string()?; \
+                     return match __tag.as_str() {",
+                );
+                for v in &units {
+                    let vn = &v.name;
+                    s.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),"));
+                }
+                s.push_str(&format!(
+                    "__other => Err({DE_ERR}::unknown_variant(__other, \"{name}\")), }}; }}"
+                ));
+            }
+            if payloads.is_empty() {
+                s.push_str(&format!(
+                    "Err({DE_ERR}::new(\"expected string variant tag for {name}\"))"
+                ));
+            } else {
+                s.push_str(&format!(
+                    "if !d.begin_object()? {{ \
+                       return Err({DE_ERR}::new(\"expected variant object for {name}\")); }} \
+                     let __tag = d.object_key()?; \
+                     let __value = match __tag.as_str() {{"
+                ));
+                for v in &payloads {
+                    let vn = &v.name;
+                    let ctor = format!("{name}::{vn}");
+                    let label = format!("{name}::{vn}");
+                    let arm = match &v.kind {
+                        VariantKind::Tuple(1) => format!("{ctor}({DE}::deserialize(d)?)"),
+                        VariantKind::Tuple(n) => {
+                            format!("{{ {} }}", tuple_fields_de(&ctor, &label, *n))
+                        }
+                        VariantKind::Named(fields) => {
+                            format!("{{ {} }}", named_fields_de(&ctor, &label, fields))
+                        }
+                        VariantKind::Unit => unreachable!(),
+                    };
+                    s.push_str(&format!("\"{vn}\" => {arm},"));
+                }
+                s.push_str(&format!(
+                    "__other => return Err({DE_ERR}::unknown_variant(__other, \"{name}\")), }};"
+                ));
+                s.push_str(&format!(
+                    "if d.object_continue()? {{ \
+                       return Err({DE_ERR}::new(\
+                         \"unexpected extra entries in {name} variant object\")); }} \
+                     Ok(__value)"
+                ));
+            }
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived] #[allow(clippy::all)] \
+         impl {DE} for {name} {{ \
+             fn deserialize(d: &mut ::serde::de::JsonDe<'_>) -> ::serde::de::Result<Self> {{ \
+                 {body} \
+             }} \
+         }}"
+    )
+}

@@ -1,0 +1,75 @@
+//! Minimal offline stand-in for `serde_json`.
+//!
+//! `to_string`/`from_str` over the `serde` shim's concrete JSON data
+//! model. Output matches serde_json's compact encoding for the types
+//! this workspace serializes.
+
+use std::fmt;
+
+pub use serde::de::Deserialize;
+pub use serde::ser::Serialize;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::DeError> for Error {
+    fn from(e: serde::de::DeError) -> Self {
+        Error { msg: e.to_string() }
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to a compact JSON string. Infallible for the
+/// shim's data model, but keeps serde_json's fallible signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::ser::to_json_string(value))
+}
+
+/// Parses a value from a complete JSON document.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    serde::de::from_json_str(text).map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn roundtrip_nested_containers() {
+        let v: Vec<(u64, Vec<String>)> = vec![(1, vec!["a\"b".into()]), (2, vec![])];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, r#"[[1,["a\"b"]],[2,[]]]"#);
+        let back: Vec<(u64, Vec<String>)> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn roundtrip_map_and_options() {
+        let mut m = BTreeMap::new();
+        m.insert("x".to_string(), Some(3.5f64));
+        m.insert("y".to_string(), None);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, r#"{"x":3.5,"y":null}"#);
+        let back: BTreeMap<String, Option<f64>> = from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(from_str::<u64>("7 junk").is_err());
+        assert!(from_str::<Vec<u64>>("[1,2").is_err());
+    }
+}

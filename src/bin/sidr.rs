@@ -12,12 +12,12 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use sidr_repro::coords::Shape;
 use sidr_repro::core::framework::{generate_splits, RunOptions};
 use sidr_repro::core::lang::parse_query;
 use sidr_repro::core::output::{reassemble_dense_output, DenseSlabOutput};
 use sidr_repro::core::spec::JobSpec;
 use sidr_repro::core::{run_query, FrameworkMode, SidrPlanner};
-use sidr_repro::coords::Shape;
 use sidr_repro::scifile::gen::DatasetSpec;
 use sidr_repro::scifile::ScincFile;
 
@@ -32,6 +32,7 @@ USAGE:
              [--mode hadoop|scihadoop|sidr] [--reducers N] [--split-mib N]
              [--validate] [--output <dir>] [--combined <file.scinc>]
   sidr plan  \"<query text>\" --input <file.scinc> [--reducers N] [--split-mib N]
+             [--spec <plan.json>]  (export the submission document for sidr-lint)
   sidr simulate \"<query text>\" --space <d0,d1,..>
              [--mode hadoop|scihadoop|sidr] [--reducers N] [--selectivity F]
              (paper-scale cluster simulation: 24 nodes x 4 map + 3 reduce slots)
@@ -167,7 +168,10 @@ fn common_query(
         .unwrap_or(4);
     let split_bytes: u64 = flags
         .get("split-mib")
-        .map(|s| s.parse::<u64>().map_err(|e| format!("bad --split-mib: {e}")))
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|e| format!("bad --split-mib: {e}"))
+        })
         .transpose()?
         .map(|mib| mib << 20)
         .unwrap_or(1 << 20);
@@ -221,8 +225,8 @@ fn cmd_query(positional: &[String], flags: &HashMap<String, String>) -> Result<(
         let plan = SidrPlanner::new(&query, reducers)
             .build(&splits)
             .map_err(|e| e.to_string())?;
-        let collector =
-            DenseSlabOutput::new(dir, &query.variable, plan.partition()).map_err(|e| e.to_string())?;
+        let collector = DenseSlabOutput::new(dir, &query.variable, plan.partition())
+            .map_err(|e| e.to_string())?;
         // Group records by keyblock and commit through the collector.
         use sidr_repro::mapreduce::{OutputCollector, RoutingPlan};
         let mut per_block: Vec<Vec<(sidr_repro::coords::Coord, f64)>> = vec![Vec::new(); reducers];
@@ -232,7 +236,10 @@ fn cmd_query(positional: &[String], flags: &HashMap<String, String>) -> Result<(
         for (r, records) in per_block.into_iter().enumerate() {
             collector.commit(r, records).map_err(|e| e.to_string())?;
         }
-        println!("wrote {} dense part files to {dir}", collector.files().len());
+        println!(
+            "wrote {} dense part files to {dir}",
+            collector.files().len()
+        );
         if let Some(combined) = flags.get("combined") {
             reassemble_dense_output(
                 &collector.files(),
@@ -288,9 +295,7 @@ fn cmd_simulate(positional: &[String], flags: &HashMap<String, String>) -> Resul
         .unwrap_or(22);
     let mut workload = SimWorkload::new(query, mode, reducers);
     if let Some(sel) = flags.get("selectivity") {
-        workload.selectivity = sel
-            .parse()
-            .map_err(|e| format!("bad --selectivity: {e}"))?;
+        workload.selectivity = sel.parse().map_err(|e| format!("bad --selectivity: {e}"))?;
     }
     let job = build_sim_job(&workload).map_err(|e| e.to_string())?;
     let trace = simulate(&job, &SimClusterConfig::default(), &CostModel::default());
@@ -315,6 +320,10 @@ fn cmd_plan(positional: &[String], flags: &HashMap<String, String>) -> Result<()
         .build(&splits)
         .map_err(|e| e.to_string())?;
     let spec = JobSpec::from_plan(&query, &splits, &plan).map_err(|e| e.to_string())?;
+    if let Some(path) = flags.get("spec") {
+        std::fs::write(path, spec.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("submission document written to {path} (verify with sidr-lint --spec {path})");
+    }
     println!(
         "query space {} -> intermediate space {}",
         query.input_space(),
@@ -338,7 +347,11 @@ fn cmd_plan(positional: &[String], flags: &HashMap<String, String>) -> Result<()
             .partition()
             .keyblock_key_count(r)
             .map_err(|e| e.to_string())?;
-        println!("  keyblock {r}: {keys} keys, I_l = {} maps {:?}", deps.len(), deps);
+        println!(
+            "  keyblock {r}: {keys} keys, I_l = {} maps {:?}",
+            deps.len(),
+            deps
+        );
     }
     if reducers > 8 {
         println!("  ... ({} more keyblocks)", reducers - 8);

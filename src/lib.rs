@@ -15,7 +15,10 @@
 //! * [`core`] — SIDR itself: structural queries, `partition+`,
 //!   dependency derivation, inverted scheduling, early results,
 //! * [`simcluster`] — a discrete-event simulator of the paper's
-//!   25-node cluster for the paper-scale figures.
+//!   25-node cluster for the paper-scale figures,
+//! * [`analyze`] — the static plan verifier (`sidr-lint`): proves
+//!   coverage, dependency, skew, scheduling and conservation
+//!   invariants before any task runs.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,7 @@
 //! println!("{} weekly averages", outcome.records.len());
 //! ```
 
+pub use sidr_analyze as analyze;
 pub use sidr_coords as coords;
 pub use sidr_dfs as dfs;
 pub use sidr_mapreduce as mapreduce;

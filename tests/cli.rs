@@ -119,7 +119,12 @@ fn bad_inputs_fail_cleanly() {
     // Unparseable query.
     let data = dir.join("q.scinc");
     run(sidr().args([
-        "generate", "--kind", "windspeed", "--shape", "8,8", "--out",
+        "generate",
+        "--kind",
+        "windspeed",
+        "--shape",
+        "8,8",
+        "--out",
         data.to_str().unwrap(),
     ]));
     let (ok, text) = run(sidr().args([

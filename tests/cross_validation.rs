@@ -5,9 +5,9 @@
 //! This pins the simulator — which regenerates the paper-scale
 //! figures — to ground truth.
 
+use sidr_repro::coords::Shape;
 use sidr_repro::core::framework::RunOptions;
 use sidr_repro::core::{run_query, FrameworkMode, Operator, StructuralQuery};
-use sidr_repro::coords::Shape;
 use sidr_repro::scifile::gen::{DatasetSpec, ValueModel};
 use sidr_repro::simcluster::{build_sim_job, SimWorkload};
 
@@ -102,5 +102,8 @@ fn simulator_and_engine_agree_on_skipped_maps() {
         needed.iter().filter(|&&n| !n).count() as u64
     };
     assert_eq!(real.result.counters.maps_skipped, sim_skipped);
-    assert!(sim_skipped >= 1, "the all-discarded split should be skipped");
+    assert!(
+        sim_skipped >= 1,
+        "the all-discarded split should be skipped"
+    );
 }

@@ -22,7 +22,12 @@ fn temp_path(name: &str) -> std::path::PathBuf {
     dir.join(format!("{name}-{}.scinc", std::process::id()))
 }
 
-fn make_dataset(name: &str, space: &[u64], model: ValueModel, seed: u64) -> (ScincFile, DatasetSpec) {
+fn make_dataset(
+    name: &str,
+    space: &[u64],
+    model: ValueModel,
+    seed: u64,
+) -> (ScincFile, DatasetSpec) {
     let spec = DatasetSpec {
         variable: "v".into(),
         dim_names: (0..space.len()).map(|i| format!("d{i}")).collect(),
@@ -54,7 +59,12 @@ fn ground_truth(q: &StructuralQuery, spec: &DatasetSpec) -> Vec<(Coord, f64)> {
 
 #[test]
 fn every_operator_agrees_across_all_modes() {
-    let (file, spec) = make_dataset("ops", &[24, 8, 6], ValueModel::Uniform { lo: -5.0, hi: 5.0 }, 9);
+    let (file, spec) = make_dataset(
+        "ops",
+        &[24, 8, 6],
+        ValueModel::Uniform { lo: -5.0, hi: 5.0 },
+        9,
+    );
     for op in [
         Operator::Mean,
         Operator::Median,
@@ -67,11 +77,19 @@ fn every_operator_agrees_across_all_modes() {
         Operator::Variance,
         Operator::Range,
         Operator::Percentile { p: 75.0 },
-        Operator::Histogram { lo: -5.0, hi: 5.0, buckets: 4 },
+        Operator::Histogram {
+            lo: -5.0,
+            hi: 5.0,
+            buckets: 4,
+        },
     ] {
         let q = StructuralQuery::new("v", shape(&[24, 8, 6]), shape(&[3, 2, 3]), op).unwrap();
         let expect = ground_truth(&q, &spec);
-        for mode in [FrameworkMode::Hadoop, FrameworkMode::SciHadoop, FrameworkMode::Sidr] {
+        for mode in [
+            FrameworkMode::Hadoop,
+            FrameworkMode::SciHadoop,
+            FrameworkMode::Sidr,
+        ] {
             let mut opts = RunOptions::new(mode, 3);
             opts.split_bytes = 8 * 6 * 8 * 5;
             opts.validate_annotations = mode == FrameworkMode::Sidr;
@@ -119,8 +137,8 @@ fn strided_query_end_to_end() {
 #[test]
 fn sidr_commits_in_keyblock_order_and_results_are_final() {
     let (file, spec) = make_dataset("early", &[48, 6, 6], ValueModel::LinearIndex, 0);
-    let q = StructuralQuery::new("v", shape(&[48, 6, 6]), shape(&[4, 3, 3]), Operator::Mean)
-        .unwrap();
+    let q =
+        StructuralQuery::new("v", shape(&[48, 6, 6]), shape(&[4, 3, 3]), Operator::Mean).unwrap();
     let mut opts = RunOptions::new(FrameworkMode::Sidr, 4);
     opts.split_bytes = 6 * 6 * 8 * 4;
     opts.map_think = std::time::Duration::from_millis(2);
@@ -191,7 +209,10 @@ fn dense_output_files_reassemble_the_full_output_space() {
             assert!((data[i] - expect).abs() < 1e-9);
         }
     }
-    assert!(seen.iter().all(|&s| s), "some K' keys missing from dense output");
+    assert!(
+        seen.iter().all(|&s| s),
+        "some K' keys missing from dense output"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -206,7 +227,11 @@ fn discarded_partial_region_is_dropped_consistently() {
     let q = StructuralQuery::new("v", shape(&[26, 6]), shape(&[4, 6]), Operator::Sum).unwrap();
     let expect = ground_truth(&q, &spec);
     assert_eq!(expect.len(), 6, "6 full instances of 24 values");
-    for mode in [FrameworkMode::Hadoop, FrameworkMode::SciHadoop, FrameworkMode::Sidr] {
+    for mode in [
+        FrameworkMode::Hadoop,
+        FrameworkMode::SciHadoop,
+        FrameworkMode::Sidr,
+    ] {
         let mut opts = RunOptions::new(mode, 2);
         opts.split_bytes = 6 * 8 * 2; // 2 rows per split -> 13 splits
         opts.validate_annotations = mode == FrameworkMode::Sidr;

@@ -2,8 +2,8 @@
 //! cluster simulator (the `sidr-experiments` binaries run the same
 //! checks at paper scale).
 
-use sidr_repro::core::{FrameworkMode, Operator, StructuralQuery};
 use sidr_repro::coords::Shape;
+use sidr_repro::core::{FrameworkMode, Operator, StructuralQuery};
 use sidr_repro::simcluster::workload::{connection_count, hash_key_weights, HashKeyModel};
 use sidr_repro::simcluster::{build_sim_job, simulate, CostModel, SimClusterConfig, SimWorkload};
 
@@ -74,7 +74,11 @@ fn fig9_headline_first_result_with_small_fraction_of_maps() {
     let (_, base) = small_query1();
     let sidr = run(&base);
     let frac = sidr.maps_done_at_first_result();
-    assert!(frac < 0.35, "first result only after {:.0} % of maps", frac * 100.0);
+    assert!(
+        frac < 0.35,
+        "first result only after {:.0} % of maps",
+        frac * 100.0
+    );
 }
 
 #[test]
@@ -202,6 +206,9 @@ fn table3_connection_scaling() {
         })
         .unwrap();
         assert_eq!(hadoop, maps * r as u64, "Hadoop contacts everything");
-        assert!(sidr < maps * 2, "SIDR connections {sidr} not near map count {maps}");
+        assert!(
+            sidr < maps * 2,
+            "SIDR connections {sidr} not near map count {maps}"
+        );
     }
 }

@@ -12,11 +12,9 @@ use proptest::prelude::*;
 use sidr_repro::coords::{Coord, Shape};
 use sidr_repro::core::deps::Dependencies;
 use sidr_repro::core::framework::RunOptions;
-use sidr_repro::core::{
-    run_query, FrameworkMode, Operator, PartitionPlus, StructuralQuery,
-};
-use sidr_repro::scifile::gen::{DatasetSpec, ValueModel};
+use sidr_repro::core::{run_query, FrameworkMode, Operator, PartitionPlus, StructuralQuery};
 use sidr_repro::mapreduce::SplitGenerator;
+use sidr_repro::scifile::gen::{DatasetSpec, ValueModel};
 
 /// Random (space, extraction) pair of rank 1-3 with extents 2-16 and
 /// a fitting extraction shape.
@@ -152,8 +150,8 @@ proptest! {
                 actual[RoutingPlan::partition(&plan, &kp)] += 1;
             }
         }
-        for r in 0..reducers {
-            prop_assert_eq!(plan.expected_raw_count(r), Some(actual[r]), "reducer {}", r);
+        for (r, &count) in actual.iter().enumerate() {
+            prop_assert_eq!(plan.expected_raw_count(r), Some(count), "reducer {}", r);
         }
     }
 

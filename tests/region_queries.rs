@@ -37,8 +37,9 @@ fn region_query_reads_only_the_region_and_is_correct() {
     let (file, spec) = dataset("correct", &space);
     // T = corner {8, 2}, shape {24, 8}; weekly-ish 4x4 units.
     let region = slab(&[8, 2], &[24, 8]);
-    let q = StructuralQuery::over_region("v", &space, region.clone(), shape(&[4, 4]), Operator::Sum)
-        .unwrap();
+    let q =
+        StructuralQuery::over_region("v", &space, region.clone(), shape(&[4, 4]), Operator::Sum)
+            .unwrap();
     assert_eq!(q.intermediate_space(), shape(&[6, 2]));
 
     // Ground truth from absolute preimages.
@@ -50,7 +51,11 @@ fn region_query_reads_only_the_region_and_is_correct() {
         expect.push((kp, sum));
     }
 
-    for mode in [FrameworkMode::Hadoop, FrameworkMode::SciHadoop, FrameworkMode::Sidr] {
+    for mode in [
+        FrameworkMode::Hadoop,
+        FrameworkMode::SciHadoop,
+        FrameworkMode::Sidr,
+    ] {
         let mut opts = RunOptions::new(mode, 3);
         opts.split_bytes = 8 * 8 * 8; // 8 region rows x 8 cols of f64
         opts.validate_annotations = mode == FrameworkMode::Sidr;
@@ -70,8 +75,9 @@ fn region_splits_stay_inside_the_region() {
     let space = shape(&[64, 10]);
     let (file, _) = dataset("splits", &space);
     let region = slab(&[16, 0], &[32, 10]);
-    let q = StructuralQuery::over_region("v", &space, region.clone(), shape(&[8, 5]), Operator::Mean)
-        .unwrap();
+    let q =
+        StructuralQuery::over_region("v", &space, region.clone(), shape(&[8, 5]), Operator::Mean)
+            .unwrap();
     for mode in [FrameworkMode::Hadoop, FrameworkMode::Sidr] {
         let splits = generate_splits(&file, &q, mode, 10 * 8 * 8).unwrap();
         assert!(splits.len() > 1);
