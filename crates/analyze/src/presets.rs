@@ -21,6 +21,10 @@ pub struct PresetJob {
 /// The available preset names.
 pub fn preset_names() -> &'static [(&'static str, &'static str)] {
     &[
+        (
+            "query1-tiny",
+            "CI-scale Query 1 analog: 2.5 MB dataset, 24 keyblocks' worth of keys",
+        ),
         ("query1-small", "laptop-scale Query 1 (§5), 22 keyblocks"),
         ("query2-small", "laptop-scale Query 2 (§5), 10 keyblocks"),
         (
@@ -41,6 +45,32 @@ pub fn preset_names() -> &'static [(&'static str, &'static str)] {
 /// Builds a preset by name.
 pub fn preset(name: &str) -> Option<PresetJob> {
     match name {
+        "query1-tiny" => {
+            // Query 1's geometry scaled until the dataset fits in a CI
+            // artifact: {48,36,36,10} f32 inputs (~2.5 MB), averaged
+            // over 2-row windows → K′ᵀ = {24,1,1,1}. Small enough that
+            // `sidr-submit --generate` builds it in well under a
+            // second, structured enough that 12 maps feed 4 keyblocks
+            // with real dependency overlap.
+            let query = StructuralQuery::new(
+                "windspeed",
+                Shape::new(vec![48, 36, 36, 10]).expect("valid"),
+                Shape::new(vec![2, 36, 36, 10]).expect("valid"),
+                Operator::Mean,
+            )
+            .expect("query is structural");
+            // Four extraction-aligned rows per split → 12 map tasks.
+            let splits = SplitGenerator::new(query.input_space().clone(), 4)
+                .aligned(36 * 36 * 10 * 4 * 4, 2)
+                .expect("splits generate");
+            Some(PresetJob {
+                name: "query1-tiny",
+                about: "CI-scale Query 1 analog",
+                query,
+                splits,
+                reducer_counts: vec![4],
+            })
+        }
         "query1-small" => {
             let query = StructuralQuery::query1_small().expect("paper query is valid");
             let splits = aligned_splits(&query, 4, 1 << 20);

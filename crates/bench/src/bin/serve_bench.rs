@@ -1,0 +1,283 @@
+//! `serve-bench`: macro-benchmark of the serving path.
+//!
+//! Drives N concurrent submissions through an in-process `sidr-serve`
+//! instance sharing one slot pool, and compares time-to-first-keyblock
+//! against the global-barrier baseline (SciHadoop mode: structure-
+//! aware splits, stock routing — no result before the last map).
+//! Emits `results/BENCH_serve.json`:
+//!
+//! ```text
+//! cargo run --release -p sidr-bench --bin serve-bench
+//! cargo run --release -p sidr-bench --bin serve-bench -- --jobs 32 --clients 8
+//! ```
+//!
+//! Reported: sustained jobs/sec through the service, p50/p99
+//! time-to-first-keyblock (server-side commit clock, the same clock
+//! the baseline's timeline uses), and the early-result speedup over
+//! the barrier baseline (§4.1's headline, as a service-level metric).
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use sidr_analyze::presets;
+use sidr_core::framework::{run_query, FrameworkMode, RunOptions};
+use sidr_core::spec::JobSpec;
+use sidr_core::SidrPlanner;
+use sidr_scifile::gen::{DatasetSpec, ValueModel};
+use sidr_scifile::ScincFile;
+use sidr_serve::{Client, Server, ServerConfig, SubmitOptions};
+
+struct Args {
+    jobs: usize,
+    clients: usize,
+    map_slots: usize,
+    reduce_slots: usize,
+    map_think_ms: u64,
+    baseline_runs: usize,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            jobs: 16,
+            clients: 4,
+            map_slots: 4,
+            reduce_slots: 2,
+            map_think_ms: 5,
+            baseline_runs: 6,
+            out: "results/BENCH_serve.json".into(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> Result<usize, String> {
+            let v = it.next().ok_or(format!("{name} needs a value"))?;
+            v.parse().map_err(|_| format!("bad value {v:?} for {name}"))
+        };
+        match arg.as_str() {
+            "--jobs" => args.jobs = num("--jobs")?,
+            "--clients" => args.clients = num("--clients")?,
+            "--map-slots" => args.map_slots = num("--map-slots")?,
+            "--reduce-slots" => args.reduce_slots = num("--reduce-slots")?,
+            "--map-think-ms" => args.map_think_ms = num("--map-think-ms")? as u64,
+            "--baseline-runs" => args.baseline_runs = num("--baseline-runs")?,
+            "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.jobs == 0 || args.clients == 0 {
+        return Err("--jobs and --clients must be nonzero".into());
+    }
+    Ok(args)
+}
+
+#[derive(Serialize)]
+struct Percentiles {
+    p50_ms: u64,
+    p99_ms: u64,
+}
+
+#[derive(Serialize)]
+struct ServeSide {
+    jobs_per_sec: f64,
+    wall_ms: u64,
+    ttfb: Percentiles,
+    job_time: Percentiles,
+}
+
+#[derive(Serialize)]
+struct BaselineSide {
+    /// TTFB under a global barrier at the same concurrency: no
+    /// result can precede the job's last map, so first delivery ≈
+    /// job completion (reduces on this workload are instantaneous).
+    /// Taken from the serve runs' own completion times — identical
+    /// load, identical pool.
+    matched_load_ttfb: Percentiles,
+    /// TTFB of solo `run_query` executions in SciHadoop mode (global
+    /// barrier, no pool contention) — a lower-bound reference.
+    solo_runs: usize,
+    solo_ttfb: Percentiles,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: String,
+    jobs: usize,
+    clients: usize,
+    map_slots: usize,
+    reduce_slots: usize,
+    map_think_ms: u64,
+    serve: ServeSide,
+    global_barrier_baseline: BaselineSide,
+    /// Matched-load barrier p50 TTFB over streaming p50 TTFB — the
+    /// service-level early-result speedup (§4.1's headline as a
+    /// multi-tenant metric).
+    ttfb_speedup_p50: f64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
+fn percentiles(mut samples: Vec<u64>) -> Percentiles {
+    samples.sort_unstable();
+    Percentiles {
+        p50_ms: percentile(&samples, 50.0),
+        p99_ms: percentile(&samples, 99.0),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("serve-bench: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Fixture: the CI-scale preset and its generated dataset.
+    let job = presets::preset("query1-tiny").expect("preset exists");
+    let plan = SidrPlanner::new(&job.query, job.reducer_counts[0])
+        .build(&job.splits)
+        .expect("preset plans");
+    let spec = JobSpec::from_plan(&job.query, &job.splits, &plan).expect("spec builds");
+    let dir = std::env::temp_dir().join("sidr-serve-bench");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let input = dir.join(format!("tiny-{}.scinc", std::process::id()));
+    let space = job.query.input_space().clone();
+    DatasetSpec {
+        variable: job.query.variable.clone(),
+        dim_names: (0..space.rank()).map(|d| format!("d{d}")).collect(),
+        space,
+        model: ValueModel::LinearIndex,
+        seed: 0,
+    }
+    .generate::<f32>(&input)
+    .expect("dataset generates");
+    let input = input.to_string_lossy().into_owned();
+
+    // ---- Serve side: N jobs through C concurrent clients. ----
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            map_slots: args.map_slots,
+            reduce_slots: args.reduce_slots,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.handle();
+    thread::spawn(move || server.run());
+
+    let next = AtomicUsize::new(0);
+    let ttfb_samples = Mutex::new(Vec::new());
+    let job_samples = Mutex::new(Vec::new());
+    let started = Instant::now();
+    thread::scope(|s| {
+        for _ in 0..args.clients {
+            s.spawn(|| {
+                let mut client = Client::connect(addr).expect("client connects");
+                while next.fetch_add(1, Ordering::Relaxed) < args.jobs {
+                    let submitted = Instant::now();
+                    let ticket = client
+                        .submit(
+                            &spec,
+                            &input,
+                            SubmitOptions {
+                                map_think_ms: args.map_think_ms,
+                                ..SubmitOptions::default()
+                            },
+                        )
+                        .expect("submission accepted");
+                    let mut first_ms = None;
+                    client
+                        .stream_job(ticket.job, |_, at_ms, _| {
+                            first_ms.get_or_insert(at_ms);
+                        })
+                        .expect("job completes");
+                    let total = submitted.elapsed().as_millis() as u64;
+                    if let Some(ms) = first_ms {
+                        ttfb_samples.lock().unwrap().push(ms);
+                    }
+                    job_samples.lock().unwrap().push(total);
+                }
+            });
+        }
+    });
+    let wall = started.elapsed();
+    handle.shutdown();
+
+    // ---- Baseline: the same query under the global barrier. ----
+    let file = ScincFile::open(&input).expect("dataset opens");
+    let mut barrier_ttfb = Vec::new();
+    for _ in 0..args.baseline_runs {
+        let mut opts = RunOptions::new(FrameworkMode::SciHadoop, job.reducer_counts[0]);
+        opts.map_slots = args.map_slots;
+        opts.reduce_slots = args.reduce_slots;
+        opts.map_think = Duration::from_millis(args.map_think_ms);
+        let outcome = run_query(&file, &job.query, &opts).expect("baseline runs");
+        let first = outcome
+            .result
+            .first_result()
+            .expect("baseline commits results");
+        barrier_ttfb.push(first.as_millis() as u64);
+    }
+
+    let serve_ttfb = percentiles(ttfb_samples.into_inner().unwrap());
+    let job_time_samples = job_samples.into_inner().unwrap();
+    let job_time = percentiles(job_time_samples.clone());
+    let matched = percentiles(job_time_samples);
+    let speedup = if serve_ttfb.p50_ms > 0 {
+        matched.p50_ms as f64 / serve_ttfb.p50_ms as f64
+    } else {
+        f64::INFINITY
+    };
+    let report = BenchReport {
+        bench: "sidr-serve multi-tenant streaming".into(),
+        jobs: args.jobs,
+        clients: args.clients,
+        map_slots: args.map_slots,
+        reduce_slots: args.reduce_slots,
+        map_think_ms: args.map_think_ms,
+        serve: ServeSide {
+            jobs_per_sec: args.jobs as f64 / wall.as_secs_f64(),
+            wall_ms: wall.as_millis() as u64,
+            ttfb: serve_ttfb,
+            job_time,
+        },
+        global_barrier_baseline: BaselineSide {
+            matched_load_ttfb: matched,
+            solo_runs: args.baseline_runs,
+            solo_ttfb: percentiles(barrier_ttfb),
+        },
+        ttfb_speedup_p50: speedup,
+    };
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    if let Some(parent) = std::path::Path::new(&args.out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("serve-bench: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    std::fs::remove_file(&input).ok();
+    ExitCode::SUCCESS
+}

@@ -31,7 +31,7 @@ pub type KeyblockId = usize;
 
 /// A contiguous partition of an intermediate keyspace into `r`
 /// keyblocks.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ContiguousPartition {
     space: Shape,
     tiling: Tiling,
@@ -47,7 +47,7 @@ pub struct ContiguousPartition {
 
 /// Exported description of a single keyblock: its instance run, the
 /// slabs of `K′` it covers, and its exact key count.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KeyblockSpec {
     pub id: KeyblockId,
     /// Row-major skew-shape instance run `[start, end)`.

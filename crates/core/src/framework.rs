@@ -11,8 +11,8 @@ use std::time::Duration;
 
 use sidr_coords::{Coord, Slab};
 use sidr_mapreduce::{
-    run_job, CoordHashPartitioner, DefaultPlan, InMemoryOutput, InputSplit, JobConfig, JobResult,
-    RoutingPlan, SplitGenerator,
+    run_job, run_job_shared, CancelToken, CoordHashPartitioner, DefaultPlan, InMemoryOutput,
+    InputSplit, JobConfig, JobResult, OutputCollector, RoutingPlan, SlotPool, SplitGenerator,
 };
 use sidr_scifile::{DataType, Element, ScincFile};
 
@@ -20,6 +20,7 @@ use crate::operators::OperatorReducer;
 use crate::plan::SidrPlanner;
 use crate::query::StructuralQuery;
 use crate::source::{scinc_source_factory, StructuralMapper};
+use crate::spec::JobSpec;
 use crate::{Result, SidrError};
 
 /// Which framework executes the query.
@@ -247,6 +248,107 @@ fn run_typed<E: Element>(
         num_maps: splits.len(),
         reducer_key_counts,
     })
+}
+
+/// Options for executing a pre-serialized [`JobSpec`] (the serving
+/// path): the knobs a *submitter* may set, as opposed to the
+/// cluster-owned knobs ([`SlotPool`] size, spill policy) that belong
+/// to the server.
+#[derive(Clone, Debug, Default)]
+pub struct SpecRunOptions {
+    /// Client-supplied keyblock priority: keyblocks covering this
+    /// region of `K′` are scheduled first (§3.4 computational
+    /// steering). Overrides the spec's stored `reduce_order`.
+    pub priority_region: Option<Slab>,
+    /// Cross-check count annotations before each reduce (§3.2.1
+    /// approach 2).
+    pub validate_annotations: bool,
+    /// Push a `Filter` operator's predicate below the shuffle
+    /// (disables annotation validation; output unchanged).
+    pub filter_pushdown: bool,
+    /// Artificial per-task costs (demos and scheduling tests).
+    pub map_think: Duration,
+    pub reduce_think: Duration,
+}
+
+/// Executes a serialized job submission against `file` on a shared
+/// [`SlotPool`], committing every keyblock through `output` the moment
+/// its reduce finishes.
+///
+/// This is the multi-tenant serving entry point: the spec's own splits
+/// are used verbatim (the wire contract — what `sidr plan --spec`
+/// exported and `sidr-lint` / the server's admission pre-flight
+/// verified is exactly what runs), the plan is re-derived from the
+/// spec's query over those splits, and the pool bounds this job's
+/// slot usage *jointly with every other job sharing it*. Pass a
+/// [`CancelToken`] to make the job abandonable mid-flight.
+pub fn run_spec_on_pool(
+    file: &ScincFile,
+    spec: &JobSpec,
+    opts: &SpecRunOptions,
+    output: &dyn OutputCollector<Coord, f64>,
+    pool: &SlotPool,
+    cancel: Option<&CancelToken>,
+) -> Result<JobResult> {
+    let query = spec.query()?;
+    let var = file.metadata().variable(&query.variable)?;
+    match var.dtype {
+        DataType::I32 => run_spec_typed::<i32>(file, spec, &query, opts, output, pool, cancel),
+        DataType::I64 => run_spec_typed::<i64>(file, spec, &query, opts, output, pool, cancel),
+        DataType::F32 => run_spec_typed::<f32>(file, spec, &query, opts, output, pool, cancel),
+        DataType::F64 => run_spec_typed::<f64>(file, spec, &query, opts, output, pool, cancel),
+    }
+}
+
+fn run_spec_typed<E: Element>(
+    file: &ScincFile,
+    spec: &JobSpec,
+    query: &StructuralQuery,
+    opts: &SpecRunOptions,
+    output: &dyn OutputCollector<Coord, f64>,
+    pool: &SlotPool,
+    cancel: Option<&CancelToken>,
+) -> Result<JobResult> {
+    let pushdown = match (opts.filter_pushdown, query.operator) {
+        (true, crate::operators::Operator::Filter { threshold }) => Some(threshold),
+        _ => None,
+    };
+    let mut mapper = StructuralMapper::for_query(query);
+    if let Some(threshold) = pushdown {
+        mapper = mapper.push_down_filter(threshold);
+    }
+    let reducer = OperatorReducer { op: query.operator };
+    let combiner = query.operator.combiner();
+    // The planner re-derives the geometry the spec promised; the
+    // admission pre-flight (`sidr_analyze::analyze_spec`) has already
+    // proven the stored tables against it, so the cheap structural
+    // pre-flight inside `build` is skipped.
+    let mut planner = SidrPlanner::new(query, spec.num_reducers).skip_preflight();
+    if let Some(region) = &opts.priority_region {
+        planner = planner.prioritize_region(region.clone());
+    }
+    let plan = planner.build(&spec.splits)?;
+    let config = JobConfig {
+        validate_annotations: opts.validate_annotations && pushdown.is_none(),
+        map_think: opts.map_think,
+        reduce_think: opts.reduce_think,
+        ..Default::default()
+    };
+    let source_factory = scinc_source_factory::<E>(file, &query.variable);
+    Ok(run_job_shared(
+        &spec.splits,
+        &source_factory,
+        &mapper,
+        combiner
+            .as_ref()
+            .map(|c| c as &dyn sidr_mapreduce::Combiner<Key = Coord, Value = f64>),
+        &reducer,
+        &plan as &dyn RoutingPlan<Coord>,
+        output,
+        &config,
+        pool,
+        cancel,
+    )?)
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ use crate::Result;
 /// let first = Coord::from([0, 0, 0]);
 /// assert_eq!(Partitioner::partition(&pp, &first, 22), 0);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PartitionPlus {
     partition: ContiguousPartition,
     /// Per-dimension divisor by the skew-shape stride.
@@ -62,7 +62,7 @@ pub struct PartitionPlus {
 /// `n·d < 2⁶⁴` — always true here because `n` is a coordinate and `d`
 /// a stride of the same space, whose element count fits `u64` by
 /// `Shape`'s construction invariant.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct MagicDiv {
     d: u64,
     m: u64,

@@ -31,7 +31,7 @@ use crate::query::StructuralQuery;
 /// [`SidrPlan`] is immutable by design; the verifier instead works on
 /// this open mirror of it, so the mutation tests in `sidr-analyze`
 /// can hand-corrupt each invariant and prove the verifier catches it.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PlanView {
     /// The keyblock geometry under scrutiny.
     pub partition: PartitionPlus,

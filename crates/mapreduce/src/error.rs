@@ -26,6 +26,9 @@ pub enum MrError {
     },
     /// Output collection failed.
     Output(String),
+    /// The job was cancelled through its `CancelToken` before it
+    /// completed (serving path: client cancel or admission revoke).
+    Cancelled,
 }
 
 impl fmt::Display for MrError {
@@ -45,6 +48,7 @@ impl fmt::Display for MrError {
                  reduce would start on insufficient input"
             ),
             MrError::Output(msg) => write!(f, "output error: {msg}"),
+            MrError::Cancelled => write!(f, "job cancelled"),
         }
     }
 }

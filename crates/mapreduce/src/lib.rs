@@ -44,7 +44,9 @@ pub use error::MrError;
 pub use output::{InMemoryOutput, OutputCollector};
 pub use partitioner::{CoordHashPartitioner, ModuloPartitioner, Partitioner};
 pub use plan::{DefaultPlan, RoutingPlan};
-pub use runtime::{run_job, JobConfig, JobResult};
+pub use runtime::{
+    run_job, run_job_shared, CancelToken, JobConfig, JobResult, SlotOccupancy, SlotPool,
+};
 pub use shuffle::{merge_files, MapOutputBuilder, MapOutputFile, ShuffleStore, SpillCodec};
 pub use split::{InputSplit, MapTaskId, SplitGenerator};
 pub use task::{

@@ -2,16 +2,24 @@
 //! barrier policies, inverted scheduling, fault injection and
 //! dependency-based recovery.
 //!
-//! The runtime executes one job at a time over `map_slots` map workers
-//! and `reduce_slots` reduce workers (Hadoop's per-TaskTracker slots,
-//! §4: 4 map + 3 reduce per node). Reduce tasks occupy a slot from the
-//! start of their copy phase, fetching map outputs as the maps finish
-//! — the overlap stock Hadoop already has — and begin their merge +
-//! reduce only when their barrier is met: *all* maps under the global
-//! barrier, or exactly their dependency set `I_ℓ` under a SIDR plan
-//! (§3.2, Fig. 4).
+//! Slots are owned by a [`SlotPool`] — the cluster-wide map and reduce
+//! capacity (Hadoop's per-TaskTracker slots, §4: 4 map + 3 reduce per
+//! node). [`run_job`] runs one job over a pool of its own;
+//! [`run_job_shared`] runs a job against a pool *shared with other
+//! concurrently running jobs* (the serving path), so the whole
+//! cluster's slot budget is enforced across jobs rather than per job.
+//! Reduce tasks occupy a slot from the start of their copy phase,
+//! fetching map outputs as the maps finish — the overlap stock Hadoop
+//! already has — and begin their merge + reduce only when their
+//! barrier is met: *all* maps under the global barrier, or exactly
+//! their dependency set `I_ℓ` under a SIDR plan (§3.2, Fig. 4).
+//!
+//! Jobs are cancellable via a [`CancelToken`]: workers observe the
+//! token at every blocking point and abandon the job with
+//! [`MrError::Cancelled`].
 
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -69,6 +77,141 @@ impl Default for JobConfig {
             reduce_think: Duration::ZERO,
             spill_dir: None,
             map_spill_records: None,
+        }
+    }
+}
+
+/// How long blocked workers sleep between re-checks of failure and
+/// cancellation flags. Bounds cancel latency; notifications still wake
+/// workers immediately on ordinary progress.
+const WAIT_TICK: Duration = Duration::from_millis(25);
+
+/// Cooperative cancellation for a running job.
+///
+/// Cloning shares the flag: the serving layer keeps one clone per
+/// `JobHandle` while the runtime's workers poll another. Cancellation
+/// is observed at every blocking point (slot acquisition, eligibility
+/// and barrier waits), so a cancelled job unwinds within a few wait
+/// ticks and `run_job_shared` returns [`MrError::Cancelled`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A counting semaphore over one slot class (map or reduce).
+#[derive(Debug)]
+struct Semaphore {
+    total: usize,
+    busy: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    fn new(total: usize) -> Self {
+        Semaphore {
+            total,
+            busy: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Occupies one slot, blocking until one frees. Returns `false`
+    /// without occupying anything if `abort()` turns true first.
+    fn acquire(&self, abort: &dyn Fn() -> bool) -> bool {
+        let mut busy = self.busy.lock();
+        while *busy >= self.total {
+            if abort() {
+                return false;
+            }
+            self.cv.wait_for(&mut busy, WAIT_TICK);
+        }
+        *busy += 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut busy = self.busy.lock();
+        debug_assert!(*busy > 0, "slot released but none occupied");
+        *busy -= 1;
+        drop(busy);
+        self.cv.notify_one();
+    }
+
+    fn in_use(&self) -> usize {
+        *self.busy.lock()
+    }
+}
+
+/// Occupied slot; releases on drop.
+struct SlotGuard<'p>(&'p Semaphore);
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+/// The cluster-wide slot capacity: `map_slots` concurrent Map tasks
+/// and `reduce_slots` concurrent Reduce tasks, *across every job
+/// sharing the pool*. Wrap it in an `Arc` and pass it to
+/// [`run_job_shared`] from multiple threads to multiplex jobs over one
+/// cluster's worth of slots — the multi-tenant serving configuration.
+#[derive(Debug)]
+pub struct SlotPool {
+    map: Semaphore,
+    reduce: Semaphore,
+}
+
+/// Point-in-time slot usage, for server stats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotOccupancy {
+    pub map_busy: usize,
+    pub map_total: usize,
+    pub reduce_busy: usize,
+    pub reduce_total: usize,
+}
+
+impl SlotPool {
+    /// Builds a pool; both slot classes must be non-empty.
+    pub fn new(map_slots: usize, reduce_slots: usize) -> Result<Self> {
+        if map_slots == 0 || reduce_slots == 0 {
+            return Err(MrError::BadConfig(
+                "map_slots and reduce_slots must be > 0".into(),
+            ));
+        }
+        Ok(SlotPool {
+            map: Semaphore::new(map_slots),
+            reduce: Semaphore::new(reduce_slots),
+        })
+    }
+
+    pub fn map_slots(&self) -> usize {
+        self.map.total
+    }
+
+    pub fn reduce_slots(&self) -> usize {
+        self.reduce.total
+    }
+
+    pub fn occupancy(&self) -> SlotOccupancy {
+        SlotOccupancy {
+            map_busy: self.map.in_use(),
+            map_total: self.map.total,
+            reduce_busy: self.reduce.in_use(),
+            reduce_total: self.reduce.total,
         }
     }
 }
@@ -140,6 +283,8 @@ struct Shared<'j, K2: MrKey, V2: MrValue> {
     error: Mutex<Option<MrError>>,
     plan: &'j dyn RoutingPlan<K2>,
     config: &'j JobConfig,
+    pool: &'j SlotPool,
+    cancel: Option<&'j CancelToken>,
     num_maps: usize,
 }
 
@@ -149,12 +294,28 @@ impl<K2: MrKey, V2: MrValue> Shared<'_, K2, V2> {
         if slot.is_none() {
             *slot = Some(err);
         }
+        drop(slot);
         self.state.lock().failed = true;
         self.cv.notify_all();
     }
+
+    fn cancel_requested(&self) -> bool {
+        self.cancel.is_some_and(|c| c.is_cancelled())
+    }
+
+    /// When cancellation was requested, records it as the job failure
+    /// (first error wins) and returns true.
+    fn observe_cancel(&self) -> bool {
+        if self.cancel_requested() {
+            self.fail(MrError::Cancelled);
+            return true;
+        }
+        false
+    }
 }
 
-/// Runs one MapReduce job to completion.
+/// Runs one MapReduce job to completion on a slot pool of its own
+/// (sized from `config.map_slots` / `config.reduce_slots`).
 ///
 /// * `splits` — the input splits (one Map task each),
 /// * `source_factory` — opens the RecordReader for a split,
@@ -181,11 +342,52 @@ where
     SF: Fn(MapTaskId, &InputSplit) -> Result<S> + Sync,
     S: RecordSource<Key = K1, Value = V1>,
 {
-    if config.map_slots == 0 || config.reduce_slots == 0 {
-        return Err(MrError::BadConfig(
-            "map_slots and reduce_slots must be > 0".into(),
-        ));
-    }
+    let pool = SlotPool::new(config.map_slots, config.reduce_slots)?;
+    run_job_shared(
+        splits,
+        source_factory,
+        mapper,
+        combiner,
+        reducer,
+        plan,
+        output,
+        config,
+        &pool,
+        None,
+    )
+}
+
+/// Runs one MapReduce job over a [`SlotPool`] that may be shared with
+/// other jobs running concurrently on other threads — the serving
+/// path. `config.map_slots` / `config.reduce_slots` are ignored here:
+/// the pool owns the cluster's slot budget, and at most
+/// `pool.map_slots()` Map tasks and `pool.reduce_slots()` Reduce tasks
+/// run at once *across all sharing jobs*.
+///
+/// Passing a `cancel` token makes the job abandonable: once cancelled,
+/// the job unwinds and this returns [`MrError::Cancelled`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_shared<K1, V1, K2, V2, V3, SF, S>(
+    splits: &[InputSplit],
+    source_factory: &SF,
+    mapper: &dyn Mapper<InKey = K1, InValue = V1, OutKey = K2, OutValue = V2>,
+    combiner: Option<&dyn Combiner<Key = K2, Value = V2>>,
+    reducer: &dyn Reducer<Key = K2, InValue = V2, OutValue = V3>,
+    plan: &dyn RoutingPlan<K2>,
+    output: &dyn OutputCollector<K2, V3>,
+    config: &JobConfig,
+    pool: &SlotPool,
+    cancel: Option<&CancelToken>,
+) -> Result<JobResult>
+where
+    K1: MrKey,
+    V1: MrValue,
+    K2: MrKey + crate::wire::WireFormat,
+    V2: MrValue + crate::wire::WireFormat,
+    V3: MrValue,
+    SF: Fn(MapTaskId, &InputSplit) -> Result<S> + Sync,
+    S: RecordSource<Key = K1, Value = V1>,
+{
     if splits.is_empty() {
         return Err(MrError::BadConfig("no input splits".into()));
     }
@@ -267,6 +469,8 @@ where
         error: Mutex::new(None),
         plan,
         config,
+        pool,
+        cancel,
         num_maps,
     };
     {
@@ -280,11 +484,16 @@ where
         Counters::add(&shared.counters.maps_skipped, skipped as u64);
     }
 
+    // One worker thread per slot the pool could ever grant this job,
+    // capped by the task counts; permits are what actually bound
+    // concurrency when the pool is shared.
+    let map_workers = pool.map_slots().min(num_maps);
+    let reduce_workers = pool.reduce_slots().min(num_reducers);
     std::thread::scope(|scope| {
-        for _ in 0..config.map_slots {
+        for _ in 0..map_workers {
             scope.spawn(|| map_worker(&shared, splits, source_factory, mapper, combiner));
         }
-        for _ in 0..config.reduce_slots {
+        for _ in 0..reduce_workers {
             scope.spawn(|| reduce_worker(&shared, &reduce_order, reducer, output));
         }
     });
@@ -342,6 +551,11 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
                 if st.failed || st.reduces_done == shared.plan.num_reducers() {
                     return;
                 }
+                if shared.cancel_requested() {
+                    drop(st);
+                    shared.observe_cancel();
+                    return;
+                }
                 if let Some(i) = st.maps.iter().position(|&s| s == MapStatus::Eligible) {
                     st.maps[i] = MapStatus::Running;
                     break i;
@@ -349,9 +563,21 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
                 // Nothing eligible: either all maps are done/skipped
                 // (reduces still draining) or eligibility will arrive
                 // when a reduce starts / recovery re-enqueues.
-                shared.cv.wait(&mut st);
+                shared.cv.wait_for(&mut st, WAIT_TICK);
             }
         };
+
+        // The task is assigned; now occupy a cluster-wide map slot
+        // (never blocks on a dedicated pool, where workers == slots).
+        if !shared
+            .pool
+            .map
+            .acquire(&|| shared.cancel_requested() || shared.state.lock().failed)
+        {
+            shared.observe_cancel();
+            return;
+        }
+        let _slot = SlotGuard(&shared.pool.map);
 
         shared.timeline.record(TaskKind::MapStart, task);
         match run_map_task(
@@ -450,9 +676,33 @@ fn reduce_worker<K2, V2, V3>(
     V3: MrValue,
 {
     loop {
+        {
+            let st = shared.state.lock();
+            if st.failed || st.reduce_cursor >= reduce_order.len() {
+                return;
+            }
+        }
+        // Occupy a cluster-wide reduce slot *before* claiming from the
+        // launch order: a claimed reduce starts its copy phase and (under
+        // inverted scheduling) makes its maps eligible, so the number of
+        // in-flight reduces across all jobs must never exceed the pool.
+        if !shared
+            .pool
+            .reduce
+            .acquire(&|| shared.cancel_requested() || shared.state.lock().failed)
+        {
+            shared.observe_cancel();
+            return;
+        }
+        let _slot = SlotGuard(&shared.pool.reduce);
         let r = {
             let mut st = shared.state.lock();
             if st.failed || st.reduce_cursor >= reduce_order.len() {
+                return;
+            }
+            if shared.cancel_requested() {
+                drop(st);
+                shared.observe_cancel();
                 return;
             }
             let r = reduce_order[st.reduce_cursor];
@@ -524,6 +774,11 @@ where
                     if st.failed {
                         return Ok(()); // another task already reported
                     }
+                    if shared.cancel_requested() {
+                        drop(st);
+                        shared.observe_cancel();
+                        return Ok(());
+                    }
                     match st.maps[m] {
                         MapStatus::Done => break,
                         MapStatus::Skipped => {
@@ -531,7 +786,9 @@ where
                                 "reduce {r} depends on skipped map {m}"
                             )));
                         }
-                        _ => shared.cv.wait(&mut st),
+                        _ => {
+                            shared.cv.wait_for(&mut st, WAIT_TICK);
+                        }
                     }
                 }
             }

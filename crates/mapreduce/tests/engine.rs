@@ -513,3 +513,207 @@ fn reduce_waves_with_few_slots() {
     assert_eq!(result.completions(TaskKind::ReduceEnd).len(), 10);
     assert_eq!(output.len(), 10);
 }
+
+// ---------------------------------------------------------------
+// Shared slot pools and cancellation (the serving substrate)
+// ---------------------------------------------------------------
+
+#[test]
+fn two_jobs_share_one_slot_pool() {
+    use sidr_mapreduce::{run_job_shared, SlotPool};
+
+    let pool = SlotPool::new(2, 2).unwrap();
+    let splits = number_splits(200, 5);
+    let (mapper, reducer) = sum_by_mod10();
+    let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 4);
+    let config = JobConfig {
+        map_think: Duration::from_millis(5),
+        ..Default::default()
+    };
+
+    let out_a = InMemoryOutput::new();
+    let out_b = InMemoryOutput::new();
+    let (res_a, res_b) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| {
+            run_job_shared(
+                &splits,
+                &identity_source,
+                &mapper,
+                None,
+                &reducer,
+                &plan,
+                &out_a,
+                &config,
+                &pool,
+                None,
+            )
+        });
+        let b = scope.spawn(|| {
+            run_job_shared(
+                &splits,
+                &identity_source,
+                &mapper,
+                None,
+                &reducer,
+                &plan,
+                &out_b,
+                &config,
+                &pool,
+                None,
+            )
+        });
+        (a.join().unwrap(), b.join().unwrap())
+    });
+    res_a.unwrap();
+    res_b.unwrap();
+
+    // Both jobs produce the exact batch answer despite contending for
+    // the same two map and two reduce slots.
+    for out in [&out_a, &out_b] {
+        let records = out.sorted_records();
+        assert_eq!(records.len(), 10);
+        for (d, sum) in &records {
+            let expect: u64 = (0..200u64).filter(|i| i % 10 == *d).sum();
+            assert_eq!(*sum, expect, "digit {d}");
+        }
+    }
+    // The pool is fully drained once both jobs returned.
+    let occ = pool.occupancy();
+    assert_eq!((occ.map_busy, occ.reduce_busy), (0, 0));
+    assert_eq!((occ.map_total, occ.reduce_total), (2, 2));
+}
+
+#[test]
+fn cancellation_aborts_a_running_job() {
+    use sidr_mapreduce::{run_job_shared, CancelToken, MrError, SlotPool};
+
+    let pool = SlotPool::new(1, 1).unwrap();
+    let splits = number_splits(400, 20);
+    let (mapper, reducer) = sum_by_mod10();
+    let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 4);
+    let config = JobConfig {
+        map_think: Duration::from_millis(20), // 20 maps x 20 ms on one slot
+        ..Default::default()
+    };
+    let output = InMemoryOutput::new();
+    let cancel = CancelToken::new();
+
+    let result = std::thread::scope(|scope| {
+        let canceller = cancel.clone();
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            canceller.cancel();
+        });
+        run_job_shared(
+            &splits,
+            &identity_source,
+            &mapper,
+            None,
+            &reducer,
+            &plan,
+            &output,
+            &config,
+            &pool,
+            Some(&cancel),
+        )
+    });
+    assert!(
+        matches!(result, Err(MrError::Cancelled)),
+        "expected Cancelled, got {result:?}"
+    );
+    // Slots must not leak on the cancellation path.
+    let occ = pool.occupancy();
+    assert_eq!((occ.map_busy, occ.reduce_busy), (0, 0));
+}
+
+#[test]
+fn cancelling_before_start_fails_fast() {
+    use sidr_mapreduce::{run_job_shared, CancelToken, MrError, SlotPool};
+
+    let pool = SlotPool::new(2, 2).unwrap();
+    let splits = number_splits(100, 4);
+    let (mapper, reducer) = sum_by_mod10();
+    let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 4);
+    let output = InMemoryOutput::new();
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let result = run_job_shared(
+        &splits,
+        &identity_source,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        &JobConfig::default(),
+        &pool,
+        Some(&cancel),
+    );
+    assert!(matches!(result, Err(MrError::Cancelled)));
+}
+
+#[test]
+fn shared_pool_bounds_concurrent_maps_across_jobs() {
+    use sidr_mapreduce::{run_job_shared, SlotPool};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    // A mapper that tracks its own concurrency high-water mark across
+    // BOTH jobs; the shared pool must cap it at the pool size even
+    // though each job alone would be allowed that many maps.
+    static RUNNING: AtomicUsize = AtomicUsize::new(0);
+    static PEAK: AtomicUsize = AtomicUsize::new(0);
+    RUNNING.store(0, Ordering::SeqCst);
+    PEAK.store(0, Ordering::SeqCst);
+
+    let pool = SlotPool::new(2, 2).unwrap();
+    let splits = number_splits(120, 6);
+    let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| {
+        let now = RUNNING.fetch_add(1, Ordering::SeqCst) + 1;
+        PEAK.fetch_max(now, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(2));
+        emit(k % 10, *v);
+        RUNNING.fetch_sub(1, Ordering::SeqCst);
+    });
+    let reducer =
+        FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.iter().sum()));
+    let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 3);
+    let out_a = InMemoryOutput::new();
+    let out_b = InMemoryOutput::new();
+    std::thread::scope(|scope| {
+        let a = scope.spawn(|| {
+            run_job_shared(
+                &splits,
+                &identity_source,
+                &mapper,
+                None,
+                &reducer,
+                &plan,
+                &out_a,
+                &JobConfig::default(),
+                &pool,
+                None,
+            )
+        });
+        let b = scope.spawn(|| {
+            run_job_shared(
+                &splits,
+                &identity_source,
+                &mapper,
+                None,
+                &reducer,
+                &plan,
+                &out_b,
+                &JobConfig::default(),
+                &pool,
+                None,
+            )
+        });
+        a.join().unwrap().unwrap();
+        b.join().unwrap().unwrap();
+    });
+    let peak = PEAK.load(Ordering::SeqCst);
+    assert!(
+        peak <= 2,
+        "pool of 2 map slots allowed {peak} concurrent maps"
+    );
+}

@@ -1,0 +1,254 @@
+//! Client side of the serving protocol: what `sidr-submit` (and the
+//! integration tests) speak.
+//!
+//! Frames for different jobs interleave on one connection, so the
+//! client keeps a small pending queue: request/reply helpers
+//! ([`Client::stats`], [`Client::submit`]) stash frames they are not
+//! waiting for, and [`Client::next_response`] drains the stash before
+//! touching the socket again. Nothing is dropped, whatever order the
+//! server emits.
+
+use std::collections::VecDeque;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use sidr_core::spec::JobSpec;
+use sidr_mapreduce::TaskEvent;
+
+use crate::frame::{self, FrameError};
+use crate::proto::{Request, Response, ServerStats, SubmitOptions};
+
+/// Client-visible failures.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport or framing failure.
+    Frame(FrameError),
+    /// The server closed the connection mid-conversation.
+    Disconnected,
+    /// The server rejected the submission at admission.
+    Rejected {
+        reason: String,
+        diagnostics: Vec<String>,
+    },
+    /// The server reported a protocol error.
+    Protocol(String),
+    /// The job reached a terminal `Failed` frame.
+    JobFailed(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Frame(e) => write!(f, "{e}"),
+            ServeError::Disconnected => write!(f, "server closed the connection"),
+            ServeError::Rejected {
+                reason,
+                diagnostics,
+            } => {
+                write!(f, "submission rejected: {reason}")?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::JobFailed(msg) => write!(f, "job failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<FrameError> for ServeError {
+    fn from(e: FrameError) -> Self {
+        ServeError::Frame(e)
+    }
+}
+
+/// Whether a frame belongs to `job`'s stream (protocol errors belong
+/// to everyone).
+fn concerns_job(resp: &Response, job: u64) -> bool {
+    match resp {
+        Response::Keyblock { job: j, .. }
+        | Response::Done { job: j, .. }
+        | Response::Failed { job: j, .. }
+        | Response::Cancelled { job: j } => *j == job,
+        Response::Error { .. } => true,
+        _ => false,
+    }
+}
+
+/// An accepted submission.
+#[derive(Clone, Copy, Debug)]
+pub struct Ticket {
+    pub job: u64,
+    pub keyblocks: usize,
+    pub num_maps: usize,
+}
+
+/// A completed (or cancelled) streamed job.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    pub job: u64,
+    /// Terminal state: `true` only for a clean `Done`.
+    pub completed: bool,
+    /// Total records the server committed (terminal frame's count).
+    pub records: u64,
+    /// Engine task timeline of the run (empty when cancelled).
+    pub events: Vec<TaskEvent>,
+}
+
+/// One connection to a `sidr-serve` daemon.
+pub struct Client {
+    reader: TcpStream,
+    writer: TcpStream,
+    pending: VecDeque<Response>,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: stream,
+            writer,
+            pending: VecDeque::new(),
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ServeError> {
+        frame::send(&mut self.writer, req).map_err(ServeError::from)
+    }
+
+    fn recv(&mut self) -> Result<Response, ServeError> {
+        match frame::recv::<Response>(&mut self.reader)? {
+            Some(resp) => Ok(resp),
+            None => Err(ServeError::Disconnected),
+        }
+    }
+
+    /// The next server frame: pending queue first, then the socket.
+    pub fn next_response(&mut self) -> Result<Response, ServeError> {
+        if let Some(resp) = self.pending.pop_front() {
+            return Ok(resp);
+        }
+        self.recv()
+    }
+
+    /// Submits a job and waits for its admission verdict. Frames that
+    /// belong to other in-flight jobs are queued, not lost.
+    pub fn submit(
+        &mut self,
+        spec: &JobSpec,
+        input: &str,
+        options: SubmitOptions,
+    ) -> Result<Ticket, ServeError> {
+        self.send(&Request::Submit {
+            spec: spec.clone(),
+            input: input.to_string(),
+            options,
+        })?;
+        loop {
+            match self.recv()? {
+                Response::Accepted {
+                    job,
+                    keyblocks,
+                    num_maps,
+                } => {
+                    return Ok(Ticket {
+                        job,
+                        keyblocks,
+                        num_maps,
+                    })
+                }
+                Response::Rejected {
+                    reason,
+                    diagnostics,
+                } => {
+                    return Err(ServeError::Rejected {
+                        reason,
+                        diagnostics,
+                    })
+                }
+                Response::Error { message } => return Err(ServeError::Protocol(message)),
+                other => self.pending.push_back(other),
+            }
+        }
+    }
+
+    /// Consumes one job's stream to its terminal frame, invoking
+    /// `on_keyblock` for every early result as it arrives. Frames of
+    /// other jobs stay queued for their own consumers.
+    pub fn stream_job(
+        &mut self,
+        job: u64,
+        mut on_keyblock: impl FnMut(usize, u64, &[(sidr_coords::Coord, f64)]),
+    ) -> Result<JobOutcome, ServeError> {
+        loop {
+            // Take a relevant frame out of the pending queue if one is
+            // stashed; otherwise read the socket, stashing strangers.
+            let resp = match self.pending.iter().position(|r| concerns_job(r, job)) {
+                Some(pos) => self.pending.remove(pos).expect("position is in range"),
+                None => {
+                    let resp = self.recv()?;
+                    if !concerns_job(&resp, job) {
+                        self.pending.push_back(resp);
+                        continue;
+                    }
+                    resp
+                }
+            };
+            match resp {
+                Response::Keyblock {
+                    reducer,
+                    at_ms,
+                    records,
+                    ..
+                } => on_keyblock(reducer, at_ms, &records),
+                Response::Done {
+                    records, events, ..
+                } => {
+                    return Ok(JobOutcome {
+                        job,
+                        completed: true,
+                        records,
+                        events,
+                    })
+                }
+                Response::Failed { error, .. } => return Err(ServeError::JobFailed(error)),
+                Response::Cancelled { .. } => {
+                    return Ok(JobOutcome {
+                        job,
+                        completed: false,
+                        records: 0,
+                        events: Vec::new(),
+                    })
+                }
+                Response::Error { message } => return Err(ServeError::Protocol(message)),
+                _ => unreachable!("concerns_job admits only per-job and error frames"),
+            }
+        }
+    }
+
+    /// Requests cancellation of a job (possibly submitted elsewhere).
+    pub fn cancel(&mut self, job: u64) -> Result<(), ServeError> {
+        self.send(&Request::Cancel { job })
+    }
+
+    /// Fetches a stats snapshot.
+    pub fn stats(&mut self) -> Result<ServerStats, ServeError> {
+        self.send(&Request::Stats)?;
+        loop {
+            match self.recv()? {
+                Response::Stats { stats } => return Ok(stats),
+                Response::Error { message } => return Err(ServeError::Protocol(message)),
+                other => self.pending.push_back(other),
+            }
+        }
+    }
+
+    /// Asks the server to stop accepting work and cancel outstanding
+    /// jobs.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        self.send(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,177 @@
+//! The length-prefixed JSON framing protocol.
+//!
+//! Every message on a `sidr-serve` connection is one *frame*: a
+//! little-endian `u32` payload length followed by exactly that many
+//! bytes of UTF-8 JSON. The format mirrors the shuffle's
+//! `WireFormat` discipline (`crates/mapreduce/src/wire.rs`): reads
+//! never trust the peer — a short length prefix, a payload cut off
+//! mid-byte, a length past [`MAX_FRAME`] or bytes that are not the
+//! expected JSON all surface as typed [`FrameError`]s, never as a
+//! panic and never as an over-read.
+//!
+//! Clean connection teardown is distinguishable from corruption:
+//! [`read_frame`] returns `Ok(None)` only when EOF lands exactly on a
+//! frame boundary. EOF anywhere inside a frame is
+//! [`FrameError::Truncated`].
+
+use std::io::{ErrorKind, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on a frame's payload, chosen to comfortably hold the
+/// largest legitimate message (a `Done` frame carrying a full result
+/// set) while bounding what a hostile length prefix can make the
+/// server allocate.
+pub const MAX_FRAME: u32 = 32 << 20;
+
+/// Everything that can go wrong at the framing layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The underlying transport failed.
+    Io(String),
+    /// The peer hung up inside a frame (length prefix or payload).
+    Truncated { expected: usize, got: usize },
+    /// The length prefix exceeds [`MAX_FRAME`]; the stream cannot be
+    /// resynchronized and must be closed.
+    Oversized { len: u32, max: u32 },
+    /// The payload was delivered whole but is not the expected JSON.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            FrameError::Oversized { len, max } => {
+                write!(f, "oversized frame: {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Malformed(e) => write!(f, "malformed frame payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one frame: `u32` little-endian length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    let len = u32::try_from(payload.len()).map_err(|_| FrameError::Oversized {
+        len: u32::MAX,
+        max: MAX_FRAME,
+    })?;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    w.write_all(&len.to_le_bytes())
+        .and_then(|()| w.write_all(payload))
+        .and_then(|()| w.flush())
+        .map_err(|e| FrameError::Io(e.to_string()))
+}
+
+/// Reads one frame's payload. `Ok(None)` means the peer closed the
+/// connection cleanly, exactly on a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    match read_fill(r, &mut prefix)? {
+        0 => return Ok(None),
+        4 => {}
+        got => return Err(FrameError::Truncated { expected: 4, got }),
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized {
+            len,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    let got = read_fill(r, &mut payload)?;
+    if got != payload.len() {
+        return Err(FrameError::Truncated {
+            expected: payload.len(),
+            got,
+        });
+    }
+    Ok(Some(payload))
+}
+
+/// Reads until `buf` is full or EOF; returns bytes read. Interrupted
+/// reads are retried, any other error is transport failure.
+fn read_fill(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    Ok(got)
+}
+
+/// Serializes a message and writes it as one frame.
+pub fn send<T: Serialize>(w: &mut impl Write, msg: &T) -> Result<(), FrameError> {
+    let text = serde_json::to_string(msg).map_err(|e| FrameError::Malformed(e.to_string()))?;
+    write_frame(w, text.as_bytes())
+}
+
+/// Reads one frame and decodes it as `T`. `Ok(None)` on clean EOF.
+pub fn recv<T: Deserialize>(r: &mut impl Read) -> Result<Option<T>, FrameError> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| FrameError::Malformed(format!("payload is not UTF-8: {e}")))?;
+    serde_json::from_str(text)
+        .map(Some)
+        .map_err(|e| FrameError::Malformed(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_truncation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        for cut in 1..buf.len() {
+            let mut r = &buf[..cut];
+            match read_frame(&mut r) {
+                Err(FrameError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected truncation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_without_allocating() {
+        let mut buf = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        buf.extend_from_slice(b"xx");
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r),
+            Err(FrameError::Oversized {
+                len: MAX_FRAME + 1,
+                max: MAX_FRAME
+            })
+        );
+    }
+}

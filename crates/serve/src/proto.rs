@@ -1,0 +1,142 @@
+//! Messages exchanged between `sidr-submit` and `sidr-serve`.
+//!
+//! The submission payload is the [`JobSpec`] itself — byte-for-byte
+//! the document `sidr plan --spec` writes and `sidr-lint --spec`
+//! verifies — so the planner, the linter and the server share one
+//! wire contract (guarded by the round-trip tests in
+//! `crates/core/tests/spec_wire.rs`).
+//!
+//! Streaming model: one [`Request::Submit`] yields an
+//! [`Response::Accepted`] (or `Rejected`), then a [`Response::Keyblock`]
+//! frame *per reduce commit, the moment it commits* — §3.4's early,
+//! correct results crossing the wire while the job's remaining maps
+//! are still running — and finally exactly one terminal frame
+//! (`Done`, `Failed` or `Cancelled`). Frames of concurrent jobs on
+//! the same connection interleave; every per-job frame carries its
+//! job id.
+
+use serde::{Deserialize, Serialize};
+
+use sidr_coords::{Coord, Slab};
+use sidr_core::spec::JobSpec;
+use sidr_mapreduce::TaskEvent;
+
+/// Per-submission execution knobs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SubmitOptions {
+    /// Keyblocks covering this region of `K′` are scheduled first
+    /// (§3.4 computational steering); overrides the spec's stored
+    /// reduce order.
+    pub priority_region: Option<Slab>,
+    /// Cross-check count annotations before each reduce (§3.2.1).
+    pub validate_annotations: bool,
+    /// Push a `Filter` operator's predicate below the shuffle.
+    pub filter_pushdown: bool,
+    /// Artificial per-map-task cost in milliseconds (demos and
+    /// scheduling tests — lets early results visibly precede late
+    /// maps on datasets that would otherwise finish instantly).
+    pub map_think_ms: u64,
+    /// Artificial per-reduce-task cost in milliseconds.
+    pub reduce_think_ms: u64,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        SubmitOptions {
+            priority_region: None,
+            validate_annotations: true,
+            filter_pushdown: false,
+            map_think_ms: 0,
+            reduce_think_ms: 0,
+        }
+    }
+}
+
+/// Client → server.
+// A `Request` is decoded once per frame and immediately consumed, so
+// the `Submit` variant's size is irrelevant; boxing the spec would
+// complicate the derive for no win.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit a job: the spec, the server-side path of the `.scinc`
+    /// input it runs against, and execution options.
+    Submit {
+        spec: JobSpec,
+        input: String,
+        options: SubmitOptions,
+    },
+    /// Request cancellation of a job (any connection may cancel any
+    /// job; the terminal `Cancelled` frame goes to the submitter).
+    Cancel { job: u64 },
+    /// Request a [`ServerStats`] snapshot.
+    Stats,
+    /// Stop accepting connections and cancel outstanding jobs.
+    Shutdown,
+}
+
+/// Server → client.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Response {
+    /// The submission passed the admission pre-flight and is queued.
+    Accepted {
+        job: u64,
+        keyblocks: usize,
+        num_maps: usize,
+    },
+    /// The admission pre-flight found errors; nothing was scheduled.
+    Rejected {
+        reason: String,
+        diagnostics: Vec<String>,
+    },
+    /// One keyblock's complete, final output — sent the moment its
+    /// reduce committed, while the job may still be mapping.
+    Keyblock {
+        job: u64,
+        reducer: usize,
+        /// Milliseconds from job start to this commit.
+        at_ms: u64,
+        records: Vec<(Coord, f64)>,
+    },
+    /// Terminal: the job completed; every keyblock was streamed.
+    Done {
+        job: u64,
+        keyblocks: usize,
+        records: u64,
+        /// The engine's task timeline, so clients can verify early
+        /// delivery (first `ReduceEnd` before the last `MapEnd`).
+        events: Vec<TaskEvent>,
+    },
+    /// Terminal: the job failed.
+    Failed { job: u64, error: String },
+    /// Terminal: the job observed its cancel token and stopped.
+    Cancelled { job: u64 },
+    /// A stats snapshot (reply to [`Request::Stats`]).
+    Stats { stats: ServerStats },
+    /// Protocol-level error (malformed frame, unknown job id, …).
+    Error { message: String },
+}
+
+/// A point-in-time view of the server, §4-style observability for the
+/// shared pool.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Jobs admitted but not yet running (queued or planning).
+    pub jobs_queued: usize,
+    /// Jobs currently executing on the pool.
+    pub jobs_running: usize,
+    /// Lifetime completions.
+    pub jobs_done: u64,
+    pub jobs_failed: u64,
+    pub jobs_cancelled: u64,
+    /// Map slots in use / total across all jobs.
+    pub map_busy: usize,
+    pub map_total: usize,
+    /// Reduce slots in use / total across all jobs.
+    pub reduce_busy: usize,
+    pub reduce_total: usize,
+    /// Lifetime keyblocks committed across all jobs.
+    pub keyblocks_committed: u64,
+    /// Lifetime payload bytes streamed to clients.
+    pub bytes_streamed: u64,
+}

@@ -1,0 +1,493 @@
+//! The `sidr-serve` daemon: multi-tenant execution of structural
+//! queries with streaming early results.
+//!
+//! One process owns one cluster-wide [`SlotPool`]; every admitted job
+//! executes on it concurrently via `run_job_shared`, so the §3.3
+//! slot-class bounds hold *across* jobs, not per job. Admission runs
+//! the `sidr-analyze` pre-flight on each submitted [`JobSpec`] before
+//! anything is scheduled — a plan that would hang or answer wrongly
+//! is rejected at the door with its diagnostics.
+//!
+//! Each job's output path is a [`StreamingOutput`] in hang-up-tolerant
+//! mode, tee'd into an in-memory sink: every committed keyblock
+//! crosses the wire as a [`Response::Keyblock`] frame the moment its
+//! reduce finishes (§3.4/§5 early correct results), and a client that
+//! disconnects mid-stream mutes the stream without failing the job —
+//! the job completes to its sink and the server's lifetime counters.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use sidr_analyze::{analyze_spec, AnalyzeOptions};
+use sidr_coords::Coord;
+use sidr_core::diag::Severity;
+use sidr_core::early::streaming_output;
+use sidr_core::framework::{run_spec_on_pool, SpecRunOptions};
+use sidr_core::spec::JobSpec;
+use sidr_mapreduce::{CancelToken, InMemoryOutput, MrError, OutputCollector, SlotPool};
+use sidr_scifile::ScincFile;
+
+use crate::frame::{self, FrameError};
+use crate::proto::{Request, Response, ServerStats, SubmitOptions};
+
+/// Static configuration of one serving process.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Cluster-wide map slots shared by every job.
+    pub map_slots: usize,
+    /// Cluster-wide reduce slots shared by every job.
+    pub reduce_slots: usize,
+    /// Admission pre-flight configuration.
+    pub analyze: AnalyzeOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            map_slots: 4,
+            reduce_slots: 2,
+            analyze: AnalyzeOptions::default(),
+        }
+    }
+}
+
+/// Lifecycle of one admitted job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for its worker thread.
+    Queued,
+    /// Opening inputs and re-deriving the plan from the spec.
+    Planning,
+    /// Executing on the shared pool.
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+}
+
+impl JobState {
+    fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// Registry entry: the server's handle on one job.
+struct JobHandle {
+    state: JobState,
+    cancel: CancelToken,
+}
+
+/// State shared by the acceptor, connection threads and job threads.
+struct Inner {
+    config: ServerConfig,
+    /// The acceptor's bound address — used to self-connect on
+    /// shutdown so the blocking accept loop wakes up.
+    addr: SocketAddr,
+    pool: SlotPool,
+    jobs: Mutex<HashMap<u64, JobHandle>>,
+    next_job: AtomicU64,
+    shutdown: AtomicBool,
+    jobs_done: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    keyblocks_committed: AtomicU64,
+    bytes_streamed: AtomicU64,
+}
+
+impl Inner {
+    fn set_state(&self, job: u64, state: JobState) {
+        let mut jobs = self.jobs.lock().expect("registry lock");
+        if let Some(h) = jobs.get_mut(&job) {
+            h.state = state;
+        }
+        match state {
+            JobState::Done => {
+                self.jobs_done.fetch_add(1, Ordering::Relaxed);
+            }
+            JobState::Failed => {
+                self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            }
+            JobState::Cancelled => {
+                self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    fn stats(&self) -> ServerStats {
+        let jobs = self.jobs.lock().expect("registry lock");
+        let queued = jobs
+            .values()
+            .filter(|h| matches!(h.state, JobState::Queued | JobState::Planning))
+            .count();
+        let running = jobs
+            .values()
+            .filter(|h| h.state == JobState::Running)
+            .count();
+        drop(jobs);
+        let occ = self.pool.occupancy();
+        ServerStats {
+            jobs_queued: queued,
+            jobs_running: running,
+            jobs_done: self.jobs_done.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            map_busy: occ.map_busy,
+            map_total: occ.map_total,
+            reduce_busy: occ.reduce_busy,
+            reduce_total: occ.reduce_total,
+            keyblocks_committed: self.keyblocks_committed.load(Ordering::Relaxed),
+            bytes_streamed: self.bytes_streamed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cancels every job that has not yet reached a terminal state.
+    fn cancel_all(&self) {
+        let jobs = self.jobs.lock().expect("registry lock");
+        for h in jobs.values() {
+            if !h.state.is_terminal() {
+                h.cancel.cancel();
+            }
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+/// Control handle usable from other threads (tests, signal handlers).
+#[derive(Clone)]
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+}
+
+impl ServerHandle {
+    /// Stops the accept loop and cancels outstanding jobs. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.cancel_all();
+        // Wake the blocking acceptor.
+        let _ = TcpStream::connect(self.inner.addr);
+    }
+
+    /// A stats snapshot, bypassing the wire protocol.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats()
+    }
+}
+
+impl Server {
+    /// Binds the service. Use port 0 to let the OS pick (tests).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        let pool = SlotPool::new(config.map_slots, config.reduce_slots)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            inner: Arc::new(Inner {
+                config,
+                addr: local,
+                pool,
+                jobs: Mutex::new(HashMap::new()),
+                next_job: AtomicU64::new(1),
+                shutdown: AtomicBool::new(false),
+                jobs_done: AtomicU64::new(0),
+                jobs_failed: AtomicU64::new(0),
+                jobs_cancelled: AtomicU64::new(0),
+                keyblocks_committed: AtomicU64::new(0),
+                bytes_streamed: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (the OS-picked port when bound to port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A control handle for shutting the server down from elsewhere.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Runs the accept loop until a `Shutdown` request (or
+    /// [`ServerHandle::shutdown`]) arrives. Each connection gets a
+    /// reader thread; each admitted job gets a worker thread.
+    pub fn run(self) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let inner = Arc::clone(&self.inner);
+            thread::spawn(move || handle_connection(inner, stream));
+        }
+        Ok(())
+    }
+}
+
+/// One connection: a reader loop on this thread, a writer thread
+/// draining the outbound channel, and a detached thread per admitted
+/// job. The channel fan-in is what lets keyblock frames of concurrent
+/// jobs interleave on one socket without tearing frames.
+fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = channel::<Response>();
+    let writer_inner = Arc::clone(&inner);
+    let writer = thread::spawn(move || write_loop(writer_inner, write_half, rx));
+
+    let mut read_half = stream;
+    loop {
+        match frame::recv::<Request>(&mut read_half) {
+            Ok(Some(req)) => {
+                let proceed = handle_request(&inner, req, &tx);
+                if !proceed {
+                    break;
+                }
+            }
+            // Clean disconnect: the job threads keep their tx clones
+            // and keep running (hang-up tolerance); we just leave.
+            Ok(None) => break,
+            Err(FrameError::Io(_)) | Err(FrameError::Truncated { .. }) => break,
+            // The stream cannot be resynchronized after a bad length
+            // or bad payload: report and close.
+            Err(e @ FrameError::Oversized { .. }) | Err(e @ FrameError::Malformed(_)) => {
+                let _ = tx.send(Response::Error {
+                    message: e.to_string(),
+                });
+                break;
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Serializes responses onto the socket, accounting streamed bytes.
+fn write_loop(inner: Arc<Inner>, mut stream: TcpStream, rx: Receiver<Response>) {
+    for resp in &rx {
+        let text = match serde_json::to_string(&resp) {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        if frame::write_frame(&mut stream, text.as_bytes()).is_err() {
+            // Consumer hung up: keep draining so job threads never
+            // block on a dead connection, but stop writing.
+            for _ in rx.iter() {}
+            return;
+        }
+        if matches!(resp, Response::Keyblock { .. }) {
+            inner
+                .bytes_streamed
+                .fetch_add(text.len() as u64, Ordering::Relaxed);
+        }
+    }
+    let _ = stream.flush();
+}
+
+/// Dispatches one request; returns false when the connection (or the
+/// whole server) should wind down.
+fn handle_request(inner: &Arc<Inner>, req: Request, tx: &Sender<Response>) -> bool {
+    match req {
+        Request::Submit {
+            spec,
+            input,
+            options,
+        } => {
+            admit(inner, spec, input, options, tx);
+            true
+        }
+        Request::Cancel { job } => {
+            let jobs = inner.jobs.lock().expect("registry lock");
+            match jobs.get(&job) {
+                Some(h) => h.cancel.cancel(),
+                None => {
+                    let _ = tx.send(Response::Error {
+                        message: format!("unknown job id {job}"),
+                    });
+                }
+            }
+            true
+        }
+        Request::Stats => {
+            let _ = tx.send(Response::Stats {
+                stats: inner.stats(),
+            });
+            true
+        }
+        Request::Shutdown => {
+            inner.shutdown.store(true, Ordering::SeqCst);
+            inner.cancel_all();
+            // Wake the acceptor so `Server::run` observes the flag.
+            let _ = TcpStream::connect(inner.addr);
+            false
+        }
+    }
+}
+
+/// The admission pre-flight (§3.2.1 meets the static verifier): the
+/// spec is analyzed *before* anything is scheduled, and a plan with
+/// error-severity findings never reaches the pool.
+fn admit(
+    inner: &Arc<Inner>,
+    spec: JobSpec,
+    input: String,
+    options: SubmitOptions,
+    tx: &Sender<Response>,
+) {
+    let report = match analyze_spec(&spec, &inner.config.analyze) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = tx.send(Response::Rejected {
+                reason: format!("pre-flight could not analyze the spec: {e}"),
+                diagnostics: Vec::new(),
+            });
+            return;
+        }
+    };
+    if report.has_errors() {
+        let _ = tx.send(Response::Rejected {
+            reason: "admission pre-flight found plan errors".into(),
+            diagnostics: report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .map(|d| d.to_string())
+                .collect(),
+        });
+        return;
+    }
+
+    let job = inner.next_job.fetch_add(1, Ordering::Relaxed);
+    let cancel = CancelToken::new();
+    inner.jobs.lock().expect("registry lock").insert(
+        job,
+        JobHandle {
+            state: JobState::Queued,
+            cancel: cancel.clone(),
+        },
+    );
+    let _ = tx.send(Response::Accepted {
+        job,
+        keyblocks: spec.num_reducers,
+        num_maps: spec.splits.len(),
+    });
+
+    let inner = Arc::clone(inner);
+    let tx = tx.clone();
+    thread::spawn(move || run_admitted_job(inner, job, spec, input, options, cancel, tx));
+}
+
+/// One admitted job, end to end: open the input, execute on the
+/// shared pool streaming each keyblock as it commits, then send the
+/// terminal frame. The streaming collector tolerates hang-ups, so a
+/// vanished client mutes the stream while the job completes to its
+/// sink (and the lifetime counters).
+fn run_admitted_job(
+    inner: Arc<Inner>,
+    job: u64,
+    spec: JobSpec,
+    input: String,
+    options: SubmitOptions,
+    cancel: CancelToken,
+    tx: Sender<Response>,
+) {
+    inner.set_state(job, JobState::Planning);
+    let file = match ScincFile::open(&input) {
+        Ok(f) => f,
+        Err(e) => {
+            inner.set_state(job, JobState::Failed);
+            let _ = tx.send(Response::Failed {
+                job,
+                error: format!("cannot open input {input:?}: {e}"),
+            });
+            return;
+        }
+    };
+
+    let opts = SpecRunOptions {
+        priority_region: options.priority_region.clone(),
+        validate_annotations: options.validate_annotations,
+        filter_pushdown: options.filter_pushdown,
+        map_think: Duration::from_millis(options.map_think_ms),
+        reduce_think: Duration::from_millis(options.reduce_think_ms),
+    };
+
+    let sink = Arc::new(InMemoryOutput::<Coord, f64>::new());
+    let (out, early_rx) = streaming_output();
+    let out = out
+        .tolerate_hangup()
+        .with_sink(Arc::clone(&sink) as Arc<dyn OutputCollector<Coord, f64>>);
+
+    inner.set_state(job, JobState::Running);
+    let result = thread::scope(|s| {
+        let fwd_inner = Arc::clone(&inner);
+        let fwd_tx = tx.clone();
+        let forwarder = s.spawn(move || {
+            for early in early_rx {
+                fwd_inner
+                    .keyblocks_committed
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = fwd_tx.send(Response::Keyblock {
+                    job,
+                    reducer: early.reducer,
+                    at_ms: early.at.as_millis() as u64,
+                    records: early.records,
+                });
+            }
+        });
+        let result = run_spec_on_pool(&file, &spec, &opts, &out, &inner.pool, Some(&cancel));
+        // Close the early-result channel so the forwarder drains out.
+        drop(out);
+        let _ = forwarder.join();
+        result
+    });
+
+    match result {
+        Ok(job_result) => {
+            inner.set_state(job, JobState::Done);
+            let _ = tx.send(Response::Done {
+                job,
+                keyblocks: spec.num_reducers,
+                records: sink.len() as u64,
+                events: job_result.events,
+            });
+        }
+        Err(e) if is_cancellation(&e) => {
+            inner.set_state(job, JobState::Cancelled);
+            let _ = tx.send(Response::Cancelled { job });
+        }
+        Err(e) => {
+            inner.set_state(job, JobState::Failed);
+            let _ = tx.send(Response::Failed {
+                job,
+                error: e.to_string(),
+            });
+        }
+    }
+}
+
+fn is_cancellation(e: &sidr_core::SidrError) -> bool {
+    matches!(e, sidr_core::SidrError::Engine(MrError::Cancelled))
+}

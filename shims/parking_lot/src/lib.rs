@@ -96,6 +96,17 @@ impl<T> DerefMut for RwLockWriteGuard<'_, T> {
 #[derive(Debug, Default)]
 pub struct Condvar(sync::Condvar);
 
+/// Result of a timed wait: whether the timeout elapsed before a
+/// notification arrived (parking_lot's `WaitTimeoutResult`).
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 impl Condvar {
     pub const fn new() -> Self {
         Condvar(sync::Condvar::new())
@@ -106,6 +117,21 @@ impl Condvar {
         let inner = guard.0.take().expect("guard present outside wait");
         let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
         guard.0 = Some(inner);
+    }
+
+    /// Blocks until notified or `timeout` elapses, whichever is first.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present outside wait");
+        let (inner, result) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
     }
 
     pub fn notify_one(&self) {

@@ -18,7 +18,11 @@
 //!   25-node cluster for the paper-scale figures,
 //! * [`analyze`] — the static plan verifier (`sidr-lint`): proves
 //!   coverage, dependency, skew, scheduling and conservation
-//!   invariants before any task runs.
+//!   invariants before any task runs,
+//! * [`serve`] — `sidr-serve`, a multi-tenant query service: jobs
+//!   submitted over TCP share one slot pool and stream each keyblock
+//!   back the moment its reduce commits (§3.4 early results as a
+//!   service), with `sidr-submit` as the client CLI.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +50,7 @@ pub use sidr_coords as coords;
 pub use sidr_dfs as dfs;
 pub use sidr_mapreduce as mapreduce;
 pub use sidr_scifile as scifile;
+pub use sidr_serve as serve;
 pub use sidr_simcluster as simcluster;
 
 /// The paper's contribution (re-exported from the `sidr-core` crate;
