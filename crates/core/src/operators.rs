@@ -190,9 +190,11 @@ impl Combiner for OperatorCombiner {
     type Key = sidr_coords::Coord;
     type Value = f64;
 
-    fn combine(&self, _key: &sidr_coords::Coord, values: Vec<f64>) -> Vec<f64> {
+    fn combine(&self, _key: &sidr_coords::Coord, values: &mut Vec<f64>) {
         debug_assert!(self.op.is_distributive());
-        self.op.apply(&values)
+        let combined = self.op.apply(values);
+        values.clear();
+        values.extend(combined);
     }
 }
 
@@ -322,8 +324,10 @@ mod tests {
         for op in [Operator::Min, Operator::Max, Operator::Sum] {
             let c = op.combiner().unwrap();
             let k = sidr_coords::Coord::from([0]);
-            let part1 = c.combine(&k, all[..3].to_vec());
-            let part2 = c.combine(&k, all[3..].to_vec());
+            let mut part1 = all[..3].to_vec();
+            c.combine(&k, &mut part1);
+            let mut part2 = all[3..].to_vec();
+            c.combine(&k, &mut part2);
             let combined: Vec<f64> = part1.into_iter().chain(part2).collect();
             assert_eq!(op.apply(&combined), op.apply(&all), "{op:?}");
         }

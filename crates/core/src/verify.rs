@@ -12,7 +12,7 @@
 //! independent dependency recomputation, the skew certificate — lives
 //! in the `sidr-analyze` crate, which starts from the same
 //! [`PlanView`] and merges its findings into the same
-//! [`Report`](crate::diag::Report).
+//! [`Report`].
 //!
 //! [`SidrPlanner::build`]: crate::plan::SidrPlanner::build
 //! [`SidrPlanner::skip_preflight`]: crate::plan::SidrPlanner::skip_preflight

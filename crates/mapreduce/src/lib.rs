@@ -47,7 +47,9 @@ pub use plan::{DefaultPlan, RoutingPlan};
 pub use runtime::{
     run_job, run_job_shared, CancelToken, JobConfig, JobResult, SlotOccupancy, SlotPool,
 };
-pub use shuffle::{merge_files, MapOutputBuilder, MapOutputFile, ShuffleStore, SpillCodec};
+pub use shuffle::{
+    merge_files, MapOutputBuilder, MapOutputFile, MergeIter, ShuffleStore, SpillCodec,
+};
 pub use split::{InputSplit, MapTaskId, SplitGenerator};
 pub use task::{
     Combiner, FnMapper, FnReducer, Mapper, MrKey, MrValue, RecordSource, Reducer, SliceRecordSource,

@@ -27,7 +27,7 @@ use crate::counters::{Counters, CountersSnapshot};
 use crate::error::MrError;
 use crate::output::OutputCollector;
 use crate::plan::RoutingPlan;
-use crate::shuffle::{merge_files, MapOutputBuilder, MapOutputFile, ShuffleStore};
+use crate::shuffle::{MapOutputBuilder, MapOutputFile, MergeIter, ShuffleStore};
 use crate::split::{InputSplit, MapTaskId};
 use crate::task::{Combiner, Mapper, MrKey, MrValue, RecordSource, Reducer};
 use crate::timeline::{TaskEvent, TaskKind, Timeline};
@@ -748,6 +748,10 @@ fn reduce_worker<K2, V2, V3>(
     }
 }
 
+/// Copy-phase fetch slot: outer `None` = not fetched yet, inner
+/// `None` = the map produced no output for this reducer.
+type FetchSlot<K, V> = Option<Option<Arc<MapOutputFile<K, V>>>>;
+
 fn run_reduce_task<K2, V2, V3>(
     shared: &Shared<'_, K2, V2>,
     r: usize,
@@ -765,10 +769,22 @@ where
     };
     let mut attempt = 0;
     loop {
-        // Copy phase: fetch from each source as soon as it completes.
-        let mut files: Vec<(MapTaskId, std::sync::Arc<MapOutputFile<K2, V2>>)> = Vec::new();
-        for &m in &sources {
-            {
+        // Copy phase: fetch from whichever source completes next —
+        // not in source order — and pre-open its merge cursor as soon
+        // as every earlier source's cursor is open too. The reducer
+        // holds its slot through the copy anyway (§3.2), so no byte
+        // waits for the barrier, while the merge's file order (which
+        // breaks ties between equal keys) stays the plan's
+        // deterministic fetch order.
+        let mut merge: MergeIter<K2, V2> = MergeIter::new();
+        let mut files: Vec<(MapTaskId, Arc<MapOutputFile<K2, V2>>)> = Vec::new();
+        // Per-source fetch outcome: None = not fetched yet,
+        // Some(None) = map produced nothing for this reducer.
+        let mut fetched: Vec<FetchSlot<K2, V2>> = vec![None; sources.len()];
+        let mut opened = 0;
+        let mut remaining = sources.len();
+        while remaining > 0 {
+            let ready: Vec<usize> = {
                 let mut st = shared.state.lock();
                 loop {
                     if st.failed {
@@ -779,21 +795,38 @@ where
                         shared.observe_cancel();
                         return Ok(());
                     }
-                    match st.maps[m] {
-                        MapStatus::Done => break,
-                        MapStatus::Skipped => {
-                            return Err(MrError::BadConfig(format!(
-                                "reduce {r} depends on skipped map {m}"
-                            )));
+                    let mut ready = Vec::new();
+                    for (i, slot) in fetched.iter().enumerate() {
+                        if slot.is_some() {
+                            continue;
                         }
-                        _ => {
-                            shared.cv.wait_for(&mut st, WAIT_TICK);
+                        match st.maps[sources[i]] {
+                            MapStatus::Done => ready.push(i),
+                            MapStatus::Skipped => {
+                                return Err(MrError::BadConfig(format!(
+                                    "reduce {r} depends on skipped map {}",
+                                    sources[i]
+                                )));
+                            }
+                            _ => {}
                         }
                     }
+                    if !ready.is_empty() {
+                        break ready;
+                    }
+                    shared.cv.wait_for(&mut st, WAIT_TICK);
                 }
+            };
+            for i in ready {
+                fetched[i] = Some(shared.shuffle.fetch(sources[i], r, &shared.counters)?);
+                remaining -= 1;
             }
-            if let Some(f) = shared.shuffle.fetch(m, r, &shared.counters)? {
-                files.push((m, f));
+            while let Some(slot) = fetched.get(opened).and_then(|s| s.as_ref()) {
+                if let Some(f) = slot {
+                    merge.push_file(Arc::clone(f));
+                    files.push((sources[opened], Arc::clone(f)));
+                }
+                opened += 1;
             }
         }
         shared.timeline.record(TaskKind::ReduceBarrierMet, r);
@@ -840,16 +873,31 @@ where
             continue;
         }
 
-        // Sort/merge + reduce.
-        let merged = merge_files(&files.iter().map(|(_, f)| Arc::clone(f)).collect::<Vec<_>>());
+        // Streaming merge + reduce: groups leave the k-way merge one
+        // at a time, and each group's output reaches the collector
+        // (`stream_group`) while later groups are still merging. No
+        // whole-keyspace `Vec<(K, Vec<V>)>` is ever materialized; the
+        // final `commit` keeps §2.3's atomic committal.
         let mut out: Vec<(K2, V3)> = Vec::new();
         let mut emitted = 0u64;
-        for (key, values) in merged {
-            reducer_fn.reduce(&key, &values, &mut |v3| {
+        let mut first_group = true;
+        while let Some((key, values)) = merge.next_group() {
+            let group_start = out.len();
+            reducer_fn.reduce(key, values, &mut |v3| {
                 out.push((key.clone(), v3));
                 emitted += 1;
             });
+            if out.len() > group_start {
+                output
+                    .stream_group(r, &out[group_start..])
+                    .map_err(|e| MrError::Output(e.to_string()))?;
+                if first_group {
+                    shared.timeline.record(TaskKind::ReduceFirstGroup, r);
+                    first_group = false;
+                }
+            }
         }
+        shared.timeline.record(TaskKind::ReduceMergeDone, r);
         Counters::add(&shared.counters.reduce_records_out, emitted);
         if !shared.config.reduce_think.is_zero() {
             std::thread::sleep(shared.config.reduce_think);

@@ -221,7 +221,6 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
 /// optionally combines, sorts, annotates.
 pub struct MapOutputBuilder<K, V> {
     per_reducer: Vec<Vec<(K, V)>>,
-    raw_counts: Vec<u64>,
     buffered: usize,
     spill: Option<BuilderSpill<K, V>>,
 }
@@ -245,7 +244,6 @@ impl<K: MrKey, V: MrValue> MapOutputBuilder<K, V> {
     pub fn new(num_reducers: usize) -> Self {
         MapOutputBuilder {
             per_reducer: (0..num_reducers).map(|_| Vec::new()).collect(),
-            raw_counts: vec![0; num_reducers],
             buffered: 0,
             spill: None,
         }
@@ -277,7 +275,6 @@ impl<K: MrKey, V: MrValue> MapOutputBuilder<K, V> {
     #[inline]
     pub fn push(&mut self, reducer: usize, key: K, value: V) -> crate::Result<()> {
         self.per_reducer[reducer].push((key, value));
-        self.raw_counts[reducer] += 1;
         self.buffered += 1;
         if let Some(spill) = &self.spill {
             if self.buffered >= spill.threshold {
@@ -299,9 +296,12 @@ impl<K: MrKey, V: MrValue> MapOutputBuilder<K, V> {
                 "map{:06}-r{reducer:05}-run{:04}.smof",
                 spill.task, spill.seq
             ));
+            // Runs are written pre-combiner, so each run's annotation
+            // is its own record count; finish sums the run headers.
+            let run_records = std::mem::take(records);
             let run = MapOutputFile {
-                records: std::mem::take(records),
-                raw_count: 0, // the annotation is stamped at finish
+                raw_count: run_records.len() as u64,
+                records: run_records,
             };
             (spill.write)(&path, &run)?;
             spill.runs[reducer].push(path);
@@ -324,24 +324,34 @@ impl<K: MrKey, V: MrValue> MapOutputBuilder<K, V> {
         let spill = self.spill.take();
         let mut out = Vec::new();
         for (reducer, mut records) in self.per_reducer.into_iter().enumerate() {
-            let raw = self.raw_counts[reducer];
             records.sort_by(|a, b| a.0.cmp(&b.0));
-            // Merge spilled runs back in (each run is sorted, as is
-            // the in-memory residue; merge_files does the k-way merge).
+            // The annotation: raw pairs pushed for this reducer — the
+            // in-memory residue plus the sum of the run headers (runs
+            // are written pre-combiner, so the headers are exact).
+            let mut raw = records.len() as u64;
+            // Merge spilled runs back in: each run is sorted, as is
+            // the in-memory residue, so MergeIter streams the records
+            // straight into the final file — one clone per record,
+            // no regroup-then-flatten round trip.
             if let Some(spill) = &spill {
                 if !spill.runs[reducer].is_empty() {
-                    let mut parts = vec![Arc::new(MapOutputFile {
+                    let mut merge = MergeIter::new();
+                    merge.push_file(Arc::new(MapOutputFile {
+                        raw_count: raw,
                         records,
-                        raw_count: 0,
-                    })];
+                    }));
                     for path in &spill.runs[reducer] {
-                        parts.push(Arc::new((spill.read)(path)?));
+                        let run = (spill.read)(path)?;
+                        raw += run.raw_count;
+                        merge.push_file(Arc::new(run));
                         std::fs::remove_file(path).ok();
                     }
-                    records = merge_files(&parts)
-                        .into_iter()
-                        .flat_map(|(k, vs)| vs.into_iter().map(move |v| (k.clone(), v)))
-                        .collect();
+                    let mut merged = Vec::with_capacity(merge.remaining());
+                    while let Some((k, v)) = merge.next_record() {
+                        merged.push((k.clone(), v.clone()));
+                    }
+                    debug_assert_eq!(raw as usize, merged.len(), "run headers sum to the merge");
+                    records = merged;
                 }
             }
             if records.is_empty() {
@@ -363,7 +373,10 @@ impl<K: MrKey, V: MrValue> MapOutputBuilder<K, V> {
     }
 }
 
-/// Applies a combiner to a key-sorted run.
+/// Applies a combiner to a key-sorted run. One group buffer is reused
+/// across every key (the combiner rewrites it in place), and the key
+/// is moved — not cloned — unless the combiner emits more than one
+/// value for it.
 fn combine_sorted<K: MrKey, V: MrValue>(
     records: Vec<(K, V)>,
     combiner: &dyn crate::task::Combiner<Key = K, Value = V>,
@@ -373,39 +386,233 @@ fn combine_sorted<K: MrKey, V: MrValue>(
     let Some((mut key, first)) = iter.next() else {
         return out;
     };
-    let mut group = vec![first];
+    let mut group: Vec<V> = Vec::new();
+    group.push(first);
+    let flush = |key: K, group: &mut Vec<V>, out: &mut Vec<(K, V)>| {
+        combiner.combine(&key, group);
+        match group.len() {
+            0 => {}
+            1 => out.push((key, group.pop().expect("one value"))),
+            _ => {
+                let last = group.pop().expect("at least two values");
+                out.extend(group.drain(..).map(|v| (key.clone(), v)));
+                out.push((key, last));
+            }
+        }
+    };
     for (k, v) in iter {
         if k == key {
             group.push(v);
         } else {
-            let combined = combiner.combine(&key, std::mem::take(&mut group));
-            out.extend(combined.into_iter().map(|v| (key.clone(), v)));
-            key = k;
+            flush(std::mem::replace(&mut key, k), &mut group, &mut out);
             group.push(v);
         }
     }
-    let combined = combiner.combine(&key, group);
-    out.extend(combined.into_iter().map(|v| (key.clone(), v)));
+    flush(key, &mut group, &mut out);
     out
+}
+
+/// Streaming k-way merge over key-sorted map-output files.
+///
+/// Holds one cursor per file and a binary min-heap of file indices
+/// ordered by `(current key, file index)`, so records come out in
+/// global key order with equal keys delivered in (file order, record
+/// order) — exactly the order the old flatten-and-stable-sort merge
+/// produced, but without cloning every record into a scratch vector,
+/// without re-sorting already-sorted runs, and without materializing
+/// the whole `Vec<(K, Vec<V>)>` keyspace before the first key group
+/// is available.
+///
+/// Files are shared (`Arc`), so the merge borrows records in place;
+/// the only copies made are the values of the *current* group, cloned
+/// into one reusable buffer ([`next_group`]). Cursors can be opened
+/// incrementally with [`push_file`] as map outputs arrive during the
+/// copy phase — the reducer holds its slot through the copy anyway
+/// (§3.2), so by the time its barrier is met the merge is ready to
+/// yield its first group immediately.
+///
+/// [`next_group`]: MergeIter::next_group
+/// [`push_file`]: MergeIter::push_file
+pub struct MergeIter<K, V> {
+    files: Vec<Arc<MapOutputFile<K, V>>>,
+    /// Per-file position of the next unconsumed record.
+    cursors: Vec<usize>,
+    /// Min-heap of file indices with records remaining, ordered by
+    /// `(key at cursor, file index)`. Kept by hand (not
+    /// `BinaryHeap`) because the ordering lives in `files`/`cursors`.
+    heap: Vec<usize>,
+    /// Reusable buffer holding the current group's values.
+    group: Vec<V>,
+}
+
+impl<K: MrKey, V: MrValue> Default for MergeIter<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: MrKey, V: MrValue> MergeIter<K, V> {
+    /// An empty merge; add inputs with [`MergeIter::push_file`].
+    pub fn new() -> Self {
+        MergeIter {
+            files: Vec::new(),
+            cursors: Vec::new(),
+            heap: Vec::new(),
+            group: Vec::new(),
+        }
+    }
+
+    /// A merge over `files`, in order. The file order is significant:
+    /// it breaks ties between equal keys.
+    pub fn with_files(files: impl IntoIterator<Item = Arc<MapOutputFile<K, V>>>) -> Self {
+        let mut m = Self::new();
+        for f in files {
+            m.push_file(f);
+        }
+        m
+    }
+
+    /// Opens a cursor on one more file. Files must be pushed in the
+    /// deterministic file order (the plan's fetch order) *before*
+    /// consumption begins; equal keys yield values in push order.
+    pub fn push_file(&mut self, file: Arc<MapOutputFile<K, V>>) {
+        debug_assert!(
+            file.records.windows(2).all(|w| w[0].0 <= w[1].0),
+            "map-output files are key-sorted"
+        );
+        let idx = self.files.len();
+        let empty = file.records.is_empty();
+        self.files.push(file);
+        self.cursors.push(0);
+        if !empty {
+            self.heap.push(idx);
+            self.sift_up(self.heap.len() - 1);
+        }
+    }
+
+    /// Number of records not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.heap
+            .iter()
+            .map(|&f| self.files[f].records.len() - self.cursors[f])
+            .sum()
+    }
+
+    /// The smallest unconsumed key, without consuming it.
+    pub fn peek_key(&self) -> Option<&K> {
+        self.heap
+            .first()
+            .map(|&f| &self.files[f].records[self.cursors[f]].0)
+    }
+
+    /// `files[a]`'s cursor sorts before `files[b]`'s.
+    fn less(&self, a: usize, b: usize) -> bool {
+        let ka = &self.files[a].records[self.cursors[a]].0;
+        let kb = &self.files[b].records[self.cursors[b]].0;
+        match ka.cmp(kb) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a < b,
+        }
+    }
+
+    fn sift_up(&mut self, mut pos: usize) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.less(self.heap[pos], self.heap[parent]) {
+                self.heap.swap(pos, parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        loop {
+            let mut best = pos;
+            for child in [2 * pos + 1, 2 * pos + 2] {
+                if child < self.heap.len() && self.less(self.heap[child], self.heap[best]) {
+                    best = child;
+                }
+            }
+            if best == pos {
+                return;
+            }
+            self.heap.swap(pos, best);
+            pos = best;
+        }
+    }
+
+    /// Advances the root file's cursor past the record just consumed
+    /// and restores the heap.
+    fn advance_root(&mut self) {
+        let f = self.heap[0];
+        if self.cursors[f] < self.files[f].records.len() {
+            self.sift_down(0);
+        } else {
+            let last = self.heap.pop().expect("root exists");
+            if !self.heap.is_empty() {
+                self.heap[0] = last;
+                self.sift_down(0);
+            }
+        }
+    }
+
+    /// The next record in merged order, borrowed from its file.
+    pub fn next_record(&mut self) -> Option<(&K, &V)> {
+        let &f = self.heap.first()?;
+        let idx = self.cursors[f];
+        self.cursors[f] = idx + 1;
+        self.advance_root();
+        let (k, v) = &self.files[f].records[idx];
+        Some((k, v))
+    }
+
+    /// The next key group: the smallest unconsumed key together with
+    /// *every* value of that key across all files, in (file order,
+    /// record order) — MapReduce guarantee 2 (§2.3). The values
+    /// borrow the iterator's reusable buffer and are valid until the
+    /// next call; only the group's values are cloned, never the whole
+    /// keyspace.
+    pub fn next_group(&mut self) -> Option<(&K, &[V])> {
+        self.group.clear();
+        let f0 = *self.heap.first()?;
+        let i0 = self.cursors[f0];
+        while let Some(&f) = self.heap.first() {
+            let idx = self.cursors[f];
+            // Split borrows: `files` read-only, `group` appended.
+            let records = &self.files[f].records;
+            let key = &self.files[f0].records[i0].0;
+            if records[idx].0 != *key {
+                break;
+            }
+            // Consume the whole run of `key` in this file without
+            // touching the heap (runs are contiguous in a sorted file).
+            let mut end = idx;
+            while end < records.len() && records[end].0 == *key {
+                self.group.push(records[end].1.clone());
+                end += 1;
+            }
+            self.cursors[f] = end;
+            self.advance_root();
+        }
+        Some((&self.files[f0].records[i0].0, &self.group))
+    }
 }
 
 /// K-way merge of key-sorted files into key groups, delivering every
 /// value of a key together — MapReduce guarantee 2 (§2.3).
+///
+/// Compatibility wrapper over [`MergeIter`] that materializes the
+/// whole keyspace. The engine itself streams groups out of
+/// `MergeIter` directly; prefer that unless you genuinely need every
+/// group at once.
 pub fn merge_files<K: MrKey, V: MrValue>(files: &[Arc<MapOutputFile<K, V>>]) -> Vec<(K, Vec<V>)> {
-    // Files are individually sorted; a flatten+sort is O(n log n) like
-    // a heap-based merge and considerably simpler. Stability keeps
-    // values grouped deterministically by (file order, record order).
-    let mut all: Vec<(K, V)> = files
-        .iter()
-        .flat_map(|f| f.records.iter().cloned())
-        .collect();
-    all.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut merge = MergeIter::with_files(files.iter().map(Arc::clone));
     let mut out: Vec<(K, Vec<V>)> = Vec::new();
-    for (k, v) in all {
-        match out.last_mut() {
-            Some((lk, vs)) if *lk == k => vs.push(v),
-            _ => out.push((k, vec![v])),
-        }
+    while let Some((k, vs)) = merge.next_group() {
+        out.push((k.clone(), vs.to_vec()));
     }
     out
 }
@@ -419,8 +626,10 @@ mod tests {
     impl Combiner for SumCombiner {
         type Key = u64;
         type Value = u64;
-        fn combine(&self, _key: &u64, values: Vec<u64>) -> Vec<u64> {
-            vec![values.iter().sum()]
+        fn combine(&self, _key: &u64, values: &mut Vec<u64>) {
+            let sum = values.iter().sum();
+            values.clear();
+            values.push(sum);
         }
     }
 
@@ -522,5 +731,80 @@ mod tests {
     fn merge_of_nothing_is_empty() {
         let merged: Vec<(u64, Vec<u64>)> = merge_files(&[]);
         assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn merge_iter_streams_records_in_file_then_record_order() {
+        let f1 = Arc::new(MapOutputFile {
+            records: vec![(1u64, 10u64), (1, 11), (3, 30)],
+            raw_count: 3,
+        });
+        let f2 = Arc::new(MapOutputFile {
+            records: vec![(1, 12), (2, 20)],
+            raw_count: 2,
+        });
+        let mut m = MergeIter::with_files([f1, f2]);
+        assert_eq!(m.remaining(), 5);
+        assert_eq!(m.peek_key(), Some(&1));
+        let mut flat = Vec::new();
+        while let Some((k, v)) = m.next_record() {
+            flat.push((*k, *v));
+        }
+        // Equal keys deliver in (file order, record order).
+        assert_eq!(flat, vec![(1, 10), (1, 11), (1, 12), (2, 20), (3, 30)]);
+        assert_eq!(m.remaining(), 0);
+    }
+
+    #[test]
+    fn merge_iter_groups_reuse_one_buffer() {
+        let f1 = Arc::new(MapOutputFile {
+            records: vec![(1u64, 10u64), (3, 30)],
+            raw_count: 2,
+        });
+        let f2 = Arc::new(MapOutputFile {
+            records: vec![(1, 11), (2, 20)],
+            raw_count: 2,
+        });
+        let mut m = MergeIter::with_files([f1, f2]);
+        let mut groups = Vec::new();
+        while let Some((k, vs)) = m.next_group() {
+            groups.push((*k, vs.to_vec()));
+        }
+        assert_eq!(
+            groups,
+            vec![(1, vec![10, 11]), (2, vec![20]), (3, vec![30])]
+        );
+        assert!(m.next_group().is_none());
+    }
+
+    #[test]
+    fn merge_iter_incremental_push_matches_batch_construction() {
+        let files: Vec<Arc<MapOutputFile<u64, u64>>> = vec![
+            Arc::new(MapOutputFile {
+                records: vec![(2, 1), (4, 2)],
+                raw_count: 2,
+            }),
+            Arc::new(MapOutputFile {
+                records: Vec::new(), // empty file: cursor never opens
+                raw_count: 0,
+            }),
+            Arc::new(MapOutputFile {
+                records: vec![(1, 3), (2, 4)],
+                raw_count: 2,
+            }),
+        ];
+        let mut batch = MergeIter::with_files(files.iter().map(Arc::clone));
+        let mut incremental = MergeIter::new();
+        for f in &files {
+            incremental.push_file(Arc::clone(f));
+        }
+        loop {
+            let a = batch.next_record().map(|(k, v)| (*k, *v));
+            let b = incremental.next_record().map(|(k, v)| (*k, *v));
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -106,8 +106,12 @@ pub trait Combiner: Send + Sync {
     type Key: MrKey;
     type Value: MrValue;
 
-    /// Combines the values of one key into a (usually shorter) list.
-    fn combine(&self, key: &Self::Key, values: Vec<Self::Value>) -> Vec<Self::Value>;
+    /// Combines the values of one key *in place*: on entry `values`
+    /// holds every value the Map task produced for `key`; on return
+    /// it holds the combined (usually shorter) list. In-place so the
+    /// engine can hand the same group buffer to every key of a sorted
+    /// run — zero steady-state allocation in the map-side combine.
+    fn combine(&self, key: &Self::Key, values: &mut Vec<Self::Value>);
 }
 
 /// A mapper from a plain function pointer / closure.

@@ -15,6 +15,12 @@ pub enum TaskKind {
     /// All of the reduce task's fetch sources had completed and been
     /// fetched — its barrier (global or dependency-based) was met.
     ReduceBarrierMet,
+    /// First key group's output left the streaming merge and reached
+    /// the output collector — the reduce pipeline is producing while
+    /// later groups are still merging.
+    ReduceFirstGroup,
+    /// The streaming merge consumed its last key group.
+    ReduceMergeDone,
     /// Reduce output committed (a correct partial result is now
     /// available, §3.4).
     ReduceEnd,

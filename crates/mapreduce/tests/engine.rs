@@ -397,8 +397,10 @@ fn map_side_spill_produces_identical_output() {
     impl sidr_mapreduce::Combiner for SumCombiner {
         type Key = u64;
         type Value = u64;
-        fn combine(&self, _key: &u64, values: Vec<u64>) -> Vec<u64> {
-            vec![values.iter().sum()]
+        fn combine(&self, _key: &u64, values: &mut Vec<u64>) {
+            let sum = values.iter().sum();
+            values.clear();
+            values.push(sum);
         }
     }
     let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 4);

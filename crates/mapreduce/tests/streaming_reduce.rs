@@ -1,0 +1,171 @@
+//! The reduce pipeline actually streams: under a SIDR plan
+//! (dependency barriers, inverted scheduling), each reducer's first
+//! emitted key group reaches the [`OutputCollector`] *before* the
+//! merge of its last key group completes — observable both through
+//! the `Timeline` (`ReduceFirstGroup` precedes `ReduceMergeDone`) and
+//! through a collector that timestamps every `stream_group` delivery.
+//! The final `commit` stays atomic and carries exactly the streamed
+//! records, in order.
+
+use parking_lot::Mutex;
+use std::time::Instant;
+
+use sidr_mapreduce::{
+    run_job, FnMapper, FnReducer, InputSplit, JobConfig, MapTaskId, OutputCollector, RoutingPlan,
+    SliceRecordSource, TaskKind,
+};
+
+/// Two reducers, four maps, SIDR-style: reducer 0 depends on maps
+/// {0,1}, reducer 1 on maps {2,3}; keys 0..100 route to reducer 0,
+/// the rest to reducer 1.
+struct HalvesPlan;
+
+impl RoutingPlan<u64> for HalvesPlan {
+    fn num_reducers(&self) -> usize {
+        2
+    }
+    fn partition(&self, key: &u64) -> usize {
+        usize::from(*key >= 100)
+    }
+    fn reduce_deps(&self, reducer: usize) -> Option<Vec<MapTaskId>> {
+        Some(if reducer == 0 { vec![0, 1] } else { vec![2, 3] })
+    }
+    fn invert_scheduling(&self) -> bool {
+        true
+    }
+}
+
+/// Map task `id` emits 50 keys in its reducer's key range, two values
+/// per key — so every reducer merges 2 files × 100 records into 50
+/// key groups of 4 values each.
+fn source(
+    id: MapTaskId,
+    _split: &InputSplit,
+) -> sidr_mapreduce::Result<SliceRecordSource<u64, u64>> {
+    let base = if id < 2 { 0u64 } else { 100 };
+    let mut records = Vec::new();
+    for k in 0..50u64 {
+        records.push((base + k, id as u64 * 1000 + k));
+        records.push((base + k, id as u64 * 1000 + 500 + k));
+    }
+    Ok(SliceRecordSource::new(records))
+}
+
+/// One timestamped `stream_group` delivery.
+struct StreamedBatch {
+    reducer: usize,
+    at: Instant,
+    records: Vec<(u64, u64)>,
+}
+
+/// One timestamped atomic commit.
+struct Commit {
+    reducer: usize,
+    at: Instant,
+    records: Vec<(u64, u64)>,
+}
+
+/// Records every pre-commit group delivery and every commit.
+#[derive(Default)]
+struct RecordingOutput {
+    streamed: Mutex<Vec<StreamedBatch>>,
+    committed: Mutex<Vec<Commit>>,
+}
+
+impl OutputCollector<u64, u64> for RecordingOutput {
+    fn commit(&self, reducer: usize, records: Vec<(u64, u64)>) -> sidr_mapreduce::Result<()> {
+        self.committed.lock().push(Commit {
+            reducer,
+            at: Instant::now(),
+            records,
+        });
+        Ok(())
+    }
+
+    fn stream_group(&self, reducer: usize, records: &[(u64, u64)]) -> sidr_mapreduce::Result<()> {
+        self.streamed.lock().push(StreamedBatch {
+            reducer,
+            at: Instant::now(),
+            records: records.to_vec(),
+        });
+        Ok(())
+    }
+}
+
+#[test]
+fn first_group_reaches_collector_before_merge_finishes() {
+    let splits: Vec<InputSplit> = (0..4)
+        .map(|_| InputSplit {
+            slab: sidr_coords::Slab::whole(&sidr_coords::Shape::new(vec![1]).unwrap()),
+            byte_range: (0, 0),
+            preferred_nodes: vec![],
+        })
+        .collect();
+    let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*k, *v));
+    let reducer =
+        FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.iter().sum()));
+    let output = RecordingOutput::default();
+    let result = run_job(
+        &splits,
+        &source,
+        &mapper,
+        None,
+        &reducer,
+        &HalvesPlan,
+        &output,
+        &JobConfig::default(),
+    )
+    .unwrap();
+
+    // Timeline: per reducer, the first group left the pipeline before
+    // the merge of the last group completed, which in turn precedes
+    // the atomic commit.
+    for r in 0..2 {
+        let at = |kind: TaskKind| {
+            result
+                .events
+                .iter()
+                .find(|e| e.kind == kind && e.task == r)
+                .unwrap_or_else(|| panic!("no {kind:?} event for reducer {r}"))
+                .at
+        };
+        let barrier = at(TaskKind::ReduceBarrierMet);
+        let first_group = at(TaskKind::ReduceFirstGroup);
+        let merge_done = at(TaskKind::ReduceMergeDone);
+        let end = at(TaskKind::ReduceEnd);
+        assert!(
+            barrier <= first_group && first_group < merge_done && merge_done <= end,
+            "reducer {r}: barrier {barrier:?} ≤ first group {first_group:?} \
+             < merge done {merge_done:?} ≤ end {end:?} violated"
+        );
+    }
+
+    // Collector's own clock agrees: for each reducer the first
+    // streamed batch landed strictly before its commit, every batch
+    // is one key group, and the concatenation of streamed batches is
+    // exactly the committed output, order included.
+    let streamed = output.streamed.lock();
+    let committed = output.committed.lock();
+    assert_eq!(committed.len(), 2);
+    for commit in committed.iter() {
+        let r = commit.reducer;
+        let batches: Vec<&StreamedBatch> = streamed.iter().filter(|b| b.reducer == r).collect();
+        assert_eq!(batches.len(), 50, "one stream_group call per key group");
+        assert!(
+            batches[0].at < commit.at,
+            "reducer {r}: first group streamed after commit"
+        );
+        let replayed: Vec<(u64, u64)> = batches
+            .iter()
+            .flat_map(|b| b.records.iter().copied())
+            .collect();
+        assert_eq!(
+            &replayed, &commit.records,
+            "stream == commit, byte for byte"
+        );
+    }
+
+    // The job itself is still correct: 100 key groups, each summing
+    // its four values.
+    assert_eq!(result.counters.reduce_records_out, 100);
+}

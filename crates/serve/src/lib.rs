@@ -5,7 +5,7 @@
 //! service here:
 //!
 //! * **one shared slot pool** (§3.3): every admitted job executes via
-//!   `run_job_shared` on one cluster-wide [`SlotPool`], so map/reduce
+//!   `run_job_shared` on one cluster-wide [`SlotPool`](sidr_mapreduce::SlotPool), so map/reduce
 //!   capacity is bounded across tenants, with inverted scheduling
 //!   intact — in-flight reduces, not idle ones, gate map eligibility;
 //! * **admission pre-flight**: submissions are `sidr-analyze`d before

@@ -8,7 +8,7 @@
 //! anything is scheduled — a plan that would hang or answer wrongly
 //! is rejected at the door with its diagnostics.
 //!
-//! Each job's output path is a [`StreamingOutput`] in hang-up-tolerant
+//! Each job's output path is a [`StreamingOutput`](sidr_core::early::StreamingOutput) in hang-up-tolerant
 //! mode, tee'd into an in-memory sink: every committed keyblock
 //! crosses the wire as a [`Response::Keyblock`] frame the moment its
 //! reduce finishes (§3.4/§5 early correct results), and a client that
