@@ -1,0 +1,188 @@
+//! `obs-bench`: what does watching the engine cost?
+//!
+//! Runs the Figure 8 weekly-mean workload end to end (`run_query` in
+//! SIDR mode) with the `sidr-obs` registry enabled and disabled
+//! ([`sidr_obs::set_enabled`]), interleaving the two arms so clock
+//! drift and cache state hit both equally, and reports the relative
+//! overhead of instrumentation against the < 3 % budget documented in
+//! `DESIGN.md`. Emits `results/BENCH_obs.json`:
+//!
+//! ```text
+//! cargo run --release -p sidr-bench --bin obs-bench
+//! cargo run --release -p sidr-bench --bin obs-bench -- --tiny   # CI scale
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use sidr_coords::Shape;
+use sidr_core::framework::{run_query, FrameworkMode, RunOptions};
+use sidr_core::{Operator, StructuralQuery};
+use sidr_scifile::gen::{DatasetSpec, ValueModel};
+use sidr_scifile::ScincFile;
+
+struct Args {
+    runs: usize,
+    reducers: usize,
+    tiny: bool,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            runs: 7,
+            reducers: 8,
+            tiny: false,
+            out: "results/BENCH_obs.json".into(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> Result<usize, String> {
+            let v = it.next().ok_or(format!("{name} needs a value"))?;
+            v.parse().map_err(|_| format!("bad value {v:?} for {name}"))
+        };
+        match arg.as_str() {
+            "--runs" => args.runs = num("--runs")?,
+            "--reducers" => args.reducers = num("--reducers")?,
+            "--tiny" => args.tiny = true,
+            "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.runs == 0 || args.reducers == 0 {
+        return Err("--runs and --reducers must be nonzero".into());
+    }
+    Ok(args)
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: String,
+    input_space: Vec<u64>,
+    extraction_shape: Vec<u64>,
+    reducers: usize,
+    runs: usize,
+    instrumented_median_ms: f64,
+    uninstrumented_median_ms: f64,
+    /// Median instrumented wall time over median uninstrumented, as a
+    /// percentage above 100. Negative values mean the difference is
+    /// below measurement noise.
+    overhead_pct: f64,
+    budget_pct: f64,
+    within_budget: bool,
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("obs-bench: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // The paper's weekly-averages workload (Figure 8): daily
+    // temperature down-sampled to weekly means. `--tiny` shrinks the
+    // grid for CI while keeping the extraction geometry.
+    let (input_space, extraction) = if args.tiny {
+        (vec![56, 20, 10], vec![7, 5, 1])
+    } else {
+        (vec![364, 125, 100], vec![7, 5, 1])
+    };
+    let query = StructuralQuery::new(
+        "temperature",
+        Shape::new(input_space.clone()).expect("valid space"),
+        Shape::new(extraction.clone()).expect("valid extraction"),
+        Operator::Mean,
+    )
+    .expect("query is structural");
+
+    let dir = std::env::temp_dir().join("sidr-obs-bench");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let input = dir.join(format!("fig08-{}.scinc", std::process::id()));
+    let space = query.input_space().clone();
+    DatasetSpec {
+        variable: query.variable.clone(),
+        dim_names: (0..space.rank()).map(|d| format!("d{d}")).collect(),
+        space,
+        model: ValueModel::LinearIndex,
+        seed: 0,
+    }
+    .generate::<f32>(&input)
+    .expect("dataset generates");
+    let file = ScincFile::open(&input).expect("dataset opens");
+    let opts = RunOptions::new(FrameworkMode::Sidr, args.reducers);
+
+    let time_one = |enabled: bool| -> f64 {
+        sidr_obs::set_enabled(enabled);
+        let started = Instant::now();
+        let outcome = run_query(&file, &query, &opts).expect("query runs");
+        let elapsed = started.elapsed().as_secs_f64() * 1e3;
+        assert!(!outcome.records.is_empty(), "workload produced no output");
+        elapsed
+    };
+
+    // Warm both arms (page cache, allocator, lazy registration), then
+    // interleave so neither arm owns the quiet half of the wall clock.
+    time_one(true);
+    time_one(false);
+    let mut on = Vec::with_capacity(args.runs);
+    let mut off = Vec::with_capacity(args.runs);
+    for run in 0..args.runs {
+        // Alternate which arm goes first within each round.
+        if run % 2 == 0 {
+            on.push(time_one(true));
+            off.push(time_one(false));
+        } else {
+            off.push(time_one(false));
+            on.push(time_one(true));
+        }
+    }
+    sidr_obs::set_enabled(true);
+
+    let instrumented = median(&mut on);
+    let uninstrumented = median(&mut off);
+    let overhead_pct = (instrumented - uninstrumented) / uninstrumented * 100.0;
+    let budget_pct = 3.0;
+    let report = BenchReport {
+        bench: "sidr-obs instrumentation overhead (fig08 weekly mean)".into(),
+        input_space,
+        extraction_shape: extraction,
+        reducers: args.reducers,
+        runs: args.runs,
+        instrumented_median_ms: instrumented,
+        uninstrumented_median_ms: uninstrumented,
+        overhead_pct,
+        budget_pct,
+        within_budget: overhead_pct < budget_pct,
+    };
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    if let Some(parent) = std::path::Path::new(&args.out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("obs-bench: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    std::fs::remove_file(&input).ok();
+    if !report.within_budget {
+        eprintln!("obs-bench: overhead {overhead_pct:.2}% exceeds the {budget_pct}% budget");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -28,6 +28,7 @@
 
 pub mod counters;
 pub mod error;
+pub mod metrics;
 pub mod output;
 pub mod partitioner;
 pub mod plan;
@@ -54,7 +55,7 @@ pub use split::{InputSplit, MapTaskId, SplitGenerator};
 pub use task::{
     Combiner, FnMapper, FnReducer, Mapper, MrKey, MrValue, RecordSource, Reducer, SliceRecordSource,
 };
-pub use timeline::{TaskEvent, TaskKind, Timeline};
+pub use timeline::{spans, TaskEvent, TaskKind, Timeline};
 pub use wire::WireFormat;
 
 /// Convenience alias for results in this crate.

@@ -1,0 +1,95 @@
+//! The engine's metric inventory, registered in the process-global
+//! [`sidr_obs`] registry.
+//!
+//! Handles are created once (first use) and shared by every job in
+//! the process; hot-path updates are single atomic ops. Slot gauges
+//! aggregate across every [`SlotPool`] alive in the process — the
+//! serving daemon builds exactly one, which is the scrape target that
+//! matters; transient per-test pools just add and remove their own
+//! occupancy symmetrically. `*_slots_total` is stamped by the most
+//! recently built pool.
+//!
+//! [`SlotPool`]: crate::runtime::SlotPool
+
+use sidr_obs::{global, Counter, Gauge, Histogram, DURATION_BUCKETS};
+use std::sync::{Arc, OnceLock};
+
+/// Every metric the engine emits.
+pub struct RuntimeMetrics {
+    /// `sidr_slots_busy{class=...}` — slots currently occupied.
+    pub map_slots_busy: Arc<Gauge>,
+    pub reduce_slots_busy: Arc<Gauge>,
+    /// `sidr_slots_total{class=...}` — capacity of the latest pool.
+    pub map_slots_total: Arc<Gauge>,
+    pub reduce_slots_total: Arc<Gauge>,
+    /// Whole-task wall time, start to committed end.
+    pub map_task_seconds: Arc<Histogram>,
+    pub reduce_task_seconds: Arc<Histogram>,
+    /// Reduce start → barrier met: the whole copy phase.
+    pub barrier_wait_seconds: Arc<Histogram>,
+    /// Time actually spent blocked waiting for map outputs inside the
+    /// copy phase (the rest of the phase is fetching).
+    pub copy_wait_seconds: Arc<Histogram>,
+    /// Map-side sort-buffer spill runs written.
+    pub map_spills: Arc<Counter>,
+    /// Records / approximate bytes consumed through `MergeIter`
+    /// (reduce-side k-way merges and map-side run merges alike).
+    pub merge_records: Arc<Counter>,
+    pub merge_bytes: Arc<Counter>,
+}
+
+/// The engine's metrics, registered on first use.
+pub fn runtime() -> &'static RuntimeMetrics {
+    static METRICS: OnceLock<RuntimeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        let busy_help = "Slots currently occupied, across every pool in the process";
+        let total_help = "Slot capacity of the most recently built pool";
+        let task_help = "Task wall time from start to committed end, seconds";
+        RuntimeMetrics {
+            map_slots_busy: r.gauge("sidr_slots_busy", busy_help, &[("class", "map")]),
+            reduce_slots_busy: r.gauge("sidr_slots_busy", busy_help, &[("class", "reduce")]),
+            map_slots_total: r.gauge("sidr_slots_total", total_help, &[("class", "map")]),
+            reduce_slots_total: r.gauge("sidr_slots_total", total_help, &[("class", "reduce")]),
+            map_task_seconds: r.histogram(
+                "sidr_map_task_seconds",
+                task_help,
+                &[],
+                DURATION_BUCKETS,
+            ),
+            reduce_task_seconds: r.histogram(
+                "sidr_reduce_task_seconds",
+                task_help,
+                &[],
+                DURATION_BUCKETS,
+            ),
+            barrier_wait_seconds: r.histogram(
+                "sidr_reduce_barrier_wait_seconds",
+                "Reduce start to barrier met (copy phase), seconds",
+                &[],
+                DURATION_BUCKETS,
+            ),
+            copy_wait_seconds: r.histogram(
+                "sidr_reduce_copy_wait_seconds",
+                "Time blocked waiting for map outputs during the copy phase, seconds",
+                &[],
+                DURATION_BUCKETS,
+            ),
+            map_spills: r.counter(
+                "sidr_map_spills_total",
+                "Map-side sort-buffer spill runs written",
+                &[],
+            ),
+            merge_records: r.counter(
+                "sidr_merge_records_total",
+                "Records consumed through the k-way merge iterator",
+                &[],
+            ),
+            merge_bytes: r.counter(
+                "sidr_merge_bytes_total",
+                "Approximate bytes consumed through the k-way merge iterator",
+                &[],
+            ),
+        }
+    })
+}

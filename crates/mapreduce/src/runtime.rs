@@ -19,9 +19,9 @@
 //! [`MrError::Cancelled`].
 
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::counters::{Counters, CountersSnapshot};
 use crate::error::MrError;
@@ -81,55 +81,181 @@ impl Default for JobConfig {
     }
 }
 
-/// How long blocked workers sleep between re-checks of failure and
-/// cancellation flags. Bounds cancel latency; notifications still wake
-/// workers immediately on ordinary progress.
+/// Safety-net re-check interval for blocked workers. Every blocking
+/// point is condvar-notified on progress, failure *and* cancellation
+/// (see [`CancelToken::cancel`] / `Shared::fail`), so this tick no
+/// longer bounds cancel latency — it only guards against a missed
+/// notification bug turning into a hang.
 const WAIT_TICK: Duration = Duration::from_millis(25);
+
+/// A blocking point's wake-up target: the condvar a worker may be
+/// parked on, paired with the mutex that guards its predicate.
+///
+/// `wake` takes (and immediately drops) the mutex before notifying.
+/// That closes the lost-wakeup window: a waiter that has already
+/// checked the cancel flag under the lock but not yet entered
+/// `wait()` still holds the lock, so the waker blocks until the
+/// waiter is actually parked — the notification cannot land in the
+/// gap.
+trait CancelWake: Send + Sync {
+    fn wake(&self);
+}
+
+struct PairWaker<T: Send + 'static> {
+    mutex: Arc<Mutex<T>>,
+    cv: Arc<Condvar>,
+}
+
+impl<T: Send + 'static> CancelWake for PairWaker<T> {
+    fn wake(&self) {
+        drop(self.mutex.lock());
+        self.cv.notify_all();
+    }
+}
+
+struct TokenInner {
+    cancelled: AtomicBool,
+    next_id: AtomicU64,
+    wakers: Mutex<Vec<(u64, Arc<dyn CancelWake>)>>,
+}
 
 /// Cooperative cancellation for a running job.
 ///
 /// Cloning shares the flag: the serving layer keeps one clone per
 /// `JobHandle` while the runtime's workers poll another. Cancellation
 /// is observed at every blocking point (slot acquisition, eligibility
-/// and barrier waits), so a cancelled job unwinds within a few wait
-/// ticks and `run_job_shared` returns [`MrError::Cancelled`].
-#[derive(Clone, Debug, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+/// and barrier waits); each blocking point's condvar is registered as
+/// a waker while the job runs, so [`cancel`](CancelToken::cancel)
+/// wakes parked workers immediately and `run_job_shared` returns
+/// [`MrError::Cancelled`] within notification latency, not within a
+/// poll tick.
+#[derive(Clone)]
+pub struct CancelToken(Arc<TokenInner>);
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken(Arc::new(TokenInner {
+            cancelled: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            wakers: Mutex::new(Vec::new()),
+        }))
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
 
 impl CancelToken {
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Requests cancellation. Idempotent.
+    /// Requests cancellation and wakes every registered blocking
+    /// point. Idempotent.
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::SeqCst);
+        self.0.cancelled.store(true, Ordering::SeqCst);
+        let wakers: Vec<Arc<dyn CancelWake>> = self
+            .0
+            .wakers
+            .lock()
+            .iter()
+            .map(|(_, w)| Arc::clone(w))
+            .collect();
+        for w in wakers {
+            w.wake();
+        }
     }
 
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::SeqCst)
+        self.0.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Registers a blocking point to be woken on cancel. If the token
+    /// is already cancelled the waker fires immediately.
+    fn subscribe(&self, waker: Arc<dyn CancelWake>) -> u64 {
+        let id = self.0.next_id.fetch_add(1, Ordering::Relaxed);
+        self.0.wakers.lock().push((id, Arc::clone(&waker)));
+        if self.is_cancelled() {
+            waker.wake();
+        }
+        id
+    }
+
+    fn unsubscribe(&self, id: u64) {
+        self.0.wakers.lock().retain(|(i, _)| *i != id);
     }
 }
 
-/// A counting semaphore over one slot class (map or reduce).
-#[derive(Debug)]
+/// RAII bundle of waker registrations for one job run; unsubscribes
+/// on drop so a finished job leaves nothing behind on a long-lived
+/// token or shared pool.
+struct WakerSubscriptions<'t> {
+    token: Option<&'t CancelToken>,
+    ids: Vec<u64>,
+}
+
+impl<'t> WakerSubscriptions<'t> {
+    fn subscribe_all(
+        token: Option<&'t CancelToken>,
+        wakers: impl IntoIterator<Item = Arc<dyn CancelWake>>,
+    ) -> Self {
+        let ids = match token {
+            None => Vec::new(),
+            Some(t) => wakers.into_iter().map(|w| t.subscribe(w)).collect(),
+        };
+        WakerSubscriptions { token, ids }
+    }
+}
+
+impl Drop for WakerSubscriptions<'_> {
+    fn drop(&mut self) {
+        if let Some(t) = self.token {
+            for id in &self.ids {
+                t.unsubscribe(*id);
+            }
+        }
+    }
+}
+
+/// A counting semaphore over one slot class (map or reduce). The
+/// mutex/condvar pair is `Arc`'d so cancel tokens can hold a
+/// [`PairWaker`] over it.
 struct Semaphore {
     total: usize,
-    busy: Mutex<usize>,
-    cv: Condvar,
+    busy: Arc<Mutex<usize>>,
+    cv: Arc<Condvar>,
+    /// Occupancy gauge for this slot class (process-global).
+    busy_gauge: Arc<sidr_obs::Gauge>,
+}
+
+impl std::fmt::Debug for Semaphore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Semaphore")
+            .field("total", &self.total)
+            .field("busy", &self.in_use())
+            .finish()
+    }
 }
 
 impl Semaphore {
-    fn new(total: usize) -> Self {
+    fn new(total: usize, busy_gauge: Arc<sidr_obs::Gauge>) -> Self {
         Semaphore {
             total,
-            busy: Mutex::new(0),
-            cv: Condvar::new(),
+            busy: Arc::new(Mutex::new(0)),
+            cv: Arc::new(Condvar::new()),
+            busy_gauge,
         }
     }
 
     /// Occupies one slot, blocking until one frees. Returns `false`
     /// without occupying anything if `abort()` turns true first.
+    /// Blocked waiters are condvar-woken on release, on job failure
+    /// and on cancellation; the timed wait is only a safety net.
     fn acquire(&self, abort: &dyn Fn() -> bool) -> bool {
         let mut busy = self.busy.lock();
         while *busy >= self.total {
@@ -139,6 +265,8 @@ impl Semaphore {
             self.cv.wait_for(&mut busy, WAIT_TICK);
         }
         *busy += 1;
+        drop(busy);
+        self.busy_gauge.inc();
         true
     }
 
@@ -147,7 +275,23 @@ impl Semaphore {
         debug_assert!(*busy > 0, "slot released but none occupied");
         *busy -= 1;
         drop(busy);
+        self.busy_gauge.dec();
         self.cv.notify_one();
+    }
+
+    /// Wakes every waiter so it re-checks its abort predicate (used
+    /// when a sharing job fails or is cancelled).
+    fn wake_all(&self) {
+        drop(self.busy.lock());
+        self.cv.notify_all();
+    }
+
+    /// A cancel waker parked on this semaphore's condvar.
+    fn waker(&self) -> Arc<dyn CancelWake> {
+        Arc::new(PairWaker {
+            mutex: Arc::clone(&self.busy),
+            cv: Arc::clone(&self.cv),
+        })
     }
 
     fn in_use(&self) -> usize {
@@ -192,9 +336,12 @@ impl SlotPool {
                 "map_slots and reduce_slots must be > 0".into(),
             ));
         }
+        let m = crate::metrics::runtime();
+        m.map_slots_total.set(map_slots as i64);
+        m.reduce_slots_total.set(reduce_slots as i64);
         Ok(SlotPool {
-            map: Semaphore::new(map_slots),
-            reduce: Semaphore::new(reduce_slots),
+            map: Semaphore::new(map_slots, Arc::clone(&m.map_slots_busy)),
+            reduce: Semaphore::new(reduce_slots, Arc::clone(&m.reduce_slots_busy)),
         })
     }
 
@@ -225,31 +372,43 @@ pub struct JobResult {
 }
 
 impl JobResult {
-    /// Time of the first committed reduce output.
+    /// Time of the first committed reduce output. Scans for the
+    /// minimum — no allocation, no sort (experiments call this in
+    /// loops).
     pub fn first_result(&self) -> Option<Duration> {
-        self.completions(TaskKind::ReduceEnd).first().copied()
+        self.times(TaskKind::ReduceEnd).min()
     }
 
     /// Sorted completion times of one event kind.
     pub fn completions(&self, kind: TaskKind) -> Vec<Duration> {
-        let mut t: Vec<Duration> = self
-            .events
-            .iter()
-            .filter(|e| e.kind == kind)
-            .map(|e| e.at)
-            .collect();
-        t.sort();
+        let mut t: Vec<Duration> = self.times(kind).collect();
+        // `events` is time-sorted, so the filtered view almost always
+        // already is too; sort only if recording raced out of order.
+        if !t.is_sorted() {
+            t.sort_unstable();
+        }
         t
     }
 
     /// Fraction of Map tasks complete when the first result committed.
     pub fn maps_done_at_first_result(&self) -> Option<f64> {
         let first = self.first_result()?;
-        let maps = self.completions(TaskKind::MapEnd);
-        if maps.is_empty() {
+        let (done, total) = self
+            .times(TaskKind::MapEnd)
+            .fold((0usize, 0usize), |(done, total), t| {
+                (done + usize::from(t <= first), total + 1)
+            });
+        if total == 0 {
             return None;
         }
-        Some(maps.iter().filter(|&&t| t <= first).count() as f64 / maps.len() as f64)
+        Some(done as f64 / total as f64)
+    }
+
+    fn times(&self, kind: TaskKind) -> impl Iterator<Item = Duration> + '_ {
+        self.events
+            .iter()
+            .filter(move |e| e.kind == kind)
+            .map(|e| e.at)
     }
 }
 
@@ -275,8 +434,10 @@ struct State {
 }
 
 struct Shared<'j, K2: MrKey, V2: MrValue> {
-    state: Mutex<State>,
-    cv: Condvar,
+    /// `Arc`'d (with `cv`) so cancel tokens can hold a [`PairWaker`]
+    /// over the pair while the job runs.
+    state: Arc<Mutex<State>>,
+    cv: Arc<Condvar>,
     shuffle: ShuffleStore<K2, V2>,
     counters: Counters,
     timeline: Timeline,
@@ -297,6 +458,11 @@ impl<K2: MrKey, V2: MrValue> Shared<'_, K2, V2> {
         drop(slot);
         self.state.lock().failed = true;
         self.cv.notify_all();
+        // Workers of this job may be parked on the pool's semaphores
+        // (which other jobs hold); wake them so they re-check the
+        // failure flag immediately instead of on the next tick.
+        self.pool.map.wake_all();
+        self.pool.reduce.wake_all();
     }
 
     fn cancel_requested(&self) -> bool {
@@ -446,13 +612,13 @@ where
     }
 
     let shared = Shared {
-        state: Mutex::new(State {
+        state: Arc::new(Mutex::new(State {
             maps,
             reduce_cursor: 0,
             reduces_done: 0,
             failed: false,
-        }),
-        cv: Condvar::new(),
+        })),
+        cv: Arc::new(Condvar::new()),
         shuffle: match &config.spill_dir {
             None => ShuffleStore::new(config.volatile_intermediate),
             Some(dir) => {
@@ -483,6 +649,21 @@ where
             .count();
         Counters::add(&shared.counters.maps_skipped, skipped as u64);
     }
+
+    // Register this job's blocking points with the cancel token so
+    // `cancel()` wakes parked workers immediately (dropped — and
+    // unsubscribed — when the job returns).
+    let _wakers = WakerSubscriptions::subscribe_all(
+        cancel,
+        [
+            Arc::new(PairWaker {
+                mutex: Arc::clone(&shared.state),
+                cv: Arc::clone(&shared.cv),
+            }) as Arc<dyn CancelWake>,
+            pool.map.waker(),
+            pool.reduce.waker(),
+        ],
+    );
 
     // One worker thread per slot the pool could ever grant this job,
     // capped by the task counts; permits are what actually bound
@@ -579,6 +760,7 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
         }
         let _slot = SlotGuard(&shared.pool.map);
 
+        let started = Instant::now();
         shared.timeline.record(TaskKind::MapStart, task);
         match run_map_task(
             shared,
@@ -593,6 +775,9 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
                     std::thread::sleep(shared.config.map_think);
                 }
                 shared.timeline.record(TaskKind::MapEnd, task);
+                crate::metrics::runtime()
+                    .map_task_seconds
+                    .observe_duration(started.elapsed());
                 let mut st = shared.state.lock();
                 st.maps[task] = MapStatus::Done;
                 drop(st);
@@ -736,11 +921,15 @@ fn reduce_worker<K2, V2, V3>(
             r
         };
 
+        let started = Instant::now();
         shared.timeline.record(TaskKind::ReduceStart, r);
         if let Err(e) = run_reduce_task(shared, r, reducer_fn, output) {
             shared.fail(e);
             return;
         }
+        crate::metrics::runtime()
+            .reduce_task_seconds
+            .observe_duration(started.elapsed());
         let mut st = shared.state.lock();
         st.reduces_done += 1;
         drop(st);
@@ -783,6 +972,8 @@ where
         let mut fetched: Vec<FetchSlot<K2, V2>> = vec![None; sources.len()];
         let mut opened = 0;
         let mut remaining = sources.len();
+        let copy_start = Instant::now();
+        let mut copy_wait = Duration::ZERO;
         while remaining > 0 {
             let ready: Vec<usize> = {
                 let mut st = shared.state.lock();
@@ -814,7 +1005,9 @@ where
                     if !ready.is_empty() {
                         break ready;
                     }
+                    let parked = Instant::now();
                     shared.cv.wait_for(&mut st, WAIT_TICK);
+                    copy_wait += parked.elapsed();
                 }
             };
             for i in ready {
@@ -830,6 +1023,10 @@ where
             }
         }
         shared.timeline.record(TaskKind::ReduceBarrierMet, r);
+        let m = crate::metrics::runtime();
+        m.barrier_wait_seconds
+            .observe_duration(copy_start.elapsed());
+        m.copy_wait_seconds.observe_duration(copy_wait);
 
         // §3.2.1 approach 2: tally the raw ⟨k,v⟩ annotation before
         // processing; starting with less input than the geometry
@@ -898,6 +1095,10 @@ where
             }
         }
         shared.timeline.record(TaskKind::ReduceMergeDone, r);
+        let merged = merge.records_consumed();
+        m.merge_records.add(merged);
+        m.merge_bytes
+            .add(merged.saturating_mul(std::mem::size_of::<(K2, V2)>() as u64));
         Counters::add(&shared.counters.reduce_records_out, emitted);
         if !shared.config.reduce_think.is_zero() {
             std::thread::sleep(shared.config.reduce_think);
@@ -907,5 +1108,64 @@ where
             .map_err(|e| MrError::Output(e.to_string()))?;
         shared.timeline.record(TaskKind::ReduceEnd, r);
         return Ok(());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cancel must reach a waiter parked on a semaphore's condvar by
+    /// notification — well inside one `WAIT_TICK` — not by waiting for
+    /// the next safety-net poll.
+    #[test]
+    fn cancel_wakes_semaphore_waiter_sub_tick() {
+        let sem = Arc::new(Semaphore::new(1, Arc::new(sidr_obs::Gauge::default())));
+        assert!(sem.acquire(&|| false)); // occupy the only slot
+        let token = CancelToken::new();
+        let id = token.subscribe(sem.waker());
+
+        let waiter = {
+            let sem = Arc::clone(&sem);
+            let token = token.clone();
+            std::thread::spawn(move || sem.acquire(&|| token.is_cancelled()))
+        };
+        // Give the waiter ample time to park on the condvar.
+        std::thread::sleep(Duration::from_millis(60));
+        let cancelled_at = Instant::now();
+        token.cancel();
+        let got = waiter.join().unwrap();
+        let latency = cancelled_at.elapsed();
+        assert!(!got, "waiter must abort, not acquire");
+        assert!(
+            latency < Duration::from_millis(10),
+            "cancel→wake took {latency:?}; expected notification latency, \
+             not a poll tick"
+        );
+        token.unsubscribe(id);
+        assert!(token.0.wakers.lock().is_empty());
+        sem.release();
+    }
+
+    /// Subscribing to an already-cancelled token fires the waker
+    /// immediately, so a waiter that raced past the flag check still
+    /// gets woken.
+    #[test]
+    fn subscribe_after_cancel_fires_immediately() {
+        let sem = Arc::new(Semaphore::new(1, Arc::new(sidr_obs::Gauge::default())));
+        assert!(sem.acquire(&|| false));
+        let token = CancelToken::new();
+        token.cancel();
+        let waiter = {
+            let sem = Arc::clone(&sem);
+            let token = token.clone();
+            std::thread::spawn(move || sem.acquire(&|| token.is_cancelled()))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        // The waiter aborts on its own flag check; the subscription
+        // path must still wake, not deadlock, if it happens after.
+        token.subscribe(sem.waker());
+        assert!(!waiter.join().unwrap());
+        sem.release();
     }
 }

@@ -305,6 +305,7 @@ impl<K: MrKey, V: MrValue> MapOutputBuilder<K, V> {
             };
             (spill.write)(&path, &run)?;
             spill.runs[reducer].push(path);
+            crate::metrics::runtime().map_spills.inc();
         }
         spill.seq += 1;
         self.buffered = 0;
@@ -350,6 +351,13 @@ impl<K: MrKey, V: MrValue> MapOutputBuilder<K, V> {
                     while let Some((k, v)) = merge.next_record() {
                         merged.push((k.clone(), v.clone()));
                     }
+                    let m = crate::metrics::runtime();
+                    m.merge_records.add(merge.records_consumed());
+                    m.merge_bytes.add(
+                        merge
+                            .records_consumed()
+                            .saturating_mul(std::mem::size_of::<(K, V)>() as u64),
+                    );
                     debug_assert_eq!(raw as usize, merged.len(), "run headers sum to the merge");
                     records = merged;
                 }
@@ -443,6 +451,8 @@ pub struct MergeIter<K, V> {
     heap: Vec<usize>,
     /// Reusable buffer holding the current group's values.
     group: Vec<V>,
+    /// Records consumed so far (for the merge throughput metrics).
+    consumed: u64,
 }
 
 impl<K: MrKey, V: MrValue> Default for MergeIter<K, V> {
@@ -459,6 +469,7 @@ impl<K: MrKey, V: MrValue> MergeIter<K, V> {
             cursors: Vec::new(),
             heap: Vec::new(),
             group: Vec::new(),
+            consumed: 0,
         }
     }
 
@@ -559,11 +570,17 @@ impl<K: MrKey, V: MrValue> MergeIter<K, V> {
         }
     }
 
+    /// Records consumed through this iterator so far.
+    pub fn records_consumed(&self) -> u64 {
+        self.consumed
+    }
+
     /// The next record in merged order, borrowed from its file.
     pub fn next_record(&mut self) -> Option<(&K, &V)> {
         let &f = self.heap.first()?;
         let idx = self.cursors[f];
         self.cursors[f] = idx + 1;
+        self.consumed += 1;
         self.advance_root();
         let (k, v) = &self.files[f].records[idx];
         Some((k, v))
@@ -594,6 +611,7 @@ impl<K: MrKey, V: MrValue> MergeIter<K, V> {
                 self.group.push(records[end].1.clone());
                 end += 1;
             }
+            self.consumed += (end - idx) as u64;
             self.cursors[f] = end;
             self.advance_root();
         }

@@ -80,19 +80,33 @@ impl Timeline {
             .filter(|e| e.kind == kind)
             .map(|e| e.at)
             .collect();
-        times.sort();
+        // Events are recorded in near-time order; skip the sort when
+        // the filtered view is already sorted (the common case).
+        if !times.is_sorted() {
+            times.sort_unstable();
+        }
         times
     }
 
     /// Time of the first committed reduce output — the paper's
-    /// "time to first result".
+    /// "time to first result". Min-scan; no allocation.
     pub fn first_result(&self) -> Option<Duration> {
-        self.completions(TaskKind::ReduceEnd).first().copied()
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.kind == TaskKind::ReduceEnd)
+            .map(|e| e.at)
+            .min()
     }
 
     /// Time of the last committed reduce output — total query time.
     pub fn job_end(&self) -> Option<Duration> {
-        self.completions(TaskKind::ReduceEnd).last().copied()
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.kind == TaskKind::ReduceEnd)
+            .map(|e| e.at)
+            .max()
     }
 
     /// Fraction of Map tasks complete at the moment the first reduce
@@ -100,13 +114,75 @@ impl Timeline {
     /// the query completed" metric).
     pub fn maps_done_at_first_result(&self) -> Option<f64> {
         let first = self.first_result()?;
-        let map_ends = self.completions(TaskKind::MapEnd);
-        if map_ends.is_empty() {
+        let (done, total) = self
+            .events
+            .lock()
+            .iter()
+            .filter(|e| e.kind == TaskKind::MapEnd)
+            .fold((0usize, 0usize), |(done, total), e| {
+                (done + usize::from(e.at <= first), total + 1)
+            });
+        if total == 0 {
             return None;
         }
-        let done = map_ends.iter().filter(|&&t| t <= first).count();
-        Some(done as f64 / map_ends.len() as f64)
+        Some(done as f64 / total as f64)
     }
+}
+
+/// Converts a job's event stream into named trace spans:
+///
+/// | span           | start            | end               |
+/// |----------------|------------------|-------------------|
+/// | `map`          | `MapStart`       | `MapEnd`          |
+/// | `reduce`       | `ReduceStart`    | `ReduceEnd`       |
+/// | `reduce.copy`  | `ReduceStart`    | `ReduceBarrierMet`|
+/// | `reduce.merge` | `ReduceBarrierMet`| `ReduceMergeDone`|
+///
+/// A retried reduce (recovery experiments) emits one `reduce.copy` /
+/// `reduce.merge` span per attempt, all sharing the task's single
+/// `ReduceStart`. Unfinished tasks (failed or cancelled jobs) emit no
+/// span. Feed the result to [`sidr_obs::write_spans_jsonl`].
+pub fn spans(events: &[TaskEvent]) -> Vec<sidr_obs::Span> {
+    use std::collections::HashMap;
+    let us = |d: Duration| d.as_micros() as u64;
+    let mut map_start: HashMap<usize, u64> = HashMap::new();
+    let mut reduce_start: HashMap<usize, u64> = HashMap::new();
+    let mut barrier: HashMap<usize, u64> = HashMap::new();
+    let mut out = Vec::new();
+    for e in events {
+        let t = e.task as u64;
+        match e.kind {
+            TaskKind::MapStart => {
+                map_start.insert(e.task, us(e.at));
+            }
+            TaskKind::MapEnd => {
+                if let Some(s) = map_start.remove(&e.task) {
+                    out.push(sidr_obs::Span::new("map", t, s, us(e.at)));
+                }
+            }
+            TaskKind::ReduceStart => {
+                reduce_start.insert(e.task, us(e.at));
+            }
+            TaskKind::ReduceBarrierMet => {
+                if let Some(&s) = reduce_start.get(&e.task) {
+                    out.push(sidr_obs::Span::new("reduce.copy", t, s, us(e.at)));
+                }
+                barrier.insert(e.task, us(e.at));
+            }
+            TaskKind::ReduceMergeDone => {
+                if let Some(s) = barrier.remove(&e.task) {
+                    out.push(sidr_obs::Span::new("reduce.merge", t, s, us(e.at)));
+                }
+            }
+            TaskKind::ReduceEnd => {
+                if let Some(s) = reduce_start.remove(&e.task) {
+                    out.push(sidr_obs::Span::new("reduce", t, s, us(e.at)));
+                }
+            }
+            TaskKind::ReduceFirstGroup | TaskKind::ReduceFailed => {}
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -140,5 +216,75 @@ mod tests {
         let tl = Timeline::new();
         assert_eq!(tl.first_result(), None);
         assert_eq!(tl.maps_done_at_first_result(), None);
+    }
+
+    #[test]
+    fn spans_pair_starts_with_ends() {
+        let at = |ms: u64| Duration::from_millis(ms);
+        let events = vec![
+            TaskEvent {
+                kind: TaskKind::MapStart,
+                task: 0,
+                at: at(0),
+            },
+            TaskEvent {
+                kind: TaskKind::ReduceStart,
+                task: 1,
+                at: at(1),
+            },
+            TaskEvent {
+                kind: TaskKind::MapEnd,
+                task: 0,
+                at: at(5),
+            },
+            TaskEvent {
+                kind: TaskKind::ReduceBarrierMet,
+                task: 1,
+                at: at(6),
+            },
+            TaskEvent {
+                kind: TaskKind::ReduceFirstGroup,
+                task: 1,
+                at: at(7),
+            },
+            TaskEvent {
+                kind: TaskKind::ReduceMergeDone,
+                task: 1,
+                at: at(8),
+            },
+            TaskEvent {
+                kind: TaskKind::ReduceEnd,
+                task: 1,
+                at: at(9),
+            },
+            // An unfinished map: no span.
+            TaskEvent {
+                kind: TaskKind::MapStart,
+                task: 2,
+                at: at(4),
+            },
+        ];
+        let spans = spans(&events);
+        let get = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("span {name} missing"))
+        };
+        assert_eq!(spans.len(), 4);
+        assert_eq!((get("map").start_us, get("map").end_us), (0, 5_000));
+        assert_eq!(get("map").task, 0);
+        assert_eq!(
+            (get("reduce.copy").start_us, get("reduce.copy").end_us),
+            (1_000, 6_000)
+        );
+        assert_eq!(
+            (get("reduce.merge").start_us, get("reduce.merge").end_us),
+            (6_000, 8_000)
+        );
+        assert_eq!(
+            (get("reduce").start_us, get("reduce").end_us),
+            (1_000, 9_000)
+        );
     }
 }

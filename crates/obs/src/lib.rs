@@ -1,0 +1,40 @@
+//! `sidr-obs` — the observability substrate for the SIDR runtime.
+//!
+//! SIDR's whole argument is made with measurements — task timelines,
+//! time-to-first-result, skew and slot occupancy — so the runtime
+//! carries a metrics and tracing layer that is always on and cheap
+//! enough to stay on. Three pieces, all dependency-free:
+//!
+//! * **Metrics** ([`metrics`]) — atomic [`Counter`]s, [`Gauge`]s and
+//!   fixed-bucket [`Histogram`]s registered in a [`MetricsRegistry`].
+//!   Handles are `Arc`s handed out once and updated lock-free on hot
+//!   paths; the registry itself is only locked at registration and
+//!   render time. A process-global registry ([`global`]) collects
+//!   every subsystem's metrics so one scrape sees the whole process.
+//! * **Exposition** ([`text`]) — the Prometheus text format
+//!   (`# HELP` / `# TYPE` / `name{label="v"} value`), rendered by
+//!   [`MetricsRegistry::render`] and parsed back by [`text::parse`]
+//!   (round-trip property-tested; the parser also powers scrape
+//!   shape-checks in CI).
+//! * **Traces** ([`trace`]) — a minimal [`Span`] model plus a JSONL
+//!   exporter, the wire between the engine's `Timeline` events and
+//!   external trace tooling: one JSON object per line, no framing.
+//!
+//! Instrumentation can be globally disabled ([`set_enabled`]) so the
+//! overhead of the layer itself is measurable: `obs-bench` runs the
+//! same workload instrumented and uninstrumented and records the
+//! delta in `results/BENCH_obs.json`.
+
+pub mod metrics;
+pub mod text;
+pub mod trace;
+
+pub use metrics::{
+    global, set_enabled, Counter, Gauge, Histogram, MetricsRegistry, DURATION_BUCKETS,
+};
+pub use trace::{write_spans_jsonl, Span};
+
+/// Renders the process-global registry's full exposition text.
+pub fn render_global() -> String {
+    global().render()
+}

@@ -1,0 +1,240 @@
+//! Prometheus text-exposition helpers: label escaping plus a small
+//! parser for the subset of the format [`MetricsRegistry::render`]
+//! emits. The parser exists for the round-trip property tests and for
+//! CI scrape shape-checks — it is not a general Prometheus parser.
+//!
+//! [`MetricsRegistry::render`]: crate::MetricsRegistry::render
+
+use std::collections::BTreeMap;
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline are escaped; everything else passes through.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_label_value(v: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            other => return Err(format!("bad escape \\{other:?} in label value")),
+        }
+    }
+    Ok(out)
+}
+
+/// One sample line: `name{labels} value`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    /// Label pairs in the order they appeared.
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition: `# TYPE` / `# HELP` metadata keyed by family
+/// name, plus every sample line in order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Exposition {
+    pub types: BTreeMap<String, String>,
+    pub helps: BTreeMap<String, String>,
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// All samples named `name` (exact match, so histogram series are
+    /// addressed as `foo_bucket` / `foo_sum` / `foo_count`).
+    pub fn samples_named(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// The single sample with `name` and exactly `labels`, if any.
+    pub fn sample(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Sample> {
+        self.samples.iter().find(|s| {
+            s.name == name
+                && s.labels.len() == labels.len()
+                && s.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        })
+    }
+}
+
+/// Parses exposition text produced by [`MetricsRegistry::render`].
+///
+/// [`MetricsRegistry::render`]: crate::MetricsRegistry::render
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut out = Exposition::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: {line:?}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').ok_or_else(|| err("malformed HELP"))?;
+            out.helps.insert(name.to_string(), help.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, ty) = rest.split_once(' ').ok_or_else(|| err("malformed TYPE"))?;
+            out.types.insert(name.to_string(), ty.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal and ignored
+        }
+        out.samples.push(parse_sample(line).map_err(|m| err(&m))?);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    // The metric name runs until the label set or the value.
+    let name_end = line
+        .find(['{', ' '])
+        .ok_or_else(|| "no value".to_string())?;
+    let name = line[..name_end].to_string();
+    let (labels, rest) = if line[name_end..].starts_with('{') {
+        let body_start = name_end + 1;
+        // Find the closing `}` outside any quoted label value; quoted
+        // values may themselves contain `}`, `,` and escapes.
+        let mut in_quotes = false;
+        let mut prev_backslash = false;
+        let mut close = None;
+        for (i, c) in line[body_start..].char_indices() {
+            if prev_backslash {
+                prev_backslash = false;
+                continue;
+            }
+            match c {
+                '\\' if in_quotes => prev_backslash = true,
+                '"' => in_quotes = !in_quotes,
+                '}' if !in_quotes => {
+                    close = Some(body_start + i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let close = close.ok_or_else(|| "unterminated label set".to_string())?;
+        (parse_labels(&line[body_start..close])?, &line[close + 1..])
+    } else {
+        (Vec::new(), &line[name_end..])
+    };
+    let value = rest.trim();
+    let value: f64 = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v.parse().map_err(|e| format!("bad value {v:?}: {e}"))?,
+    };
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| "label without =".to_string())?;
+        let key = rest[..eq].trim().to_string();
+        let after = &rest[eq + 1..];
+        let after = after
+            .strip_prefix('"')
+            .ok_or_else(|| "label value not quoted".to_string())?;
+        // Find the closing quote, skipping escaped characters.
+        let mut end = None;
+        let mut prev_backslash = false;
+        for (i, c) in after.char_indices() {
+            if prev_backslash {
+                prev_backslash = false;
+            } else if c == '\\' {
+                prev_backslash = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or_else(|| "unterminated label value".to_string())?;
+        labels.push((key, unescape_label_value(&after[..end])?));
+        rest = after[end + 1..].trim_start_matches(',');
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_and_labelled_samples() {
+        let exp = parse(
+            "# HELP x_total a counter\n# TYPE x_total counter\nx_total 3\n\
+             y{class=\"map\",job=\"j-1\"} 2.5\n",
+        )
+        .unwrap();
+        assert_eq!(exp.types["x_total"], "counter");
+        assert_eq!(exp.helps["x_total"], "a counter");
+        assert_eq!(exp.sample("x_total", &[]).unwrap().value, 3.0);
+        let y = exp
+            .sample("y", &[("class", "map"), ("job", "j-1")])
+            .unwrap();
+        assert_eq!(y.value, 2.5);
+        assert_eq!(y.label("class"), Some("map"));
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        for raw in ["plain", "q\"uote", "back\\slash", "new\nline", "\\\"\n"] {
+            let escaped = escape_label_value(raw);
+            assert!(!escaped.contains('\n'));
+            assert_eq!(unescape_label_value(&escaped).unwrap(), raw);
+        }
+    }
+
+    #[test]
+    fn inf_bucket_values_parse() {
+        let exp = parse("h_bucket{le=\"+Inf\"} 7\n").unwrap();
+        let s = exp.sample("h_bucket", &[("le", "+Inf")]).unwrap();
+        assert_eq!(s.value, 7.0);
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_line_numbers() {
+        let e = parse("ok 1\nbad{le=\"x\" 2\n").unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+    }
+}

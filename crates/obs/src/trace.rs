@@ -1,0 +1,112 @@
+//! Minimal span model + JSONL exporter.
+//!
+//! A [`Span`] is a named interval on a task's timeline — one map
+//! attempt, a reduce's copy phase, its merge. The exporter writes one
+//! JSON object per line (JSONL), the lowest-common-denominator trace
+//! format: streamable, greppable, and trivially ingested by anything
+//! downstream. Serialization is hand-rolled so the crate stays
+//! dependency-free.
+
+use std::io::{self, Write};
+
+/// One traced interval.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// What happened, e.g. `"map"`, `"reduce"`, `"reduce.copy"`.
+    pub name: String,
+    /// Task index within its kind (map 3, reduce 0, ...).
+    pub task: u64,
+    /// Start offset from job start, microseconds.
+    pub start_us: u64,
+    /// End offset from job start, microseconds.
+    pub end_us: u64,
+}
+
+impl Span {
+    pub fn new(name: impl Into<String>, task: u64, start_us: u64, end_us: u64) -> Self {
+        Span {
+            name: name.into(),
+            task,
+            start_us,
+            end_us,
+        }
+    }
+
+    /// Span duration in microseconds (0 if the clock went backwards).
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders one span as a single-line JSON object (no trailing newline).
+pub fn span_json(span: &Span) -> String {
+    let mut out = String::with_capacity(64 + span.name.len());
+    out.push_str("{\"name\":\"");
+    escape_json(&span.name, &mut out);
+    out.push_str(&format!(
+        "\",\"task\":{},\"start_us\":{},\"end_us\":{},\"duration_us\":{}}}",
+        span.task,
+        span.start_us,
+        span.end_us,
+        span.duration_us()
+    ));
+    out
+}
+
+/// Writes spans as JSONL: one object per line.
+pub fn write_spans_jsonl<W: Write>(w: &mut W, spans: &[Span]) -> io::Result<()> {
+    for span in spans {
+        writeln!(w, "{}", span_json(span))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_render_as_one_json_object_per_line() {
+        let spans = vec![
+            Span::new("map", 0, 10, 250),
+            Span::new("reduce.copy", 2, 300, 400),
+        ];
+        let mut buf = Vec::new();
+        write_spans_jsonl(&mut buf, &spans).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"name\":\"map\",\"task\":0,\"start_us\":10,\"end_us\":250,\"duration_us\":240}"
+        );
+        assert!(lines[1].contains("\"name\":\"reduce.copy\""));
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        let s = Span::new("we\"ird\\name\n", 1, 0, 1);
+        let json = span_json(&s);
+        assert!(json.contains("we\\\"ird\\\\name\\n"));
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn backwards_clock_yields_zero_duration() {
+        assert_eq!(Span::new("x", 0, 5, 3).duration_us(), 0);
+    }
+}

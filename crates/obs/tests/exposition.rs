@@ -1,0 +1,139 @@
+//! Property tests for the exposition pipeline: whatever a registry
+//! holds, `render()` emits text that `text::parse` reads back sample
+//! for sample, and histograms expose cumulative, monotone buckets.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sidr_obs::text::{self, Exposition};
+use sidr_obs::MetricsRegistry;
+
+/// Characters a label value can contain, deliberately including the
+/// ones the exposition format must escape.
+const LABEL_CHARS: &[char] = &[
+    'a', 'Z', '0', '_', '-', '.', ' ', '"', '\\', '\n', 'µ', '→', '{', '}', ',', '=',
+];
+
+fn label_value(seeds: Vec<u8>) -> String {
+    seeds
+        .into_iter()
+        .map(|s| LABEL_CHARS[s as usize % LABEL_CHARS.len()])
+        .collect()
+}
+
+/// A family's worth of random series: `(label value, sample value)`.
+fn series_strategy() -> impl Strategy<Value = Vec<(String, u64)>> {
+    vec(
+        (vec(any::<u8>(), 0..12), any::<u64>())
+            .prop_map(|(seeds, v)| (label_value(seeds), v % 1_000_000)),
+        1..5,
+    )
+}
+
+/// Builds a registry from the generated description and returns it
+/// alongside the expected samples. Series with duplicate label values
+/// collapse onto one handle (registration is idempotent), so expected
+/// values are accumulated per label.
+fn build_registry(
+    families: &[Vec<(String, u64)>],
+) -> (MetricsRegistry, Vec<(String, String, u64)>) {
+    let registry = MetricsRegistry::new();
+    let mut expected: Vec<(String, String, u64)> = Vec::new();
+    for (i, series) in families.iter().enumerate() {
+        let name = format!("fam{i}_total");
+        for (label, value) in series {
+            let c = registry.counter(&name, "generated", &[("tag", label)]);
+            c.add(*value);
+            match expected
+                .iter_mut()
+                .find(|(n, l, _)| n == &name && l == label)
+            {
+                Some((_, _, total)) => *total += value,
+                None => expected.push((name.clone(), label.clone(), *value)),
+            }
+        }
+    }
+    (registry, expected)
+}
+
+fn parsed(registry: &MetricsRegistry) -> Exposition {
+    let rendered = registry.render();
+    text::parse(&rendered)
+        .unwrap_or_else(|e| panic!("render output failed to parse: {e}\n{rendered}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every counter registered — whatever bytes its label value holds
+    /// — comes back from render→parse with the same name, label and
+    /// value.
+    #[test]
+    fn counters_round_trip(families in vec(series_strategy(), 1..4)) {
+        let (registry, expected) = build_registry(&families);
+        let exp = parsed(&registry);
+        for (name, label, value) in &expected {
+            let sample = exp
+                .sample(name, &[("tag", label)])
+                .unwrap_or_else(|| panic!("sample {name}{{tag={label:?}}} missing"));
+            prop_assert_eq!(sample.value, *value as f64);
+            prop_assert_eq!(exp.types.get(name).map(String::as_str), Some("counter"));
+        }
+        // No phantom samples either: one line per expected series.
+        let total: usize = families.iter().enumerate().map(|(i, _)| {
+            exp.samples_named(&format!("fam{i}_total")).len()
+        }).sum();
+        prop_assert_eq!(total, expected.len());
+    }
+
+    /// Gauges round-trip negative values.
+    #[test]
+    fn gauges_round_trip(seed in any::<u64>()) {
+        let value = (seed % 2_000_000_000) as i64 - 1_000_000_000;
+        let registry = MetricsRegistry::new();
+        registry.gauge("depth", "generated", &[]).set(value);
+        let exp = parsed(&registry);
+        prop_assert_eq!(exp.sample("depth", &[]).unwrap().value, value as f64);
+    }
+
+    /// Histogram exposition is well-formed for arbitrary observations:
+    /// buckets are cumulative and monotone, the `+Inf` bucket equals
+    /// `_count`, and `_sum` tracks the observation total.
+    #[test]
+    fn histogram_buckets_are_monotone(obs in vec(any::<u64>(), 0..40)) {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram(
+            "t_seconds",
+            "generated",
+            &[],
+            &[0.001, 0.01, 0.1, 1.0, 10.0],
+        );
+        let values: Vec<f64> = obs.iter().map(|s| (s % 200_000) as f64 / 1e4).collect();
+        for v in &values {
+            h.observe(*v);
+        }
+        let exp = parsed(&registry);
+        let buckets = exp.samples_named("t_seconds_bucket");
+        prop_assert_eq!(buckets.len(), 6); // 5 finite bounds + +Inf
+        let mut prev = 0.0;
+        for b in &buckets {
+            prop_assert!(b.value >= prev, "bucket counts must be cumulative");
+            prev = b.value;
+        }
+        let inf = buckets.last().unwrap();
+        prop_assert_eq!(inf.label("le"), Some("+Inf"));
+        let count = exp.sample("t_seconds_count", &[]).unwrap().value;
+        prop_assert_eq!(inf.value, count);
+        prop_assert_eq!(count, values.len() as f64);
+        let sum = exp.sample("t_seconds_sum", &[]).unwrap().value;
+        let expected_sum: f64 = values.iter().sum();
+        prop_assert!((sum - expected_sum).abs() < 1e-3 * values.len().max(1) as f64);
+        // Each finite bucket holds exactly the observations <= bound.
+        for b in buckets.iter().take(5) {
+            let bound: f64 = b.label("le").unwrap().parse().unwrap();
+            let le = values.iter().filter(|v| **v <= bound).count();
+            prop_assert_eq!(b.value, le as f64);
+        }
+        prop_assert_eq!(exp.types.get("t_seconds").map(String::as_str), Some("histogram"));
+    }
+}

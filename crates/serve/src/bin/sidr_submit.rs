@@ -5,12 +5,16 @@
 //!     --input /tmp/tiny.scinc --generate
 //! sidr-submit submit --addr ... --spec job.json --input data.scinc
 //! sidr-submit stats  --addr 127.0.0.1:7733
+//! sidr-submit metrics --addr 127.0.0.1:7733
 //! sidr-submit cancel --addr 127.0.0.1:7733 --job 3
 //! sidr-submit shutdown --addr 127.0.0.1:7733
 //! ```
 //!
 //! `submit` streams keyblocks as the server commits them, printing
 //! one line per early result, and exits nonzero if the job fails.
+//! `metrics` scrapes the daemon's registry as Prometheus text
+//! exposition; `submit --trace FILE` writes the finished job's task
+//! spans as JSONL for timeline tooling.
 
 use std::process::ExitCode;
 
@@ -33,11 +37,12 @@ struct Args {
     map_think_ms: u64,
     generate: bool,
     quiet: bool,
+    trace: Option<String>,
 }
 
 fn usage() -> String {
     let mut text = String::from(
-        "usage: sidr-submit <submit|stats|cancel|shutdown> --addr ADDR [options]\n\
+        "usage: sidr-submit <submit|stats|metrics|cancel|shutdown> --addr ADDR [options]\n\
          \n\
          submit options:\n\
          \x20 --preset NAME       build the spec from a named config\n\
@@ -49,6 +54,11 @@ fn usage() -> String {
          \x20                     slab corner C shape S first (e.g. 0,0,0,0:8,1,1,1)\n\
          \x20 --map-think-ms N    artificial per-map cost (demos)\n\
          \x20 --quiet             suppress per-keyblock lines\n\
+         \x20 --trace FILE        write the job's task spans as JSONL\n\
+         \n\
+         metrics: print the daemon's metric registry (Prometheus text\n\
+         exposition) — slot occupancy, job-state gauges, task and\n\
+         time-to-first-keyblock histograms.\n\
          \n\
          cancel options:\n\
          \x20 --job N             job id to cancel\n\
@@ -64,7 +74,7 @@ fn usage() -> String {
 fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     let command = match it.next() {
-        Some(c) if ["submit", "stats", "cancel", "shutdown"].contains(&c.as_str()) => c,
+        Some(c) if ["submit", "stats", "metrics", "cancel", "shutdown"].contains(&c.as_str()) => c,
         Some(c) if c == "--help" || c == "-h" => return Err(String::new()),
         Some(c) => return Err(format!("unknown command {c:?}")),
         None => return Err("missing command".into()),
@@ -81,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
         map_think_ms: 0,
         generate: false,
         quiet: false,
+        trace: None,
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -103,6 +114,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--generate" => args.generate = true,
             "--quiet" | "-q" => args.quiet = true,
+            "--trace" => args.trace = Some(it.next().ok_or("--trace needs a file")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -166,6 +178,15 @@ fn ensure_input(spec: &JobSpec, path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Converts the terminal frame's task timeline into spans and writes
+/// them as one JSON object per line.
+fn write_trace(path: &str, events: &[sidr_mapreduce::TaskEvent]) -> Result<(), String> {
+    let spans = sidr_mapreduce::spans(events);
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path:?}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    sidr_obs::write_spans_jsonl(&mut w, &spans).map_err(|e| format!("cannot write {path:?}: {e}"))
+}
+
 fn run(args: &Args) -> Result<(), String> {
     let mut client =
         Client::connect(&args.addr).map_err(|e| format!("cannot reach {}: {e}", args.addr))?;
@@ -184,6 +205,11 @@ fn run(args: &Args) -> Result<(), String> {
                 "streamed: {} keyblocks, {} bytes",
                 s.keyblocks_committed, s.bytes_streamed
             );
+            Ok(())
+        }
+        "metrics" => {
+            let text = client.metrics().map_err(|e| e.to_string())?;
+            print!("{text}");
             Ok(())
         }
         "cancel" => {
@@ -241,6 +267,10 @@ fn run(args: &Args) -> Result<(), String> {
                     "stream delivered {streamed} records but the job committed {}",
                     outcome.records
                 ));
+            }
+            if let Some(path) = &args.trace {
+                write_trace(path, &outcome.events)?;
+                eprintln!("sidr-submit: wrote task spans to {path}");
             }
             Ok(())
         }

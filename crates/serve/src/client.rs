@@ -246,6 +246,19 @@ impl Client {
         }
     }
 
+    /// Scrapes the server's metric registry: Prometheus text
+    /// exposition covering the serving layer and the engine.
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        self.send(&Request::Metrics)?;
+        loop {
+            match self.recv()? {
+                Response::Metrics { text } => return Ok(text),
+                Response::Error { message } => return Err(ServeError::Protocol(message)),
+                other => self.pending.push_back(other),
+            }
+        }
+    }
+
     /// Asks the server to stop accepting work and cancel outstanding
     /// jobs.
     pub fn shutdown(&mut self) -> Result<(), ServeError> {

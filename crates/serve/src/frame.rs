@@ -24,6 +24,12 @@ use serde::{Deserialize, Serialize};
 /// server allocate.
 pub const MAX_FRAME: u32 = 32 << 20;
 
+/// Payload bytes are read in chunks of at most this size into a
+/// growing buffer, so a connection's memory tracks bytes *actually
+/// received*: a client that sends a `MAX_FRAME` length prefix and
+/// then stalls pins one chunk, not 32 MiB.
+pub const READ_CHUNK: usize = 64 << 10;
+
 /// Everything that can go wrong at the framing layer.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FrameError {
@@ -89,13 +95,22 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
             max: MAX_FRAME,
         });
     }
-    let mut payload = vec![0u8; len as usize];
-    let got = read_fill(r, &mut payload)?;
-    if got != payload.len() {
-        return Err(FrameError::Truncated {
-            expected: payload.len(),
-            got,
-        });
+    let len = len as usize;
+    // Never allocate the prefix's claim up front: grow by bounded
+    // chunks as bytes arrive (see [`READ_CHUNK`]).
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    while payload.len() < len {
+        let chunk = (len - payload.len()).min(READ_CHUNK);
+        let start = payload.len();
+        payload.resize(start + chunk, 0);
+        let got = read_fill(r, &mut payload[start..])?;
+        payload.truncate(start + got);
+        if got < chunk {
+            return Err(FrameError::Truncated {
+                expected: len,
+                got: payload.len(),
+            });
+        }
     }
     Ok(Some(payload))
 }

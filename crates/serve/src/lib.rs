@@ -39,6 +39,7 @@
 
 pub mod client;
 pub mod frame;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 

@@ -71,6 +71,9 @@ pub enum Request {
     Cancel { job: u64 },
     /// Request a [`ServerStats`] snapshot.
     Stats,
+    /// Request the process's full metric registry as Prometheus text
+    /// exposition (a scrape over the job protocol).
+    Metrics,
     /// Stop accepting connections and cancel outstanding jobs.
     Shutdown,
 }
@@ -113,6 +116,8 @@ pub enum Response {
     Cancelled { job: u64 },
     /// A stats snapshot (reply to [`Request::Stats`]).
     Stats { stats: ServerStats },
+    /// Prometheus text exposition (reply to [`Request::Metrics`]).
+    Metrics { text: String },
     /// Protocol-level error (malformed frame, unknown job id, …).
     Error { message: String },
 }

@@ -34,7 +34,17 @@ use sidr_mapreduce::{CancelToken, InMemoryOutput, MrError, OutputCollector, Slot
 use sidr_scifile::ScincFile;
 
 use crate::frame::{self, FrameError};
+use crate::metrics::{serve as serve_metrics, ServeMetrics};
 use crate::proto::{Request, Response, ServerStats, SubmitOptions};
+
+/// The occupancy gauge a job in `state` contributes to, if any.
+fn state_gauge(m: &ServeMetrics, state: JobState) -> Option<&sidr_obs::Gauge> {
+    match state {
+        JobState::Queued | JobState::Planning => Some(&m.jobs_queued),
+        JobState::Running => Some(&m.jobs_running),
+        JobState::Done | JobState::Failed | JobState::Cancelled => None,
+    }
+}
 
 /// Static configuration of one serving process.
 #[derive(Clone, Debug)]
@@ -106,18 +116,33 @@ struct Inner {
 impl Inner {
     fn set_state(&self, job: u64, state: JobState) {
         let mut jobs = self.jobs.lock().expect("registry lock");
-        if let Some(h) = jobs.get_mut(&job) {
+        let prev = jobs.get_mut(&job).map(|h| {
+            let prev = h.state;
             h.state = state;
+            prev
+        });
+        drop(jobs);
+        let m = serve_metrics();
+        if let Some(prev) = prev {
+            if let Some(g) = state_gauge(m, prev) {
+                g.dec();
+            }
+            if let Some(g) = state_gauge(m, state) {
+                g.inc();
+            }
         }
         match state {
             JobState::Done => {
                 self.jobs_done.fetch_add(1, Ordering::Relaxed);
+                m.jobs_done.inc();
             }
             JobState::Failed => {
                 self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                m.jobs_failed.inc();
             }
             JobState::Cancelled => {
                 self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                m.jobs_cancelled.inc();
             }
             _ => {}
         }
@@ -191,6 +216,9 @@ impl ServerHandle {
 impl Server {
     /// Binds the service. Use port 0 to let the OS pick (tests).
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Server> {
+        // Register the serving metrics before any traffic, so a scrape
+        // of an idle daemon already shows the full inventory at zero.
+        let _ = serve_metrics();
         let pool = SlotPool::new(config.map_slots, config.reduce_slots)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
         let listener = TcpListener::bind(addr)?;
@@ -261,6 +289,7 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
     loop {
         match frame::recv::<Request>(&mut read_half) {
             Ok(Some(req)) => {
+                serve_metrics().frames_in.inc();
                 let proceed = handle_request(&inner, req, &tx);
                 if !proceed {
                     break;
@@ -297,10 +326,12 @@ fn write_loop(inner: Arc<Inner>, mut stream: TcpStream, rx: Receiver<Response>) 
             for _ in rx.iter() {}
             return;
         }
+        serve_metrics().frames_out.inc();
         if matches!(resp, Response::Keyblock { .. }) {
             inner
                 .bytes_streamed
                 .fetch_add(text.len() as u64, Ordering::Relaxed);
+            serve_metrics().streamed_bytes.add(text.len() as u64);
         }
     }
     let _ = stream.flush();
@@ -336,6 +367,12 @@ fn handle_request(inner: &Arc<Inner>, req: Request, tx: &Sender<Response>) -> bo
             });
             true
         }
+        Request::Metrics => {
+            let _ = tx.send(Response::Metrics {
+                text: sidr_obs::render_global(),
+            });
+            true
+        }
         Request::Shutdown => {
             inner.shutdown.store(true, Ordering::SeqCst);
             inner.cancel_all();
@@ -359,6 +396,7 @@ fn admit(
     let report = match analyze_spec(&spec, &inner.config.analyze) {
         Ok(r) => r,
         Err(e) => {
+            serve_metrics().rejections.inc();
             let _ = tx.send(Response::Rejected {
                 reason: format!("pre-flight could not analyze the spec: {e}"),
                 diagnostics: Vec::new(),
@@ -367,6 +405,7 @@ fn admit(
         }
     };
     if report.has_errors() {
+        serve_metrics().rejections.inc();
         let _ = tx.send(Response::Rejected {
             reason: "admission pre-flight found plan errors".into(),
             diagnostics: report
@@ -388,6 +427,7 @@ fn admit(
             cancel: cancel.clone(),
         },
     );
+    serve_metrics().jobs_queued.inc();
     let _ = tx.send(Response::Accepted {
         job,
         keyblocks: spec.num_reducers,
@@ -445,10 +485,19 @@ fn run_admitted_job(
         let fwd_inner = Arc::clone(&inner);
         let fwd_tx = tx.clone();
         let forwarder = s.spawn(move || {
+            let m = serve_metrics();
+            let mut first = true;
             for early in early_rx {
                 fwd_inner
                     .keyblocks_committed
                     .fetch_add(1, Ordering::Relaxed);
+                m.keyblocks.inc();
+                if first {
+                    // `early.at` is measured from job start: the
+                    // paper's time-to-first-result, as served.
+                    m.ttfb_seconds.observe(early.at.as_secs_f64());
+                    first = false;
+                }
                 let _ = fwd_tx.send(Response::Keyblock {
                     job,
                     reducer: early.reducer,

@@ -175,3 +175,74 @@ fn responses_round_trip_through_the_wire() {
         serde_json::to_string(&back).unwrap()
     );
 }
+
+/// A `Read` that serves bytes one at a time (the slow-loris shape)
+/// and records the largest buffer the decoder ever asked it to fill —
+/// a direct view of how much memory the decoder committed up front.
+struct SlowLoris {
+    data: Vec<u8>,
+    pos: usize,
+    max_buf: usize,
+}
+
+impl SlowLoris {
+    fn new(data: Vec<u8>) -> Self {
+        SlowLoris {
+            data,
+            pos: 0,
+            max_buf: 0,
+        }
+    }
+}
+
+impl std::io::Read for SlowLoris {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.max_buf = self.max_buf.max(buf.len());
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        buf[0] = self.data[self.pos];
+        self.pos += 1;
+        Ok(1)
+    }
+}
+
+/// A client that writes a maximal length prefix and then trickles (or
+/// stops) must not make the server allocate the claimed 32 MiB: reads
+/// are chunk-bounded and the connection ends in `Truncated`.
+#[test]
+fn slow_loris_prefix_cannot_pin_the_frame_cap() {
+    use sidr_serve::frame::{read_frame, READ_CHUNK};
+
+    let mut wire = MAX_FRAME.to_le_bytes().to_vec();
+    wire.extend_from_slice(&[0xAB; 100]); // 100 of 33 554 432 bytes, then EOF
+    let mut r = SlowLoris::new(wire);
+    match read_frame(&mut r) {
+        Err(FrameError::Truncated { expected, got }) => {
+            assert_eq!(expected, MAX_FRAME as usize);
+            assert_eq!(got, 100);
+        }
+        other => panic!("expected truncation, got {other:?}"),
+    }
+    assert!(
+        r.max_buf <= READ_CHUNK,
+        "decoder asked for a {} byte read — allocation tracks the \
+         hostile prefix, not the bytes received",
+        r.max_buf
+    );
+}
+
+/// Payloads larger than one read chunk still round-trip byte-exact
+/// through the chunked reader, even delivered one byte at a time.
+#[test]
+fn multi_chunk_payloads_reassemble_exactly() {
+    use sidr_serve::frame::{read_frame, READ_CHUNK};
+
+    let payload: Vec<u8> = (0..READ_CHUNK * 2 + 17).map(|i| (i % 251) as u8).collect();
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &payload).unwrap();
+    let mut r = SlowLoris::new(wire);
+    let got = read_frame(&mut r).unwrap().unwrap();
+    assert_eq!(got, payload);
+    assert!(r.max_buf <= READ_CHUNK);
+}

@@ -22,7 +22,11 @@
 //! * [`serve`] — `sidr-serve`, a multi-tenant query service: jobs
 //!   submitted over TCP share one slot pool and stream each keyblock
 //!   back the moment its reduce commits (§3.4 early results as a
-//!   service), with `sidr-submit` as the client CLI.
+//!   service), with `sidr-submit` as the client CLI,
+//! * [`obs`] — dependency-free metrics (counters/gauges/histograms
+//!   with Prometheus text exposition) and JSONL trace spans; the
+//!   engine and the service are instrumented end to end, scrapeable
+//!   live via `sidr-submit metrics`.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +53,7 @@ pub use sidr_analyze as analyze;
 pub use sidr_coords as coords;
 pub use sidr_dfs as dfs;
 pub use sidr_mapreduce as mapreduce;
+pub use sidr_obs as obs;
 pub use sidr_scifile as scifile;
 pub use sidr_serve as serve;
 pub use sidr_simcluster as simcluster;
