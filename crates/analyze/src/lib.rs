@@ -115,6 +115,7 @@ pub fn analyze_spec(spec: &JobSpec, opts: &AnalyzeOptions) -> sidr_core::Result<
     // The spec stores the keyblock covers it promised reducers; they
     // must match the geometry its query implies.
     let mut report = Report::new();
+    check_robustness(spec, &mut report);
     for b in 0..spec.num_reducers {
         let derived = partition.keyblock_cover(b)?;
         match spec.keyblock_covers.get(b) {
@@ -143,6 +144,29 @@ pub fn analyze_spec(spec: &JobSpec, opts: &AnalyzeOptions) -> sidr_core::Result<
     };
     report.merge(analyze(&query, &spec.splits, &view, opts));
     Ok(report)
+}
+
+/// Admission checks on the spec's fault-tolerance knobs
+/// (`SIDR-E011`/`SIDR-E012`): a zero retry budget can never launch a
+/// task, and a zero deadline cancels the job before its first task.
+/// Both are spec-level, not geometric, so they only run on the
+/// submission path.
+fn check_robustness(spec: &JobSpec, report: &mut Report) {
+    if spec.retry.max_task_attempts == 0 {
+        report.push(
+            Diagnostic::error(
+                codes::RETRY_POLICY,
+                "retry policy allows zero task attempts; no task could ever launch",
+            )
+            .with("max_task_attempts", spec.retry.max_task_attempts),
+        );
+    }
+    if spec.deadline_ms == Some(0) {
+        report.push(Diagnostic::error(
+            codes::DEADLINE,
+            "deadline of zero milliseconds would cancel the job before its first task",
+        ));
+    }
 }
 
 fn invert_deps(reduce_deps: &[Vec<usize>], num_splits: usize) -> Vec<Vec<usize>> {

@@ -1,0 +1,272 @@
+//! `fault-bench`: fault-tolerance macro-benchmark.
+//!
+//! Runs the full injected-fault matrix (task failure, transient source
+//! error, corrupt/truncated shuffle output, straggler) on the Figure 8
+//! weekly-averages workload, then compares *dependency-scoped*
+//! recovery (a failed reduce re-executes only its `I_ℓ`, §6) against
+//! *global* re-execution (the barrier regime, where a failed reduce
+//! has fetched from every map). Emits `results/BENCH_fault.json`:
+//!
+//! ```text
+//! cargo run --release -p sidr-bench --bin fault-bench
+//! cargo run --release -p sidr-bench --bin fault-bench -- --tiny
+//! ```
+//!
+//! Every scenario's output is compared against a fault-free run of the
+//! same query; the report is only healthy when all of them match.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use sidr_coords::Shape;
+use sidr_core::framework::{run_query, FrameworkMode, RunOptions};
+use sidr_core::{Operator, StructuralQuery};
+use sidr_mapreduce::{FaultKind, FaultPlan, FaultTarget};
+use sidr_scifile::gen::{DatasetSpec, ValueModel};
+use sidr_scifile::ScincFile;
+
+struct Args {
+    tiny: bool,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        tiny: false,
+        out: "results/BENCH_fault.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tiny" => args.tiny = true,
+            "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// The workload: Figure 8's weekly-averages geometry, scaled so the
+/// dataset generates in seconds ({364,50,40} instead of
+/// {364,250,200}); `--tiny` swaps in the CI-scale Query 1 analog.
+struct Workload {
+    name: &'static str,
+    query: StructuralQuery,
+    reducers: usize,
+    split_bytes: u64,
+}
+
+fn workload(tiny: bool) -> Workload {
+    if tiny {
+        Workload {
+            name: "query1-tiny",
+            query: StructuralQuery::new(
+                "windspeed",
+                Shape::new(vec![48, 36, 36, 10]).expect("valid"),
+                Shape::new(vec![2, 36, 36, 10]).expect("valid"),
+                Operator::Mean,
+            )
+            .expect("query is structural"),
+            reducers: 4,
+            split_bytes: 36 * 36 * 10 * 4 * 4, // 4 rows/split -> 12 maps
+        }
+    } else {
+        Workload {
+            name: "fig08-scaled",
+            query: StructuralQuery::new(
+                "temperature",
+                Shape::new(vec![364, 50, 40]).expect("valid"),
+                Shape::new(vec![7, 5, 1]).expect("valid"),
+                Operator::Mean,
+            )
+            .expect("query is structural"),
+            reducers: 22,
+            split_bytes: 50 * 40 * 4 * 14, // 2 weeks/split -> 26 maps
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct MatrixRow {
+    fault: String,
+    target_map: usize,
+    recovered: bool,
+    output_identical: bool,
+    map_retries: u64,
+    corrupt_fetches: u64,
+    maps_reexecuted: u64,
+    wall_ms: u64,
+}
+
+#[derive(Serialize)]
+struct RecoveryRow {
+    reduce_failures: usize,
+    /// Maps re-run under dependency-scoped recovery: Σ|I_ℓ| of the
+    /// failed reduces.
+    scoped_maps_rerun: u64,
+    /// Maps re-run under the global barrier: every failed reduce had
+    /// fetched from every map.
+    global_maps_rerun: u64,
+    scoped_wall_ms: u64,
+    global_wall_ms: u64,
+    output_identical: bool,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: String,
+    workload: String,
+    num_maps: usize,
+    num_reducers: usize,
+    matrix: Vec<MatrixRow>,
+    recovery: Vec<RecoveryRow>,
+    /// Every faulted run, matrix and recovery alike, produced output
+    /// identical to the fault-free baseline.
+    output_identical: bool,
+}
+
+fn base_options(w: &Workload, mode: FrameworkMode) -> RunOptions {
+    let mut opts = RunOptions::new(mode, w.reducers);
+    opts.split_bytes = w.split_bytes;
+    opts.map_slots = 4;
+    opts.reduce_slots = 2;
+    opts
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("fault-bench: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let w = workload(args.tiny);
+
+    let dir = std::env::temp_dir().join("sidr-fault-bench");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{}-{}.scinc", w.name, std::process::id()));
+    let space = w.query.input_space().clone();
+    DatasetSpec {
+        variable: w.query.variable.clone(),
+        dim_names: (0..space.rank()).map(|d| format!("d{d}")).collect(),
+        space,
+        model: ValueModel::LinearIndex,
+        seed: 0,
+    }
+    .generate::<f32>(&path)
+    .expect("dataset generates");
+    let file = ScincFile::open(&path).expect("dataset opens");
+
+    // Fault-free ground truth (SIDR mode; QueryOutcome records are
+    // sorted, so they compare across modes).
+    let baseline = run_query(&file, &w.query, &base_options(&w, FrameworkMode::Sidr))
+        .expect("fault-free baseline runs");
+    let num_maps = baseline.num_maps;
+    let mut all_identical = true;
+
+    // ---- The fault matrix, one kind at a time on a mid-job map. ----
+    let victim = num_maps / 2;
+    let mut matrix = Vec::new();
+    for kind in [
+        FaultKind::Fail,
+        FaultKind::SourceError { after_records: 64 },
+        FaultKind::CorruptOutput,
+        FaultKind::TruncateOutput,
+        FaultKind::Straggle { delay_ms: 5 },
+    ] {
+        let mut opts = base_options(&w, FrameworkMode::Sidr);
+        opts.fault_plan = FaultPlan::none().with(FaultTarget::Map(victim), 0, kind);
+        let started = Instant::now();
+        let outcome = run_query(&file, &w.query, &opts);
+        let wall_ms = started.elapsed().as_millis() as u64;
+        let (recovered, identical, retries, corrupt, rerun) = match &outcome {
+            Ok(o) => (
+                true,
+                o.records == baseline.records,
+                o.result.counters.map_retries,
+                o.result.counters.corrupt_fetches,
+                o.result.counters.maps_reexecuted,
+            ),
+            Err(_) => (false, false, 0, 0, 0),
+        };
+        all_identical &= recovered && identical;
+        matrix.push(MatrixRow {
+            fault: format!("{kind:?}"),
+            target_map: victim,
+            recovered,
+            output_identical: identical,
+            map_retries: retries,
+            corrupt_fetches: corrupt,
+            maps_reexecuted: rerun,
+            wall_ms,
+        });
+    }
+
+    // ---- Scoped vs global recovery under reduce failures. ----
+    let mut recovery = Vec::new();
+    for failures in [1usize, 2] {
+        let failed: Vec<usize> = (0..failures).map(|i| (i * 2) % w.reducers).collect();
+        let mut row = RecoveryRow {
+            reduce_failures: failures,
+            scoped_maps_rerun: 0,
+            global_maps_rerun: 0,
+            scoped_wall_ms: 0,
+            global_wall_ms: 0,
+            output_identical: true,
+        };
+        for global in [false, true] {
+            let mode = if global {
+                FrameworkMode::SciHadoop
+            } else {
+                FrameworkMode::Sidr
+            };
+            let mut opts = base_options(&w, mode);
+            opts.volatile_intermediate = true;
+            opts.fault_plan = FaultPlan::fail_reducers_first_attempt(failed.iter().copied());
+            let started = Instant::now();
+            let outcome = run_query(&file, &w.query, &opts).expect("recovery run survives");
+            let wall_ms = started.elapsed().as_millis() as u64;
+            let rerun = outcome.result.counters.maps_reexecuted;
+            let identical = outcome.records == baseline.records;
+            row.output_identical &= identical;
+            all_identical &= identical;
+            if global {
+                row.global_maps_rerun = rerun;
+                row.global_wall_ms = wall_ms;
+            } else {
+                row.scoped_maps_rerun = rerun;
+                row.scoped_wall_ms = wall_ms;
+            }
+        }
+        recovery.push(row);
+    }
+
+    let report = BenchReport {
+        bench: "sidr dependency-scoped fault tolerance".into(),
+        workload: w.name.into(),
+        num_maps,
+        num_reducers: w.reducers,
+        matrix,
+        recovery,
+        output_identical: all_identical,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    if let Some(parent) = std::path::Path::new(&args.out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("fault-bench: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    std::fs::remove_file(&path).ok();
+    if all_identical {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fault-bench: some faulted run diverged from the baseline");
+        ExitCode::FAILURE
+    }
+}

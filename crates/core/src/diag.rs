@@ -52,6 +52,12 @@ pub mod codes {
     /// An exhaustive pass was skipped because the space exceeds the
     /// analysis budget; the algebraic checks still ran.
     pub const TRUNCATED: &str = "SIDR-I010";
+    /// The spec's retry policy is unusable: a task attempt budget of
+    /// zero means no task can ever launch, so the job cannot run.
+    pub const RETRY_POLICY: &str = "SIDR-E011";
+    /// The spec's deadline is zero: the job would be cancelled before
+    /// its first task starts, so admission refuses it.
+    pub const DEADLINE: &str = "SIDR-E012";
 }
 
 /// How bad a finding is.

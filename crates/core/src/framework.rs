@@ -11,8 +11,9 @@ use std::time::Duration;
 
 use sidr_coords::{Coord, Slab};
 use sidr_mapreduce::{
-    run_job, run_job_shared, CancelToken, CoordHashPartitioner, DefaultPlan, InMemoryOutput,
-    InputSplit, JobConfig, JobResult, OutputCollector, RoutingPlan, SlotPool, SplitGenerator,
+    run_job, run_job_shared, CancelToken, CoordHashPartitioner, DefaultPlan, FaultPlan,
+    InMemoryOutput, InputSplit, JobConfig, JobResult, OutputCollector, RetryPolicy, RoutingPlan,
+    SlotPool, SplitGenerator,
 };
 use sidr_scifile::{DataType, Element, ScincFile};
 
@@ -61,8 +62,12 @@ pub struct RunOptions {
     /// Prioritize keyblocks covering this region of `K′` (§3.4, SIDR
     /// only).
     pub priority_region: Option<Slab>,
-    /// Inject a failure into these reducers' first attempts.
-    pub fail_reducers: Vec<usize>,
+    /// Deterministic fault-injection script (empty plan = no faults).
+    /// `FaultPlan::fail_reducers_first_attempt` reproduces the old
+    /// `fail_reducers` knob.
+    pub fault_plan: FaultPlan,
+    /// Bounded-retry budget and backoff for faulted tasks.
+    pub retry: RetryPolicy,
     /// Do not persist intermediate data; recover failed reduces by
     /// re-executing dependent maps (§6).
     pub volatile_intermediate: bool,
@@ -94,7 +99,8 @@ impl RunOptions {
             split_bytes: 1 << 20,
             validate_annotations: false,
             priority_region: None,
-            fail_reducers: Vec::new(),
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
             volatile_intermediate: false,
             map_think: Duration::ZERO,
             reduce_think: Duration::ZERO,
@@ -185,7 +191,8 @@ fn run_typed<E: Element>(
         reduce_slots: opts.reduce_slots,
         // Push-down breaks the geometric raw-count expectation.
         validate_annotations: opts.validate_annotations && pushdown.is_none(),
-        fail_reducers: opts.fail_reducers.clone(),
+        fault_plan: opts.fault_plan.clone(),
+        retry: opts.retry,
         volatile_intermediate: opts.volatile_intermediate,
         map_think: opts.map_think,
         reduce_think: opts.reduce_think,
@@ -269,6 +276,12 @@ pub struct SpecRunOptions {
     /// Artificial per-task costs (demos and scheduling tests).
     pub map_think: Duration,
     pub reduce_think: Duration,
+    /// Chaos hook: deterministic fault script injected into this run
+    /// (empty = none). Carried from the submission, not the spec.
+    pub fault_plan: FaultPlan,
+    /// Retry budget; admission validates the spec's requested policy
+    /// and passes it through here.
+    pub retry: RetryPolicy,
 }
 
 /// Executes a serialized job submission against `file` on a shared
@@ -332,6 +345,8 @@ fn run_spec_typed<E: Element>(
         validate_annotations: opts.validate_annotations && pushdown.is_none(),
         map_think: opts.map_think,
         reduce_think: opts.reduce_think,
+        fault_plan: opts.fault_plan.clone(),
+        retry: opts.retry,
         ..Default::default()
     };
     let source_factory = scinc_source_factory::<E>(file, &query.variable);

@@ -68,6 +68,7 @@ mod tests {
         TaskEvent {
             kind,
             task,
+            attempt: 0,
             at: Duration::from_millis(ms),
         }
     }

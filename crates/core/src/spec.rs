@@ -12,7 +12,7 @@
 use serde::{Deserialize, Serialize};
 
 use sidr_coords::Slab;
-use sidr_mapreduce::{InputSplit, MapTaskId, RoutingPlan};
+use sidr_mapreduce::{InputSplit, MapTaskId, RetryPolicy, RoutingPlan};
 
 use crate::operators::Operator;
 use crate::plan::{SidrPlan, SidrPlanner};
@@ -44,6 +44,14 @@ pub struct JobSpec {
     pub reduce_order: Vec<usize>,
     /// Expected raw-pair tallies for annotation validation (§3.2.1).
     pub expected_raw: Vec<u64>,
+    /// Wall-clock deadline for the whole job, in milliseconds
+    /// (`None` = unbounded). Enforced by the serving layer: a job
+    /// still running at its deadline is cancelled and reported as
+    /// `DeadlineExceeded` instead of retrying forever.
+    pub deadline_ms: Option<u64>,
+    /// Retry budget and backoff the job's tasks run under — validated
+    /// at admission (a zero attempt budget can never run).
+    pub retry: RetryPolicy,
 }
 
 impl JobSpec {
@@ -74,7 +82,21 @@ impl JobSpec {
             expected_raw: (0..r)
                 .map(|i| plan.expected_raw_count(i).expect("SIDR plans always know"))
                 .collect(),
+            deadline_ms: None,
+            retry: RetryPolicy::default(),
         })
+    }
+
+    /// Sets a wall-clock deadline for the job (builder-style).
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Sets the retry policy the job's tasks run under.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Reconstructs the query from the spec.

@@ -55,7 +55,8 @@ fn main() {
         let mut opts = RunOptions::new(FrameworkMode::Sidr, reducers);
         opts.split_bytes = 16 * 16 * 8 * 16; // 16 leading rows per split -> 30 maps
         opts.volatile_intermediate = true; // nothing persisted
-        opts.fail_reducers = (0..n_failures).map(|i| i * 2).collect();
+        opts.fault_plan =
+            sidr_mapreduce::FaultPlan::fail_reducers_first_attempt((0..n_failures).map(|i| i * 2));
         let outcome = run_query(&file, &query, &opts).expect("query survives failures");
         let ok = match &baseline {
             None => {

@@ -27,6 +27,14 @@ pub struct Counters {
     pub maps_reexecuted: AtomicU64,
     /// Reduce task attempts that failed (injected faults).
     pub reduce_failures: AtomicU64,
+    /// Map task attempts that failed (source errors, injected
+    /// faults); retried until the budget runs out.
+    pub map_failures: AtomicU64,
+    /// Map tasks re-enqueued by the retry path after a failed attempt.
+    pub map_retries: AtomicU64,
+    /// Shuffle fetches that detected a corrupt or truncated file
+    /// (each triggers dependency-scoped re-execution of the map).
+    pub corrupt_fetches: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -41,6 +49,9 @@ pub struct CountersSnapshot {
     pub maps_skipped: u64,
     pub maps_reexecuted: u64,
     pub reduce_failures: u64,
+    pub map_failures: u64,
+    pub map_retries: u64,
+    pub corrupt_fetches: u64,
 }
 
 impl Counters {
@@ -62,6 +73,9 @@ impl Counters {
             maps_skipped: self.maps_skipped.load(Ordering::Relaxed),
             maps_reexecuted: self.maps_reexecuted.load(Ordering::Relaxed),
             reduce_failures: self.reduce_failures.load(Ordering::Relaxed),
+            map_failures: self.map_failures.load(Ordering::Relaxed),
+            map_retries: self.map_retries.load(Ordering::Relaxed),
+            corrupt_fetches: self.corrupt_fetches.load(Ordering::Relaxed),
         }
     }
 }

@@ -15,8 +15,15 @@ pub enum MrError {
     /// scientific file layer).
     Source(String),
     /// A user task (map/combine/reduce) panicked or failed; the
-    /// runtime reports the task and the cause.
+    /// runtime reports the task and the cause. Emitted only once a
+    /// task has exhausted its retry budget — transient failures are
+    /// retried by the runtime first.
     TaskFailed { task: String, cause: String },
+    /// A shuffle file failed its integrity check (CRC mismatch, bad
+    /// framing, truncation). Detected at fetch time, so the copy
+    /// phase can re-execute the producing map instead of reducing
+    /// over wrong bytes.
+    CorruptShuffle { detail: String },
     /// Annotation validation (§3.2.1 approach 2) detected that a
     /// Reduce task would have started with insufficient input.
     AnnotationMismatch {
@@ -38,6 +45,9 @@ impl fmt::Display for MrError {
             MrError::BadConfig(msg) => write!(f, "bad job config: {msg}"),
             MrError::Source(msg) => write!(f, "record source error: {msg}"),
             MrError::TaskFailed { task, cause } => write!(f, "task {task} failed: {cause}"),
+            MrError::CorruptShuffle { detail } => {
+                write!(f, "corrupt shuffle data: {detail}")
+            }
             MrError::AnnotationMismatch {
                 reducer,
                 expected,

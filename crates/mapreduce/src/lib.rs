@@ -28,6 +28,7 @@
 
 pub mod counters;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod output;
 pub mod partitioner;
@@ -42,6 +43,7 @@ pub mod wire;
 
 pub use counters::{Counters, CountersSnapshot};
 pub use error::MrError;
+pub use fault::{Fault, FaultKind, FaultPlan, FaultTarget, RetryPolicy};
 pub use output::{InMemoryOutput, OutputCollector};
 pub use partitioner::{CoordHashPartitioner, ModuloPartitioner, Partitioner};
 pub use plan::{DefaultPlan, RoutingPlan};
@@ -49,13 +51,14 @@ pub use runtime::{
     run_job, run_job_shared, CancelToken, JobConfig, JobResult, SlotOccupancy, SlotPool,
 };
 pub use shuffle::{
-    merge_files, MapOutputBuilder, MapOutputFile, MergeIter, ShuffleStore, SpillCodec,
+    merge_files, CorruptionMode, MapOutputBuilder, MapOutputFile, MergeIter, ShuffleStore,
+    SpillCodec,
 };
 pub use split::{InputSplit, MapTaskId, SplitGenerator};
 pub use task::{
     Combiner, FnMapper, FnReducer, Mapper, MrKey, MrValue, RecordSource, Reducer, SliceRecordSource,
 };
-pub use timeline::{spans, TaskEvent, TaskKind, Timeline};
+pub use timeline::{reexecuted_maps, spans, TaskEvent, TaskKind, Timeline};
 pub use wire::WireFormat;
 
 /// Convenience alias for results in this crate.

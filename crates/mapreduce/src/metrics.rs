@@ -36,6 +36,17 @@ pub struct RuntimeMetrics {
     /// (reduce-side k-way merges and map-side run merges alike).
     pub merge_records: Arc<Counter>,
     pub merge_bytes: Arc<Counter>,
+    /// `sidr_task_retries_total{kind=...}` — task attempts relaunched
+    /// after a failure (map) or failed attempts re-entering the copy
+    /// phase (reduce).
+    pub task_retries_map: Arc<Counter>,
+    pub task_retries_reduce: Arc<Counter>,
+    /// Maps re-executed by dependency-scoped recovery (lost or
+    /// corrupt output; exactly the maps in the affected `I_ℓ`).
+    pub maps_recovered: Arc<Counter>,
+    /// Re-enqueue of a lost/corrupt map output → its re-executed
+    /// attempt committing: how long a recovery actually takes.
+    pub recovery_seconds: Arc<Histogram>,
 }
 
 /// The engine's metrics, registered on first use.
@@ -89,6 +100,27 @@ pub fn runtime() -> &'static RuntimeMetrics {
                 "sidr_merge_bytes_total",
                 "Approximate bytes consumed through the k-way merge iterator",
                 &[],
+            ),
+            task_retries_map: r.counter(
+                "sidr_task_retries_total",
+                "Task attempts relaunched after a failed attempt",
+                &[("kind", "map")],
+            ),
+            task_retries_reduce: r.counter(
+                "sidr_task_retries_total",
+                "Task attempts relaunched after a failed attempt",
+                &[("kind", "reduce")],
+            ),
+            maps_recovered: r.counter(
+                "sidr_maps_recovered_total",
+                "Maps re-executed by dependency-scoped recovery",
+                &[],
+            ),
+            recovery_seconds: r.histogram(
+                "sidr_recovery_seconds",
+                "Lost-output re-enqueue to recovered map commit, seconds",
+                &[],
+                DURATION_BUCKETS,
             ),
         }
     })

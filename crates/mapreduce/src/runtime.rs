@@ -19,15 +19,17 @@
 //! [`MrError::Cancelled`].
 
 use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::counters::{Counters, CountersSnapshot};
 use crate::error::MrError;
+use crate::fault::{FaultKind, FaultPlan, RetryPolicy};
 use crate::output::OutputCollector;
 use crate::plan::RoutingPlan;
-use crate::shuffle::{MapOutputBuilder, MapOutputFile, MergeIter, ShuffleStore};
+use crate::shuffle::{CorruptionMode, MapOutputBuilder, MapOutputFile, MergeIter, ShuffleStore};
 use crate::split::{InputSplit, MapTaskId};
 use crate::task::{Combiner, Mapper, MrKey, MrValue, RecordSource, Reducer};
 use crate::timeline::{TaskEvent, TaskKind, Timeline};
@@ -44,9 +46,14 @@ pub struct JobConfig {
     /// expected raw counts before each reduce starts (§3.2.1
     /// approach 2).
     pub validate_annotations: bool,
-    /// Reducers whose first attempt fails after the barrier (fault
-    /// injection for the §6 recovery experiments).
-    pub fail_reducers: Vec<usize>,
+    /// Deterministic, seeded fault injection: which task attempts
+    /// fail, straggle, or commit corrupt output (subsumes the old
+    /// `fail_reducers` hook — see
+    /// [`FaultPlan::fail_reducers_first_attempt`]).
+    pub fault_plan: FaultPlan,
+    /// Bounded retries with deterministic backoff; a task fails the
+    /// job ([`MrError::TaskFailed`]) only once its budget is spent.
+    pub retry: RetryPolicy,
     /// Intermediate data is consumed on fetch instead of persisted; a
     /// failed reduce must then re-execute the Map tasks it fetched
     /// from (§6 future work).
@@ -62,6 +69,9 @@ pub struct JobConfig {
     /// Map-side sort-buffer limit in records: buffers exceeding it
     /// are sorted and spilled as runs, merged at task end (Hadoop's
     /// `io.sort.mb` pipeline). `None` keeps everything in memory.
+    /// Runs land in `spill_dir`, or in a per-job directory under
+    /// `$TMP/sidr-map-spill` — namespaced by job so concurrent jobs
+    /// on one pool never collide on run filenames.
     pub map_spill_records: Option<usize>,
 }
 
@@ -71,7 +81,8 @@ impl Default for JobConfig {
             map_slots: 4,
             reduce_slots: 3,
             validate_annotations: false,
-            fail_reducers: Vec::new(),
+            fault_plan: FaultPlan::default(),
+            retry: RetryPolicy::default(),
             volatile_intermediate: false,
             map_think: Duration::ZERO,
             reduce_think: Duration::ZERO,
@@ -80,6 +91,11 @@ impl Default for JobConfig {
         }
     }
 }
+
+/// Process-wide job sequence, used to namespace per-job scratch
+/// directories (two concurrent jobs on one [`SlotPool`] must never
+/// share spill filenames).
+static JOB_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Safety-net re-check interval for blocked workers. Every blocking
 /// point is condvar-notified on progress, failure *and* cancellation
@@ -427,10 +443,36 @@ enum MapStatus {
 
 struct State {
     maps: Vec<MapStatus>,
+    /// Attempt id the next launch of each map gets (counts every
+    /// execution: first run, retries, recovery re-executions).
+    map_attempt: Vec<u32>,
+    /// Failed attempts per map, charged against the retry budget.
+    map_failures: Vec<u32>,
+    /// Maps re-enqueued by recovery (lost or corrupt output), stamped
+    /// with the re-enqueue instant so the recovery-latency histogram
+    /// can observe re-enqueue → recommit.
+    recovering: HashMap<MapTaskId, Instant>,
     /// Next position in the plan's reduce launch order.
     reduce_cursor: usize,
     reduces_done: usize,
     failed: bool,
+}
+
+impl State {
+    /// Hands a Done map back to the eligible set for re-execution
+    /// (dependency-scoped recovery). No-op unless the map is Done —
+    /// concurrent reducers may both detect the same lost output.
+    /// Returns true when this call performed the re-enqueue.
+    fn reenqueue_for_recovery(&mut self, m: MapTaskId, counters: &Counters) -> bool {
+        if self.maps[m] != MapStatus::Done {
+            return false;
+        }
+        self.maps[m] = MapStatus::Eligible;
+        self.recovering.entry(m).or_insert_with(Instant::now);
+        Counters::add(&counters.maps_reexecuted, 1);
+        crate::metrics::runtime().maps_recovered.inc();
+        true
+    }
 }
 
 struct Shared<'j, K2: MrKey, V2: MrValue> {
@@ -447,6 +489,10 @@ struct Shared<'j, K2: MrKey, V2: MrValue> {
     pool: &'j SlotPool,
     cancel: Option<&'j CancelToken>,
     num_maps: usize,
+    /// Where map-side sort-buffer runs spill (set iff
+    /// `config.map_spill_records` is): the configured spill dir, or a
+    /// job-id-namespaced scratch directory under the system temp dir.
+    map_spill_dir: Option<std::path::PathBuf>,
 }
 
 impl<K2: MrKey, V2: MrValue> Shared<'_, K2, V2> {
@@ -611,9 +657,31 @@ where
         }
     }
 
+    // A process-unique job id namespaces this job's scratch space:
+    // concurrent jobs sharing one pool (the serving path) must never
+    // collide on map-spill run filenames.
+    let job_id = JOB_SEQ.fetch_add(1, Ordering::Relaxed);
+    let (map_spill_dir, scratch_spill_dir) = match (config.map_spill_records, &config.spill_dir) {
+        (None, _) => (None, None),
+        (Some(_), Some(dir)) => (Some(dir.clone()), None),
+        (Some(_), None) => {
+            let dir = std::env::temp_dir()
+                .join("sidr-map-spill")
+                .join(format!("job{job_id:06}-{}", std::process::id()));
+            (Some(dir.clone()), Some(dir))
+        }
+    };
+    if let Some(dir) = &map_spill_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| MrError::BadConfig(format!("map spill dir {}: {e}", dir.display())))?;
+    }
+
     let shared = Shared {
         state: Arc::new(Mutex::new(State {
             maps,
+            map_attempt: vec![0; num_maps],
+            map_failures: vec![0; num_maps],
+            recovering: HashMap::new(),
             reduce_cursor: 0,
             reduces_done: 0,
             failed: false,
@@ -638,6 +706,7 @@ where
         pool,
         cancel,
         num_maps,
+        map_spill_dir,
     };
     {
         let skipped = shared
@@ -678,6 +747,12 @@ where
             scope.spawn(|| reduce_worker(&shared, &reduce_order, reducer, output));
         }
     });
+
+    // The job owns its default run-spill scratch dir; failed attempts
+    // may have left runs behind, so sweep the whole directory.
+    if let Some(dir) = &scratch_spill_dir {
+        std::fs::remove_dir_all(dir).ok();
+    }
 
     if let Some(err) = shared.error.lock().take() {
         return Err(err);
@@ -726,7 +801,7 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
     S: RecordSource<Key = K1, Value = V1>,
 {
     loop {
-        let task = {
+        let (task, attempt) = {
             let mut st = shared.state.lock();
             loop {
                 if st.failed || st.reduces_done == shared.plan.num_reducers() {
@@ -739,7 +814,9 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
                 }
                 if let Some(i) = st.maps.iter().position(|&s| s == MapStatus::Eligible) {
                     st.maps[i] = MapStatus::Running;
-                    break i;
+                    let attempt = st.map_attempt[i];
+                    st.map_attempt[i] += 1;
+                    break (i, attempt);
                 }
                 // Nothing eligible: either all maps are done/skipped
                 // (reduces still draining) or eligibility will arrive
@@ -761,10 +838,13 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
         let _slot = SlotGuard(&shared.pool.map);
 
         let started = Instant::now();
-        shared.timeline.record(TaskKind::MapStart, task);
+        shared
+            .timeline
+            .record_attempt(TaskKind::MapStart, task, attempt);
         match run_map_task(
             shared,
             task,
+            attempt,
             &splits[task],
             source_factory,
             mapper,
@@ -774,21 +854,62 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
                 if !shared.config.map_think.is_zero() {
                     std::thread::sleep(shared.config.map_think);
                 }
-                shared.timeline.record(TaskKind::MapEnd, task);
+                shared
+                    .timeline
+                    .record_attempt(TaskKind::MapEnd, task, attempt);
                 crate::metrics::runtime()
                     .map_task_seconds
                     .observe_duration(started.elapsed());
-                let mut st = shared.state.lock();
-                st.maps[task] = MapStatus::Done;
-                drop(st);
+                let recovered = {
+                    let mut st = shared.state.lock();
+                    st.maps[task] = MapStatus::Done;
+                    st.recovering.remove(&task)
+                };
+                if let Some(reenqueued_at) = recovered {
+                    crate::metrics::runtime()
+                        .recovery_seconds
+                        .observe_duration(reenqueued_at.elapsed());
+                }
                 shared.cv.notify_all();
             }
             Err(e) => {
-                shared.fail(MrError::TaskFailed {
-                    task: format!("map {task}"),
-                    cause: e.to_string(),
-                });
-                return;
+                // Transient failures (source I/O, injected faults)
+                // are charged against the retry budget and the task
+                // is handed back to the eligible set after a
+                // deterministic backoff; only an exhausted budget
+                // fails the job.
+                Counters::add(&shared.counters.map_failures, 1);
+                shared
+                    .timeline
+                    .record_attempt(TaskKind::MapFailed, task, attempt);
+                let failures = {
+                    let mut st = shared.state.lock();
+                    st.map_failures[task] += 1;
+                    st.map_failures[task]
+                };
+                if failures >= shared.config.retry.max_task_attempts {
+                    shared.fail(MrError::TaskFailed {
+                        task: format!("map {task}"),
+                        cause: format!("{e} ({failures} attempts exhausted)"),
+                    });
+                    return;
+                }
+                std::thread::sleep(shared.config.retry.backoff(failures));
+                if shared.observe_cancel() {
+                    return;
+                }
+                let mut st = shared.state.lock();
+                if st.failed {
+                    return;
+                }
+                st.maps[task] = MapStatus::Eligible;
+                drop(st);
+                Counters::add(&shared.counters.map_retries, 1);
+                crate::metrics::runtime().task_retries_map.inc();
+                shared
+                    .timeline
+                    .record_attempt(TaskKind::MapRetry, task, attempt + 1);
+                shared.cv.notify_all();
             }
         }
     }
@@ -797,6 +918,7 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
 fn run_map_task<K1, V1, K2, V2, SF, S>(
     shared: &Shared<'_, K2, V2>,
     task: MapTaskId,
+    attempt: u32,
     split: &InputSplit,
     source_factory: &SF,
     mapper: &dyn Mapper<InKey = K1, InValue = V1, OutKey = K2, OutValue = V2>,
@@ -810,16 +932,32 @@ where
     SF: Fn(MapTaskId, &InputSplit) -> Result<S> + Sync,
     S: RecordSource<Key = K1, Value = V1>,
 {
+    // Injected faults for exactly this (task, attempt): a straggler
+    // delays, a failure dies before any work, a source fault flips
+    // the record stream into a transient I/O error mid-read.
+    let fault = shared.config.fault_plan.map_fault(task, attempt);
+    match fault {
+        Some(FaultKind::Straggle { delay_ms }) => {
+            std::thread::sleep(Duration::from_millis(delay_ms));
+        }
+        Some(FaultKind::Fail) => {
+            return Err(MrError::Source(format!(
+                "injected failure: map {task} attempt {attempt}"
+            )));
+        }
+        _ => {}
+    }
+    let source_err_after = match fault {
+        Some(FaultKind::SourceError { after_records }) => Some(after_records),
+        _ => None,
+    };
     let mut source = source_factory(task, split)?;
     let mut builder = MapOutputBuilder::new(shared.plan.num_reducers());
     if let Some(limit) = shared.config.map_spill_records {
         let dir = shared
-            .config
-            .spill_dir
+            .map_spill_dir
             .clone()
-            .unwrap_or_else(|| std::env::temp_dir().join("sidr-map-spill"));
-        std::fs::create_dir_all(&dir)
-            .map_err(|e| MrError::BadConfig(format!("map spill dir {}: {e}", dir.display())))?;
+            .expect("map_spill_dir is set whenever map_spill_records is");
         builder = builder.with_spill(limit, dir, task);
     }
     let mut records_in = 0u64;
@@ -827,6 +965,12 @@ where
     // The emit callback cannot return errors; park the first one.
     let mut push_err: Option<MrError> = None;
     while let Some((k, v)) = source.next_record()? {
+        if source_err_after.is_some_and(|after| records_in >= after) {
+            return Err(MrError::Source(format!(
+                "injected transient I/O error: map {task} attempt {attempt} \
+                 after {records_in} records"
+            )));
+        }
         records_in += 1;
         mapper.map(&k, &v, &mut |k2, v2| {
             if push_err.is_some() {
@@ -846,6 +990,19 @@ where
     Counters::add(&shared.counters.map_records_out, records_out);
     for (reducer, file) in builder.finish(combiner, &shared.counters)? {
         shared.shuffle.put(task, reducer, file)?;
+    }
+    // Post-commit corruption: the attempt "succeeds", but its files
+    // are damaged after commit — discovered only when a reduce
+    // fetches and the integrity check fails, which is what drives the
+    // CRC-detection → dependency-scoped re-execution path.
+    match fault {
+        Some(FaultKind::CorruptOutput) => {
+            shared.shuffle.corrupt_map(task, CorruptionMode::BitFlip)?;
+        }
+        Some(FaultKind::TruncateOutput) => {
+            shared.shuffle.corrupt_map(task, CorruptionMode::Truncate)?;
+        }
+        _ => {}
     }
     Ok(())
 }
@@ -956,8 +1113,14 @@ where
         Some(deps) => deps,
         None => (0..shared.num_maps).collect(),
     };
-    let mut attempt = 0;
+    let mut attempt: u32 = 0;
     loop {
+        // Injected reduce stragglers delay the attempt up front.
+        if let Some(FaultKind::Straggle { delay_ms }) =
+            shared.config.fault_plan.reduce_fault(r, attempt)
+        {
+            std::thread::sleep(Duration::from_millis(delay_ms));
+        }
         // Copy phase: fetch from whichever source completes next —
         // not in source order — and pre-open its merge cursor as soon
         // as every earlier source's cursor is open too. The reducer
@@ -1011,8 +1174,32 @@ where
                 }
             };
             for i in ready {
-                fetched[i] = Some(shared.shuffle.fetch(sources[i], r, &shared.counters)?);
-                remaining -= 1;
+                match shared.shuffle.fetch(sources[i], r, &shared.counters) {
+                    Ok(file) => {
+                        fetched[i] = Some(file);
+                        remaining -= 1;
+                    }
+                    Err(MrError::CorruptShuffle { .. }) => {
+                        // CRC caught a damaged map output at copy
+                        // time. Dependency-scoped recovery: re-enqueue
+                        // *only* that map; this reduce keeps
+                        // condvar-waiting in the copy phase for the
+                        // new attempt instead of failing the job. The
+                        // damaged replicas stay put — other reducers
+                        // must discover the corruption on their own
+                        // (map, reducer) entries, never observe an
+                        // evicted entry as "map produced nothing" —
+                        // and the re-executed attempt's `put` replaces
+                        // them all.
+                        let m = sources[i];
+                        Counters::add(&shared.counters.corrupt_fetches, 1);
+                        let mut st = shared.state.lock();
+                        st.reenqueue_for_recovery(m, &shared.counters);
+                        drop(st);
+                        shared.cv.notify_all();
+                    }
+                    Err(e) => return Err(e),
+                }
             }
             while let Some(slot) = fetched.get(opened).and_then(|s| s.as_ref()) {
                 if let Some(f) = slot {
@@ -1022,7 +1209,9 @@ where
                 opened += 1;
             }
         }
-        shared.timeline.record(TaskKind::ReduceBarrierMet, r);
+        shared
+            .timeline
+            .record_attempt(TaskKind::ReduceBarrierMet, r, attempt);
         let m = crate::metrics::runtime();
         m.barrier_wait_seconds
             .observe_duration(copy_start.elapsed());
@@ -1045,28 +1234,39 @@ where
             }
         }
 
-        // Fault injection: first attempt dies after the barrier.
-        if attempt == 0 && shared.config.fail_reducers.contains(&r) {
-            attempt += 1;
+        // Injected reduce failure: the attempt dies after the barrier
+        // (the worst spot — every fetch already paid for).
+        if matches!(
+            shared.config.fault_plan.reduce_fault(r, attempt),
+            Some(FaultKind::Fail) | Some(FaultKind::SourceError { .. })
+        ) {
             Counters::add(&shared.counters.reduce_failures, 1);
-            shared.timeline.record(TaskKind::ReduceFailed, r);
+            shared
+                .timeline
+                .record_attempt(TaskKind::ReduceFailed, r, attempt);
+            if attempt + 1 >= shared.config.retry.max_task_attempts {
+                return Err(MrError::TaskFailed {
+                    task: format!("reduce {r}"),
+                    cause: format!("injected failure ({} attempts exhausted)", attempt + 1),
+                });
+            }
             if shared.config.volatile_intermediate {
                 // The fetched files were consumed; re-execute exactly
-                // the maps whose data this reduce lost (§6: "re-execute
-                // subsets of Map tasks in the event of a Reduce task
-                // failure in place of persisting all intermediate
-                // data").
+                // the maps whose data this reduce lost — its `I_ℓ` —
+                // (§6: "re-execute subsets of Map tasks in the event
+                // of a Reduce task failure in place of persisting all
+                // intermediate data").
                 let lost: Vec<MapTaskId> = files.iter().map(|(m, _)| *m).collect();
                 let mut st = shared.state.lock();
                 for m in &lost {
-                    if st.maps[*m] == MapStatus::Done {
-                        st.maps[*m] = MapStatus::Eligible;
-                        Counters::add(&shared.counters.maps_reexecuted, 1);
-                    }
+                    st.reenqueue_for_recovery(*m, &shared.counters);
                 }
                 drop(st);
                 shared.cv.notify_all();
             }
+            crate::metrics::runtime().task_retries_reduce.inc();
+            std::thread::sleep(shared.config.retry.backoff(attempt + 1));
+            attempt += 1;
             continue;
         }
 
@@ -1089,12 +1289,16 @@ where
                     .stream_group(r, &out[group_start..])
                     .map_err(|e| MrError::Output(e.to_string()))?;
                 if first_group {
-                    shared.timeline.record(TaskKind::ReduceFirstGroup, r);
+                    shared
+                        .timeline
+                        .record_attempt(TaskKind::ReduceFirstGroup, r, attempt);
                     first_group = false;
                 }
             }
         }
-        shared.timeline.record(TaskKind::ReduceMergeDone, r);
+        shared
+            .timeline
+            .record_attempt(TaskKind::ReduceMergeDone, r, attempt);
         let merged = merge.records_consumed();
         m.merge_records.add(merged);
         m.merge_bytes
@@ -1106,7 +1310,9 @@ where
         output
             .commit(r, out)
             .map_err(|e| MrError::Output(e.to_string()))?;
-        shared.timeline.record(TaskKind::ReduceEnd, r);
+        shared
+            .timeline
+            .record_attempt(TaskKind::ReduceEnd, r, attempt);
         return Ok(());
     }
 }

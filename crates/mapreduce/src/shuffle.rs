@@ -47,6 +47,26 @@ enum Stored<K, V> {
         raw_count: u64,
         records: u64,
     },
+    /// A resident replica whose integrity check fails (fault
+    /// injection for the in-memory store: the moral equivalent of a
+    /// spilled file with a bad CRC). Fetching it errors with
+    /// [`crate::error::MrError::CorruptShuffle`].
+    Corrupt {
+        raw_count: u64,
+        records: u64,
+    },
+}
+
+/// How [`ShuffleStore::corrupt_map`] damages a map's committed
+/// output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptionMode {
+    /// Flip payload bytes (spilled files) or poison the resident
+    /// replica's checksum (memory files).
+    BitFlip,
+    /// Cut the file short mid-payload. Indistinguishable from
+    /// `BitFlip` for resident replicas.
+    Truncate,
 }
 
 /// The TaskTracker-served map-output files: held in memory by default,
@@ -163,12 +183,21 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
                         raw_count: *raw_count,
                         records: *records,
                     }),
+                    Some(Stored::Corrupt { raw_count, records }) => Some(Stored::Corrupt {
+                        raw_count: *raw_count,
+                        records: *records,
+                    }),
                 }
             }
         };
         let got = match entry {
             None => None,
             Some(Stored::Memory(f)) => Some(f),
+            Some(Stored::Corrupt { .. }) => {
+                return Err(crate::error::MrError::CorruptShuffle {
+                    detail: format!("map {map} output for reducer {reducer}: checksum mismatch"),
+                });
+            }
             Some(Stored::Spilled { path, .. }) => {
                 let codec = self
                     .spill
@@ -196,8 +225,52 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
             Some(Stored::Memory(f)) => Some((f.raw_count, f.records.len() as u64)),
             Some(Stored::Spilled {
                 raw_count, records, ..
-            }) => Some((*raw_count, *records)),
+            })
+            | Some(Stored::Corrupt { raw_count, records }) => Some((*raw_count, *records)),
         }
+    }
+
+    /// Damages every committed output file of `map` (fault
+    /// injection). Spilled files are tampered with on disk so the
+    /// CRC frame genuinely fails at read time; resident replicas are
+    /// marked corrupt, which `fetch` reports the same way.
+    pub fn corrupt_map(&self, map: MapTaskId, mode: CorruptionMode) -> crate::Result<()> {
+        let mut files = self.files.lock();
+        for ((m, _), stored) in files.iter_mut() {
+            if *m != map {
+                continue;
+            }
+            match stored {
+                Stored::Memory(f) => {
+                    *stored = Stored::Corrupt {
+                        raw_count: f.raw_count,
+                        records: f.records.len() as u64,
+                    };
+                }
+                Stored::Spilled { path, .. } => match mode {
+                    CorruptionMode::BitFlip => crate::shuffle_file::corrupt_payload(path)?,
+                    CorruptionMode::Truncate => crate::shuffle_file::truncate_payload(path)?,
+                },
+                Stored::Corrupt { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops every stored output of `map` (spilled bytes included):
+    /// the copy phase calls this when a fetch detects corruption, so
+    /// the re-executed attempt's files are the only replicas left.
+    pub fn evict(&self, map: MapTaskId) {
+        let mut files = self.files.lock();
+        files.retain(|(m, _), stored| {
+            if *m != map {
+                return true;
+            }
+            if let Stored::Spilled { path, .. } = stored {
+                std::fs::remove_file(path).ok();
+            }
+            false
+        });
     }
 
     /// Whether a file is currently present (recovery logic checks
@@ -238,6 +311,18 @@ struct BuilderSpill<K, V> {
     seq: usize,
     write: fn(&std::path::Path, &MapOutputFile<K, V>) -> crate::Result<()>,
     read: fn(&std::path::Path) -> crate::Result<MapOutputFile<K, V>>,
+}
+
+impl<K, V> Drop for BuilderSpill<K, V> {
+    /// Removes any run files still on disk. `finish` deletes runs as
+    /// it merges them, so this only fires for abandoned builders — a
+    /// failed map attempt must not leave stale runs for its retry to
+    /// trip over.
+    fn drop(&mut self) {
+        for path in self.runs.iter().flatten() {
+            std::fs::remove_file(path).ok();
+        }
+    }
 }
 
 impl<K: MrKey, V: MrValue> MapOutputBuilder<K, V> {

@@ -8,15 +8,23 @@
 //! contents of the files containing its intermediate data **without
 //! having to read and parse those files**."
 //!
-//! Layout (little-endian):
+//! Layout (little-endian), version 2:
 //!
 //! ```text
 //! magic    b"SMOF"
 //! version  u32
 //! raw      u64   <- the annotation: raw ⟨k,v⟩ pairs represented
 //! records  u64   <- ⟨k′,v′⟩ records that follow
+//! crc      u32   <- CRC-32 (IEEE) of the payload bytes
 //! payload  records × (key, value) in WireFormat encoding
 //! ```
+//!
+//! Version 2 added the CRC frame: a fetch of a corrupted or truncated
+//! file fails with [`MrError::CorruptShuffle`] *before* any record is
+//! decoded, which is what lets the copy phase trigger re-execution of
+//! the producing map instead of reducing over damaged input
+//! (aggressive checksum validation of intermediate layouts, after
+//! "Only Aggressive Elephants are Fast Elephants").
 
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
@@ -29,8 +37,35 @@ use crate::wire::WireFormat;
 use crate::Result;
 
 const MAGIC: [u8; 4] = *b"SMOF";
-const VERSION: u32 = 1;
-const HEADER_LEN: usize = 4 + 4 + 8 + 8;
+const VERSION: u32 = 2;
+const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 4;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes`. Table
+/// driven; the table is built on first use.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
 
 /// Writes one map-output file to `path`.
 pub fn write_map_output<K, V>(path: impl AsRef<Path>, file: &MapOutputFile<K, V>) -> Result<()>
@@ -38,6 +73,11 @@ where
     K: MrKey + WireFormat,
     V: MrValue + WireFormat,
 {
+    let mut payload = Vec::new();
+    for (k, v) in &file.records {
+        k.encode(&mut payload);
+        v.encode(&mut payload);
+    }
     let mut out = BufWriter::new(File::create(path).map_err(io_err)?);
     out.write_all(&MAGIC).map_err(io_err)?;
     out.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
@@ -45,13 +85,9 @@ where
         .map_err(io_err)?;
     out.write_all(&(file.records.len() as u64).to_le_bytes())
         .map_err(io_err)?;
-    let mut buf = Vec::new();
-    for (k, v) in &file.records {
-        buf.clear();
-        k.encode(&mut buf);
-        v.encode(&mut buf);
-        out.write_all(&buf).map_err(io_err)?;
-    }
+    out.write_all(&crc32(&payload).to_le_bytes())
+        .map_err(io_err)?;
+    out.write_all(&payload).map_err(io_err)?;
     out.flush().map_err(io_err)?;
     Ok(())
 }
@@ -63,28 +99,38 @@ pub fn read_annotation(path: impl AsRef<Path>) -> Result<(u64, u64)> {
     let mut file = File::open(path).map_err(io_err)?;
     let mut header = [0u8; HEADER_LEN];
     file.read_exact(&mut header).map_err(io_err)?;
-    parse_header(&header)
+    let h = parse_header(&header)?;
+    Ok((h.raw, h.records))
 }
 
-fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u64, u64)> {
+struct Header {
+    raw: u64,
+    records: u64,
+    crc: u32,
+}
+
+fn parse_header(header: &[u8; HEADER_LEN]) -> Result<Header> {
     if header[..4] != MAGIC {
-        return Err(MrError::Source(format!(
-            "not a map-output file (magic {:?})",
-            &header[..4]
-        )));
+        return Err(MrError::CorruptShuffle {
+            detail: format!("not a map-output file (magic {:?})", &header[..4]),
+        });
     }
     let version = u32::from_le_bytes(header[4..8].try_into().expect("len 4"));
     if version != VERSION {
-        return Err(MrError::Source(format!(
-            "unknown map-output version {version}"
-        )));
+        return Err(MrError::CorruptShuffle {
+            detail: format!("unknown map-output version {version}"),
+        });
     }
-    let raw = u64::from_le_bytes(header[8..16].try_into().expect("len 8"));
-    let records = u64::from_le_bytes(header[16..24].try_into().expect("len 8"));
-    Ok((raw, records))
+    Ok(Header {
+        raw: u64::from_le_bytes(header[8..16].try_into().expect("len 8")),
+        records: u64::from_le_bytes(header[16..24].try_into().expect("len 8")),
+        crc: u32::from_le_bytes(header[24..28].try_into().expect("len 4")),
+    })
 }
 
-/// Reads a complete map-output file back.
+/// Reads a complete map-output file back, verifying the CRC frame
+/// before decoding a single record. Corruption and truncation both
+/// surface as [`MrError::CorruptShuffle`].
 pub fn read_map_output<K, V>(path: impl AsRef<Path>) -> Result<MapOutputFile<K, V>>
 where
     K: MrKey + WireFormat,
@@ -94,29 +140,77 @@ where
     let mut bytes = Vec::new();
     file.read_to_end(&mut bytes).map_err(io_err)?;
     if bytes.len() < HEADER_LEN {
-        return Err(MrError::Source(
-            "map-output file shorter than header".into(),
-        ));
+        return Err(MrError::CorruptShuffle {
+            detail: "map-output file shorter than header".into(),
+        });
     }
     let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("len checked");
-    let (raw_count, n_records) = parse_header(header)?;
-    let mut buf = &bytes[HEADER_LEN..];
+    let h = parse_header(header)?;
+    let payload = &bytes[HEADER_LEN..];
+    let actual_crc = crc32(payload);
+    if actual_crc != h.crc {
+        return Err(MrError::CorruptShuffle {
+            detail: format!(
+                "payload CRC {actual_crc:#010x} != header CRC {:#010x} ({} payload bytes)",
+                h.crc,
+                payload.len()
+            ),
+        });
+    }
+    let mut buf = payload;
     // Cap the pre-allocation: a corrupt count field must not trigger a
     // huge allocation before decoding fails.
-    let mut records = Vec::with_capacity((n_records as usize).min(1 << 20));
-    for _ in 0..n_records {
+    let mut records = Vec::with_capacity((h.records as usize).min(1 << 20));
+    for _ in 0..h.records {
         let k = K::decode(&mut buf)?;
         let v = V::decode(&mut buf)?;
         records.push((k, v));
     }
     if !buf.is_empty() {
-        return Err(MrError::Source(format!(
-            "{} trailing bytes after {} records",
-            buf.len(),
-            n_records
-        )));
+        return Err(MrError::CorruptShuffle {
+            detail: format!("{} trailing bytes after {} records", buf.len(), h.records),
+        });
     }
-    Ok(MapOutputFile { records, raw_count })
+    Ok(MapOutputFile {
+        records,
+        raw_count: h.raw,
+    })
+}
+
+/// Flips one payload byte in the file at `path` (fault injection: a
+/// silently corrupted intermediate file). Files with no payload get a
+/// corrupted record-count field instead, so the damage is always
+/// CRC-detectable.
+pub fn corrupt_payload(path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let mut bytes = std::fs::read(path).map_err(io_err)?;
+    if bytes.len() > HEADER_LEN {
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+    } else if bytes.len() >= HEADER_LEN {
+        bytes[24] ^= 0xFF; // no payload to flip: damage the stored CRC itself
+    } else {
+        return Err(MrError::CorruptShuffle {
+            detail: "cannot corrupt a file shorter than its header".into(),
+        });
+    }
+    std::fs::write(path, &bytes).map_err(io_err)?;
+    Ok(())
+}
+
+/// Truncates the file at `path` mid-payload (fault injection: a map
+/// output cut short by a crashed writer). Header-only files lose
+/// their last header byte, so the damage is always detectable.
+pub fn truncate_payload(path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(io_err)?;
+    let keep = if bytes.len() > HEADER_LEN + 1 {
+        bytes.len() - 1
+    } else {
+        bytes.len().saturating_sub(1)
+    };
+    std::fs::write(path, &bytes[..keep]).map_err(io_err)?;
+    Ok(())
 }
 
 fn io_err(e: std::io::Error) -> MrError {
@@ -146,6 +240,12 @@ mod tests {
     }
 
     #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
     fn full_roundtrip() {
         let path = temp_path("roundtrip");
         let f = sample();
@@ -166,8 +266,12 @@ mod tests {
         std::fs::write(&path, &full[..HEADER_LEN]).unwrap();
         let (raw, records) = read_annotation(&path).unwrap();
         assert_eq!((raw, records), (12, 3));
-        // But a full read of the truncated file fails loudly.
-        assert!(read_map_output::<Coord, f64>(&path).is_err());
+        // But a full read of the truncated file fails loudly — and as
+        // a corruption, so the copy phase can recover.
+        assert!(matches!(
+            read_map_output::<Coord, f64>(&path),
+            Err(MrError::CorruptShuffle { .. })
+        ));
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -183,6 +287,30 @@ mod tests {
         bytes[4] = 9;
         std::fs::write(&path, &bytes).unwrap();
         assert!(read_annotation(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_detected_by_crc() {
+        let path = temp_path("bitflip");
+        write_map_output(&path, &sample()).unwrap();
+        corrupt_payload(&path).unwrap();
+        assert!(matches!(
+            read_map_output::<Coord, f64>(&path),
+            Err(MrError::CorruptShuffle { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_detected_by_crc() {
+        let path = temp_path("truncate");
+        write_map_output(&path, &sample()).unwrap();
+        truncate_payload(&path).unwrap();
+        assert!(matches!(
+            read_map_output::<Coord, f64>(&path),
+            Err(MrError::CorruptShuffle { .. })
+        ));
         std::fs::remove_file(&path).unwrap();
     }
 

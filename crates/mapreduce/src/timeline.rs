@@ -1,5 +1,6 @@
 //! Task timelines: the raw material of the paper's Figures 9–13
-//! (task completion over time).
+//! (task completion over time), attempt-stamped so retries and
+//! recovery re-executions are distinguishable in the event stream.
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -10,6 +11,12 @@ use std::time::{Duration, Instant};
 pub enum TaskKind {
     MapStart,
     MapEnd,
+    /// A map attempt failed (source error or injected fault); the
+    /// runtime will retry it unless the budget is exhausted.
+    MapFailed,
+    /// A failed map was handed back to the eligible set for its next
+    /// attempt (the event's attempt id is the *new* attempt).
+    MapRetry,
     /// Reduce task occupied a slot and began its copy phase.
     ReduceStart,
     /// All of the reduce task's fetch sources had completed and been
@@ -34,6 +41,10 @@ pub struct TaskEvent {
     pub kind: TaskKind,
     /// Map task id or reducer id, per kind.
     pub task: usize,
+    /// Which execution of the task this belongs to: 0 for the first
+    /// attempt, counting up across retries and recovery
+    /// re-executions.
+    pub attempt: u32,
     /// Time since job start.
     pub at: Duration,
 }
@@ -58,10 +69,21 @@ impl Timeline {
         }
     }
 
-    /// Records an event now.
+    /// Records an event now (attempt 0).
     pub fn record(&self, kind: TaskKind, task: usize) {
+        self.record_attempt(kind, task, 0);
+    }
+
+    /// Records an event now, stamped with the task attempt it belongs
+    /// to.
+    pub fn record_attempt(&self, kind: TaskKind, task: usize, attempt: u32) {
         let at = self.start.elapsed();
-        self.events.lock().push(TaskEvent { kind, task, at });
+        self.events.lock().push(TaskEvent {
+            kind,
+            task,
+            attempt,
+            at,
+        });
     }
 
     /// All events, sorted by time.
@@ -129,35 +151,61 @@ impl Timeline {
     }
 }
 
+/// The set of map tasks that executed more than once — the
+/// re-executed set a recovery experiment asserts against `I_ℓ`
+/// (dependency-scoped recovery must re-run exactly the failed
+/// reduce's dependency set, nothing more).
+pub fn reexecuted_maps(events: &[TaskEvent]) -> Vec<usize> {
+    let mut maps: Vec<usize> = events
+        .iter()
+        .filter(|e| e.kind == TaskKind::MapStart && e.attempt > 0)
+        .map(|e| e.task)
+        .collect();
+    maps.sort_unstable();
+    maps.dedup();
+    maps
+}
+
 /// Converts a job's event stream into named trace spans:
 ///
 /// | span           | start            | end               |
 /// |----------------|------------------|-------------------|
 /// | `map`          | `MapStart`       | `MapEnd`          |
+/// | `map.failed`   | `MapStart`       | `MapFailed`       |
 /// | `reduce`       | `ReduceStart`    | `ReduceEnd`       |
 /// | `reduce.copy`  | `ReduceStart`    | `ReduceBarrierMet`|
 /// | `reduce.merge` | `ReduceBarrierMet`| `ReduceMergeDone`|
 ///
-/// A retried reduce (recovery experiments) emits one `reduce.copy` /
-/// `reduce.merge` span per attempt, all sharing the task's single
-/// `ReduceStart`. Unfinished tasks (failed or cancelled jobs) emit no
-/// span. Feed the result to [`sidr_obs::write_spans_jsonl`].
+/// Every span is stamped with the attempt id of the execution it
+/// belongs to, so a retried map shows as a `map.failed` span
+/// (attempt 0) followed by a `map` span (attempt 1). A retried reduce
+/// emits one `reduce.copy` / `reduce.merge` span per attempt, all
+/// sharing the task's single `ReduceStart`. Unfinished tasks (failed
+/// or cancelled jobs) emit no span. Feed the result to
+/// [`sidr_obs::write_spans_jsonl`].
 pub fn spans(events: &[TaskEvent]) -> Vec<sidr_obs::Span> {
     use std::collections::HashMap;
     let us = |d: Duration| d.as_micros() as u64;
-    let mut map_start: HashMap<usize, u64> = HashMap::new();
+    let mut map_start: HashMap<usize, (u64, u32)> = HashMap::new();
     let mut reduce_start: HashMap<usize, u64> = HashMap::new();
-    let mut barrier: HashMap<usize, u64> = HashMap::new();
+    let mut barrier: HashMap<usize, (u64, u32)> = HashMap::new();
     let mut out = Vec::new();
     for e in events {
         let t = e.task as u64;
         match e.kind {
             TaskKind::MapStart => {
-                map_start.insert(e.task, us(e.at));
+                map_start.insert(e.task, (us(e.at), e.attempt));
             }
             TaskKind::MapEnd => {
-                if let Some(s) = map_start.remove(&e.task) {
-                    out.push(sidr_obs::Span::new("map", t, s, us(e.at)));
+                if let Some((s, attempt)) = map_start.remove(&e.task) {
+                    out.push(sidr_obs::Span::new("map", t, s, us(e.at)).with_attempt(attempt));
+                }
+            }
+            TaskKind::MapFailed => {
+                if let Some((s, attempt)) = map_start.remove(&e.task) {
+                    out.push(
+                        sidr_obs::Span::new("map.failed", t, s, us(e.at)).with_attempt(attempt),
+                    );
                 }
             }
             TaskKind::ReduceStart => {
@@ -165,21 +213,25 @@ pub fn spans(events: &[TaskEvent]) -> Vec<sidr_obs::Span> {
             }
             TaskKind::ReduceBarrierMet => {
                 if let Some(&s) = reduce_start.get(&e.task) {
-                    out.push(sidr_obs::Span::new("reduce.copy", t, s, us(e.at)));
+                    out.push(
+                        sidr_obs::Span::new("reduce.copy", t, s, us(e.at)).with_attempt(e.attempt),
+                    );
                 }
-                barrier.insert(e.task, us(e.at));
+                barrier.insert(e.task, (us(e.at), e.attempt));
             }
             TaskKind::ReduceMergeDone => {
-                if let Some(s) = barrier.remove(&e.task) {
-                    out.push(sidr_obs::Span::new("reduce.merge", t, s, us(e.at)));
+                if let Some((s, attempt)) = barrier.remove(&e.task) {
+                    out.push(
+                        sidr_obs::Span::new("reduce.merge", t, s, us(e.at)).with_attempt(attempt),
+                    );
                 }
             }
             TaskKind::ReduceEnd => {
                 if let Some(s) = reduce_start.remove(&e.task) {
-                    out.push(sidr_obs::Span::new("reduce", t, s, us(e.at)));
+                    out.push(sidr_obs::Span::new("reduce", t, s, us(e.at)).with_attempt(e.attempt));
                 }
             }
-            TaskKind::ReduceFirstGroup | TaskKind::ReduceFailed => {}
+            TaskKind::MapRetry | TaskKind::ReduceFirstGroup | TaskKind::ReduceFailed => {}
         }
     }
     out
@@ -188,6 +240,15 @@ pub fn spans(events: &[TaskEvent]) -> Vec<sidr_obs::Span> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn ev(kind: TaskKind, task: usize, attempt: u32, ms: u64) -> TaskEvent {
+        TaskEvent {
+            kind,
+            task,
+            attempt,
+            at: Duration::from_millis(ms),
+        }
+    }
 
     #[test]
     fn records_and_sorts_events() {
@@ -198,6 +259,7 @@ mod tests {
         let evs = tl.events();
         assert_eq!(evs.len(), 3);
         assert!(evs.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(evs.iter().all(|e| e.attempt == 0));
     }
 
     #[test]
@@ -219,50 +281,39 @@ mod tests {
     }
 
     #[test]
-    fn spans_pair_starts_with_ends() {
-        let at = |ms: u64| Duration::from_millis(ms);
+    fn events_roundtrip_with_attempt_stamp() {
+        let e = ev(TaskKind::MapRetry, 4, 2, 9);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TaskEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn reexecuted_maps_are_attempted_more_than_once() {
         let events = vec![
-            TaskEvent {
-                kind: TaskKind::MapStart,
-                task: 0,
-                at: at(0),
-            },
-            TaskEvent {
-                kind: TaskKind::ReduceStart,
-                task: 1,
-                at: at(1),
-            },
-            TaskEvent {
-                kind: TaskKind::MapEnd,
-                task: 0,
-                at: at(5),
-            },
-            TaskEvent {
-                kind: TaskKind::ReduceBarrierMet,
-                task: 1,
-                at: at(6),
-            },
-            TaskEvent {
-                kind: TaskKind::ReduceFirstGroup,
-                task: 1,
-                at: at(7),
-            },
-            TaskEvent {
-                kind: TaskKind::ReduceMergeDone,
-                task: 1,
-                at: at(8),
-            },
-            TaskEvent {
-                kind: TaskKind::ReduceEnd,
-                task: 1,
-                at: at(9),
-            },
+            ev(TaskKind::MapStart, 0, 0, 0),
+            ev(TaskKind::MapEnd, 0, 0, 1),
+            ev(TaskKind::MapStart, 1, 0, 0),
+            ev(TaskKind::MapEnd, 1, 0, 1),
+            ev(TaskKind::MapStart, 1, 1, 2),
+            ev(TaskKind::MapEnd, 1, 1, 3),
+            ev(TaskKind::MapStart, 1, 2, 4),
+        ];
+        assert_eq!(reexecuted_maps(&events), vec![1]);
+    }
+
+    #[test]
+    fn spans_pair_starts_with_ends() {
+        let events = vec![
+            ev(TaskKind::MapStart, 0, 0, 0),
+            ev(TaskKind::ReduceStart, 1, 0, 1),
+            ev(TaskKind::MapEnd, 0, 0, 5),
+            ev(TaskKind::ReduceBarrierMet, 1, 0, 6),
+            ev(TaskKind::ReduceFirstGroup, 1, 0, 7),
+            ev(TaskKind::ReduceMergeDone, 1, 0, 8),
+            ev(TaskKind::ReduceEnd, 1, 0, 9),
             // An unfinished map: no span.
-            TaskEvent {
-                kind: TaskKind::MapStart,
-                task: 2,
-                at: at(4),
-            },
+            ev(TaskKind::MapStart, 2, 0, 4),
         ];
         let spans = spans(&events);
         let get = |name: &str| {
@@ -286,5 +337,24 @@ mod tests {
             (get("reduce").start_us, get("reduce").end_us),
             (1_000, 9_000)
         );
+    }
+
+    #[test]
+    fn failed_attempts_emit_attempt_stamped_spans() {
+        let events = vec![
+            ev(TaskKind::MapStart, 0, 0, 0),
+            ev(TaskKind::MapFailed, 0, 0, 2),
+            ev(TaskKind::MapRetry, 0, 1, 3),
+            ev(TaskKind::MapStart, 0, 1, 4),
+            ev(TaskKind::MapEnd, 0, 1, 6),
+        ];
+        let spans = spans(&events);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "map.failed");
+        assert_eq!(spans[0].attempt, 0);
+        assert_eq!((spans[0].start_us, spans[0].end_us), (0, 2_000));
+        assert_eq!(spans[1].name, "map");
+        assert_eq!(spans[1].attempt, 1);
+        assert_eq!((spans[1].start_us, spans[1].end_us), (4_000, 6_000));
     }
 }

@@ -6,8 +6,8 @@ use std::time::Duration;
 
 use sidr_coords::{Coord, Shape, Slab};
 use sidr_mapreduce::{
-    run_job, DefaultPlan, FnMapper, FnReducer, InMemoryOutput, InputSplit, JobConfig, MapTaskId,
-    ModuloPartitioner, RoutingPlan, SliceRecordSource, TaskKind,
+    run_job, DefaultPlan, FaultPlan, FnMapper, FnReducer, InMemoryOutput, InputSplit, JobConfig,
+    MapTaskId, ModuloPartitioner, RoutingPlan, SliceRecordSource, TaskKind,
 };
 
 /// Splits `0..n` into `pieces` integer-keyed splits.
@@ -250,7 +250,7 @@ fn injected_reduce_failure_recovers_by_reexecuting_maps() {
         &plan,
         &output,
         &JobConfig {
-            fail_reducers: vec![2],
+            fault_plan: FaultPlan::fail_reducers_first_attempt([2]),
             volatile_intermediate: true, // §6: intermediate data not persisted
             ..Default::default()
         },
@@ -287,7 +287,7 @@ fn failure_without_volatile_store_needs_no_reexecution() {
         &plan,
         &output,
         &JobConfig {
-            fail_reducers: vec![1],
+            fault_plan: FaultPlan::fail_reducers_first_attempt([1]),
             volatile_intermediate: false, // Hadoop persists map output
             ..Default::default()
         },
@@ -475,7 +475,7 @@ fn spilled_volatile_recovery_reexecutes_and_recovers() {
         &plan,
         &output,
         &JobConfig {
-            fail_reducers: vec![2],
+            fault_plan: FaultPlan::fail_reducers_first_attempt([2]),
             volatile_intermediate: true,
             spill_dir: Some(dir.clone()),
             ..Default::default()

@@ -1,0 +1,354 @@
+//! Fault-tolerance acceptance tests: the full injected-fault matrix
+//! (task failures, transient source errors, corrupt/truncated shuffle
+//! files, stragglers) recovers within the retry budget with output
+//! byte-identical to a fault-free run, recovery stays bounded by the
+//! dependency set `I_ℓ`, and exhausted budgets fail the job with a
+//! typed error instead of wrong answers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use sidr_coords::{Coord, Shape, Slab};
+use sidr_mapreduce::{
+    reexecuted_maps, run_job, DefaultPlan, FaultKind, FaultPlan, FaultTarget, FnMapper, FnReducer,
+    InMemoryOutput, InputSplit, JobConfig, MapTaskId, ModuloPartitioner, MrError, RetryPolicy,
+    RoutingPlan, SliceRecordSource, TaskKind,
+};
+
+/// Splits `0..n` into `pieces` integer-keyed splits.
+fn number_splits(n: u64, pieces: u64) -> Vec<InputSplit> {
+    let space = Shape::new(vec![n]).unwrap();
+    Slab::whole(&space)
+        .split_along_longest(pieces)
+        .into_iter()
+        .map(|slab| InputSplit {
+            byte_range: (
+                slab.corner()[0] * 8,
+                (slab.corner()[0] + slab.shape()[0]) * 8,
+            ),
+            slab,
+            preferred_nodes: vec![],
+        })
+        .collect()
+}
+
+/// Source yielding `(i, i)` for each coordinate of the split.
+fn identity_source(
+    _id: MapTaskId,
+    split: &InputSplit,
+) -> sidr_mapreduce::Result<SliceRecordSource<u64, u64>> {
+    let records: Vec<(u64, u64)> = split
+        .slab
+        .iter_coords()
+        .map(|c: Coord| (c[0], c[0]))
+        .collect();
+    Ok(SliceRecordSource::new(records))
+}
+
+#[allow(clippy::type_complexity)] // the FnMapper/FnReducer generics spell out the closure shapes
+fn sum_by_mod10() -> (
+    FnMapper<u64, u64, u64, u64, impl Fn(&u64, &u64, &mut dyn FnMut(u64, u64)) + Send + Sync>,
+    FnReducer<u64, u64, u64, impl Fn(&u64, &[u64], &mut dyn FnMut(u64)) + Send + Sync>,
+) {
+    (
+        FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(k % 10, *v)),
+        FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.iter().sum())),
+    )
+}
+
+/// Ground truth for sum_by_mod10 over `0..n`.
+fn digit_sums(n: u64) -> Vec<(u64, u64)> {
+    (0..10u64)
+        .map(|d| (d, (0..n).filter(|i| i % 10 == d).sum()))
+        .collect()
+}
+
+/// Runs the sum_by_mod10 workload under `config` and returns its
+/// sorted output plus the job result.
+fn run_sums(
+    n: u64,
+    pieces: u64,
+    reducers: usize,
+    config: &JobConfig,
+) -> (Vec<(u64, u64)>, sidr_mapreduce::JobResult) {
+    let splits = number_splits(n, pieces);
+    let (mapper, reducer) = sum_by_mod10();
+    let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, reducers);
+    let output = InMemoryOutput::new();
+    let result = run_job(
+        &splits,
+        &identity_source,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        config,
+    )
+    .unwrap();
+    (output.sorted_records(), result)
+}
+
+/// The full map-side fault matrix, one kind at a time: every kind
+/// recovers within the default retry budget and the output matches the
+/// fault-free ground truth exactly.
+#[test]
+fn map_fault_matrix_recovers_with_identical_output() {
+    let expect = digit_sums(120);
+    for kind in [
+        FaultKind::Fail,
+        FaultKind::SourceError { after_records: 3 },
+        FaultKind::CorruptOutput,
+        FaultKind::TruncateOutput,
+        FaultKind::Straggle { delay_ms: 10 },
+    ] {
+        let config = JobConfig {
+            fault_plan: FaultPlan::none().with(FaultTarget::Map(2), 0, kind),
+            ..Default::default()
+        };
+        let (records, result) = run_sums(120, 6, 4, &config);
+        assert_eq!(records, expect, "{kind:?}: output diverged");
+        match kind {
+            FaultKind::Fail | FaultKind::SourceError { .. } => {
+                assert_eq!(result.counters.map_failures, 1, "{kind:?}");
+                assert_eq!(result.counters.map_retries, 1, "{kind:?}");
+                assert!(
+                    result.events.iter().any(|e| e.kind == TaskKind::MapFailed),
+                    "{kind:?}: no MapFailed event"
+                );
+                assert!(
+                    result
+                        .events
+                        .iter()
+                        .any(|e| e.kind == TaskKind::MapRetry && e.attempt == 1),
+                    "{kind:?}: no attempt-1 MapRetry event"
+                );
+            }
+            FaultKind::CorruptOutput | FaultKind::TruncateOutput => {
+                assert!(
+                    result.counters.corrupt_fetches >= 1,
+                    "{kind:?}: corruption never detected at fetch time"
+                );
+                assert_eq!(
+                    reexecuted_maps(&result.events),
+                    vec![2],
+                    "{kind:?}: recovery not scoped to the damaged map"
+                );
+            }
+            FaultKind::Straggle { .. } => {
+                assert_eq!(result.counters.map_failures, 0, "{kind:?}");
+            }
+        }
+    }
+}
+
+/// Corrupt *on-disk* shuffle files (the spilled path) are caught by
+/// the SMOF CRC at fetch time and recovered by re-executing only the
+/// damaged map.
+#[test]
+fn corrupt_spilled_output_detected_by_crc_and_recovered() {
+    let dir = std::env::temp_dir().join(format!("sidr-fault-crc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = JobConfig {
+        spill_dir: Some(dir.clone()),
+        fault_plan: FaultPlan::none().with(FaultTarget::Map(1), 0, FaultKind::CorruptOutput),
+        ..Default::default()
+    };
+    let (records, result) = run_sums(90, 5, 3, &config);
+    assert_eq!(records, digit_sums(90));
+    assert!(result.counters.corrupt_fetches >= 1);
+    assert_eq!(reexecuted_maps(&result.events), vec![1]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A fault scripted for every attempt exhausts the budget and the job
+/// fails with the typed `TaskFailed` error — never a wrong answer.
+#[test]
+fn exhausted_retry_budget_fails_job_with_typed_error() {
+    let retry = RetryPolicy {
+        max_task_attempts: 2,
+        backoff_ms: 1,
+    };
+    let splits = number_splits(40, 4);
+    let (mapper, reducer) = sum_by_mod10();
+    let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 2);
+    let output = InMemoryOutput::new();
+    let err = run_job(
+        &splits,
+        &identity_source,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        &JobConfig {
+            retry,
+            fault_plan: FaultPlan::none()
+                .with(FaultTarget::Map(0), 0, FaultKind::Fail)
+                .with(FaultTarget::Map(0), 1, FaultKind::Fail),
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    match err {
+        MrError::TaskFailed { task, .. } => assert!(task.contains("map 0"), "task = {task}"),
+        other => panic!("expected TaskFailed, got {other:?}"),
+    }
+}
+
+/// Reduce-side budget exhaustion is typed too.
+#[test]
+fn reduce_exhaustion_fails_job_with_typed_error() {
+    let splits = number_splits(40, 4);
+    let (mapper, reducer) = sum_by_mod10();
+    let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 2);
+    let output = InMemoryOutput::new();
+    let err = run_job(
+        &splits,
+        &identity_source,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        &JobConfig {
+            retry: RetryPolicy {
+                max_task_attempts: 2,
+                backoff_ms: 1,
+            },
+            fault_plan: FaultPlan::none()
+                .with(FaultTarget::Reduce(1), 0, FaultKind::Fail)
+                .with(FaultTarget::Reduce(1), 1, FaultKind::Fail),
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    match err {
+        MrError::TaskFailed { task, .. } => assert!(task.contains("reduce 1"), "task = {task}"),
+        other => panic!("expected TaskFailed, got {other:?}"),
+    }
+}
+
+/// A 1:1 dependency plan (reducer i depends only on map i), as in the
+/// engine tests — the smallest plan with non-trivial `I_ℓ`.
+struct OneToOnePlan {
+    n: usize,
+}
+
+impl RoutingPlan<u64> for OneToOnePlan {
+    fn num_reducers(&self) -> usize {
+        self.n
+    }
+    fn partition(&self, key: &u64) -> usize {
+        (*key as usize) % self.n
+    }
+    fn reduce_deps(&self, reducer: usize) -> Option<Vec<MapTaskId>> {
+        Some(vec![reducer])
+    }
+    fn invert_scheduling(&self) -> bool {
+        true
+    }
+}
+
+fn diagonal_source(
+    id: MapTaskId,
+    _split: &InputSplit,
+) -> sidr_mapreduce::Result<SliceRecordSource<u64, u64>> {
+    Ok(SliceRecordSource::new(vec![(id as u64, 100 + id as u64)]))
+}
+
+/// Dependency-scoped recovery: a reduce that fails after its barrier
+/// under volatile intermediate data re-executes exactly the maps in
+/// its `I_ℓ` — asserted from the attempt-stamped timeline, not just
+/// the counter.
+#[test]
+fn failed_reduce_reexecutes_exactly_its_dependency_set() {
+    let n = 5usize;
+    let splits = number_splits(n as u64, n as u64);
+    let mapper = FnMapper::new(|k: &u64, v: &u64, emit: &mut dyn FnMut(u64, u64)| emit(*k, *v));
+    let reducer =
+        FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.iter().sum()));
+    let plan = OneToOnePlan { n };
+    let output = InMemoryOutput::new();
+    let result = run_job(
+        &splits,
+        &diagonal_source,
+        &mapper,
+        None,
+        &reducer,
+        &plan,
+        &output,
+        &JobConfig {
+            fault_plan: FaultPlan::fail_reducers_first_attempt([3]),
+            volatile_intermediate: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let i_ell = plan.reduce_deps(3).unwrap();
+    assert_eq!(
+        reexecuted_maps(&result.events),
+        i_ell,
+        "re-executed maps must equal the failed reduce's I_ℓ"
+    );
+    assert_eq!(result.counters.maps_reexecuted, i_ell.len() as u64);
+    // The failed attempt and the successful one are both attempt-
+    // stamped on the timeline.
+    assert!(result
+        .events
+        .iter()
+        .any(|e| e.kind == TaskKind::ReduceFailed && e.task == 3 && e.attempt == 0));
+    assert!(result
+        .events
+        .iter()
+        .any(|e| e.kind == TaskKind::ReduceEnd && e.task == 3 && e.attempt == 1));
+    let records = output.sorted_records();
+    assert_eq!(records.len(), n);
+    for (k, v) in records {
+        assert_eq!(v, 100 + k);
+    }
+}
+
+/// Regression (spill-dir collision): two jobs spilling concurrently
+/// under the *default* scratch directory used to share per-map run
+/// filenames keyed only by map task id; both jobs read back whichever
+/// job's runs landed last. Each job now gets a job-namespaced scratch
+/// directory, so concurrent outputs stay correct.
+#[test]
+fn concurrent_spilling_jobs_do_not_collide_in_default_scratch_dir() {
+    let expect = digit_sums(200);
+    let done = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                let config = JobConfig {
+                    // Tiny sort buffer vs 25-record splits: every map
+                    // is forced to spill several runs.
+                    map_spill_records: Some(4),
+                    ..Default::default()
+                };
+                let (records, _) = run_sums(200, 8, 4, &config);
+                assert_eq!(records, expect, "concurrent spilling job corrupted");
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(done.load(Ordering::SeqCst), 2);
+}
+
+proptest! {
+    /// Property: ANY random fault plan within the retry budget — up to
+    /// three faults drawn from the full matrix, at most one per task —
+    /// yields output byte-identical to the fault-free ground truth.
+    #[test]
+    fn random_fault_plans_preserve_output(seed in 0u64..10_000) {
+        let plan = FaultPlan::random(seed, 6, 4, 3);
+        let config = JobConfig {
+            fault_plan: plan,
+            retry: RetryPolicy { max_task_attempts: 3, backoff_ms: 1 },
+            ..Default::default()
+        };
+        let (records, _) = run_sums(120, 6, 4, &config);
+        prop_assert_eq!(records, digit_sums(120));
+    }
+}

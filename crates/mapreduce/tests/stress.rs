@@ -6,8 +6,8 @@ use std::time::Duration;
 
 use sidr_coords::{Shape, Slab};
 use sidr_mapreduce::{
-    run_job, DefaultPlan, FnMapper, FnReducer, InMemoryOutput, InputSplit, JobConfig, MapTaskId,
-    ModuloPartitioner, RoutingPlan, SliceRecordSource,
+    run_job, DefaultPlan, FaultPlan, FnMapper, FnReducer, InMemoryOutput, InputSplit, JobConfig,
+    MapTaskId, ModuloPartitioner, RoutingPlan, SliceRecordSource,
 };
 
 fn number_splits(n: u64, pieces: u64) -> Vec<InputSplit> {
@@ -137,7 +137,9 @@ fn repeated_runs_with_failures_are_stable() {
             &plan,
             &output,
             &JobConfig {
-                fail_reducers: vec![(round % n_red as u64) as usize],
+                fault_plan: FaultPlan::fail_reducers_first_attempt([
+                    (round % n_red as u64) as usize
+                ]),
                 volatile_intermediate: true,
                 map_think: Duration::from_micros(200),
                 ..Default::default()

@@ -16,6 +16,10 @@ pub struct Span {
     pub name: String,
     /// Task index within its kind (map 3, reduce 0, ...).
     pub task: u64,
+    /// Attempt id of the task execution this span belongs to (0 for
+    /// the first attempt; retries and recovery re-executions count
+    /// up).
+    pub attempt: u32,
     /// Start offset from job start, microseconds.
     pub start_us: u64,
     /// End offset from job start, microseconds.
@@ -27,9 +31,16 @@ impl Span {
         Span {
             name: name.into(),
             task,
+            attempt: 0,
             start_us,
             end_us,
         }
+    }
+
+    /// Stamps the span with a task attempt id (builder-style).
+    pub fn with_attempt(mut self, attempt: u32) -> Self {
+        self.attempt = attempt;
+        self
     }
 
     /// Span duration in microseconds (0 if the clock went backwards).
@@ -58,8 +69,9 @@ pub fn span_json(span: &Span) -> String {
     out.push_str("{\"name\":\"");
     escape_json(&span.name, &mut out);
     out.push_str(&format!(
-        "\",\"task\":{},\"start_us\":{},\"end_us\":{},\"duration_us\":{}}}",
+        "\",\"task\":{},\"attempt\":{},\"start_us\":{},\"end_us\":{},\"duration_us\":{}}}",
         span.task,
+        span.attempt,
         span.start_us,
         span.end_us,
         span.duration_us()
@@ -92,9 +104,11 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(
             lines[0],
-            "{\"name\":\"map\",\"task\":0,\"start_us\":10,\"end_us\":250,\"duration_us\":240}"
+            "{\"name\":\"map\",\"task\":0,\"attempt\":0,\"start_us\":10,\"end_us\":250,\"duration_us\":240}"
         );
         assert!(lines[1].contains("\"name\":\"reduce.copy\""));
+        let retried = span_json(&Span::new("map", 3, 5, 9).with_attempt(2));
+        assert!(retried.contains("\"attempt\":2"));
     }
 
     #[test]

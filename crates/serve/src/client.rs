@@ -33,6 +33,10 @@ pub enum ServeError {
     Protocol(String),
     /// The job reached a terminal `Failed` frame.
     JobFailed(String),
+    /// The job's spec'd deadline expired and the server's watchdog
+    /// cancelled the remainder; keyblocks streamed before the cut-off
+    /// are valid, final results.
+    DeadlineExceeded { job: u64, deadline_ms: u64 },
 }
 
 impl std::fmt::Display for ServeError {
@@ -52,6 +56,9 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ServeError::JobFailed(msg) => write!(f, "job failed: {msg}"),
+            ServeError::DeadlineExceeded { job, deadline_ms } => {
+                write!(f, "job {job} exceeded its {deadline_ms} ms deadline")
+            }
         }
     }
 }
@@ -71,7 +78,8 @@ fn concerns_job(resp: &Response, job: u64) -> bool {
         Response::Keyblock { job: j, .. }
         | Response::Done { job: j, .. }
         | Response::Failed { job: j, .. }
-        | Response::Cancelled { job: j } => *j == job,
+        | Response::Cancelled { job: j }
+        | Response::DeadlineExceeded { job: j, .. } => *j == job,
         Response::Error { .. } => true,
         _ => false,
     }
@@ -215,6 +223,9 @@ impl Client {
                     })
                 }
                 Response::Failed { error, .. } => return Err(ServeError::JobFailed(error)),
+                Response::DeadlineExceeded { deadline_ms, .. } => {
+                    return Err(ServeError::DeadlineExceeded { job, deadline_ms })
+                }
                 Response::Cancelled { .. } => {
                     return Ok(JobOutcome {
                         job,

@@ -30,6 +30,9 @@ pub struct ServeMetrics {
     pub jobs_done: Arc<Counter>,
     pub jobs_failed: Arc<Counter>,
     pub jobs_cancelled: Arc<Counter>,
+    /// Jobs cancelled by the deadline watchdog (graceful degradation,
+    /// not failure).
+    pub jobs_deadline_exceeded: Arc<Counter>,
     /// Submissions the admission pre-flight turned away.
     pub rejections: Arc<Counter>,
     /// Frames decoded from / written to client connections.
@@ -57,6 +60,11 @@ pub fn serve() -> &'static ServeMetrics {
             jobs_cancelled: r.counter(
                 "sidr_serve_jobs_cancelled_total",
                 "Jobs cancelled mid-flight",
+                &[],
+            ),
+            jobs_deadline_exceeded: r.counter(
+                "sidr_serve_jobs_deadline_exceeded_total",
+                "Jobs cancelled by the deadline watchdog",
                 &[],
             ),
             rejections: r.counter(

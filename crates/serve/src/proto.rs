@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use sidr_coords::{Coord, Slab};
 use sidr_core::spec::JobSpec;
-use sidr_mapreduce::TaskEvent;
+use sidr_mapreduce::{FaultPlan, TaskEvent};
 
 /// Per-submission execution knobs.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -38,6 +38,10 @@ pub struct SubmitOptions {
     pub map_think_ms: u64,
     /// Artificial per-reduce-task cost in milliseconds.
     pub reduce_think_ms: u64,
+    /// Chaos hook: a deterministic fault script injected into the run
+    /// (empty plan = none). Lets clients exercise the retry and
+    /// dependency-scoped recovery machinery end to end.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for SubmitOptions {
@@ -48,6 +52,7 @@ impl Default for SubmitOptions {
             filter_pushdown: false,
             map_think_ms: 0,
             reduce_think_ms: 0,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -114,6 +119,14 @@ pub enum Response {
     Failed { job: u64, error: String },
     /// Terminal: the job observed its cancel token and stopped.
     Cancelled { job: u64 },
+    /// Terminal: the job was still running at its spec'd deadline and
+    /// was cancelled by the server's watchdog. Keyblocks already
+    /// streamed remain valid, final results (§3.4).
+    DeadlineExceeded {
+        job: u64,
+        /// The deadline that expired, milliseconds.
+        deadline_ms: u64,
+    },
     /// A stats snapshot (reply to [`Request::Stats`]).
     Stats { stats: ServerStats },
     /// Prometheus text exposition (reply to [`Request::Metrics`]).
@@ -134,6 +147,8 @@ pub struct ServerStats {
     pub jobs_done: u64,
     pub jobs_failed: u64,
     pub jobs_cancelled: u64,
+    /// Jobs cancelled by the deadline watchdog.
+    pub jobs_deadline_exceeded: u64,
     /// Map slots in use / total across all jobs.
     pub map_busy: usize,
     pub map_total: usize,

@@ -42,7 +42,9 @@ fn state_gauge(m: &ServeMetrics, state: JobState) -> Option<&sidr_obs::Gauge> {
     match state {
         JobState::Queued | JobState::Planning => Some(&m.jobs_queued),
         JobState::Running => Some(&m.jobs_running),
-        JobState::Done | JobState::Failed | JobState::Cancelled => None,
+        JobState::Done | JobState::Failed | JobState::Cancelled | JobState::DeadlineExceeded => {
+            None
+        }
     }
 }
 
@@ -79,13 +81,16 @@ pub enum JobState {
     Done,
     Failed,
     Cancelled,
+    /// Cancelled by the deadline watchdog: the spec's `deadline_ms`
+    /// expired while the job was still running.
+    DeadlineExceeded,
 }
 
 impl JobState {
     fn is_terminal(self) -> bool {
         matches!(
             self,
-            JobState::Done | JobState::Failed | JobState::Cancelled
+            JobState::Done | JobState::Failed | JobState::Cancelled | JobState::DeadlineExceeded
         )
     }
 }
@@ -109,6 +114,7 @@ struct Inner {
     jobs_done: AtomicU64,
     jobs_failed: AtomicU64,
     jobs_cancelled: AtomicU64,
+    jobs_deadline: AtomicU64,
     keyblocks_committed: AtomicU64,
     bytes_streamed: AtomicU64,
 }
@@ -144,6 +150,10 @@ impl Inner {
                 self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
                 m.jobs_cancelled.inc();
             }
+            JobState::DeadlineExceeded => {
+                self.jobs_deadline.fetch_add(1, Ordering::Relaxed);
+                m.jobs_deadline_exceeded.inc();
+            }
             _ => {}
         }
     }
@@ -166,6 +176,7 @@ impl Inner {
             jobs_done: self.jobs_done.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
             jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_deadline_exceeded: self.jobs_deadline.load(Ordering::Relaxed),
             map_busy: occ.map_busy,
             map_total: occ.map_total,
             reduce_busy: occ.reduce_busy,
@@ -235,6 +246,7 @@ impl Server {
                 jobs_done: AtomicU64::new(0),
                 jobs_failed: AtomicU64::new(0),
                 jobs_cancelled: AtomicU64::new(0),
+                jobs_deadline: AtomicU64::new(0),
                 keyblocks_committed: AtomicU64::new(0),
                 bytes_streamed: AtomicU64::new(0),
             }),
@@ -472,6 +484,8 @@ fn run_admitted_job(
         filter_pushdown: options.filter_pushdown,
         map_think: Duration::from_millis(options.map_think_ms),
         reduce_think: Duration::from_millis(options.reduce_think_ms),
+        fault_plan: options.fault_plan.clone(),
+        retry: spec.retry,
     };
 
     let sink = Arc::new(InMemoryOutput::<Coord, f64>::new());
@@ -481,6 +495,33 @@ fn run_admitted_job(
         .with_sink(Arc::clone(&sink) as Arc<dyn OutputCollector<Coord, f64>>);
 
     inner.set_state(job, JobState::Running);
+
+    // Deadline watchdog: a detached ticker that cancels the job if it
+    // is still running when the spec's deadline expires. Graceful
+    // degradation, not failure — keyblocks already streamed stay
+    // valid, final results; only the remainder is abandoned.
+    let deadline_hit = Arc::new(AtomicBool::new(false));
+    let job_finished = Arc::new(AtomicBool::new(false));
+    if let Some(ms) = spec.deadline_ms {
+        let hit = Arc::clone(&deadline_hit);
+        let finished = Arc::clone(&job_finished);
+        let watchdog_cancel = cancel.clone();
+        thread::spawn(move || {
+            let deadline = std::time::Instant::now() + Duration::from_millis(ms);
+            // Tick instead of one long sleep so the thread retires
+            // promptly once the job ends.
+            while std::time::Instant::now() < deadline {
+                if finished.load(Ordering::SeqCst) {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(5).min(Duration::from_millis(ms.max(1))));
+            }
+            if !finished.load(Ordering::SeqCst) {
+                hit.store(true, Ordering::SeqCst);
+                watchdog_cancel.cancel();
+            }
+        });
+    }
     let result = thread::scope(|s| {
         let fwd_inner = Arc::clone(&inner);
         let fwd_tx = tx.clone();
@@ -513,6 +554,7 @@ fn run_admitted_job(
         result
     });
 
+    job_finished.store(true, Ordering::SeqCst);
     match result {
         Ok(job_result) => {
             inner.set_state(job, JobState::Done);
@@ -521,6 +563,13 @@ fn run_admitted_job(
                 keyblocks: spec.num_reducers,
                 records: sink.len() as u64,
                 events: job_result.events,
+            });
+        }
+        Err(e) if is_cancellation(&e) && deadline_hit.load(Ordering::SeqCst) => {
+            inner.set_state(job, JobState::DeadlineExceeded);
+            let _ = tx.send(Response::DeadlineExceeded {
+                job,
+                deadline_ms: spec.deadline_ms.unwrap_or(0),
             });
         }
         Err(e) if is_cancellation(&e) => {

@@ -34,7 +34,8 @@ fn main() {
     ] {
         let mut opts = RunOptions::new(FrameworkMode::Sidr, 6);
         opts.split_bytes = 64 << 10; // ~8 KiB rows -> a couple dozen maps
-        opts.fail_reducers = vec![3]; // reducer 3's first attempt dies
+                                     // Reducer 3's first attempt dies (deterministic fault script).
+        opts.fault_plan = sidr_repro::mapreduce::FaultPlan::fail_reducers_first_attempt([3]);
         opts.volatile_intermediate = volatile;
         let outcome = run_query(&file, &query, &opts).expect("query survives the failure");
         println!(
