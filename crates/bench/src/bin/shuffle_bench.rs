@@ -58,7 +58,9 @@ impl CountingAlloc {
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc(layout);
+        // SAFETY: caller upholds GlobalAlloc::alloc's contract; we
+        // forward the layout to the system allocator unchanged.
+        let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             Self::on_alloc(layout.size());
         }
@@ -66,12 +68,17 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout);
+        // SAFETY: caller guarantees `ptr` came from this allocator
+        // with this layout; `alloc` delegates to System, so System
+        // owns the block.
+        unsafe { System.dealloc(ptr, layout) };
         Self::on_dealloc(layout.size());
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let p = System.realloc(ptr, layout, new_size);
+        // SAFETY: same delegation as alloc/dealloc — the caller's
+        // realloc contract transfers directly to System.
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             Self::on_dealloc(layout.size());
             Self::on_alloc(new_size);

@@ -1,0 +1,89 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! One component per virtual thread; components are allocated lazily as
+//! threads are registered, so clocks created early in an execution grow
+//! on demand when compared against later threads.
+
+/// A vector clock: `v[i]` is the number of causally-ordered steps of
+/// virtual thread `i` known to the clock's owner.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    v: Vec<u32>,
+}
+
+impl VClock {
+    /// The zero clock (happens before everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component for thread `tid` (0 if never observed).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.v.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Increment the owner thread's own component.
+    pub fn bump(&mut self, tid: usize) {
+        if self.v.len() <= tid {
+            self.v.resize(tid + 1, 0);
+        }
+        self.v[tid] += 1;
+    }
+
+    /// Pointwise maximum: absorb everything `other` has observed.
+    pub fn join(&mut self, other: &VClock) {
+        if self.v.len() < other.v.len() {
+            self.v.resize(other.v.len(), 0);
+        }
+        for (i, &o) in other.v.iter().enumerate() {
+            if self.v[i] < o {
+                self.v[i] = o;
+            }
+        }
+    }
+
+    /// True iff `self` happens-before-or-equals `other` (pointwise `<=`).
+    pub fn le(&self, other: &VClock) -> bool {
+        self.v.iter().enumerate().all(|(i, &s)| s <= other.get(i))
+    }
+
+    /// True iff the two clocks are causally unordered (a race window).
+    pub fn concurrent_with(&self, other: &VClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::VClock;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.bump(0);
+        a.bump(0);
+        let mut b = VClock::new();
+        b.bump(2);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 0);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn ordering_and_concurrency() {
+        let mut a = VClock::new();
+        a.bump(0);
+        let mut b = a.clone();
+        b.bump(1);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert!(!a.concurrent_with(&b));
+
+        let mut c = VClock::new();
+        c.bump(2);
+        assert!(a.concurrent_with(&c));
+        // The zero clock precedes everything.
+        assert!(VClock::new().le(&c));
+    }
+}

@@ -39,6 +39,7 @@ pub mod operators;
 pub mod output;
 pub mod plan;
 pub mod progress;
+pub mod protocol;
 pub mod query;
 pub mod source;
 pub mod spec;
@@ -53,6 +54,7 @@ pub use framework::{run_query, FrameworkMode, QueryOutcome};
 pub use operators::Operator;
 pub use partition_plus::PartitionPlus;
 pub use plan::{SidrPlan, SidrPlanner};
+pub use protocol::{ProtocolViolation, TimelineOracle};
 pub use query::StructuralQuery;
 pub use verify::{structural_check, PlanView};
 

@@ -61,6 +61,22 @@ fn reduce_failure_reexecutes_exactly_i_ell() {
     opts.fault_plan = FaultPlan::fail_reducers_first_attempt([failed_reducer]);
     let outcome = run_query(&file, &query, &opts).unwrap();
 
+    // The timeline protocol oracle re-derives the same guarantees
+    // from the event stream alone: barriers only after every `I_ℓ`
+    // commit, the recovered attempt's barrier only after its volatile
+    // dependencies recommitted, recovery confined to `I_ℓ`.
+    let mut oracle =
+        sidr_core::TimelineOracle::new(baseline.num_maps, reducers).volatile_intermediate(true);
+    for r in 0..reducers {
+        oracle = oracle.with_deps(r, plan.dependencies().reduce_deps(r).to_vec());
+    }
+    oracle
+        .check_complete(&baseline.result.events)
+        .unwrap_or_else(|v| panic!("fault-free run broke the protocol: {v}"));
+    oracle
+        .check_complete(&outcome.result.events)
+        .unwrap_or_else(|v| panic!("recovery run broke the protocol: {v}"));
+
     assert_eq!(
         reexecuted_maps(&outcome.result.events),
         i_ell,

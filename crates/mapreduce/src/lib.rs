@@ -37,6 +37,7 @@ pub mod runtime;
 pub mod shuffle;
 pub mod shuffle_file;
 pub mod split;
+pub mod sync;
 pub mod task;
 pub mod timeline;
 pub mod wire;
@@ -48,7 +49,8 @@ pub use output::{InMemoryOutput, OutputCollector};
 pub use partitioner::{CoordHashPartitioner, ModuloPartitioner, Partitioner};
 pub use plan::{DefaultPlan, RoutingPlan};
 pub use runtime::{
-    run_job, run_job_shared, CancelToken, JobConfig, JobResult, SlotOccupancy, SlotPool,
+    run_job, run_job_shared, CancelToken, CancelWake, JobConfig, JobResult, Semaphore,
+    SlotOccupancy, SlotPool, WakerRegistration,
 };
 pub use shuffle::{
     merge_files, CorruptionMode, MapOutputBuilder, MapOutputFile, MergeIter, ShuffleStore,

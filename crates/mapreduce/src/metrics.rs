@@ -47,6 +47,12 @@ pub struct RuntimeMetrics {
     /// Re-enqueue of a lost/corrupt map output → its re-executed
     /// attempt committing: how long a recovery actually takes.
     pub recovery_seconds: Arc<Histogram>,
+    /// `sidr_mr_tick_wakeups_total` — blocked workers that made
+    /// progress only because the safety-net tick fired, not because a
+    /// notification arrived. Nonzero means a wakeup was lost; the
+    /// sidr-check explorer reports the same condition as a
+    /// `LostWakeup` finding.
+    pub tick_wakeups: Arc<Counter>,
 }
 
 /// The engine's metrics, registered on first use.
@@ -121,6 +127,11 @@ pub fn runtime() -> &'static RuntimeMetrics {
                 "Lost-output re-enqueue to recovered map commit, seconds",
                 &[],
                 DURATION_BUCKETS,
+            ),
+            tick_wakeups: r.counter(
+                "sidr_mr_tick_wakeups_total",
+                "Blocked workers unblocked by the safety-net tick instead of a notification",
+                &[],
             ),
         }
     })

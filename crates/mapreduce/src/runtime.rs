@@ -18,9 +18,10 @@
 //! token at every blocking point and abandon the job with
 //! [`MrError::Cancelled`].
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::chaos::{self, Mutation};
+use crate::sync::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,7 +30,9 @@ use crate::error::MrError;
 use crate::fault::{FaultKind, FaultPlan, RetryPolicy};
 use crate::output::OutputCollector;
 use crate::plan::RoutingPlan;
-use crate::shuffle::{CorruptionMode, MapOutputBuilder, MapOutputFile, MergeIter, ShuffleStore};
+use crate::shuffle::{
+    CorruptionMode, Fetched, MapOutputBuilder, MapOutputFile, MergeIter, ShuffleStore,
+};
 use crate::split::{InputSplit, MapTaskId};
 use crate::task::{Combiner, Mapper, MrKey, MrValue, RecordSource, Reducer};
 use crate::timeline::{TaskEvent, TaskKind, Timeline};
@@ -97,12 +100,15 @@ impl Default for JobConfig {
 /// share spill filenames).
 static JOB_SEQ: AtomicU64 = AtomicU64::new(0);
 
-/// Safety-net re-check interval for blocked workers. Every blocking
-/// point is condvar-notified on progress, failure *and* cancellation
-/// (see [`CancelToken::cancel`] / `Shared::fail`), so this tick no
-/// longer bounds cancel latency — it only guards against a missed
-/// notification bug turning into a hang.
-const WAIT_TICK: Duration = Duration::from_millis(25);
+// The safety-net re-check interval for blocked workers lives on
+// [`RetryPolicy::wait_tick_ms`] (default 25 ms, `SIDR_WAIT_TICK_MS`
+// overrides): every blocking point is condvar-notified on progress,
+// failure *and* cancellation (see [`CancelToken::cancel`] /
+// `Shared::fail`), so the tick only guards against a missed
+// notification bug turning into a hang. A worker that makes progress
+// only because the tick fired increments `sidr_mr_tick_wakeups_total`
+// — the sidr-check explorer reports the same condition as a
+// `LostWakeup` finding.
 
 /// A blocking point's wake-up target: the condvar a worker may be
 /// parked on, paired with the mutex that guards its predicate.
@@ -113,7 +119,8 @@ const WAIT_TICK: Duration = Duration::from_millis(25);
 /// `wait()` still holds the lock, so the waker blocks until the
 /// waiter is actually parked — the notification cannot land in the
 /// gap.
-trait CancelWake: Send + Sync {
+pub trait CancelWake: Send + Sync {
+    /// Wakes the blocking point so it re-checks its cancel predicate.
     fn wake(&self);
 }
 
@@ -191,57 +198,63 @@ impl CancelToken {
         self.0.cancelled.load(Ordering::SeqCst)
     }
 
-    /// Registers a blocking point to be woken on cancel. If the token
-    /// is already cancelled the waker fires immediately.
-    fn subscribe(&self, waker: Arc<dyn CancelWake>) -> u64 {
+    /// Registers a blocking point to be woken on cancel, returning an
+    /// RAII registration that unsubscribes on drop. If the token is
+    /// already cancelled the waker fires immediately.
+    ///
+    /// Registration is *only* RAII — there is no manual unsubscribe —
+    /// so a worker that exits (or unwinds) between registering and
+    /// parking can never leak its waker slot on a long-lived token.
+    pub fn register(&self, waker: Arc<dyn CancelWake>) -> WakerRegistration {
         let id = self.0.next_id.fetch_add(1, Ordering::Relaxed);
         self.0.wakers.lock().push((id, Arc::clone(&waker)));
         if self.is_cancelled() {
             waker.wake();
         }
-        id
-    }
-
-    fn unsubscribe(&self, id: u64) {
-        self.0.wakers.lock().retain(|(i, _)| *i != id);
-    }
-}
-
-/// RAII bundle of waker registrations for one job run; unsubscribes
-/// on drop so a finished job leaves nothing behind on a long-lived
-/// token or shared pool.
-struct WakerSubscriptions<'t> {
-    token: Option<&'t CancelToken>,
-    ids: Vec<u64>,
-}
-
-impl<'t> WakerSubscriptions<'t> {
-    fn subscribe_all(
-        token: Option<&'t CancelToken>,
-        wakers: impl IntoIterator<Item = Arc<dyn CancelWake>>,
-    ) -> Self {
-        let ids = match token {
-            None => Vec::new(),
-            Some(t) => wakers.into_iter().map(|w| t.subscribe(w)).collect(),
-        };
-        WakerSubscriptions { token, ids }
-    }
-}
-
-impl Drop for WakerSubscriptions<'_> {
-    fn drop(&mut self) {
-        if let Some(t) = self.token {
-            for id in &self.ids {
-                t.unsubscribe(*id);
-            }
+        WakerRegistration {
+            token: self.clone(),
+            id,
         }
+    }
+
+    /// Blocking points currently registered (diagnostic: a quiesced
+    /// token must report 0 or registrations have leaked).
+    pub fn waker_count(&self) -> usize {
+        self.0.wakers.lock().len()
+    }
+}
+
+/// One blocking point's registration on a [`CancelToken`];
+/// unsubscribes on drop (see [`CancelToken::register`]).
+pub struct WakerRegistration {
+    token: CancelToken,
+    id: u64,
+}
+
+impl Drop for WakerRegistration {
+    fn drop(&mut self) {
+        self.token.0.wakers.lock().retain(|(i, _)| *i != self.id);
+    }
+}
+
+/// The waker registrations for one job run, dropped — and thereby
+/// unsubscribed — when the job returns.
+fn subscribe_all(
+    token: Option<&CancelToken>,
+    wakers: impl IntoIterator<Item = Arc<dyn CancelWake>>,
+) -> Vec<WakerRegistration> {
+    match token {
+        None => Vec::new(),
+        Some(t) => wakers.into_iter().map(|w| t.register(w)).collect(),
     }
 }
 
 /// A counting semaphore over one slot class (map or reduce). The
 /// mutex/condvar pair is `Arc`'d so cancel tokens can hold a
-/// [`PairWaker`] over it.
-struct Semaphore {
+/// `PairWaker` over it. Public so sidr-check scenarios can drive
+/// acquire/release/wake_all directly; jobs only ever touch it through
+/// a [`SlotPool`].
+pub struct Semaphore {
     total: usize,
     busy: Arc<Mutex<usize>>,
     cv: Arc<Condvar>,
@@ -271,14 +284,19 @@ impl Semaphore {
     /// Occupies one slot, blocking until one frees. Returns `false`
     /// without occupying anything if `abort()` turns true first.
     /// Blocked waiters are condvar-woken on release, on job failure
-    /// and on cancellation; the timed wait is only a safety net.
-    fn acquire(&self, abort: &dyn Fn() -> bool) -> bool {
+    /// and on cancellation; the timed wait (`tick`) is only a safety
+    /// net, and acquiring *because* it fired counts a tick wakeup.
+    pub fn acquire(&self, abort: &dyn Fn() -> bool, tick: Duration) -> bool {
         let mut busy = self.busy.lock();
+        let mut ticked = false;
         while *busy >= self.total {
             if abort() {
                 return false;
             }
-            self.cv.wait_for(&mut busy, WAIT_TICK);
+            ticked = self.cv.wait_for(&mut busy, tick).timed_out();
+        }
+        if ticked {
+            crate::metrics::runtime().tick_wakeups.inc();
         }
         *busy += 1;
         drop(busy);
@@ -286,31 +304,35 @@ impl Semaphore {
         true
     }
 
-    fn release(&self) {
+    /// Frees one slot and wakes one waiter.
+    pub fn release(&self) {
         let mut busy = self.busy.lock();
         debug_assert!(*busy > 0, "slot released but none occupied");
         *busy -= 1;
         drop(busy);
         self.busy_gauge.dec();
-        self.cv.notify_one();
+        if !chaos::on(Mutation::DropSemReleaseNotify) {
+            self.cv.notify_one();
+        }
     }
 
     /// Wakes every waiter so it re-checks its abort predicate (used
     /// when a sharing job fails or is cancelled).
-    fn wake_all(&self) {
+    pub fn wake_all(&self) {
         drop(self.busy.lock());
         self.cv.notify_all();
     }
 
     /// A cancel waker parked on this semaphore's condvar.
-    fn waker(&self) -> Arc<dyn CancelWake> {
+    pub fn waker(&self) -> Arc<dyn CancelWake> {
         Arc::new(PairWaker {
             mutex: Arc::clone(&self.busy),
             cv: Arc::clone(&self.cv),
         })
     }
 
-    fn in_use(&self) -> usize {
+    /// Slots currently occupied.
+    pub fn in_use(&self) -> usize {
         *self.busy.lock()
     }
 }
@@ -376,6 +398,18 @@ impl SlotPool {
             reduce_busy: self.reduce.in_use(),
             reduce_total: self.reduce.total,
         }
+    }
+
+    /// Checker-scenario access to the raw map semaphore.
+    #[cfg(check)]
+    pub fn map_sem(&self) -> &Semaphore {
+        &self.map
+    }
+
+    /// Checker-scenario access to the raw reduce semaphore.
+    #[cfg(check)]
+    pub fn reduce_sem(&self) -> &Semaphore {
+        &self.reduce
     }
 }
 
@@ -448,6 +482,12 @@ struct State {
     map_attempt: Vec<u32>,
     /// Failed attempts per map, charged against the retry budget.
     map_failures: Vec<u32>,
+    /// Attempt id of the most recently *committed* output generation,
+    /// meaningful only while `maps[m] == Done`. Reducers fetch exactly
+    /// this epoch from the shuffle store: consuming a different
+    /// attempt's data — possible between a re-execution's `put` and
+    /// its `Done` — would orphan a partition no recovery rebuilds.
+    map_commit_epoch: Vec<u32>,
     /// Maps re-enqueued by recovery (lost or corrupt output), stamped
     /// with the re-enqueue instant so the recovery-latency histogram
     /// can observe re-enqueue → recommit.
@@ -489,6 +529,9 @@ struct Shared<'j, K2: MrKey, V2: MrValue> {
     pool: &'j SlotPool,
     cancel: Option<&'j CancelToken>,
     num_maps: usize,
+    /// Safety-net re-check interval for this job's blocking points
+    /// (from [`RetryPolicy::wait_tick`]).
+    wait_tick: Duration,
     /// Where map-side sort-buffer runs spill (set iff
     /// `config.map_spill_records` is): the configured spill dir, or a
     /// job-id-namespaced scratch directory under the system temp dir.
@@ -681,6 +724,7 @@ where
             maps,
             map_attempt: vec![0; num_maps],
             map_failures: vec![0; num_maps],
+            map_commit_epoch: vec![0; num_maps],
             recovering: HashMap::new(),
             reduce_cursor: 0,
             reduces_done: 0,
@@ -706,6 +750,7 @@ where
         pool,
         cancel,
         num_maps,
+        wait_tick: config.retry.wait_tick(),
         map_spill_dir,
     };
     {
@@ -722,7 +767,7 @@ where
     // Register this job's blocking points with the cancel token so
     // `cancel()` wakes parked workers immediately (dropped — and
     // unsubscribed — when the job returns).
-    let _wakers = WakerSubscriptions::subscribe_all(
+    let _wakers = subscribe_all(
         cancel,
         [
             Arc::new(PairWaker {
@@ -739,7 +784,7 @@ where
     // concurrency when the pool is shared.
     let map_workers = pool.map_slots().min(num_maps);
     let reduce_workers = pool.reduce_slots().min(num_reducers);
-    std::thread::scope(|scope| {
+    crate::sync::thread::scope(|scope| {
         for _ in 0..map_workers {
             scope.spawn(|| map_worker(&shared, splits, source_factory, mapper, combiner));
         }
@@ -803,6 +848,7 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
     loop {
         let (task, attempt) = {
             let mut st = shared.state.lock();
+            let mut ticked = false;
             loop {
                 if st.failed || st.reduces_done == shared.plan.num_reducers() {
                     return;
@@ -813,6 +859,9 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
                     return;
                 }
                 if let Some(i) = st.maps.iter().position(|&s| s == MapStatus::Eligible) {
+                    if ticked {
+                        crate::metrics::runtime().tick_wakeups.inc();
+                    }
                     st.maps[i] = MapStatus::Running;
                     let attempt = st.map_attempt[i];
                     st.map_attempt[i] += 1;
@@ -821,20 +870,29 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
                 // Nothing eligible: either all maps are done/skipped
                 // (reduces still draining) or eligibility will arrive
                 // when a reduce starts / recovery re-enqueues.
-                shared.cv.wait_for(&mut st, WAIT_TICK);
+                ticked = shared.cv.wait_for(&mut st, shared.wait_tick).timed_out();
             }
         };
 
+        // Mutation hook: a widened critical section — holding the
+        // state lock across the slot acquire whose abort callback
+        // itself locks state is the classic self-deadlock the checker
+        // must catch.
+        let held_state = if chaos::on(Mutation::HoldStateAcrossAcquire) {
+            Some(shared.state.lock())
+        } else {
+            None
+        };
         // The task is assigned; now occupy a cluster-wide map slot
         // (never blocks on a dedicated pool, where workers == slots).
-        if !shared
-            .pool
-            .map
-            .acquire(&|| shared.cancel_requested() || shared.state.lock().failed)
-        {
+        if !shared.pool.map.acquire(
+            &|| shared.cancel_requested() || shared.state.lock().failed,
+            shared.wait_tick,
+        ) {
             shared.observe_cancel();
             return;
         }
+        drop(held_state);
         let _slot = SlotGuard(&shared.pool.map);
 
         let started = Instant::now();
@@ -852,7 +910,7 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
         ) {
             Ok(()) => {
                 if !shared.config.map_think.is_zero() {
-                    std::thread::sleep(shared.config.map_think);
+                    crate::sync::thread::sleep(shared.config.map_think);
                 }
                 shared
                     .timeline
@@ -863,6 +921,7 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
                 let recovered = {
                     let mut st = shared.state.lock();
                     st.maps[task] = MapStatus::Done;
+                    st.map_commit_epoch[task] = attempt;
                     st.recovering.remove(&task)
                 };
                 if let Some(reenqueued_at) = recovered {
@@ -870,7 +929,12 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
                         .recovery_seconds
                         .observe_duration(reenqueued_at.elapsed());
                 }
-                shared.cv.notify_all();
+                // Mutation hook: committing `Done` without the
+                // notify_all leaves barrier-blocked reducers asleep —
+                // the lost wakeup the checker must catch.
+                if !chaos::on(Mutation::DropMapDoneNotify) {
+                    shared.cv.notify_all();
+                }
             }
             Err(e) => {
                 // Transient failures (source I/O, injected faults)
@@ -894,7 +958,7 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
                     });
                     return;
                 }
-                std::thread::sleep(shared.config.retry.backoff(failures));
+                crate::sync::thread::sleep(shared.config.retry.backoff(failures));
                 if shared.observe_cancel() {
                     return;
                 }
@@ -938,7 +1002,7 @@ where
     let fault = shared.config.fault_plan.map_fault(task, attempt);
     match fault {
         Some(FaultKind::Straggle { delay_ms }) => {
-            std::thread::sleep(Duration::from_millis(delay_ms));
+            crate::sync::thread::sleep(Duration::from_millis(delay_ms));
         }
         Some(FaultKind::Fail) => {
             return Err(MrError::Source(format!(
@@ -989,7 +1053,7 @@ where
     Counters::add(&shared.counters.map_records_in, records_in);
     Counters::add(&shared.counters.map_records_out, records_out);
     for (reducer, file) in builder.finish(combiner, &shared.counters)? {
-        shared.shuffle.put(task, reducer, file)?;
+        shared.shuffle.put(task, reducer, attempt, file)?;
     }
     // Post-commit corruption: the attempt "succeeds", but its files
     // are damaged after commit — discovered only when a reduce
@@ -1028,11 +1092,10 @@ fn reduce_worker<K2, V2, V3>(
         // launch order: a claimed reduce starts its copy phase and (under
         // inverted scheduling) makes its maps eligible, so the number of
         // in-flight reduces across all jobs must never exceed the pool.
-        if !shared
-            .pool
-            .reduce
-            .acquire(&|| shared.cancel_requested() || shared.state.lock().failed)
-        {
+        if !shared.pool.reduce.acquire(
+            &|| shared.cancel_requested() || shared.state.lock().failed,
+            shared.wait_tick,
+        ) {
             shared.observe_cancel();
             return;
         }
@@ -1119,7 +1182,7 @@ where
         if let Some(FaultKind::Straggle { delay_ms }) =
             shared.config.fault_plan.reduce_fault(r, attempt)
         {
-            std::thread::sleep(Duration::from_millis(delay_ms));
+            crate::sync::thread::sleep(Duration::from_millis(delay_ms));
         }
         // Copy phase: fetch from whichever source completes next —
         // not in source order — and pre-open its merge cursor as soon
@@ -1133,13 +1196,23 @@ where
         // Per-source fetch outcome: None = not fetched yet,
         // Some(None) = map produced nothing for this reducer.
         let mut fetched: Vec<FetchSlot<K2, V2>> = vec![None; sources.len()];
+        // Oldest commit epoch an upcoming fetch of source `i` may
+        // accept. Bumped when a fetch finds a *newer* attempt's data
+        // in the store: that attempt's `put` landed but its `Done` has
+        // not, so the source is not ready again until the state's
+        // commit epoch catches up — consuming the fresh data on the
+        // strength of the old observation would orphan the partition
+        // (recovery treats the in-flight re-execution as already
+        // rebuilding it and re-enqueues nothing).
+        let mut min_epoch: Vec<u32> = vec![0; sources.len()];
         let mut opened = 0;
         let mut remaining = sources.len();
         let copy_start = Instant::now();
         let mut copy_wait = Duration::ZERO;
         while remaining > 0 {
-            let ready: Vec<usize> = {
+            let ready: Vec<(usize, u32)> = {
                 let mut st = shared.state.lock();
+                let mut ticked = false;
                 loop {
                     if st.failed {
                         return Ok(()); // another task already reported
@@ -1155,7 +1228,12 @@ where
                             continue;
                         }
                         match st.maps[sources[i]] {
-                            MapStatus::Done => ready.push(i),
+                            MapStatus::Done => {
+                                let epoch = st.map_commit_epoch[sources[i]];
+                                if epoch >= min_epoch[i] {
+                                    ready.push((i, epoch));
+                                }
+                            }
                             MapStatus::Skipped => {
                                 return Err(MrError::BadConfig(format!(
                                     "reduce {r} depends on skipped map {}",
@@ -1166,18 +1244,32 @@ where
                         }
                     }
                     if !ready.is_empty() {
+                        if ticked {
+                            crate::metrics::runtime().tick_wakeups.inc();
+                        }
                         break ready;
                     }
                     let parked = Instant::now();
-                    shared.cv.wait_for(&mut st, WAIT_TICK);
+                    ticked = shared.cv.wait_for(&mut st, shared.wait_tick).timed_out();
                     copy_wait += parked.elapsed();
                 }
             };
-            for i in ready {
-                match shared.shuffle.fetch(sources[i], r, &shared.counters) {
-                    Ok(file) => {
-                        fetched[i] = Some(file);
+            for (i, epoch) in ready {
+                match shared.shuffle.fetch(sources[i], r, epoch, &shared.counters) {
+                    Ok(Fetched::File(file)) => {
+                        fetched[i] = Some(Some(file));
                         remaining -= 1;
+                    }
+                    Ok(Fetched::Empty) => {
+                        fetched[i] = Some(None);
+                        remaining -= 1;
+                    }
+                    Ok(Fetched::Stale { store_epoch }) => {
+                        // A re-execution's output landed between our
+                        // commit observation and this fetch. Leave the
+                        // slot unfetched and wait for that attempt's
+                        // commit; its `Done` transition notifies.
+                        min_epoch[i] = store_epoch;
                     }
                     Err(MrError::CorruptShuffle { .. }) => {
                         // CRC caught a damaged map output at copy
@@ -1250,7 +1342,7 @@ where
                     cause: format!("injected failure ({} attempts exhausted)", attempt + 1),
                 });
             }
-            if shared.config.volatile_intermediate {
+            if shared.config.volatile_intermediate && !chaos::on(Mutation::SkipRecoveryRewait) {
                 // The fetched files were consumed; re-execute exactly
                 // the maps whose data this reduce lost — its `I_ℓ` —
                 // (§6: "re-execute subsets of Map tasks in the event
@@ -1265,7 +1357,7 @@ where
                 shared.cv.notify_all();
             }
             crate::metrics::runtime().task_retries_reduce.inc();
-            std::thread::sleep(shared.config.retry.backoff(attempt + 1));
+            crate::sync::thread::sleep(shared.config.retry.backoff(attempt + 1));
             attempt += 1;
             continue;
         }
@@ -1305,7 +1397,7 @@ where
             .add(merged.saturating_mul(std::mem::size_of::<(K2, V2)>() as u64));
         Counters::add(&shared.counters.reduce_records_out, emitted);
         if !shared.config.reduce_think.is_zero() {
-            std::thread::sleep(shared.config.reduce_think);
+            crate::sync::thread::sleep(shared.config.reduce_think);
         }
         output
             .commit(r, out)
@@ -1321,20 +1413,22 @@ where
 mod tests {
     use super::*;
 
+    const WAIT_TICK: Duration = Duration::from_millis(25);
+
     /// A cancel must reach a waiter parked on a semaphore's condvar by
     /// notification — well inside one `WAIT_TICK` — not by waiting for
     /// the next safety-net poll.
     #[test]
     fn cancel_wakes_semaphore_waiter_sub_tick() {
         let sem = Arc::new(Semaphore::new(1, Arc::new(sidr_obs::Gauge::default())));
-        assert!(sem.acquire(&|| false)); // occupy the only slot
+        assert!(sem.acquire(&|| false, WAIT_TICK)); // occupy the only slot
         let token = CancelToken::new();
-        let id = token.subscribe(sem.waker());
+        let registration = token.register(sem.waker());
 
         let waiter = {
             let sem = Arc::clone(&sem);
             let token = token.clone();
-            std::thread::spawn(move || sem.acquire(&|| token.is_cancelled()))
+            std::thread::spawn(move || sem.acquire(&|| token.is_cancelled(), WAIT_TICK))
         };
         // Give the waiter ample time to park on the condvar.
         std::thread::sleep(Duration::from_millis(60));
@@ -1348,8 +1442,8 @@ mod tests {
             "cancel→wake took {latency:?}; expected notification latency, \
              not a poll tick"
         );
-        token.unsubscribe(id);
-        assert!(token.0.wakers.lock().is_empty());
+        drop(registration);
+        assert_eq!(token.waker_count(), 0);
         sem.release();
     }
 
@@ -1359,19 +1453,48 @@ mod tests {
     #[test]
     fn subscribe_after_cancel_fires_immediately() {
         let sem = Arc::new(Semaphore::new(1, Arc::new(sidr_obs::Gauge::default())));
-        assert!(sem.acquire(&|| false));
+        assert!(sem.acquire(&|| false, WAIT_TICK));
         let token = CancelToken::new();
         token.cancel();
         let waiter = {
             let sem = Arc::clone(&sem);
             let token = token.clone();
-            std::thread::spawn(move || sem.acquire(&|| token.is_cancelled()))
+            std::thread::spawn(move || sem.acquire(&|| token.is_cancelled(), WAIT_TICK))
         };
         std::thread::sleep(Duration::from_millis(20));
         // The waiter aborts on its own flag check; the subscription
         // path must still wake, not deadlock, if it happens after.
-        token.subscribe(sem.waker());
+        let _registration = token.register(sem.waker());
         assert!(!waiter.join().unwrap());
+        sem.release();
+    }
+
+    /// A worker that exits — or unwinds — between registering its
+    /// waker and parking must not leak its slot on the token: every
+    /// registration path is RAII, so the token quiesces to zero wakers
+    /// no matter how the registration scope ends.
+    #[test]
+    fn waker_registrations_never_leak_slots() {
+        let sem = Arc::new(Semaphore::new(1, Arc::new(sidr_obs::Gauge::default())));
+        let token = CancelToken::new();
+        {
+            let _a = token.register(sem.waker());
+            let _b = token.register(sem.waker());
+            assert_eq!(token.waker_count(), 2);
+            // A worker dying between subscribe and wait unwinds
+            // through its registration.
+            let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _c = token.register(sem.waker());
+                assert_eq!(token.waker_count(), 3);
+                panic!("worker died between subscribe and wait");
+            }));
+            assert!(died.is_err());
+            assert_eq!(token.waker_count(), 2, "unwound registration leaked");
+        }
+        assert_eq!(token.waker_count(), 0, "dropped registrations leaked");
+        // Cancelling a quiesced token has nobody stale to wake.
+        token.cancel();
+        assert!(sem.acquire(&|| false, WAIT_TICK));
         sem.release();
     }
 }

@@ -10,7 +10,7 @@
 //! Fetches are counted: every (map, reducer) contact is one network
 //! connection, the quantity Table 3 reports.
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -69,6 +69,25 @@ pub enum CorruptionMode {
     Truncate,
 }
 
+/// What a [`ShuffleStore::fetch`] found. Distinguishing `Empty` from
+/// `Stale` is what makes consume-on-fetch recovery sound: an absent
+/// file whose epoch matched really is "this map produced nothing for
+/// this reducer", while data from a *different* map attempt must never
+/// be consumed by a reducer that only waited for an older commit.
+#[derive(Debug)]
+pub enum Fetched<K, V> {
+    /// The file, at the requested epoch (consumed if the store is
+    /// volatile).
+    File(Arc<MapOutputFile<K, V>>),
+    /// The map committed the requested epoch but produced nothing for
+    /// this reducer.
+    Empty,
+    /// The store holds a different attempt's output. Nothing was
+    /// consumed; the caller must re-wait for the commit of
+    /// `store_epoch` (or newer) and fetch again.
+    Stale { store_epoch: u32 },
+}
+
 /// The TaskTracker-served map-output files: held in memory by default,
 /// or written to a spill directory in the on-disk format of
 /// [`crate::shuffle_file`] (the header-annotated files of §3.2.1).
@@ -76,8 +95,20 @@ pub enum CorruptionMode {
 /// `fetch` optionally *consumes* the file, modeling the §6 future-work
 /// regime where intermediate data is not persisted and a failed
 /// Reduce task forces re-execution of the Map tasks it depended on.
+///
+/// Every entry is stamped with the *epoch* (map attempt id) that
+/// produced it, and `fetch` only consumes an epoch the caller
+/// explicitly observed committed. Without the stamp, a doomed reduce
+/// attempt that raced a map re-execution could eat the fresh attempt's
+/// partition between its `put` and its `Done` transition — and since
+/// recovery treats an in-flight re-execution as "already being
+/// rebuilt", nobody would ever restore the consumed data.
+/// Store key → (producing epoch, file): epoch first so a fetch can
+/// reject another attempt's data before touching the payload.
+type StoredFiles<K, V> = HashMap<(MapTaskId, usize), (u32, Stored<K, V>)>;
+
 pub struct ShuffleStore<K, V> {
-    files: Mutex<HashMap<(MapTaskId, usize), Stored<K, V>>>,
+    files: Mutex<StoredFiles<K, V>>,
     /// Signalled when new files arrive (fetchers waiting on slow maps).
     arrival: Condvar,
     /// Whether fetches remove files from the store.
@@ -129,11 +160,13 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
         }
     }
 
-    /// Stores (or replaces, on re-execution) one map-output file.
+    /// Stores (or replaces, on re-execution) one map-output file,
+    /// stamped with the attempt that produced it.
     pub fn put(
         &self,
         map: MapTaskId,
         reducer: usize,
+        epoch: u32,
         file: MapOutputFile<K, V>,
     ) -> crate::Result<()> {
         let stored = match &self.spill {
@@ -149,50 +182,67 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
             }
         };
         let mut files = self.files.lock();
-        files.insert((map, reducer), stored);
+        files.insert((map, reducer), (epoch, stored));
         self.arrival.notify_all();
         Ok(())
     }
 
-    /// Fetches the file `map` produced for `reducer`, counting one
-    /// connection (contacts happen even when the map produced nothing
-    /// for this reducer — Hadoop "requires that every Reduce task
-    /// contact every completed Map task", §4.6). Returns `None` for an
-    /// empty (absent) file.
+    /// Fetches the file `map`'s attempt `epoch` produced for `reducer`,
+    /// counting one connection (contacts happen even when the map
+    /// produced nothing for this reducer — Hadoop "requires that every
+    /// Reduce task contact every completed Map task", §4.6).
+    ///
+    /// An absent entry — or one left over from an *older* attempt,
+    /// which the committed epoch's `put` never replaced because it had
+    /// nothing to write — is [`Fetched::Empty`]. An entry from a
+    /// *newer* attempt is [`Fetched::Stale`] and is left untouched:
+    /// consuming output the caller never waited for is exactly the
+    /// lost-partition race this stamp exists to prevent.
     pub fn fetch(
         &self,
         map: MapTaskId,
         reducer: usize,
+        epoch: u32,
         counters: &Counters,
-    ) -> crate::Result<Option<Arc<MapOutputFile<K, V>>>> {
+    ) -> crate::Result<Fetched<K, V>> {
         Counters::add(&counters.shuffle_connections, 1);
         let entry = {
             let mut files = self.files.lock();
-            if self.consume_on_fetch {
-                files.remove(&(map, reducer))
-            } else {
-                match files.get(&(map, reducer)) {
-                    None => None,
-                    Some(Stored::Memory(f)) => Some(Stored::Memory(Arc::clone(f))),
-                    Some(Stored::Spilled {
+            match files.get(&(map, reducer)) {
+                None => None,
+                Some((stored_epoch, _)) if *stored_epoch > epoch => {
+                    return Ok(Fetched::Stale {
+                        store_epoch: *stored_epoch,
+                    });
+                }
+                Some((stored_epoch, _)) if *stored_epoch < epoch => {
+                    return Ok(Fetched::Empty);
+                }
+                Some(_) if self.consume_on_fetch => {
+                    files.remove(&(map, reducer)).map(|(_, stored)| stored)
+                }
+                Some((_, Stored::Memory(f))) => Some(Stored::Memory(Arc::clone(f))),
+                Some((
+                    _,
+                    Stored::Spilled {
                         path,
                         raw_count,
                         records,
-                    }) => Some(Stored::Spilled {
-                        path: path.clone(),
-                        raw_count: *raw_count,
-                        records: *records,
-                    }),
-                    Some(Stored::Corrupt { raw_count, records }) => Some(Stored::Corrupt {
-                        raw_count: *raw_count,
-                        records: *records,
-                    }),
-                }
+                    },
+                )) => Some(Stored::Spilled {
+                    path: path.clone(),
+                    raw_count: *raw_count,
+                    records: *records,
+                }),
+                Some((_, Stored::Corrupt { raw_count, records })) => Some(Stored::Corrupt {
+                    raw_count: *raw_count,
+                    records: *records,
+                }),
             }
         };
         let got = match entry {
-            None => None,
-            Some(Stored::Memory(f)) => Some(f),
+            None => return Ok(Fetched::Empty),
+            Some(Stored::Memory(f)) => f,
             Some(Stored::Corrupt { .. }) => {
                 return Err(crate::error::MrError::CorruptShuffle {
                     detail: format!("map {map} output for reducer {reducer}: checksum mismatch"),
@@ -208,13 +258,11 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
                     // Not persisted: the bytes are gone once consumed.
                     std::fs::remove_file(&path).ok();
                 }
-                Some(Arc::new(file))
+                Arc::new(file)
             }
         };
-        if let Some(f) = &got {
-            Counters::add(&counters.shuffled_records, f.records.len() as u64);
-        }
-        Ok(got)
+        Counters::add(&counters.shuffled_records, got.records.len() as u64);
+        Ok(Fetched::File(got))
     }
 
     /// The annotation of a stored file without reading its records —
@@ -222,11 +270,14 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
     pub fn annotation(&self, map: MapTaskId, reducer: usize) -> Option<(u64, u64)> {
         match self.files.lock().get(&(map, reducer)) {
             None => None,
-            Some(Stored::Memory(f)) => Some((f.raw_count, f.records.len() as u64)),
-            Some(Stored::Spilled {
-                raw_count, records, ..
-            })
-            | Some(Stored::Corrupt { raw_count, records }) => Some((*raw_count, *records)),
+            Some((_, Stored::Memory(f))) => Some((f.raw_count, f.records.len() as u64)),
+            Some((
+                _,
+                Stored::Spilled {
+                    raw_count, records, ..
+                },
+            ))
+            | Some((_, Stored::Corrupt { raw_count, records })) => Some((*raw_count, *records)),
         }
     }
 
@@ -236,7 +287,7 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
     /// marked corrupt, which `fetch` reports the same way.
     pub fn corrupt_map(&self, map: MapTaskId, mode: CorruptionMode) -> crate::Result<()> {
         let mut files = self.files.lock();
-        for ((m, _), stored) in files.iter_mut() {
+        for ((m, _), (_, stored)) in files.iter_mut() {
             if *m != map {
                 continue;
             }
@@ -262,7 +313,7 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
     /// the re-executed attempt's files are the only replicas left.
     pub fn evict(&self, map: MapTaskId) {
         let mut files = self.files.lock();
-        files.retain(|(m, _), stored| {
+        files.retain(|(m, _), (_, stored)| {
             if *m != map {
                 return true;
             }
@@ -782,14 +833,21 @@ mod tests {
             .put(
                 0,
                 0,
+                0,
                 MapOutputFile {
                     records: vec![(1, 1)],
                     raw_count: 1,
                 },
             )
             .unwrap();
-        assert!(store.fetch(0, 0, &counters).unwrap().is_some());
-        assert!(store.fetch(5, 0, &counters).unwrap().is_none()); // empty fetch
+        assert!(matches!(
+            store.fetch(0, 0, 0, &counters).unwrap(),
+            Fetched::File(_)
+        ));
+        assert!(matches!(
+            store.fetch(5, 0, 0, &counters).unwrap(), // empty fetch
+            Fetched::Empty
+        ));
         assert_eq!(counters.snapshot().shuffle_connections, 2);
         assert_eq!(counters.snapshot().shuffled_records, 1);
     }
@@ -802,15 +860,59 @@ mod tests {
             .put(
                 0,
                 0,
+                0,
                 MapOutputFile {
                     records: vec![(1, 1)],
                     raw_count: 1,
                 },
             )
             .unwrap();
-        assert!(store.fetch(0, 0, &counters).unwrap().is_some());
+        assert!(matches!(
+            store.fetch(0, 0, 0, &counters).unwrap(),
+            Fetched::File(_)
+        ));
         assert!(!store.contains(0, 0));
-        assert!(store.fetch(0, 0, &counters).unwrap().is_none());
+        assert!(matches!(
+            store.fetch(0, 0, 0, &counters).unwrap(),
+            Fetched::Empty
+        ));
+    }
+
+    #[test]
+    fn stale_epoch_is_reported_and_never_consumed() {
+        let counters = Counters::default();
+        let store = ShuffleStore::<u64, u64>::new(true);
+        // A re-executed attempt replaced the entry with epoch 1...
+        store
+            .put(
+                0,
+                0,
+                1,
+                MapOutputFile {
+                    records: vec![(1, 1)],
+                    raw_count: 1,
+                },
+            )
+            .unwrap();
+        // ...so a reducer still holding attempt 0's commit observation
+        // must be told to re-wait, and the fresh data must stay put.
+        assert!(matches!(
+            store.fetch(0, 0, 0, &counters).unwrap(),
+            Fetched::Stale { store_epoch: 1 }
+        ));
+        assert!(store.contains(0, 0));
+        // An *older* leftover reads as empty (the requested commit
+        // simply wrote nothing for this reducer) and is not consumed.
+        assert!(matches!(
+            store.fetch(0, 0, 2, &counters).unwrap(),
+            Fetched::Empty
+        ));
+        assert!(store.contains(0, 0));
+        assert!(matches!(
+            store.fetch(0, 0, 1, &counters).unwrap(),
+            Fetched::File(_)
+        ));
+        assert!(!store.contains(0, 0));
     }
 
     #[test]

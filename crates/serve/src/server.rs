@@ -93,6 +93,20 @@ impl JobState {
             JobState::Done | JobState::Failed | JobState::Cancelled | JobState::DeadlineExceeded
         )
     }
+
+    /// The legal lifecycle edges. Terminal states have no successors;
+    /// a job can only fail out of `Planning` (input open) or `Running`
+    /// (execution), and `DeadlineExceeded` is a refinement of
+    /// cancellation so it too requires `Running`.
+    pub fn can_transition(self, to: JobState) -> bool {
+        use JobState::*;
+        matches!(
+            (self, to),
+            (Queued, Planning | Cancelled)
+                | (Planning, Running | Failed | Cancelled)
+                | (Running, Done | Failed | Cancelled | DeadlineExceeded)
+        )
+    }
 }
 
 /// Registry entry: the server's handle on one job.
@@ -124,6 +138,10 @@ impl Inner {
         let mut jobs = self.jobs.lock().expect("registry lock");
         let prev = jobs.get_mut(&job).map(|h| {
             let prev = h.state;
+            debug_assert!(
+                prev.can_transition(state),
+                "illegal job state transition {prev:?} -> {state:?} (job {job})"
+            );
             h.state = state;
             prev
         });
@@ -588,4 +606,65 @@ fn run_admitted_job(
 
 fn is_cancellation(e: &sidr_core::SidrError) -> bool {
     matches!(e, sidr_core::SidrError::Engine(MrError::Cancelled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::JobState;
+    use JobState::*;
+
+    const ALL: [JobState; 7] = [
+        Queued,
+        Planning,
+        Running,
+        Done,
+        Failed,
+        Cancelled,
+        DeadlineExceeded,
+    ];
+
+    #[test]
+    fn transition_matrix_matches_the_documented_lifecycle() {
+        let legal: &[(JobState, JobState)] = &[
+            (Queued, Planning),
+            (Queued, Cancelled),
+            (Planning, Running),
+            (Planning, Failed),
+            (Planning, Cancelled),
+            (Running, Done),
+            (Running, Failed),
+            (Running, Cancelled),
+            (Running, DeadlineExceeded),
+        ];
+        for from in ALL {
+            for to in ALL {
+                assert_eq!(
+                    from.can_transition(to),
+                    legal.contains(&(from, to)),
+                    "{from:?} -> {to:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn terminal_states_have_no_successors_and_no_state_loops() {
+        for from in ALL {
+            assert!(!from.can_transition(from), "{from:?} must not self-loop");
+            if from.is_terminal() {
+                for to in ALL {
+                    assert!(
+                        !from.can_transition(to),
+                        "terminal {from:?} must not reach {to:?}"
+                    );
+                }
+            } else {
+                assert!(
+                    ALL.iter()
+                        .any(|to| to.is_terminal() && from.can_transition(*to)),
+                    "{from:?} must be able to reach a terminal state"
+                );
+            }
+        }
+    }
 }

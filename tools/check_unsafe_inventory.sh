@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Enforces docs/UNSAFE.md: every file using `unsafe` must be listed
+# there, and every `unsafe { .. }` block must carry a SAFETY: comment
+# within the three lines above it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Files allowed to contain the `unsafe` keyword: the inventory table's
+# first column (backtick-quoted paths).
+mapfile -t allowed < <(grep -oP '^\| `\K[^`]+' docs/UNSAFE.md)
+
+# Files actually containing `unsafe` as code (comment lines skipped —
+# docs may discuss the keyword freely).
+while IFS= read -r file; do
+    ok=0
+    for a in "${allowed[@]}"; do
+        [ "$file" = "$a" ] && ok=1 && break
+    done
+    if [ "$ok" = 0 ]; then
+        echo "ERROR: $file uses 'unsafe' but is not in docs/UNSAFE.md" >&2
+        fail=1
+    fi
+done < <(grep -rnE '(^|[^_a-zA-Z"])unsafe([^_a-zA-Z]|$)' \
+    --include='*.rs' crates/ shims/ src/ 2>/dev/null \
+    | grep -vE '^[^:]+:[0-9]+:\s*//' | cut -d: -f1 | sort -u)
+
+# Every `unsafe {` block needs a SAFETY: comment within 3 lines above.
+while IFS=: read -r file line _; do
+    start=$((line > 3 ? line - 3 : 1))
+    if ! sed -n "${start},${line}p" "$file" | grep -q 'SAFETY:'; then
+        echo "ERROR: $file:$line: unsafe block without a SAFETY: comment" >&2
+        fail=1
+    fi
+done < <(grep -rnE 'unsafe \{' --include='*.rs' crates/ shims/ src/ 2>/dev/null)
+
+if [ "$fail" = 0 ]; then
+    echo "unsafe inventory clean: ${#allowed[@]} file(s) allowlisted"
+fi
+exit "$fail"
