@@ -1,0 +1,276 @@
+//! Worker-side execution of one task attempt of a spec-defined job.
+//!
+//! A `sidr-worker` process receives a [`JobSpec`] once (`Prepare`) and
+//! then runs individual map/reduce attempts on demand. All the query
+//! knowledge — structural mapping, `partition+` routing, operator
+//! reduction, count-annotation validation — lives here in `sidr-core`;
+//! the worker crate only moves CRC-framed SMOF byte buffers between
+//! processes. Map attempts produce their per-reducer partitions as
+//! *encoded* SMOF v2 buffers (the exact on-disk/on-wire spill format),
+//! and reduce attempts consume the decoded buffers a worker fetched
+//! from the holders, merging them in the plan's fetch order so the
+//! merge's equal-key tie-break — and therefore the streamed output —
+//! is byte-identical to a single-process run.
+
+use std::path::Path;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use sidr_coords::Coord;
+use sidr_mapreduce::shuffle_file::{decode_map_output, encode_map_output};
+use sidr_mapreduce::{
+    Counters, FaultKind, FaultPlan, MapOutputBuilder, MapTaskId, Mapper, MergeIter, MrError,
+    RoutingPlan,
+};
+use sidr_scifile::{DataType, Element, ScincFile};
+
+use crate::operators::{Operator, OperatorReducer};
+use crate::plan::{SidrPlan, SidrPlanner};
+use crate::source::{ScincRecordSource, StructuralMapper};
+use crate::spec::JobSpec;
+
+/// The submitter-controlled knobs a worker needs to execute attempts
+/// faithfully — the serializable subset of
+/// [`crate::framework::SpecRunOptions`] that affects *task-local*
+/// behavior (scheduling-side knobs like priority regions stay with
+/// the coordinator).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ExecOptions {
+    /// Cross-check count annotations before each reduce (§3.2.1
+    /// approach 2). A mismatch is fatal to the job, not retryable.
+    pub validate_annotations: bool,
+    /// Push a `Filter` operator's predicate below the shuffle.
+    pub filter_pushdown: bool,
+    /// Deterministic fault script. Workers apply the *map* faults
+    /// (the attempt runs here); reduce faults are injected
+    /// coordinator-side where the retry/recovery bookkeeping lives.
+    pub fault_plan: FaultPlan,
+}
+
+/// Sink for the key groups a reduce attempt streams out of its merge
+/// ([`SpecExecutor::run_reduce`]'s `emit` callback).
+pub type GroupSink<'a> = dyn FnMut(&[(Coord, f64)]) -> crate::Result<()> + 'a;
+
+/// What one map attempt produced: per-reducer partitions as encoded
+/// SMOF v2 buffers (only non-empty partitions appear, mirroring the
+/// in-process shuffle store's absence-means-empty convention).
+#[derive(Clone, Debug)]
+pub struct MapAttemptOutput {
+    pub partitions: Vec<(usize, Vec<u8>)>,
+    pub records_in: u64,
+    pub records_out: u64,
+}
+
+/// One prepared job on a worker: the opened input, the re-derived
+/// routing plan and the user functions, ready to run any attempt.
+pub struct SpecExecutor {
+    file: ScincFile,
+    spec: JobSpec,
+    dtype: DataType,
+    variable: String,
+    operator: Operator,
+    mapper: StructuralMapper,
+    plan: SidrPlan,
+    opts: ExecOptions,
+}
+
+impl SpecExecutor {
+    /// Opens `input` and re-derives the spec's plan, exactly as the
+    /// coordinator's `run_spec_on_pool` does (admission has already
+    /// verified the spec, so the structural pre-flight is skipped).
+    pub fn new(input: &Path, spec: JobSpec, opts: ExecOptions) -> crate::Result<Self> {
+        let file = ScincFile::open(input)?;
+        let query = spec.query()?;
+        let dtype = file.metadata().variable(&query.variable)?.dtype;
+        let pushdown = match (opts.filter_pushdown, query.operator) {
+            (true, Operator::Filter { threshold }) => Some(threshold),
+            _ => None,
+        };
+        let mut mapper = StructuralMapper::for_query(&query);
+        if let Some(threshold) = pushdown {
+            mapper = mapper.push_down_filter(threshold);
+        }
+        let plan = SidrPlanner::new(&query, spec.num_reducers)
+            .skip_preflight()
+            .build(&spec.splits)?;
+        Ok(SpecExecutor {
+            file,
+            dtype,
+            variable: query.variable.clone(),
+            operator: query.operator,
+            mapper,
+            plan,
+            spec,
+            opts,
+        })
+    }
+
+    pub fn num_maps(&self) -> usize {
+        self.spec.splits.len()
+    }
+
+    pub fn num_reducers(&self) -> usize {
+        self.spec.num_reducers
+    }
+
+    /// Runs one map attempt: read the split, apply the structural map
+    /// and optional combiner, and encode each non-empty partition as
+    /// a SMOF v2 buffer. Injected map faults for this (task, attempt)
+    /// fire here, on the worker, exactly as they would in-process.
+    pub fn run_map(&self, task: MapTaskId, attempt: u32) -> crate::Result<MapAttemptOutput> {
+        match self.dtype {
+            DataType::I32 => self.run_map_typed::<i32>(task, attempt),
+            DataType::I64 => self.run_map_typed::<i64>(task, attempt),
+            DataType::F32 => self.run_map_typed::<f32>(task, attempt),
+            DataType::F64 => self.run_map_typed::<f64>(task, attempt),
+        }
+    }
+
+    fn run_map_typed<E: Element>(
+        &self,
+        task: MapTaskId,
+        attempt: u32,
+    ) -> crate::Result<MapAttemptOutput> {
+        let split = self
+            .spec
+            .splits
+            .get(task)
+            .ok_or_else(|| MrError::BadConfig(format!("map {task} out of range")))?;
+        let fault = self.opts.fault_plan.map_fault(task, attempt);
+        match fault {
+            Some(FaultKind::Straggle { delay_ms }) => {
+                std::thread::sleep(Duration::from_millis(delay_ms));
+            }
+            Some(FaultKind::Fail) => {
+                return Err(MrError::Source(format!(
+                    "injected failure: map {task} attempt {attempt}"
+                ))
+                .into());
+            }
+            _ => {}
+        }
+        let source_err_after = match fault {
+            Some(FaultKind::SourceError { after_records }) => Some(after_records),
+            _ => None,
+        };
+        let mut source = ScincRecordSource::<E>::open(&self.file, &self.variable, split)?;
+        let mut builder = MapOutputBuilder::new(self.spec.num_reducers);
+        let mut records_in = 0u64;
+        let mut records_out = 0u64;
+        let mut push_err: Option<MrError> = None;
+        use sidr_mapreduce::RecordSource;
+        while let Some((k, v)) = source.next_record()? {
+            if source_err_after.is_some_and(|after| records_in >= after) {
+                return Err(MrError::Source(format!(
+                    "injected transient I/O error: map {task} attempt {attempt} \
+                     after {records_in} records"
+                ))
+                .into());
+            }
+            records_in += 1;
+            self.mapper.map(&k, &v, &mut |k2, v2| {
+                if push_err.is_some() {
+                    return;
+                }
+                // The inherent `SidrPlan::partition` accessor shadows
+                // the trait method; route through the trait.
+                let reducer = RoutingPlan::partition(&self.plan, &k2);
+                if let Err(e) = builder.push(reducer, k2, v2) {
+                    push_err = Some(e);
+                }
+                records_out += 1;
+            });
+            if let Some(e) = push_err {
+                return Err(e.into());
+            }
+        }
+        let combiner = self.operator.combiner();
+        // Per-attempt scratch counters: the attempt's tallies travel
+        // back in the reply, not through process-global state.
+        let counters = Counters::default();
+        let partitions = builder
+            .finish(
+                combiner
+                    .as_ref()
+                    .map(|c| c as &dyn sidr_mapreduce::Combiner<Key = Coord, Value = f64>),
+                &counters,
+            )?
+            .into_iter()
+            .map(|(reducer, f)| (reducer, encode_map_output(&f)))
+            .collect();
+        Ok(MapAttemptOutput {
+            partitions,
+            records_in,
+            records_out,
+        })
+    }
+
+    /// Runs one reduce attempt over partitions already fetched from
+    /// their holders, **in the plan's fetch-source order** (equal-key
+    /// merge ties break by file order, so this order is what keeps
+    /// distributed output byte-identical to a single-process run).
+    /// An empty buffer means that map produced nothing for this
+    /// reducer. Each key group reaches `emit` as it leaves the merge;
+    /// returns the emitted record count.
+    ///
+    /// Annotation validation (§3.2.1 approach 2) happens here, against
+    /// the decoded buffers' raw counts — a mismatch means the routing
+    /// promise itself is broken and must fail the job, so it surfaces
+    /// as the typed [`MrError::AnnotationMismatch`].
+    /// `expected_raw` is the coordinator's annotation expectation for
+    /// this attempt; when absent (older coordinator, or validation
+    /// off at submit time) the worker falls back to its own
+    /// plan-derived tally if its options ask for validation.
+    pub fn run_reduce(
+        &self,
+        reducer: usize,
+        partitions: &[Vec<u8>],
+        expected_raw: Option<u64>,
+        emit: &mut GroupSink<'_>,
+    ) -> crate::Result<u64> {
+        if reducer >= self.spec.num_reducers {
+            return Err(MrError::BadConfig(format!("reduce {reducer} out of range")).into());
+        }
+        let mut merge: MergeIter<Coord, f64> = MergeIter::new();
+        let mut raw_total = 0u64;
+        for bytes in partitions {
+            if bytes.is_empty() {
+                continue;
+            }
+            let f = decode_map_output::<Coord, f64>(bytes)?;
+            raw_total += f.raw_count;
+            merge.push_file(std::sync::Arc::new(f));
+        }
+        let expected = expected_raw.or_else(|| {
+            self.opts
+                .validate_annotations
+                .then(|| self.plan.expected_raw_count(reducer))
+                .flatten()
+        });
+        if let Some(expected) = expected {
+            if raw_total != expected {
+                return Err(MrError::AnnotationMismatch {
+                    reducer,
+                    expected,
+                    actual: raw_total,
+                }
+                .into());
+            }
+        }
+        let reducer_fn = OperatorReducer { op: self.operator };
+        let mut group: Vec<(Coord, f64)> = Vec::new();
+        let mut emitted = 0u64;
+        use sidr_mapreduce::Reducer;
+        while let Some((key, values)) = merge.next_group() {
+            group.clear();
+            reducer_fn.reduce(key, values, &mut |v3| {
+                group.push((key.clone(), v3));
+                emitted += 1;
+            });
+            if !group.is_empty() {
+                emit(&group)?;
+            }
+        }
+        Ok(emitted)
+    }
+}

@@ -11,9 +11,9 @@ use std::time::Duration;
 
 use sidr_coords::{Coord, Slab};
 use sidr_mapreduce::{
-    run_job, run_job_shared, CancelToken, CoordHashPartitioner, DefaultPlan, FaultPlan,
-    InMemoryOutput, InputSplit, JobConfig, JobResult, OutputCollector, RetryPolicy, RoutingPlan,
-    SlotPool, SplitGenerator,
+    run_job, run_job_with_executor, CancelToken, CoordHashPartitioner, DefaultPlan, Executor,
+    FaultPlan, InMemoryOutput, InputSplit, JobConfig, JobResult, OutputCollector, RetryPolicy,
+    RoutingPlan, SlotPool, SplitGenerator, TaskExecutor,
 };
 use sidr_scifile::{DataType, Element, ScincFile};
 
@@ -303,16 +303,69 @@ pub fn run_spec_on_pool(
     pool: &SlotPool,
     cancel: Option<&CancelToken>,
 ) -> Result<JobResult> {
+    dispatch_spec(file, spec, opts, output, pool, cancel, Executor::Local)
+}
+
+/// Executes a serialized job submission with its task attempts
+/// dispatched to a worker fleet through the engine's [`TaskExecutor`]
+/// seam, instead of running in-process.
+///
+/// Scheduling is [`run_spec_on_pool`] unchanged — same plan, same
+/// shared [`SlotPool`], same inverted reduce-first order, same
+/// keyblock-by-keyblock commits through `output`. Only *where* an
+/// attempt's bytes are read and reduced differs. Distributed runs are
+/// always volatile-intermediate: map output lives in worker memory and
+/// dies with the worker, so reduce-side losses recover by re-executing
+/// the dependency set `I_ℓ` (§6), never by re-fetching a persisted
+/// file.
+pub fn run_spec_with_executor(
+    file: &ScincFile,
+    spec: &JobSpec,
+    opts: &SpecRunOptions,
+    output: &dyn OutputCollector<Coord, f64>,
+    pool: &SlotPool,
+    cancel: Option<&CancelToken>,
+    executor: &dyn TaskExecutor<Coord, f64>,
+) -> Result<JobResult> {
+    dispatch_spec(
+        file,
+        spec,
+        opts,
+        output,
+        pool,
+        cancel,
+        Executor::Remote(executor),
+    )
+}
+
+fn dispatch_spec(
+    file: &ScincFile,
+    spec: &JobSpec,
+    opts: &SpecRunOptions,
+    output: &dyn OutputCollector<Coord, f64>,
+    pool: &SlotPool,
+    cancel: Option<&CancelToken>,
+    executor: Executor<'_, Coord, f64>,
+) -> Result<JobResult> {
     let query = spec.query()?;
     let var = file.metadata().variable(&query.variable)?;
     match var.dtype {
-        DataType::I32 => run_spec_typed::<i32>(file, spec, &query, opts, output, pool, cancel),
-        DataType::I64 => run_spec_typed::<i64>(file, spec, &query, opts, output, pool, cancel),
-        DataType::F32 => run_spec_typed::<f32>(file, spec, &query, opts, output, pool, cancel),
-        DataType::F64 => run_spec_typed::<f64>(file, spec, &query, opts, output, pool, cancel),
+        DataType::I32 => {
+            run_spec_typed::<i32>(file, spec, &query, opts, output, pool, cancel, executor)
+        }
+        DataType::I64 => {
+            run_spec_typed::<i64>(file, spec, &query, opts, output, pool, cancel, executor)
+        }
+        DataType::F32 => {
+            run_spec_typed::<f32>(file, spec, &query, opts, output, pool, cancel, executor)
+        }
+        DataType::F64 => {
+            run_spec_typed::<f64>(file, spec, &query, opts, output, pool, cancel, executor)
+        }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_spec_typed<E: Element>(
     file: &ScincFile,
     spec: &JobSpec,
@@ -321,6 +374,7 @@ fn run_spec_typed<E: Element>(
     output: &dyn OutputCollector<Coord, f64>,
     pool: &SlotPool,
     cancel: Option<&CancelToken>,
+    executor: Executor<'_, Coord, f64>,
 ) -> Result<JobResult> {
     let pushdown = match (opts.filter_pushdown, query.operator) {
         (true, crate::operators::Operator::Filter { threshold }) => Some(threshold),
@@ -347,10 +401,14 @@ fn run_spec_typed<E: Element>(
         reduce_think: opts.reduce_think,
         fault_plan: opts.fault_plan.clone(),
         retry: opts.retry,
+        // Fleet-held map output is gone when its worker is: model it
+        // as the engine's volatile-intermediate mode so reduce-side
+        // losses recover by re-executing `I_ℓ` (§6).
+        volatile_intermediate: matches!(executor, Executor::Remote(_)),
         ..Default::default()
     };
     let source_factory = scinc_source_factory::<E>(file, &query.variable);
-    Ok(run_job_shared(
+    Ok(run_job_with_executor(
         &spec.splits,
         &source_factory,
         &mapper,
@@ -363,6 +421,7 @@ fn run_spec_typed<E: Element>(
         &config,
         pool,
         cancel,
+        executor,
     )?)
 }
 

@@ -33,6 +33,7 @@
 //! (stock Hadoop, SciHadoop, SIDR) on a SciNC dataset.
 
 pub mod early;
+pub mod exec;
 pub mod framework;
 pub mod lang;
 pub mod operators;
@@ -50,7 +51,10 @@ pub mod partition_plus;
 pub mod verify;
 
 pub use diag::{Diagnostic, Report, Severity};
-pub use framework::{run_query, FrameworkMode, QueryOutcome};
+pub use exec::{ExecOptions, MapAttemptOutput, SpecExecutor};
+pub use framework::{
+    run_query, run_spec_on_pool, run_spec_with_executor, FrameworkMode, QueryOutcome,
+};
 pub use operators::Operator;
 pub use partition_plus::PartitionPlus;
 pub use plan::{SidrPlan, SidrPlanner};

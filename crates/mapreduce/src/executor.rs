@@ -1,0 +1,104 @@
+//! The task-execution seam: where a claimed task attempt actually
+//! runs.
+//!
+//! The scheduler half of the runtime — slot accounting, eligibility,
+//! dependency barriers, retry budgets, recovery re-enqueueing — is the
+//! same whether attempts execute in-process or on a fleet of worker
+//! processes. [`Executor`] is the seam between the two: `Local` runs
+//! the attempt inside the scheduling process exactly as before, while
+//! `Remote` hands it to a [`TaskExecutor`] implementation (the
+//! coordinator side of a worker fleet) and interprets its outcome in
+//! the same fault vocabulary the local path uses. `run_job_shared` and
+//! the epoch-stamped shuffle semantics are unchanged in both modes.
+//!
+//! Worker death surfaces here as [`RemoteReduceError::SourcesLost`]: a
+//! reduce whose source partitions vanished with a worker re-enqueues
+//! exactly those maps — the dependency-scoped (`I_ℓ`) recovery of §6,
+//! generalized from lost in-process shuffle files to lost processes.
+
+use crate::counters::Counters;
+use crate::error::MrError;
+use crate::split::{InputSplit, MapTaskId};
+use crate::task::{MrKey, MrValue};
+use crate::Result;
+
+/// One source partition of a remotely executed reduce: which map
+/// attempt's committed output the executing worker must fetch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReduceSource {
+    pub map: MapTaskId,
+    /// The commit epoch (map attempt id) the scheduler observed; the
+    /// fetch must consume exactly this generation.
+    pub epoch: u32,
+}
+
+/// How a remote reduce attempt failed, in the scheduler's fault
+/// vocabulary.
+#[derive(Debug)]
+pub enum RemoteReduceError {
+    /// Source partitions were lost with a dead worker *before the
+    /// attempt consumed anything*. The scheduler re-enqueues exactly
+    /// these maps and retries the same attempt once they recommit —
+    /// no retry budget is charged, mirroring the local CRC-detected
+    /// corruption path.
+    SourcesLost(Vec<MapTaskId>),
+    /// The attempt failed after its copy phase (its fetches are gone
+    /// under volatile intermediate data). Charged against the retry
+    /// budget; under volatile intermediate data the scheduler
+    /// re-executes the whole dependency set, mirroring the local
+    /// post-barrier failure path.
+    AttemptFailed(String),
+    /// Unrecoverable: fail the job with this error.
+    Fatal(MrError),
+}
+
+/// The remote half of the seam: dispatches one task attempt to a
+/// worker and relays its outcome. Implemented by the serving layer's
+/// fleet coordinator; the engine never sees sockets or placement.
+pub trait TaskExecutor<K2: MrKey, V3: MrValue>: Sync {
+    /// Runs one map attempt to *committed output held by a worker*.
+    /// On `Ok` the scheduler marks the map `Done` at `attempt`; the
+    /// implementation records which worker holds the partitions.
+    /// Errors are charged against the map's retry budget exactly like
+    /// local source/task failures.
+    fn execute_map(
+        &self,
+        task: MapTaskId,
+        attempt: u32,
+        split: &InputSplit,
+        counters: &Counters,
+    ) -> Result<()>;
+
+    /// Runs one reduce attempt on a worker: the worker fetches the
+    /// `sources` partitions from their holders (over TCP, CRC-framed),
+    /// merges, reduces, and streams each key group back; `emit` is
+    /// called once per group, in key order, and the total emitted
+    /// record count is returned. `expected_raw` carries the plan's
+    /// §3.2.1 annotation expectation when validation is on.
+    fn execute_reduce(
+        &self,
+        reducer: usize,
+        attempt: u32,
+        sources: &[ReduceSource],
+        expected_raw: Option<u64>,
+        emit: &mut dyn FnMut(Vec<(K2, V3)>) -> Result<()>,
+    ) -> std::result::Result<u64, RemoteReduceError>;
+}
+
+/// Which side of the seam a job's attempts run on.
+pub enum Executor<'a, K2: MrKey, V3: MrValue> {
+    /// In-process execution (the classic path, byte-for-byte).
+    Local,
+    /// Dispatch to a worker fleet through a [`TaskExecutor`].
+    Remote(&'a dyn TaskExecutor<K2, V3>),
+}
+
+// Manual impls: `derive` would demand `K2: Copy`/`V3: Copy`, but the
+// variants hold at most a shared reference.
+impl<K2: MrKey, V3: MrValue> Clone for Executor<'_, K2, V3> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<K2: MrKey, V3: MrValue> Copy for Executor<'_, K2, V3> {}

@@ -28,6 +28,7 @@
 
 pub mod counters;
 pub mod error;
+pub mod executor;
 pub mod fault;
 pub mod metrics;
 pub mod output;
@@ -44,13 +45,14 @@ pub mod wire;
 
 pub use counters::{Counters, CountersSnapshot};
 pub use error::MrError;
+pub use executor::{Executor, ReduceSource, RemoteReduceError, TaskExecutor};
 pub use fault::{Fault, FaultKind, FaultPlan, FaultTarget, RetryPolicy};
 pub use output::{InMemoryOutput, OutputCollector};
 pub use partitioner::{CoordHashPartitioner, ModuloPartitioner, Partitioner};
 pub use plan::{DefaultPlan, RoutingPlan};
 pub use runtime::{
-    run_job, run_job_shared, CancelToken, CancelWake, JobConfig, JobResult, Semaphore,
-    SlotOccupancy, SlotPool, WakerRegistration,
+    run_job, run_job_shared, run_job_with_executor, CancelToken, CancelWake, JobConfig, JobResult,
+    Semaphore, SlotOccupancy, SlotPool, WakerRegistration,
 };
 pub use shuffle::{
     merge_files, CorruptionMode, MapOutputBuilder, MapOutputFile, MergeIter, ShuffleStore,

@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 
 use crate::counters::{Counters, CountersSnapshot};
 use crate::error::MrError;
+use crate::executor::{Executor, ReduceSource, RemoteReduceError};
 use crate::fault::{FaultKind, FaultPlan, RetryPolicy};
 use crate::output::OutputCollector;
 use crate::plan::RoutingPlan;
@@ -643,6 +644,51 @@ where
     SF: Fn(MapTaskId, &InputSplit) -> Result<S> + Sync,
     S: RecordSource<Key = K1, Value = V1>,
 {
+    run_job_with_executor(
+        splits,
+        source_factory,
+        mapper,
+        combiner,
+        reducer,
+        plan,
+        output,
+        config,
+        pool,
+        cancel,
+        Executor::Local,
+    )
+}
+
+/// [`run_job_shared`] with an explicit [`Executor`] choosing where
+/// task attempts run. `Executor::Local` is byte-for-byte the classic
+/// in-process path; `Executor::Remote` dispatches every map and reduce
+/// attempt through a [`crate::executor::TaskExecutor`] (the worker
+/// fleet), while this process keeps the scheduler: eligibility,
+/// inverted scheduling, barriers, slots, retry budgets and
+/// dependency-scoped recovery.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_with_executor<K1, V1, K2, V2, V3, SF, S>(
+    splits: &[InputSplit],
+    source_factory: &SF,
+    mapper: &dyn Mapper<InKey = K1, InValue = V1, OutKey = K2, OutValue = V2>,
+    combiner: Option<&dyn Combiner<Key = K2, Value = V2>>,
+    reducer: &dyn Reducer<Key = K2, InValue = V2, OutValue = V3>,
+    plan: &dyn RoutingPlan<K2>,
+    output: &dyn OutputCollector<K2, V3>,
+    config: &JobConfig,
+    pool: &SlotPool,
+    cancel: Option<&CancelToken>,
+    executor: Executor<'_, K2, V3>,
+) -> Result<JobResult>
+where
+    K1: MrKey,
+    V1: MrValue,
+    K2: MrKey + crate::wire::WireFormat,
+    V2: MrValue + crate::wire::WireFormat,
+    V3: MrValue,
+    SF: Fn(MapTaskId, &InputSplit) -> Result<S> + Sync,
+    S: RecordSource<Key = K1, Value = V1>,
+{
     if splits.is_empty() {
         return Err(MrError::BadConfig("no input splits".into()));
     }
@@ -786,10 +832,10 @@ where
     let reduce_workers = pool.reduce_slots().min(num_reducers);
     crate::sync::thread::scope(|scope| {
         for _ in 0..map_workers {
-            scope.spawn(|| map_worker(&shared, splits, source_factory, mapper, combiner));
+            scope.spawn(|| map_worker(&shared, splits, source_factory, mapper, combiner, executor));
         }
         for _ in 0..reduce_workers {
-            scope.spawn(|| reduce_worker(&shared, &reduce_order, reducer, output));
+            scope.spawn(|| reduce_worker(&shared, &reduce_order, reducer, output, executor));
         }
     });
 
@@ -831,17 +877,19 @@ where
     })
 }
 
-fn map_worker<K1, V1, K2, V2, SF, S>(
+fn map_worker<K1, V1, K2, V2, V3, SF, S>(
     shared: &Shared<'_, K2, V2>,
     splits: &[InputSplit],
     source_factory: &SF,
     mapper: &dyn Mapper<InKey = K1, InValue = V1, OutKey = K2, OutValue = V2>,
     combiner: Option<&dyn Combiner<Key = K2, Value = V2>>,
+    executor: Executor<'_, K2, V3>,
 ) where
     K1: MrKey,
     V1: MrValue,
     K2: MrKey + crate::wire::WireFormat,
     V2: MrValue + crate::wire::WireFormat,
+    V3: MrValue,
     SF: Fn(MapTaskId, &InputSplit) -> Result<S> + Sync,
     S: RecordSource<Key = K1, Value = V1>,
 {
@@ -899,15 +947,24 @@ fn map_worker<K1, V1, K2, V2, SF, S>(
         shared
             .timeline
             .record_attempt(TaskKind::MapStart, task, attempt);
-        match run_map_task(
-            shared,
-            task,
-            attempt,
-            &splits[task],
-            source_factory,
-            mapper,
-            combiner,
-        ) {
+        let map_result = match executor {
+            Executor::Local => run_map_task(
+                shared,
+                task,
+                attempt,
+                &splits[task],
+                source_factory,
+                mapper,
+                combiner,
+            ),
+            // Remote: the worker runs the attempt and keeps the
+            // committed partitions; the scheduler's bookkeeping below
+            // (Done, commit epoch, notify) is identical.
+            Executor::Remote(exec) => {
+                exec.execute_map(task, attempt, &splits[task], &shared.counters)
+            }
+        };
+        match map_result {
             Ok(()) => {
                 if !shared.config.map_think.is_zero() {
                     crate::sync::thread::sleep(shared.config.map_think);
@@ -1076,6 +1133,7 @@ fn reduce_worker<K2, V2, V3>(
     reduce_order: &[usize],
     reducer_fn: &dyn Reducer<Key = K2, InValue = V2, OutValue = V3>,
     output: &dyn OutputCollector<K2, V3>,
+    executor: Executor<'_, K2, V3>,
 ) where
     K2: MrKey,
     V2: MrValue,
@@ -1143,7 +1201,11 @@ fn reduce_worker<K2, V2, V3>(
 
         let started = Instant::now();
         shared.timeline.record(TaskKind::ReduceStart, r);
-        if let Err(e) = run_reduce_task(shared, r, reducer_fn, output) {
+        let reduce_result = match executor {
+            Executor::Local => run_reduce_task(shared, r, reducer_fn, output),
+            Executor::Remote(exec) => run_reduce_task_remote(shared, r, exec, output),
+        };
+        if let Err(e) = reduce_result {
             shared.fail(e);
             return;
         }
@@ -1407,6 +1469,254 @@ where
             .record_attempt(TaskKind::ReduceEnd, r, attempt);
         return Ok(());
     }
+}
+
+/// The remote counterpart of [`run_reduce_task`]: the scheduler only
+/// waits for *readiness* — every source map `Done` at an acceptable
+/// commit epoch — and then hands the attempt to the executor, which
+/// has a worker fetch the partitions from their holders directly (no
+/// bytes move through this process) and stream key groups back.
+///
+/// Fault mapping mirrors the local path exactly:
+/// * a holder dying *before* the attempt consumed anything
+///   ([`RemoteReduceError::SourcesLost`]) re-enqueues exactly the lost
+///   maps and retries the same attempt, like a CRC-detected corrupt
+///   fetch — no retry budget charged;
+/// * an attempt dying *after* its copy phase
+///   ([`RemoteReduceError::AttemptFailed`]) is charged against the
+///   budget and, under volatile intermediate data, re-executes its
+///   whole dependency set, like a post-barrier injected failure.
+fn run_reduce_task_remote<K2, V2, V3>(
+    shared: &Shared<'_, K2, V2>,
+    r: usize,
+    exec: &dyn crate::executor::TaskExecutor<K2, V3>,
+    output: &dyn OutputCollector<K2, V3>,
+) -> Result<()>
+where
+    K2: MrKey,
+    V2: MrValue,
+    V3: MrValue,
+{
+    let sources: Vec<MapTaskId> = match shared.plan.fetch_sources(r) {
+        Some(deps) => deps,
+        None => (0..shared.num_maps).collect(),
+    };
+    let mut attempt: u32 = 0;
+    // Oldest commit epoch a dispatch may bind source `i` at — bumped
+    // past any generation known consumed or lost, so a retry waits for
+    // a *fresh* recommit instead of re-fetching a dead epoch.
+    let mut min_epoch: Vec<u32> = vec![0; sources.len()];
+    loop {
+        // Injected reduce stragglers delay the attempt up front,
+        // coordinator-side, exactly like the local path.
+        if let Some(FaultKind::Straggle { delay_ms }) =
+            shared.config.fault_plan.reduce_fault(r, attempt)
+        {
+            crate::sync::thread::sleep(Duration::from_millis(delay_ms));
+        }
+
+        // Readiness barrier: every source Done at epoch >= min_epoch.
+        let copy_start = Instant::now();
+        let mut copy_wait = Duration::ZERO;
+        let epochs: Vec<u32> = {
+            let mut st = shared.state.lock();
+            let mut ticked = false;
+            loop {
+                if st.failed {
+                    return Ok(()); // another task already reported
+                }
+                if shared.cancel_requested() {
+                    drop(st);
+                    shared.observe_cancel();
+                    return Ok(());
+                }
+                let mut ready = Vec::with_capacity(sources.len());
+                for (i, &m) in sources.iter().enumerate() {
+                    match st.maps[m] {
+                        MapStatus::Done => {
+                            let epoch = st.map_commit_epoch[m];
+                            if epoch >= min_epoch[i] {
+                                ready.push(epoch);
+                            }
+                        }
+                        MapStatus::Skipped => {
+                            return Err(MrError::BadConfig(format!(
+                                "reduce {r} depends on skipped map {m}"
+                            )));
+                        }
+                        _ => {}
+                    }
+                }
+                if ready.len() == sources.len() {
+                    if ticked {
+                        crate::metrics::runtime().tick_wakeups.inc();
+                    }
+                    break ready;
+                }
+                let parked = Instant::now();
+                ticked = shared.cv.wait_for(&mut st, shared.wait_tick).timed_out();
+                copy_wait += parked.elapsed();
+            }
+        };
+        shared
+            .timeline
+            .record_attempt(TaskKind::ReduceBarrierMet, r, attempt);
+        let m = crate::metrics::runtime();
+        m.barrier_wait_seconds
+            .observe_duration(copy_start.elapsed());
+        m.copy_wait_seconds.observe_duration(copy_wait);
+
+        // Coordinator-side injected reduce failure, at the same point
+        // in the attempt's life as the local post-barrier injection.
+        if matches!(
+            shared.config.fault_plan.reduce_fault(r, attempt),
+            Some(FaultKind::Fail) | Some(FaultKind::SourceError { .. })
+        ) {
+            Counters::add(&shared.counters.reduce_failures, 1);
+            shared
+                .timeline
+                .record_attempt(TaskKind::ReduceFailed, r, attempt);
+            if attempt + 1 >= shared.config.retry.max_task_attempts {
+                return Err(MrError::TaskFailed {
+                    task: format!("reduce {r}"),
+                    cause: format!("injected failure ({} attempts exhausted)", attempt + 1),
+                });
+            }
+            if shared.config.volatile_intermediate {
+                reenqueue_sources(shared, &sources, &epochs, &mut min_epoch);
+            }
+            crate::metrics::runtime().task_retries_reduce.inc();
+            crate::sync::thread::sleep(shared.config.retry.backoff(attempt + 1));
+            attempt += 1;
+            continue;
+        }
+
+        let srcs: Vec<ReduceSource> = sources
+            .iter()
+            .zip(&epochs)
+            .map(|(&map, &epoch)| ReduceSource { map, epoch })
+            .collect();
+        let expected_raw = if shared.config.validate_annotations {
+            shared.plan.expected_raw_count(r)
+        } else {
+            None
+        };
+
+        // Stream groups to the collector as the worker sends them,
+        // accumulating for the final atomic commit (§2.3).
+        let mut out: Vec<(K2, V3)> = Vec::new();
+        let mut first_group = true;
+        let result = {
+            let mut emit = |records: Vec<(K2, V3)>| -> Result<()> {
+                if !records.is_empty() {
+                    output
+                        .stream_group(r, &records)
+                        .map_err(|e| MrError::Output(e.to_string()))?;
+                    if first_group {
+                        shared
+                            .timeline
+                            .record_attempt(TaskKind::ReduceFirstGroup, r, attempt);
+                        first_group = false;
+                    }
+                    out.extend(records);
+                }
+                Ok(())
+            };
+            exec.execute_reduce(r, attempt, &srcs, expected_raw, &mut emit)
+        };
+        match result {
+            Ok(emitted) => {
+                shared
+                    .timeline
+                    .record_attempt(TaskKind::ReduceMergeDone, r, attempt);
+                Counters::add(&shared.counters.reduce_records_out, emitted);
+                if !shared.config.reduce_think.is_zero() {
+                    crate::sync::thread::sleep(shared.config.reduce_think);
+                }
+                output
+                    .commit(r, out)
+                    .map_err(|e| MrError::Output(e.to_string()))?;
+                shared
+                    .timeline
+                    .record_attempt(TaskKind::ReduceEnd, r, attempt);
+                return Ok(());
+            }
+            Err(RemoteReduceError::SourcesLost(lost)) => {
+                // Nothing was consumed: re-enqueue exactly the maps
+                // that died with their holder (their `I_ℓ` share) and
+                // retry the same attempt once they recommit.
+                Counters::add(&shared.counters.corrupt_fetches, 1);
+                {
+                    let mut st = shared.state.lock();
+                    for (i, &m) in sources.iter().enumerate() {
+                        if !lost.contains(&m) {
+                            continue;
+                        }
+                        // Guard: only recover the generation we bound.
+                        // A concurrent reducer may already have
+                        // re-enqueued it (not Done) or a re-execution
+                        // may have recommitted (newer epoch).
+                        if st.maps[m] == MapStatus::Done && st.map_commit_epoch[m] == epochs[i] {
+                            st.reenqueue_for_recovery(m, &shared.counters);
+                        }
+                        min_epoch[i] = epochs[i] + 1;
+                    }
+                }
+                shared.cv.notify_all();
+            }
+            Err(RemoteReduceError::AttemptFailed(cause)) => {
+                Counters::add(&shared.counters.reduce_failures, 1);
+                shared
+                    .timeline
+                    .record_attempt(TaskKind::ReduceFailed, r, attempt);
+                if !out.is_empty() {
+                    // Groups already reached the collector: retrying
+                    // would stream duplicates. At-most-once streaming
+                    // makes this fatal.
+                    return Err(MrError::TaskFailed {
+                        task: format!("reduce {r}"),
+                        cause: format!("{cause} (after streaming began; cannot retry atomically)"),
+                    });
+                }
+                if attempt + 1 >= shared.config.retry.max_task_attempts {
+                    return Err(MrError::TaskFailed {
+                        task: format!("reduce {r}"),
+                        cause: format!("{cause} ({} attempts exhausted)", attempt + 1),
+                    });
+                }
+                if shared.config.volatile_intermediate {
+                    // The attempt consumed its fetches before dying:
+                    // re-execute the whole dependency set (§6).
+                    reenqueue_sources(shared, &sources, &epochs, &mut min_epoch);
+                }
+                crate::metrics::runtime().task_retries_reduce.inc();
+                crate::sync::thread::sleep(shared.config.retry.backoff(attempt + 1));
+                attempt += 1;
+            }
+            Err(RemoteReduceError::Fatal(e)) => return Err(e),
+        }
+    }
+}
+
+/// Re-enqueues every source whose bound generation is still current
+/// (epoch-guarded, like the `SourcesLost` arm) and advances
+/// `min_epoch` past the consumed generation so the retry binds fresh
+/// commits only.
+fn reenqueue_sources<K2: MrKey, V2: MrValue>(
+    shared: &Shared<'_, K2, V2>,
+    sources: &[MapTaskId],
+    epochs: &[u32],
+    min_epoch: &mut [u32],
+) {
+    let mut st = shared.state.lock();
+    for (i, &m) in sources.iter().enumerate() {
+        if st.maps[m] == MapStatus::Done && st.map_commit_epoch[m] == epochs[i] {
+            st.reenqueue_for_recovery(m, &shared.counters);
+        }
+        min_epoch[i] = epochs[i] + 1;
+    }
+    drop(st);
+    shared.cv.notify_all();
 }
 
 #[cfg(test)]

@@ -67,8 +67,11 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// Writes one map-output file to `path`.
-pub fn write_map_output<K, V>(path: impl AsRef<Path>, file: &MapOutputFile<K, V>) -> Result<()>
+/// Encodes one map-output file into a self-contained SMOF byte buffer
+/// (header + CRC frame + payload) — the exact bytes
+/// [`write_map_output`] puts on disk, and what travels inside a raw
+/// frame when a worker serves a shuffle fetch over TCP.
+pub fn encode_map_output<K, V>(file: &MapOutputFile<K, V>) -> Vec<u8>
 where
     K: MrKey + WireFormat,
     V: MrValue + WireFormat,
@@ -78,16 +81,72 @@ where
         k.encode(&mut payload);
         v.encode(&mut payload);
     }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&file.raw_count.to_le_bytes());
+    out.extend_from_slice(&(file.records.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a SMOF byte buffer, verifying the CRC frame before decoding
+/// a single record — the fetching side of the over-TCP shuffle path.
+/// Corruption, truncation and trailing bytes all surface as
+/// [`MrError::CorruptShuffle`].
+pub fn decode_map_output<K, V>(bytes: &[u8]) -> Result<MapOutputFile<K, V>>
+where
+    K: MrKey + WireFormat,
+    V: MrValue + WireFormat,
+{
+    if bytes.len() < HEADER_LEN {
+        return Err(MrError::CorruptShuffle {
+            detail: "map-output file shorter than header".into(),
+        });
+    }
+    let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("len checked");
+    let h = parse_header(header)?;
+    let payload = &bytes[HEADER_LEN..];
+    let actual_crc = crc32(payload);
+    if actual_crc != h.crc {
+        return Err(MrError::CorruptShuffle {
+            detail: format!(
+                "payload CRC {actual_crc:#010x} != header CRC {:#010x} ({} payload bytes)",
+                h.crc,
+                payload.len()
+            ),
+        });
+    }
+    let mut buf = payload;
+    // Cap the pre-allocation: a corrupt count field must not trigger a
+    // huge allocation before decoding fails.
+    let mut records = Vec::with_capacity((h.records as usize).min(1 << 20));
+    for _ in 0..h.records {
+        let k = K::decode(&mut buf)?;
+        let v = V::decode(&mut buf)?;
+        records.push((k, v));
+    }
+    if !buf.is_empty() {
+        return Err(MrError::CorruptShuffle {
+            detail: format!("{} trailing bytes after {} records", buf.len(), h.records),
+        });
+    }
+    Ok(MapOutputFile {
+        records,
+        raw_count: h.raw,
+    })
+}
+
+/// Writes one map-output file to `path`.
+pub fn write_map_output<K, V>(path: impl AsRef<Path>, file: &MapOutputFile<K, V>) -> Result<()>
+where
+    K: MrKey + WireFormat,
+    V: MrValue + WireFormat,
+{
+    let bytes = encode_map_output(file);
     let mut out = BufWriter::new(File::create(path).map_err(io_err)?);
-    out.write_all(&MAGIC).map_err(io_err)?;
-    out.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
-    out.write_all(&file.raw_count.to_le_bytes())
-        .map_err(io_err)?;
-    out.write_all(&(file.records.len() as u64).to_le_bytes())
-        .map_err(io_err)?;
-    out.write_all(&crc32(&payload).to_le_bytes())
-        .map_err(io_err)?;
-    out.write_all(&payload).map_err(io_err)?;
+    out.write_all(&bytes).map_err(io_err)?;
     out.flush().map_err(io_err)?;
     Ok(())
 }
@@ -139,42 +198,7 @@ where
     let mut file = File::open(path).map_err(io_err)?;
     let mut bytes = Vec::new();
     file.read_to_end(&mut bytes).map_err(io_err)?;
-    if bytes.len() < HEADER_LEN {
-        return Err(MrError::CorruptShuffle {
-            detail: "map-output file shorter than header".into(),
-        });
-    }
-    let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("len checked");
-    let h = parse_header(header)?;
-    let payload = &bytes[HEADER_LEN..];
-    let actual_crc = crc32(payload);
-    if actual_crc != h.crc {
-        return Err(MrError::CorruptShuffle {
-            detail: format!(
-                "payload CRC {actual_crc:#010x} != header CRC {:#010x} ({} payload bytes)",
-                h.crc,
-                payload.len()
-            ),
-        });
-    }
-    let mut buf = payload;
-    // Cap the pre-allocation: a corrupt count field must not trigger a
-    // huge allocation before decoding fails.
-    let mut records = Vec::with_capacity((h.records as usize).min(1 << 20));
-    for _ in 0..h.records {
-        let k = K::decode(&mut buf)?;
-        let v = V::decode(&mut buf)?;
-        records.push((k, v));
-    }
-    if !buf.is_empty() {
-        return Err(MrError::CorruptShuffle {
-            detail: format!("{} trailing bytes after {} records", buf.len(), h.records),
-        });
-    }
-    Ok(MapOutputFile {
-        records,
-        raw_count: h.raw,
-    })
+    decode_map_output(&bytes)
 }
 
 /// Flips one payload byte in the file at `path` (fault injection: a
@@ -243,6 +267,28 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn byte_buffer_roundtrip_matches_disk_format() {
+        let path = temp_path("buffer");
+        let f = sample();
+        write_map_output(&path, &f).unwrap();
+        let disk = std::fs::read(&path).unwrap();
+        let encoded = encode_map_output(&f);
+        assert_eq!(encoded, disk, "encode must produce the on-disk bytes");
+        let back: MapOutputFile<Coord, f64> = decode_map_output(&encoded).unwrap();
+        assert_eq!(back.records, f.records);
+        assert_eq!(back.raw_count, 12);
+        // A flipped byte in the buffer is CRC-caught, same as on disk.
+        let mut bad = encoded.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert!(matches!(
+            decode_map_output::<Coord, f64>(&bad),
+            Err(MrError::CorruptShuffle { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

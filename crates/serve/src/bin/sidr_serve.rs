@@ -18,6 +18,7 @@ struct Args {
     listen: String,
     map_slots: usize,
     reduce_slots: usize,
+    workers: Vec<String>,
 }
 
 fn usage() -> &'static str {
@@ -30,7 +31,10 @@ fn usage() -> &'static str {
      options:\n\
      \x20 --listen ADDR      bind address (default 127.0.0.1:7733)\n\
      \x20 --map-slots N      cluster-wide map slots (default 4)\n\
-     \x20 --reduce-slots N   cluster-wide reduce slots (default 2)\n"
+     \x20 --reduce-slots N   cluster-wide reduce slots (default 2)\n\
+     \x20 --worker ADDR      dispatch task attempts to the sidr-worker\n\
+     \x20                    at ADDR (repeatable; with no --worker the\n\
+     \x20                    server executes jobs in-process)\n"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         listen: "127.0.0.1:7733".into(),
         map_slots: 4,
         reduce_slots: 2,
+        workers: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -51,6 +56,9 @@ fn parse_args() -> Result<Args, String> {
                 let n = it.next().ok_or("--reduce-slots needs a count")?;
                 args.reduce_slots = n.parse().map_err(|_| format!("bad slot count {n:?}"))?;
             }
+            "--worker" => args
+                .workers
+                .push(it.next().ok_or("--worker needs an address")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -70,9 +78,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let fleet_size = args.workers.len();
     let config = ServerConfig {
         map_slots: args.map_slots,
         reduce_slots: args.reduce_slots,
+        workers: args.workers,
         ..ServerConfig::default()
     };
     let server = match Server::bind(&args.listen, config) {
@@ -83,10 +93,17 @@ fn main() -> ExitCode {
         }
     };
     match server.local_addr() {
-        Ok(addr) => println!(
-            "sidr-serve: listening on {addr} ({} map + {} reduce slots)",
-            args.map_slots, args.reduce_slots
-        ),
+        Ok(addr) => {
+            let mode = if fleet_size > 0 {
+                format!("coordinating {fleet_size} worker(s)")
+            } else {
+                "in-process execution".to_string()
+            };
+            println!(
+                "sidr-serve: listening on {addr} ({} map + {} reduce slots, {mode})",
+                args.map_slots, args.reduce_slots
+            );
+        }
         Err(e) => {
             eprintln!("sidr-serve: cannot resolve bound address: {e}");
             return ExitCode::FAILURE;

@@ -205,6 +205,29 @@ fn run(args: &Args) -> Result<(), String> {
                 "streamed: {} keyblocks, {} bytes",
                 s.keyblocks_committed, s.bytes_streamed
             );
+            if !s.workers.is_empty() {
+                println!(
+                    "workers: {}/{} alive",
+                    s.workers.iter().filter(|w| w.alive).count(),
+                    s.workers.len()
+                );
+                println!(
+                    "  {:<22} {:>6} {:>10} {:>9} {:>8} {:>8} {:>10}",
+                    "ADDR", "ALIVE", "HEARTBEAT", "IN-FLIGHT", "MAPS", "REDUCES", "PARTITIONS"
+                );
+                for w in &s.workers {
+                    println!(
+                        "  {:<22} {:>6} {:>8}ms {:>9} {:>8} {:>8} {:>10}",
+                        w.addr,
+                        if w.alive { "yes" } else { "DEAD" },
+                        w.heartbeat_age_ms,
+                        w.tasks_in_flight,
+                        w.map_attempts,
+                        w.reduce_attempts,
+                        w.partitions_held,
+                    );
+                }
+            }
             Ok(())
         }
         "metrics" => {

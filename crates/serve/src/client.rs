@@ -14,7 +14,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use sidr_core::spec::JobSpec;
 use sidr_mapreduce::TaskEvent;
 
-use crate::frame::{self, FrameError};
+use crate::frame::{self, FrameError, Role};
 use crate::proto::{Request, Response, ServerStats, SubmitOptions};
 
 /// Client-visible failures.
@@ -114,7 +114,12 @@ pub struct Client {
 
 impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        let mut stream = TcpStream::connect(addr)?;
+        // Version/role handshake before any request: a mismatched
+        // build pair (or a worker port dialed by mistake) fails here
+        // with a typed reason instead of deserialization garbage.
+        frame::handshake_dial(&mut stream, Role::Client, Role::Coordinator)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: stream,

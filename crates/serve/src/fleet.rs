@@ -1,0 +1,915 @@
+//! The coordinator's side of the worker fleet: the coordinator ↔
+//! worker wire protocol, per-worker liveness tracking (heartbeats),
+//! locality-aware dispatch, and the [`RemoteJob`] task executor that
+//! plugs the fleet into the engine's
+//! [`sidr_mapreduce::executor::TaskExecutor`] seam.
+//!
+//! The split of responsibilities mirrors Hadoop 1.0: the coordinator
+//! (JobTracker) keeps planning, admission, the slot pool and every job
+//! state machine; workers (TaskTrackers) run map/reduce attempts and
+//! serve shuffle fetches to *each other* — partition bytes never move
+//! through the coordinator. All connections speak the length-prefixed
+//! JSON frame protocol of [`crate::frame`], opened with the
+//! version/role [`Hello`](crate::frame::Hello) handshake; partition
+//! payloads ride as one raw frame of CRC-framed SMOF v2 bytes after
+//! their JSON header.
+//!
+//! Worker death is a fault-layer event, not a job-killer: the
+//! heartbeat monitor marks the worker dead (once per transition —
+//! `sidr_fleet_workers_lost_total`), in-flight attempts on it are
+//! re-dispatched to surviving workers
+//! (`sidr_fleet_tasks_reassigned_total`), and partitions that died
+//! with it surface as [`RemoteReduceError::SourcesLost`] so the engine
+//! re-enqueues exactly the `I_ℓ`-scoped maps it held (§6).
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use sidr_coords::Coord;
+use sidr_core::exec::ExecOptions;
+use sidr_core::spec::JobSpec;
+use sidr_dfs::{DfsConfig, FileId, NameNode, NodeId};
+use sidr_mapreduce::executor::{ReduceSource, RemoteReduceError, TaskExecutor};
+use sidr_mapreduce::{Counters, InputSplit, MapTaskId, MrError};
+use sidr_obs::{global, Counter, Gauge, Histogram};
+
+use crate::frame::{self, handshake_dial, FrameError, Role};
+
+/// One request on a coordinator→worker (or worker→worker fetch)
+/// connection.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum WorkerRequest {
+    /// Liveness probe; answered with [`WorkerResponse::Pong`].
+    Ping,
+    /// Installs a job on the worker: the spec (splits, routing
+    /// promises), the input path (shared filesystem, like an HDFS
+    /// mount) and the task-local execution options.
+    Prepare {
+        job: u64,
+        spec_json: String,
+        input: String,
+        opts: ExecOptions,
+    },
+    /// Runs one map attempt; the worker keeps the committed
+    /// partitions until they are fetched (volatile) or the job
+    /// finishes.
+    RunMap { job: u64, task: usize, attempt: u32 },
+    /// Runs one reduce attempt: fetch every source partition from its
+    /// holder, release (consume) them, then merge/reduce and stream
+    /// key groups back.
+    RunReduce {
+        job: u64,
+        reducer: usize,
+        attempt: u32,
+        sources: Vec<SourceLoc>,
+        expected_raw: Option<u64>,
+    },
+    /// Worker↔worker shuffle fetch: peek one partition. Answered with
+    /// [`WorkerResponse::Partition`], followed by one *raw* frame of
+    /// SMOF bytes when data is present.
+    FetchPartition {
+        job: u64,
+        map: usize,
+        reducer: usize,
+        epoch: u32,
+    },
+    /// Consume (drop) fetched partitions after a successful copy
+    /// phase — the volatile-intermediate contract, made explicit so a
+    /// copy that dies halfway leaves earlier sources intact.
+    Release {
+        job: u64,
+        reducer: usize,
+        maps: Vec<(usize, u32)>,
+    },
+    /// Drops all state for a finished job.
+    Finish { job: u64 },
+}
+
+/// Where one reduce source partition lives.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SourceLoc {
+    pub map: usize,
+    pub epoch: u32,
+    /// Advertised address of the worker holding the partition.
+    pub holder: String,
+}
+
+/// Worker replies. A `RunReduce` produces a *stream* on one
+/// connection: `Fetched`, then zero or more `Group`s, then
+/// `ReduceDone` — or `Failed` at any point before the first `Group`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum WorkerResponse {
+    Pong(WorkerStat),
+    Prepared {
+        job: u64,
+    },
+    MapDone {
+        job: u64,
+        task: usize,
+        attempt: u32,
+        records_in: u64,
+        records_out: u64,
+        /// Reducers with a non-empty partition from this attempt.
+        partitions: Vec<usize>,
+    },
+    /// The reduce's copy phase completed: every source fetched and
+    /// released. From here on the attempt's inputs are consumed.
+    Fetched {
+        job: u64,
+        reducer: usize,
+    },
+    /// One key group of reduce output, in key order.
+    Group {
+        records: Vec<(Coord, f64)>,
+    },
+    ReduceDone {
+        emitted: u64,
+        /// Wall time the copy phase spent fetching, for the
+        /// coordinator's shuffle-fetch latency histogram.
+        fetch_ms: u64,
+    },
+    /// Shuffle-fetch peek result; `present` ⇒ one raw SMOF frame
+    /// follows. `Missing` means the holder no longer has (or never
+    /// committed) that generation — the fetching worker reports it
+    /// lost.
+    Partition {
+        status: PartitionStatus,
+    },
+    Released,
+    Finished,
+    /// The request failed. `lost_sources` non-empty means source
+    /// partitions are gone (holder dead or missing) and *nothing was
+    /// consumed*; `fatal` means the job must fail (e.g. annotation
+    /// mismatch), retrying cannot help.
+    Failed {
+        detail: String,
+        fatal: bool,
+        lost_sources: Vec<usize>,
+    },
+}
+
+/// Outcome of a shuffle-fetch peek.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionStatus {
+    /// Data follows as one raw frame.
+    Data,
+    /// The map committed this epoch but produced nothing for this
+    /// reducer.
+    Empty,
+    /// This generation is not here (never committed, already
+    /// consumed, or lost with a restart).
+    Missing,
+}
+
+/// Point-in-time view of one worker, as reported by its `Pong` and
+/// the coordinator's liveness tracking. Serialized into
+/// [`crate::proto::ServerStats`] for `sidr-submit stats`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerStat {
+    #[serde(default)]
+    pub addr: String,
+    #[serde(default)]
+    pub alive: bool,
+    /// Milliseconds since the last successful heartbeat.
+    #[serde(default)]
+    pub heartbeat_age_ms: u64,
+    /// Task attempts currently executing on the worker.
+    #[serde(default)]
+    pub tasks_in_flight: u64,
+    /// Lifetime attempt counts.
+    #[serde(default)]
+    pub map_attempts: u64,
+    #[serde(default)]
+    pub reduce_attempts: u64,
+    /// Partitions currently held for un-fetched map output.
+    #[serde(default)]
+    pub partitions_held: u64,
+}
+
+/// Fleet-wide metrics (process-global, one registration).
+pub struct FleetMetrics {
+    pub workers_lost: Arc<Counter>,
+    pub tasks_reassigned: Arc<Counter>,
+    /// Coordinator-observed latency of one remote dispatch
+    /// (map or reduce), connection to final reply.
+    pub dispatch_seconds: Arc<Histogram>,
+    /// Worker-reported wall time of a reduce's shuffle-fetch copy
+    /// phase.
+    pub fetch_seconds: Arc<Histogram>,
+}
+
+const DISPATCH_BUCKETS: &[f64] = &[
+    0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+];
+
+/// The fleet's metric inventory, registered on first use.
+pub fn fleet_metrics() -> &'static FleetMetrics {
+    static METRICS: OnceLock<FleetMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = global();
+        FleetMetrics {
+            workers_lost: r.counter(
+                "sidr_fleet_workers_lost_total",
+                "Workers declared dead by the heartbeat monitor (per transition)",
+                &[],
+            ),
+            tasks_reassigned: r.counter(
+                "sidr_fleet_tasks_reassigned_total",
+                "Task attempts re-dispatched after their worker died mid-flight",
+                &[],
+            ),
+            dispatch_seconds: r.histogram(
+                "sidr_fleet_dispatch_seconds",
+                "Remote task dispatch latency (connect to final reply), seconds",
+                &[],
+                DISPATCH_BUCKETS,
+            ),
+            fetch_seconds: r.histogram(
+                "sidr_fleet_fetch_seconds",
+                "Reduce copy-phase shuffle-fetch wall time, seconds",
+                &[],
+                DISPATCH_BUCKETS,
+            ),
+        }
+    })
+}
+
+/// One tracked worker.
+struct WorkerSlot {
+    addr: String,
+    alive: AtomicBool,
+    last_heartbeat: Mutex<Instant>,
+    /// Coordinator-side count of dispatches currently on the wire.
+    dispatching: AtomicU64,
+    /// Cached copy of the worker's last `Pong` self-report.
+    last_stat: Mutex<WorkerStat>,
+    /// `sidr_fleet_worker_heartbeat_age_ms{worker=...}` gauge.
+    heartbeat_gauge: Arc<Gauge>,
+}
+
+/// Fleet configuration.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Worker advertised addresses (`host:port`).
+    pub workers: Vec<String>,
+    /// Heartbeat probe interval.
+    pub heartbeat_every: Duration,
+    /// Probe connect/read timeout; a worker that cannot answer within
+    /// it is declared dead.
+    pub heartbeat_timeout: Duration,
+}
+
+impl FleetConfig {
+    pub fn new(workers: Vec<String>) -> Self {
+        FleetConfig {
+            workers,
+            heartbeat_every: Duration::from_millis(200),
+            heartbeat_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The coordinator's handle on its worker fleet.
+pub struct Fleet {
+    slots: Vec<Arc<WorkerSlot>>,
+    /// Simulated HDFS namespace used for locality-aware map dispatch:
+    /// one datanode per worker, inputs registered per job.
+    namenode: NameNode,
+    job_seq: AtomicU64,
+    stop: Arc<AtomicBool>,
+    monitor: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Fleet {
+    /// Builds the fleet and starts the heartbeat monitor. Workers that
+    /// are down at construction are simply marked dead; they join the
+    /// rotation at their first successful probe.
+    pub fn connect(config: FleetConfig) -> Result<Self, MrError> {
+        if config.workers.is_empty() {
+            return Err(MrError::BadConfig("fleet needs at least one worker".into()));
+        }
+        let r = global();
+        let slots: Vec<Arc<WorkerSlot>> = config
+            .workers
+            .iter()
+            .map(|addr| {
+                Arc::new(WorkerSlot {
+                    addr: addr.clone(),
+                    alive: AtomicBool::new(false),
+                    last_heartbeat: Mutex::new(Instant::now()),
+                    dispatching: AtomicU64::new(0),
+                    last_stat: Mutex::new(WorkerStat::default()),
+                    heartbeat_gauge: r.gauge(
+                        "sidr_fleet_worker_heartbeat_age_ms",
+                        "Milliseconds since this worker's last successful heartbeat",
+                        &[("worker", addr.as_str())],
+                    ),
+                })
+            })
+            .collect();
+        let namenode = NameNode::new(DfsConfig {
+            num_datanodes: slots.len(),
+            // Small blocks so even tiny CI inputs spread across the
+            // fleet instead of landing on one "datanode".
+            block_size: 64 << 10,
+            replication: 2.min(slots.len()),
+            racks: 1,
+            placement_seed: 0x51D8,
+        })
+        .map_err(|e| MrError::BadConfig(format!("fleet namenode: {e}")))?;
+        let fleet = Fleet {
+            slots,
+            namenode,
+            job_seq: AtomicU64::new(1),
+            stop: Arc::new(AtomicBool::new(false)),
+            monitor: Mutex::new(None),
+        };
+        // Synchronous first round so jobs submitted immediately after
+        // startup see the real liveness picture.
+        fleet.probe_all(config.heartbeat_timeout);
+        let stop = Arc::clone(&fleet.stop);
+        let slots = fleet.slots.clone();
+        let every = config.heartbeat_every;
+        let timeout = config.heartbeat_timeout;
+        let handle = std::thread::Builder::new()
+            .name("sidr-fleet-heartbeat".into())
+            .spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    for slot in &slots {
+                        probe(slot, timeout);
+                    }
+                    std::thread::sleep(every);
+                }
+            })
+            .expect("spawn heartbeat monitor");
+        *fleet.monitor.lock().unwrap() = Some(handle);
+        Ok(fleet)
+    }
+
+    fn probe_all(&self, timeout: Duration) {
+        for slot in &self.slots {
+            probe(slot, timeout);
+        }
+    }
+
+    /// Live workers right now.
+    pub fn live_workers(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.alive.load(Ordering::SeqCst))
+            .count()
+    }
+
+    pub fn size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Per-worker stats for `ServerStats`.
+    pub fn stats(&self) -> Vec<WorkerStat> {
+        self.slots
+            .iter()
+            .map(|s| {
+                let mut stat = s.last_stat.lock().unwrap().clone();
+                stat.addr = s.addr.clone();
+                stat.alive = s.alive.load(Ordering::SeqCst);
+                stat.heartbeat_age_ms =
+                    s.last_heartbeat.lock().unwrap().elapsed().as_millis() as u64;
+                stat
+            })
+            .collect()
+    }
+
+    /// Prepares a job on every live worker and returns its remote
+    /// executor. The input path is registered in the fleet's simulated
+    /// namespace so map dispatch can rank workers by replica locality.
+    pub fn prepare_job(
+        &self,
+        spec: &JobSpec,
+        input: &str,
+        opts: &ExecOptions,
+    ) -> Result<RemoteJob<'_>, MrError> {
+        let job = self.job_seq.fetch_add(1, Ordering::Relaxed);
+        let input_len = std::fs::metadata(input).map(|m| m.len()).unwrap_or(1 << 20);
+        // Job-unique registration path: the same input file may be
+        // registered by many jobs, and the namenode rejects duplicate
+        // paths.
+        let file = self
+            .namenode
+            .register_file(&format!("job{job}:{input}"), input_len.max(1))
+            .map_err(|e| MrError::BadConfig(format!("register input: {e}")))?;
+        let req = WorkerRequest::Prepare {
+            job,
+            spec_json: spec.to_json(),
+            input: input.to_string(),
+            opts: opts.clone(),
+        };
+        let mut prepared = 0;
+        for slot in &self.slots {
+            if !slot.alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            match call(&slot.addr, &req, None) {
+                Ok(WorkerResponse::Prepared { .. }) => prepared += 1,
+                Ok(WorkerResponse::Failed { detail, .. }) => {
+                    return Err(MrError::BadConfig(format!(
+                        "worker {} rejected the job: {detail}",
+                        slot.addr
+                    )));
+                }
+                Ok(other) => {
+                    return Err(MrError::BadConfig(format!(
+                        "worker {}: unexpected reply to Prepare: {other:?}",
+                        slot.addr
+                    )));
+                }
+                // A worker dying during prepare is not fatal — it is
+                // simply not part of this job.
+                Err(_) => mark_dead(slot),
+            }
+        }
+        if prepared == 0 {
+            return Err(MrError::BadConfig("no live workers to run the job".into()));
+        }
+        Ok(RemoteJob {
+            fleet: self,
+            job,
+            file,
+            prepared: self
+                .slots
+                .iter()
+                .map(|s| s.alive.load(Ordering::SeqCst))
+                .collect::<Vec<_>>()
+                .into(),
+            placement: Mutex::new(HashMap::new()),
+            splits: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Stops the heartbeat monitor. Called on drop.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.monitor.lock().unwrap().take() {
+            h.join().ok();
+        }
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn mark_dead(slot: &WorkerSlot) {
+    if slot.alive.swap(false, Ordering::SeqCst) {
+        fleet_metrics().workers_lost.inc();
+    }
+}
+
+/// One liveness probe: dial, handshake, `Ping`, read `Pong`.
+fn probe(slot: &WorkerSlot, timeout: Duration) {
+    match call(&slot.addr, &WorkerRequest::Ping, Some(timeout)) {
+        Ok(WorkerResponse::Pong(stat)) => {
+            *slot.last_heartbeat.lock().unwrap() = Instant::now();
+            *slot.last_stat.lock().unwrap() = stat;
+            slot.heartbeat_gauge.set(0);
+            // Rejoin is safe: a restarted worker holds no partitions,
+            // so anything it "held" surfaces as Missing and recovers.
+            slot.alive.store(true, Ordering::SeqCst);
+        }
+        Ok(_) | Err(_) => {
+            mark_dead(slot);
+            slot.heartbeat_gauge
+                .set(slot.last_heartbeat.lock().unwrap().elapsed().as_millis() as i64);
+        }
+    }
+}
+
+/// A framed, handshaken connection to a worker — used by the
+/// coordinator for dispatch and by workers for peer shuffle fetches
+/// (which announce [`Role::Worker`] instead).
+pub struct WorkerConn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl WorkerConn {
+    /// Dials a worker as the coordinator.
+    pub fn dial(addr: &str, timeout: Option<Duration>) -> Result<Self, FrameError> {
+        Self::dial_as(addr, Role::Coordinator, timeout)
+    }
+
+    /// Dials a worker announcing an explicit role (worker↔worker
+    /// shuffle fetches announce [`Role::Worker`]).
+    pub fn dial_as(addr: &str, ours: Role, timeout: Option<Duration>) -> Result<Self, FrameError> {
+        let stream = match timeout {
+            Some(t) => {
+                let sockaddr = std::net::ToSocketAddrs::to_socket_addrs(addr)
+                    .map_err(|e| FrameError::Io(e.to_string()))?
+                    .next()
+                    .ok_or_else(|| FrameError::Io(format!("cannot resolve {addr}")))?;
+                let s = TcpStream::connect_timeout(&sockaddr, t)
+                    .map_err(|e| FrameError::Io(e.to_string()))?;
+                s.set_read_timeout(Some(t)).ok();
+                s.set_write_timeout(Some(t)).ok();
+                s
+            }
+            None => TcpStream::connect(addr).map_err(|e| FrameError::Io(e.to_string()))?,
+        };
+        let mut conn = WorkerConn {
+            reader: BufReader::new(
+                stream
+                    .try_clone()
+                    .map_err(|e| FrameError::Io(e.to_string()))?,
+            ),
+            writer: BufWriter::new(stream),
+        };
+        let mut duplex = Duplex(&mut conn);
+        handshake_dial(&mut duplex, ours, Role::Worker)?;
+        Ok(conn)
+    }
+
+    pub fn send(&mut self, req: &WorkerRequest) -> Result<(), FrameError> {
+        frame::send(&mut self.writer, req)
+    }
+
+    pub fn recv(&mut self) -> Result<WorkerResponse, FrameError> {
+        match frame::recv::<WorkerResponse>(&mut self.reader)? {
+            Some(r) => Ok(r),
+            None => Err(FrameError::Io("worker closed the connection".into())),
+        }
+    }
+
+    /// Reads one raw (non-JSON) frame: the SMOF payload following a
+    /// [`WorkerResponse::Partition`] header.
+    pub fn recv_raw(&mut self) -> Result<Vec<u8>, FrameError> {
+        match frame::read_frame(&mut self.reader)? {
+            Some(b) => Ok(b),
+            None => Err(FrameError::Io("worker closed the connection".into())),
+        }
+    }
+}
+
+/// Adapter giving the handshake one Read+Write view of the split
+/// buffered halves.
+struct Duplex<'c>(&'c mut WorkerConn);
+
+impl Read for Duplex<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.0.reader.read(buf)
+    }
+}
+
+impl Write for Duplex<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.writer.write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.writer.flush()
+    }
+}
+
+/// One request/one reply convenience call.
+fn call(
+    addr: &str,
+    req: &WorkerRequest,
+    timeout: Option<Duration>,
+) -> Result<WorkerResponse, FrameError> {
+    let mut conn = WorkerConn::dial(addr, timeout)?;
+    conn.send(req)?;
+    conn.recv()
+}
+
+/// One job's remote executor: implements the engine's
+/// [`TaskExecutor`] seam by dispatching attempts to the fleet and
+/// tracking which worker holds each committed map generation.
+pub struct RemoteJob<'f> {
+    fleet: &'f Fleet,
+    job: u64,
+    file: FileId,
+    /// Which workers were prepared for this job (index-aligned with
+    /// the fleet's slots); dispatch never targets the others.
+    prepared: Box<[bool]>,
+    /// `(map, epoch)` → fleet slot index of the holder.
+    placement: Mutex<HashMap<(usize, u32), usize>>,
+    /// Split byte ranges, captured at first dispatch for locality
+    /// ranking.
+    splits: Mutex<Vec<(u64, u64)>>,
+}
+
+impl RemoteJob<'_> {
+    pub fn job_id(&self) -> u64 {
+        self.job
+    }
+
+    /// Broadcasts `Finish`, dropping the job's state on every worker.
+    pub fn finish(&self) {
+        for (i, slot) in self.fleet.slots.iter().enumerate() {
+            if self.prepared[i] && slot.alive.load(Ordering::SeqCst) {
+                call(
+                    &slot.addr,
+                    &WorkerRequest::Finish { job: self.job },
+                    Some(Duration::from_millis(500)),
+                )
+                .ok();
+            }
+        }
+    }
+
+    /// Workers eligible for this job's dispatch, ranked for `split`:
+    /// replica-local workers first (by local byte count, the
+    /// `nodes_for_range` ranking), then the rest, dead ones filtered.
+    fn ranked_workers(&self, split: Option<&InputSplit>) -> Vec<usize> {
+        let mut ranked: Vec<usize> = Vec::new();
+        if let Some(split) = split {
+            if let Ok(nodes) = self.fleet.namenode.nodes_for_range(
+                self.file,
+                split.byte_range.0,
+                split.byte_range.1,
+            ) {
+                ranked.extend(nodes.into_iter().map(|(NodeId(i), _)| i));
+            }
+        }
+        for i in 0..self.fleet.slots.len() {
+            if !ranked.contains(&i) {
+                ranked.push(i);
+            }
+        }
+        ranked.retain(|&i| self.prepared[i] && self.fleet.slots[i].alive.load(Ordering::SeqCst));
+        // Stable load-leveling: among equally-ranked candidates the
+        // locality order already decides; this only breaks pile-ups
+        // when every candidate is remote.
+        ranked
+    }
+}
+
+impl TaskExecutor<Coord, f64> for RemoteJob<'_> {
+    fn execute_map(
+        &self,
+        task: MapTaskId,
+        attempt: u32,
+        split: &InputSplit,
+        counters: &Counters,
+    ) -> sidr_mapreduce::Result<()> {
+        {
+            let mut splits = self.splits.lock().unwrap();
+            if splits.len() <= task {
+                splits.resize(task + 1, (0, 0));
+            }
+            splits[task] = split.byte_range;
+        }
+        let candidates = self.ranked_workers(Some(split));
+        if candidates.is_empty() {
+            return Err(MrError::Source("no live workers for map dispatch".into()));
+        }
+        let mut first = true;
+        for idx in candidates {
+            let slot = &self.fleet.slots[idx];
+            if !first {
+                fleet_metrics().tasks_reassigned.inc();
+            }
+            first = false;
+            let started = Instant::now();
+            slot.dispatching.fetch_add(1, Ordering::Relaxed);
+            let result = call(
+                &slot.addr,
+                &WorkerRequest::RunMap {
+                    job: self.job,
+                    task,
+                    attempt,
+                },
+                None,
+            );
+            slot.dispatching.fetch_sub(1, Ordering::Relaxed);
+            match result {
+                Ok(WorkerResponse::MapDone {
+                    records_in,
+                    records_out,
+                    ..
+                }) => {
+                    fleet_metrics()
+                        .dispatch_seconds
+                        .observe_duration(started.elapsed());
+                    Counters::add(&counters.map_records_in, records_in);
+                    Counters::add(&counters.map_records_out, records_out);
+                    self.placement.lock().unwrap().insert((task, attempt), idx);
+                    return Ok(());
+                }
+                Ok(WorkerResponse::Failed { detail, fatal, .. }) => {
+                    // The worker is alive and the attempt itself
+                    // failed (injected fault, bad split): charge the
+                    // retry budget like a local failure.
+                    if fatal {
+                        return Err(MrError::TaskFailed {
+                            task: format!("map {task}"),
+                            cause: detail,
+                        });
+                    }
+                    return Err(MrError::Source(detail));
+                }
+                Ok(other) => {
+                    return Err(MrError::Source(format!(
+                        "unexpected reply to RunMap: {other:?}"
+                    )));
+                }
+                // Connection-level death: the worker died mid-attempt.
+                // Nothing committed; try the next candidate with the
+                // same attempt id.
+                Err(_) => mark_dead(slot),
+            }
+        }
+        Err(MrError::Source(format!(
+            "map {task}: every candidate worker died during dispatch"
+        )))
+    }
+
+    fn execute_reduce(
+        &self,
+        reducer: usize,
+        attempt: u32,
+        sources: &[ReduceSource],
+        expected_raw: Option<u64>,
+        emit: &mut dyn FnMut(Vec<(Coord, f64)>) -> sidr_mapreduce::Result<()>,
+    ) -> Result<u64, RemoteReduceError> {
+        // Resolve each source's holder. A generation with no live
+        // holder is already lost — report it without burning a
+        // dispatch.
+        let (locs, lost) = {
+            let placement = self.placement.lock().unwrap();
+            let mut locs = Vec::with_capacity(sources.len());
+            let mut lost = Vec::new();
+            for s in sources {
+                match placement.get(&(s.map, s.epoch)) {
+                    Some(&idx) if self.fleet.slots[idx].alive.load(Ordering::SeqCst) => {
+                        locs.push(SourceLoc {
+                            map: s.map,
+                            epoch: s.epoch,
+                            holder: self.fleet.slots[idx].addr.clone(),
+                        });
+                    }
+                    _ => lost.push(s.map),
+                }
+            }
+            (locs, lost)
+        };
+        if !lost.is_empty() {
+            return Err(RemoteReduceError::SourcesLost(lost));
+        }
+
+        // Prefer the worker already holding the most source
+        // partitions (shuffle-local dispatch), then the rest.
+        let mut holder_count: HashMap<usize, usize> = HashMap::new();
+        {
+            let placement = self.placement.lock().unwrap();
+            for s in sources {
+                if let Some(&idx) = placement.get(&(s.map, s.epoch)) {
+                    *holder_count.entry(idx).or_default() += 1;
+                }
+            }
+        }
+        let mut candidates = self.ranked_workers(None);
+        candidates.sort_by_key(|i| std::cmp::Reverse(holder_count.get(i).copied().unwrap_or(0)));
+        if candidates.is_empty() {
+            return Err(RemoteReduceError::AttemptFailed(
+                "no live workers for reduce dispatch".into(),
+            ));
+        }
+
+        let mut first = true;
+        for idx in candidates {
+            let slot = &self.fleet.slots[idx];
+            if !first {
+                fleet_metrics().tasks_reassigned.inc();
+            }
+            first = false;
+            let started = Instant::now();
+            slot.dispatching.fetch_add(1, Ordering::Relaxed);
+            let outcome = run_reduce_on(
+                &slot.addr,
+                &WorkerRequest::RunReduce {
+                    job: self.job,
+                    reducer,
+                    attempt,
+                    sources: locs.clone(),
+                    expected_raw,
+                },
+                emit,
+            );
+            slot.dispatching.fetch_sub(1, Ordering::Relaxed);
+            match outcome {
+                ReduceOutcome::Done { emitted, fetch_ms } => {
+                    let m = fleet_metrics();
+                    m.dispatch_seconds.observe_duration(started.elapsed());
+                    m.fetch_seconds
+                        .observe(Duration::from_millis(fetch_ms).as_secs_f64());
+                    return Ok(emitted);
+                }
+                ReduceOutcome::SourcesLost(maps) => {
+                    return Err(RemoteReduceError::SourcesLost(maps));
+                }
+                ReduceOutcome::AttemptFailed(detail) => {
+                    return Err(RemoteReduceError::AttemptFailed(detail));
+                }
+                ReduceOutcome::Fatal(e) => return Err(RemoteReduceError::Fatal(e)),
+                // The executing worker died before consuming anything:
+                // its fetches were peeks. Same attempt, next worker.
+                ReduceOutcome::DiedPreCopy => mark_dead(slot),
+                // Died after the copy (inputs consumed) but before any
+                // group reached us: charge the budget, recover I_ℓ.
+                ReduceOutcome::DiedPostCopy => {
+                    mark_dead(slot);
+                    return Err(RemoteReduceError::AttemptFailed(format!(
+                        "worker {} died after consuming reduce {reducer}'s inputs",
+                        slot.addr
+                    )));
+                }
+            }
+        }
+        Err(RemoteReduceError::AttemptFailed(
+            "every candidate worker died during reduce dispatch".into(),
+        ))
+    }
+}
+
+enum ReduceOutcome {
+    Done { emitted: u64, fetch_ms: u64 },
+    SourcesLost(Vec<MapTaskId>),
+    AttemptFailed(String),
+    Fatal(MrError),
+    DiedPreCopy,
+    DiedPostCopy,
+}
+
+/// Drives one streamed `RunReduce` call: `Fetched` → `Group`* →
+/// `ReduceDone`, classifying every failure mode by where the stream
+/// broke.
+fn run_reduce_on(
+    addr: &str,
+    req: &WorkerRequest,
+    emit: &mut dyn FnMut(Vec<(Coord, f64)>) -> sidr_mapreduce::Result<()>,
+) -> ReduceOutcome {
+    let mut conn = match WorkerConn::dial(addr, None) {
+        Ok(c) => c,
+        Err(_) => return ReduceOutcome::DiedPreCopy,
+    };
+    if conn.send(req).is_err() {
+        return ReduceOutcome::DiedPreCopy;
+    }
+    let mut copied = false;
+    let mut streamed = false;
+    loop {
+        match conn.recv() {
+            Ok(WorkerResponse::Fetched { .. }) => copied = true,
+            Ok(WorkerResponse::Group { records }) => {
+                streamed = true;
+                if let Err(e) = emit(records) {
+                    // Output-side failure is the coordinator's own.
+                    return ReduceOutcome::Fatal(e);
+                }
+            }
+            Ok(WorkerResponse::ReduceDone { emitted, fetch_ms }) => {
+                return ReduceOutcome::Done { emitted, fetch_ms };
+            }
+            Ok(WorkerResponse::Failed {
+                detail,
+                fatal,
+                lost_sources,
+            }) => {
+                if fatal {
+                    return ReduceOutcome::Fatal(MrError::TaskFailed {
+                        task: "remote reduce".into(),
+                        cause: detail,
+                    });
+                }
+                if !lost_sources.is_empty() {
+                    return ReduceOutcome::SourcesLost(lost_sources);
+                }
+                return ReduceOutcome::AttemptFailed(detail);
+            }
+            Ok(other) => {
+                return ReduceOutcome::AttemptFailed(format!(
+                    "unexpected frame in reduce stream: {other:?}"
+                ));
+            }
+            Err(_) => {
+                // Connection broke. Where it broke decides recovery:
+                // groups already streamed cannot be retried atomically.
+                if streamed {
+                    return ReduceOutcome::Fatal(MrError::TaskFailed {
+                        task: "remote reduce".into(),
+                        cause: format!("worker {addr} died mid-stream"),
+                    });
+                }
+                if copied {
+                    return ReduceOutcome::DiedPostCopy;
+                }
+                return ReduceOutcome::DiedPreCopy;
+            }
+        }
+    }
+}

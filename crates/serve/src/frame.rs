@@ -24,6 +24,16 @@ use serde::{Deserialize, Serialize};
 /// server allocate.
 pub const MAX_FRAME: u32 = 32 << 20;
 
+/// Version of the coordinator/worker/client wire protocol. Bumped on
+/// every incompatible message-shape change; the [`Hello`] handshake
+/// compares it so a mismatched pair of builds fails with a typed
+/// [`FrameError::VersionMismatch`] instead of deserialization garbage.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Fixed magic carried by every [`Hello`]: distinguishes a handshake
+/// frame from any legacy request (none of which has a `magic` field).
+pub const HELLO_MAGIC: &str = "sidr";
+
 /// Payload bytes are read in chunks of at most this size into a
 /// growing buffer, so a connection's memory tracks bytes *actually
 /// received*: a client that sends a `MAX_FRAME` length prefix and
@@ -42,6 +52,10 @@ pub enum FrameError {
     Oversized { len: u32, max: u32 },
     /// The payload was delivered whole but is not the expected JSON.
     Malformed(String),
+    /// The [`Hello`] handshake failed: the peer speaks a different
+    /// protocol version, or is the wrong kind of endpoint entirely
+    /// (e.g. a client dialing a worker's task port).
+    VersionMismatch { detail: String },
 }
 
 impl std::fmt::Display for FrameError {
@@ -55,8 +69,113 @@ impl std::fmt::Display for FrameError {
                 write!(f, "oversized frame: {len} bytes exceeds the {max}-byte cap")
             }
             FrameError::Malformed(e) => write!(f, "malformed frame payload: {e}"),
+            FrameError::VersionMismatch { detail } => {
+                write!(f, "protocol handshake failed: {detail}")
+            }
         }
     }
+}
+
+/// What an endpoint *is*, exchanged in the [`Hello`] handshake so a
+/// dialer that reached the wrong kind of port finds out immediately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// A `sidr-submit`-style client.
+    Client,
+    /// The coordinator (`sidr-serve`): planning, admission, dispatch.
+    Coordinator,
+    /// A `sidr-worker`: runs task attempts, serves shuffle fetches.
+    Worker,
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Role::Client => write!(f, "client"),
+            Role::Coordinator => write!(f, "coordinator"),
+            Role::Worker => write!(f, "worker"),
+        }
+    }
+}
+
+/// The version/role handshake frame. The dialer sends one `Hello`
+/// first; the listener validates it and answers with its own. The
+/// `magic` field doubles as a discriminator: no legacy `Request` ever
+/// carries one, so a coordinator can still serve pre-handshake clients
+/// by falling back to request parsing.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Hello {
+    pub magic: String,
+    pub version: u32,
+    pub role: Role,
+}
+
+impl Hello {
+    /// A handshake frame announcing this endpoint's role at the
+    /// current protocol version.
+    pub fn new(role: Role) -> Self {
+        Hello {
+            magic: HELLO_MAGIC.to_string(),
+            version: PROTOCOL_VERSION,
+            role,
+        }
+    }
+
+    /// Validates a received `Hello` against our version. Role is
+    /// checked separately by the side that cares.
+    pub fn check(&self) -> Result<(), FrameError> {
+        if self.magic != HELLO_MAGIC {
+            return Err(FrameError::VersionMismatch {
+                detail: format!("bad handshake magic {:?}", self.magic),
+            });
+        }
+        if self.version != PROTOCOL_VERSION {
+            return Err(FrameError::VersionMismatch {
+                detail: format!(
+                    "peer speaks protocol v{}, this build speaks v{PROTOCOL_VERSION}",
+                    self.version
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Dialer-side handshake: announce `ours`, read the listener's reply,
+/// and require the peer to be `expect_peer` at our protocol version.
+pub fn handshake_dial<S: Read + Write>(
+    stream: &mut S,
+    ours: Role,
+    expect_peer: Role,
+) -> Result<(), FrameError> {
+    send(stream, &Hello::new(ours))?;
+    let hello: Hello = match recv(stream)? {
+        Some(h) => h,
+        None => {
+            return Err(FrameError::VersionMismatch {
+                detail: "peer closed the connection during the handshake".into(),
+            })
+        }
+    };
+    hello.check()?;
+    if hello.role != expect_peer {
+        return Err(FrameError::VersionMismatch {
+            detail: format!("dialed a {} port, expected a {expect_peer}", hello.role),
+        });
+    }
+    Ok(())
+}
+
+/// Listener-side handshake completion: validate the dialer's `Hello`
+/// (already read off the stream) and answer with our own role.
+pub fn handshake_accept<W: Write>(
+    writer: &mut W,
+    theirs: &Hello,
+    ours: Role,
+) -> Result<Role, FrameError> {
+    theirs.check()?;
+    send(writer, &Hello::new(ours))?;
+    Ok(theirs.role)
 }
 
 impl std::error::Error for FrameError {}

@@ -38,12 +38,20 @@
 //! ```
 
 pub mod client;
+pub mod fleet;
 pub mod frame;
 pub mod metrics;
 pub mod proto;
 pub mod server;
 
 pub use client::{Client, JobOutcome, ServeError, Ticket};
-pub use frame::{FrameError, MAX_FRAME};
+pub use fleet::{
+    fleet_metrics, Fleet, FleetConfig, PartitionStatus, RemoteJob, SourceLoc, WorkerConn,
+    WorkerRequest, WorkerResponse, WorkerStat,
+};
+pub use frame::{
+    handshake_accept, handshake_dial, FrameError, Hello, Role, HELLO_MAGIC, MAX_FRAME,
+    PROTOCOL_VERSION,
+};
 pub use proto::{Request, Response, ServerStats, SubmitOptions};
 pub use server::{JobState, Server, ServerConfig, ServerHandle};

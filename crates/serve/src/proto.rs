@@ -21,6 +21,8 @@ use sidr_coords::{Coord, Slab};
 use sidr_core::spec::JobSpec;
 use sidr_mapreduce::{FaultPlan, TaskEvent};
 
+use crate::fleet::WorkerStat;
+
 /// Per-submission execution knobs.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SubmitOptions {
@@ -159,4 +161,9 @@ pub struct ServerStats {
     pub keyblocks_committed: u64,
     /// Lifetime payload bytes streamed to clients.
     pub bytes_streamed: u64,
+    /// The worker fleet, one entry per configured worker (empty when
+    /// the server executes in-process). `default` keeps the frame
+    /// readable by stats clients of either era.
+    #[serde(default)]
+    pub workers: Vec<WorkerStat>,
 }

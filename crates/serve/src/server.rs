@@ -28,12 +28,14 @@ use sidr_analyze::{analyze_spec, AnalyzeOptions};
 use sidr_coords::Coord;
 use sidr_core::diag::Severity;
 use sidr_core::early::streaming_output;
-use sidr_core::framework::{run_spec_on_pool, SpecRunOptions};
+use sidr_core::exec::ExecOptions;
+use sidr_core::framework::{run_spec_on_pool, run_spec_with_executor, SpecRunOptions};
 use sidr_core::spec::JobSpec;
 use sidr_mapreduce::{CancelToken, InMemoryOutput, MrError, OutputCollector, SlotPool};
 use sidr_scifile::ScincFile;
 
-use crate::frame::{self, FrameError};
+use crate::fleet::{Fleet, FleetConfig};
+use crate::frame::{self, FrameError, Hello, Role};
 use crate::metrics::{serve as serve_metrics, ServeMetrics};
 use crate::proto::{Request, Response, ServerStats, SubmitOptions};
 
@@ -57,6 +59,10 @@ pub struct ServerConfig {
     pub reduce_slots: usize,
     /// Admission pre-flight configuration.
     pub analyze: AnalyzeOptions,
+    /// Worker addresses (`host:port`). Empty means in-process
+    /// execution; non-empty turns the server into a coordinator that
+    /// dispatches every task attempt to this fleet.
+    pub workers: Vec<String>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +71,7 @@ impl Default for ServerConfig {
             map_slots: 4,
             reduce_slots: 2,
             analyze: AnalyzeOptions::default(),
+            workers: Vec::new(),
         }
     }
 }
@@ -122,6 +129,9 @@ struct Inner {
     /// shutdown so the blocking accept loop wakes up.
     addr: SocketAddr,
     pool: SlotPool,
+    /// The worker fleet, when configured with workers (coordinator
+    /// mode). `None` executes jobs in-process, exactly as before.
+    fleet: Option<Fleet>,
     jobs: Mutex<HashMap<u64, JobHandle>>,
     next_job: AtomicU64,
     shutdown: AtomicBool,
@@ -201,6 +211,7 @@ impl Inner {
             reduce_total: occ.reduce_total,
             keyblocks_committed: self.keyblocks_committed.load(Ordering::Relaxed),
             bytes_streamed: self.bytes_streamed.load(Ordering::Relaxed),
+            workers: self.fleet.as_ref().map(|f| f.stats()).unwrap_or_default(),
         }
     }
 
@@ -250,6 +261,15 @@ impl Server {
         let _ = serve_metrics();
         let pool = SlotPool::new(config.map_slots, config.reduce_slots)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        let fleet = if config.workers.is_empty() {
+            None
+        } else {
+            Some(
+                Fleet::connect(FleetConfig::new(config.workers.clone())).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+                })?,
+            )
+        };
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         Ok(Server {
@@ -258,6 +278,7 @@ impl Server {
                 config,
                 addr: local,
                 pool,
+                fleet,
                 jobs: Mutex::new(HashMap::new()),
                 next_job: AtomicU64::new(1),
                 shutdown: AtomicBool::new(false),
@@ -307,15 +328,73 @@ impl Server {
 /// job. The channel fan-in is what lets keyblock frames of concurrent
 /// jobs interleave on one socket without tearing frames.
 fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
-    let write_half = match stream.try_clone() {
+    let mut write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
+    let mut read_half = stream;
+
+    // Peek the connection's first frame: handshake-aware peers open
+    // with a [`Hello`] (its `magic` field appears in no legacy
+    // request), older clients open straight with a `Request`. Either
+    // way no frame is lost, and — as everywhere on this socket — a
+    // malformed or hostile opener draws a protocol `Error` frame
+    // before the connection closes, never a silent hang-up.
+    let mut first_request: Option<Request> = None;
+    match frame::read_frame(&mut read_half) {
+        Ok(Some(payload)) => {
+            let text = match std::str::from_utf8(&payload) {
+                Ok(t) => t,
+                Err(e) => {
+                    send_error_frame(&mut write_half, format!("payload is not UTF-8: {e}"));
+                    return;
+                }
+            };
+            match serde_json::from_str::<Hello>(text) {
+                Ok(hello) if hello.magic == frame::HELLO_MAGIC => {
+                    // Answer the handshake directly (the writer thread
+                    // only speaks `Response`); a version mismatch has
+                    // already been reported by `handshake_accept`'s
+                    // reply being absent, so just close.
+                    if frame::handshake_accept(&mut write_half, &hello, Role::Coordinator).is_err()
+                    {
+                        return;
+                    }
+                }
+                _ => match serde_json::from_str::<Request>(text) {
+                    Ok(req) => first_request = Some(req),
+                    Err(e) => {
+                        send_error_frame(
+                            &mut write_half,
+                            FrameError::Malformed(e.to_string()).to_string(),
+                        );
+                        return;
+                    }
+                },
+            }
+        }
+        Ok(None) => return,
+        Err(e @ FrameError::Oversized { .. })
+        | Err(e @ FrameError::Malformed(_))
+        | Err(e @ FrameError::VersionMismatch { .. }) => {
+            send_error_frame(&mut write_half, e.to_string());
+            return;
+        }
+        Err(_) => return,
+    }
+
     let (tx, rx) = channel::<Response>();
     let writer_inner = Arc::clone(&inner);
     let writer = thread::spawn(move || write_loop(writer_inner, write_half, rx));
 
-    let mut read_half = stream;
+    if let Some(req) = first_request {
+        serve_metrics().frames_in.inc();
+        if !handle_request(&inner, req, &tx) {
+            drop(tx);
+            let _ = writer.join();
+            return;
+        }
+    }
     loop {
         match frame::recv::<Request>(&mut read_half) {
             Ok(Some(req)) => {
@@ -330,8 +409,11 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
             Ok(None) => break,
             Err(FrameError::Io(_)) | Err(FrameError::Truncated { .. }) => break,
             // The stream cannot be resynchronized after a bad length
-            // or bad payload: report and close.
-            Err(e @ FrameError::Oversized { .. }) | Err(e @ FrameError::Malformed(_)) => {
+            // or bad payload; a mid-stream `Hello` is equally
+            // unexpected. Report and close.
+            Err(e @ FrameError::Oversized { .. })
+            | Err(e @ FrameError::Malformed(_))
+            | Err(e @ FrameError::VersionMismatch { .. }) => {
                 let _ = tx.send(Response::Error {
                     message: e.to_string(),
                 });
@@ -341,6 +423,14 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
     }
     drop(tx);
     let _ = writer.join();
+}
+
+/// One-off protocol `Error` frame on a connection whose writer thread
+/// hasn't started (the first-frame peek path).
+fn send_error_frame(stream: &mut TcpStream, message: String) {
+    if frame::send(stream, &Response::Error { message }).is_ok() {
+        serve_metrics().frames_out.inc();
+    }
 }
 
 /// Serializes responses onto the socket, accounting streamed bytes.
@@ -565,7 +655,35 @@ fn run_admitted_job(
                 });
             }
         });
-        let result = run_spec_on_pool(&file, &spec, &opts, &out, &inner.pool, Some(&cancel));
+        // Same scheduler either way; only where attempts execute
+        // differs. In coordinator mode each attempt is dispatched to
+        // the fleet through the engine's `TaskExecutor` seam.
+        let result = match &inner.fleet {
+            Some(fleet) => {
+                let exec_opts = ExecOptions {
+                    validate_annotations: options.validate_annotations,
+                    filter_pushdown: options.filter_pushdown,
+                    fault_plan: options.fault_plan.clone(),
+                };
+                match fleet.prepare_job(&spec, &input, &exec_opts) {
+                    Ok(remote) => {
+                        let r = run_spec_with_executor(
+                            &file,
+                            &spec,
+                            &opts,
+                            &out,
+                            &inner.pool,
+                            Some(&cancel),
+                            &remote,
+                        );
+                        remote.finish();
+                        r
+                    }
+                    Err(e) => Err(sidr_core::SidrError::Engine(e)),
+                }
+            }
+            None => run_spec_on_pool(&file, &spec, &opts, &out, &inner.pool, Some(&cancel)),
+        };
         // Close the early-result channel so the forwarder drains out.
         drop(out);
         let _ = forwarder.join();

@@ -48,7 +48,8 @@ proptest! {
             Ok(_) | Err(FrameError::Truncated { .. })
             | Err(FrameError::Oversized { .. })
             | Err(FrameError::Malformed(_))
-            | Err(FrameError::Io(_)) => {}
+            | Err(FrameError::Io(_))
+            | Err(FrameError::VersionMismatch { .. }) => {}
         }
     }
 
@@ -245,4 +246,158 @@ fn multi_chunk_payloads_reassemble_exactly() {
     let got = read_frame(&mut r).unwrap().unwrap();
     assert_eq!(got, payload);
     assert!(r.max_buf <= READ_CHUNK);
+}
+
+/// An in-memory duplex for driving one side of the handshake: reads
+/// come from a pre-scripted peer reply, writes are captured.
+struct Scripted {
+    reply: std::io::Cursor<Vec<u8>>,
+    sent: Vec<u8>,
+}
+
+impl Scripted {
+    fn replying(frames: Vec<u8>) -> Self {
+        Scripted {
+            reply: std::io::Cursor::new(frames),
+            sent: Vec::new(),
+        }
+    }
+}
+
+impl std::io::Read for Scripted {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.reply.read(buf)
+    }
+}
+
+impl std::io::Write for Scripted {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.sent.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The version/role handshake over a real socket: a client dials a
+/// coordinator, both sides learn the peer's role, and the connection
+/// is immediately usable for framed traffic.
+#[test]
+fn handshake_round_trips_over_loopback() {
+    use sidr_serve::{handshake_accept, handshake_dial, Hello, Role};
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        let hello: Hello = recv(&mut conn).unwrap().expect("dialer sends Hello first");
+        let peer = handshake_accept(&mut conn, &hello, Role::Coordinator).unwrap();
+        assert_eq!(peer, Role::Client);
+        // The stream stays frame-aligned after the handshake.
+        let req: Request = recv(&mut conn).unwrap().unwrap();
+        let Request::Cancel { job } = req else {
+            panic!("expected the post-handshake Cancel");
+        };
+        job
+    });
+
+    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+    handshake_dial(&mut conn, Role::Client, Role::Coordinator).unwrap();
+    send(&mut conn, &Request::Cancel { job: 99 }).unwrap();
+    assert_eq!(server.join().unwrap(), 99);
+}
+
+/// A peer speaking a different protocol version is refused with the
+/// typed `VersionMismatch`, not a deserialization error.
+#[test]
+fn handshake_rejects_version_skew() {
+    use sidr_serve::{handshake_dial, Hello, Role, HELLO_MAGIC, PROTOCOL_VERSION};
+
+    let future = Hello {
+        magic: HELLO_MAGIC.to_string(),
+        version: PROTOCOL_VERSION + 1,
+        role: Role::Coordinator,
+    };
+    let mut reply = Vec::new();
+    send(&mut reply, &future).unwrap();
+    let mut conn = Scripted::replying(reply);
+    match handshake_dial(&mut conn, Role::Client, Role::Coordinator) {
+        Err(FrameError::VersionMismatch { detail }) => {
+            assert!(detail.contains("protocol"), "got: {detail}");
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+}
+
+/// Dialing the wrong kind of port (a worker's task port instead of
+/// the coordinator) fails the handshake by role, same typed error.
+#[test]
+fn handshake_rejects_wrong_role() {
+    use sidr_serve::{handshake_dial, Hello, Role};
+
+    let mut reply = Vec::new();
+    send(&mut reply, &Hello::new(Role::Worker)).unwrap();
+    let mut conn = Scripted::replying(reply);
+    match handshake_dial(&mut conn, Role::Client, Role::Coordinator) {
+        Err(FrameError::VersionMismatch { detail }) => {
+            assert!(detail.contains("worker"), "got: {detail}");
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+}
+
+/// The listener side refuses a Hello with the wrong magic before
+/// answering — nothing protocol-shaped is sent back to a stranger.
+#[test]
+fn accept_rejects_bad_magic_without_replying() {
+    use sidr_serve::{handshake_accept, Hello, Role, PROTOCOL_VERSION};
+
+    let stranger = Hello {
+        magic: "http".to_string(),
+        version: PROTOCOL_VERSION,
+        role: Role::Client,
+    };
+    let mut sink = Vec::new();
+    match handshake_accept(&mut sink, &stranger, Role::Coordinator) {
+        Err(FrameError::VersionMismatch { .. }) => {}
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+    assert!(sink.is_empty(), "no reply frame goes to a bad-magic peer");
+}
+
+/// A writer that accepts at most one byte per call — the
+/// partial-write shape `write_all` must absorb.
+struct TrickleWriter {
+    written: Vec<u8>,
+}
+
+impl std::io::Write for TrickleWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        self.written.push(buf[0]);
+        Ok(1)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A frame written through a transport that takes one byte per write
+/// call still arrives byte-exact: the sender loops on partial writes
+/// rather than truncating the frame.
+#[test]
+fn partial_writes_never_tear_a_frame() {
+    let mut w = TrickleWriter {
+        written: Vec::new(),
+    };
+    send(&mut w, &Request::Cancel { job: 7 }).unwrap();
+    let mut r = &w.written[..];
+    let back: Request = recv(&mut r).unwrap().unwrap();
+    let Request::Cancel { job } = back else {
+        panic!("reassembled frame decoded wrong");
+    };
+    assert_eq!(job, 7);
 }

@@ -1,0 +1,49 @@
+//! `sidr-worker` — run one worker daemon.
+//!
+//! ```text
+//! sidr-worker --listen 127.0.0.1:7072
+//! ```
+//!
+//! The worker binds the given address, serves task dispatches from a
+//! `sidr-serve` coordinator (started with matching `--worker` flags)
+//! and shuffle fetches from peer workers, and runs until killed.
+
+use sidr_worker::Worker;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sidr-worker --listen HOST:PORT\n\n\
+         Runs one worker of a sidr-serve coordinator's fleet. The\n\
+         coordinator must list this worker's address in its --worker\n\
+         flags; input paths are resolved on this machine, so\n\
+         coordinator and workers must share the dataset filesystem."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                i += 1;
+                listen = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let listen = listen.unwrap_or_else(|| usage());
+    let worker = match Worker::spawn(&listen) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("sidr-worker: cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("sidr-worker listening on {}", worker.addr());
+    worker.wait();
+}

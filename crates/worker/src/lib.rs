@@ -1,0 +1,660 @@
+//! `sidr-worker` — the worker half of distributed execution.
+//!
+//! A worker is a TCP daemon that does exactly two things:
+//!
+//! * **run task attempts** dispatched by a `sidr-serve` coordinator —
+//!   map attempts read their split and keep the resulting per-reducer
+//!   partitions (encoded CRC-framed SMOF v2 buffers) in memory; reduce
+//!   attempts fetch their source partitions from the workers holding
+//!   them, merge in the plan's fetch order, and stream each key group
+//!   back to the coordinator as it leaves the merge;
+//! * **serve shuffle fetches** to peer workers over the same
+//!   length-prefixed frame protocol, partition bytes riding as one raw
+//!   frame after their JSON header.
+//!
+//! All query knowledge lives in `sidr-core`'s [`SpecExecutor`]; this
+//! crate only moves bytes and tracks which map generations it holds.
+//! Intermediate data is *volatile* (§6): a fetched partition is
+//! consumed by the explicit `Release` that ends a reduce's copy phase,
+//! and everything dies with the process — a lost worker costs exactly
+//! the re-execution of the `I_ℓ`-scoped maps it held, never the job.
+//!
+//! Every connection must open with the version/role [`Hello`]
+//! handshake; unlike the coordinator (which still speaks to legacy
+//! clients), a worker accepts nothing else.
+
+use std::collections::{HashMap, HashSet};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sidr_coords::Coord;
+use sidr_core::exec::SpecExecutor;
+use sidr_core::spec::JobSpec;
+use sidr_core::SidrError;
+use sidr_mapreduce::MrError;
+use sidr_serve::fleet::{PartitionStatus, SourceLoc, WorkerConn, WorkerRequest, WorkerResponse};
+use sidr_serve::frame::{self, Hello, Role};
+use sidr_serve::WorkerStat;
+
+/// One prepared job's state on this worker.
+struct JobStore {
+    exec: Arc<SpecExecutor>,
+    /// `(map, reducer, epoch)` → encoded SMOF partition. Absence of a
+    /// committed generation's key means the map produced nothing for
+    /// that reducer (the shuffle store's absence-means-empty
+    /// convention).
+    parts: HashMap<(usize, usize, u32), Arc<Vec<u8>>>,
+    /// Map generations committed here.
+    committed: HashSet<(usize, u32)>,
+    /// Partitions consumed by a completed copy phase (volatile
+    /// intermediate data): fetching one again reports `Missing`.
+    consumed: HashSet<(usize, usize, u32)>,
+}
+
+/// Shared state of one worker process.
+struct Shared {
+    addr: Mutex<Option<SocketAddr>>,
+    jobs: Mutex<HashMap<u64, JobStore>>,
+    dead: AtomicBool,
+    /// Clones of every live connection, so `kill` can sever them
+    /// mid-frame (crash semantics, not graceful drain).
+    conns: Mutex<Vec<TcpStream>>,
+    tasks_in_flight: AtomicU64,
+    map_attempts: AtomicU64,
+    reduce_attempts: AtomicU64,
+    /// Test knobs: artificial per-source fetch cost and pre-merge
+    /// pause, so chaos tests can land a kill deterministically inside
+    /// the copy phase or before any reduce completes. Re-read on
+    /// every tick of the pause loop, so a large value acts as a gate
+    /// a test can hold closed across a kill and then reopen.
+    fetch_delay_ms: AtomicU64,
+    reduce_delay_ms: AtomicU64,
+}
+
+impl Shared {
+    /// Waits out the artificial delay a knob currently asks for,
+    /// re-reading it each tick (a test lowering the knob releases
+    /// in-flight pauses immediately). Returns `false` if the worker
+    /// died while pausing.
+    fn pause(&self, knob: &AtomicU64) -> bool {
+        let started = Instant::now();
+        loop {
+            if self.dead.load(Ordering::SeqCst) {
+                return false;
+            }
+            let delay = Duration::from_millis(knob.load(Ordering::SeqCst));
+            if started.elapsed() >= delay {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    fn stat(&self) -> WorkerStat {
+        let jobs = self.jobs.lock().unwrap();
+        let partitions_held = jobs.values().map(|j| j.parts.len() as u64).sum();
+        drop(jobs);
+        WorkerStat {
+            addr: self
+                .addr
+                .lock()
+                .unwrap()
+                .map(|a| a.to_string())
+                .unwrap_or_default(),
+            alive: !self.dead.load(Ordering::SeqCst),
+            heartbeat_age_ms: 0,
+            tasks_in_flight: self.tasks_in_flight.load(Ordering::Relaxed),
+            map_attempts: self.map_attempts.load(Ordering::Relaxed),
+            reduce_attempts: self.reduce_attempts.load(Ordering::Relaxed),
+            partitions_held,
+        }
+    }
+}
+
+/// A running worker: accept loop on a background thread, one handler
+/// thread per connection. [`Worker::kill`] is crash semantics for
+/// chaos tests — the listener closes, live connections are severed
+/// mid-frame and the partition store is wiped, exactly what a dead
+/// process looks like to the rest of the fleet.
+pub struct Worker {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Mutex<Option<thread::JoinHandle<()>>>,
+}
+
+impl Worker {
+    /// Binds and starts serving. Use port 0 to let the OS pick.
+    pub fn spawn(addr: impl ToSocketAddrs) -> std::io::Result<Worker> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            addr: Mutex::new(Some(local)),
+            jobs: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            tasks_in_flight: AtomicU64::new(0),
+            map_attempts: AtomicU64::new(0),
+            reduce_attempts: AtomicU64::new(0),
+            fetch_delay_ms: AtomicU64::new(0),
+            reduce_delay_ms: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = thread::Builder::new()
+            .name(format!("sidr-worker-{local}"))
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_shared.dead.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let mut conns = accept_shared.conns.lock().unwrap();
+                    // Compact closed entries so the list tracks live
+                    // connections, not lifetime history.
+                    conns.retain(|s| s.peer_addr().is_ok());
+                    if let Ok(clone) = stream.try_clone() {
+                        conns.push(clone);
+                    }
+                    drop(conns);
+                    let handler_shared = Arc::clone(&accept_shared);
+                    thread::spawn(move || handle_connection(handler_shared, stream));
+                }
+                // Dropping the listener here makes further dials fail
+                // with connection-refused: a dead worker, not a hung
+                // one.
+            })?;
+        Ok(Worker {
+            shared,
+            addr: local,
+            acceptor: Mutex::new(Some(acceptor)),
+        })
+    }
+
+    /// The bound address workers advertise to the fleet.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point-in-time self-report (what a `Ping` returns).
+    pub fn stat(&self) -> WorkerStat {
+        self.shared.stat()
+    }
+
+    /// Map generations currently committed on this worker, sorted.
+    /// Chaos tests capture this immediately before [`Worker::kill`]:
+    /// it is the ground truth for which maps the fault layer must
+    /// re-execute.
+    pub fn committed_maps(&self, job: u64) -> Vec<(usize, u32)> {
+        let jobs = self.shared.jobs.lock().unwrap();
+        let mut v: Vec<(usize, u32)> = jobs
+            .get(&job)
+            .map(|j| j.committed.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Artificial per-source-partition fetch cost in a reduce's copy
+    /// phase (test knob: widens the window for a mid-shuffle-fetch
+    /// kill).
+    pub fn set_fetch_delay(&self, d: Duration) {
+        self.shared
+            .fetch_delay_ms
+            .store(d.as_millis() as u64, Ordering::SeqCst);
+    }
+
+    /// Artificial pause between a reduce's copy phase and its merge
+    /// (test knob: holds reduces open so a kill lands before any
+    /// completes).
+    pub fn set_reduce_delay(&self, d: Duration) {
+        self.shared
+            .reduce_delay_ms
+            .store(d.as_millis() as u64, Ordering::SeqCst);
+    }
+
+    /// Simulates the process dying: stop accepting, sever every live
+    /// connection mid-frame, wipe the partition store. The coordinator
+    /// finds out the way it would with a real crash — broken task
+    /// connections and failed heartbeats.
+    pub fn kill(&self) {
+        if self.shared.dead.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking acceptor so it observes the flag and drops
+        // the listener.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.lock().unwrap().take() {
+            let _ = h.join();
+        }
+        for s in self.shared.conns.lock().unwrap().drain(..) {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        self.shared.jobs.lock().unwrap().clear();
+    }
+
+    /// Blocks until the worker is killed (daemon mode for the CLI).
+    pub fn wait(&self) {
+        while !self.shared.dead.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// One connection: mandatory `Hello` handshake, then a request loop.
+/// The coordinator opens a fresh connection per dispatch; peers open
+/// one per fetch — either way requests on one connection are serial.
+fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = stream;
+
+    // Workers predate nothing: every dialer speaks the handshake, so
+    // anything else on the first frame is a protocol error and the
+    // connection just closes.
+    let hello: Hello = match frame::recv(&mut reader) {
+        Ok(Some(h)) => h,
+        _ => return,
+    };
+    if frame::handshake_accept(&mut writer, &hello, Role::Worker).is_err() {
+        return;
+    }
+
+    loop {
+        let req = match frame::recv::<WorkerRequest>(&mut reader) {
+            Ok(Some(r)) => r,
+            _ => return,
+        };
+        if shared.dead.load(Ordering::SeqCst) {
+            return;
+        }
+        let ok = match req {
+            WorkerRequest::Ping => {
+                frame::send(&mut writer, &WorkerResponse::Pong(shared.stat())).is_ok()
+            }
+            WorkerRequest::Prepare {
+                job,
+                spec_json,
+                input,
+                opts,
+            } => {
+                let resp = match JobSpec::from_json(&spec_json)
+                    .and_then(|spec| SpecExecutor::new(Path::new(&input), spec, opts))
+                {
+                    Ok(exec) => {
+                        shared.jobs.lock().unwrap().insert(
+                            job,
+                            JobStore {
+                                exec: Arc::new(exec),
+                                parts: HashMap::new(),
+                                committed: HashSet::new(),
+                                consumed: HashSet::new(),
+                            },
+                        );
+                        WorkerResponse::Prepared { job }
+                    }
+                    Err(e) => failed(format!("prepare job {job}: {e}"), false),
+                };
+                frame::send(&mut writer, &resp).is_ok()
+            }
+            WorkerRequest::RunMap { job, task, attempt } => {
+                let resp = run_map(&shared, job, task, attempt);
+                frame::send(&mut writer, &resp).is_ok()
+            }
+            WorkerRequest::RunReduce {
+                job,
+                reducer,
+                attempt,
+                sources,
+                expected_raw,
+            } => run_reduce(
+                &shared,
+                &mut writer,
+                job,
+                reducer,
+                attempt,
+                sources,
+                expected_raw,
+            ),
+            WorkerRequest::FetchPartition {
+                job,
+                map,
+                reducer,
+                epoch,
+            } => {
+                let data = peek_partition(&shared, job, map, reducer, epoch);
+                let status = match &data {
+                    Peek::Data(_) => PartitionStatus::Data,
+                    Peek::Empty => PartitionStatus::Empty,
+                    Peek::Missing => PartitionStatus::Missing,
+                };
+                let mut ok =
+                    frame::send(&mut writer, &WorkerResponse::Partition { status }).is_ok();
+                if let Peek::Data(bytes) = data {
+                    ok = ok && frame::write_frame(&mut writer, &bytes).is_ok();
+                }
+                ok
+            }
+            WorkerRequest::Release { job, reducer, maps } => {
+                release(&shared, job, reducer, &maps);
+                frame::send(&mut writer, &WorkerResponse::Released).is_ok()
+            }
+            WorkerRequest::Finish { job } => {
+                shared.jobs.lock().unwrap().remove(&job);
+                frame::send(&mut writer, &WorkerResponse::Finished).is_ok()
+            }
+        };
+        if !ok {
+            return;
+        }
+        let _ = writer.flush();
+    }
+}
+
+fn failed(detail: String, fatal: bool) -> WorkerResponse {
+    WorkerResponse::Failed {
+        detail,
+        fatal,
+        lost_sources: Vec::new(),
+    }
+}
+
+/// Is this a job-killing error (retry cannot help) or an attempt
+/// failure chargeable to the retry budget?
+fn is_fatal(e: &SidrError) -> bool {
+    matches!(
+        e,
+        SidrError::Engine(MrError::AnnotationMismatch { .. })
+            | SidrError::Engine(MrError::BadConfig(_))
+    )
+}
+
+fn run_map(shared: &Shared, job: u64, task: usize, attempt: u32) -> WorkerResponse {
+    let exec = {
+        let jobs = shared.jobs.lock().unwrap();
+        match jobs.get(&job) {
+            Some(j) => Arc::clone(&j.exec),
+            None => return failed(format!("job {job} is not prepared here"), false),
+        }
+    };
+    shared.tasks_in_flight.fetch_add(1, Ordering::Relaxed);
+    shared.map_attempts.fetch_add(1, Ordering::Relaxed);
+    let result = exec.run_map(task, attempt);
+    shared.tasks_in_flight.fetch_sub(1, Ordering::Relaxed);
+    match result {
+        Ok(out) => {
+            let mut jobs = shared.jobs.lock().unwrap();
+            let Some(store) = jobs.get_mut(&job) else {
+                return failed(format!("job {job} vanished mid-map"), false);
+            };
+            let mut partitions = Vec::with_capacity(out.partitions.len());
+            for (reducer, bytes) in out.partitions {
+                partitions.push(reducer);
+                store
+                    .parts
+                    .insert((task, reducer, attempt), Arc::new(bytes));
+            }
+            store.committed.insert((task, attempt));
+            WorkerResponse::MapDone {
+                job,
+                task,
+                attempt,
+                records_in: out.records_in,
+                records_out: out.records_out,
+                partitions,
+            }
+        }
+        Err(e) => failed(format!("map {task} attempt {attempt}: {e}"), is_fatal(&e)),
+    }
+}
+
+enum Peek {
+    Data(Arc<Vec<u8>>),
+    Empty,
+    Missing,
+}
+
+/// Non-consuming read of one held partition generation.
+fn peek_partition(shared: &Shared, job: u64, map: usize, reducer: usize, epoch: u32) -> Peek {
+    let jobs = shared.jobs.lock().unwrap();
+    let Some(store) = jobs.get(&job) else {
+        return Peek::Missing;
+    };
+    if store.consumed.contains(&(map, reducer, epoch)) {
+        // Volatile intermediate data: an earlier copy phase consumed
+        // this generation.
+        return Peek::Missing;
+    }
+    if !store.committed.contains(&(map, epoch)) {
+        return Peek::Missing;
+    }
+    match store.parts.get(&(map, reducer, epoch)) {
+        Some(bytes) => Peek::Data(Arc::clone(bytes)),
+        None => Peek::Empty,
+    }
+}
+
+/// Consumes partitions after a successful copy phase.
+fn release(shared: &Shared, job: u64, reducer: usize, maps: &[(usize, u32)]) {
+    let mut jobs = shared.jobs.lock().unwrap();
+    let Some(store) = jobs.get_mut(&job) else {
+        return;
+    };
+    for &(map, epoch) in maps {
+        store.parts.remove(&(map, reducer, epoch));
+        store.consumed.insert((map, reducer, epoch));
+    }
+}
+
+/// One reduce attempt, end to end on this worker:
+///
+/// 1. **copy phase** — peek every source partition from its holder
+///    (self-fetches read the local store, peers over TCP). Any miss
+///    aborts with `lost_sources` and *nothing consumed* — peeks are
+///    side-effect-free, so the retry after recovery starts clean.
+/// 2. **release** — consume every fetched generation at its holder,
+///    then tell the coordinator the copy is done (`Fetched`).
+/// 3. **merge & stream** — merge in the given source order (the
+///    plan's fetch order: the equal-key tie-break that keeps output
+///    byte-identical to a single-process run) and stream each key
+///    group the moment it leaves the merge.
+///
+/// Returns whether the connection is still usable.
+fn run_reduce(
+    shared: &Shared,
+    writer: &mut TcpStream,
+    job: u64,
+    reducer: usize,
+    _attempt: u32,
+    sources: Vec<SourceLoc>,
+    expected_raw: Option<u64>,
+) -> bool {
+    let exec = {
+        let jobs = shared.jobs.lock().unwrap();
+        match jobs.get(&job) {
+            Some(j) => Arc::clone(&j.exec),
+            None => {
+                return frame::send(
+                    writer,
+                    &failed(format!("job {job} is not prepared here"), false),
+                )
+                .is_ok()
+            }
+        }
+    };
+    let self_addr = shared
+        .addr
+        .lock()
+        .unwrap()
+        .map(|a| a.to_string())
+        .unwrap_or_default();
+    shared.tasks_in_flight.fetch_add(1, Ordering::Relaxed);
+    shared.reduce_attempts.fetch_add(1, Ordering::Relaxed);
+    let usable = run_reduce_inner(
+        shared,
+        writer,
+        job,
+        reducer,
+        &exec,
+        &self_addr,
+        &sources,
+        expected_raw,
+    );
+    shared.tasks_in_flight.fetch_sub(1, Ordering::Relaxed);
+    usable
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_reduce_inner(
+    shared: &Shared,
+    writer: &mut TcpStream,
+    job: u64,
+    reducer: usize,
+    exec: &SpecExecutor,
+    self_addr: &str,
+    sources: &[SourceLoc],
+    expected_raw: Option<u64>,
+) -> bool {
+    // --- copy phase -------------------------------------------------
+    let fetch_started = Instant::now();
+    let mut partitions: Vec<Vec<u8>> = Vec::with_capacity(sources.len());
+    let mut lost: Vec<usize> = Vec::new();
+    // One fetch connection per peer, reused across that peer's
+    // partitions (Table 3's connection accounting, worker-side).
+    let mut peers: HashMap<&str, WorkerConn> = HashMap::new();
+    for src in sources {
+        if !shared.pause(&shared.fetch_delay_ms) {
+            return false;
+        }
+        if src.holder == self_addr {
+            match peek_partition(shared, job, src.map, reducer, src.epoch) {
+                Peek::Data(bytes) => partitions.push(bytes.to_vec()),
+                Peek::Empty => partitions.push(Vec::new()),
+                Peek::Missing => lost.push(src.map),
+            }
+            continue;
+        }
+        if !peers.contains_key(src.holder.as_str()) {
+            match WorkerConn::dial_as(&src.holder, Role::Worker, None) {
+                Ok(c) => {
+                    peers.insert(src.holder.as_str(), c);
+                }
+                Err(_) => {
+                    // Holder unreachable: its generations are gone.
+                    lost.push(src.map);
+                    continue;
+                }
+            }
+        }
+        let conn = peers.get_mut(src.holder.as_str()).expect("just inserted");
+        let fetched = conn
+            .send(&WorkerRequest::FetchPartition {
+                job,
+                map: src.map,
+                reducer,
+                epoch: src.epoch,
+            })
+            .and_then(|()| conn.recv());
+        match fetched {
+            Ok(WorkerResponse::Partition {
+                status: PartitionStatus::Data,
+            }) => match conn.recv_raw() {
+                Ok(bytes) => partitions.push(bytes),
+                Err(_) => lost.push(src.map),
+            },
+            Ok(WorkerResponse::Partition {
+                status: PartitionStatus::Empty,
+            }) => partitions.push(Vec::new()),
+            _ => lost.push(src.map),
+        }
+    }
+    if !lost.is_empty() {
+        lost.sort_unstable();
+        lost.dedup();
+        return frame::send(
+            writer,
+            &WorkerResponse::Failed {
+                detail: format!("reduce {reducer}: {} source partition(s) lost", lost.len()),
+                fatal: false,
+                lost_sources: lost,
+            },
+        )
+        .is_ok();
+    }
+
+    // --- release: the copy is complete, consume the inputs ----------
+    let mut by_holder: HashMap<&str, Vec<(usize, u32)>> = HashMap::new();
+    for src in sources {
+        by_holder
+            .entry(src.holder.as_str())
+            .or_default()
+            .push((src.map, src.epoch));
+    }
+    for (holder, maps) in by_holder {
+        if holder == self_addr {
+            release(shared, job, reducer, &maps);
+            continue;
+        }
+        let released = peers
+            .get_mut(holder)
+            .map(|conn| {
+                conn.send(&WorkerRequest::Release { job, reducer, maps })
+                    .and_then(|()| conn.recv())
+            })
+            .transpose();
+        // A holder dying *during* release changes nothing: whatever it
+        // still held is gone with it, which is exactly what release
+        // was about to record.
+        let _ = released;
+    }
+    drop(peers);
+    let fetch_ms = fetch_started.elapsed().as_millis() as u64;
+    if frame::send(writer, &WorkerResponse::Fetched { job, reducer }).is_err() {
+        return false;
+    }
+    let _ = writer.flush();
+
+    if !shared.pause(&shared.reduce_delay_ms) {
+        return false;
+    }
+
+    // --- merge & stream ---------------------------------------------
+    let mut wire_broken = false;
+    let result = {
+        let mut emit = |records: &[(Coord, f64)]| -> sidr_core::Result<()> {
+            frame::send(
+                writer,
+                &WorkerResponse::Group {
+                    records: records.to_vec(),
+                },
+            )
+            .map_err(|e| {
+                wire_broken = true;
+                SidrError::Engine(MrError::Output(format!("streaming to coordinator: {e}")))
+            })
+        };
+        exec.run_reduce(reducer, &partitions, expected_raw, &mut emit)
+    };
+    match result {
+        Ok(emitted) => {
+            frame::send(writer, &WorkerResponse::ReduceDone { emitted, fetch_ms }).is_ok()
+        }
+        Err(_) if wire_broken => false,
+        Err(e) => frame::send(
+            writer,
+            &failed(format!("reduce {reducer}: {e}"), is_fatal(&e)),
+        )
+        .is_ok(),
+    }
+}

@@ -1,0 +1,402 @@
+//! Distributed-execution tests: a loopback 3-worker fleet must
+//! produce output byte-identical to a single-process run, and a
+//! worker killed mid-job must cost exactly the dependency sets
+//! `I_ℓ` (§6) its committed map output participated in — no global
+//! re-execution, no lost or duplicated keyblocks.
+
+use std::path::PathBuf;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sidr_analyze::presets;
+use sidr_coords::{Coord, Shape};
+use sidr_core::exec::ExecOptions;
+use sidr_core::framework::{run_spec_on_pool, run_spec_with_executor, SpecRunOptions};
+use sidr_core::spec::JobSpec;
+use sidr_core::{Operator, SidrPlanner, StructuralQuery};
+use sidr_mapreduce::{
+    reexecuted_maps, FaultKind, FaultPlan, FaultTarget, InMemoryOutput, JobResult, SlotPool,
+    SplitGenerator,
+};
+use sidr_scifile::gen::{DatasetSpec, ValueModel};
+use sidr_scifile::ScincFile;
+use sidr_serve::{Client, Fleet, FleetConfig, Server, ServerConfig, SubmitOptions};
+use sidr_worker::Worker;
+
+/// Builds a spec and (once per tag) its dataset from a query.
+fn fixture(
+    tag: &str,
+    query: &StructuralQuery,
+    splits: &[sidr_mapreduce::InputSplit],
+    reducers: usize,
+) -> (JobSpec, String) {
+    let plan = SidrPlanner::new(query, reducers).build(splits).unwrap();
+    let spec = JobSpec::from_plan(query, splits, &plan).unwrap();
+
+    let dir = std::env::temp_dir().join("sidr-worker-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path: PathBuf = dir.join(format!("dist-{}-{tag}.scinc", std::process::id()));
+    if !path.exists() {
+        let space = query.input_space().clone();
+        DatasetSpec {
+            variable: query.variable.clone(),
+            dim_names: (0..space.rank()).map(|d| format!("d{d}")).collect(),
+            space,
+            model: ValueModel::LinearIndex,
+            seed: 0,
+        }
+        .generate::<f32>(&path)
+        .unwrap();
+    }
+    (spec, path.to_string_lossy().into_owned())
+}
+
+/// The CI-scale preset: 12 maps feeding 4 keyblocks.
+fn tiny_fixture(tag: &str) -> (JobSpec, String) {
+    let job = presets::preset("query1-tiny").expect("preset exists");
+    fixture(tag, &job.query, &job.splits, job.reducer_counts[0])
+}
+
+/// Figure-8's weekly-average geometry scaled until the dataset fits a
+/// CI artifact: {112,25,20} f32 rows averaged over {7,5,1} windows,
+/// 8 extraction-aligned splits of two "weeks" each. 11 keyblocks over
+/// the 1600 output keys do not align with the 16 `K′` rows, so
+/// dependency sets overlap across splits, as in the real fig08 run.
+fn fig08_scale_fixture(tag: &str) -> (JobSpec, String) {
+    let query = StructuralQuery::new(
+        "temperature",
+        Shape::new(vec![112, 25, 20]).expect("valid"),
+        Shape::new(vec![7, 5, 1]).expect("valid"),
+        Operator::Mean,
+    )
+    .expect("query is structural");
+    let splits = SplitGenerator::new(query.input_space().clone(), 4)
+        .aligned(25 * 20 * 4 * 14, 7)
+        .expect("splits generate");
+    fixture(tag, &query, &splits, 11)
+}
+
+fn spawn_workers(n: usize) -> Vec<Worker> {
+    (0..n)
+        .map(|_| Worker::spawn("127.0.0.1:0").expect("bind loopback"))
+        .collect()
+}
+
+fn fleet_of(workers: &[Worker]) -> Fleet {
+    let addrs = workers.iter().map(|w| w.addr().to_string()).collect();
+    Fleet::connect(FleetConfig::new(addrs)).expect("fleet connects")
+}
+
+fn exec_opts(fault_plan: FaultPlan) -> ExecOptions {
+    ExecOptions {
+        validate_annotations: true,
+        filter_pushdown: false,
+        fault_plan,
+    }
+}
+
+fn run_opts() -> SpecRunOptions {
+    SpecRunOptions {
+        validate_annotations: true,
+        ..SpecRunOptions::default()
+    }
+}
+
+/// The per-keyblock commits in canonical (reducer-sorted) order: the
+/// exact record sequence each keyblock streamed, which is the
+/// byte-identity invariant distributed execution must preserve.
+type Keyblocks = Vec<(usize, Vec<(Coord, f64)>)>;
+
+fn keyblock_commits(out: &InMemoryOutput<Coord, f64>) -> Keyblocks {
+    let mut commits: Vec<_> = out
+        .commits()
+        .into_iter()
+        .map(|c| (c.reducer, c.records))
+        .collect();
+    commits.sort_by_key(|(reducer, _)| *reducer);
+    commits
+}
+
+/// Runs the spec on the local in-process engine (the reference).
+fn run_local(spec: &JobSpec, input: &str) -> Keyblocks {
+    let file = ScincFile::open(input).unwrap();
+    let pool = SlotPool::new(4, 2).unwrap();
+    let out = InMemoryOutput::<Coord, f64>::new();
+    run_spec_on_pool(&file, spec, &run_opts(), &out, &pool, None).unwrap();
+    keyblock_commits(&out)
+}
+
+/// Runs the spec against an already-connected fleet, with `mid_job`
+/// invoked from the choreographing thread once the job is in flight.
+///
+/// Reduce slots cover every keyblock so all reduces dispatch up
+/// front: under inverted scheduling a map only becomes eligible once
+/// a reduce wanting it has started, and the chaos tests gate the copy
+/// phase, so queued-up reduces would never free a slot.
+///
+/// If the choreography itself panics, every worker's gates reopen so
+/// the engine run can finish and the panic surfaces as a test failure
+/// instead of deadlocking the scope.
+fn run_distributed(
+    workers: &[Worker],
+    fleet: &Fleet,
+    spec: &JobSpec,
+    input: &str,
+    opts: ExecOptions,
+    mid_job: impl FnOnce(u64) + Send,
+) -> (JobResult, Keyblocks) {
+    let file = ScincFile::open(input).unwrap();
+    let remote = fleet.prepare_job(spec, input, &opts).expect("prepare");
+    let pool = SlotPool::new(4, spec.num_reducers).unwrap();
+    let out = InMemoryOutput::<Coord, f64>::new();
+    let result = thread::scope(|s| {
+        let runner = s
+            .spawn(|| run_spec_with_executor(&file, spec, &run_opts(), &out, &pool, None, &remote));
+        let mid =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| mid_job(remote.job_id())));
+        if mid.is_err() {
+            for w in workers {
+                w.set_fetch_delay(Duration::ZERO);
+                w.set_reduce_delay(Duration::ZERO);
+            }
+        }
+        let result = runner.join().expect("runner thread");
+        if let Err(panic) = mid {
+            std::panic::resume_unwind(panic);
+        }
+        result
+    })
+    .expect("distributed run succeeds");
+    remote.finish();
+    (result, keyblock_commits(&out))
+}
+
+/// Total maps committed across the fleet for `job`.
+fn committed_total(workers: &[Worker], job: u64) -> usize {
+    workers.iter().map(|w| w.committed_maps(job).len()).sum()
+}
+
+/// Spins until `pred` holds (10 s cap — generous; loopback runs hit
+/// these conditions in tens of milliseconds).
+fn wait_until(mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !pred() {
+        assert!(Instant::now() < deadline, "condition not reached in 10s");
+        thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The worker holding the most committed maps: the highest-impact
+/// victim for a mid-job kill.
+fn pick_victim(workers: &[Worker], job: u64) -> (usize, Vec<usize>) {
+    let (victim, _) = workers
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, w)| w.committed_maps(job).len())
+        .expect("non-empty fleet");
+    let mut held: Vec<usize> = workers[victim]
+        .committed_maps(job)
+        .into_iter()
+        .map(|(task, _attempt)| task)
+        .collect();
+    held.sort_unstable();
+    held.dedup();
+    (victim, held)
+}
+
+/// Tentpole e2e at fig08 scale: a 3-worker loopback fleet streams the
+/// same keyblocks with the same in-block record order as the
+/// single-process engine — byte-identical results, per the paper's
+/// claim that routing (not placement) determines output.
+#[test]
+fn fleet_output_is_byte_identical_to_single_process() {
+    let (spec, input) = fig08_scale_fixture("fig08");
+    let expected = run_local(&spec, &input);
+
+    let workers = spawn_workers(3);
+    let fleet = fleet_of(&workers);
+    let (result, got) = run_distributed(
+        &workers,
+        &fleet,
+        &spec,
+        &input,
+        exec_opts(FaultPlan::none()),
+        |_| {},
+    );
+
+    assert_eq!(got.len(), 11, "one commit per keyblock");
+    assert_eq!(got, expected, "streamed keyblocks must match exactly");
+    assert!(
+        reexecuted_maps(&result.events).is_empty(),
+        "clean run must not re-execute maps"
+    );
+    // Every map attempt landed on the fleet, none ran in-process.
+    let map_attempts: u64 = workers.iter().map(|w| w.stat().map_attempts).sum();
+    assert_eq!(map_attempts as usize, spec.splits.len());
+}
+
+/// Kill a worker while every reduce is mid-shuffle-fetch: recovery
+/// must re-execute exactly the maps the victim held — the union of
+/// the pending attempts' dependency sets `I_ℓ` — and the final output
+/// must still match the reference bit-for-bit.
+#[test]
+fn worker_death_mid_fetch_reexecutes_exactly_its_maps() {
+    let (spec, input) = tiny_fixture("midfetch");
+    let expected = run_local(&spec, &input);
+    let num_maps = spec.splits.len();
+
+    let workers = spawn_workers(3);
+    // Hold every shuffle fetch at the gate: no reduce can copy a
+    // single source partition until the kill has landed, however slow
+    // the maps run. (The knob is re-read every pause tick, so setting
+    // it back to zero releases the in-flight copy phases.)
+    for w in &workers {
+        w.set_fetch_delay(Duration::from_secs(600));
+    }
+    let fleet = fleet_of(&workers);
+
+    let mut lost_maps: Vec<usize> = Vec::new();
+    let (result, got) = {
+        let workers = &workers;
+        let lost = &mut lost_maps;
+        run_distributed(
+            workers,
+            &fleet,
+            &spec,
+            &input,
+            exec_opts(FaultPlan::none()),
+            move |job| {
+                wait_until(|| committed_total(workers, job) == num_maps);
+                // Let the in-flight MapDone replies land on the
+                // coordinator before capturing the victim's holdings.
+                thread::sleep(Duration::from_millis(50));
+                let (victim, held) = pick_victim(workers, job);
+                assert!(!held.is_empty(), "victim must hold map output");
+                *lost = held;
+                workers[victim].kill();
+                for w in workers.iter() {
+                    w.set_fetch_delay(Duration::ZERO);
+                }
+            },
+        )
+    };
+
+    assert_eq!(
+        reexecuted_maps(&result.events),
+        lost_maps,
+        "recovery must re-execute exactly the victim's maps"
+    );
+    assert_eq!(got, expected, "output must survive the kill unchanged");
+}
+
+/// Kill a worker while one map attempt is still running somewhere in
+/// the fleet: the straggling attempt is re-dispatched at the same
+/// attempt number (not a recovery re-execution), and only the
+/// victim's *committed* maps are re-executed.
+#[test]
+fn worker_death_mid_map_reexecutes_only_committed_maps() {
+    let (spec, input) = tiny_fixture("midmap");
+    let expected = run_local(&spec, &input);
+    let num_maps = spec.splits.len();
+    let straggler = num_maps - 1;
+
+    // The last task straggles on its first attempt — the fault script
+    // ships to the workers through ExecOptions, so the delay happens
+    // wherever the attempt lands. Long enough that the kill always
+    // beats the straggler's commit.
+    let plan = FaultPlan::none().with(
+        FaultTarget::Map(straggler),
+        0,
+        FaultKind::Straggle { delay_ms: 3_000 },
+    );
+
+    let workers = spawn_workers(3);
+    for w in &workers {
+        w.set_fetch_delay(Duration::from_secs(600));
+    }
+    let fleet = fleet_of(&workers);
+
+    let mut lost_maps: Vec<usize> = Vec::new();
+    let (result, got) = {
+        let workers = &workers;
+        let lost = &mut lost_maps;
+        run_distributed(
+            workers,
+            &fleet,
+            &spec,
+            &input,
+            exec_opts(plan),
+            move |job| {
+                // All maps but the straggler commit, then the kill lands
+                // while the straggling attempt is still in flight.
+                wait_until(|| committed_total(workers, job) >= num_maps - 1);
+                thread::sleep(Duration::from_millis(50));
+                let (victim, held) = pick_victim(workers, job);
+                *lost = held;
+                workers[victim].kill();
+                for w in workers.iter() {
+                    w.set_fetch_delay(Duration::ZERO);
+                }
+            },
+        )
+    };
+
+    let reexecuted = reexecuted_maps(&result.events);
+    assert_eq!(
+        reexecuted, lost_maps,
+        "only the victim's committed maps re-execute; the straggler \
+         re-dispatches at its original attempt"
+    );
+    assert_eq!(got, expected, "output must survive the kill unchanged");
+}
+
+/// The serving path end-to-end: a coordinator configured with
+/// `--worker` addresses dispatches submitted jobs to the fleet and
+/// reports per-worker occupancy through `stats` (the `sidr-submit
+/// stats` fleet view).
+#[test]
+fn server_dispatches_to_fleet_and_reports_worker_stats() {
+    let (spec, input) = tiny_fixture("server");
+    let workers = spawn_workers(3);
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: workers.iter().map(|w| w.addr().to_string()).collect(),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).unwrap();
+    let ticket = client
+        .submit(&spec, &input, SubmitOptions::default())
+        .unwrap();
+    let mut streamed = 0usize;
+    client
+        .stream_job(ticket.job, |_reducer, _keys, records| {
+            streamed += records.len();
+        })
+        .unwrap();
+    assert_eq!(streamed, 24, "query1-tiny yields one mean per K′ row");
+
+    let stats = handle.stats();
+    assert_eq!(stats.workers.len(), 3, "every worker is reported");
+    for w in &stats.workers {
+        assert!(w.alive, "worker {} should be alive", w.addr);
+        assert!(
+            w.heartbeat_age_ms < 5_000,
+            "heartbeat for {} is fresh",
+            w.addr
+        );
+    }
+    let map_attempts: u64 = stats.workers.iter().map(|w| w.map_attempts).sum();
+    let reduce_attempts: u64 = stats.workers.iter().map(|w| w.reduce_attempts).sum();
+    assert_eq!(map_attempts, 12, "all 12 maps ran on the fleet");
+    assert_eq!(reduce_attempts, 4, "all 4 reduces ran on the fleet");
+
+    client.shutdown().ok();
+}
