@@ -1,0 +1,105 @@
+//! The reduce→client wire path: encoding a committed keyblock into
+//! its outbound frame, and ingesting fetched partition bytes into the
+//! merge.
+//!
+//! Benchmark groups:
+//! * `wire/keyblock_json` — the legacy path: serialize the keyblock
+//!   as a JSON `Response::Keyblock` frame;
+//! * `wire/keyblock_binary` — the negotiated path:
+//!   [`binframe::encode_keyblock`] into one packed buffer;
+//! * `wire/ingest_v2` — decode a SMOF v2 partition into owned records
+//!   and merge;
+//! * `wire/ingest_v3` — validate a [`Smof3View`] over the same bytes
+//!   and merge straight out of them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+use sidr_coords::Coord;
+use sidr_mapreduce::shuffle_file::{decode_map_output, encode_map_output, encode_map_output_v2};
+use sidr_mapreduce::{MapOutputFile, MergeIter, Smof3View};
+use sidr_serve::binframe;
+use sidr_serve::{frame, Response};
+
+fn keyblock(n: usize) -> Vec<(Coord, f64)> {
+    (0..n)
+        .map(|i| (Coord::from([(i / 53) as u64, (i % 53) as u64]), i as f64))
+        .collect()
+}
+
+fn bench_keyblock_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    for n in [1_000usize, 50_000] {
+        let records = keyblock(n);
+        let resp = Response::Keyblock {
+            job: 7,
+            reducer: 3,
+            at_ms: 1500,
+            records: records.clone(),
+        };
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("keyblock_json", n), |b| {
+            let mut buf = Vec::new();
+            b.iter(|| {
+                buf.clear();
+                frame::send(&mut buf, &resp).unwrap();
+                buf.len()
+            });
+        });
+        group.bench_function(BenchmarkId::new("keyblock_binary", n), |b| {
+            let mut buf = Vec::new();
+            b.iter(|| {
+                buf.clear();
+                let bin = binframe::encode_keyblock(7, 3, 1500, &records).unwrap();
+                frame::write_frame(&mut buf, &bin).unwrap();
+                buf.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn partition(n: usize) -> MapOutputFile<Coord, f64> {
+    MapOutputFile {
+        raw_count: n as u64,
+        records: keyblock(n),
+    }
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let n = 40_000usize;
+    let file = partition(n);
+    let v2 = encode_map_output_v2(&file).unwrap();
+    let v3 = Arc::new(encode_map_output(&file).unwrap());
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function(BenchmarkId::new("ingest_v2", n), |b| {
+        b.iter(|| {
+            let decoded: MapOutputFile<Coord, f64> = decode_map_output(&v2).unwrap();
+            let mut merge = MergeIter::with_files([Arc::new(decoded)]);
+            let mut records = 0u64;
+            while let Some((_, vs)) = merge.next_group() {
+                records += vs.len() as u64;
+            }
+            records
+        });
+    });
+    group.bench_function(BenchmarkId::new("ingest_v3", n), |b| {
+        b.iter(|| {
+            let view = Smof3View::<Coord, f64>::parse(Arc::clone(&v3))
+                .unwrap()
+                .unwrap();
+            let mut merge: MergeIter<Coord, f64> = MergeIter::new();
+            merge.push_frame(view);
+            let mut records = 0u64;
+            while let Some((_, vs)) = merge.next_group() {
+                records += vs.len() as u64;
+            }
+            records
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_keyblock_encode, bench_ingest);
+criterion_main!(benches);

@@ -113,6 +113,65 @@ impl Coord {
         self.0.iter().zip(extents).all(|(c, e)| c < e)
     }
 
+    /// Byte width of this coordinate in the packed fixed-width
+    /// encoding: `rank` little-endian `u64` words, no length prefix.
+    /// Every key in a fixed-arity keyspace packs to the same width,
+    /// which is what lets SMOF v3 address records by offset alone.
+    #[inline]
+    pub fn packed_width(&self) -> usize {
+        self.0.len() * 8
+    }
+
+    /// Appends the packed encoding (LE words, no prefix) to `out`.
+    pub fn write_packed(&self, out: &mut Vec<u8>) {
+        for &c in &self.0 {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+
+    /// Reconstructs a coordinate from its packed encoding. The rank is
+    /// implied by the slice length, which must be a multiple of 8.
+    pub fn from_packed(bytes: &[u8]) -> Coord {
+        debug_assert_eq!(bytes.len() % 8, 0, "packed coord length not word-aligned");
+        Coord(
+            bytes
+                .chunks_exact(8)
+                .map(|w| u64::from_le_bytes(w.try_into().expect("8-byte chunk")))
+                .collect(),
+        )
+    }
+
+    /// Compares two packed encodings in coordinate order (row-major
+    /// lexicographic over components, shorter prefix first) without
+    /// decoding. Packed words are little-endian, so plain `memcmp`
+    /// would order them wrongly — each 8-byte word must be compared as
+    /// a `u64`. Byte *equality* of equal-width slices is still valid
+    /// for equality checks.
+    pub fn cmp_packed(a: &[u8], b: &[u8]) -> std::cmp::Ordering {
+        for (wa, wb) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
+            let wa = u64::from_le_bytes(wa.try_into().expect("8-byte chunk"));
+            let wb = u64::from_le_bytes(wb.try_into().expect("8-byte chunk"));
+            match wa.cmp(&wb) {
+                std::cmp::Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        a.len().cmp(&b.len())
+    }
+
+    /// Compares a decoded coordinate against a packed encoding, with
+    /// the same ordering contract as [`Coord::cmp_packed`].
+    pub fn cmp_decoded_packed(&self, packed: &[u8]) -> std::cmp::Ordering {
+        for (ca, wb) in self.0.iter().zip(packed.chunks_exact(8)) {
+            let wb = u64::from_le_bytes(wb.try_into().expect("8-byte chunk"));
+            match ca.cmp(&wb) {
+                std::cmp::Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        self.packed_width().cmp(&packed.len())
+    }
+
     fn same_rank(&self, other: &Coord) -> Result<()> {
         if self.rank() == other.rank() {
             Ok(())
@@ -241,5 +300,39 @@ mod tests {
         let a = Coord::from([0, 9]);
         let b = Coord::from([1, 0]);
         assert!(a < b);
+    }
+
+    #[test]
+    fn packed_roundtrip_preserves_value_and_width() {
+        for c in [
+            Coord::from([157, 34, 82]),
+            Coord::origin(0),
+            Coord::from([u64::MAX]),
+            Coord::from([0, u64::MAX, 1 << 40]),
+        ] {
+            let mut buf = Vec::new();
+            c.write_packed(&mut buf);
+            assert_eq!(buf.len(), c.packed_width());
+            assert_eq!(Coord::from_packed(&buf), c);
+        }
+    }
+
+    #[test]
+    fn cmp_packed_matches_coord_ord() {
+        // The case memcmp would get wrong: 256 packs as [0,1,0,...]
+        // which is bytewise *less* than 1's [1,0,0,...].
+        let pairs = [
+            (Coord::from([256]), Coord::from([1])),
+            (Coord::from([0, 9]), Coord::from([1, 0])),
+            (Coord::from([5, 5]), Coord::from([5, 5])),
+            (Coord::from([7]), Coord::from([7, 0])),
+        ];
+        for (a, b) in pairs {
+            let (mut pa, mut pb) = (Vec::new(), Vec::new());
+            a.write_packed(&mut pa);
+            b.write_packed(&mut pb);
+            assert_eq!(Coord::cmp_packed(&pa, &pb), a.cmp(&b), "{a} vs {b}");
+            assert_eq!(a.cmp_decoded_packed(&pb), a.cmp(&b), "{a} vs packed {b}");
+        }
     }
 }

@@ -6,11 +6,12 @@
 //! reduction, count-annotation validation — lives here in `sidr-core`;
 //! the worker crate only moves CRC-framed SMOF byte buffers between
 //! processes. Map attempts produce their per-reducer partitions as
-//! *encoded* SMOF v2 buffers (the exact on-disk/on-wire spill format),
-//! and reduce attempts consume the decoded buffers a worker fetched
-//! from the holders, merging them in the plan's fetch order so the
-//! merge's equal-key tie-break — and therefore the streamed output —
-//! is byte-identical to a single-process run.
+//! *encoded* SMOF buffers (the exact on-disk/on-wire spill format —
+//! v3 fixed-width for ⟨coord, f64⟩ records), and reduce attempts
+//! merge the buffers a worker fetched from the holders **in place**
+//! (v3 frames are borrowed, not decoded), in the plan's fetch order
+//! so the merge's equal-key tie-break — and therefore the streamed
+//! output — is byte-identical to a single-process run.
 
 use std::path::Path;
 use std::time::Duration;
@@ -19,8 +20,8 @@ use serde::{Deserialize, Serialize};
 use sidr_coords::Coord;
 use sidr_mapreduce::shuffle_file::{decode_map_output, encode_map_output};
 use sidr_mapreduce::{
-    Counters, FaultKind, FaultPlan, MapOutputBuilder, MapTaskId, Mapper, MergeIter, MrError,
-    RoutingPlan,
+    Counters, FaultKind, FaultPlan, GroupBatch, MapOutputBuilder, MapTaskId, Mapper, MergeIter,
+    MrError, RoutingPlan, Smof3View,
 };
 use sidr_scifile::{DataType, Element, ScincFile};
 
@@ -51,8 +52,12 @@ pub struct ExecOptions {
 /// ([`SpecExecutor::run_reduce`]'s `emit` callback).
 pub type GroupSink<'a> = dyn FnMut(&[(Coord, f64)]) -> crate::Result<()> + 'a;
 
+/// Records per [`GroupBatch`] fill after the first group is out —
+/// mirrors the in-process runtime's batch size.
+const REDUCE_BATCH_RECORDS: usize = 4096;
+
 /// What one map attempt produced: per-reducer partitions as encoded
-/// SMOF v2 buffers (only non-empty partitions appear, mirroring the
+/// SMOF buffers (only non-empty partitions appear, mirroring the
 /// in-process shuffle store's absence-means-empty convention).
 #[derive(Clone, Debug)]
 pub struct MapAttemptOutput {
@@ -115,7 +120,7 @@ impl SpecExecutor {
 
     /// Runs one map attempt: read the split, apply the structural map
     /// and optional combiner, and encode each non-empty partition as
-    /// a SMOF v2 buffer. Injected map faults for this (task, attempt)
+    /// a SMOF buffer. Injected map faults for this (task, attempt)
     /// fire here, on the worker, exactly as they would in-process.
     pub fn run_map(&self, task: MapTaskId, attempt: u32) -> crate::Result<MapAttemptOutput> {
         match self.dtype {
@@ -196,8 +201,8 @@ impl SpecExecutor {
                 &counters,
             )?
             .into_iter()
-            .map(|(reducer, f)| (reducer, encode_map_output(&f)))
-            .collect();
+            .map(|(reducer, f)| encode_map_output(&f).map(|bytes| (reducer, bytes)))
+            .collect::<sidr_mapreduce::Result<Vec<_>>>()?;
         Ok(MapAttemptOutput {
             partitions,
             records_in,
@@ -224,7 +229,7 @@ impl SpecExecutor {
     pub fn run_reduce(
         &self,
         reducer: usize,
-        partitions: &[Vec<u8>],
+        partitions: &[std::sync::Arc<Vec<u8>>],
         expected_raw: Option<u64>,
         emit: &mut GroupSink<'_>,
     ) -> crate::Result<u64> {
@@ -237,9 +242,20 @@ impl SpecExecutor {
             if bytes.is_empty() {
                 continue;
             }
-            let f = decode_map_output::<Coord, f64>(bytes)?;
-            raw_total += f.raw_count;
-            merge.push_file(std::sync::Arc::new(f));
+            // v3 buffers merge zero-copy: the cursor borrows records
+            // straight out of the fetched bytes. v2 buffers (older
+            // peers, variable-width types) decode the classic way.
+            match Smof3View::<Coord, f64>::parse(std::sync::Arc::clone(bytes))? {
+                Some(view) => {
+                    raw_total += view.raw_count();
+                    merge.push_frame(view);
+                }
+                None => {
+                    let f = decode_map_output::<Coord, f64>(bytes)?;
+                    raw_total += f.raw_count;
+                    merge.push_file(std::sync::Arc::new(f));
+                }
+            }
         }
         let expected = expected_raw.or_else(|| {
             self.opts
@@ -257,18 +273,32 @@ impl SpecExecutor {
                 .into());
             }
         }
+        // Batched handoff, like the in-process runtime: the first
+        // batch is one group (the worker streams it back immediately,
+        // keeping early-result latency), later batches drain the merge
+        // in cache-sized chunks. `emit` still sees one group at a time
+        // — the worker protocol frames groups individually.
         let reducer_fn = OperatorReducer { op: self.operator };
         let mut group: Vec<(Coord, f64)> = Vec::new();
+        let mut batch: GroupBatch<Coord, f64> = GroupBatch::new();
         let mut emitted = 0u64;
+        let mut first = true;
         use sidr_mapreduce::Reducer;
-        while let Some((key, values)) = merge.next_group() {
-            group.clear();
-            reducer_fn.reduce(key, values, &mut |v3| {
-                group.push((key.clone(), v3));
-                emitted += 1;
-            });
-            if !group.is_empty() {
-                emit(&group)?;
+        loop {
+            let budget = if first { 1 } else { REDUCE_BATCH_RECORDS };
+            if merge.fill_batch(&mut batch, budget) == 0 {
+                break;
+            }
+            first = false;
+            for (key, values) in batch.groups() {
+                group.clear();
+                reducer_fn.reduce(key, values, &mut |v3| {
+                    group.push((key.clone(), v3));
+                    emitted += 1;
+                });
+                if !group.is_empty() {
+                    emit(&group)?;
+                }
             }
         }
         Ok(emitted)

@@ -37,6 +37,7 @@ pub mod plan;
 pub mod runtime;
 pub mod shuffle;
 pub mod shuffle_file;
+pub mod smof3;
 pub mod split;
 pub mod sync;
 pub mod task;
@@ -55,14 +56,16 @@ pub use runtime::{
     Semaphore, SlotOccupancy, SlotPool, WakerRegistration,
 };
 pub use shuffle::{
-    merge_files, CorruptionMode, MapOutputBuilder, MapOutputFile, MergeIter, ShuffleStore,
-    SpillCodec,
+    merge_files, CorruptionMode, GroupBatch, MapOutputBuilder, MapOutputFile, MergeIter,
+    ShuffleStore, SpillCodec,
 };
+pub use smof3::Smof3View;
 pub use split::{InputSplit, MapTaskId, SplitGenerator};
 pub use task::{
     Combiner, FnMapper, FnReducer, Mapper, MrKey, MrValue, RecordSource, Reducer, SliceRecordSource,
 };
 pub use timeline::{reexecuted_maps, spans, TaskEvent, TaskKind, Timeline};
+pub use wire::FixedCodec;
 pub use wire::WireFormat;
 
 /// Convenience alias for results in this crate.

@@ -32,8 +32,9 @@ use crate::fault::{FaultKind, FaultPlan, RetryPolicy};
 use crate::output::OutputCollector;
 use crate::plan::RoutingPlan;
 use crate::shuffle::{
-    CorruptionMode, Fetched, MapOutputBuilder, MapOutputFile, MergeIter, ShuffleStore,
+    CorruptionMode, Fetched, GroupBatch, MapOutputBuilder, MapOutputFile, MergeIter, ShuffleStore,
 };
+use crate::smof3::Smof3View;
 use crate::split::{InputSplit, MapTaskId};
 use crate::task::{Combiner, Mapper, MrKey, MrValue, RecordSource, Reducer};
 use crate::timeline::{TaskEvent, TaskKind, Timeline};
@@ -1221,7 +1222,31 @@ fn reduce_worker<K2, V2, V3>(
 
 /// Copy-phase fetch slot: outer `None` = not fetched yet, inner
 /// `None` = the map produced no output for this reducer.
-type FetchSlot<K, V> = Option<Option<Arc<MapOutputFile<K, V>>>>;
+type FetchSlot<K, V> = Option<Option<ShuffleInput<K, V>>>;
+
+/// A fetched non-empty partition, however the store surfaced it:
+/// decoded records, or a zero-copy v3 frame the merge cursors borrow
+/// from directly.
+enum ShuffleInput<K, V> {
+    File(Arc<MapOutputFile<K, V>>),
+    Frame(Smof3View<K, V>),
+}
+
+// Manual impl: both variants clone by reference count, so no
+// `K: Clone`/`V: Clone` bound is needed (derive would add one).
+impl<K, V> Clone for ShuffleInput<K, V> {
+    fn clone(&self) -> Self {
+        match self {
+            ShuffleInput::File(f) => ShuffleInput::File(Arc::clone(f)),
+            ShuffleInput::Frame(v) => ShuffleInput::Frame(v.clone()),
+        }
+    }
+}
+
+/// Records handed through the merge per [`GroupBatch`] fill once the
+/// first group is out: big enough to amortize heap bookkeeping, small
+/// enough that a batch of ⟨coord, f64⟩ stays cache-resident.
+const REDUCE_BATCH_RECORDS: usize = 4096;
 
 fn run_reduce_task<K2, V2, V3>(
     shared: &Shared<'_, K2, V2>,
@@ -1254,7 +1279,10 @@ where
         // breaks ties between equal keys) stays the plan's
         // deterministic fetch order.
         let mut merge: MergeIter<K2, V2> = MergeIter::new();
-        let mut files: Vec<(MapTaskId, Arc<MapOutputFile<K2, V2>>)> = Vec::new();
+        // (source map, raw ⟨k,v⟩ annotation) per non-empty input, for
+        // the §3.2.1 annotation tally and the volatile-recovery `I_ℓ`
+        // list; the records themselves live in the merge's cursors.
+        let mut inputs: Vec<(MapTaskId, u64)> = Vec::new();
         // Per-source fetch outcome: None = not fetched yet,
         // Some(None) = map produced nothing for this reducer.
         let mut fetched: Vec<FetchSlot<K2, V2>> = vec![None; sources.len()];
@@ -1319,7 +1347,11 @@ where
             for (i, epoch) in ready {
                 match shared.shuffle.fetch(sources[i], r, epoch, &shared.counters) {
                     Ok(Fetched::File(file)) => {
-                        fetched[i] = Some(Some(file));
+                        fetched[i] = Some(Some(ShuffleInput::File(file)));
+                        remaining -= 1;
+                    }
+                    Ok(Fetched::Frame(view)) => {
+                        fetched[i] = Some(Some(ShuffleInput::Frame(view)));
                         remaining -= 1;
                     }
                     Ok(Fetched::Empty) => {
@@ -1356,9 +1388,18 @@ where
                 }
             }
             while let Some(slot) = fetched.get(opened).and_then(|s| s.as_ref()) {
-                if let Some(f) = slot {
-                    merge.push_file(Arc::clone(f));
-                    files.push((sources[opened], Arc::clone(f)));
+                if let Some(input) = slot {
+                    let raw = match input {
+                        ShuffleInput::File(f) => {
+                            merge.push_file(Arc::clone(f));
+                            f.raw_count
+                        }
+                        ShuffleInput::Frame(v) => {
+                            merge.push_frame(v.clone());
+                            v.raw_count()
+                        }
+                    };
+                    inputs.push((sources[opened], raw));
                 }
                 opened += 1;
             }
@@ -1377,7 +1418,7 @@ where
         // input".
         if shared.config.validate_annotations {
             if let Some(expected) = shared.plan.expected_raw_count(r) {
-                let actual: u64 = files.iter().map(|(_, f)| f.raw_count).sum();
+                let actual: u64 = inputs.iter().map(|(_, raw)| *raw).sum();
                 if actual != expected {
                     return Err(MrError::AnnotationMismatch {
                         reducer: r,
@@ -1410,7 +1451,7 @@ where
                 // (§6: "re-execute subsets of Map tasks in the event
                 // of a Reduce task failure in place of persisting all
                 // intermediate data").
-                let lost: Vec<MapTaskId> = files.iter().map(|(m, _)| *m).collect();
+                let lost: Vec<MapTaskId> = inputs.iter().map(|(m, _)| *m).collect();
                 let mut st = shared.state.lock();
                 for m in &lost {
                     st.reenqueue_for_recovery(*m, &shared.counters);
@@ -1424,29 +1465,40 @@ where
             continue;
         }
 
-        // Streaming merge + reduce: groups leave the k-way merge one
-        // at a time, and each group's output reaches the collector
-        // (`stream_group`) while later groups are still merging. No
-        // whole-keyspace `Vec<(K, Vec<V>)>` is ever materialized; the
-        // final `commit` keeps §2.3's atomic committal.
+        // Streaming merge + reduce, batched: groups leave the k-way
+        // merge in cache-sized [`GroupBatch`]es, and each group's
+        // output reaches the collector (`stream_group`) while later
+        // groups are still merging. The first batch is a single group
+        // so the §3.4 early-result clock starts as soon as the merge
+        // can produce anything; after that, batches amortize the
+        // per-group heap bookkeeping. No whole-keyspace
+        // `Vec<(K, Vec<V>)>` is ever materialized; the final `commit`
+        // keeps §2.3's atomic committal.
         let mut out: Vec<(K2, V3)> = Vec::new();
         let mut emitted = 0u64;
         let mut first_group = true;
-        while let Some((key, values)) = merge.next_group() {
-            let group_start = out.len();
-            reducer_fn.reduce(key, values, &mut |v3| {
-                out.push((key.clone(), v3));
-                emitted += 1;
-            });
-            if out.len() > group_start {
-                output
-                    .stream_group(r, &out[group_start..])
-                    .map_err(|e| MrError::Output(e.to_string()))?;
-                if first_group {
-                    shared
-                        .timeline
-                        .record_attempt(TaskKind::ReduceFirstGroup, r, attempt);
-                    first_group = false;
+        let mut batch: GroupBatch<K2, V2> = GroupBatch::new();
+        loop {
+            let budget = if first_group { 1 } else { REDUCE_BATCH_RECORDS };
+            if merge.fill_batch(&mut batch, budget) == 0 {
+                break;
+            }
+            for (key, values) in batch.groups() {
+                let group_start = out.len();
+                reducer_fn.reduce(key, values, &mut |v3| {
+                    out.push((key.clone(), v3));
+                    emitted += 1;
+                });
+                if out.len() > group_start {
+                    output
+                        .stream_group(r, &out[group_start..])
+                        .map_err(|e| MrError::Output(e.to_string()))?;
+                    if first_group {
+                        shared
+                            .timeline
+                            .record_attempt(TaskKind::ReduceFirstGroup, r, attempt);
+                        first_group = false;
+                    }
                 }
             }
         }

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::counters::Counters;
+use crate::smof3::Smof3View;
 use crate::split::MapTaskId;
 use crate::task::{MrKey, MrValue};
 
@@ -79,6 +80,11 @@ pub enum Fetched<K, V> {
     /// The file, at the requested epoch (consumed if the store is
     /// volatile).
     File(Arc<MapOutputFile<K, V>>),
+    /// A spilled v3 file, at the requested epoch, as a zero-copy
+    /// view: the bytes were read into one shared buffer and validated
+    /// once; no record was decoded. Merge cursors borrow straight out
+    /// of it.
+    Frame(Smof3View<K, V>),
     /// The map committed the requested epoch but produced nothing for
     /// this reducer.
     Empty,
@@ -117,12 +123,17 @@ pub struct ShuffleStore<K, V> {
     spill: Option<SpillCodec<K, V>>,
 }
 
+/// Zero-copy spill loader: `Ok(Some(view))` when the file uses the v3
+/// fixed-width layout, `Ok(None)` to fall back to the owning reader.
+pub type ReadViewFn<K, V> = fn(&std::path::Path) -> crate::Result<Option<Smof3View<K, V>>>;
+
 /// Monomorphized writers/readers for the spill path, so the store (and
 /// the runtime above it) needs no `WireFormat` bounds of its own.
 pub struct SpillCodec<K, V> {
     pub dir: std::path::PathBuf,
     pub write: fn(&std::path::Path, &MapOutputFile<K, V>) -> crate::Result<()>,
     pub read: fn(&std::path::Path) -> crate::Result<MapOutputFile<K, V>>,
+    pub read_view: ReadViewFn<K, V>,
 }
 
 impl<K, V> SpillCodec<K, V>
@@ -136,6 +147,12 @@ where
             dir: dir.into(),
             write: |path, file| crate::shuffle_file::write_map_output(path, file),
             read: |path| crate::shuffle_file::read_map_output(path),
+            read_view: |path| {
+                let bytes = std::fs::read(path).map_err(|e| {
+                    crate::error::MrError::Source(format!("shuffle spill I/O: {e}"))
+                })?;
+                Smof3View::parse(Arc::new(bytes))
+            },
         }
     }
 }
@@ -253,12 +270,25 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
                     .spill
                     .as_ref()
                     .expect("spilled entries only exist in spilling stores");
-                let file = (codec.read)(&path)?;
+                // v3 spills come back as a validated view over the
+                // raw file bytes — no record decode; v2 spills fall
+                // back to the materializing reader.
+                let fetched = match (codec.read_view)(&path)? {
+                    Some(view) => {
+                        Counters::add(&counters.shuffled_records, view.records() as u64);
+                        Fetched::Frame(view)
+                    }
+                    None => {
+                        let file = (codec.read)(&path)?;
+                        Counters::add(&counters.shuffled_records, file.records.len() as u64);
+                        Fetched::File(Arc::new(file))
+                    }
+                };
                 if self.consume_on_fetch {
                     // Not persisted: the bytes are gone once consumed.
                     std::fs::remove_file(&path).ok();
                 }
-                Arc::new(file)
+                return Ok(fetched);
             }
         };
         Counters::add(&counters.shuffled_records, got.records.len() as u64);
@@ -567,28 +597,58 @@ fn combine_sorted<K: MrKey, V: MrValue>(
 /// the whole `Vec<(K, Vec<V>)>` keyspace before the first key group
 /// is available.
 ///
-/// Files are shared (`Arc`), so the merge borrows records in place;
+/// Sources are shared (`Arc`), so the merge borrows records in place;
 /// the only copies made are the values of the *current* group, cloned
-/// into one reusable buffer ([`next_group`]). Cursors can be opened
-/// incrementally with [`push_file`] as map outputs arrive during the
+/// (or, for binary frames, decoded) into one reusable buffer
+/// ([`next_group`]). Cursors can be opened incrementally with
+/// [`push_file`] / [`push_frame`] as map outputs arrive during the
 /// copy phase — the reducer holds its slot through the copy anyway
 /// (§3.2), so by the time its barrier is met the merge is ready to
 /// yield its first group immediately.
 ///
+/// A cursor reads either a decoded [`MapOutputFile`] or a SMOF v3
+/// [`Smof3View`] frame. Frame cursors never materialize records:
+/// ordering decisions compare packed key bytes in place (via the
+/// captured [`FixedCodec`](crate::wire::FixedCodec)), and a value is
+/// decoded exactly once, when its group leaves the merge.
+///
 /// [`next_group`]: MergeIter::next_group
 /// [`push_file`]: MergeIter::push_file
+/// [`push_frame`]: MergeIter::push_frame
 pub struct MergeIter<K, V> {
-    files: Vec<Arc<MapOutputFile<K, V>>>,
-    /// Per-file position of the next unconsumed record.
+    sources: Vec<MergeSource<K, V>>,
+    /// Per-source position of the next unconsumed record.
     cursors: Vec<usize>,
-    /// Min-heap of file indices with records remaining, ordered by
-    /// `(key at cursor, file index)`. Kept by hand (not
-    /// `BinaryHeap`) because the ordering lives in `files`/`cursors`.
+    /// Min-heap of source indices with records remaining, ordered by
+    /// `(key at cursor, source index)`. Kept by hand (not
+    /// `BinaryHeap`) because the ordering lives in `sources`/`cursors`.
     heap: Vec<usize>,
     /// Reusable buffer holding the current group's values.
     group: Vec<V>,
+    /// The current group's key (owned: for frame sources there is no
+    /// decoded record to borrow it from).
+    group_key: Option<K>,
+    /// Scratch slot for the decoded record `next_record` hands out
+    /// when the root cursor is a frame.
+    scratch: Option<(K, V)>,
     /// Records consumed so far (for the merge throughput metrics).
     consumed: u64,
+}
+
+/// One merge input: a decoded in-memory file, or a zero-copy v3 frame.
+enum MergeSource<K, V> {
+    File(Arc<MapOutputFile<K, V>>),
+    Frame(Smof3View<K, V>),
+}
+
+impl<K, V> MergeSource<K, V> {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            MergeSource::File(f) => f.records.len(),
+            MergeSource::Frame(v) => v.records(),
+        }
+    }
 }
 
 impl<K: MrKey, V: MrValue> Default for MergeIter<K, V> {
@@ -601,10 +661,12 @@ impl<K: MrKey, V: MrValue> MergeIter<K, V> {
     /// An empty merge; add inputs with [`MergeIter::push_file`].
     pub fn new() -> Self {
         MergeIter {
-            files: Vec::new(),
+            sources: Vec::new(),
             cursors: Vec::new(),
             heap: Vec::new(),
             group: Vec::new(),
+            group_key: None,
+            scratch: None,
             consumed: 0,
         }
     }
@@ -619,7 +681,7 @@ impl<K: MrKey, V: MrValue> MergeIter<K, V> {
         m
     }
 
-    /// Opens a cursor on one more file. Files must be pushed in the
+    /// Opens a cursor on one more file. Sources must be pushed in the
     /// deterministic file order (the plan's fetch order) *before*
     /// consumption begins; equal keys yield values in push order.
     pub fn push_file(&mut self, file: Arc<MapOutputFile<K, V>>) {
@@ -627,9 +689,27 @@ impl<K: MrKey, V: MrValue> MergeIter<K, V> {
             file.records.windows(2).all(|w| w[0].0 <= w[1].0),
             "map-output files are key-sorted"
         );
-        let idx = self.files.len();
         let empty = file.records.is_empty();
-        self.files.push(file);
+        self.push_source(MergeSource::File(file), empty);
+    }
+
+    /// Opens a cursor on a zero-copy v3 frame. Same ordering contract
+    /// as [`MergeIter::push_file`]; the frame's records are merged
+    /// straight out of the underlying buffer.
+    pub fn push_frame(&mut self, view: Smof3View<K, V>) {
+        debug_assert!(
+            (1..view.records()).all(|i| {
+                (view.key_codec().cmp)(view.key_bytes(i - 1), view.key_bytes(i)).is_le()
+            }),
+            "map-output frames are key-sorted"
+        );
+        let empty = view.is_empty();
+        self.push_source(MergeSource::Frame(view), empty);
+    }
+
+    fn push_source(&mut self, source: MergeSource<K, V>, empty: bool) {
+        let idx = self.sources.len();
+        self.sources.push(source);
         self.cursors.push(0);
         if !empty {
             self.heap.push(idx);
@@ -641,25 +721,45 @@ impl<K: MrKey, V: MrValue> MergeIter<K, V> {
     pub fn remaining(&self) -> usize {
         self.heap
             .iter()
-            .map(|&f| self.files[f].records.len() - self.cursors[f])
+            .map(|&f| self.sources[f].len() - self.cursors[f])
             .sum()
     }
 
-    /// The smallest unconsumed key, without consuming it.
-    pub fn peek_key(&self) -> Option<&K> {
-        self.heap
-            .first()
-            .map(|&f| &self.files[f].records[self.cursors[f]].0)
+    /// The smallest unconsumed key, without consuming it (decoded or
+    /// cloned out of its source).
+    pub fn peek_key(&self) -> Option<K> {
+        self.heap.first().map(|&f| match &self.sources[f] {
+            MergeSource::File(file) => file.records[self.cursors[f]].0.clone(),
+            MergeSource::Frame(view) => view.key_at(self.cursors[f]),
+        })
     }
 
-    /// `files[a]`'s cursor sorts before `files[b]`'s.
+    /// `sources[a]`'s cursor sorts before `sources[b]`'s. Frame keys
+    /// compare as packed bytes; mixed pairs compare through the
+    /// frame codec's `cmp_decoded`, which shares the same total order.
     fn less(&self, a: usize, b: usize) -> bool {
-        let ka = &self.files[a].records[self.cursors[a]].0;
-        let kb = &self.files[b].records[self.cursors[b]].0;
-        match ka.cmp(kb) {
-            std::cmp::Ordering::Less => true,
-            std::cmp::Ordering::Greater => false,
-            std::cmp::Ordering::Equal => a < b,
+        use std::cmp::Ordering;
+        let ord = match (&self.sources[a], &self.sources[b]) {
+            (MergeSource::File(fa), MergeSource::File(fb)) => fa.records[self.cursors[a]]
+                .0
+                .cmp(&fb.records[self.cursors[b]].0),
+            (MergeSource::Frame(va), MergeSource::Frame(vb)) => {
+                (va.key_codec().cmp)(va.key_bytes(self.cursors[a]), vb.key_bytes(self.cursors[b]))
+            }
+            (MergeSource::File(fa), MergeSource::Frame(vb)) => (vb.key_codec().cmp_decoded)(
+                &fa.records[self.cursors[a]].0,
+                vb.key_bytes(self.cursors[b]),
+            ),
+            (MergeSource::Frame(va), MergeSource::File(fb)) => (va.key_codec().cmp_decoded)(
+                &fb.records[self.cursors[b]].0,
+                va.key_bytes(self.cursors[a]),
+            )
+            .reverse(),
+        };
+        match ord {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => a < b,
         }
     }
 
@@ -691,11 +791,11 @@ impl<K: MrKey, V: MrValue> MergeIter<K, V> {
         }
     }
 
-    /// Advances the root file's cursor past the record just consumed
+    /// Advances the root source's cursor past the record just consumed
     /// and restores the heap.
     fn advance_root(&mut self) {
         let f = self.heap[0];
-        if self.cursors[f] < self.files[f].records.len() {
+        if self.cursors[f] < self.sources[f].len() {
             self.sift_down(0);
         } else {
             let last = self.heap.pop().expect("root exists");
@@ -711,47 +811,184 @@ impl<K: MrKey, V: MrValue> MergeIter<K, V> {
         self.consumed
     }
 
-    /// The next record in merged order, borrowed from its file.
+    /// The next record in merged order — borrowed from its file, or
+    /// decoded into a scratch slot when it comes from a frame.
     pub fn next_record(&mut self) -> Option<(&K, &V)> {
         let &f = self.heap.first()?;
         let idx = self.cursors[f];
         self.cursors[f] = idx + 1;
         self.consumed += 1;
         self.advance_root();
-        let (k, v) = &self.files[f].records[idx];
-        Some((k, v))
+        let decoded = match &self.sources[f] {
+            MergeSource::File(_) => None,
+            MergeSource::Frame(view) => Some((view.key_at(idx), view.value_at(idx))),
+        };
+        if let Some(rec) = decoded {
+            self.scratch = Some(rec);
+            let (k, v) = self.scratch.as_ref().expect("just set");
+            return Some((k, v));
+        }
+        match &self.sources[f] {
+            MergeSource::File(file) => {
+                let (k, v) = &file.records[idx];
+                Some((k, v))
+            }
+            MergeSource::Frame(_) => unreachable!("frame records return above"),
+        }
     }
 
-    /// The next key group: the smallest unconsumed key together with
-    /// *every* value of that key across all files, in (file order,
-    /// record order) — MapReduce guarantee 2 (§2.3). The values
-    /// borrow the iterator's reusable buffer and are valid until the
-    /// next call; only the group's values are cloned, never the whole
-    /// keyspace.
-    pub fn next_group(&mut self) -> Option<(&K, &[V])> {
-        self.group.clear();
-        let f0 = *self.heap.first()?;
+    /// Consumes the smallest unconsumed key's whole group: sets
+    /// `key_out` and appends every value (in source order, record
+    /// order) to `values`. Returns false when the merge is exhausted.
+    /// Shared engine of [`MergeIter::next_group`] and
+    /// [`MergeIter::fill_batch`].
+    fn gather_group(&mut self, key_out: &mut Option<K>, values: &mut Vec<V>) -> bool {
+        let Some(&f0) = self.heap.first() else {
+            return false;
+        };
         let i0 = self.cursors[f0];
+        // The group key, decoded/cloned exactly once per group.
+        let gkey: K = match &self.sources[f0] {
+            MergeSource::File(file) => file.records[i0].0.clone(),
+            MergeSource::Frame(view) => view.key_at(i0),
+        };
         while let Some(&f) = self.heap.first() {
             let idx = self.cursors[f];
-            // Split borrows: `files` read-only, `group` appended.
-            let records = &self.files[f].records;
-            let key = &self.files[f0].records[i0].0;
-            if records[idx].0 != *key {
-                break;
-            }
-            // Consume the whole run of `key` in this file without
-            // touching the heap (runs are contiguous in a sorted file).
-            let mut end = idx;
-            while end < records.len() && records[end].0 == *key {
-                self.group.push(records[end].1.clone());
-                end += 1;
-            }
+            // Consume the whole run of `gkey` in this source without
+            // touching the heap (runs are contiguous in a sorted
+            // source). Frame runs compare packed bytes; nothing but
+            // the matched values is decoded.
+            let end = match &self.sources[f] {
+                MergeSource::File(file) => {
+                    if file.records[idx].0 != gkey {
+                        break;
+                    }
+                    let mut end = idx;
+                    while end < file.records.len() && file.records[end].0 == gkey {
+                        values.push(file.records[end].1.clone());
+                        end += 1;
+                    }
+                    end
+                }
+                MergeSource::Frame(view) => {
+                    let kc = view.key_codec();
+                    if !(kc.cmp_decoded)(&gkey, view.key_bytes(idx)).is_eq() {
+                        break;
+                    }
+                    let mut end = idx;
+                    while end < view.records()
+                        && (kc.cmp_decoded)(&gkey, view.key_bytes(end)).is_eq()
+                    {
+                        values.push(view.value_at(end));
+                        end += 1;
+                    }
+                    end
+                }
+            };
             self.consumed += (end - idx) as u64;
             self.cursors[f] = end;
             self.advance_root();
         }
-        Some((&self.files[f0].records[i0].0, &self.group))
+        *key_out = Some(gkey);
+        true
+    }
+
+    /// The next key group: the smallest unconsumed key together with
+    /// *every* value of that key across all sources, in (source
+    /// order, record order) — MapReduce guarantee 2 (§2.3). The
+    /// values borrow the iterator's reusable buffer and are valid
+    /// until the next call; only the group's values are cloned (or
+    /// decoded), never the whole keyspace.
+    pub fn next_group(&mut self) -> Option<(&K, &[V])> {
+        // Detach the buffer so `gather_group` can borrow self mutably.
+        let mut group = std::mem::take(&mut self.group);
+        group.clear();
+        let mut key = None;
+        let found = self.gather_group(&mut key, &mut group);
+        self.group = group;
+        if !found {
+            return None;
+        }
+        self.group_key = key;
+        Some((self.group_key.as_ref().expect("gathered"), &self.group))
+    }
+
+    /// Fills `batch` with consecutive key groups until at least
+    /// `min_records` records are batched (always completing the group
+    /// in progress) or the merge is exhausted. Returns the number of
+    /// groups added; 0 means the merge is done. Batching amortizes
+    /// per-group heap restoration and cursor bookkeeping over a
+    /// cache-sized chunk of records instead of paying it per call.
+    pub fn fill_batch(&mut self, batch: &mut GroupBatch<K, V>, min_records: usize) -> usize {
+        batch.clear();
+        loop {
+            let mut key = None;
+            if !self.gather_group(&mut key, &mut batch.values) {
+                break;
+            }
+            batch.keys.push(key.expect("gathered"));
+            batch.ends.push(batch.values.len());
+            if batch.values.len() >= min_records {
+                break;
+            }
+        }
+        batch.keys.len()
+    }
+}
+
+/// A reusable batch of key groups drained from a [`MergeIter`]: flat
+/// value storage plus per-group end offsets, so refilling it does at
+/// most three buffer writes and zero per-group allocations once the
+/// buffers have grown to steady state.
+pub struct GroupBatch<K, V> {
+    keys: Vec<K>,
+    values: Vec<V>,
+    /// `values` offset one past each group's last value; group `i`
+    /// spans `ends[i-1]..ends[i]` (from 0 for the first).
+    ends: Vec<usize>,
+}
+
+impl<K, V> Default for GroupBatch<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> GroupBatch<K, V> {
+    pub fn new() -> Self {
+        GroupBatch {
+            keys: Vec::new(),
+            values: Vec::new(),
+            ends: Vec::new(),
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.values.clear();
+        self.ends.clear();
+    }
+
+    /// Number of key groups in the batch.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Total records across all groups in the batch.
+    pub fn records(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The batched groups, in merge order.
+    pub fn groups(&self) -> impl Iterator<Item = (&K, &[V])> {
+        self.keys.iter().enumerate().map(|(i, k)| {
+            let start = if i == 0 { 0 } else { self.ends[i - 1] };
+            (k, &self.values[start..self.ends[i]])
+        })
     }
 }
 
@@ -950,7 +1187,7 @@ mod tests {
         });
         let mut m = MergeIter::with_files([f1, f2]);
         assert_eq!(m.remaining(), 5);
-        assert_eq!(m.peek_key(), Some(&1));
+        assert_eq!(m.peek_key(), Some(1));
         let mut flat = Vec::new();
         while let Some((k, v)) = m.next_record() {
             flat.push((*k, *v));
@@ -980,6 +1217,108 @@ mod tests {
             vec![(1, vec![10, 11]), (2, vec![20]), (3, vec![30])]
         );
         assert!(m.next_group().is_none());
+    }
+
+    /// Encodes a file and reopens it as a zero-copy v3 frame.
+    fn as_frame(f: &MapOutputFile<u64, u64>) -> Smof3View<u64, u64> {
+        let bytes = crate::shuffle_file::encode_map_output(f).unwrap();
+        Smof3View::parse(Arc::new(bytes))
+            .unwrap()
+            .expect("u64 keys use v3")
+    }
+
+    #[test]
+    fn frame_cursors_merge_identically_to_file_cursors() {
+        let files = vec![
+            MapOutputFile {
+                records: vec![(1u64, 10u64), (1, 11), (3, 30)],
+                raw_count: 3,
+            },
+            MapOutputFile {
+                records: vec![(1, 12), (2, 20)],
+                raw_count: 2,
+            },
+            MapOutputFile {
+                records: Vec::new(),
+                raw_count: 0,
+            },
+        ];
+        let mut by_file = MergeIter::with_files(files.iter().cloned().map(Arc::new));
+        let mut by_frame = MergeIter::new();
+        for f in &files {
+            by_frame.push_frame(as_frame(f));
+        }
+        assert_eq!(by_frame.remaining(), by_file.remaining());
+        assert_eq!(by_frame.peek_key(), by_file.peek_key());
+        loop {
+            let a = by_file.next_group().map(|(k, vs)| (*k, vs.to_vec()));
+            let b = by_frame.next_group().map(|(k, vs)| (*k, vs.to_vec()));
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_file_and_frame_sources_keep_push_order_ties() {
+        let f1 = MapOutputFile {
+            records: vec![(1u64, 10u64), (2, 20)],
+            raw_count: 2,
+        };
+        let f2 = MapOutputFile {
+            records: vec![(1, 11), (2, 21)],
+            raw_count: 2,
+        };
+        // File first, frame second: ties must resolve in push order.
+        let mut m = MergeIter::new();
+        m.push_file(Arc::new(f1.clone()));
+        m.push_frame(as_frame(&f2));
+        let mut flat = Vec::new();
+        while let Some((k, v)) = m.next_record() {
+            flat.push((*k, *v));
+        }
+        assert_eq!(flat, vec![(1, 10), (1, 11), (2, 20), (2, 21)]);
+        // And in the opposite push order, the frame's values lead.
+        let mut m = MergeIter::new();
+        m.push_frame(as_frame(&f2));
+        m.push_file(Arc::new(f1));
+        let mut flat = Vec::new();
+        while let Some((k, v)) = m.next_record() {
+            flat.push((*k, *v));
+        }
+        assert_eq!(flat, vec![(1, 11), (1, 10), (2, 21), (2, 20)]);
+    }
+
+    #[test]
+    fn fill_batch_drains_same_groups_as_next_group() {
+        let files: Vec<MapOutputFile<u64, u64>> = (0..4)
+            .map(|f| MapOutputFile {
+                records: (0..50u64).map(|i| (i * 2 + f % 2, i + f)).collect(),
+                raw_count: 50,
+            })
+            .collect();
+        let mut one_by_one = MergeIter::with_files(files.iter().cloned().map(Arc::new));
+        let mut expected = Vec::new();
+        while let Some((k, vs)) = one_by_one.next_group() {
+            expected.push((*k, vs.to_vec()));
+        }
+        for min_records in [1, 7, 64, 100_000] {
+            let mut merge = MergeIter::new();
+            for f in &files {
+                merge.push_frame(as_frame(f));
+            }
+            let mut batch = GroupBatch::new();
+            let mut got = Vec::new();
+            while merge.fill_batch(&mut batch, min_records) > 0 {
+                assert!(batch.records() >= min_records || merge.remaining() == 0);
+                for (k, vs) in batch.groups() {
+                    got.push((*k, vs.to_vec()));
+                }
+            }
+            assert_eq!(got, expected, "min_records {min_records}");
+            assert_eq!(merge.fill_batch(&mut batch, 1), 0, "exhausted");
+        }
     }
 
     #[test]

@@ -8,16 +8,43 @@
 //! contents of the files containing its intermediate data **without
 //! having to read and parse those files**."
 //!
-//! Layout (little-endian), version 2:
+//! Both layouts share a 24-byte prefix (little-endian) so the
+//! annotation read never depends on the version:
 //!
 //! ```text
 //! magic    b"SMOF"
 //! version  u32
 //! raw      u64   <- the annotation: raw ⟨k,v⟩ pairs represented
 //! records  u64   <- ⟨k′,v′⟩ records that follow
+//! ```
+//!
+//! Version 2 (variable-width records) continues:
+//!
+//! ```text
 //! crc      u32   <- CRC-32 (IEEE) of the payload bytes
 //! payload  records × (key, value) in WireFormat encoding
 //! ```
+//!
+//! Version 3 (fixed-width records, mmap-friendly) continues:
+//!
+//! ```text
+//! key_width  u32   <- packed key bytes per record
+//! val_width  u32   <- packed value bytes per record
+//! index_len  u32   <- key-offset index entries
+//! crc        u32   <- CRC-32 (IEEE) of index + payload bytes
+//! index      index_len × (key bytes, record offset u64)
+//! payload    records × (key bytes ++ value bytes), no framing
+//! ```
+//!
+//! v3 is chosen automatically when both key and value expose a
+//! [`FixedCodec`] and every record packs to
+//! the same widths (fixed-arity coordinate keyspaces always do).
+//! Records then live at `payload_off + i × (key_width + val_width)`,
+//! so a reader can address record `i` — or binary-search the sparse
+//! key-offset index (one entry every [`INDEX_INTERVAL`] records) to
+//! seek a keyrange — without decoding any predecessor. That is what
+//! lets [`Smof3View`](crate::smof3::Smof3View) merge records straight
+//! out of the file bytes.
 //!
 //! Version 2 added the CRC frame: a fetch of a corrupted or truncated
 //! file fails with [`MrError::CorruptShuffle`] *before* any record is
@@ -33,21 +60,53 @@ use std::path::Path;
 use crate::error::MrError;
 use crate::shuffle::MapOutputFile;
 use crate::task::{MrKey, MrValue};
-use crate::wire::WireFormat;
+use crate::wire::{FixedCodec, WireFormat};
 use crate::Result;
 
-const MAGIC: [u8; 4] = *b"SMOF";
-const VERSION: u32 = 2;
-const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 4;
+pub(crate) const MAGIC: [u8; 4] = *b"SMOF";
+pub const VERSION_V2: u32 = 2;
+pub const VERSION_V3: u32 = 3;
+/// The version-independent prefix: magic, version, raw, records.
+pub(crate) const PREFIX_LEN: usize = 4 + 4 + 8 + 8;
+const V2_HEADER_LEN: usize = PREFIX_LEN + 4;
+pub(crate) const V3_HEADER_LEN: usize = PREFIX_LEN + 4 + 4 + 4 + 4;
+/// One sparse key-offset index entry per this many records (plus one
+/// for record 0). Seeking a keyrange costs one binary search over the
+/// index and at most this many direct record probes.
+pub const INDEX_INTERVAL: usize = 256;
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes`. Table
-/// driven; the table is built on first use.
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes`.
+/// Slice-by-8: eight lookup tables consume 8 input bytes per step,
+/// with a byte-at-a-time tail. Same digests as the classic
+/// byte-at-a-time form — this sits on every shuffle fetch and SMOF
+/// encode, so the inner loop matters.
 pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = crc_tables();
+    let mut crc = !0u32;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes(c[0..4].try_into().expect("len 4")) ^ crc;
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][c[4] as usize]
+            ^ t[2][c[5] as usize]
+            ^ t[1][c[6] as usize]
+            ^ t[0][c[7] as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = t[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+fn crc_tables() -> &'static [[u32; 256]; 8] {
     use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, slot) in table.iter_mut().enumerate() {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (i, slot) in t[0].iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 {
@@ -58,62 +117,144 @@ pub fn crc32(bytes: &[u8]) -> u32 {
             }
             *slot = c;
         }
-        table
-    });
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
-    }
-    !crc
+        for k in 1..8 {
+            let (done, rest) = t.split_at_mut(k);
+            let (t0, prev) = (&done[0], &done[k - 1]);
+            for (slot, &p) in rest[0].iter_mut().zip(prev.iter()) {
+                *slot = t0[(p & 0xFF) as usize] ^ (p >> 8);
+            }
+        }
+        t
+    })
 }
 
 /// Encodes one map-output file into a self-contained SMOF byte buffer
 /// (header + CRC frame + payload) — the exact bytes
 /// [`write_map_output`] puts on disk, and what travels inside a raw
-/// frame when a worker serves a shuffle fetch over TCP.
-pub fn encode_map_output<K, V>(file: &MapOutputFile<K, V>) -> Vec<u8>
+/// frame when a worker serves a shuffle fetch over TCP. Emits the v3
+/// fixed-width layout when the key/value types support it, v2
+/// otherwise.
+pub fn encode_map_output<K, V>(file: &MapOutputFile<K, V>) -> Result<Vec<u8>>
+where
+    K: MrKey + WireFormat,
+    V: MrValue + WireFormat,
+{
+    if let (Some(kc), Some(vc)) = (K::fixed_codec(), V::fixed_codec()) {
+        if let Some(out) = encode_map_output_v3(file, &kc, &vc) {
+            return Ok(out);
+        }
+    }
+    encode_map_output_v2(file)
+}
+
+/// Encodes the v2 (variable-width, per-record `WireFormat`) layout
+/// unconditionally. Kept public as the compatibility encoder: decoders
+/// must keep accepting it, and the v3 property tests cross-check
+/// against it.
+pub fn encode_map_output_v2<K, V>(file: &MapOutputFile<K, V>) -> Result<Vec<u8>>
 where
     K: MrKey + WireFormat,
     V: MrValue + WireFormat,
 {
     let mut payload = Vec::new();
     for (k, v) in &file.records {
-        k.encode(&mut payload);
-        v.encode(&mut payload);
+        k.encode(&mut payload)?;
+        v.encode(&mut payload)?;
     }
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    let mut out = Vec::with_capacity(V2_HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&VERSION_V2.to_le_bytes());
     out.extend_from_slice(&file.raw_count.to_le_bytes());
     out.extend_from_slice(&(file.records.len() as u64).to_le_bytes());
     out.extend_from_slice(&crc32(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
-    out
+    Ok(out)
 }
 
-/// Decodes a SMOF byte buffer, verifying the CRC frame before decoding
-/// a single record — the fetching side of the over-TCP shuffle path.
-/// Corruption, truncation and trailing bytes all surface as
-/// [`MrError::CorruptShuffle`].
+/// v3 layout, or `None` when this particular file can't use it (mixed
+/// widths across records — e.g. coords of different rank).
+fn encode_map_output_v3<K, V>(
+    file: &MapOutputFile<K, V>,
+    kc: &FixedCodec<K>,
+    vc: &FixedCodec<V>,
+) -> Option<Vec<u8>>
+where
+    K: MrKey,
+    V: MrValue,
+{
+    let (kw, vw) = match file.records.first() {
+        Some((k, v)) => ((kc.width)(k), (vc.width)(v)),
+        None => (0, 0),
+    };
+    if kw + vw == 0 && !file.records.is_empty() {
+        return None; // zero-width rows can't be addressed by offset
+    }
+    if file
+        .records
+        .iter()
+        .any(|(k, v)| (kc.width)(k) != kw || (vc.width)(v) != vw)
+    {
+        return None;
+    }
+    // Index and payload are written contiguously so the CRC covers
+    // both in one pass.
+    let mut index_len = 0u32;
+    let mut body = Vec::with_capacity(file.records.len() * (kw + vw));
+    for (i, (k, _)) in file.records.iter().enumerate().step_by(INDEX_INTERVAL) {
+        (kc.write)(k, &mut body);
+        body.extend_from_slice(&(i as u64).to_le_bytes());
+        index_len += 1;
+    }
+    for (k, v) in &file.records {
+        (kc.write)(k, &mut body);
+        (vc.write)(v, &mut body);
+    }
+    let mut out = Vec::with_capacity(V3_HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION_V3.to_le_bytes());
+    out.extend_from_slice(&file.raw_count.to_le_bytes());
+    out.extend_from_slice(&(file.records.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(kw as u32).to_le_bytes());
+    out.extend_from_slice(&(vw as u32).to_le_bytes());
+    out.extend_from_slice(&index_len.to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    Some(out)
+}
+
+/// Decodes a SMOF byte buffer (either version), verifying the CRC
+/// frame before decoding a single record — the fetching side of the
+/// over-TCP shuffle path. Corruption, truncation and trailing bytes
+/// all surface as [`MrError::CorruptShuffle`].
 pub fn decode_map_output<K, V>(bytes: &[u8]) -> Result<MapOutputFile<K, V>>
 where
     K: MrKey + WireFormat,
     V: MrValue + WireFormat,
 {
-    if bytes.len() < HEADER_LEN {
+    let prefix = parse_prefix(bytes)?;
+    match prefix.version {
+        VERSION_V3 => decode_v3(bytes),
+        _ => decode_v2(bytes, &prefix),
+    }
+}
+
+fn decode_v2<K, V>(bytes: &[u8], prefix: &Prefix) -> Result<MapOutputFile<K, V>>
+where
+    K: MrKey + WireFormat,
+    V: MrValue + WireFormat,
+{
+    if bytes.len() < V2_HEADER_LEN {
         return Err(MrError::CorruptShuffle {
             detail: "map-output file shorter than header".into(),
         });
     }
-    let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("len checked");
-    let h = parse_header(header)?;
-    let payload = &bytes[HEADER_LEN..];
+    let crc = u32::from_le_bytes(bytes[24..28].try_into().expect("len 4"));
+    let payload = &bytes[V2_HEADER_LEN..];
     let actual_crc = crc32(payload);
-    if actual_crc != h.crc {
+    if actual_crc != crc {
         return Err(MrError::CorruptShuffle {
             detail: format!(
-                "payload CRC {actual_crc:#010x} != header CRC {:#010x} ({} payload bytes)",
-                h.crc,
+                "payload CRC {actual_crc:#010x} != header CRC {crc:#010x} ({} payload bytes)",
                 payload.len()
             ),
         });
@@ -121,20 +262,175 @@ where
     let mut buf = payload;
     // Cap the pre-allocation: a corrupt count field must not trigger a
     // huge allocation before decoding fails.
-    let mut records = Vec::with_capacity((h.records as usize).min(1 << 20));
-    for _ in 0..h.records {
+    let mut records = Vec::with_capacity((prefix.records as usize).min(1 << 20));
+    for _ in 0..prefix.records {
         let k = K::decode(&mut buf)?;
         let v = V::decode(&mut buf)?;
         records.push((k, v));
     }
     if !buf.is_empty() {
         return Err(MrError::CorruptShuffle {
-            detail: format!("{} trailing bytes after {} records", buf.len(), h.records),
+            detail: format!(
+                "{} trailing bytes after {} records",
+                buf.len(),
+                prefix.records
+            ),
         });
     }
     Ok(MapOutputFile {
         records,
-        raw_count: h.raw,
+        raw_count: prefix.raw,
+    })
+}
+
+fn decode_v3<K, V>(bytes: &[u8]) -> Result<MapOutputFile<K, V>>
+where
+    K: MrKey + WireFormat,
+    V: MrValue + WireFormat,
+{
+    let (Some(kc), Some(vc)) = (K::fixed_codec(), V::fixed_codec()) else {
+        return Err(MrError::CorruptShuffle {
+            detail: "v3 map-output file for a type without a fixed codec".into(),
+        });
+    };
+    let meta = parse_v3_meta(bytes)?;
+    let row = meta.key_width + meta.val_width;
+    let payload = &bytes[meta.payload_off..];
+    let mut records = Vec::with_capacity(meta.records.min(1 << 20));
+    for i in 0..meta.records {
+        let off = i * row;
+        records.push((
+            (kc.read)(&payload[off..off + meta.key_width]),
+            (vc.read)(&payload[off + meta.key_width..off + row]),
+        ));
+    }
+    Ok(MapOutputFile {
+        records,
+        raw_count: meta.raw,
+    })
+}
+
+pub(crate) struct Prefix {
+    pub version: u32,
+    pub raw: u64,
+    pub records: u64,
+}
+
+/// Parses the 24-byte version-independent prefix. This is all the
+/// annotation path ever reads.
+pub(crate) fn parse_prefix(bytes: &[u8]) -> Result<Prefix> {
+    if bytes.len() < PREFIX_LEN {
+        return Err(MrError::CorruptShuffle {
+            detail: "map-output file shorter than header".into(),
+        });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(MrError::CorruptShuffle {
+            detail: format!("not a map-output file (magic {:?})", &bytes[..4]),
+        });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("len 4"));
+    if version != VERSION_V2 && version != VERSION_V3 {
+        return Err(MrError::CorruptShuffle {
+            detail: format!("unknown map-output version {version}"),
+        });
+    }
+    Ok(Prefix {
+        version,
+        raw: u64::from_le_bytes(bytes[8..16].try_into().expect("len 8")),
+        records: u64::from_le_bytes(bytes[16..24].try_into().expect("len 8")),
+    })
+}
+
+/// Validated v3 geometry: where the index and payload live inside the
+/// buffer. Produced only after the magic, version, length arithmetic,
+/// CRC, and index invariants have all checked out, so downstream
+/// record addressing can use plain slicing.
+pub(crate) struct V3Meta {
+    pub raw: u64,
+    pub records: usize,
+    pub key_width: usize,
+    pub val_width: usize,
+    pub index_len: usize,
+    pub index_off: usize,
+    pub payload_off: usize,
+}
+
+pub(crate) fn parse_v3_meta(bytes: &[u8]) -> Result<V3Meta> {
+    let corrupt = |detail: String| MrError::CorruptShuffle { detail };
+    let prefix = parse_prefix(bytes)?;
+    if prefix.version != VERSION_V3 {
+        return Err(corrupt(format!("expected v3, found v{}", prefix.version)));
+    }
+    if bytes.len() < V3_HEADER_LEN {
+        return Err(corrupt("v3 map-output file shorter than header".into()));
+    }
+    let key_width = u32::from_le_bytes(bytes[24..28].try_into().expect("len 4")) as usize;
+    let val_width = u32::from_le_bytes(bytes[28..32].try_into().expect("len 4")) as usize;
+    let index_len = u32::from_le_bytes(bytes[32..36].try_into().expect("len 4")) as usize;
+    let crc = u32::from_le_bytes(bytes[36..40].try_into().expect("len 4"));
+    let records = usize::try_from(prefix.records)
+        .map_err(|_| corrupt(format!("record count {} overflows", prefix.records)))?;
+    let row = key_width + val_width;
+    if records > 0 && row == 0 {
+        return Err(corrupt(format!("{records} records of zero width")));
+    }
+    let entry = key_width + 8;
+    let index_bytes = index_len
+        .checked_mul(entry)
+        .ok_or_else(|| corrupt("index size overflows".into()))?;
+    let payload_bytes = records
+        .checked_mul(row)
+        .ok_or_else(|| corrupt("payload size overflows".into()))?;
+    let expected = V3_HEADER_LEN
+        .checked_add(index_bytes)
+        .and_then(|n| n.checked_add(payload_bytes))
+        .ok_or_else(|| corrupt("file size overflows".into()))?;
+    if bytes.len() != expected {
+        return Err(corrupt(format!(
+            "file is {} bytes, geometry implies {expected}",
+            bytes.len()
+        )));
+    }
+    let body = &bytes[V3_HEADER_LEN..];
+    let actual_crc = crc32(body);
+    if actual_crc != crc {
+        return Err(corrupt(format!(
+            "body CRC {actual_crc:#010x} != header CRC {crc:#010x} ({} body bytes)",
+            body.len()
+        )));
+    }
+    let index_off = V3_HEADER_LEN;
+    let payload_off = index_off + index_bytes;
+    // The index must point at real records, in order, and each entry's
+    // key bytes must match the record it points at (byte equality is
+    // value equality for fixed-width encodings).
+    let mut prev: Option<u64> = None;
+    for e in 0..index_len {
+        let at = index_off + e * entry;
+        let rec = u64::from_le_bytes(bytes[at + key_width..at + entry].try_into().expect("len 8"));
+        if rec >= records as u64 {
+            return Err(corrupt(format!(
+                "index entry {e} points at record {rec} of {records}"
+            )));
+        }
+        if prev.is_some_and(|p| rec <= p) {
+            return Err(corrupt(format!("index entry {e} out of order")));
+        }
+        prev = Some(rec);
+        let rec_key = payload_off + rec as usize * row;
+        if bytes[at..at + key_width] != bytes[rec_key..rec_key + key_width] {
+            return Err(corrupt(format!("index entry {e} key mismatch")));
+        }
+    }
+    Ok(V3Meta {
+        raw: prefix.raw,
+        records,
+        key_width,
+        val_width,
+        index_len,
+        index_off,
+        payload_off,
     })
 }
 
@@ -144,47 +440,23 @@ where
     K: MrKey + WireFormat,
     V: MrValue + WireFormat,
 {
-    let bytes = encode_map_output(file);
+    let bytes = encode_map_output(file)?;
     let mut out = BufWriter::new(File::create(path).map_err(io_err)?);
     out.write_all(&bytes).map_err(io_err)?;
     out.flush().map_err(io_err)?;
     Ok(())
 }
 
-/// Reads *only* the header: `(raw_count, record_count)` — the
-/// annotation tally path that lets a Reduce task understand its data
-/// "at the logical level" without parsing it (§3.2.1).
+/// Reads *only* the version-independent prefix: `(raw_count,
+/// record_count)` — the annotation tally path that lets a Reduce task
+/// understand its data "at the logical level" without parsing it
+/// (§3.2.1).
 pub fn read_annotation(path: impl AsRef<Path>) -> Result<(u64, u64)> {
     let mut file = File::open(path).map_err(io_err)?;
-    let mut header = [0u8; HEADER_LEN];
-    file.read_exact(&mut header).map_err(io_err)?;
-    let h = parse_header(&header)?;
-    Ok((h.raw, h.records))
-}
-
-struct Header {
-    raw: u64,
-    records: u64,
-    crc: u32,
-}
-
-fn parse_header(header: &[u8; HEADER_LEN]) -> Result<Header> {
-    if header[..4] != MAGIC {
-        return Err(MrError::CorruptShuffle {
-            detail: format!("not a map-output file (magic {:?})", &header[..4]),
-        });
-    }
-    let version = u32::from_le_bytes(header[4..8].try_into().expect("len 4"));
-    if version != VERSION {
-        return Err(MrError::CorruptShuffle {
-            detail: format!("unknown map-output version {version}"),
-        });
-    }
-    Ok(Header {
-        raw: u64::from_le_bytes(header[8..16].try_into().expect("len 8")),
-        records: u64::from_le_bytes(header[16..24].try_into().expect("len 8")),
-        crc: u32::from_le_bytes(header[24..28].try_into().expect("len 4")),
-    })
+    let mut prefix = [0u8; PREFIX_LEN];
+    file.read_exact(&mut prefix).map_err(io_err)?;
+    let p = parse_prefix(&prefix)?;
+    Ok((p.raw, p.records))
 }
 
 /// Reads a complete map-output file back, verifying the CRC frame
@@ -202,17 +474,22 @@ where
 }
 
 /// Flips one payload byte in the file at `path` (fault injection: a
-/// silently corrupted intermediate file). Files with no payload get a
-/// corrupted record-count field instead, so the damage is always
-/// CRC-detectable.
+/// silently corrupted intermediate file). Files with no payload get
+/// their stored CRC flipped instead, so the damage is always
+/// CRC-detectable whichever layout version the file uses.
 pub fn corrupt_payload(path: impl AsRef<Path>) -> Result<()> {
     let path = path.as_ref();
     let mut bytes = std::fs::read(path).map_err(io_err)?;
-    if bytes.len() > HEADER_LEN {
+    let prefix = parse_prefix(&bytes)?;
+    let (header_len, crc_off) = match prefix.version {
+        VERSION_V3 => (V3_HEADER_LEN, 36),
+        _ => (V2_HEADER_LEN, 24),
+    };
+    if bytes.len() > header_len {
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
-    } else if bytes.len() >= HEADER_LEN {
-        bytes[24] ^= 0xFF; // no payload to flip: damage the stored CRC itself
+    } else if bytes.len() >= header_len {
+        bytes[crc_off] ^= 0xFF; // no payload to flip: damage the stored CRC itself
     } else {
         return Err(MrError::CorruptShuffle {
             detail: "cannot corrupt a file shorter than its header".into(),
@@ -228,11 +505,7 @@ pub fn corrupt_payload(path: impl AsRef<Path>) -> Result<()> {
 pub fn truncate_payload(path: impl AsRef<Path>) -> Result<()> {
     let path = path.as_ref();
     let bytes = std::fs::read(path).map_err(io_err)?;
-    let keep = if bytes.len() > HEADER_LEN + 1 {
-        bytes.len() - 1
-    } else {
-        bytes.len().saturating_sub(1)
-    };
+    let keep = bytes.len().saturating_sub(1);
     std::fs::write(path, &bytes[..keep]).map_err(io_err)?;
     Ok(())
 }
@@ -263,10 +536,41 @@ mod tests {
         }
     }
 
+    /// Variable-width records (String keys have no fixed codec), so
+    /// these files exercise the v2 path through the public API.
+    fn sample_v2() -> MapOutputFile<String, f64> {
+        MapOutputFile {
+            records: vec![("apsu".to_string(), 1.5), ("tiamat".to_string(), -2.25)],
+            raw_count: 7,
+        }
+    }
+
     #[test]
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    /// Byte-at-a-time reference: the pre-slice-by-8 implementation,
+    /// kept to pin the optimized loop to the same digests.
+    fn crc32_bytewise(bytes: &[u8]) -> u32 {
+        let t = &crc_tables()[0];
+        let mut crc = !0u32;
+        for &b in bytes {
+            crc = t[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        }
+        !crc
+    }
+
+    #[test]
+    fn crc32_slice_by_8_matches_bytewise_reference() {
+        let mut rng = rand::SplitMix64::seed_from_u64(0x51D2);
+        // All lengths through several 8-byte blocks, so every tail
+        // shape (0..=7 remainder bytes) is hit, plus larger buffers.
+        for len in (0..64).chain([255, 256, 4096, 10_000]) {
+            let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            assert_eq!(crc32(&data), crc32_bytewise(&data), "len {len}");
+        }
     }
 
     #[test]
@@ -275,7 +579,7 @@ mod tests {
         let f = sample();
         write_map_output(&path, &f).unwrap();
         let disk = std::fs::read(&path).unwrap();
-        let encoded = encode_map_output(&f);
+        let encoded = encode_map_output(&f).unwrap();
         assert_eq!(encoded, disk, "encode must produce the on-disk bytes");
         let back: MapOutputFile<Coord, f64> = decode_map_output(&encoded).unwrap();
         assert_eq!(back.records, f.records);
@@ -289,6 +593,50 @@ mod tests {
             Err(MrError::CorruptShuffle { .. })
         ));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn coord_files_use_v3_and_decode_back() {
+        let encoded = encode_map_output(&sample()).unwrap();
+        let prefix = parse_prefix(&encoded).unwrap();
+        assert_eq!(prefix.version, VERSION_V3);
+        let meta = parse_v3_meta(&encoded).unwrap();
+        assert_eq!((meta.key_width, meta.val_width), (16, 8));
+        assert_eq!(meta.records, 3);
+        assert_eq!(meta.index_len, 1); // 3 records < INDEX_INTERVAL
+        let back: MapOutputFile<Coord, f64> = decode_map_output(&encoded).unwrap();
+        assert_eq!(back.records, sample().records);
+    }
+
+    #[test]
+    fn v2_encoder_still_accepted_by_decoder() {
+        let f = sample();
+        let encoded = encode_map_output_v2(&f).unwrap();
+        assert_eq!(parse_prefix(&encoded).unwrap().version, VERSION_V2);
+        let back: MapOutputFile<Coord, f64> = decode_map_output(&encoded).unwrap();
+        assert_eq!(back.records, f.records);
+        assert_eq!(back.raw_count, f.raw_count);
+    }
+
+    #[test]
+    fn variable_width_types_fall_back_to_v2() {
+        let f = sample_v2();
+        let encoded = encode_map_output(&f).unwrap();
+        assert_eq!(parse_prefix(&encoded).unwrap().version, VERSION_V2);
+        let back: MapOutputFile<String, f64> = decode_map_output(&encoded).unwrap();
+        assert_eq!(back.records, f.records);
+    }
+
+    #[test]
+    fn mixed_rank_coords_fall_back_to_v2() {
+        let f = MapOutputFile {
+            records: vec![(Coord::from([1]), 1.0), (Coord::from([1, 2]), 2.0)],
+            raw_count: 2,
+        };
+        let encoded = encode_map_output(&f).unwrap();
+        assert_eq!(parse_prefix(&encoded).unwrap().version, VERSION_V2);
+        let back: MapOutputFile<Coord, f64> = decode_map_output(&encoded).unwrap();
+        assert_eq!(back.records, f.records);
     }
 
     #[test]
@@ -306,10 +654,11 @@ mod tests {
     fn annotation_read_is_header_only() {
         let path = temp_path("annotation");
         write_map_output(&path, &sample()).unwrap();
-        // Truncate the payload: the annotation must still be readable
-        // (it never touches the records).
+        // Cut the file down to the version-independent prefix: the
+        // annotation must still be readable (it never touches the
+        // records, nor even the version-specific header fields).
         let full = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &full[..HEADER_LEN]).unwrap();
+        std::fs::write(&path, &full[..PREFIX_LEN]).unwrap();
         let (raw, records) = read_annotation(&path).unwrap();
         assert_eq!((raw, records), (12, 3));
         // But a full read of the truncated file fails loudly — and as
@@ -369,5 +718,40 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         assert!(read_map_output::<Coord, f64>(&path).is_err());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v3_index_tampering_detected() {
+        let f = MapOutputFile {
+            records: (0..600u64).map(|i| (Coord::from([i]), i as f64)).collect(),
+            raw_count: 600,
+        };
+        let encoded = encode_map_output(&f).unwrap();
+        let meta = parse_v3_meta(&encoded).unwrap();
+        assert_eq!(meta.index_len, 3); // records 0, 256, 512
+                                       // Point the second index entry at the wrong record and re-seal
+                                       // the CRC: the key-mismatch check must still reject it.
+        let mut bad = encoded.clone();
+        let entry = meta.key_width + 8;
+        let off = meta.index_off + entry + meta.key_width;
+        bad[off..off + 8].copy_from_slice(&300u64.to_le_bytes());
+        let crc = crc32(&bad[V3_HEADER_LEN..]);
+        bad[36..40].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            parse_v3_meta(&bad),
+            Err(MrError::CorruptShuffle { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_file_roundtrips_as_v3() {
+        let f = MapOutputFile::<Coord, f64> {
+            records: Vec::new(),
+            raw_count: 0,
+        };
+        let encoded = encode_map_output(&f).unwrap();
+        assert_eq!(encoded.len(), V3_HEADER_LEN);
+        let back: MapOutputFile<Coord, f64> = decode_map_output(&encoded).unwrap();
+        assert!(back.records.is_empty());
     }
 }

@@ -3,6 +3,14 @@
 //! Map-output files live on TaskTracker disks and cross the network
 //! during the shuffle (§2.3), so intermediate keys and values need a
 //! byte encoding. Little-endian, length-prefixed where variable.
+//!
+//! Types whose encoding is *fixed-width within one file* (numerics,
+//! and `Coord` within a fixed-arity keyspace) additionally expose a
+//! [`FixedCodec`]: a bundle of fn pointers that lets the SMOF v3
+//! layout pack records back-to-back with no per-record framing, and
+//! lets merge cursors compare keys directly on the encoded bytes.
+
+use std::cmp::Ordering;
 
 use bytes::{Buf, BufMut};
 
@@ -11,11 +19,51 @@ use crate::Result;
 
 /// A type that can cross the shuffle on disk / the wire.
 pub trait WireFormat: Sized {
-    /// Appends the encoding of `self` to `out`.
-    fn encode(&self, out: &mut Vec<u8>);
+    /// Appends the encoding of `self` to `out`. Fails with
+    /// [`MrError::EncodeOverflow`] when a value is too large for its
+    /// length prefix, instead of silently truncating it.
+    fn encode(&self, out: &mut Vec<u8>) -> Result<()>;
     /// Decodes one value from the front of `buf`, advancing it.
     fn decode(buf: &mut &[u8]) -> Result<Self>;
+    /// Fixed-width fast path, when the type has one (see
+    /// [`FixedCodec`]). `None` means every record must go through
+    /// `encode`/`decode`; SMOF then stays on the v2 layout.
+    fn fixed_codec() -> Option<FixedCodec<Self>> {
+        None
+    }
 }
+
+/// Fixed-width binary codec for a [`WireFormat`] type: width, raw
+/// read/write, and order comparisons that work directly on encoded
+/// bytes. Plain fn pointers (not a trait object) so views and merge
+/// cursors can capture it by value with no allocation or vtable.
+///
+/// Contract: for values of equal `width`, `cmp` on encoded bytes must
+/// agree with the type's `Ord` (or total order, for floats), and byte
+/// equality must coincide with value equality.
+pub struct FixedCodec<T> {
+    /// Encoded width of this value in bytes. Constant per value; a
+    /// file is eligible for the fixed layout only when all its
+    /// records agree.
+    pub width: fn(&T) -> usize,
+    /// Appends exactly `width(v)` bytes.
+    pub write: fn(&T, &mut Vec<u8>),
+    /// Decodes from exactly one encoded value's bytes.
+    pub read: fn(&[u8]) -> T,
+    /// Total order on encoded bytes.
+    pub cmp: fn(&[u8], &[u8]) -> Ordering,
+    /// Total order between a decoded value and encoded bytes.
+    pub cmp_decoded: fn(&T, &[u8]) -> Ordering,
+}
+
+// fn pointers are Copy no matter what `T` is; derive would demand
+// `T: Clone`/`T: Copy` bounds the codec doesn't need.
+impl<T> Clone for FixedCodec<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for FixedCodec<T> {}
 
 fn need(buf: &&[u8], n: usize) -> Result<()> {
     if buf.remaining() < n {
@@ -27,31 +75,53 @@ fn need(buf: &&[u8], n: usize) -> Result<()> {
     Ok(())
 }
 
+fn len_prefix(what: &'static str, len: usize) -> Result<u32> {
+    u32::try_from(len).map_err(|_| MrError::EncodeOverflow { what, len })
+}
+
 macro_rules! impl_wire_num {
-    ($t:ty, $get:ident, $put:ident) => {
+    ($t:ty, $get:ident, $put:ident, $cmp:expr) => {
         impl WireFormat for $t {
-            fn encode(&self, out: &mut Vec<u8>) {
+            fn encode(&self, out: &mut Vec<u8>) -> Result<()> {
                 out.$put(*self);
+                Ok(())
             }
             fn decode(buf: &mut &[u8]) -> Result<Self> {
                 need(buf, std::mem::size_of::<$t>())?;
                 Ok(buf.$get())
             }
+            fn fixed_codec() -> Option<FixedCodec<Self>> {
+                fn read_one(b: &[u8]) -> $t {
+                    <$t>::from_le_bytes(
+                        b[..std::mem::size_of::<$t>()]
+                            .try_into()
+                            .expect("fixed width"),
+                    )
+                }
+                Some(FixedCodec {
+                    width: |_| std::mem::size_of::<$t>(),
+                    write: |v, out| out.extend_from_slice(&v.to_le_bytes()),
+                    read: read_one,
+                    cmp: |a, b| $cmp(&read_one(a), &read_one(b)),
+                    cmp_decoded: |v, b| $cmp(v, &read_one(b)),
+                })
+            }
         }
     };
 }
 
-impl_wire_num!(u32, get_u32_le, put_u32_le);
-impl_wire_num!(u64, get_u64_le, put_u64_le);
-impl_wire_num!(i32, get_i32_le, put_i32_le);
-impl_wire_num!(i64, get_i64_le, put_i64_le);
-impl_wire_num!(f32, get_f32_le, put_f32_le);
-impl_wire_num!(f64, get_f64_le, put_f64_le);
+impl_wire_num!(u32, get_u32_le, put_u32_le, Ord::cmp);
+impl_wire_num!(u64, get_u64_le, put_u64_le, Ord::cmp);
+impl_wire_num!(i32, get_i32_le, put_i32_le, Ord::cmp);
+impl_wire_num!(i64, get_i64_le, put_i64_le, Ord::cmp);
+impl_wire_num!(f32, get_f32_le, put_f32_le, f32::total_cmp);
+impl_wire_num!(f64, get_f64_le, put_f64_le, f64::total_cmp);
 
 impl WireFormat for String {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.put_u32_le(self.len() as u32);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<()> {
+        out.put_u32_le(len_prefix("string", self.len())?);
         out.extend_from_slice(self.as_bytes());
+        Ok(())
     }
     fn decode(buf: &mut &[u8]) -> Result<Self> {
         need(buf, 4)?;
@@ -66,11 +136,12 @@ impl WireFormat for String {
 }
 
 impl WireFormat for sidr_coords::Coord {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.put_u32_le(self.rank() as u32);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<()> {
+        out.put_u32_le(len_prefix("coord rank", self.rank())?);
         for &c in self.components() {
             out.put_u64_le(c);
         }
+        Ok(())
     }
     fn decode(buf: &mut &[u8]) -> Result<Self> {
         need(buf, 4)?;
@@ -79,12 +150,22 @@ impl WireFormat for sidr_coords::Coord {
         let comps: Vec<u64> = (0..rank).map(|_| buf.get_u64_le()).collect();
         Ok(sidr_coords::Coord::new(comps))
     }
+    fn fixed_codec() -> Option<FixedCodec<Self>> {
+        use sidr_coords::Coord;
+        Some(FixedCodec {
+            width: Coord::packed_width,
+            write: Coord::write_packed,
+            read: Coord::from_packed,
+            cmp: Coord::cmp_packed,
+            cmp_decoded: Coord::cmp_decoded_packed,
+        })
+    }
 }
 
 impl<A: WireFormat, B: WireFormat> WireFormat for (A, B) {
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.0.encode(out);
-        self.1.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<()> {
+        self.0.encode(out)?;
+        self.1.encode(out)
     }
     fn decode(buf: &mut &[u8]) -> Result<Self> {
         Ok((A::decode(buf)?, B::decode(buf)?))
@@ -92,11 +173,12 @@ impl<A: WireFormat, B: WireFormat> WireFormat for (A, B) {
 }
 
 impl<T: WireFormat> WireFormat for Vec<T> {
-    fn encode(&self, out: &mut Vec<u8>) {
-        out.put_u32_le(self.len() as u32);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<()> {
+        out.put_u32_le(len_prefix("sequence", self.len())?);
         for item in self {
-            item.encode(out);
+            item.encode(out)?;
         }
+        Ok(())
     }
     fn decode(buf: &mut &[u8]) -> Result<Self> {
         need(buf, 4)?;
@@ -116,7 +198,7 @@ mod tests {
 
     fn roundtrip<T: WireFormat + PartialEq + std::fmt::Debug>(v: T) {
         let mut buf = Vec::new();
-        v.encode(&mut buf);
+        v.encode(&mut buf).unwrap();
         let mut slice = buf.as_slice();
         assert_eq!(T::decode(&mut slice).unwrap(), v);
         assert!(slice.is_empty(), "trailing bytes after decode");
@@ -144,7 +226,7 @@ mod tests {
     #[test]
     fn truncation_is_an_error_not_a_panic() {
         let mut buf = Vec::new();
-        Coord::from([1, 2, 3]).encode(&mut buf);
+        Coord::from([1, 2, 3]).encode(&mut buf).unwrap();
         for cut in 0..buf.len() {
             let mut slice = &buf[..cut];
             assert!(Coord::decode(&mut slice).is_err(), "cut at {cut}");
@@ -158,5 +240,66 @@ mod tests {
         buf.extend_from_slice(&[0xFF, 0xFE]);
         let mut slice = buf.as_slice();
         assert!(String::decode(&mut slice).is_err());
+    }
+
+    #[test]
+    fn fixed_codec_agrees_with_wire_format() {
+        fn check<T: WireFormat + Clone + PartialEq + std::fmt::Debug>(values: &[T]) {
+            let codec = T::fixed_codec().expect("fixed codec");
+            for v in values {
+                let mut packed = Vec::new();
+                (codec.write)(v, &mut packed);
+                assert_eq!(packed.len(), (codec.width)(v));
+                assert_eq!(&(codec.read)(&packed), v);
+                assert_eq!((codec.cmp_decoded)(v, &packed), Ordering::Equal);
+            }
+            for a in values {
+                for b in values {
+                    let (mut pa, mut pb) = (Vec::new(), Vec::new());
+                    (codec.write)(a, &mut pa);
+                    (codec.write)(b, &mut pb);
+                    assert_eq!((codec.cmp)(&pa, &pb).reverse(), (codec.cmp)(&pb, &pa));
+                    assert_eq!((codec.cmp_decoded)(a, &pb), (codec.cmp)(&pa, &pb));
+                }
+            }
+        }
+        check(&[0u64, 1, 256, u64::MAX]);
+        check(&[-5i64, 0, 7, i64::MAX]);
+        check(&[-1.5f64, 0.0, 2.25, f64::INFINITY]);
+        check(&[
+            Coord::from([0, 9]),
+            Coord::from([1, 0]),
+            Coord::from([256, 256]),
+        ]);
+    }
+
+    #[test]
+    fn fixed_codec_orders_numerics_numerically() {
+        // LE bytes of 256 are [0,1,...]; memcmp would call that less
+        // than 1's [1,0,...]. The codec must compare by value.
+        let codec = u64::fixed_codec().unwrap();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        (codec.write)(&256u64, &mut a);
+        (codec.write)(&1u64, &mut b);
+        assert_eq!((codec.cmp)(&a, &b), Ordering::Greater);
+    }
+
+    #[test]
+    fn oversize_length_prefix_is_typed_error() {
+        // A fake >4 GiB length can't be constructed cheaply, so
+        // exercise the checked path through the helper directly.
+        let err = super::len_prefix("string", u32::MAX as usize + 1).unwrap_err();
+        assert!(matches!(
+            err,
+            MrError::EncodeOverflow {
+                what: "string",
+                len
+            } if len == u32::MAX as usize + 1
+        ));
+    }
+
+    #[test]
+    fn string_without_codec_stays_variable_width() {
+        assert!(String::fixed_codec().is_none());
     }
 }

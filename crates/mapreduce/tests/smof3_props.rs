@@ -1,0 +1,124 @@
+//! Equivalence properties for the SMOF v3 fixed-width layout: over
+//! random coordinate record sets, the packed-LE encoding and its
+//! key-offset index agree exactly with the v2 variable-width decoder
+//! the format replaced — same records, same raw counts — and the
+//! index-backed [`Smof3View::seek_ge`] matches a linear scan at every
+//! probe. Truncations of v3 bytes always fail with a typed error.
+
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sidr_coords::Coord;
+use sidr_mapreduce::shuffle_file::{
+    decode_map_output, encode_map_output, encode_map_output_v2, INDEX_INTERVAL,
+};
+use sidr_mapreduce::{MapOutputFile, Smof3View, WireFormat};
+
+/// A sorted coordinate-keyed map output from raw (unsorted) pairs.
+/// Values carry the record's position so reorderings are visible.
+fn make_file(raw: Vec<(u64, u64)>) -> MapOutputFile<Coord, f64> {
+    let mut records: Vec<(Coord, f64)> = raw
+        .into_iter()
+        .enumerate()
+        .map(|(i, (a, b))| (Coord::from([a, b]), i as f64 * 0.5))
+        .collect();
+    records.sort_by(|x, y| x.0.cmp(&y.0));
+    MapOutputFile {
+        raw_count: records.len() as u64 + 7,
+        records,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fixed-width v3 encoding round-trips through both decoders
+    /// — the zero-copy view and the compatibility `decode_map_output`
+    /// — and matches what the v2 encoder/decoder pair produces for
+    /// the same records.
+    #[test]
+    fn v3_round_trips_and_matches_the_v2_decoder(raw in vec((0u64..48, 0u64..48), 0..600)) {
+        let file = make_file(raw);
+
+        // Fixed codecs exist for (Coord, f64) with uniform rank, so
+        // the auto-selecting encoder must emit v3.
+        let v3 = encode_map_output(&file).unwrap();
+        let view = Smof3View::<Coord, f64>::parse(Arc::new(v3.clone()))
+            .unwrap()
+            .expect("uniform-rank coord records encode as v3");
+        prop_assert_eq!(view.records(), file.records.len());
+        prop_assert_eq!(view.raw_count(), file.raw_count);
+        for (i, (k, v)) in file.records.iter().enumerate() {
+            prop_assert_eq!(&view.key_at(i), k);
+            prop_assert_eq!(view.value_at(i), *v);
+        }
+
+        // The v1-era decoder entry point reads v3 bytes too.
+        let via_decode = decode_map_output::<Coord, f64>(&v3).unwrap();
+        prop_assert_eq!(&via_decode.records, &file.records);
+        prop_assert_eq!(via_decode.raw_count, file.raw_count);
+
+        // Cross-check against the v2 reference pair.
+        let v2 = encode_map_output_v2(&file).unwrap();
+        prop_assert!(v2 != v3, "layouts are distinguishable");
+        let via_v2 = decode_map_output::<Coord, f64>(&v2).unwrap();
+        prop_assert_eq!(&via_v2.records, &file.records);
+        prop_assert_eq!(via_v2.raw_count, file.raw_count);
+    }
+
+    /// The key-offset index never lies: `seek_ge` equals the linear
+    /// `partition_point` answer for present and absent probes alike,
+    /// including record counts that straddle index-interval edges.
+    #[test]
+    fn seek_ge_matches_linear_scan(
+        raw in vec((0u64..32, 0u64..32), 0..700),
+        probes in vec((0u64..40, 0u64..40), 1..24),
+    ) {
+        let file = make_file(raw);
+        let bytes = encode_map_output(&file).unwrap();
+        let view = Smof3View::<Coord, f64>::parse(Arc::new(bytes))
+            .unwrap()
+            .expect("v3 layout");
+        for (a, b) in probes {
+            let key = Coord::from([a, b]);
+            let expect = file.records.partition_point(|(k, _)| k < &key);
+            prop_assert_eq!(view.seek_ge(&key), expect);
+        }
+    }
+
+    /// Every strict truncation of a v3 file is a typed decode error
+    /// on both decoders — the index and payload never over-read.
+    #[test]
+    fn v3_truncations_are_rejected(len in 260usize..520, cut_seed in any::<u64>()) {
+        let raw: Vec<(u64, u64)> = (0..len as u64).map(|i| (i % 37, i % 11)).collect();
+        let file = make_file(raw);
+        let bytes = encode_map_output(&file).unwrap();
+        let cut = (cut_seed as usize) % bytes.len();
+        prop_assert!(decode_map_output::<Coord, f64>(&bytes[..cut]).is_err());
+        prop_assert!(Smof3View::<Coord, f64>::parse(Arc::new(bytes[..cut].to_vec())).is_err());
+    }
+}
+
+/// The packed key bytes are comparable as the index assumes: for
+/// every adjacent pair in a sorted file, the codec's byte-level
+/// comparison agrees with `Coord`'s ordering. Exercises the
+/// word-wise numeric compare (plain memcmp would order 256 < 1).
+#[test]
+fn packed_key_order_matches_coord_order() {
+    let raw: Vec<(u64, u64)> = (0..(3 * INDEX_INTERVAL as u64))
+        .map(|i| (i.wrapping_mul(0x9E37_79B9) % 300, i % 257))
+        .collect();
+    let file = make_file(raw);
+    let codec = Coord::fixed_codec().expect("coords have a fixed codec");
+    let bytes = encode_map_output(&file).unwrap();
+    let view = Smof3View::<Coord, f64>::parse(Arc::new(bytes))
+        .unwrap()
+        .expect("v3 layout");
+    for i in 1..view.records() {
+        let byte_cmp = (codec.cmp)(view.key_bytes(i - 1), view.key_bytes(i));
+        let coord_cmp = file.records[i - 1].0.cmp(&file.records[i].0);
+        assert_eq!(byte_cmp, coord_cmp, "at record {i}");
+    }
+}

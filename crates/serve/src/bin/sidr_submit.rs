@@ -36,6 +36,7 @@ struct Args {
     priority: Option<String>,
     map_think_ms: u64,
     generate: bool,
+    binary: bool,
     quiet: bool,
     trace: Option<String>,
 }
@@ -53,6 +54,9 @@ fn usage() -> String {
          \x20 --priority C:S      steer: schedule keyblocks covering the\n\
          \x20                     slab corner C shape S first (e.g. 0,0,0,0:8,1,1,1)\n\
          \x20 --map-think-ms N    artificial per-map cost (demos)\n\
+         \x20 --binary            offer to receive keyblocks as packed\n\
+         \x20                     binary frames (falls back to JSON if\n\
+         \x20                     the server declines)\n\
          \x20 --quiet             suppress per-keyblock lines\n\
          \x20 --trace FILE        write the job's task spans as JSONL\n\
          \n\
@@ -90,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
         priority: None,
         map_think_ms: 0,
         generate: false,
+        binary: false,
         quiet: false,
         trace: None,
     };
@@ -113,6 +118,7 @@ fn parse_args() -> Result<Args, String> {
                 args.map_think_ms = n.parse().map_err(|_| format!("bad duration {n:?}"))?;
             }
             "--generate" => args.generate = true,
+            "--binary" => args.binary = true,
             "--quiet" | "-q" => args.quiet = true,
             "--trace" => args.trace = Some(it.next().ok_or("--trace needs a file")?),
             "--help" | "-h" => return Err(String::new()),
@@ -188,8 +194,15 @@ fn write_trace(path: &str, events: &[sidr_mapreduce::TaskEvent]) -> Result<(), S
 }
 
 fn run(args: &Args) -> Result<(), String> {
-    let mut client =
-        Client::connect(&args.addr).map_err(|e| format!("cannot reach {}: {e}", args.addr))?;
+    let mut client = if args.binary {
+        Client::connect_binary(&args.addr)
+    } else {
+        Client::connect(&args.addr)
+    }
+    .map_err(|e| format!("cannot reach {}: {e}", args.addr))?;
+    if args.binary && !client.is_binary() {
+        eprintln!("sidr-submit: server declined binary frames, using JSON");
+    }
     match args.command.as_str() {
         "stats" => {
             let s = client.stats().map_err(|e| e.to_string())?;

@@ -14,6 +14,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use sidr_core::spec::JobSpec;
 use sidr_mapreduce::TaskEvent;
 
+use crate::binframe;
 use crate::frame::{self, FrameError, Role};
 use crate::proto::{Request, Response, ServerStats, SubmitOptions};
 
@@ -110,6 +111,9 @@ pub struct Client {
     reader: TcpStream,
     writer: TcpStream,
     pending: VecDeque<Response>,
+    /// Negotiated at connect time: whether the server may send
+    /// keyblocks as binary frames on this connection.
+    binary: bool,
 }
 
 impl Client {
@@ -125,7 +129,31 @@ impl Client {
             reader: stream,
             writer,
             pending: VecDeque::new(),
+            binary: false,
         })
+    }
+
+    /// Like [`Client::connect`], but offers to receive keyblocks as
+    /// binary frames ([`crate::binframe`]). Whether the server agreed
+    /// is visible via [`Client::is_binary`]; either way the `Response`
+    /// stream this client yields is identical — binary frames are
+    /// decoded back into [`Response::Keyblock`] transparently.
+    pub fn connect_binary(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let mut stream = TcpStream::connect(addr)?;
+        let binary = frame::handshake_dial_binary(&mut stream, Role::Client, Role::Coordinator)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: stream,
+            writer,
+            pending: VecDeque::new(),
+            binary,
+        })
+    }
+
+    /// Did the server agree to send binary keyblock frames?
+    pub fn is_binary(&self) -> bool {
+        self.binary
     }
 
     fn send(&mut self, req: &Request) -> Result<(), ServeError> {
@@ -133,10 +161,19 @@ impl Client {
     }
 
     fn recv(&mut self) -> Result<Response, ServeError> {
-        match frame::recv::<Response>(&mut self.reader)? {
-            Some(resp) => Ok(resp),
-            None => Err(ServeError::Disconnected),
+        let Some(payload) = frame::read_frame(&mut self.reader)? else {
+            return Err(ServeError::Disconnected);
+        };
+        if binframe::is_binary(&payload) {
+            let kb = binframe::decode_keyblock(&payload)?;
+            return Ok(Response::Keyblock {
+                job: kb.job,
+                reducer: kb.reducer,
+                at_ms: kb.at_ms,
+                records: kb.records,
+            });
         }
+        frame::decode_json(&payload).map_err(ServeError::from)
     }
 
     /// The next server frame: pending queue first, then the socket.

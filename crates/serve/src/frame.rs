@@ -103,22 +103,89 @@ impl std::fmt::Display for Role {
 /// `magic` field doubles as a discriminator: no legacy `Request` ever
 /// carries one, so a coordinator can still serve pre-handshake clients
 /// by falling back to request parsing.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// `accept_binary` negotiates the binary keyblock path
+/// ([`crate::binframe`]) inside protocol v1: a dialer that can decode
+/// [`KeyblockBin`](crate::binframe::KeyblockBin) frames sets it, and
+/// the listener echoes it back only if it is willing to send them.
+/// The field is omitted when false and tolerated when absent, so
+/// handshake frames from either era cross-parse — which is why it is
+/// hand-serialized below rather than derived (the derive requires
+/// every named field to be present).
+#[derive(Clone, Debug, PartialEq)]
 pub struct Hello {
     pub magic: String,
     pub version: u32,
     pub role: Role,
+    pub accept_binary: bool,
+}
+
+impl Serialize for Hello {
+    fn serialize(&self, s: &mut serde::ser::JsonSer) {
+        s.begin_object();
+        s.field("magic");
+        s.write_string(&self.magic);
+        s.field("version");
+        s.write_u64(u64::from(self.version));
+        s.field("role");
+        self.role.serialize(s);
+        // Omitted when false: the frame stays byte-identical to the
+        // pre-negotiation encoding for JSON-only peers.
+        if self.accept_binary {
+            s.field("accept_binary");
+            s.write_bool(true);
+        }
+        s.end_object();
+    }
+}
+
+impl Deserialize for Hello {
+    fn deserialize(d: &mut serde::de::JsonDe<'_>) -> serde::de::Result<Self> {
+        use serde::de::DeError;
+        let mut magic: Option<String> = None;
+        let mut version: Option<u32> = None;
+        let mut role: Option<Role> = None;
+        let mut accept_binary = false;
+        if d.begin_object()? {
+            loop {
+                let key = d.object_key()?;
+                match key.as_str() {
+                    "magic" => magic = Some(d.parse_string()?),
+                    "version" => version = Some(u32::deserialize(d)?),
+                    "role" => role = Some(Role::deserialize(d)?),
+                    "accept_binary" => accept_binary = d.parse_bool()?,
+                    _ => d.skip_value()?,
+                }
+                if !d.object_continue()? {
+                    break;
+                }
+            }
+        }
+        Ok(Hello {
+            magic: magic.ok_or_else(|| DeError::missing_field("magic", "Hello"))?,
+            version: version.ok_or_else(|| DeError::missing_field("version", "Hello"))?,
+            role: role.ok_or_else(|| DeError::missing_field("role", "Hello"))?,
+            accept_binary,
+        })
+    }
 }
 
 impl Hello {
     /// A handshake frame announcing this endpoint's role at the
-    /// current protocol version.
+    /// current protocol version (JSON-only responses).
     pub fn new(role: Role) -> Self {
         Hello {
             magic: HELLO_MAGIC.to_string(),
             version: PROTOCOL_VERSION,
             role,
+            accept_binary: false,
         }
+    }
+
+    /// Marks this endpoint as able to decode binary keyblock frames.
+    pub fn with_binary(mut self) -> Self {
+        self.accept_binary = true;
+        self
     }
 
     /// Validates a received `Hello` against our version. Role is
@@ -148,7 +215,28 @@ pub fn handshake_dial<S: Read + Write>(
     ours: Role,
     expect_peer: Role,
 ) -> Result<(), FrameError> {
-    send(stream, &Hello::new(ours))?;
+    handshake_dial_hello(stream, Hello::new(ours), expect_peer).map(|_| ())
+}
+
+/// Like [`handshake_dial`], but offers to receive binary keyblock
+/// frames. Returns whether the listener agreed to send them — `false`
+/// means the connection proceeds all-JSON, exactly as if
+/// [`handshake_dial`] had been used.
+pub fn handshake_dial_binary<S: Read + Write>(
+    stream: &mut S,
+    ours: Role,
+    expect_peer: Role,
+) -> Result<bool, FrameError> {
+    let reply = handshake_dial_hello(stream, Hello::new(ours).with_binary(), expect_peer)?;
+    Ok(reply.accept_binary)
+}
+
+fn handshake_dial_hello<S: Read + Write>(
+    stream: &mut S,
+    ours: Hello,
+    expect_peer: Role,
+) -> Result<Hello, FrameError> {
+    send(stream, &ours)?;
     let hello: Hello = match recv(stream)? {
         Some(h) => h,
         None => {
@@ -163,24 +251,31 @@ pub fn handshake_dial<S: Read + Write>(
             detail: format!("dialed a {} port, expected a {expect_peer}", hello.role),
         });
     }
-    Ok(())
+    Ok(hello)
 }
 
 /// Listener-side handshake completion: validate the dialer's `Hello`
-/// (already read off the stream) and answer with our own role.
+/// (already read off the stream) and answer with our own role. A
+/// dialer's `accept_binary` offer is echoed back — this listener
+/// implementation can always produce binary keyblocks, so offering is
+/// accepting; a dialer that did not offer is never sent one.
 pub fn handshake_accept<W: Write>(
     writer: &mut W,
     theirs: &Hello,
     ours: Role,
 ) -> Result<Role, FrameError> {
     theirs.check()?;
-    send(writer, &Hello::new(ours))?;
+    let mut reply = Hello::new(ours);
+    reply.accept_binary = theirs.accept_binary;
+    send(writer, &reply)?;
     Ok(theirs.role)
 }
 
 impl std::error::Error for FrameError {}
 
-/// Writes one frame: `u32` little-endian length, then the payload.
+/// Writes one frame: `u32` little-endian length, then the payload —
+/// one vectored write, so prefix and payload leave in a single
+/// syscall with no intermediate copy into a combined buffer.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
     let len = u32::try_from(payload.len()).map_err(|_| FrameError::Oversized {
         len: u32::MAX,
@@ -192,10 +287,35 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError>
             max: MAX_FRAME,
         });
     }
-    w.write_all(&len.to_le_bytes())
-        .and_then(|()| w.write_all(payload))
+    let prefix = len.to_le_bytes();
+    write_all_vectored(w, &prefix, payload)
         .and_then(|()| w.flush())
         .map_err(|e| FrameError::Io(e.to_string()))
+}
+
+/// Writes `head` then `tail` completely, preferring gathered writes.
+/// Short writes resume mid-slice; `Ok(0)` from a non-empty request is
+/// reported as `WriteZero`, mirroring `write_all`.
+fn write_all_vectored(w: &mut impl Write, head: &[u8], tail: &[u8]) -> std::io::Result<()> {
+    let mut bufs = [std::io::IoSlice::new(head), std::io::IoSlice::new(tail)];
+    let mut rest = &mut bufs[..];
+    // advance_slices drops leading empty/consumed slices, so the loop
+    // terminates exactly when both slices are fully written.
+    std::io::IoSlice::advance_slices(&mut rest, 0);
+    while !rest.is_empty() {
+        match w.write_vectored(rest) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::WriteZero,
+                    "failed to write whole frame",
+                ))
+            }
+            Ok(n) => std::io::IoSlice::advance_slices(&mut rest, n),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 /// Reads one frame's payload. `Ok(None)` means the peer closed the
@@ -260,11 +380,15 @@ pub fn recv<T: Deserialize>(r: &mut impl Read) -> Result<Option<T>, FrameError> 
     let Some(payload) = read_frame(r)? else {
         return Ok(None);
     };
-    let text = std::str::from_utf8(&payload)
+    decode_json(&payload).map(Some)
+}
+
+/// Decodes one already-read frame payload as JSON (callers that peek
+/// at the payload first — e.g. for a binary tag — finish with this).
+pub fn decode_json<T: Deserialize>(payload: &[u8]) -> Result<T, FrameError> {
+    let text = std::str::from_utf8(payload)
         .map_err(|e| FrameError::Malformed(format!("payload is not UTF-8: {e}")))?;
-    serde_json::from_str(text)
-        .map(Some)
-        .map_err(|e| FrameError::Malformed(e.to_string()))
+    serde_json::from_str(text).map_err(|e| FrameError::Malformed(e.to_string()))
 }
 
 #[cfg(test)]

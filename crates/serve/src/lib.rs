@@ -19,6 +19,9 @@
 //! The wire protocol is length-prefixed JSON ([`frame`]); the
 //! submission payload is the same [`JobSpec`](sidr_core::spec::JobSpec)
 //! document `sidr plan --spec` writes and `sidr-lint --spec` verifies.
+//! Clients that offer `accept_binary` in their handshake receive each
+//! keyblock as a packed binary frame instead ([`binframe`]) — same
+//! records, no JSON re-encode on the hot path.
 //!
 //! ```no_run
 //! use sidr_serve::{Client, Server, ServerConfig, SubmitOptions};
@@ -37,6 +40,7 @@
 //! }).unwrap();
 //! ```
 
+pub mod binframe;
 pub mod client;
 pub mod fleet;
 pub mod frame;
@@ -44,14 +48,15 @@ pub mod metrics;
 pub mod proto;
 pub mod server;
 
+pub use binframe::KeyblockBin;
 pub use client::{Client, JobOutcome, ServeError, Ticket};
 pub use fleet::{
     fleet_metrics, Fleet, FleetConfig, PartitionStatus, RemoteJob, SourceLoc, WorkerConn,
     WorkerRequest, WorkerResponse, WorkerStat,
 };
 pub use frame::{
-    handshake_accept, handshake_dial, FrameError, Hello, Role, HELLO_MAGIC, MAX_FRAME,
-    PROTOCOL_VERSION,
+    handshake_accept, handshake_dial, handshake_dial_binary, FrameError, Hello, Role, HELLO_MAGIC,
+    MAX_FRAME, PROTOCOL_VERSION,
 };
 pub use proto::{Request, Response, ServerStats, SubmitOptions};
 pub use server::{JobState, Server, ServerConfig, ServerHandle};

@@ -34,10 +34,20 @@ use sidr_core::spec::JobSpec;
 use sidr_mapreduce::{CancelToken, InMemoryOutput, MrError, OutputCollector, SlotPool};
 use sidr_scifile::ScincFile;
 
+use crate::binframe;
 use crate::fleet::{Fleet, FleetConfig};
 use crate::frame::{self, FrameError, Hello, Role};
 use crate::metrics::{serve as serve_metrics, ServeMetrics};
 use crate::proto::{Request, Response, ServerStats, SubmitOptions};
+
+/// One message on a connection's outbound channel. JSON responses are
+/// serialized by the writer thread; a binary keyblock arrives already
+/// encoded (one allocation at the forwarder, written as-is), so the
+/// reduce-commit → socket path never runs a JSON encoder.
+enum Outbound {
+    Json(Response),
+    BinKeyblock(Vec<u8>),
+}
 
 /// The occupancy gauge a job in `state` contributes to, if any.
 fn state_gauge(m: &ServeMetrics, state: JobState) -> Option<&sidr_obs::Gauge> {
@@ -341,6 +351,9 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
     // malformed or hostile opener draws a protocol `Error` frame
     // before the connection closes, never a silent hang-up.
     let mut first_request: Option<Request> = None;
+    // Whether this peer's handshake offered (and was granted) binary
+    // keyblock frames. Legacy openers never did.
+    let mut binary = false;
     match frame::read_frame(&mut read_half) {
         Ok(Some(payload)) => {
             let text = match std::str::from_utf8(&payload) {
@@ -360,6 +373,7 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
                     {
                         return;
                     }
+                    binary = hello.accept_binary;
                 }
                 _ => match serde_json::from_str::<Request>(text) {
                     Ok(req) => first_request = Some(req),
@@ -383,13 +397,13 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
         Err(_) => return,
     }
 
-    let (tx, rx) = channel::<Response>();
+    let (tx, rx) = channel::<Outbound>();
     let writer_inner = Arc::clone(&inner);
     let writer = thread::spawn(move || write_loop(writer_inner, write_half, rx));
 
     if let Some(req) = first_request {
         serve_metrics().frames_in.inc();
-        if !handle_request(&inner, req, &tx) {
+        if !handle_request(&inner, req, &tx, binary) {
             drop(tx);
             let _ = writer.join();
             return;
@@ -399,7 +413,7 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
         match frame::recv::<Request>(&mut read_half) {
             Ok(Some(req)) => {
                 serve_metrics().frames_in.inc();
-                let proceed = handle_request(&inner, req, &tx);
+                let proceed = handle_request(&inner, req, &tx, binary);
                 if !proceed {
                     break;
                 }
@@ -414,9 +428,9 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
             Err(e @ FrameError::Oversized { .. })
             | Err(e @ FrameError::Malformed(_))
             | Err(e @ FrameError::VersionMismatch { .. }) => {
-                let _ = tx.send(Response::Error {
+                let _ = tx.send(Outbound::Json(Response::Error {
                     message: e.to_string(),
-                });
+                }));
                 break;
             }
         }
@@ -434,39 +448,51 @@ fn send_error_frame(stream: &mut TcpStream, message: String) {
 }
 
 /// Serializes responses onto the socket, accounting streamed bytes.
-fn write_loop(inner: Arc<Inner>, mut stream: TcpStream, rx: Receiver<Response>) {
-    for resp in &rx {
-        let text = match serde_json::to_string(&resp) {
-            Ok(t) => t,
-            Err(_) => continue,
+/// Either flavor leaves in one vectored write (`write_frame`); a
+/// binary keyblock's bytes pass through untouched.
+fn write_loop(inner: Arc<Inner>, mut stream: TcpStream, rx: Receiver<Outbound>) {
+    for out in &rx {
+        let (payload, is_keyblock): (std::borrow::Cow<'_, [u8]>, bool) = match &out {
+            Outbound::Json(resp) => {
+                let text = match serde_json::to_string(resp) {
+                    Ok(t) => t,
+                    Err(_) => continue,
+                };
+                (
+                    std::borrow::Cow::Owned(text.into_bytes()),
+                    matches!(resp, Response::Keyblock { .. }),
+                )
+            }
+            Outbound::BinKeyblock(bytes) => (std::borrow::Cow::Borrowed(bytes.as_slice()), true),
         };
-        if frame::write_frame(&mut stream, text.as_bytes()).is_err() {
+        if frame::write_frame(&mut stream, &payload).is_err() {
             // Consumer hung up: keep draining so job threads never
             // block on a dead connection, but stop writing.
             for _ in rx.iter() {}
             return;
         }
         serve_metrics().frames_out.inc();
-        if matches!(resp, Response::Keyblock { .. }) {
+        if is_keyblock {
             inner
                 .bytes_streamed
-                .fetch_add(text.len() as u64, Ordering::Relaxed);
-            serve_metrics().streamed_bytes.add(text.len() as u64);
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            serve_metrics().streamed_bytes.add(payload.len() as u64);
         }
     }
     let _ = stream.flush();
 }
 
 /// Dispatches one request; returns false when the connection (or the
-/// whole server) should wind down.
-fn handle_request(inner: &Arc<Inner>, req: Request, tx: &Sender<Response>) -> bool {
+/// whole server) should wind down. `binary` is the connection's
+/// negotiated keyblock encoding.
+fn handle_request(inner: &Arc<Inner>, req: Request, tx: &Sender<Outbound>, binary: bool) -> bool {
     match req {
         Request::Submit {
             spec,
             input,
             options,
         } => {
-            admit(inner, spec, input, options, tx);
+            admit(inner, spec, input, options, tx, binary);
             true
         }
         Request::Cancel { job } => {
@@ -474,23 +500,23 @@ fn handle_request(inner: &Arc<Inner>, req: Request, tx: &Sender<Response>) -> bo
             match jobs.get(&job) {
                 Some(h) => h.cancel.cancel(),
                 None => {
-                    let _ = tx.send(Response::Error {
+                    let _ = tx.send(Outbound::Json(Response::Error {
                         message: format!("unknown job id {job}"),
-                    });
+                    }));
                 }
             }
             true
         }
         Request::Stats => {
-            let _ = tx.send(Response::Stats {
+            let _ = tx.send(Outbound::Json(Response::Stats {
                 stats: inner.stats(),
-            });
+            }));
             true
         }
         Request::Metrics => {
-            let _ = tx.send(Response::Metrics {
+            let _ = tx.send(Outbound::Json(Response::Metrics {
                 text: sidr_obs::render_global(),
-            });
+            }));
             true
         }
         Request::Shutdown => {
@@ -511,22 +537,23 @@ fn admit(
     spec: JobSpec,
     input: String,
     options: SubmitOptions,
-    tx: &Sender<Response>,
+    tx: &Sender<Outbound>,
+    binary: bool,
 ) {
     let report = match analyze_spec(&spec, &inner.config.analyze) {
         Ok(r) => r,
         Err(e) => {
             serve_metrics().rejections.inc();
-            let _ = tx.send(Response::Rejected {
+            let _ = tx.send(Outbound::Json(Response::Rejected {
                 reason: format!("pre-flight could not analyze the spec: {e}"),
                 diagnostics: Vec::new(),
-            });
+            }));
             return;
         }
     };
     if report.has_errors() {
         serve_metrics().rejections.inc();
-        let _ = tx.send(Response::Rejected {
+        let _ = tx.send(Outbound::Json(Response::Rejected {
             reason: "admission pre-flight found plan errors".into(),
             diagnostics: report
                 .diagnostics
@@ -534,7 +561,7 @@ fn admit(
                 .filter(|d| d.severity == Severity::Error)
                 .map(|d| d.to_string())
                 .collect(),
-        });
+        }));
         return;
     }
 
@@ -548,15 +575,15 @@ fn admit(
         },
     );
     serve_metrics().jobs_queued.inc();
-    let _ = tx.send(Response::Accepted {
+    let _ = tx.send(Outbound::Json(Response::Accepted {
         job,
         keyblocks: spec.num_reducers,
         num_maps: spec.splits.len(),
-    });
+    }));
 
     let inner = Arc::clone(inner);
     let tx = tx.clone();
-    thread::spawn(move || run_admitted_job(inner, job, spec, input, options, cancel, tx));
+    thread::spawn(move || run_admitted_job(inner, job, spec, input, options, cancel, tx, binary));
 }
 
 /// One admitted job, end to end: open the input, execute on the
@@ -564,6 +591,7 @@ fn admit(
 /// terminal frame. The streaming collector tolerates hang-ups, so a
 /// vanished client mutes the stream while the job completes to its
 /// sink (and the lifetime counters).
+#[allow(clippy::too_many_arguments)]
 fn run_admitted_job(
     inner: Arc<Inner>,
     job: u64,
@@ -571,17 +599,18 @@ fn run_admitted_job(
     input: String,
     options: SubmitOptions,
     cancel: CancelToken,
-    tx: Sender<Response>,
+    tx: Sender<Outbound>,
+    binary: bool,
 ) {
     inner.set_state(job, JobState::Planning);
     let file = match ScincFile::open(&input) {
         Ok(f) => f,
         Err(e) => {
             inner.set_state(job, JobState::Failed);
-            let _ = tx.send(Response::Failed {
+            let _ = tx.send(Outbound::Json(Response::Failed {
                 job,
                 error: format!("cannot open input {input:?}: {e}"),
-            });
+            }));
             return;
         }
     };
@@ -647,12 +676,26 @@ fn run_admitted_job(
                     m.ttfb_seconds.observe(early.at.as_secs_f64());
                     first = false;
                 }
-                let _ = fwd_tx.send(Response::Keyblock {
+                let at_ms = early.at.as_millis() as u64;
+                // Binary peers get the packed frame: encoded once,
+                // here, into its exact-size buffer — the writer and
+                // the socket see only bytes. A keyblock the binary
+                // layout cannot carry (mixed coordinate ranks) falls
+                // back to JSON for that frame alone.
+                if binary {
+                    if let Ok(bin) =
+                        binframe::encode_keyblock(job, early.reducer, at_ms, &early.records)
+                    {
+                        let _ = fwd_tx.send(Outbound::BinKeyblock(bin));
+                        continue;
+                    }
+                }
+                let _ = fwd_tx.send(Outbound::Json(Response::Keyblock {
                     job,
                     reducer: early.reducer,
-                    at_ms: early.at.as_millis() as u64,
+                    at_ms,
                     records: early.records,
-                });
+                }));
             }
         });
         // Same scheduler either way; only where attempts execute
@@ -694,30 +737,30 @@ fn run_admitted_job(
     match result {
         Ok(job_result) => {
             inner.set_state(job, JobState::Done);
-            let _ = tx.send(Response::Done {
+            let _ = tx.send(Outbound::Json(Response::Done {
                 job,
                 keyblocks: spec.num_reducers,
                 records: sink.len() as u64,
                 events: job_result.events,
-            });
+            }));
         }
         Err(e) if is_cancellation(&e) && deadline_hit.load(Ordering::SeqCst) => {
             inner.set_state(job, JobState::DeadlineExceeded);
-            let _ = tx.send(Response::DeadlineExceeded {
+            let _ = tx.send(Outbound::Json(Response::DeadlineExceeded {
                 job,
                 deadline_ms: spec.deadline_ms.unwrap_or(0),
-            });
+            }));
         }
         Err(e) if is_cancellation(&e) => {
             inner.set_state(job, JobState::Cancelled);
-            let _ = tx.send(Response::Cancelled { job });
+            let _ = tx.send(Outbound::Json(Response::Cancelled { job }));
         }
         Err(e) => {
             inner.set_state(job, JobState::Failed);
-            let _ = tx.send(Response::Failed {
+            let _ = tx.send(Outbound::Json(Response::Failed {
                 job,
                 error: e.to_string(),
-            });
+            }));
         }
     }
 }

@@ -1,0 +1,251 @@
+//! End-to-end tests for the binary keyblock path: a client that
+//! offers `accept_binary` in its handshake receives every keyblock as
+//! a packed [`binframe`](sidr_serve::binframe) frame, and the decoded
+//! records are identical to what the JSON path delivers for the same
+//! job. Plus adversarial property tests for the `KeyblockBin`
+//! decoder, in the style of `frames.rs`: truncations, bit flips and
+//! hostile geometry yield typed errors, never panics or over-reads.
+
+use std::path::PathBuf;
+use std::thread;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sidr_analyze::presets;
+use sidr_coords::Coord;
+use sidr_core::framework::{run_query, FrameworkMode, RunOptions};
+use sidr_core::spec::JobSpec;
+use sidr_core::SidrPlanner;
+use sidr_scifile::gen::{DatasetSpec, ValueModel};
+use sidr_serve::binframe::{decode_keyblock, encode_keyblock, is_binary, BIN_HEADER_LEN};
+use sidr_serve::frame::{self, read_frame, FrameError, Role};
+use sidr_serve::{Client, Request, Response, Server, ServerConfig, SubmitOptions};
+
+/// Builds the CI-scale preset's spec and (once per tag) its dataset.
+fn tiny_fixture(tag: &str) -> (JobSpec, String) {
+    let job = presets::preset("query1-tiny").expect("preset exists");
+    let plan = SidrPlanner::new(&job.query, job.reducer_counts[0])
+        .build(&job.splits)
+        .unwrap();
+    let spec = JobSpec::from_plan(&job.query, &job.splits, &plan).unwrap();
+
+    let dir = std::env::temp_dir().join("sidr-serve-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path: PathBuf = dir.join(format!("tiny-{}-{tag}.scinc", std::process::id()));
+    if !path.exists() {
+        let space = job.query.input_space().clone();
+        DatasetSpec {
+            variable: job.query.variable.clone(),
+            dim_names: (0..space.rank()).map(|d| format!("d{d}")).collect(),
+            space,
+            model: ValueModel::LinearIndex,
+            seed: 0,
+        }
+        .generate::<f32>(&path)
+        .unwrap();
+    }
+    (spec, path.to_string_lossy().into_owned())
+}
+
+fn spawn_server(config: ServerConfig) -> (std::net::SocketAddr, sidr_serve::ServerHandle) {
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn batch_truth(spec: &JobSpec, input: &str) -> Vec<(Coord, f64)> {
+    let file = sidr_scifile::ScincFile::open(input).unwrap();
+    let query = spec.query().unwrap();
+    run_query(&file, &query, &RunOptions::new(FrameworkMode::Sidr, 4))
+        .unwrap()
+        .records
+}
+
+/// The acceptance test for the binary data path: the same job, once
+/// through a JSON client and once through a binary one — identical
+/// streamed records, and both identical to the batch answer.
+#[test]
+fn binary_stream_decodes_identical_to_json() {
+    let (spec, input) = tiny_fixture("binary-e2e");
+    let (addr, handle) = spawn_server(ServerConfig::default());
+    let truth = batch_truth(&spec, &input);
+
+    let run = |mut client: Client| -> Vec<(Coord, f64)> {
+        let ticket = client
+            .submit(&spec, &input, SubmitOptions::default())
+            .unwrap();
+        let mut streamed = Vec::new();
+        let outcome = client
+            .stream_job(ticket.job, |_reducer, _at_ms, records| {
+                streamed.extend(records.iter().cloned());
+            })
+            .unwrap();
+        assert!(outcome.completed);
+        assert_eq!(outcome.records, streamed.len() as u64);
+        streamed.sort_by(|a, b| a.0.cmp(&b.0));
+        streamed
+    };
+
+    let json_client = Client::connect(addr).unwrap();
+    assert!(!json_client.is_binary());
+    let via_json = run(json_client);
+
+    let bin_client = Client::connect_binary(addr).unwrap();
+    assert!(bin_client.is_binary(), "server accepts the binary offer");
+    let via_binary = run(bin_client);
+
+    assert_eq!(via_binary, via_json);
+    assert_eq!(via_binary, truth);
+    handle.shutdown();
+}
+
+/// Proof at the byte level: on a negotiated connection every keyblock
+/// frame on the wire is binary-tagged (no JSON keyblocks slip
+/// through), and hand-decoding those frames reproduces the batch
+/// answer exactly.
+#[test]
+fn negotiated_connection_carries_binary_keyblock_frames() {
+    let (spec, input) = tiny_fixture("binary-wire");
+    let (addr, handle) = spawn_server(ServerConfig::default());
+    let truth = batch_truth(&spec, &input);
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let accepted =
+        frame::handshake_dial_binary(&mut stream, Role::Client, Role::Coordinator).unwrap();
+    assert!(accepted);
+
+    frame::send(
+        &mut stream,
+        &Request::Submit {
+            spec: spec.clone(),
+            input: input.clone(),
+            options: SubmitOptions::default(),
+        },
+    )
+    .unwrap();
+
+    let mut binary_frames = 0u32;
+    let mut records: Vec<(Coord, f64)> = Vec::new();
+    let committed;
+    loop {
+        let payload = read_frame(&mut stream).unwrap().expect("mid-job EOF");
+        if is_binary(&payload) {
+            binary_frames += 1;
+            records.extend(decode_keyblock(&payload).unwrap().records);
+            continue;
+        }
+        match frame::decode_json::<Response>(&payload).unwrap() {
+            Response::Accepted { .. } => {}
+            Response::Keyblock { .. } => panic!("JSON keyblock on a binary connection"),
+            Response::Done { records: total, .. } => {
+                committed = total;
+                break;
+            }
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+    assert!(binary_frames > 0, "at least one binary keyblock streamed");
+    assert_eq!(records.len() as u64, committed);
+    records.sort_by(|a, b| a.0.cmp(&b.0));
+    assert_eq!(records, truth);
+    handle.shutdown();
+}
+
+/// A legacy-shaped client (plain handshake, no binary offer) on the
+/// same server never sees a binary-tagged frame.
+#[test]
+fn plain_handshake_never_receives_binary_frames() {
+    let (spec, input) = tiny_fixture("binary-legacy");
+    let (addr, handle) = spawn_server(ServerConfig::default());
+
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    frame::handshake_dial(&mut stream, Role::Client, Role::Coordinator).unwrap();
+    frame::send(
+        &mut stream,
+        &Request::Submit {
+            spec,
+            input,
+            options: SubmitOptions::default(),
+        },
+    )
+    .unwrap();
+
+    let mut keyblocks = 0u32;
+    loop {
+        let payload = read_frame(&mut stream).unwrap().expect("mid-job EOF");
+        assert!(!is_binary(&payload), "binary frame to a JSON-only peer");
+        match frame::decode_json::<Response>(&payload).unwrap() {
+            Response::Keyblock { .. } => keyblocks += 1,
+            Response::Done { .. } => break,
+            Response::Accepted { .. } => {}
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+    assert!(keyblocks > 0);
+    handle.shutdown();
+}
+
+fn sample_frame() -> Vec<u8> {
+    let records: Vec<(Coord, f64)> = (0..17u64)
+        .map(|i| (Coord::from([i, 2 * i, 9 - (i % 10)]), i as f64 * 0.25))
+        .collect();
+    encode_keyblock(42, 5, 1234, &records).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary binary-tagged bytes never panic the keyblock
+    /// decoder: every outcome is a decode or a typed error.
+    #[test]
+    fn arbitrary_binary_bytes_never_panic(mut bytes in vec(any::<u8>(), 0..512)) {
+        if let Some(first) = bytes.first_mut() {
+            *first = 0xBB;
+        }
+        match decode_keyblock(&bytes) {
+            Ok(_) | Err(FrameError::Malformed(_)) | Err(FrameError::Oversized { .. }) => {}
+            Err(other) => panic!("unexpected error class: {other:?}"),
+        }
+    }
+
+    /// A valid frame cut anywhere strictly inside fails with a typed
+    /// error — the truncated geometry or header never over-reads.
+    #[test]
+    fn every_truncation_is_rejected(cut_seed in any::<u64>()) {
+        let wire = sample_frame();
+        let cut = (cut_seed as usize) % wire.len();
+        prop_assert!(decode_keyblock(&wire[..cut]).is_err());
+    }
+
+    /// Any single bit flip in the payload region is caught by the
+    /// CRC; flips in the header either fail a check or decode into
+    /// different (but well-formed) metadata — never a panic.
+    #[test]
+    fn single_bit_flips_never_panic(pos_seed in any::<u64>(), bit in 0u8..8) {
+        let mut wire = sample_frame();
+        let pos = (pos_seed as usize) % wire.len();
+        wire[pos] ^= 1 << bit;
+        let payload_flip = pos >= BIN_HEADER_LEN;
+        match decode_keyblock(&wire) {
+            Ok(_) => prop_assert!(!payload_flip, "payload corruption must fail the CRC"),
+            Err(FrameError::Malformed(_)) => {}
+            Err(other) => panic!("unexpected error class: {other:?}"),
+        }
+    }
+
+    /// Hostile record counts (with everything else valid) are caught
+    /// by the geometry check before any allocation or read.
+    #[test]
+    fn hostile_record_counts_are_rejected(count in any::<u32>()) {
+        let mut wire = sample_frame();
+        let honest = u32::from_le_bytes(wire[16..20].try_into().unwrap());
+        if count == honest {
+            return Ok(()); // sampled the one honest count; skip
+        }
+        wire[16..20].copy_from_slice(&count.to_le_bytes());
+        prop_assert!(decode_keyblock(&wire).is_err());
+    }
+}

@@ -4,7 +4,7 @@
 //!
 //! * **run task attempts** dispatched by a `sidr-serve` coordinator —
 //!   map attempts read their split and keep the resulting per-reducer
-//!   partitions (encoded CRC-framed SMOF v2 buffers) in memory; reduce
+//!   partitions (encoded CRC-framed SMOF buffers) in memory; reduce
 //!   attempts fetch their source partitions from the workers holding
 //!   them, merge in the plan's fetch order, and stream each key group
 //!   back to the coordinator as it leaves the merge;
@@ -527,8 +527,12 @@ fn run_reduce_inner(
     expected_raw: Option<u64>,
 ) -> bool {
     // --- copy phase -------------------------------------------------
+    // Fetched buffers stay in `Arc`s end to end: a self-fetch shares
+    // the local store's allocation outright, and v3 buffers are merged
+    // in place by `run_reduce` — no partition is copied or re-decoded
+    // on this path.
     let fetch_started = Instant::now();
-    let mut partitions: Vec<Vec<u8>> = Vec::with_capacity(sources.len());
+    let mut partitions: Vec<Arc<Vec<u8>>> = Vec::with_capacity(sources.len());
     let mut lost: Vec<usize> = Vec::new();
     // One fetch connection per peer, reused across that peer's
     // partitions (Table 3's connection accounting, worker-side).
@@ -539,8 +543,8 @@ fn run_reduce_inner(
         }
         if src.holder == self_addr {
             match peek_partition(shared, job, src.map, reducer, src.epoch) {
-                Peek::Data(bytes) => partitions.push(bytes.to_vec()),
-                Peek::Empty => partitions.push(Vec::new()),
+                Peek::Data(bytes) => partitions.push(bytes),
+                Peek::Empty => partitions.push(Arc::new(Vec::new())),
                 Peek::Missing => lost.push(src.map),
             }
             continue;
@@ -570,12 +574,12 @@ fn run_reduce_inner(
             Ok(WorkerResponse::Partition {
                 status: PartitionStatus::Data,
             }) => match conn.recv_raw() {
-                Ok(bytes) => partitions.push(bytes),
+                Ok(bytes) => partitions.push(Arc::new(bytes)),
                 Err(_) => lost.push(src.map),
             },
             Ok(WorkerResponse::Partition {
                 status: PartitionStatus::Empty,
-            }) => partitions.push(Vec::new()),
+            }) => partitions.push(Arc::new(Vec::new())),
             _ => lost.push(src.map),
         }
     }
