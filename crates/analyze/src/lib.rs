@@ -147,10 +147,12 @@ pub fn analyze_spec(spec: &JobSpec, opts: &AnalyzeOptions) -> sidr_core::Result<
 }
 
 /// Admission checks on the spec's fault-tolerance knobs
-/// (`SIDR-E011`/`SIDR-E012`): a zero retry budget can never launch a
-/// task, and a zero deadline cancels the job before its first task.
-/// Both are spec-level, not geometric, so they only run on the
-/// submission path.
+/// (`SIDR-E011`/`SIDR-E012`/`SIDR-E013`): a zero retry budget can
+/// never launch a task, a zero deadline cancels the job before its
+/// first task, and a malformed speculation policy (quantile outside
+/// (0, 1], slowdown below 1, zero check interval) would misfire on
+/// every healthy task. All are spec-level, not geometric, so they
+/// only run on the submission path.
 fn check_robustness(spec: &JobSpec, report: &mut Report) {
     if spec.retry.max_task_attempts == 0 {
         report.push(
@@ -166,6 +168,11 @@ fn check_robustness(spec: &JobSpec, report: &mut Report) {
             codes::DEADLINE,
             "deadline of zero milliseconds would cancel the job before its first task",
         ));
+    }
+    if let Err(why) = spec.speculation.validate() {
+        report.push(
+            Diagnostic::error(codes::SPECULATION, "speculation policy is invalid").with("why", why),
+        );
     }
 }
 

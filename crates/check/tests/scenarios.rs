@@ -1,4 +1,4 @@
-//! The four core concurrency scenarios from the runtime, explored
+//! The core concurrency scenarios from the runtime, explored
 //! under the virtual scheduler. These compile only under
 //! `RUSTFLAGS='--cfg check'`, where `sidr-mapreduce::sync` re-exports
 //! the checker's primitives and the *production* SlotPool/CancelToken/
@@ -20,7 +20,7 @@ use sidr_mapreduce::sync::thread;
 use sidr_mapreduce::{
     run_job_shared, CancelToken, DefaultPlan, FaultPlan, FnMapper, FnReducer, InMemoryOutput,
     InputSplit, JobConfig, MapTaskId, ModuloPartitioner, RetryPolicy, RoutingPlan,
-    SliceRecordSource, SlotPool,
+    SliceRecordSource, SlotPool, SpeculationPolicy,
 };
 
 /// The safety-net tick passed to raw semaphore waits. Under the
@@ -281,6 +281,89 @@ fn two_jobs_contending_for_last_slot_is_clean() {
                 seed: 0x51D2_0004,
             },
             last_slot_scenario,
+        )
+        .assert_clean();
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 5: speculative race — winner commit vs loser teardown vs
+// reducer fetch, over volatile intermediate data.
+// ---------------------------------------------------------------------------
+
+/// 1:1 dependencies: reducer i <- map i, inverted scheduling.
+struct PairPlan;
+
+impl RoutingPlan<u64> for PairPlan {
+    fn num_reducers(&self) -> usize {
+        2
+    }
+    fn partition(&self, key: &u64) -> usize {
+        (*key as usize) % 2
+    }
+    fn reduce_deps(&self, reducer: usize) -> Option<Vec<MapTaskId>> {
+        Some(vec![reducer])
+    }
+    fn invert_scheduling(&self) -> bool {
+        true
+    }
+}
+
+/// Map 0 is force-speculated (the only trigger under the virtual
+/// scheduler — wall clocks are meaningless here), so explored
+/// schedules include the twin launching, either racer claiming the
+/// commit first, the loser tearing down mid-put, and the dependent
+/// reducer fetching at every point in between — over *volatile*
+/// intermediate data, where a half-put entry that recovery treats as
+/// committed would strand the reducer. Output equality proves the
+/// winner's data (and only it) was reduced; the oracle proves the
+/// attempt-stamped protocol, including the at-most-one-extra-attempt
+/// rule (R6), held on every schedule.
+fn speculation_scenario() {
+    let pool = SlotPool::new(2, 2).unwrap();
+    let splits = unit_splits(2);
+    let mapper = FnMapper::new(|k: &u64, _v: &u64, emit: &mut dyn FnMut(u64, u64)| {
+        emit(*k, 100 + *k);
+    });
+    let reducer =
+        FnReducer::new(|_k: &u64, vs: &[u64], emit: &mut dyn FnMut(u64)| emit(vs.iter().sum()));
+    let output = InMemoryOutput::new();
+    let config = JobConfig {
+        speculation: SpeculationPolicy::force([0]),
+        volatile_intermediate: true,
+        ..Default::default()
+    };
+    let result = run_job_shared(
+        &splits,
+        &diagonal_source,
+        &mapper,
+        None,
+        &reducer,
+        &PairPlan,
+        &output,
+        &config,
+        &pool,
+        None,
+    )
+    .unwrap();
+    assert_eq!(output.sorted_records(), vec![(0, 100), (1, 101)]);
+    let oracle = TimelineOracle::new(2, 2)
+        .volatile_intermediate(true)
+        .with_deps(0, vec![0])
+        .with_deps(1, vec![1]);
+    if let Err(v) = oracle.check_complete(&result.events) {
+        panic!("timeline protocol violation: {v}");
+    }
+}
+
+#[test]
+fn speculative_race_against_reducer_fetch_is_clean() {
+    Explorer::new("speculation-race")
+        .run(
+            Strategy::Random {
+                schedules: 250,
+                seed: 0x51D2_0005,
+            },
+            speculation_scenario,
         )
         .assert_clean();
 }

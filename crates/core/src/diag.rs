@@ -58,6 +58,14 @@ pub mod codes {
     /// The spec's deadline is zero: the job would be cancelled before
     /// its first task starts, so admission refuses it.
     pub const DEADLINE: &str = "SIDR-E012";
+    /// The spec's speculative-execution policy is invalid: a trigger
+    /// quantile outside (0, 1], a slowdown factor below 1 (every
+    /// healthy task would be "straggling"), or a zero check interval.
+    pub const SPECULATION: &str = "SIDR-E013";
+    /// Advisory, emitted at run time rather than admission: projected
+    /// completion threatens the deadline, so the serving layer boosted
+    /// the speculation trigger before resorting to cancellation.
+    pub const DEADLINE_PRESSURE: &str = "SIDR-I014";
 }
 
 /// How bad a finding is.

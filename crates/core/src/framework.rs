@@ -12,8 +12,8 @@ use std::time::Duration;
 use sidr_coords::{Coord, Slab};
 use sidr_mapreduce::{
     run_job, run_job_with_executor, CancelToken, CoordHashPartitioner, DefaultPlan, Executor,
-    FaultPlan, InMemoryOutput, InputSplit, JobConfig, JobResult, OutputCollector, RetryPolicy,
-    RoutingPlan, SlotPool, SplitGenerator, TaskExecutor,
+    FaultPlan, InMemoryOutput, InputSplit, JobConfig, JobResult, OutputCollector, ProgressProbe,
+    RetryPolicy, RoutingPlan, SlotPool, SpeculationPolicy, SplitGenerator, TaskExecutor,
 };
 use sidr_scifile::{DataType, Element, ScincFile};
 
@@ -198,6 +198,8 @@ fn run_typed<E: Element>(
         reduce_think: opts.reduce_think,
         spill_dir: opts.spill_dir.clone(),
         map_spill_records: None,
+        speculation: SpeculationPolicy::default(),
+        progress: None,
     };
     let source_factory = scinc_source_factory::<E>(file, &query.variable);
 
@@ -282,6 +284,14 @@ pub struct SpecRunOptions {
     /// Retry budget; admission validates the spec's requested policy
     /// and passes it through here.
     pub retry: RetryPolicy,
+    /// Speculative-execution policy; admission validates the spec's
+    /// requested policy and passes it through here.
+    pub speculation: SpeculationPolicy,
+    /// Coarse progress shared with the caller while the job runs: the
+    /// engine's speculation monitor publishes completion counts and a
+    /// projected remaining time, and the serving layer's deadline
+    /// watchdog can request a boosted speculation trigger through it.
+    pub progress: Option<std::sync::Arc<ProgressProbe>>,
 }
 
 /// Executes a serialized job submission against `file` on a shared
@@ -401,6 +411,8 @@ fn run_spec_typed<E: Element>(
         reduce_think: opts.reduce_think,
         fault_plan: opts.fault_plan.clone(),
         retry: opts.retry,
+        speculation: opts.speculation.clone(),
+        progress: opts.progress.clone(),
         // Fleet-held map output is gone when its worker is: model it
         // as the engine's volatile-intermediate mode so reduce-side
         // losses recover by re-executing `I_ℓ` (§6).

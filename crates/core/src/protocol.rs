@@ -15,8 +15,16 @@
 //!
 //! * **R1 — attempt monotonicity.** Each map's `MapStart` attempts are
 //!   exactly 0, 1, 2, … (every launch counts), a map never starts
-//!   while already running, and each reducer's barrier/failure
-//!   attempts count its `ReduceFailed` events.
+//!   while already running — unless the start was announced by a
+//!   `MapSpeculated` grant, the one sanctioned way to race a second
+//!   attempt against a running straggler — and each reducer's
+//!   barrier/failure attempts count its `ReduceFailed` events.
+//! * **R6 — at most one extra attempt.** `MapSpeculated(m, a)` must
+//!   carry the next attempt id and is illegal while another grant for
+//!   `m` is outstanding; every lifecycle exit (`MapEnd`, `MapFailed`,
+//!   `MapSpeculationLost`) must name an attempt that is actually
+//!   running. A speculative start is *not* recovery: it neither needs
+//!   volatile mode nor a failed reducer's dependency set.
 //! * **R2 — barrier after dependencies.** `ReduceBarrierMet(r)`
 //!   requires a committed `MapEnd` for every map in `deps(r)` (all
 //!   maps under a global barrier) earlier in the stream.
@@ -163,7 +171,25 @@ impl TimelineOracle {
                     if m >= self.num_maps {
                         return violation("R1", i, format!("MapStart for nonexistent map {m}"));
                     }
-                    if st.map_running[m] {
+                    if st.spec_grant[m] == Some(e.attempt) {
+                        // A granted speculative start: the attempt id
+                        // was vetted (and `map_next_attempt` advanced)
+                        // at the `MapSpeculated` event, and racing an
+                        // already-running straggler is the whole
+                        // point, so neither the while-running nor the
+                        // recovery-confinement checks apply.
+                        st.spec_grant[m] = None;
+                        st.map_running[m].push(e.attempt);
+                        st.map_failed_last[m] = false;
+                        continue;
+                    }
+                    if !st.map_running[m].is_empty() && !st.map_speculated_ever[m] {
+                        // With speculation in play the one-attempt
+                        // invariant is already gone for this map (a
+                        // straggling loser may still be draining while
+                        // recovery launches the next generation), so
+                        // the check stays armed only for maps that
+                        // were never raced.
                         return violation(
                             "R1",
                             i,
@@ -212,32 +238,92 @@ impl TimelineOracle {
                         }
                     }
                     st.map_next_attempt[m] += 1;
-                    st.map_running[m] = true;
+                    st.map_running[m].push(e.attempt);
                     st.map_failed_last[m] = false;
                 }
+                TaskKind::MapSpeculated => {
+                    if m >= self.num_maps {
+                        return violation(
+                            "R6",
+                            i,
+                            format!("MapSpeculated for nonexistent map {m}"),
+                        );
+                    }
+                    if st.spec_grant[m].is_some() {
+                        return violation(
+                            "R6",
+                            i,
+                            format!(
+                                "map {m} granted a second speculative attempt while one \
+                                 is outstanding"
+                            ),
+                        );
+                    }
+                    if e.attempt != st.map_next_attempt[m] {
+                        return violation(
+                            "R6",
+                            i,
+                            format!(
+                                "map {m} speculated attempt {} but attempt {} was next",
+                                e.attempt, st.map_next_attempt[m]
+                            ),
+                        );
+                    }
+                    // No running-attempt requirement: the grant and
+                    // the primary's exit are recorded by different
+                    // threads, so the stream may legally show MapEnd
+                    // before the already-decided MapSpeculated.
+                    st.spec_grant[m] = Some(e.attempt);
+                    st.map_next_attempt[m] += 1;
+                    st.map_speculated_ever[m] = true;
+                }
                 TaskKind::MapEnd => {
-                    if m >= self.num_maps || !st.map_running[m] {
+                    if m >= self.num_maps || !st.map_exit(m, e.attempt) {
                         return violation(
                             "R1",
                             i,
-                            format!("MapEnd for map {m} that isn't running"),
+                            format!(
+                                "MapEnd for map {m} attempt {} that isn't running",
+                                e.attempt
+                            ),
                         );
                     }
-                    st.map_running[m] = false;
                     st.map_failed_last[m] = false;
                     st.map_committed_ever[m] = true;
                     st.map_end_count[m] += 1;
                 }
                 TaskKind::MapFailed => {
-                    if m >= self.num_maps || !st.map_running[m] {
+                    if m >= self.num_maps || !st.map_exit(m, e.attempt) {
                         return violation(
                             "R1",
                             i,
-                            format!("MapFailed for map {m} that isn't running"),
+                            format!(
+                                "MapFailed for map {m} attempt {} that isn't running",
+                                e.attempt
+                            ),
                         );
                     }
-                    st.map_running[m] = false;
                     st.map_failed_last[m] = true;
+                }
+                TaskKind::MapSpeculationLost => {
+                    if m >= self.num_maps || !st.map_exit(m, e.attempt) {
+                        return violation(
+                            "R6",
+                            i,
+                            format!(
+                                "MapSpeculationLost for map {m} attempt {} that isn't running",
+                                e.attempt
+                            ),
+                        );
+                    }
+                    // Losing a race is not failure: the winner's
+                    // commit stands and `map_failed_last` is whatever
+                    // the committed lifecycle left it.
+                }
+                TaskKind::ReduceSpeculated | TaskKind::ReduceSpeculationLost => {
+                    // Reserved vocabulary: the engine races maps only
+                    // (see DESIGN.md). Tolerated so future streams
+                    // stay parseable; nothing to check.
                 }
                 TaskKind::MapRetry => {}
                 TaskKind::ReduceStart => {
@@ -360,7 +446,15 @@ impl TimelineOracle {
 
 struct OracleState {
     map_next_attempt: Vec<u32>,
-    map_running: Vec<bool>,
+    /// Attempt ids currently running per map — at most two with a
+    /// speculation race in flight, at most one otherwise.
+    map_running: Vec<Vec<u32>>,
+    /// Outstanding `MapSpeculated` grant not yet consumed by its
+    /// `MapStart` (R6: at most one per map at a time).
+    spec_grant: Vec<Option<u32>>,
+    /// Whether the map was ever raced — once true, the one-attempt-
+    /// at-a-time reading of R1 no longer applies to it.
+    map_speculated_ever: Vec<bool>,
     /// Last lifecycle event was `MapFailed` (so the next start is a
     /// retry, not a recovery re-execution).
     map_failed_last: Vec<bool>,
@@ -379,7 +473,9 @@ impl OracleState {
     fn new(nm: usize, nr: usize) -> Self {
         OracleState {
             map_next_attempt: vec![0; nm],
-            map_running: vec![false; nm],
+            map_running: vec![Vec::new(); nm],
+            spec_grant: vec![None; nm],
+            map_speculated_ever: vec![false; nm],
             map_failed_last: vec![false; nm],
             map_committed_ever: vec![false; nm],
             map_end_count: vec![0; nm],
@@ -388,6 +484,19 @@ impl OracleState {
             reduce_failures: vec![0; nr],
             reduce_barrier_attempt: vec![None; nr],
             reduce_done: vec![false; nr],
+        }
+    }
+
+    /// Removes `attempt` from map `m`'s running set; false if it
+    /// wasn't running.
+    fn map_exit(&mut self, m: usize, attempt: u32) -> bool {
+        let running = &mut self.map_running[m];
+        match running.iter().position(|&a| a == attempt) {
+            Some(idx) => {
+                running.swap_remove(idx);
+                true
+            }
+            None => false,
         }
     }
 }
@@ -524,6 +633,87 @@ mod tests {
         oracle.check(&events).unwrap();
         let v = oracle.check_complete(&events).unwrap_err();
         assert_eq!(v.invariant, "R5");
+    }
+
+    #[test]
+    fn speculative_race_with_either_winner_passes() {
+        // Map 0 straggles on attempt 0; a granted twin (attempt 1)
+        // races it. Whichever attempt commits first, the stream is
+        // legal — the loser exits with MapSpeculationLost.
+        let oracle = TimelineOracle::new(1, 1).with_deps(0, vec![0]);
+        let twin_wins = vec![
+            ev(TaskKind::ReduceStart, 0, 0, 0),
+            ev(TaskKind::MapStart, 0, 0, 1),
+            ev(TaskKind::MapSpeculated, 0, 1, 2),
+            ev(TaskKind::MapStart, 0, 1, 3),
+            ev(TaskKind::MapEnd, 0, 1, 4),
+            ev(TaskKind::ReduceBarrierMet, 0, 0, 5),
+            ev(TaskKind::MapSpeculationLost, 0, 0, 6),
+            ev(TaskKind::ReduceEnd, 0, 0, 7),
+        ];
+        oracle.check_complete(&twin_wins).unwrap();
+        let primary_wins = vec![
+            ev(TaskKind::ReduceStart, 0, 0, 0),
+            ev(TaskKind::MapStart, 0, 0, 1),
+            ev(TaskKind::MapSpeculated, 0, 1, 2),
+            ev(TaskKind::MapStart, 0, 1, 3),
+            ev(TaskKind::MapEnd, 0, 0, 4),
+            ev(TaskKind::ReduceBarrierMet, 0, 0, 5),
+            ev(TaskKind::MapSpeculationLost, 0, 1, 6),
+            ev(TaskKind::ReduceEnd, 0, 0, 7),
+        ];
+        oracle.check_complete(&primary_wins).unwrap();
+    }
+
+    #[test]
+    fn second_outstanding_grant_is_r6() {
+        let events = vec![
+            ev(TaskKind::MapStart, 0, 0, 0),
+            ev(TaskKind::MapSpeculated, 0, 1, 1),
+            ev(TaskKind::MapSpeculated, 0, 2, 2), // grant 1 never consumed
+        ];
+        let oracle = TimelineOracle::new(1, 1);
+        let v = oracle.check(&events).unwrap_err();
+        assert_eq!(v.invariant, "R6");
+        assert_eq!(v.index, 2);
+    }
+
+    #[test]
+    fn lifecycle_exit_for_idle_attempt_is_caught() {
+        // A MapSpeculationLost naming an attempt that never started.
+        let events = vec![
+            ev(TaskKind::MapStart, 0, 0, 0),
+            ev(TaskKind::MapSpeculationLost, 0, 1, 1),
+        ];
+        let oracle = TimelineOracle::new(1, 1);
+        let v = oracle.check(&events).unwrap_err();
+        assert_eq!(v.invariant, "R6");
+
+        // And a MapEnd for the attempt the twin already committed.
+        let events = vec![
+            ev(TaskKind::MapStart, 0, 0, 0),
+            ev(TaskKind::MapSpeculated, 0, 1, 1),
+            ev(TaskKind::MapStart, 0, 1, 2),
+            ev(TaskKind::MapEnd, 0, 1, 3),
+            ev(TaskKind::MapEnd, 0, 1, 4), // double commit of attempt 1
+        ];
+        let v = oracle.check(&events).unwrap_err();
+        assert_eq!(v.invariant, "R1");
+        assert_eq!(v.index, 4);
+    }
+
+    #[test]
+    fn ungranted_second_start_is_still_r1() {
+        // Without a MapSpeculated grant, a second concurrent start of
+        // a never-raced map keeps tripping the classic R1 check.
+        let events = vec![
+            ev(TaskKind::MapStart, 0, 0, 0),
+            ev(TaskKind::MapStart, 0, 1, 1),
+        ];
+        let oracle = TimelineOracle::new(1, 1);
+        let v = oracle.check(&events).unwrap_err();
+        assert_eq!(v.invariant, "R1");
+        assert_eq!(v.index, 1);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use serde::{Deserialize, Serialize};
 
 use sidr_coords::Slab;
-use sidr_mapreduce::{InputSplit, MapTaskId, RetryPolicy, RoutingPlan};
+use sidr_mapreduce::{InputSplit, MapTaskId, RetryPolicy, RoutingPlan, SpeculationPolicy};
 
 use crate::operators::Operator;
 use crate::plan::{SidrPlan, SidrPlanner};
@@ -52,6 +52,13 @@ pub struct JobSpec {
     /// Retry budget and backoff the job's tasks run under — validated
     /// at admission (a zero attempt budget can never run).
     pub retry: RetryPolicy,
+    /// Speculative-execution policy: when a running map exceeds a
+    /// quantile of its committed cohort's durations, a twin attempt
+    /// races it (first commit wins). Off by default; validated at
+    /// admission. The policy's own deserializer defaults every
+    /// missing field, so a document carrying only
+    /// `"speculation": {"enabled": true}` is a valid submission.
+    pub speculation: SpeculationPolicy,
 }
 
 impl JobSpec {
@@ -84,6 +91,7 @@ impl JobSpec {
                 .collect(),
             deadline_ms: None,
             retry: RetryPolicy::default(),
+            speculation: SpeculationPolicy::default(),
         })
     }
 
@@ -96,6 +104,12 @@ impl JobSpec {
     /// Sets the retry policy the job's tasks run under.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Sets the speculative-execution policy (builder-style).
+    pub fn with_speculation(mut self, policy: SpeculationPolicy) -> Self {
+        self.speculation = policy;
         self
     }
 

@@ -1,84 +1,375 @@
-//! Ablation: Hadoop's straggler mitigation (speculative execution) vs
-//! SIDR's dependency barriers.
+//! Ablation: speculative execution under injected stragglers — now a
+//! *closed-loop* benchmark against the real engine, not the simulator.
 //!
 //! §4.2 attributes reduce-completion variance to "abnormally
 //! long-running Map tasks". Stock Hadoop's defense is speculative
-//! execution — re-running the slowest map and racing the copies.
-//! SIDR's dependency barriers attack the same problem differently: a
-//! straggler only delays the few reduce tasks in whose `I_ℓ` it
-//! appears, instead of the entire job. This ablation runs Query 1
-//! under injected stragglers with each mitigation on and off.
+//! execution — racing a second copy of the slowest map, first commit
+//! wins. This binary injects a straggler into the fig08-scale
+//! weekly-averages workload and measures, on the in-process engine:
+//!
+//! 1. wall time with speculation off vs on (the cohort-quantile
+//!    trigger) — acceptance requires the rescue to cut wall time by
+//!    at least 1.5x;
+//! 2. the wasted-work ratio (losing racers per executed map attempt);
+//! 3. the deadline-hit rate with the *proactive* watchdog: speculation
+//!    configured to never self-trigger, so only a deadline-pressure
+//!    boost (`ProgressProbe::request_boost`, the serving layer's
+//!    SIDR-I014 path) can rescue the run.
+//!
+//! Emits `results/BENCH_speculation.json`:
+//!
+//! ```text
+//! cargo run --release -p sidr-experiments --bin ablation_speculation
+//! cargo run --release -p sidr-experiments --bin ablation_speculation -- --tiny
+//! ```
+//!
+//! Every run's keyblock commits are compared against a fault-free
+//! baseline; the report is only healthy when all of them match.
 
-use sidr_core::{FrameworkMode, StructuralQuery};
-use sidr_experiments::{compare, write_csv};
-use sidr_simcluster::{build_sim_job, simulate, CostModel, SimClusterConfig, SimWorkload};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-fn main() {
-    let query = StructuralQuery::query1().expect("paper query is valid");
-    let model = CostModel {
-        straggler_prob: 0.02,
-        straggler_factor: 5.0,
-        ..Default::default()
+use serde::Serialize;
+
+use sidr_coords::{Coord, Shape};
+use sidr_core::framework::{run_spec_on_pool, SpecRunOptions};
+use sidr_core::spec::JobSpec;
+use sidr_core::{Operator, SidrPlanner, StructuralQuery};
+use sidr_mapreduce::{
+    FaultKind, FaultPlan, FaultTarget, InMemoryOutput, JobResult, ProgressProbe, SlotPool,
+    SpeculationPolicy, SplitGenerator, TaskKind,
+};
+use sidr_scifile::gen::{DatasetSpec, ValueModel};
+use sidr_scifile::ScincFile;
+
+struct Args {
+    tiny: bool,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        tiny: false,
+        out: "results/BENCH_speculation.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tiny" => args.tiny = true,
+            "--out" => args.out = it.next().ok_or("--out needs a path")?,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Figure-8's weekly-average geometry scaled to run in seconds:
+/// {112,25,20} f32 rows averaged over {7,5,1} windows, 8
+/// extraction-aligned splits; `--tiny` halves the time axis for CI.
+struct Workload {
+    name: &'static str,
+    query: StructuralQuery,
+    reducers: usize,
+    splits_hint: u64,
+    straggle_ms: u64,
+    deadline_ms: u64,
+    runs: usize,
+}
+
+fn workload(tiny: bool) -> Workload {
+    let (rows, name, straggle_ms, runs) = if tiny {
+        (56u64, "fig08-tiny", 600, 2)
+    } else {
+        (112u64, "fig08-scaled", 1_500, 3)
+    };
+    Workload {
+        name,
+        query: StructuralQuery::new(
+            "temperature",
+            Shape::new(vec![rows, 25, 20]).expect("valid"),
+            Shape::new(vec![7, 5, 1]).expect("valid"),
+            Operator::Mean,
+        )
+        .expect("query is structural"),
+        reducers: 11,
+        splits_hint: 4,
+        straggle_ms,
+        // The straggler alone busts the deadline; only a rescue
+        // (speculative twin) can bring the job in under it.
+        deadline_ms: straggle_ms,
+        runs,
+    }
+}
+
+/// The per-keyblock commits in canonical (reducer-sorted) order — the
+/// byte-identity invariant every speculative run must preserve.
+type Keyblocks = Vec<(usize, Vec<(Coord, f64)>)>;
+
+struct RunOutput {
+    wall_ms: u64,
+    result: JobResult,
+    keyblocks: Keyblocks,
+}
+
+fn run_once(file: &ScincFile, spec: &JobSpec, opts: &SpecRunOptions) -> RunOutput {
+    let pool = SlotPool::new(4, 4).expect("pool");
+    let out = InMemoryOutput::<Coord, f64>::new();
+    let started = Instant::now();
+    let result = run_spec_on_pool(file, spec, opts, &out, &pool, None).expect("run succeeds");
+    let wall_ms = started.elapsed().as_millis() as u64;
+    let mut keyblocks: Keyblocks = out
+        .commits()
+        .into_iter()
+        .map(|c| (c.reducer, c.records))
+        .collect();
+    keyblocks.sort_by_key(|(reducer, _)| *reducer);
+    RunOutput {
+        wall_ms,
+        result,
+        keyblocks,
+    }
+}
+
+fn count_events(result: &JobResult, kind: TaskKind) -> u64 {
+    result.events.iter().filter(|e| e.kind == kind).count() as u64
+}
+
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    bench: String,
+    workload: String,
+    num_maps: usize,
+    num_reducers: usize,
+    straggle_ms: u64,
+    runs: usize,
+    /// Median wall time with the straggler and speculation disabled.
+    wall_ms_off: u64,
+    /// Median wall time with the cohort-quantile trigger racing the
+    /// straggler.
+    wall_ms_on: u64,
+    speedup: f64,
+    speculative_launched: u64,
+    speculative_lost: u64,
+    /// Losing racers per executed map attempt (speculation-on runs).
+    wasted_work_ratio: f64,
+    deadline_ms: u64,
+    deadline_hits_off: usize,
+    deadline_hits_on: usize,
+    deadline_hit_rate_on: f64,
+    /// Proactive-watchdog boosts issued across the deadline runs.
+    deadline_boosts: u64,
+    /// Every run, speculative or not, streamed keyblocks identical to
+    /// the fault-free baseline.
+    output_identical: bool,
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("ablation_speculation: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let w = workload(args.tiny);
+
+    let dir = std::env::temp_dir().join("sidr-speculation-bench");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{}-{}.scinc", w.name, std::process::id()));
+    let space = w.query.input_space().clone();
+    DatasetSpec {
+        variable: w.query.variable.clone(),
+        dim_names: (0..space.rank()).map(|d| format!("d{d}")).collect(),
+        space,
+        model: ValueModel::LinearIndex,
+        seed: 0,
+    }
+    .generate::<f32>(&path)
+    .expect("dataset generates");
+    let file = ScincFile::open(&path).expect("dataset opens");
+
+    let splits = SplitGenerator::new(w.query.input_space().clone(), w.splits_hint)
+        .aligned(25 * 20 * 4 * 14, 7)
+        .expect("splits generate");
+    let plan = SidrPlanner::new(&w.query, w.reducers)
+        .build(&splits)
+        .expect("plan builds");
+    let spec = JobSpec::from_plan(&w.query, &splits, &plan).expect("spec builds");
+    let num_maps = splits.len();
+    let straggler = num_maps - 1;
+    let straggle_plan = || {
+        FaultPlan::none().with(
+            FaultTarget::Map(straggler),
+            0,
+            FaultKind::Straggle {
+                delay_ms: w.straggle_ms,
+            },
+        )
     };
 
-    println!("== Ablation: straggler mitigation (2 % of tasks run 5x long) ==\n");
-    println!(
-        "{:>34} {:>16} {:>16}",
-        "configuration", "first result", "makespan"
-    );
-    let mut rows = Vec::new();
-    let mut results = Vec::new();
-    for (label, mode, speculative) in [
-        ("SciHadoop", FrameworkMode::SciHadoop, false),
-        ("SciHadoop + speculation", FrameworkMode::SciHadoop, true),
-        ("SIDR (dependency barriers)", FrameworkMode::Sidr, false),
-        ("SIDR + speculation", FrameworkMode::Sidr, true),
-    ] {
-        let w = SimWorkload::new(query.clone(), mode, 66);
-        let cluster = SimClusterConfig {
-            speculative_maps: speculative,
-            ..Default::default()
-        };
-        let trace = simulate(&build_sim_job(&w).expect("plans"), &cluster, &model);
-        println!(
-            "{label:>34} {:>13.0} s {:>13.0} s",
-            trace.first_result_s(),
-            trace.makespan_s()
-        );
-        rows.push(format!(
-            "{label},{:.1},{:.1}",
-            trace.first_result_s(),
-            trace.makespan_s()
-        ));
-        results.push((label, trace.first_result_s(), trace.makespan_s()));
-    }
-    let path = write_csv(
-        "ablation_speculation",
-        "config,first_result_s,makespan_s",
-        &rows,
-    );
-    println!("[csv] {}", path.display());
+    // Fault-free ground truth.
+    let baseline = run_once(&file, &spec, &SpecRunOptions::default());
+    let mut all_identical = true;
 
-    println!("\nChecks:");
-    compare(
-        "speculation rescues the global barrier from stragglers",
-        "Hadoop's mitigation works",
-        &format!("{:.0} s -> {:.0} s", results[0].2, results[1].2),
-        results[1].2 < results[0].2,
+    println!("== Speculation ablation: closed loop on the engine ==");
+    println!(
+        "workload {} ({} maps, {} reducers), straggler on map {straggler} ({} ms)\n",
+        w.name, num_maps, w.reducers, w.straggle_ms
     );
-    compare(
-        "SIDR's early results don't need speculation",
-        "stragglers only delay dependents",
-        &format!(
-            "SIDR first result {:.0} s vs SciHadoop's {:.0} s (both unspeculated)",
-            results[2].1, results[0].1
-        ),
-        results[2].1 < 0.3 * results[0].1,
-    );
-    compare(
-        "mitigations compose: SIDR + speculation is fastest overall",
-        "complementary, like SkewTune (§5)",
-        &format!("{:.0} s", results[3].2),
-        results[3].2 <= results.iter().map(|r| r.2).fold(f64::INFINITY, f64::min) + 1.0,
-    );
+
+    // ---- Arm 1: straggler, speculation off. ----
+    let mut walls_off = Vec::new();
+    let mut deadline_hits_off = 0usize;
+    for _ in 0..w.runs {
+        let run = run_once(
+            &file,
+            &spec,
+            &SpecRunOptions {
+                fault_plan: straggle_plan(),
+                ..SpecRunOptions::default()
+            },
+        );
+        all_identical &= run.keyblocks == baseline.keyblocks;
+        deadline_hits_off += usize::from(run.wall_ms <= w.deadline_ms);
+        walls_off.push(run.wall_ms);
+    }
+
+    // ---- Arm 2: straggler, cohort-quantile speculation on. ----
+    let mut walls_on = Vec::new();
+    let mut launched = 0u64;
+    let mut lost = 0u64;
+    let mut attempts = 0u64;
+    for _ in 0..w.runs {
+        let run = run_once(
+            &file,
+            &spec,
+            &SpecRunOptions {
+                fault_plan: straggle_plan(),
+                speculation: SpeculationPolicy {
+                    check_interval_ms: 5,
+                    ..SpeculationPolicy::on()
+                },
+                ..SpecRunOptions::default()
+            },
+        );
+        all_identical &= run.keyblocks == baseline.keyblocks;
+        launched += count_events(&run.result, TaskKind::MapSpeculated);
+        lost += count_events(&run.result, TaskKind::MapSpeculationLost);
+        attempts += count_events(&run.result, TaskKind::MapStart);
+        walls_on.push(run.wall_ms);
+    }
+
+    // ---- Arm 3: deadline pressure with the proactive watchdog. ----
+    // The trigger's slowdown factor is set astronomically high, so the
+    // *only* way a twin launches is the watchdog observing the
+    // engine's completion projection threaten the deadline and
+    // boosting the trigger — the serving layer's SIDR-I014 path.
+    let mut deadline_hits_on = 0usize;
+    let mut deadline_boosts = 0u64;
+    for _ in 0..w.runs {
+        let probe = Arc::new(ProgressProbe::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+        let watchdog = {
+            let probe = probe.clone();
+            let done = done.clone();
+            let deadline_ms = w.deadline_ms;
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    if let Some(rem) = probe.projected_remaining_ms() {
+                        let elapsed = started.elapsed().as_millis() as u64;
+                        // 4x safety margin on the projection: boost
+                        // early enough for the rescue to land.
+                        if elapsed.saturating_add(rem.saturating_mul(4)) > deadline_ms {
+                            probe.request_boost();
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+        };
+        let run = run_once(
+            &file,
+            &spec,
+            &SpecRunOptions {
+                fault_plan: straggle_plan(),
+                speculation: SpeculationPolicy {
+                    slowdown: 1e9,
+                    check_interval_ms: 5,
+                    ..SpeculationPolicy::on()
+                },
+                progress: Some(probe.clone()),
+                ..SpecRunOptions::default()
+            },
+        );
+        done.store(true, Ordering::Relaxed);
+        watchdog.join().expect("watchdog thread");
+        all_identical &= run.keyblocks == baseline.keyblocks;
+        deadline_hits_on += usize::from(run.wall_ms <= w.deadline_ms);
+        deadline_boosts += u64::from(probe.boost_requested());
+    }
+
+    let wall_ms_off = median(walls_off);
+    let wall_ms_on = median(walls_on);
+    let speedup = wall_ms_off as f64 / wall_ms_on.max(1) as f64;
+    let report = BenchReport {
+        bench: "speculative execution vs stragglers (closed loop)".into(),
+        workload: w.name.into(),
+        num_maps,
+        num_reducers: w.reducers,
+        straggle_ms: w.straggle_ms,
+        runs: w.runs,
+        wall_ms_off,
+        wall_ms_on,
+        speedup,
+        speculative_launched: launched,
+        speculative_lost: lost,
+        wasted_work_ratio: lost as f64 / attempts.max(1) as f64,
+        deadline_ms: w.deadline_ms,
+        deadline_hits_off,
+        deadline_hits_on,
+        deadline_hit_rate_on: deadline_hits_on as f64 / w.runs as f64,
+        deadline_boosts,
+        output_identical: all_identical,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    if let Some(parent) = std::path::Path::new(&args.out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("ablation_speculation: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("{json}");
+    std::fs::remove_file(&path).ok();
+
+    let mut healthy = true;
+    if !all_identical {
+        eprintln!("[!!] some speculative run diverged from the baseline");
+        healthy = false;
+    }
+    if speedup < 1.5 {
+        eprintln!("[!!] speculation cut wall time only {speedup:.2}x (acceptance: >= 1.5x)");
+        healthy = false;
+    }
+    if deadline_hits_on < w.runs {
+        eprintln!(
+            "[!!] proactive watchdog missed the deadline in {} of {} runs",
+            w.runs - deadline_hits_on,
+            w.runs
+        );
+        healthy = false;
+    }
+    if healthy {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

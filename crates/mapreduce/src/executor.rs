@@ -69,6 +69,23 @@ pub trait TaskExecutor<K2: MrKey, V3: MrValue>: Sync {
         counters: &Counters,
     ) -> Result<()>;
 
+    /// Runs one *speculative* map attempt — a twin racing a running
+    /// straggler. The default just delegates to [`execute_map`]; a
+    /// fleet coordinator overrides it to place the twin on a
+    /// different worker than the straggling primary (racing on the
+    /// same machine that is already slow defeats the point).
+    ///
+    /// [`execute_map`]: TaskExecutor::execute_map
+    fn execute_map_speculative(
+        &self,
+        task: MapTaskId,
+        attempt: u32,
+        split: &InputSplit,
+        counters: &Counters,
+    ) -> Result<()> {
+        self.execute_map(task, attempt, split, counters)
+    }
+
     /// Runs one reduce attempt on a worker: the worker fetches the
     /// `sources` partitions from their holders (over TCP, CRC-framed),
     /// merges, reduces, and streams each key group back; `emit` is

@@ -38,6 +38,7 @@ pub mod runtime;
 pub mod shuffle;
 pub mod shuffle_file;
 pub mod smof3;
+pub mod speculation;
 pub mod split;
 pub mod sync;
 pub mod task;
@@ -60,6 +61,7 @@ pub use shuffle::{
     ShuffleStore, SpillCodec,
 };
 pub use smof3::Smof3View;
+pub use speculation::{ProgressProbe, SpeculationPolicy};
 pub use split::{InputSplit, MapTaskId, SplitGenerator};
 pub use task::{
     Combiner, FnMapper, FnReducer, Mapper, MrKey, MrValue, RecordSource, Reducer, SliceRecordSource,

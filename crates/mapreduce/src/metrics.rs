@@ -53,6 +53,15 @@ pub struct RuntimeMetrics {
     /// sidr-check explorer reports the same condition as a
     /// `LostWakeup` finding.
     pub tick_wakeups: Arc<Counter>,
+    /// `sidr_mr_speculative_launched_total` — speculative twin
+    /// attempts launched against running stragglers.
+    pub speculative_launched: Arc<Counter>,
+    /// `sidr_mr_speculative_won_total` — races where the speculative
+    /// twin committed first.
+    pub speculative_won: Arc<Counter>,
+    /// `sidr_mr_speculative_wasted_total` — attempts (either racer)
+    /// that lost a race: work done and thrown away.
+    pub speculative_wasted: Arc<Counter>,
 }
 
 /// The engine's metrics, registered on first use.
@@ -131,6 +140,21 @@ pub fn runtime() -> &'static RuntimeMetrics {
             tick_wakeups: r.counter(
                 "sidr_mr_tick_wakeups_total",
                 "Blocked workers unblocked by the safety-net tick instead of a notification",
+                &[],
+            ),
+            speculative_launched: r.counter(
+                "sidr_mr_speculative_launched_total",
+                "Speculative twin attempts launched against running stragglers",
+                &[],
+            ),
+            speculative_won: r.counter(
+                "sidr_mr_speculative_won_total",
+                "Speculation races won by the twin attempt",
+                &[],
+            ),
+            speculative_wasted: r.counter(
+                "sidr_mr_speculative_wasted_total",
+                "Attempts that lost a speculation race (work thrown away)",
                 &[],
             ),
         }

@@ -21,7 +21,7 @@
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::sync::chaos::{self, Mutation};
 use crate::sync::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -35,6 +35,7 @@ use crate::shuffle::{
     CorruptionMode, Fetched, GroupBatch, MapOutputBuilder, MapOutputFile, MergeIter, ShuffleStore,
 };
 use crate::smof3::Smof3View;
+use crate::speculation::{ProgressProbe, SpeculationPolicy};
 use crate::split::{InputSplit, MapTaskId};
 use crate::task::{Combiner, Mapper, MrKey, MrValue, RecordSource, Reducer};
 use crate::timeline::{TaskEvent, TaskKind, Timeline};
@@ -78,6 +79,15 @@ pub struct JobConfig {
     /// `$TMP/sidr-map-spill` — namespaced by job so concurrent jobs
     /// on one pool never collide on run filenames.
     pub map_spill_records: Option<usize>,
+    /// Speculative execution: race a second attempt of a map whose
+    /// elapsed time exceeds a quantile of its committed cohort; first
+    /// commit wins, the loser's output is never published. Disabled by
+    /// default.
+    pub speculation: SpeculationPolicy,
+    /// Live progress/projection channel to the serving layer's
+    /// deadline watchdog; the watchdog's boost request makes the
+    /// speculation monitor aggressive before the deadline cancels.
+    pub progress: Option<Arc<ProgressProbe>>,
 }
 
 impl Default for JobConfig {
@@ -93,6 +103,8 @@ impl Default for JobConfig {
             reduce_think: Duration::ZERO,
             spill_dir: None,
             map_spill_records: None,
+            speculation: SpeculationPolicy::default(),
+            progress: None,
         }
     }
 }
@@ -494,6 +506,37 @@ struct State {
     /// with the re-enqueue instant so the recovery-latency histogram
     /// can observe re-enqueue → recommit.
     recovering: HashMap<MapTaskId, Instant>,
+    /// First-commit-wins claim per map: the attempt id that owns (or
+    /// will own) the right to publish this generation's output.
+    /// `None` = unclaimed. Taken *before* the shuffle `put`, so a
+    /// racing loser never publishes at all.
+    map_claim: Vec<Option<u32>>,
+    /// Attempts below this floor can never claim: recovery re-enqueues
+    /// raise it past every attempt of the dead generation, so a
+    /// still-straggling old racer cannot commit into the new one.
+    map_claim_floor: Vec<u32>,
+    /// Whether the current generation of each map already got its
+    /// speculative twin (the at-most-one-extra-attempt invariant).
+    map_speculated: Vec<bool>,
+    /// Running attempts per map: 0, 1, or 2 while a race is on.
+    map_running_attempts: Vec<u8>,
+    /// When the generation's primary attempt started running (the
+    /// speculation monitor's elapsed-time reference). Cleared on
+    /// commit and on re-enqueue.
+    map_started: Vec<Option<Instant>>,
+    /// Whether the running primary attempt's `MapStart` is on the
+    /// timeline yet. Speculative claims wait for it, so a twin's
+    /// `MapSpeculated` event can never precede its racer's start in
+    /// the recorded stream (the oracle's attempt numbering relies on
+    /// that order).
+    map_start_logged: Vec<bool>,
+    /// Committed map durations, milliseconds — the speculation
+    /// trigger's cohort.
+    map_durations_ms: Vec<u64>,
+    /// Maps the speculation monitor granted a twin, awaiting claim by
+    /// an idle map worker. Entries go stale harmlessly (re-validated
+    /// at claim time).
+    spec_queue: VecDeque<MapTaskId>,
     /// Next position in the plan's reduce launch order.
     reduce_cursor: usize,
     reduces_done: usize,
@@ -511,9 +554,45 @@ impl State {
         }
         self.maps[m] = MapStatus::Eligible;
         self.recovering.entry(m).or_insert_with(Instant::now);
+        // A fresh generation: it gets its own commit claim and its own
+        // speculation budget, and no attempt of the dead generation —
+        // e.g. a speculation loser still straggling — may claim into
+        // it (its epoch would not match what recovery promised).
+        self.map_claim[m] = None;
+        self.map_claim_floor[m] = self.map_attempt[m];
+        self.map_speculated[m] = false;
+        self.map_started[m] = None;
         Counters::add(&counters.maps_reexecuted, 1);
         crate::metrics::runtime().maps_recovered.inc();
         true
+    }
+
+    /// First-commit-wins: claims the right to publish map `m`'s output
+    /// for `attempt`. True when `attempt` holds the claim after the
+    /// call (idempotent for the claim holder); false when another
+    /// attempt claimed first or `attempt` predates the generation
+    /// floor.
+    fn try_claim_commit(&mut self, m: MapTaskId, attempt: u32) -> bool {
+        if attempt < self.map_claim_floor[m] {
+            return false;
+        }
+        match self.map_claim[m] {
+            None => {
+                self.map_claim[m] = Some(attempt);
+                true
+            }
+            Some(a) => a == attempt,
+        }
+    }
+
+    /// Whether `attempt` can no longer win map `m`'s commit race: a
+    /// racer claimed or committed, or recovery started a newer
+    /// generation. A lost attempt aborts instead of finishing work
+    /// nobody will consume.
+    fn race_lost(&self, m: MapTaskId, attempt: u32) -> bool {
+        attempt < self.map_claim_floor[m]
+            || self.maps[m] == MapStatus::Done
+            || self.map_claim[m].is_some_and(|a| a != attempt)
     }
 }
 
@@ -568,6 +647,42 @@ impl<K2: MrKey, V2: MrValue> Shared<'_, K2, V2> {
             return true;
         }
         false
+    }
+
+    /// Sleeps `dur`, waking early — and returning false — when the job
+    /// is cancelled or `abort(state)` turns true. Parks on the state
+    /// condvar, which is registered as a cancel waker and notified by
+    /// `fail()`, so a cancelled straggle/backoff sleep unblocks with
+    /// notification latency instead of waiting out its full delay.
+    #[cfg(not(check))]
+    fn sleep_interruptible(&self, dur: Duration, abort: &dyn Fn(&State) -> bool) -> bool {
+        let deadline = Instant::now() + dur;
+        let mut st = self.state.lock();
+        loop {
+            if self.cancel_requested() || abort(&st) {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return true;
+            }
+            // Bounded by the safety-net tick like every other blocking
+            // point; a timeout here is expected (it *is* the sleep),
+            // so it never counts as a tick wakeup.
+            self.cv
+                .wait_for(&mut st, (deadline - now).min(self.wait_tick));
+        }
+    }
+
+    /// Checker builds: wall clocks are virtual and a timed condvar
+    /// wait that only ever times out would read as a lost wakeup to
+    /// the explorer, so the sleep is a plain virtual yield followed by
+    /// one abort check.
+    #[cfg(check)]
+    fn sleep_interruptible(&self, dur: Duration, abort: &dyn Fn(&State) -> bool) -> bool {
+        crate::sync::thread::sleep(dur);
+        let st = self.state.lock();
+        !(self.cancel_requested() || abort(&st))
     }
 }
 
@@ -773,6 +888,14 @@ where
             map_failures: vec![0; num_maps],
             map_commit_epoch: vec![0; num_maps],
             recovering: HashMap::new(),
+            map_claim: vec![None; num_maps],
+            map_claim_floor: vec![0; num_maps],
+            map_speculated: vec![false; num_maps],
+            map_running_attempts: vec![0; num_maps],
+            map_started: vec![None; num_maps],
+            map_start_logged: vec![false; num_maps],
+            map_durations_ms: Vec::new(),
+            spec_queue: VecDeque::new(),
             reduce_cursor: 0,
             reduces_done: 0,
             failed: false,
@@ -828,8 +951,15 @@ where
 
     // One worker thread per slot the pool could ever grant this job,
     // capped by the task counts; permits are what actually bound
-    // concurrency when the pool is shared.
-    let map_workers = pool.map_slots().min(num_maps);
+    // concurrency when the pool is shared. Under speculation every
+    // map can have a racing twin, so the cap doubles — a twin must
+    // never wait for the straggler it is racing to free a thread.
+    let max_map_tasks = if config.speculation.enabled {
+        num_maps.saturating_mul(2)
+    } else {
+        num_maps
+    };
+    let map_workers = pool.map_slots().min(max_map_tasks);
     let reduce_workers = pool.reduce_slots().min(num_reducers);
     crate::sync::thread::scope(|scope| {
         for _ in 0..map_workers {
@@ -837,6 +967,13 @@ where
         }
         for _ in 0..reduce_workers {
             scope.spawn(|| reduce_worker(&shared, &reduce_order, reducer, output, executor));
+        }
+        // The time-based speculation monitor is meaningless under the
+        // virtual scheduler (no wall clock); there the deterministic
+        // `force_maps` hook in the map workers is the only trigger.
+        #[cfg(not(check))]
+        if config.speculation.enabled {
+            scope.spawn(|| speculation_monitor(&shared, num_reducers));
         }
     });
 
@@ -854,11 +991,13 @@ where
     // runtime map-output tally against the plan's static prediction.
     // Only meaningful when annotation validation is on (filter
     // pushdown voids the geometric tallies) and every map ran exactly
-    // once (skips and recovery re-executions change the totals).
+    // once (skips, recovery re-executions and speculative twins — both
+    // racers tally their records — change the totals).
     #[cfg(debug_assertions)]
     if shared.config.validate_annotations
         && counters.maps_skipped == 0
         && counters.maps_reexecuted == 0
+        && !shared.state.lock().map_speculated.iter().any(|&s| s)
     {
         let expected: Option<u64> = (0..num_reducers)
             .map(|r| shared.plan.expected_raw_count(r))
@@ -895,7 +1034,7 @@ fn map_worker<K1, V1, K2, V2, V3, SF, S>(
     S: RecordSource<Key = K1, Value = V1>,
 {
     loop {
-        let (task, attempt) = {
+        let (task, attempt, speculative) = {
             let mut st = shared.state.lock();
             let mut ticked = false;
             loop {
@@ -914,7 +1053,25 @@ fn map_worker<K1, V1, K2, V2, V3, SF, S>(
                     st.maps[i] = MapStatus::Running;
                     let attempt = st.map_attempt[i];
                     st.map_attempt[i] += 1;
-                    break (i, attempt);
+                    st.map_running_attempts[i] = 1;
+                    st.map_started[i] = Some(Instant::now());
+                    st.map_start_logged[i] = false;
+                    break (i, attempt, false);
+                }
+                // No fresh work: claim a speculative twin for a
+                // running straggler (fresh tasks always outrank
+                // speculation — racing must never starve first
+                // attempts of a slot).
+                if shared.config.speculation.enabled {
+                    if let Some(m) = claim_speculative(&mut st, shared) {
+                        if ticked {
+                            crate::metrics::runtime().tick_wakeups.inc();
+                        }
+                        let attempt = st.map_attempt[m];
+                        st.map_attempt[m] += 1;
+                        st.map_running_attempts[m] += 1;
+                        break (m, attempt, true);
+                    }
                 }
                 // Nothing eligible: either all maps are done/skipped
                 // (reduces still draining) or eligibility will arrive
@@ -922,6 +1079,15 @@ fn map_worker<K1, V1, K2, V2, V3, SF, S>(
                 ticked = shared.cv.wait_for(&mut st, shared.wait_tick).timed_out();
             }
         };
+        if speculative {
+            shared
+                .timeline
+                .record_attempt(TaskKind::MapSpeculated, task, attempt);
+            crate::metrics::runtime().speculative_launched.inc();
+            if let Some(p) = &shared.config.progress {
+                p.note_speculative_launch();
+            }
+        }
 
         // Mutation hook: a widened critical section — holding the
         // state lock across the slot acquire whose abort callback
@@ -948,6 +1114,12 @@ fn map_worker<K1, V1, K2, V2, V3, SF, S>(
         shared
             .timeline
             .record_attempt(TaskKind::MapStart, task, attempt);
+        if shared.config.speculation.enabled {
+            // Unblock speculative claims waiting on this start being
+            // in the log (see `map_start_logged`).
+            shared.state.lock().map_start_logged[task] = true;
+            shared.cv.notify_all();
+        }
         let map_result = match executor {
             Executor::Local => run_map_task(
                 shared,
@@ -959,27 +1131,56 @@ fn map_worker<K1, V1, K2, V2, V3, SF, S>(
                 combiner,
             ),
             // Remote: the worker runs the attempt and keeps the
-            // committed partitions; the scheduler's bookkeeping below
-            // (Done, commit epoch, notify) is identical.
-            Executor::Remote(exec) => {
+            // committed partitions (each racer's output on its own
+            // worker — no shared store to collide in); the
+            // scheduler's claim + bookkeeping below decide the race.
+            Executor::Remote(exec) => if speculative {
+                exec.execute_map_speculative(task, attempt, &splits[task], &shared.counters)
+            } else {
                 exec.execute_map(task, attempt, &splits[task], &shared.counters)
             }
+            .map(|()| MapRun::Committed),
         };
         match map_result {
-            Ok(()) => {
+            Ok(MapRun::Committed) => {
                 if !shared.config.map_think.is_zero() {
-                    crate::sync::thread::sleep(shared.config.map_think);
+                    // Interruptible, proceed regardless: committing
+                    // after a cancelled think is harmless and the
+                    // claim-loop head observes the cancel next.
+                    shared.sleep_interruptible(shared.config.map_think, &|_| false);
                 }
+                // The authoritative first-commit-wins decision. The
+                // local path already claimed before its `put` (this
+                // re-check is idempotent); the remote path decides
+                // here. Losing is only possible in a race.
+                let won = {
+                    let mut st = shared.state.lock();
+                    let won = st.try_claim_commit(task, attempt);
+                    st.map_running_attempts[task] = st.map_running_attempts[task].saturating_sub(1);
+                    won
+                };
+                if !won {
+                    lose_race(shared, task, attempt);
+                    continue;
+                }
+                // `MapEnd` strictly precedes the `Done` transition, so
+                // no dependent barrier event can land before it.
                 shared
                     .timeline
                     .record_attempt(TaskKind::MapEnd, task, attempt);
                 crate::metrics::runtime()
                     .map_task_seconds
                     .observe_duration(started.elapsed());
+                if speculative {
+                    crate::metrics::runtime().speculative_won.inc();
+                }
                 let recovered = {
                     let mut st = shared.state.lock();
                     st.maps[task] = MapStatus::Done;
                     st.map_commit_epoch[task] = attempt;
+                    st.map_started[task] = None;
+                    st.map_durations_ms
+                        .push(started.elapsed().as_millis() as u64);
                     st.recovering.remove(&task)
                 };
                 if let Some(reenqueued_at) = recovered {
@@ -994,7 +1195,35 @@ fn map_worker<K1, V1, K2, V2, V3, SF, S>(
                     shared.cv.notify_all();
                 }
             }
+            Ok(MapRun::LostRace) => {
+                {
+                    let mut st = shared.state.lock();
+                    st.map_running_attempts[task] = st.map_running_attempts[task].saturating_sub(1);
+                }
+                lose_race(shared, task, attempt);
+            }
+            Ok(MapRun::Aborted) => {
+                // Job cancelled or failed mid-attempt.
+                {
+                    let mut st = shared.state.lock();
+                    st.map_running_attempts[task] = st.map_running_attempts[task].saturating_sub(1);
+                }
+                shared.observe_cancel();
+                return;
+            }
             Err(e) => {
+                // An attempt that died *after* its race was decided is
+                // a loser, not a failure: no budget charge, no
+                // re-enqueue (the winner's commit stands).
+                let lost = {
+                    let mut st = shared.state.lock();
+                    st.map_running_attempts[task] = st.map_running_attempts[task].saturating_sub(1);
+                    st.race_lost(task, attempt)
+                };
+                if lost {
+                    lose_race(shared, task, attempt);
+                    continue;
+                }
                 // Transient failures (source I/O, injected faults)
                 // are charged against the retry budget and the task
                 // is handed back to the eligible set after a
@@ -1006,6 +1235,11 @@ fn map_worker<K1, V1, K2, V2, V3, SF, S>(
                     .record_attempt(TaskKind::MapFailed, task, attempt);
                 let failures = {
                     let mut st = shared.state.lock();
+                    // A failed claim holder releases its claim or the
+                    // task could never commit.
+                    if st.map_claim[task] == Some(attempt) {
+                        st.map_claim[task] = None;
+                    }
                     st.map_failures[task] += 1;
                     st.map_failures[task]
                 };
@@ -1016,25 +1250,94 @@ fn map_worker<K1, V1, K2, V2, V3, SF, S>(
                     });
                     return;
                 }
-                crate::sync::thread::sleep(shared.config.retry.backoff(failures));
-                if shared.observe_cancel() {
+                if !shared
+                    .sleep_interruptible(shared.config.retry.backoff(failures), &|st| st.failed)
+                {
+                    shared.observe_cancel();
                     return;
                 }
                 let mut st = shared.state.lock();
                 if st.failed {
                     return;
                 }
+                if st.race_lost(task, attempt) {
+                    // The racing twin won while this attempt backed
+                    // off: the task is committed, nothing to retry.
+                    drop(st);
+                    shared.cv.notify_all();
+                    continue;
+                }
+                if st.map_running_attempts[task] > 0 {
+                    // A racer is still in flight; it will commit, or
+                    // fail and re-enqueue through this same path.
+                    continue;
+                }
                 st.maps[task] = MapStatus::Eligible;
+                st.map_speculated[task] = false;
+                st.map_started[task] = None;
+                let next_attempt = st.map_attempt[task];
                 drop(st);
                 Counters::add(&shared.counters.map_retries, 1);
                 crate::metrics::runtime().task_retries_map.inc();
                 shared
                     .timeline
-                    .record_attempt(TaskKind::MapRetry, task, attempt + 1);
+                    .record_attempt(TaskKind::MapRetry, task, next_attempt);
                 shared.cv.notify_all();
             }
         }
     }
+}
+
+/// How one map attempt ended, beyond plain failure.
+enum MapRun {
+    /// Work complete and (locally) output published under a held
+    /// claim; the remote path claims afterwards instead.
+    Committed,
+    /// The racing twin decided the generation first; this attempt
+    /// published nothing and its work is discarded.
+    LostRace,
+    /// The job was cancelled or failed while the attempt ran.
+    Aborted,
+}
+
+/// Records one attempt losing its first-commit-wins race: a
+/// `MapSpeculationLost` timeline event for either racer plus the
+/// wasted-work metric, then a notify so anything watching the race
+/// re-checks.
+fn lose_race<K2: MrKey, V2: MrValue>(shared: &Shared<'_, K2, V2>, task: MapTaskId, attempt: u32) {
+    shared
+        .timeline
+        .record_attempt(TaskKind::MapSpeculationLost, task, attempt);
+    crate::metrics::runtime().speculative_wasted.inc();
+    shared.cv.notify_all();
+}
+
+/// Pops the next valid speculation grant under the state lock: forced
+/// maps (the deterministic test hook) first, then the monitor's
+/// queue. A grant is only valid against a map still running exactly
+/// one unclaimed attempt — anything else is stale and dropped.
+fn claim_speculative<K2: MrKey, V2: MrValue>(
+    st: &mut State,
+    shared: &Shared<'_, K2, V2>,
+) -> Option<MapTaskId> {
+    fn valid(st: &State, m: MapTaskId) -> bool {
+        st.maps[m] == MapStatus::Running
+            && st.map_claim[m].is_none()
+            && st.map_running_attempts[m] == 1
+            && st.map_start_logged[m]
+    }
+    for &m in &shared.config.speculation.force_maps {
+        if m < shared.num_maps && !st.map_speculated[m] && valid(st, m) {
+            st.map_speculated[m] = true;
+            return Some(m);
+        }
+    }
+    while let Some(m) = st.spec_queue.pop_front() {
+        if valid(st, m) {
+            return Some(m);
+        }
+    }
+    None
 }
 
 fn run_map_task<K1, V1, K2, V2, SF, S>(
@@ -1045,7 +1348,7 @@ fn run_map_task<K1, V1, K2, V2, SF, S>(
     source_factory: &SF,
     mapper: &dyn Mapper<InKey = K1, InValue = V1, OutKey = K2, OutValue = V2>,
     combiner: Option<&dyn Combiner<Key = K2, Value = V2>>,
-) -> Result<()>
+) -> Result<MapRun>
 where
     K1: MrKey,
     V1: MrValue,
@@ -1059,8 +1362,21 @@ where
     // the record stream into a transient I/O error mid-read.
     let fault = shared.config.fault_plan.map_fault(task, attempt);
     match fault {
-        Some(FaultKind::Straggle { delay_ms }) => {
-            crate::sync::thread::sleep(Duration::from_millis(delay_ms));
+        // Interruptible: a straggler whose race is already lost — or
+        // whose job is cancelled — must unblock within a notification,
+        // not wait out the injected delay. A fully-slept straggler
+        // falls through to the normal map path below.
+        Some(FaultKind::Straggle { delay_ms })
+            if !shared.sleep_interruptible(Duration::from_millis(delay_ms), &|st| {
+                st.failed || st.race_lost(task, attempt)
+            }) =>
+        {
+            let lost = shared.state.lock().race_lost(task, attempt);
+            return Ok(if lost {
+                MapRun::LostRace
+            } else {
+                MapRun::Aborted
+            });
         }
         Some(FaultKind::Fail) => {
             return Err(MrError::Source(format!(
@@ -1110,6 +1426,19 @@ where
     }
     Counters::add(&shared.counters.map_records_in, records_in);
     Counters::add(&shared.counters.map_records_out, records_out);
+    // First-commit-wins, decided *before* anything is published: a
+    // racing loser that put after the winner committed would overwrite
+    // the committed shuffle entries at an epoch no commit will ever
+    // stamp — a half-put partition recovery treats as committed and
+    // reducers wait on forever. `DropSpeculationClaim` re-introduces
+    // exactly that bug for the checker's mutation test (the
+    // authoritative claim re-check in the worker still runs, so the
+    // mutated loser publishes but never marks Done).
+    if !chaos::on(Mutation::DropSpeculationClaim)
+        && !shared.state.lock().try_claim_commit(task, attempt)
+    {
+        return Ok(MapRun::LostRace);
+    }
     for (reducer, file) in builder.finish(combiner, &shared.counters)? {
         shared.shuffle.put(task, reducer, attempt, file)?;
     }
@@ -1126,7 +1455,7 @@ where
         }
         _ => {}
     }
-    Ok(())
+    Ok(MapRun::Committed)
 }
 
 fn reduce_worker<K2, V2, V3>(
@@ -1265,11 +1594,15 @@ where
     };
     let mut attempt: u32 = 0;
     loop {
-        // Injected reduce stragglers delay the attempt up front.
+        // Injected reduce stragglers delay the attempt up front
+        // (interruptibly — a cancelled job must not wait one out).
         if let Some(FaultKind::Straggle { delay_ms }) =
             shared.config.fault_plan.reduce_fault(r, attempt)
         {
-            crate::sync::thread::sleep(Duration::from_millis(delay_ms));
+            if !shared.sleep_interruptible(Duration::from_millis(delay_ms), &|st| st.failed) {
+                shared.observe_cancel();
+                return Ok(());
+            }
         }
         // Copy phase: fetch from whichever source completes next —
         // not in source order — and pre-open its merge cursor as soon
@@ -1460,7 +1793,12 @@ where
                 shared.cv.notify_all();
             }
             crate::metrics::runtime().task_retries_reduce.inc();
-            crate::sync::thread::sleep(shared.config.retry.backoff(attempt + 1));
+            if !shared
+                .sleep_interruptible(shared.config.retry.backoff(attempt + 1), &|st| st.failed)
+            {
+                shared.observe_cancel();
+                return Ok(());
+            }
             attempt += 1;
             continue;
         }
@@ -1511,7 +1849,7 @@ where
             .add(merged.saturating_mul(std::mem::size_of::<(K2, V2)>() as u64));
         Counters::add(&shared.counters.reduce_records_out, emitted);
         if !shared.config.reduce_think.is_zero() {
-            crate::sync::thread::sleep(shared.config.reduce_think);
+            shared.sleep_interruptible(shared.config.reduce_think, &|_| false);
         }
         output
             .commit(r, out)
@@ -1564,7 +1902,10 @@ where
         if let Some(FaultKind::Straggle { delay_ms }) =
             shared.config.fault_plan.reduce_fault(r, attempt)
         {
-            crate::sync::thread::sleep(Duration::from_millis(delay_ms));
+            if !shared.sleep_interruptible(Duration::from_millis(delay_ms), &|st| st.failed) {
+                shared.observe_cancel();
+                return Ok(());
+            }
         }
 
         // Readiness barrier: every source Done at epoch >= min_epoch.
@@ -1638,7 +1979,12 @@ where
                 reenqueue_sources(shared, &sources, &epochs, &mut min_epoch);
             }
             crate::metrics::runtime().task_retries_reduce.inc();
-            crate::sync::thread::sleep(shared.config.retry.backoff(attempt + 1));
+            if !shared
+                .sleep_interruptible(shared.config.retry.backoff(attempt + 1), &|st| st.failed)
+            {
+                shared.observe_cancel();
+                return Ok(());
+            }
             attempt += 1;
             continue;
         }
@@ -1683,7 +2029,7 @@ where
                     .record_attempt(TaskKind::ReduceMergeDone, r, attempt);
                 Counters::add(&shared.counters.reduce_records_out, emitted);
                 if !shared.config.reduce_think.is_zero() {
-                    crate::sync::thread::sleep(shared.config.reduce_think);
+                    shared.sleep_interruptible(shared.config.reduce_think, &|_| false);
                 }
                 output
                     .commit(r, out)
@@ -1742,7 +2088,12 @@ where
                     reenqueue_sources(shared, &sources, &epochs, &mut min_epoch);
                 }
                 crate::metrics::runtime().task_retries_reduce.inc();
-                crate::sync::thread::sleep(shared.config.retry.backoff(attempt + 1));
+                if !shared
+                    .sleep_interruptible(shared.config.retry.backoff(attempt + 1), &|st| st.failed)
+                {
+                    shared.observe_cancel();
+                    return Ok(());
+                }
                 attempt += 1;
             }
             Err(RemoteReduceError::Fatal(e)) => return Err(e),
@@ -1754,6 +2105,117 @@ where
 /// (epoch-guarded, like the `SourcesLost` arm) and advances
 /// `min_epoch` past the consumed generation so the retry binds fresh
 /// commits only.
+/// The speculation monitor: wakes every `check_interval_ms`, compares
+/// each running map's elapsed time against the committed cohort's
+/// quantile × slowdown, and grants speculative twins for the
+/// stragglers — ordered by dependency-matrix blocking weight, so the
+/// map stalling the most keyblocks races first. Also publishes the
+/// projected completion the serving layer's proactive deadline
+/// watchdog reads; a boost request from the watchdog drops the
+/// trigger to "slower than the cohort" with a one-commit floor.
+///
+/// Not compiled under `--cfg check`: wall-clock triggers are
+/// meaningless on the virtual scheduler, where the deterministic
+/// `force_maps` hook is the only speculation source.
+#[cfg(not(check))]
+fn speculation_monitor<K2: MrKey, V2: MrValue>(shared: &Shared<'_, K2, V2>, num_reducers: usize) {
+    let policy = &shared.config.speculation;
+    let interval = Duration::from_millis(policy.check_interval_ms.max(1));
+    // Static blocking weight per map: how many reducers' dependency
+    // sets contain it (a global-barrier reducer blocks on every map).
+    let mut weight = vec![0usize; shared.num_maps];
+    for r in 0..num_reducers {
+        match shared.plan.reduce_deps(r) {
+            Some(deps) => {
+                for m in deps {
+                    if m < shared.num_maps {
+                        weight[m] += 1;
+                    }
+                }
+            }
+            None => {
+                for w in weight.iter_mut() {
+                    *w += 1;
+                }
+            }
+        }
+    }
+    let mut st = shared.state.lock();
+    loop {
+        if st.failed || st.reduces_done == num_reducers || shared.cancel_requested() {
+            return;
+        }
+        shared.cv.wait_for(&mut st, interval);
+        if st.failed || st.reduces_done == num_reducers || shared.cancel_requested() {
+            return;
+        }
+
+        let boosted = shared
+            .config
+            .progress
+            .as_ref()
+            .is_some_and(|p| p.boost_requested());
+        let mut cohort = st.map_durations_ms.clone();
+        cohort.sort_unstable();
+        let quantile_ms = policy.cohort_quantile_ms(&cohort, boosted);
+
+        let mut granted = false;
+        if let Some(q) = quantile_ms {
+            let threshold = Duration::from_millis(
+                (q as f64 * policy.effective_slowdown(boosted)).ceil() as u64,
+            );
+            let mut candidates: Vec<(usize, MapTaskId)> = (0..shared.num_maps)
+                .filter(|&m| {
+                    st.maps[m] == MapStatus::Running
+                        && !st.map_speculated[m]
+                        && st.map_claim[m].is_none()
+                        && st.map_running_attempts[m] == 1
+                        && st.map_started[m].is_some_and(|t| t.elapsed() >= threshold)
+                })
+                .map(|m| (weight[m], m))
+                .collect();
+            // Highest blocking weight races first.
+            candidates.sort_by(|a, b| b.cmp(a));
+            for (_, m) in candidates {
+                st.map_speculated[m] = true;
+                st.spec_queue.push_back(m);
+                granted = true;
+            }
+        }
+
+        if let Some(probe) = &shared.config.progress {
+            let maps_done = st
+                .maps
+                .iter()
+                .filter(|s| matches!(s, MapStatus::Done | MapStatus::Skipped))
+                .count();
+            probe.publish(
+                maps_done as u64,
+                shared.num_maps as u64,
+                st.reduces_done as u64,
+                num_reducers as u64,
+            );
+            // Projected completion: cohort quantile × remaining task
+            // waves per slot class. Crude on purpose — the watchdog
+            // only needs "does this threaten the deadline".
+            if let Some(q) = quantile_ms {
+                let pending_maps = (shared.num_maps - maps_done) as u64;
+                let pending_reduces = (num_reducers - st.reduces_done) as u64;
+                let map_waves = pending_maps.div_ceil(shared.pool.map_slots().max(1) as u64);
+                let reduce_waves =
+                    pending_reduces.div_ceil(shared.pool.reduce_slots().max(1) as u64);
+                probe.publish_projection(q.max(1).saturating_mul(map_waves + reduce_waves));
+            }
+        }
+
+        if granted {
+            // Idle map workers park on this condvar; hand them the
+            // queue without waiting for their safety-net tick.
+            shared.cv.notify_all();
+        }
+    }
+}
+
 fn reenqueue_sources<K2: MrKey, V2: MrValue>(
     shared: &Shared<'_, K2, V2>,
     sources: &[MapTaskId],

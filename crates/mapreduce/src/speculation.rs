@@ -1,0 +1,371 @@
+//! Speculative execution: racing a second attempt of a straggling map.
+//!
+//! §4.2 attributes reduce-completion variance to "abnormally
+//! long-running Map tasks". Stock Hadoop's defense is speculative
+//! execution — re-launching the slowest task and racing the copies,
+//! first commit wins. This module is the policy half: *when* a running
+//! attempt counts as slow, and how a deadline-pressed serving layer
+//! asks for more aggression. The mechanism half (commit claims, loser
+//! teardown, the monitor thread) lives in [`crate::runtime`].
+//!
+//! The trigger is cohort-relative, following "Assignment Problems of
+//! Different-Sized Inputs in MapReduce": a running attempt is a
+//! straggler once its elapsed time exceeds `slowdown ×` the
+//! `quantile`-th quantile of the job's *committed* map durations — the
+//! task's own cohort, not a wall-clock constant — and the quantile is
+//! only trusted once `min_committed` commits exist. Racing is bounded
+//! by an at-most-one-extra-attempt invariant: a task generation gets
+//! one speculative twin, ever; retries and recovery re-executions
+//! start a fresh generation.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+fn default_quantile() -> f64 {
+    0.75
+}
+
+fn default_slowdown() -> f64 {
+    2.0
+}
+
+fn default_min_committed() -> usize {
+    3
+}
+
+fn default_check_interval_ms() -> u64 {
+    20
+}
+
+/// When to race a second attempt of a running map task.
+///
+/// The default policy is **disabled** — jobs behave exactly as before
+/// unless a submitter opts in.
+///
+/// Serialize/Deserialize are implemented by hand (not derived) so
+/// every missing field deserializes to its default: submission
+/// documents written before speculation existed, or that only set
+/// `enabled`, stay loadable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpeculationPolicy {
+    /// Master switch; everything below is inert when false.
+    pub enabled: bool,
+    /// Which quantile of the committed-map-duration cohort is the
+    /// slowness reference. Must be in `(0, 1]`.
+    pub quantile: f64,
+    /// A running attempt counts as a straggler once its elapsed time
+    /// exceeds `slowdown ×` the cohort quantile. Must be ≥ 1 (a
+    /// factor below 1 would speculate tasks *faster* than the cohort).
+    pub slowdown: f64,
+    /// Commits the cohort needs before the quantile is trusted; until
+    /// then nothing is speculated (unless deadline-boosted or forced).
+    pub min_committed: usize,
+    /// Monitor wake interval, milliseconds. Must be > 0.
+    pub check_interval_ms: u64,
+    /// Deterministic hook for tests and chaos scenarios: these map
+    /// tasks get a speculative twin as soon as they are running, no
+    /// timing involved. The at-most-one-extra-attempt invariant still
+    /// holds. Under the sidr-check virtual scheduler (where wall
+    /// clocks are meaningless) this is the *only* trigger.
+    pub force_maps: Vec<usize>,
+}
+
+impl serde::ser::Serialize for SpeculationPolicy {
+    fn serialize(&self, s: &mut serde::ser::JsonSer) {
+        s.begin_object();
+        s.field("enabled");
+        serde::ser::Serialize::serialize(&self.enabled, s);
+        s.field("quantile");
+        serde::ser::Serialize::serialize(&self.quantile, s);
+        s.field("slowdown");
+        serde::ser::Serialize::serialize(&self.slowdown, s);
+        s.field("min_committed");
+        serde::ser::Serialize::serialize(&self.min_committed, s);
+        s.field("check_interval_ms");
+        serde::ser::Serialize::serialize(&self.check_interval_ms, s);
+        s.field("force_maps");
+        serde::ser::Serialize::serialize(&self.force_maps, s);
+        s.end_object();
+    }
+}
+
+impl serde::de::Deserialize for SpeculationPolicy {
+    fn deserialize(d: &mut serde::de::JsonDe<'_>) -> serde::de::Result<Self> {
+        use serde::de::Deserialize;
+        let mut p = SpeculationPolicy::default();
+        if d.begin_object()? {
+            loop {
+                let key = d.object_key()?;
+                match key.as_str() {
+                    "enabled" => p.enabled = Deserialize::deserialize(d)?,
+                    "quantile" => p.quantile = Deserialize::deserialize(d)?,
+                    "slowdown" => p.slowdown = Deserialize::deserialize(d)?,
+                    "min_committed" => p.min_committed = Deserialize::deserialize(d)?,
+                    "check_interval_ms" => p.check_interval_ms = Deserialize::deserialize(d)?,
+                    "force_maps" => p.force_maps = Deserialize::deserialize(d)?,
+                    _ => d.skip_value()?,
+                }
+                if !d.object_continue()? {
+                    break;
+                }
+            }
+        }
+        Ok(p)
+    }
+}
+
+impl Default for SpeculationPolicy {
+    fn default() -> Self {
+        SpeculationPolicy {
+            enabled: false,
+            quantile: default_quantile(),
+            slowdown: default_slowdown(),
+            min_committed: default_min_committed(),
+            check_interval_ms: default_check_interval_ms(),
+            force_maps: Vec::new(),
+        }
+    }
+}
+
+impl SpeculationPolicy {
+    /// An enabled policy with the default trigger math.
+    pub fn on() -> Self {
+        SpeculationPolicy {
+            enabled: true,
+            ..SpeculationPolicy::default()
+        }
+    }
+
+    /// An enabled policy that speculates exactly `maps`, immediately —
+    /// the deterministic test/chaos trigger.
+    pub fn force(maps: impl IntoIterator<Item = usize>) -> Self {
+        SpeculationPolicy {
+            enabled: true,
+            force_maps: maps.into_iter().collect(),
+            ..SpeculationPolicy::default()
+        }
+    }
+
+    /// Admission-time validation: `Err` describes the first defect.
+    /// A disabled policy is always valid.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if !(self.quantile > 0.0 && self.quantile <= 1.0) {
+            return Err(format!(
+                "speculation quantile {} outside (0, 1]",
+                self.quantile
+            ));
+        }
+        if self.slowdown < 1.0 {
+            return Err(format!(
+                "speculation slowdown factor {} below 1 would race tasks faster than their cohort",
+                self.slowdown
+            ));
+        }
+        if self.check_interval_ms == 0 {
+            return Err("speculation check interval of 0 ms would busy-spin the monitor".into());
+        }
+        Ok(())
+    }
+
+    /// The effective slowdown factor: under deadline boost the monitor
+    /// races anything slower than the cohort itself.
+    pub fn effective_slowdown(&self, boosted: bool) -> f64 {
+        if boosted {
+            1.0
+        } else {
+            self.slowdown
+        }
+    }
+
+    /// The effective cohort floor: under deadline boost one commit is
+    /// enough to trust.
+    pub fn effective_min_committed(&self, boosted: bool) -> usize {
+        if boosted {
+            1
+        } else {
+            self.min_committed
+        }
+    }
+
+    /// The `quantile`-th value of a **sorted** duration cohort
+    /// (nearest-rank), `None` while the cohort is below the effective
+    /// floor.
+    pub fn cohort_quantile_ms(&self, sorted_ms: &[u64], boosted: bool) -> Option<u64> {
+        if sorted_ms.len() < self.effective_min_committed(boosted).max(1) {
+            return None;
+        }
+        let rank =
+            ((self.quantile * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len());
+        Some(sorted_ms[rank - 1])
+    }
+}
+
+/// Live progress shared between a running job and the serving layer's
+/// deadline watchdog — the channel that makes the watchdog *proactive*.
+///
+/// The engine's speculation monitor publishes a completion projection
+/// (cohort quantiles × remaining tasks, divided over the slots);
+/// the watchdog compares it against the time left to `deadline_ms`
+/// and, when the projection threatens the deadline, requests a boost
+/// instead of waiting to cancel: the monitor then speculates
+/// anything slower than its cohort. Plain std atomics on purpose —
+/// this is observability plumbing, not part of the checked
+/// concurrency model.
+#[derive(Debug, Default)]
+pub struct ProgressProbe {
+    maps_done: AtomicU64,
+    maps_total: AtomicU64,
+    reduces_done: AtomicU64,
+    reduces_total: AtomicU64,
+    /// `u64::MAX` = no projection published yet.
+    projected_remaining_ms: AtomicU64,
+    boost: AtomicBool,
+    speculative_launched: AtomicU64,
+}
+
+impl ProgressProbe {
+    pub fn new() -> Self {
+        let p = ProgressProbe::default();
+        p.projected_remaining_ms.store(u64::MAX, Ordering::Relaxed);
+        p
+    }
+
+    /// Engine-side: publish task progress and the current projection.
+    pub fn publish(&self, maps_done: u64, maps_total: u64, reduces_done: u64, reduces_total: u64) {
+        self.maps_done.store(maps_done, Ordering::Relaxed);
+        self.maps_total.store(maps_total, Ordering::Relaxed);
+        self.reduces_done.store(reduces_done, Ordering::Relaxed);
+        self.reduces_total.store(reduces_total, Ordering::Relaxed);
+    }
+
+    /// Engine-side: publish the projected time to completion.
+    pub fn publish_projection(&self, remaining_ms: u64) {
+        self.projected_remaining_ms
+            .store(remaining_ms, Ordering::Relaxed);
+    }
+
+    /// Engine-side: tally a launched speculative attempt (per-job,
+    /// unlike the process-global metric).
+    pub fn note_speculative_launch(&self) {
+        self.speculative_launched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Watchdog-side: the engine's projected time to completion, once
+    /// one has been published.
+    pub fn projected_remaining_ms(&self) -> Option<u64> {
+        match self.projected_remaining_ms.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            ms => Some(ms),
+        }
+    }
+
+    /// Watchdog-side: ask the monitor to speculate aggressively.
+    /// Idempotent; returns true the first time (so the caller logs
+    /// its advisory exactly once).
+    pub fn request_boost(&self) -> bool {
+        !self.boost.swap(true, Ordering::Relaxed)
+    }
+
+    /// Engine-side: has the watchdog requested a boost?
+    pub fn boost_requested(&self) -> bool {
+        self.boost.load(Ordering::Relaxed)
+    }
+
+    /// (maps done, maps total, reduces done, reduces total).
+    pub fn progress(&self) -> (u64, u64, u64, u64) {
+        (
+            self.maps_done.load(Ordering::Relaxed),
+            self.maps_total.load(Ordering::Relaxed),
+            self.reduces_done.load(Ordering::Relaxed),
+            self.reduces_total.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Speculative attempts this job launched.
+    pub fn speculative_launched(&self) -> u64 {
+        self.speculative_launched.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_disabled_and_valid() {
+        let p = SpeculationPolicy::default();
+        assert!(!p.enabled);
+        assert!(p.validate().is_ok());
+        // A disabled policy never reports a defect, whatever its knobs.
+        let broken = SpeculationPolicy {
+            quantile: 7.0,
+            ..SpeculationPolicy::default()
+        };
+        assert!(broken.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_broken_knobs() {
+        for p in [
+            SpeculationPolicy {
+                quantile: 0.0,
+                ..SpeculationPolicy::on()
+            },
+            SpeculationPolicy {
+                quantile: 1.5,
+                ..SpeculationPolicy::on()
+            },
+            SpeculationPolicy {
+                slowdown: 0.5,
+                ..SpeculationPolicy::on()
+            },
+            SpeculationPolicy {
+                check_interval_ms: 0,
+                ..SpeculationPolicy::on()
+            },
+        ] {
+            assert!(p.validate().is_err(), "{p:?} should be rejected");
+        }
+        assert!(SpeculationPolicy::on().validate().is_ok());
+        assert!(SpeculationPolicy::force([3]).validate().is_ok());
+    }
+
+    #[test]
+    fn cohort_quantile_needs_the_floor_then_ranks() {
+        let p = SpeculationPolicy::on(); // q=0.75, min_committed=3
+        assert_eq!(p.cohort_quantile_ms(&[10], false), None);
+        assert_eq!(p.cohort_quantile_ms(&[10, 20], false), None);
+        assert_eq!(p.cohort_quantile_ms(&[10, 20, 30, 40], false), Some(30));
+        // Boost drops the floor to one commit and the slowdown to 1.
+        assert_eq!(p.cohort_quantile_ms(&[10], true), Some(10));
+        assert_eq!(p.effective_slowdown(true), 1.0);
+        assert_eq!(p.effective_slowdown(false), 2.0);
+    }
+
+    #[test]
+    fn policy_roundtrips_and_tolerates_missing_fields() {
+        let p = SpeculationPolicy::force([1, 4]);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SpeculationPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+        // Older documents without the field deserialize to defaults.
+        let sparse: SpeculationPolicy = serde_json::from_str("{}").unwrap();
+        assert_eq!(sparse, SpeculationPolicy::default());
+    }
+
+    #[test]
+    fn probe_projection_and_boost_handshake() {
+        let probe = ProgressProbe::new();
+        assert_eq!(probe.projected_remaining_ms(), None);
+        probe.publish(3, 8, 1, 4);
+        probe.publish_projection(1_500);
+        assert_eq!(probe.projected_remaining_ms(), Some(1_500));
+        assert_eq!(probe.progress(), (3, 8, 1, 4));
+        assert!(!probe.boost_requested());
+        assert!(probe.request_boost(), "first request reports the edge");
+        assert!(!probe.request_boost(), "boost is idempotent");
+        assert!(probe.boost_requested());
+    }
+}

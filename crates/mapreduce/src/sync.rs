@@ -71,6 +71,11 @@ pub mod chaos {
         /// Volatile recovery skips re-enqueueing the lost map outputs,
         /// so a recovering reducer waits for data nobody will rebuild.
         SkipRecoveryRewait,
+        /// A speculative map attempt skips the pre-publish commit
+        /// claim: the racing loser puts its shuffle output *after* the
+        /// winner committed, overwriting the committed entries at a
+        /// newer epoch that no commit will ever match.
+        DropSpeculationClaim,
     }
 
     /// Whether `m` is armed. Always `false` outside checker builds.
@@ -90,6 +95,7 @@ pub mod chaos {
             Mutation::DropMapDoneNotify => 2,
             Mutation::HoldStateAcrossAcquire => 3,
             Mutation::SkipRecoveryRewait => 4,
+            Mutation::DropSpeculationClaim => 5,
         }
     }
 

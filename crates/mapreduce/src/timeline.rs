@@ -33,6 +33,21 @@ pub enum TaskKind {
     ReduceEnd,
     /// Injected reduce failure (recovery experiments).
     ReduceFailed,
+    /// A speculative twin was granted for a running map; the event's
+    /// attempt id is the attempt the twin will run as. Speculation is
+    /// not recovery: the granted `MapStart` must not be counted as a
+    /// re-execution.
+    MapSpeculated,
+    /// A map attempt (either racer) lost the first-commit-wins race;
+    /// its output was never published.
+    MapSpeculationLost,
+    /// Reserved: a speculative twin was granted for a running reduce.
+    /// The engine currently races maps only (see DESIGN.md), but the
+    /// event vocabulary and oracle rules are defined so an
+    /// executor-level reduce race stays checkable.
+    ReduceSpeculated,
+    /// Reserved: a reduce attempt lost a speculation race.
+    ReduceSpeculationLost,
 }
 
 /// One timeline event.
@@ -155,10 +170,24 @@ impl Timeline {
 /// re-executed set a recovery experiment asserts against `I_ℓ`
 /// (dependency-scoped recovery must re-run exactly the failed
 /// reduce's dependency set, nothing more).
+///
+/// Speculative twins are excluded: a `MapStart` whose (task, attempt)
+/// was granted by a `MapSpeculated` event is a deliberate race for
+/// latency, not a recovery re-execution.
 pub fn reexecuted_maps(events: &[TaskEvent]) -> Vec<usize> {
+    use std::collections::HashSet;
+    let speculative: HashSet<(usize, u32)> = events
+        .iter()
+        .filter(|e| e.kind == TaskKind::MapSpeculated)
+        .map(|e| (e.task, e.attempt))
+        .collect();
     let mut maps: Vec<usize> = events
         .iter()
-        .filter(|e| e.kind == TaskKind::MapStart && e.attempt > 0)
+        .filter(|e| {
+            e.kind == TaskKind::MapStart
+                && e.attempt > 0
+                && !speculative.contains(&(e.task, e.attempt))
+        })
         .map(|e| e.task)
         .collect();
     maps.sort_unstable();
@@ -181,12 +210,14 @@ pub fn reexecuted_maps(events: &[TaskEvent]) -> Vec<usize> {
 /// (attempt 0) followed by a `map` span (attempt 1). A retried reduce
 /// emits one `reduce.copy` / `reduce.merge` span per attempt, all
 /// sharing the task's single `ReduceStart`. Unfinished tasks (failed
-/// or cancelled jobs) emit no span. Feed the result to
+/// or cancelled jobs) emit no span; a speculation-race loser emits a
+/// `map.lost` span. Map spans are keyed by (task, attempt) so two
+/// racing attempts of one task never collide. Feed the result to
 /// [`sidr_obs::write_spans_jsonl`].
 pub fn spans(events: &[TaskEvent]) -> Vec<sidr_obs::Span> {
     use std::collections::HashMap;
     let us = |d: Duration| d.as_micros() as u64;
-    let mut map_start: HashMap<usize, (u64, u32)> = HashMap::new();
+    let mut map_start: HashMap<(usize, u32), u64> = HashMap::new();
     let mut reduce_start: HashMap<usize, u64> = HashMap::new();
     let mut barrier: HashMap<usize, (u64, u32)> = HashMap::new();
     let mut out = Vec::new();
@@ -194,17 +225,24 @@ pub fn spans(events: &[TaskEvent]) -> Vec<sidr_obs::Span> {
         let t = e.task as u64;
         match e.kind {
             TaskKind::MapStart => {
-                map_start.insert(e.task, (us(e.at), e.attempt));
+                map_start.insert((e.task, e.attempt), us(e.at));
             }
             TaskKind::MapEnd => {
-                if let Some((s, attempt)) = map_start.remove(&e.task) {
-                    out.push(sidr_obs::Span::new("map", t, s, us(e.at)).with_attempt(attempt));
+                if let Some(s) = map_start.remove(&(e.task, e.attempt)) {
+                    out.push(sidr_obs::Span::new("map", t, s, us(e.at)).with_attempt(e.attempt));
                 }
             }
             TaskKind::MapFailed => {
-                if let Some((s, attempt)) = map_start.remove(&e.task) {
+                if let Some(s) = map_start.remove(&(e.task, e.attempt)) {
                     out.push(
-                        sidr_obs::Span::new("map.failed", t, s, us(e.at)).with_attempt(attempt),
+                        sidr_obs::Span::new("map.failed", t, s, us(e.at)).with_attempt(e.attempt),
+                    );
+                }
+            }
+            TaskKind::MapSpeculationLost => {
+                if let Some(s) = map_start.remove(&(e.task, e.attempt)) {
+                    out.push(
+                        sidr_obs::Span::new("map.lost", t, s, us(e.at)).with_attempt(e.attempt),
                     );
                 }
             }
@@ -231,7 +269,12 @@ pub fn spans(events: &[TaskEvent]) -> Vec<sidr_obs::Span> {
                     out.push(sidr_obs::Span::new("reduce", t, s, us(e.at)).with_attempt(e.attempt));
                 }
             }
-            TaskKind::MapRetry | TaskKind::ReduceFirstGroup | TaskKind::ReduceFailed => {}
+            TaskKind::MapRetry
+            | TaskKind::ReduceFirstGroup
+            | TaskKind::ReduceFailed
+            | TaskKind::MapSpeculated
+            | TaskKind::ReduceSpeculated
+            | TaskKind::ReduceSpeculationLost => {}
         }
     }
     out
@@ -300,6 +343,45 @@ mod tests {
             ev(TaskKind::MapStart, 1, 2, 4),
         ];
         assert_eq!(reexecuted_maps(&events), vec![1]);
+    }
+
+    #[test]
+    fn speculative_attempts_are_not_reexecutions() {
+        // Map 1 straggles at attempt 0, gets a speculative twin
+        // (attempt 1) which wins; attempt 0 loses. Map 2 is genuinely
+        // recovered at attempt 1. Only map 2 counts as re-executed.
+        let events = vec![
+            ev(TaskKind::MapStart, 1, 0, 0),
+            ev(TaskKind::MapSpeculated, 1, 1, 5),
+            ev(TaskKind::MapStart, 1, 1, 6),
+            ev(TaskKind::MapEnd, 1, 1, 8),
+            ev(TaskKind::MapSpeculationLost, 1, 0, 9),
+            ev(TaskKind::MapStart, 2, 0, 0),
+            ev(TaskKind::MapEnd, 2, 0, 1),
+            ev(TaskKind::MapStart, 2, 1, 10),
+            ev(TaskKind::MapEnd, 2, 1, 12),
+        ];
+        assert_eq!(reexecuted_maps(&events), vec![2]);
+    }
+
+    #[test]
+    fn racing_map_attempts_span_independently() {
+        let events = vec![
+            ev(TaskKind::MapStart, 0, 0, 0),
+            ev(TaskKind::MapSpeculated, 0, 1, 2),
+            ev(TaskKind::MapStart, 0, 1, 3),
+            // The twin commits while the straggler is still running.
+            ev(TaskKind::MapEnd, 0, 1, 5),
+            ev(TaskKind::MapSpeculationLost, 0, 0, 7),
+        ];
+        let spans = spans(&events);
+        assert_eq!(spans.len(), 2);
+        let winner = spans.iter().find(|s| s.name == "map").unwrap();
+        assert_eq!(winner.attempt, 1);
+        assert_eq!((winner.start_us, winner.end_us), (3_000, 5_000));
+        let loser = spans.iter().find(|s| s.name == "map.lost").unwrap();
+        assert_eq!(loser.attempt, 0);
+        assert_eq!((loser.start_us, loser.end_us), (0, 7_000));
     }
 
     #[test]

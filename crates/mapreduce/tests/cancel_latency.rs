@@ -7,8 +7,9 @@ use std::time::{Duration, Instant};
 
 use sidr_coords::{Coord, Shape, Slab};
 use sidr_mapreduce::{
-    run_job_shared, CancelToken, DefaultPlan, FnMapper, FnReducer, InMemoryOutput, InputSplit,
-    JobConfig, MapTaskId, ModuloPartitioner, MrError, SliceRecordSource, SlotPool,
+    run_job_shared, CancelToken, DefaultPlan, FaultKind, FaultPlan, FaultTarget, FnMapper,
+    FnReducer, InMemoryOutput, InputSplit, JobConfig, MapTaskId, ModuloPartitioner, MrError,
+    RetryPolicy, SliceRecordSource, SlotPool,
 };
 
 fn number_splits(n: u64, pieces: u64) -> Vec<InputSplit> {
@@ -128,4 +129,95 @@ fn blocked_job_cancels_with_sub_tick_latency() {
     });
     let occ = pool.occupancy();
     assert_eq!((occ.map_busy, occ.reduce_busy), (0, 0), "slots leaked");
+}
+
+/// Runs the sum workload on a private pool with `config` and a cancel
+/// token, cancels after `settle`, and returns (cancel→return latency,
+/// result).
+fn cancel_after(
+    config: &JobConfig,
+    settle: Duration,
+) -> (Duration, sidr_mapreduce::Result<sidr_mapreduce::JobResult>) {
+    let pool = SlotPool::new(2, 2).unwrap();
+    let (mapper, reducer) = sum_by_mod10();
+    let plan = DefaultPlan::<u64, _>::new(ModuloPartitioner, 2);
+    let splits = number_splits(50, 2);
+    let output = InMemoryOutput::new();
+    let cancel = CancelToken::new();
+    std::thread::scope(|scope| {
+        let job = scope.spawn(|| {
+            run_job_shared(
+                &splits,
+                &identity_source,
+                &mapper,
+                None,
+                &reducer,
+                &plan,
+                &output,
+                config,
+                &pool,
+                Some(&cancel),
+            )
+        });
+        std::thread::sleep(settle);
+        let cancelled_at = Instant::now();
+        cancel.cancel();
+        let result = job.join().unwrap();
+        (cancelled_at.elapsed(), result)
+    })
+}
+
+/// Regression: the straggle injection used to be a plain
+/// `thread::sleep`, so cancelling a job with a 3 s straggler blocked
+/// the join for the full delay. The sleep is now a cancellation-aware
+/// timed wait on the job condvar: cancel→return must land in well
+/// under one `WAIT_TICK` (25 ms), not after seconds.
+#[test]
+fn straggling_map_cancels_with_sub_tick_latency() {
+    let config = JobConfig {
+        fault_plan: FaultPlan::none().with(
+            FaultTarget::Map(0),
+            0,
+            FaultKind::Straggle { delay_ms: 3_000 },
+        ),
+        ..Default::default()
+    };
+    // 100 ms settle puts the straggler well inside its 3 s sleep.
+    let (latency, result) = cancel_after(&config, Duration::from_millis(100));
+    assert!(
+        matches!(result, Err(MrError::Cancelled)),
+        "expected Cancelled, got {result:?}"
+    );
+    assert!(
+        latency < Duration::from_millis(10),
+        "cancel→return took {latency:?}; the 3 s straggle sleep must be \
+         interrupted by cancellation, not slept to completion"
+    );
+}
+
+/// Same property for the retry-backoff sleep: a failed map waiting out
+/// a 3 s backoff before its retry must abandon the wait the moment the
+/// job is cancelled.
+#[test]
+fn retry_backoff_cancels_with_sub_tick_latency() {
+    let config = JobConfig {
+        retry: RetryPolicy {
+            max_task_attempts: 3,
+            backoff_ms: 3_000,
+            ..RetryPolicy::default()
+        },
+        fault_plan: FaultPlan::none().with(FaultTarget::Map(0), 0, FaultKind::Fail),
+        ..Default::default()
+    };
+    // 100 ms settle puts the failed map inside its 3 s backoff wait.
+    let (latency, result) = cancel_after(&config, Duration::from_millis(100));
+    assert!(
+        matches!(result, Err(MrError::Cancelled)),
+        "expected Cancelled, got {result:?}"
+    );
+    assert!(
+        latency < Duration::from_millis(10),
+        "cancel→return took {latency:?}; the retry backoff must be \
+         interrupted by cancellation, not slept to completion"
+    );
 }

@@ -6,13 +6,14 @@
 //! typed error instead of wrong answers.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 use sidr_coords::{Coord, Shape, Slab};
 use sidr_mapreduce::{
     reexecuted_maps, run_job, DefaultPlan, FaultKind, FaultPlan, FaultTarget, FnMapper, FnReducer,
     InMemoryOutput, InputSplit, JobConfig, MapTaskId, ModuloPartitioner, MrError, RetryPolicy,
-    RoutingPlan, SliceRecordSource, TaskKind,
+    RoutingPlan, SliceRecordSource, SpeculationPolicy, TaskKind,
 };
 
 /// Splits `0..n` into `pieces` integer-keyed splits.
@@ -336,6 +337,153 @@ fn concurrent_spilling_jobs_do_not_collide_in_default_scratch_dir() {
         }
     });
     assert_eq!(done.load(Ordering::SeqCst), 2);
+}
+
+/// Speculative execution, deterministic direction: a forced twin
+/// races a scripted 3-second straggler and wins. The job finishes far
+/// inside the straggle delay (the loser's sleep is cancellation-aware),
+/// output is byte-identical to the fault-free ground truth, exactly one
+/// extra attempt was granted, and — because speculation is not
+/// recovery — nothing is re-executed and nothing failed.
+#[test]
+fn speculative_twin_rescues_straggler_with_identical_output() {
+    let config = JobConfig {
+        fault_plan: FaultPlan::none().with(
+            FaultTarget::Map(2),
+            0,
+            FaultKind::Straggle { delay_ms: 3_000 },
+        ),
+        speculation: SpeculationPolicy::force([2]),
+        ..Default::default()
+    };
+    let started = Instant::now();
+    let (records, result) = run_sums(120, 6, 4, &config);
+    let elapsed = started.elapsed();
+    assert_eq!(records, digit_sums(120), "speculative run diverged");
+    assert!(
+        elapsed < Duration::from_millis(2_000),
+        "straggler not rescued: wall time {elapsed:?} vs 3 s straggle"
+    );
+    // Exactly one grant (at-most-one-extra-attempt), stamped with the
+    // twin's attempt id.
+    let grants: Vec<_> = result
+        .events
+        .iter()
+        .filter(|e| e.kind == TaskKind::MapSpeculated)
+        .collect();
+    assert_eq!(grants.len(), 1, "expected exactly one speculative grant");
+    assert_eq!((grants[0].task, grants[0].attempt), (2, 1));
+    // The race has a winner (the twin commits) and a named loser.
+    assert!(result
+        .events
+        .iter()
+        .any(|e| e.kind == TaskKind::MapEnd && e.task == 2 && e.attempt == 1));
+    assert!(result
+        .events
+        .iter()
+        .any(|e| e.kind == TaskKind::MapSpeculationLost && e.task == 2 && e.attempt == 0));
+    // Speculation is not recovery.
+    assert!(reexecuted_maps(&result.events).is_empty());
+    assert_eq!(result.counters.map_failures, 0);
+    let oracle = sidr_core::TimelineOracle::new(6, 4);
+    if let Err(v) = oracle.check_complete(&result.events) {
+        panic!("speculative timeline violates the protocol oracle: {v}");
+    }
+}
+
+/// Speculative execution, timing direction: no forcing — the
+/// cohort-quantile trigger alone notices a 5-second straggler once
+/// `min_committed` fast commits exist, races it, and the twin's commit
+/// releases the job well inside the scripted delay.
+#[test]
+fn quantile_trigger_speculates_straggler_without_forcing() {
+    let config = JobConfig {
+        fault_plan: FaultPlan::none().with(
+            FaultTarget::Map(5),
+            0,
+            FaultKind::Straggle { delay_ms: 5_000 },
+        ),
+        speculation: SpeculationPolicy {
+            check_interval_ms: 5,
+            ..SpeculationPolicy::on()
+        },
+        ..Default::default()
+    };
+    let started = Instant::now();
+    let (records, result) = run_sums(120, 6, 4, &config);
+    let elapsed = started.elapsed();
+    assert_eq!(records, digit_sums(120), "quantile-triggered run diverged");
+    assert!(
+        elapsed < Duration::from_millis(2_500),
+        "quantile trigger never fired: wall time {elapsed:?} vs 5 s straggle"
+    );
+    assert!(
+        result
+            .events
+            .iter()
+            .any(|e| e.kind == TaskKind::MapSpeculated && e.task == 5),
+        "no speculative grant for the straggling map"
+    );
+    assert!(reexecuted_maps(&result.events).is_empty());
+    let oracle = sidr_core::TimelineOracle::new(6, 4);
+    if let Err(v) = oracle.check_complete(&result.events) {
+        panic!("quantile-triggered timeline violates the protocol oracle: {v}");
+    }
+}
+
+/// First commit wins from either side: when the *twin* is the slow
+/// copy (primary straggles briefly, twin straggles for seconds), the
+/// primary's commit stands and the twin is discarded as wasted work —
+/// attempt-stamped on the timeline, never surfaced as a failure.
+#[test]
+fn primary_wins_race_and_slow_twin_is_discarded() {
+    let config = JobConfig {
+        fault_plan: FaultPlan::none()
+            .with(
+                FaultTarget::Map(2),
+                0,
+                FaultKind::Straggle { delay_ms: 200 },
+            )
+            .with(
+                FaultTarget::Map(2),
+                1,
+                FaultKind::Straggle { delay_ms: 5_000 },
+            ),
+        speculation: SpeculationPolicy::force([2]),
+        ..Default::default()
+    };
+    let started = Instant::now();
+    let (records, result) = run_sums(120, 6, 4, &config);
+    let elapsed = started.elapsed();
+    assert_eq!(records, digit_sums(120), "primary-wins run diverged");
+    assert!(
+        elapsed < Duration::from_millis(2_500),
+        "losing twin was not torn down promptly: wall time {elapsed:?}"
+    );
+    // The primary's commit stands.
+    assert!(result
+        .events
+        .iter()
+        .any(|e| e.kind == TaskKind::MapEnd && e.task == 2 && e.attempt == 0));
+    // If the twin got off the ground before the primary committed, it
+    // must be recorded as the loser; either way nothing failed and
+    // nothing was re-executed.
+    if result
+        .events
+        .iter()
+        .any(|e| e.kind == TaskKind::MapSpeculated && e.task == 2)
+    {
+        assert!(result
+            .events
+            .iter()
+            .any(|e| e.kind == TaskKind::MapSpeculationLost && e.task == 2 && e.attempt == 1));
+    }
+    assert!(reexecuted_maps(&result.events).is_empty());
+    assert_eq!(result.counters.map_failures, 0);
+    let oracle = sidr_core::TimelineOracle::new(6, 4);
+    if let Err(v) = oracle.check_complete(&result.events) {
+        panic!("primary-wins timeline violates the protocol oracle: {v}");
+    }
 }
 
 proptest! {

@@ -22,6 +22,7 @@ use sidr_analyze::presets;
 use sidr_coords::{Coord, Shape, Slab};
 use sidr_core::spec::JobSpec;
 use sidr_core::{SidrPlanner, StructuralQuery};
+use sidr_mapreduce::{FaultKind, FaultPlan, FaultTarget, SpeculationPolicy};
 use sidr_scifile::gen::{DatasetSpec, ValueModel};
 use sidr_serve::{Client, SubmitOptions};
 
@@ -35,6 +36,8 @@ struct Args {
     job: Option<u64>,
     priority: Option<String>,
     map_think_ms: u64,
+    straggle: Option<String>,
+    speculate: bool,
     generate: bool,
     binary: bool,
     quiet: bool,
@@ -54,6 +57,11 @@ fn usage() -> String {
          \x20 --priority C:S      steer: schedule keyblocks covering the\n\
          \x20                     slab corner C shape S first (e.g. 0,0,0,0:8,1,1,1)\n\
          \x20 --map-think-ms N    artificial per-map cost (demos)\n\
+         \x20 --straggle MAP:MS   chaos: delay map MAP's first attempt\n\
+         \x20                     by MS milliseconds\n\
+         \x20 --speculate         enable speculative execution; with\n\
+         \x20                     --straggle the straggled map is raced\n\
+         \x20                     deterministically\n\
          \x20 --binary            offer to receive keyblocks as packed\n\
          \x20                     binary frames (falls back to JSON if\n\
          \x20                     the server declines)\n\
@@ -93,6 +101,8 @@ fn parse_args() -> Result<Args, String> {
         job: None,
         priority: None,
         map_think_ms: 0,
+        straggle: None,
+        speculate: false,
         generate: false,
         binary: false,
         quiet: false,
@@ -117,6 +127,8 @@ fn parse_args() -> Result<Args, String> {
                 let n = it.next().ok_or("--map-think-ms needs a value")?;
                 args.map_think_ms = n.parse().map_err(|_| format!("bad duration {n:?}"))?;
             }
+            "--straggle" => args.straggle = Some(it.next().ok_or("--straggle needs MAP:MS")?),
+            "--speculate" => args.speculate = true,
             "--generate" => args.generate = true,
             "--binary" => args.binary = true,
             "--quiet" | "-q" => args.quiet = true,
@@ -126,6 +138,17 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Parses `MAP:MS` into a straggler target.
+fn parse_straggle(text: &str) -> Result<(usize, u64), String> {
+    let (map, ms) = text.split_once(':').ok_or("straggle must be MAP:MS")?;
+    Ok((
+        map.trim()
+            .parse()
+            .map_err(|_| format!("bad map id {map:?}"))?,
+        ms.trim().parse().map_err(|_| format!("bad delay {ms:?}"))?,
+    ))
 }
 
 /// Parses `corner:shape`, both comma-separated, into a priority slab.
@@ -255,7 +278,7 @@ fn run(args: &Args) -> Result<(), String> {
         "shutdown" => client.shutdown().map_err(|e| e.to_string()),
         "submit" => {
             let input = args.input.as_deref().ok_or("submit needs --input")?;
-            let spec = build_spec(args)?;
+            let mut spec = build_spec(args)?;
             if args.generate {
                 ensure_input(&spec, input)?;
             }
@@ -265,6 +288,24 @@ fn run(args: &Args) -> Result<(), String> {
             };
             if let Some(p) = &args.priority {
                 options.priority_region = Some(parse_priority(p)?);
+            }
+            let mut straggler = None;
+            if let Some(text) = &args.straggle {
+                let (map, delay_ms) = parse_straggle(text)?;
+                straggler = Some(map);
+                options.fault_plan = FaultPlan::none().with(
+                    FaultTarget::Map(map),
+                    0,
+                    FaultKind::Straggle { delay_ms },
+                );
+            }
+            if args.speculate {
+                // A known straggler is raced deterministically; plain
+                // --speculate leaves it to the cohort-quantile trigger.
+                spec = spec.with_speculation(match straggler {
+                    Some(map) => SpeculationPolicy::force([map]),
+                    None => SpeculationPolicy::on(),
+                });
             }
             let ticket = client
                 .submit(&spec, input, options)

@@ -446,6 +446,7 @@ impl Fleet {
                 .collect::<Vec<_>>()
                 .into(),
             placement: Mutex::new(HashMap::new()),
+            in_flight: Mutex::new(HashMap::new()),
             splits: Mutex::new(Vec::new()),
         })
     }
@@ -597,6 +598,10 @@ pub struct RemoteJob<'f> {
     prepared: Box<[bool]>,
     /// `(map, epoch)` → fleet slot index of the holder.
     placement: Mutex<HashMap<(usize, u32), usize>>,
+    /// map → fleet slot currently executing its *primary* attempt.
+    /// Speculative dispatch reads this to place the twin on a
+    /// different worker than the straggler.
+    in_flight: Mutex<HashMap<usize, usize>>,
     /// Split byte ranges, captured at first dispatch for locality
     /// ranking.
     splits: Mutex<Vec<(u64, u64)>>,
@@ -648,13 +653,19 @@ impl RemoteJob<'_> {
     }
 }
 
-impl TaskExecutor<Coord, f64> for RemoteJob<'_> {
-    fn execute_map(
+impl RemoteJob<'_> {
+    /// Shared body of map dispatch. A speculative twin demotes the
+    /// worker currently running the primary attempt to the *back* of
+    /// the locality-ranked candidate list: racing on the machine that
+    /// is already slow defeats the point, but it stays a legal last
+    /// resort when it is the only live worker.
+    fn dispatch_map(
         &self,
         task: MapTaskId,
         attempt: u32,
         split: &InputSplit,
         counters: &Counters,
+        speculative: bool,
     ) -> sidr_mapreduce::Result<()> {
         {
             let mut splits = self.splits.lock().unwrap();
@@ -663,7 +674,15 @@ impl TaskExecutor<Coord, f64> for RemoteJob<'_> {
             }
             splits[task] = split.byte_range;
         }
-        let candidates = self.ranked_workers(Some(split));
+        let mut candidates = self.ranked_workers(Some(split));
+        if speculative {
+            if let Some(&busy) = self.in_flight.lock().unwrap().get(&task) {
+                if let Some(pos) = candidates.iter().position(|&i| i == busy) {
+                    let demoted = candidates.remove(pos);
+                    candidates.push(demoted);
+                }
+            }
+        }
         if candidates.is_empty() {
             return Err(MrError::Source("no live workers for map dispatch".into()));
         }
@@ -676,6 +695,9 @@ impl TaskExecutor<Coord, f64> for RemoteJob<'_> {
             first = false;
             let started = Instant::now();
             slot.dispatching.fetch_add(1, Ordering::Relaxed);
+            if !speculative {
+                self.in_flight.lock().unwrap().insert(task, idx);
+            }
             let result = call(
                 &slot.addr,
                 &WorkerRequest::RunMap {
@@ -686,6 +708,12 @@ impl TaskExecutor<Coord, f64> for RemoteJob<'_> {
                 None,
             );
             slot.dispatching.fetch_sub(1, Ordering::Relaxed);
+            if !speculative {
+                let mut in_flight = self.in_flight.lock().unwrap();
+                if in_flight.get(&task) == Some(&idx) {
+                    in_flight.remove(&task);
+                }
+            }
             match result {
                 Ok(WorkerResponse::MapDone {
                     records_in,
@@ -726,6 +754,28 @@ impl TaskExecutor<Coord, f64> for RemoteJob<'_> {
         Err(MrError::Source(format!(
             "map {task}: every candidate worker died during dispatch"
         )))
+    }
+}
+
+impl TaskExecutor<Coord, f64> for RemoteJob<'_> {
+    fn execute_map(
+        &self,
+        task: MapTaskId,
+        attempt: u32,
+        split: &InputSplit,
+        counters: &Counters,
+    ) -> sidr_mapreduce::Result<()> {
+        self.dispatch_map(task, attempt, split, counters, false)
+    }
+
+    fn execute_map_speculative(
+        &self,
+        task: MapTaskId,
+        attempt: u32,
+        split: &InputSplit,
+        counters: &Counters,
+    ) -> sidr_mapreduce::Result<()> {
+        self.dispatch_map(task, attempt, split, counters, true)
     }
 
     fn execute_reduce(

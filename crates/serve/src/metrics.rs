@@ -44,6 +44,10 @@ pub struct ServeMetrics {
     /// Job start → first keyblock commit (the paper's
     /// time-to-first-result, as served).
     pub ttfb_seconds: Arc<Histogram>,
+    /// Deadline-pressure boosts: the watchdog saw projected completion
+    /// threaten `deadline_ms` and lowered the speculation trigger
+    /// (`SIDR-I014`) instead of waiting to cancel.
+    pub deadline_boosts: Arc<Counter>,
 }
 
 /// The serving layer's metrics, registered on first use.
@@ -97,6 +101,11 @@ pub fn serve() -> &'static ServeMetrics {
                 "Job start to first keyblock commit, seconds",
                 &[],
                 TTFB_BUCKETS,
+            ),
+            deadline_boosts: r.counter(
+                "sidr_serve_deadline_boosts_total",
+                "Speculation-trigger boosts issued under deadline pressure (SIDR-I014)",
+                &[],
             ),
         }
     })

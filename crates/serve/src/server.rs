@@ -31,7 +31,9 @@ use sidr_core::early::streaming_output;
 use sidr_core::exec::ExecOptions;
 use sidr_core::framework::{run_spec_on_pool, run_spec_with_executor, SpecRunOptions};
 use sidr_core::spec::JobSpec;
-use sidr_mapreduce::{CancelToken, InMemoryOutput, MrError, OutputCollector, SlotPool};
+use sidr_mapreduce::{
+    CancelToken, InMemoryOutput, MrError, OutputCollector, ProgressProbe, SlotPool,
+};
 use sidr_scifile::ScincFile;
 
 use crate::binframe;
@@ -615,6 +617,15 @@ fn run_admitted_job(
         }
     };
 
+    // With speculation enabled the engine's monitor publishes coarse
+    // progress and projected completion through this probe; the
+    // deadline watchdog reads it to act *before* the deadline instead
+    // of only at it.
+    let probe = if spec.speculation.enabled {
+        Some(Arc::new(ProgressProbe::new()))
+    } else {
+        None
+    };
     let opts = SpecRunOptions {
         priority_region: options.priority_region.clone(),
         validate_annotations: options.validate_annotations,
@@ -623,6 +634,8 @@ fn run_admitted_job(
         reduce_think: Duration::from_millis(options.reduce_think_ms),
         fault_plan: options.fault_plan.clone(),
         retry: spec.retry,
+        speculation: spec.speculation.clone(),
+        progress: probe.clone(),
     };
 
     let sink = Arc::new(InMemoryOutput::<Coord, f64>::new());
@@ -643,13 +656,34 @@ fn run_admitted_job(
         let hit = Arc::clone(&deadline_hit);
         let finished = Arc::clone(&job_finished);
         let watchdog_cancel = cancel.clone();
+        let watchdog_probe = probe.clone();
         thread::spawn(move || {
-            let deadline = std::time::Instant::now() + Duration::from_millis(ms);
+            let started = std::time::Instant::now();
+            let deadline = started + Duration::from_millis(ms);
             // Tick instead of one long sleep so the thread retires
             // promptly once the job ends.
             while std::time::Instant::now() < deadline {
                 if finished.load(Ordering::SeqCst) {
                     return;
+                }
+                // Proactive half: when the engine's projection says
+                // the remaining work will not fit inside the deadline,
+                // boost the speculation trigger *now* — stragglers get
+                // raced while there is still time for the twin to win.
+                // Cancellation stays the backstop, not the first move.
+                if let Some(p) = &watchdog_probe {
+                    let elapsed = started.elapsed().as_millis() as u64;
+                    let threatened = p
+                        .projected_remaining_ms()
+                        .is_some_and(|rem| elapsed.saturating_add(rem) > ms);
+                    if threatened && p.request_boost() {
+                        serve_metrics().deadline_boosts.inc();
+                        eprintln!(
+                            "[{}] job deadline pressure: projected completion exceeds \
+                             deadline_ms={ms}; speculation trigger boosted",
+                            sidr_core::diag::codes::DEADLINE_PRESSURE
+                        );
+                    }
                 }
                 thread::sleep(Duration::from_millis(5).min(Duration::from_millis(ms.max(1))));
             }

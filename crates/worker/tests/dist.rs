@@ -16,7 +16,7 @@ use sidr_core::spec::JobSpec;
 use sidr_core::{Operator, SidrPlanner, StructuralQuery};
 use sidr_mapreduce::{
     reexecuted_maps, FaultKind, FaultPlan, FaultTarget, InMemoryOutput, JobResult, SlotPool,
-    SplitGenerator,
+    SpeculationPolicy, SplitGenerator, TaskKind,
 };
 use sidr_scifile::gen::{DatasetSpec, ValueModel};
 use sidr_scifile::ScincFile;
@@ -145,13 +145,27 @@ fn run_distributed(
     opts: ExecOptions,
     mid_job: impl FnOnce(u64) + Send,
 ) -> (JobResult, Keyblocks) {
+    run_distributed_with(workers, fleet, spec, input, opts, &run_opts(), mid_job)
+}
+
+/// [`run_distributed`] with explicit engine-side run options (the
+/// speculation tests need a non-default policy).
+fn run_distributed_with(
+    workers: &[Worker],
+    fleet: &Fleet,
+    spec: &JobSpec,
+    input: &str,
+    opts: ExecOptions,
+    ropts: &SpecRunOptions,
+    mid_job: impl FnOnce(u64) + Send,
+) -> (JobResult, Keyblocks) {
     let file = ScincFile::open(input).unwrap();
     let remote = fleet.prepare_job(spec, input, &opts).expect("prepare");
     let pool = SlotPool::new(4, spec.num_reducers).unwrap();
     let out = InMemoryOutput::<Coord, f64>::new();
     let result = thread::scope(|s| {
-        let runner = s
-            .spawn(|| run_spec_with_executor(&file, spec, &run_opts(), &out, &pool, None, &remote));
+        let runner =
+            s.spawn(|| run_spec_with_executor(&file, spec, ropts, &out, &pool, None, &remote));
         let mid =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| mid_job(remote.job_id())));
         if mid.is_err() {
@@ -348,6 +362,91 @@ fn worker_death_mid_map_reexecutes_only_committed_maps() {
          re-dispatches at its original attempt"
     );
     assert_eq!(got, expected, "output must survive the kill unchanged");
+}
+
+/// Fleet speculation chaos: the straggling map's primary attempt
+/// blocks on one worker for 2 s while the engine races a speculative
+/// twin that placement steers to a *different* worker; the twin's
+/// commit stands, output matches the fault-free reference
+/// byte-for-byte, and `reexecuted_maps` stays empty — speculation is
+/// not recovery.
+#[test]
+fn speculative_twin_runs_on_different_worker_and_wins() {
+    let (spec, input) = fig08_scale_fixture("speculate");
+    let expected = run_local(&spec, &input);
+    let num_maps = spec.splits.len();
+    let straggler = num_maps - 1;
+
+    // The straggle ships to whichever worker the primary attempt lands
+    // on; the twin (attempt 1) is not scripted and runs at full speed.
+    let plan = FaultPlan::none().with(
+        FaultTarget::Map(straggler),
+        0,
+        FaultKind::Straggle { delay_ms: 2_000 },
+    );
+    let workers = spawn_workers(3);
+    let fleet = fleet_of(&workers);
+
+    let ropts = SpecRunOptions {
+        speculation: SpeculationPolicy::force([straggler]),
+        ..run_opts()
+    };
+    // Which worker holds (task, attempt) — queried mid-job, since
+    // `finish()` purges per-job worker state once the run returns.
+    let host_of = |job: u64, attempt: u32| -> Option<usize> {
+        workers
+            .iter()
+            .position(|w| w.committed_maps(job).contains(&(straggler, attempt)))
+    };
+    let mut hosts: (Option<usize>, Option<usize>) = (None, None);
+    let (result, got) = {
+        let captured = &mut hosts;
+        let host_of = &host_of;
+        run_distributed_with(
+            &workers,
+            &fleet,
+            &spec,
+            &input,
+            exec_opts(plan),
+            &ropts,
+            move |job| {
+                // Both racers' outputs register fleet-side: the twin
+                // fast, the losing primary once its 2 s straggle
+                // drains.
+                wait_until(|| host_of(job, 0).is_some() && host_of(job, 1).is_some());
+                *captured = (host_of(job, 0), host_of(job, 1));
+            },
+        )
+    };
+
+    assert_eq!(got, expected, "speculative fleet run diverged");
+    assert!(
+        reexecuted_maps(&result.events).is_empty(),
+        "speculation must not register as recovery"
+    );
+    assert!(
+        result
+            .events
+            .iter()
+            .any(|e| e.kind == TaskKind::MapSpeculated && e.task == straggler && e.attempt == 1),
+        "no speculative grant on the timeline"
+    );
+    assert!(
+        result
+            .events
+            .iter()
+            .any(|e| e.kind == TaskKind::MapEnd && e.task == straggler && e.attempt == 1),
+        "the twin's commit must win the race"
+    );
+    // The winning twin must have been placed on a different worker
+    // than the primary it raced.
+    let (primary_host, twin_host) = hosts;
+    let primary_host = primary_host.expect("primary drained on a worker");
+    let twin_host = twin_host.expect("twin committed on a worker");
+    assert_ne!(
+        twin_host, primary_host,
+        "speculative dispatch must prefer a worker not already running the primary"
+    );
 }
 
 /// The serving path end-to-end: a coordinator configured with
