@@ -369,6 +369,96 @@ fn speculative_race_against_reducer_fetch_is_clean() {
 }
 
 // ---------------------------------------------------------------------------
+// Scenario 6: budgeted spill tier — a mover writing a partition out
+// races fetches of it and a concurrent release of its neighbor.
+// ---------------------------------------------------------------------------
+
+/// One sorted, encoded map-output partition (the spill tier CRC-checks
+/// read-backs, so the fixtures go through the real encoder).
+fn encoded_partition(salt: u64) -> std::sync::Arc<Vec<u8>> {
+    let records: Vec<(sidr_coords::Coord, f64)> = (0..8)
+        .map(|i| (sidr_coords::Coord::from([salt, i]), (salt * 10 + i) as f64))
+        .collect();
+    let file = sidr_mapreduce::MapOutputFile {
+        raw_count: records.len() as u64,
+        records,
+    };
+    std::sync::Arc::new(sidr_mapreduce::shuffle_file::encode_map_output(&file).unwrap())
+}
+
+/// A budget that admits exactly one partition puts the `Moving`
+/// window — fetchers waiting on the `moved` condvar while the mover
+/// writes outside the lock — on the hot path: the second insert must
+/// evict the first to make room. One thread inserts both partitions,
+/// one fetches the first at an arbitrary point (before, during or
+/// after its move), one releases the second mid-move. Whatever the
+/// interleaving: a fetched partition is byte-identical, resident
+/// bytes never exceed the budget, and the backend holds exactly one
+/// file per surviving spilled partition (a release during the move
+/// must not leak the mover's file as an orphan).
+fn spill_tier_scenario() {
+    use sidr_mapreduce::tier::MemBackend;
+    let backend = std::sync::Arc::new(MemBackend::new());
+    let a = encoded_partition(0);
+    let b = encoded_partition(1);
+    let budget = a.len() as u64;
+    let store = sidr_mapreduce::PartitionStore::new(
+        sidr_mapreduce::TierConfig {
+            budget_bytes: budget,
+            ..Default::default()
+        },
+        std::sync::Arc::clone(&backend) as std::sync::Arc<dyn sidr_mapreduce::SpillBackend>,
+    );
+    store.prepare_job(9, FaultPlan::none(), &[1, 1]);
+    let key_a = (9u64, 0usize, 0usize, 0u32);
+    let key_b = (9u64, 1usize, 0usize, 0u32);
+    thread::scope(|s| {
+        s.spawn(|| {
+            store.insert(key_a, std::sync::Arc::clone(&a));
+            store.insert(key_b, std::sync::Arc::clone(&b));
+        });
+        s.spawn(|| {
+            if let Some(bytes) = store.get(&key_a).unwrap() {
+                assert_eq!(&*bytes, &*a, "fetch mid-spill must be byte-identical");
+            }
+        });
+        s.spawn(|| store.remove(&key_b));
+    });
+    // Partition A is never released: it must read back intact.
+    let read = store
+        .get(&key_a)
+        .unwrap()
+        .expect("unreleased partition survives the spill");
+    assert_eq!(&*read, &*a);
+    let p = store.pressure();
+    assert!(
+        p.peak_resident_bytes <= budget,
+        "admission makes room first: the watermark is a hard bound"
+    );
+    assert_eq!(
+        backend.names().len(),
+        p.spilled_partitions,
+        "one backend file per surviving spilled partition — no orphans"
+    );
+    store.remove_job(9);
+    assert_eq!(store.partition_count(), 0);
+    assert!(backend.names().is_empty(), "job sweep leaves no files");
+}
+
+#[test]
+fn spill_vs_fetch_vs_release_is_clean() {
+    Explorer::new("spill-tier")
+        .run(
+            Strategy::Random {
+                schedules: 250,
+                seed: 0x51D2_0006,
+            },
+            spill_tier_scenario,
+        )
+        .assert_clean();
+}
+
+// ---------------------------------------------------------------------------
 // Coverage acceptance: >= 10,000 distinct schedules across the four
 // scenarios, under a minute (timed in release builds).
 // ---------------------------------------------------------------------------

@@ -66,6 +66,11 @@ pub mod codes {
     /// completion threatens the deadline, so the serving layer boosted
     /// the speculation trigger before resorting to cancellation.
     pub const DEADLINE_PRESSURE: &str = "SIDR-I014";
+    /// Advisory, emitted at run time rather than admission: a worker's
+    /// resident partition bytes crossed its memory budget (or a spill
+    /// failed), so its partitions are degrading to the disk tier and
+    /// dispatch deprioritizes it until the pressure clears.
+    pub const MEMORY_PRESSURE: &str = "SIDR-I015";
 }
 
 /// How bad a finding is.

@@ -52,6 +52,24 @@ pub enum FaultKind {
     /// The attempt is slowed by this long — a straggler. The attempt
     /// still succeeds.
     Straggle { delay_ms: u64 },
+    /// The spill tier's write for this map's partitions fails as if
+    /// the disk were full (ENOSPC). The partition stays resident —
+    /// the store degrades to over-budget operation with a pressure
+    /// advisory rather than losing data (map targets only).
+    SpillWriteFail,
+    /// The on-disk spill copy of this map's partitions is bit-flipped
+    /// after the spill write commits, so the damage is only discovered
+    /// when a fetch reads it back and the CRC check fails; recovery
+    /// then routes through the `I_ℓ`-scoped re-execution path exactly
+    /// like [`CorruptOutput`] (map targets only).
+    ///
+    /// [`CorruptOutput`]: FaultKind::CorruptOutput
+    SpillReadCorrupt,
+    /// Like [`SpillReadCorrupt`] but the spill file is truncated
+    /// mid-payload instead of bit-flipped (map targets only).
+    ///
+    /// [`SpillReadCorrupt`]: FaultKind::SpillReadCorrupt
+    SpillReadTruncate,
 }
 
 /// One scripted fault: fires when `target` runs its `attempt`-th
@@ -353,6 +371,20 @@ mod tests {
             RetryPolicy::default().wait_tick(),
             Duration::from_millis(25)
         );
+    }
+
+    #[test]
+    fn spill_faults_ride_a_plan() {
+        let plan = FaultPlan::none()
+            .with(FaultTarget::Map(2), 0, FaultKind::SpillWriteFail)
+            .with(FaultTarget::Map(4), 0, FaultKind::SpillReadCorrupt)
+            .with(FaultTarget::Map(5), 0, FaultKind::SpillReadTruncate);
+        assert_eq!(plan.map_fault(2, 0), Some(FaultKind::SpillWriteFail));
+        assert_eq!(plan.map_fault(4, 0), Some(FaultKind::SpillReadCorrupt));
+        assert_eq!(plan.map_fault(5, 0), Some(FaultKind::SpillReadTruncate));
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
     }
 
     #[test]

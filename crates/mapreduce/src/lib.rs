@@ -42,6 +42,7 @@ pub mod speculation;
 pub mod split;
 pub mod sync;
 pub mod task;
+pub mod tier;
 pub mod timeline;
 pub mod wire;
 
@@ -66,6 +67,7 @@ pub use split::{InputSplit, MapTaskId, SplitGenerator};
 pub use task::{
     Combiner, FnMapper, FnReducer, Mapper, MrKey, MrValue, RecordSource, Reducer, SliceRecordSource,
 };
+pub use tier::{PartitionStore, SpillBackend, TierConfig, TierPressure};
 pub use timeline::{reexecuted_maps, spans, TaskEvent, TaskKind, Timeline};
 pub use wire::FixedCodec;
 pub use wire::WireFormat;

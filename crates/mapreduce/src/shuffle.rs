@@ -113,14 +113,39 @@ pub enum Fetched<K, V> {
 /// reject another attempt's data before touching the payload.
 type StoredFiles<K, V> = HashMap<(MapTaskId, usize), (u32, Stored<K, V>)>;
 
+/// The store's mutable state: the files plus the resident-byte tally
+/// the budgeted mode ranks demotions by.
+struct Table<K, V> {
+    files: StoredFiles<K, V>,
+    /// Approximate bytes held by `Stored::Memory` entries.
+    resident: u64,
+    /// High-water mark of `resident`.
+    peak_resident: u64,
+    /// Memory entries in arrival order — the demotion queue. May
+    /// hold stale keys (consumed or already demoted); they are
+    /// skipped when popped.
+    fifo: std::collections::VecDeque<(MapTaskId, usize)>,
+}
+
+/// How a store with a codec uses its disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SpillMode {
+    /// Every put goes straight to disk (the pre-budget behavior).
+    Always,
+    /// Puts stay in memory; once resident bytes exceed the budget,
+    /// the oldest memory entries are demoted to disk.
+    Budget(u64),
+}
+
 pub struct ShuffleStore<K, V> {
-    files: Mutex<StoredFiles<K, V>>,
+    table: Mutex<Table<K, V>>,
     /// Signalled when new files arrive (fetchers waiting on slow maps).
     arrival: Condvar,
     /// Whether fetches remove files from the store.
     consume_on_fetch: bool,
     /// Spill codec, present when the store is disk-backed.
     spill: Option<SpillCodec<K, V>>,
+    mode: SpillMode,
 }
 
 /// Zero-copy spill loader: `Ok(Some(view))` when the file uses the v3
@@ -158,23 +183,63 @@ where
 }
 
 impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
-    pub fn new(consume_on_fetch: bool) -> Self {
+    fn build(consume_on_fetch: bool, spill: Option<SpillCodec<K, V>>, mode: SpillMode) -> Self {
         ShuffleStore {
-            files: Mutex::new(HashMap::new()),
+            table: Mutex::new(Table {
+                files: HashMap::new(),
+                resident: 0,
+                peak_resident: 0,
+                fifo: std::collections::VecDeque::new(),
+            }),
             arrival: Condvar::new(),
             consume_on_fetch,
-            spill: None,
+            spill,
+            mode,
         }
+    }
+
+    pub fn new(consume_on_fetch: bool) -> Self {
+        ShuffleStore::build(consume_on_fetch, None, SpillMode::Always)
     }
 
     /// A disk-backed store spilling through `codec`.
     pub fn with_spill(consume_on_fetch: bool, codec: SpillCodec<K, V>) -> Self {
-        ShuffleStore {
-            files: Mutex::new(HashMap::new()),
-            arrival: Condvar::new(),
+        ShuffleStore::build(consume_on_fetch, Some(codec), SpillMode::Always)
+    }
+
+    /// A budgeted store: puts stay resident until approximate memory
+    /// bytes exceed `budget_bytes`, then the oldest entries are
+    /// demoted through `codec` — fetch semantics (epoch stamping,
+    /// `Stale`/`Empty`, consume-on-fetch) are identical either tier.
+    /// A budget of 0 demotes every put, degenerating to
+    /// [`with_spill`](Self::with_spill).
+    pub fn with_spill_budget(
+        consume_on_fetch: bool,
+        codec: SpillCodec<K, V>,
+        budget_bytes: u64,
+    ) -> Self {
+        ShuffleStore::build(
             consume_on_fetch,
-            spill: Some(codec),
-        }
+            Some(codec),
+            SpillMode::Budget(budget_bytes),
+        )
+    }
+
+    /// Approximate resident bytes of one memory file (fixed-width
+    /// record assumption, which holds for the engine's coordinate
+    /// keys and scalar values).
+    fn approx_bytes(file: &MapOutputFile<K, V>) -> u64 {
+        (file.records.len() * std::mem::size_of::<(K, V)>()) as u64
+    }
+
+    /// Current approximate resident bytes (memory-tier entries).
+    pub fn resident_bytes(&self) -> u64 {
+        self.table.lock().resident
+    }
+
+    /// High-water mark of [`resident_bytes`](Self::resident_bytes).
+    pub fn peak_resident_bytes(&self) -> u64 {
+        self.table.lock().peak_resident
     }
 
     /// Stores (or replaces, on re-execution) one map-output file,
@@ -186,21 +251,81 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
         epoch: u32,
         file: MapOutputFile<K, V>,
     ) -> crate::Result<()> {
-        let stored = match &self.spill {
-            None => Stored::Memory(Arc::new(file)),
-            Some(codec) => {
-                let path = codec.dir.join(format!("map{map:06}-r{reducer:05}.smof"));
-                (codec.write)(&path, &file)?;
-                Stored::Spilled {
-                    path,
-                    raw_count: file.raw_count,
-                    records: file.records.len() as u64,
-                }
+        let to_memory = self.spill.is_none() || matches!(self.mode, SpillMode::Budget(b) if b > 0);
+        let stored = if to_memory {
+            Stored::Memory(Arc::new(file))
+        } else {
+            let codec = self.spill.as_ref().expect("checked above");
+            let path = codec.dir.join(format!("map{map:06}-r{reducer:05}.smof"));
+            (codec.write)(&path, &file)?;
+            Stored::Spilled {
+                path,
+                raw_count: file.raw_count,
+                records: file.records.len() as u64,
             }
         };
-        let mut files = self.files.lock();
-        files.insert((map, reducer), (epoch, stored));
+        let mut table = self.table.lock();
+        if let Some((_, old)) = table.files.remove(&(map, reducer)) {
+            Self::retire(&mut table, &old, self.consume_on_fetch);
+        }
+        if let Stored::Memory(f) = &stored {
+            table.resident += Self::approx_bytes(f);
+            table.peak_resident = table.peak_resident.max(table.resident);
+            if self.spill.is_some() {
+                table.fifo.push_back((map, reducer));
+            }
+        }
+        table.files.insert((map, reducer), (epoch, stored));
+        if let SpillMode::Budget(budget) = self.mode {
+            self.demote_until_under(&mut table, budget)?;
+        }
         self.arrival.notify_all();
+        Ok(())
+    }
+
+    /// Fixes the resident tally for an entry leaving the table; a
+    /// volatile store also deletes a spilled entry's file.
+    fn retire(table: &mut Table<K, V>, stored: &Stored<K, V>, delete_spill: bool) {
+        match stored {
+            Stored::Memory(f) => {
+                table.resident = table.resident.saturating_sub(Self::approx_bytes(f));
+            }
+            Stored::Spilled { path, .. } if delete_spill => {
+                std::fs::remove_file(path).ok();
+            }
+            _ => {}
+        }
+    }
+
+    /// Demotes oldest memory entries through the codec until the
+    /// resident tally is back under `budget`. Runs on the putting
+    /// thread, under the table lock.
+    fn demote_until_under(&self, table: &mut Table<K, V>, budget: u64) -> crate::Result<()> {
+        let codec = self.spill.as_ref().expect("budget mode implies a codec");
+        while table.resident > budget {
+            let Some(key) = table.fifo.pop_front() else {
+                break;
+            };
+            let Some((_, stored)) = table.files.get(&key) else {
+                continue; // consumed since it was queued
+            };
+            let Stored::Memory(file) = stored else {
+                continue; // already on disk (corrupt counts as gone)
+            };
+            let file = Arc::clone(file);
+            let (map, reducer) = key;
+            let path = codec.dir.join(format!("map{map:06}-r{reducer:05}.smof"));
+            (codec.write)(&path, &file)?;
+            let demoted = Stored::Spilled {
+                path,
+                raw_count: file.raw_count,
+                records: file.records.len() as u64,
+            };
+            if let Some((_, slot)) = table.files.get_mut(&key) {
+                *slot = demoted;
+                table.resident = table.resident.saturating_sub(Self::approx_bytes(&file));
+            }
+        }
         Ok(())
     }
 
@@ -224,8 +349,8 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
     ) -> crate::Result<Fetched<K, V>> {
         Counters::add(&counters.shuffle_connections, 1);
         let entry = {
-            let mut files = self.files.lock();
-            match files.get(&(map, reducer)) {
+            let mut table = self.table.lock();
+            match table.files.get(&(map, reducer)) {
                 None => None,
                 Some((stored_epoch, _)) if *stored_epoch > epoch => {
                     return Ok(Fetched::Stale {
@@ -236,7 +361,16 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
                     return Ok(Fetched::Empty);
                 }
                 Some(_) if self.consume_on_fetch => {
-                    files.remove(&(map, reducer)).map(|(_, stored)| stored)
+                    let removed = table
+                        .files
+                        .remove(&(map, reducer))
+                        .map(|(_, stored)| stored);
+                    if let Some(Stored::Memory(f)) = &removed {
+                        // Tally only — a consumed spilled file is
+                        // deleted below, *after* it has been read.
+                        table.resident = table.resident.saturating_sub(Self::approx_bytes(f));
+                    }
+                    removed
                 }
                 Some((_, Stored::Memory(f))) => Some(Stored::Memory(Arc::clone(f))),
                 Some((
@@ -298,7 +432,7 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
     /// The annotation of a stored file without reading its records —
     /// `(raw ⟨k,v⟩ represented, ⟨k′,v′⟩ records)` (§3.2.1).
     pub fn annotation(&self, map: MapTaskId, reducer: usize) -> Option<(u64, u64)> {
-        match self.files.lock().get(&(map, reducer)) {
+        match self.table.lock().files.get(&(map, reducer)) {
             None => None,
             Some((_, Stored::Memory(f))) => Some((f.raw_count, f.records.len() as u64)),
             Some((
@@ -316,13 +450,14 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
     /// CRC frame genuinely fails at read time; resident replicas are
     /// marked corrupt, which `fetch` reports the same way.
     pub fn corrupt_map(&self, map: MapTaskId, mode: CorruptionMode) -> crate::Result<()> {
-        let mut files = self.files.lock();
-        for ((m, _), (_, stored)) in files.iter_mut() {
+        let table = &mut *self.table.lock();
+        for ((m, _), (_, stored)) in table.files.iter_mut() {
             if *m != map {
                 continue;
             }
             match stored {
                 Stored::Memory(f) => {
+                    table.resident = table.resident.saturating_sub(Self::approx_bytes(f));
                     *stored = Stored::Corrupt {
                         raw_count: f.raw_count,
                         records: f.records.len() as u64,
@@ -342,32 +477,38 @@ impl<K: MrKey, V: MrValue> ShuffleStore<K, V> {
     /// the copy phase calls this when a fetch detects corruption, so
     /// the re-executed attempt's files are the only replicas left.
     pub fn evict(&self, map: MapTaskId) {
-        let mut files = self.files.lock();
-        files.retain(|(m, _), (_, stored)| {
+        let table = &mut *self.table.lock();
+        let mut freed = 0u64;
+        table.files.retain(|(m, _), (_, stored)| {
             if *m != map {
                 return true;
             }
-            if let Stored::Spilled { path, .. } = stored {
-                std::fs::remove_file(path).ok();
+            match stored {
+                Stored::Spilled { path, .. } => {
+                    std::fs::remove_file(path).ok();
+                }
+                Stored::Memory(f) => freed += Self::approx_bytes(f),
+                Stored::Corrupt { .. } => {}
             }
             false
         });
+        table.resident = table.resident.saturating_sub(freed);
     }
 
     /// Whether a file is currently present (recovery logic checks
     /// before deciding to re-execute a map).
     pub fn contains(&self, map: MapTaskId, reducer: usize) -> bool {
-        self.files.lock().contains_key(&(map, reducer))
+        self.table.lock().files.contains_key(&(map, reducer))
     }
 
     /// Number of files currently stored.
     pub fn len(&self) -> usize {
-        self.files.lock().len()
+        self.table.lock().files.len()
     }
 
     /// True when the store holds no files.
     pub fn is_empty(&self) -> bool {
-        self.files.lock().is_empty()
+        self.table.lock().files.is_empty()
     }
 }
 
@@ -1087,6 +1228,82 @@ mod tests {
         ));
         assert_eq!(counters.snapshot().shuffle_connections, 2);
         assert_eq!(counters.snapshot().shuffled_records, 1);
+    }
+
+    #[test]
+    fn budgeted_store_demotes_oldest_and_fetch_is_tier_transparent() {
+        let counters = Counters::default();
+        let dir = std::env::temp_dir().join(format!(
+            "sidr-shuffle-budget-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Two (u64, u64) records ≈ 32 approximate bytes per file: a
+        // 40-byte budget holds one file resident but not two.
+        let store =
+            ShuffleStore::<u64, u64>::with_spill_budget(false, SpillCodec::smof(dir.clone()), 40);
+        let file = |k: u64| MapOutputFile {
+            records: vec![(k, k), (k + 1, k)],
+            raw_count: 2,
+        };
+        store.put(0, 0, 0, file(1)).unwrap();
+        let one = store.resident_bytes();
+        assert!(one > 0, "under budget, the put stays resident");
+        store.put(1, 0, 0, file(10)).unwrap();
+        assert_eq!(
+            store.resident_bytes(),
+            one,
+            "over budget, the oldest file demotes to disk"
+        );
+        assert_eq!(store.peak_resident_bytes(), 2 * one);
+
+        // Fetch is tier-transparent: the demoted file reads back the
+        // records that went in, the resident one is served as-is.
+        match store.fetch(0, 0, 0, &counters).unwrap() {
+            Fetched::Frame(view) => {
+                assert_eq!(view.records(), 2);
+                assert_eq!(view.key_at(0), 1);
+                assert_eq!(view.key_at(1), 2);
+            }
+            Fetched::File(f) => assert_eq!(f.records, vec![(1, 1), (2, 1)]),
+            _ => panic!("demoted file must fetch as File or Frame"),
+        }
+        match store.fetch(1, 0, 0, &counters).unwrap() {
+            Fetched::File(f) => assert_eq!(f.records, vec![(10, 10), (11, 10)]),
+            _ => panic!("resident file must fetch as File"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_budget_degenerates_to_always_spill() {
+        let dir = std::env::temp_dir().join(format!(
+            "sidr-shuffle-budget0-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store =
+            ShuffleStore::<u64, u64>::with_spill_budget(false, SpillCodec::smof(dir.clone()), 0);
+        store
+            .put(
+                0,
+                0,
+                0,
+                MapOutputFile {
+                    records: vec![(3, 4)],
+                    raw_count: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            store.resident_bytes(),
+            0,
+            "budget 0 writes straight to disk"
+        );
+        assert!(store.contains(0, 0));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -434,6 +434,35 @@ pub(crate) fn parse_v3_meta(bytes: &[u8]) -> Result<V3Meta> {
     })
 }
 
+/// Type-free integrity check of one encoded map-output buffer: magic,
+/// version, geometry, and payload CRC — everything decoding would
+/// check short of reading records, so callers that only move bytes
+/// (the worker's spill tier reading a partition back from disk) can
+/// reject bit flips and truncation as [`MrError::CorruptShuffle`]
+/// without knowing the key/value types.
+pub fn verify_encoded(bytes: &[u8]) -> Result<()> {
+    let prefix = parse_prefix(bytes)?;
+    match prefix.version {
+        VERSION_V3 => parse_v3_meta(bytes).map(|_| ()),
+        _ => {
+            if bytes.len() < V2_HEADER_LEN {
+                return Err(MrError::CorruptShuffle {
+                    detail: "v2 map-output file shorter than header".into(),
+                });
+            }
+            let crc =
+                u32::from_le_bytes(bytes[PREFIX_LEN..V2_HEADER_LEN].try_into().expect("len 4"));
+            let actual = crc32(&bytes[V2_HEADER_LEN..]);
+            if actual != crc {
+                return Err(MrError::CorruptShuffle {
+                    detail: format!("payload CRC {actual:#010x} != header CRC {crc:#010x}"),
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
 /// Writes one map-output file to `path`.
 pub fn write_map_output<K, V>(path: impl AsRef<Path>, file: &MapOutputFile<K, V>) -> Result<()>
 where

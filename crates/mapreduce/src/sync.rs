@@ -76,6 +76,11 @@ pub mod chaos {
         /// winner committed, overwriting the committed entries at a
         /// newer epoch that no commit will ever match.
         DropSpeculationClaim,
+        /// The spill mover installs the on-disk tier without
+        /// `notify_all`: fetchers blocked on a `Moving` partition are
+        /// never woken and progress only via the timed-wait safety
+        /// net.
+        DropTierMoveNotify,
     }
 
     /// Whether `m` is armed. Always `false` outside checker builds.
@@ -96,6 +101,7 @@ pub mod chaos {
             Mutation::HoldStateAcrossAcquire => 3,
             Mutation::SkipRecoveryRewait => 4,
             Mutation::DropSpeculationClaim => 5,
+            Mutation::DropTierMoveNotify => 6,
         }
     }
 

@@ -139,6 +139,12 @@ fn map_fault_matrix_recovers_with_identical_output() {
             FaultKind::Straggle { .. } => {
                 assert_eq!(result.counters.map_failures, 0, "{kind:?}");
             }
+            // Spill-tier kinds need a budgeted PartitionStore to fire;
+            // they are exercised in tests/spill.rs and the worker's
+            // dist suite, not this in-memory matrix.
+            FaultKind::SpillWriteFail
+            | FaultKind::SpillReadCorrupt
+            | FaultKind::SpillReadTruncate => unreachable!(),
         }
     }
 }

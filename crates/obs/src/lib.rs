@@ -30,7 +30,7 @@ pub mod text;
 pub mod trace;
 
 pub use metrics::{
-    global, set_enabled, Counter, Gauge, Histogram, MetricsRegistry, DURATION_BUCKETS,
+    global, set_enabled, Counter, Gauge, Histogram, MetricsRegistry, BYTE_BUCKETS, DURATION_BUCKETS,
 };
 pub use trace::{write_spans_jsonl, Span};
 

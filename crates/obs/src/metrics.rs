@@ -87,6 +87,22 @@ pub const DURATION_BUCKETS: &[f64] = &[
     5.0, 10.0, 30.0, 60.0,
 ];
 
+/// Default size buckets (bytes): kilobytes at the bottom for single
+/// spill files, gigabytes at the top for whole-worker residency.
+pub const BYTE_BUCKETS: &[f64] = &[
+    1_024.0,
+    4_096.0,
+    16_384.0,
+    65_536.0,
+    262_144.0,
+    1_048_576.0,
+    4_194_304.0,
+    16_777_216.0,
+    67_108_864.0,
+    268_435_456.0,
+    1_073_741_824.0,
+];
+
 /// Fixed-bucket histogram. Observations land in the first bucket whose
 /// upper bound is `>=` the value; everything larger lands in the
 /// implicit `+Inf` bucket. The sum is accumulated in integer

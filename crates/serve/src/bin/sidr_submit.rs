@@ -248,12 +248,30 @@ fn run(args: &Args) -> Result<(), String> {
                     s.workers.len()
                 );
                 println!(
-                    "  {:<22} {:>6} {:>10} {:>9} {:>8} {:>8} {:>10}",
-                    "ADDR", "ALIVE", "HEARTBEAT", "IN-FLIGHT", "MAPS", "REDUCES", "PARTITIONS"
+                    "  {:<22} {:>6} {:>10} {:>9} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                    "ADDR",
+                    "ALIVE",
+                    "HEARTBEAT",
+                    "IN-FLIGHT",
+                    "MAPS",
+                    "REDUCES",
+                    "PARTITIONS",
+                    "RESIDENT",
+                    "SPILLED",
+                    "BUDGET"
                 );
                 for w in &s.workers {
+                    // Budget 0 means unbounded; a pressured worker is
+                    // flagged so an operator scanning the table sees
+                    // which machine the fleet is routing around.
+                    let budget = if w.budget_bytes == 0 {
+                        "-".to_string()
+                    } else {
+                        w.budget_bytes.to_string()
+                    };
+                    let flag = if w.pressured() { " !mem" } else { "" };
                     println!(
-                        "  {:<22} {:>6} {:>8}ms {:>9} {:>8} {:>8} {:>10}",
+                        "  {:<22} {:>6} {:>8}ms {:>9} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}{flag}",
                         w.addr,
                         if w.alive { "yes" } else { "DEAD" },
                         w.heartbeat_age_ms,
@@ -261,6 +279,9 @@ fn run(args: &Args) -> Result<(), String> {
                         w.map_attempts,
                         w.reduce_attempts,
                         w.partitions_held,
+                        w.resident_bytes,
+                        w.spilled_bytes,
+                        budget,
                     );
                 }
             }

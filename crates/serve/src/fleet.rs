@@ -189,6 +189,36 @@ pub struct WorkerStat {
     /// Partitions currently held for un-fetched map output.
     #[serde(default)]
     pub partitions_held: u64,
+    /// Memory-pressure summary from the worker's tiered partition
+    /// store (all zero on pre-tier workers — every field defaults, so
+    /// the wire stays compatible in both directions).
+    #[serde(default)]
+    pub resident_bytes: u64,
+    #[serde(default)]
+    pub spilled_bytes: u64,
+    /// Resident byte budget; 0 means unbounded.
+    #[serde(default)]
+    pub budget_bytes: u64,
+    #[serde(default)]
+    pub peak_resident_bytes: u64,
+    /// Spill writes that failed (disk full): those partitions are
+    /// pinned resident, so the budget is no longer enforceable.
+    #[serde(default)]
+    pub spill_failures: u64,
+}
+
+impl WorkerStat {
+    /// Is this worker under memory pressure? True when a budget is
+    /// set and the worker is either over it (spills failing or
+    /// pinned), currently holding spilled partitions (at capacity —
+    /// new fetches pay disk read-backs), or has failed spill writes.
+    /// Unbounded workers (budget 0) are never pressured.
+    pub fn pressured(&self) -> bool {
+        self.budget_bytes > 0
+            && (self.resident_bytes > self.budget_bytes
+                || self.spilled_bytes > 0
+                || self.spill_failures > 0)
+    }
 }
 
 /// Fleet-wide metrics (process-global, one registration).
@@ -201,6 +231,9 @@ pub struct FleetMetrics {
     /// Worker-reported wall time of a reduce's shuffle-fetch copy
     /// phase.
     pub fetch_seconds: Arc<Histogram>,
+    /// Memory-pressure advisories emitted (one per worker transition
+    /// into pressure, `SIDR-I015`).
+    pub pressure_advisories: Arc<Counter>,
 }
 
 const DISPATCH_BUCKETS: &[f64] = &[
@@ -235,6 +268,11 @@ pub fn fleet_metrics() -> &'static FleetMetrics {
                 &[],
                 DISPATCH_BUCKETS,
             ),
+            pressure_advisories: r.counter(
+                "sidr_fleet_pressure_advisories_total",
+                "Memory-pressure advisories emitted (SIDR-I015, per worker transition)",
+                &[],
+            ),
         }
     })
 }
@@ -248,8 +286,17 @@ struct WorkerSlot {
     dispatching: AtomicU64,
     /// Cached copy of the worker's last `Pong` self-report.
     last_stat: Mutex<WorkerStat>,
+    /// Whether the last `Pong` reported memory pressure — dispatch
+    /// deprioritizes pressured workers, and the transition into
+    /// pressure emits one `SIDR-I015` advisory.
+    pressured: AtomicBool,
     /// `sidr_fleet_worker_heartbeat_age_ms{worker=...}` gauge.
     heartbeat_gauge: Arc<Gauge>,
+    /// `sidr_fleet_worker_resident_bytes{worker=...}` /
+    /// `sidr_fleet_worker_spilled_bytes{worker=...}` gauges, fed from
+    /// each heartbeat's pressure summary.
+    resident_gauge: Arc<Gauge>,
+    spilled_gauge: Arc<Gauge>,
 }
 
 /// Fleet configuration.
@@ -271,6 +318,20 @@ impl FleetConfig {
             heartbeat_every: Duration::from_millis(200),
             heartbeat_timeout: Duration::from_millis(500),
         }
+    }
+
+    /// Like [`FleetConfig::new`] with an explicit heartbeat cadence
+    /// (the `sidr-serve` CLI flags land here). A zero interval or
+    /// timeout falls back to the defaults rather than busy-spinning.
+    pub fn with_heartbeat(workers: Vec<String>, every: Duration, timeout: Duration) -> Self {
+        let mut cfg = FleetConfig::new(workers);
+        if !every.is_zero() {
+            cfg.heartbeat_every = every;
+        }
+        if !timeout.is_zero() {
+            cfg.heartbeat_timeout = timeout;
+        }
+        cfg
     }
 }
 
@@ -304,9 +365,20 @@ impl Fleet {
                     last_heartbeat: Mutex::new(Instant::now()),
                     dispatching: AtomicU64::new(0),
                     last_stat: Mutex::new(WorkerStat::default()),
+                    pressured: AtomicBool::new(false),
                     heartbeat_gauge: r.gauge(
                         "sidr_fleet_worker_heartbeat_age_ms",
                         "Milliseconds since this worker's last successful heartbeat",
+                        &[("worker", addr.as_str())],
+                    ),
+                    resident_gauge: r.gauge(
+                        "sidr_fleet_worker_resident_bytes",
+                        "Resident partition bytes this worker reported on its last heartbeat",
+                        &[("worker", addr.as_str())],
+                    ),
+                    spilled_gauge: r.gauge(
+                        "sidr_fleet_worker_spilled_bytes",
+                        "Spilled partition bytes this worker reported on its last heartbeat",
                         &[("worker", addr.as_str())],
                     ),
                 })
@@ -339,11 +411,34 @@ impl Fleet {
         let handle = std::thread::Builder::new()
             .name("sidr-fleet-heartbeat".into())
             .spawn(move || {
+                // Stagger the fleet instead of probing every worker in
+                // one burst: each slot gets a deterministic phase
+                // offset inside the period plus an address-derived
+                // jitter, so heartbeats never synchronize — on a large
+                // fleet a burst of simultaneous pings is itself a
+                // load spike on the coordinator's thread and the
+                // network.
+                let n = slots.len().max(1) as u32;
+                let quarter_ms = (every.as_millis() as u64 / 4).max(1);
+                let mut due: Vec<Instant> = slots
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        let phase = every * (i as u32) / n;
+                        let jitter = Duration::from_millis(addr_jitter(&s.addr) % quarter_ms);
+                        Instant::now() + phase + jitter
+                    })
+                    .collect();
+                let tick = (every / 8).max(Duration::from_millis(2));
                 while !stop.load(Ordering::SeqCst) {
-                    for slot in &slots {
-                        probe(slot, timeout);
+                    let now = Instant::now();
+                    for (i, slot) in slots.iter().enumerate() {
+                        if now >= due[i] {
+                            probe(slot, timeout);
+                            due[i] = now + every;
+                        }
                     }
-                    std::thread::sleep(every);
+                    std::thread::sleep(tick);
                 }
             })
             .expect("spawn heartbeat monitor");
@@ -472,10 +567,41 @@ fn mark_dead(slot: &WorkerSlot) {
     }
 }
 
+/// Deterministic per-address jitter seed (FNV-1a) — stable across
+/// restarts so a fleet's heartbeat phases don't reshuffle, distinct
+/// across addresses so they don't collide.
+fn addr_jitter(addr: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in addr.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// One liveness probe: dial, handshake, `Ping`, read `Pong`.
 fn probe(slot: &WorkerSlot, timeout: Duration) {
     match call(&slot.addr, &WorkerRequest::Ping, Some(timeout)) {
         Ok(WorkerResponse::Pong(stat)) => {
+            let pressured = stat.pressured();
+            slot.resident_gauge.set(stat.resident_bytes as i64);
+            slot.spilled_gauge.set(stat.spilled_bytes as i64);
+            if pressured && !slot.pressured.swap(true, Ordering::SeqCst) {
+                fleet_metrics().pressure_advisories.inc();
+                eprintln!(
+                    "[{}] worker {} under memory pressure: {} resident / {} budget bytes, \
+                     {} spilled, {} spill failure(s) — degrading to the disk tier, \
+                     deprioritizing for dispatch",
+                    sidr_core::diag::codes::MEMORY_PRESSURE,
+                    slot.addr,
+                    stat.resident_bytes,
+                    stat.budget_bytes,
+                    stat.spilled_bytes,
+                    stat.spill_failures,
+                );
+            } else if !pressured {
+                slot.pressured.store(false, Ordering::SeqCst);
+            }
             *slot.last_heartbeat.lock().unwrap() = Instant::now();
             *slot.last_stat.lock().unwrap() = stat;
             slot.heartbeat_gauge.set(0);
@@ -646,9 +772,12 @@ impl RemoteJob<'_> {
             }
         }
         ranked.retain(|&i| self.prepared[i] && self.fleet.slots[i].alive.load(Ordering::SeqCst));
-        // Stable load-leveling: among equally-ranked candidates the
-        // locality order already decides; this only breaks pile-ups
-        // when every candidate is remote.
+        // Backpressure: workers reporting memory pressure sink to the
+        // back of the candidate list (stable sort — locality order is
+        // preserved within each group). They stay legal targets: a
+        // pressured worker is slower, not wrong, and may be the only
+        // one left.
+        ranked.sort_by_key(|&i| self.fleet.slots[i].pressured.load(Ordering::SeqCst));
         ranked
     }
 }
@@ -823,7 +952,15 @@ impl TaskExecutor<Coord, f64> for RemoteJob<'_> {
             }
         }
         let mut candidates = self.ranked_workers(None);
-        candidates.sort_by_key(|i| std::cmp::Reverse(holder_count.get(i).copied().unwrap_or(0)));
+        // Pressure outranks shuffle locality: fetching over the wire
+        // from an unpressured worker beats making an over-budget one
+        // merge (and page its own partitions back from disk).
+        candidates.sort_by_key(|i| {
+            (
+                self.fleet.slots[*i].pressured.load(Ordering::SeqCst),
+                std::cmp::Reverse(holder_count.get(i).copied().unwrap_or(0)),
+            )
+        });
         if candidates.is_empty() {
             return Err(RemoteReduceError::AttemptFailed(
                 "no live workers for reduce dispatch".into(),

@@ -75,6 +75,10 @@ pub struct ServerConfig {
     /// execution; non-empty turns the server into a coordinator that
     /// dispatches every task attempt to this fleet.
     pub workers: Vec<String>,
+    /// Fleet heartbeat probe interval (zero = fleet default).
+    pub heartbeat_every: Duration,
+    /// Fleet heartbeat probe timeout (zero = fleet default).
+    pub heartbeat_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +88,8 @@ impl Default for ServerConfig {
             reduce_slots: 2,
             analyze: AnalyzeOptions::default(),
             workers: Vec::new(),
+            heartbeat_every: Duration::ZERO,
+            heartbeat_timeout: Duration::ZERO,
         }
     }
 }
@@ -277,7 +283,12 @@ impl Server {
             None
         } else {
             Some(
-                Fleet::connect(FleetConfig::new(config.workers.clone())).map_err(|e| {
+                Fleet::connect(FleetConfig::with_heartbeat(
+                    config.workers.clone(),
+                    config.heartbeat_every,
+                    config.heartbeat_timeout,
+                ))
+                .map_err(|e| {
                     std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
                 })?,
             )

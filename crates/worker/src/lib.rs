@@ -26,9 +26,9 @@
 use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -36,30 +36,49 @@ use sidr_coords::Coord;
 use sidr_core::exec::SpecExecutor;
 use sidr_core::spec::JobSpec;
 use sidr_core::SidrError;
+// The workspace sync facade (parking_lot in normal builds): a task
+// thread that panics while holding a lock unwinds cleanly instead of
+// poisoning shared state and cascade-killing the daemon.
+use sidr_mapreduce::sync::Mutex;
+use sidr_mapreduce::tier::{PartitionStore, TierConfig};
 use sidr_mapreduce::MrError;
 use sidr_serve::fleet::{PartitionStatus, SourceLoc, WorkerConn, WorkerRequest, WorkerResponse};
 use sidr_serve::frame::{self, Hello, Role};
 use sidr_serve::WorkerStat;
 
-/// One prepared job's state on this worker.
+/// One prepared job's state on this worker. Partition bytes live in
+/// the process-wide [`PartitionStore`]; this tracks the generations.
 struct JobStore {
     exec: Arc<SpecExecutor>,
-    /// `(map, reducer, epoch)` → encoded SMOF partition. Absence of a
-    /// committed generation's key means the map produced nothing for
-    /// that reducer (the shuffle store's absence-means-empty
-    /// convention).
-    parts: HashMap<(usize, usize, u32), Arc<Vec<u8>>>,
     /// Map generations committed here.
     committed: HashSet<(usize, u32)>,
     /// Partitions consumed by a completed copy phase (volatile
     /// intermediate data): fetching one again reports `Missing`.
     consumed: HashSet<(usize, usize, u32)>,
+    /// Partitions whose spilled replica failed its read-back CRC:
+    /// the data is gone (not "empty"), so fetches report `Missing`
+    /// and the coordinator re-executes the producing map.
+    lost: HashSet<(usize, usize, u32)>,
+}
+
+/// Resource configuration of one worker process.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerOptions {
+    /// Resident-partition byte budget; 0 means unbounded.
+    pub budget_bytes: u64,
+    /// Spill directory; defaults to a per-process temp directory.
+    pub spill_dir: Option<PathBuf>,
+    /// Chaos switch: every spill write fails as if the disk were full.
+    pub fail_spills: bool,
 }
 
 /// Shared state of one worker process.
 struct Shared {
     addr: Mutex<Option<SocketAddr>>,
     jobs: Mutex<HashMap<u64, JobStore>>,
+    /// All partition bytes, both tiers, across jobs — the byte budget
+    /// is per worker process, not per job.
+    store: PartitionStore,
     dead: AtomicBool,
     /// Clones of every live connection, so `kill` can sever them
     /// mid-frame (crash semantics, not graceful drain).
@@ -96,14 +115,12 @@ impl Shared {
     }
 
     fn stat(&self) -> WorkerStat {
-        let jobs = self.jobs.lock().unwrap();
-        let partitions_held = jobs.values().map(|j| j.parts.len() as u64).sum();
-        drop(jobs);
+        let pressure = self.store.pressure();
         WorkerStat {
             addr: self
                 .addr
                 .lock()
-                .unwrap()
+                .as_ref()
                 .map(|a| a.to_string())
                 .unwrap_or_default(),
             alive: !self.dead.load(Ordering::SeqCst),
@@ -111,7 +128,12 @@ impl Shared {
             tasks_in_flight: self.tasks_in_flight.load(Ordering::Relaxed),
             map_attempts: self.map_attempts.load(Ordering::Relaxed),
             reduce_attempts: self.reduce_attempts.load(Ordering::Relaxed),
-            partitions_held,
+            partitions_held: self.store.partition_count() as u64,
+            resident_bytes: pressure.resident_bytes,
+            spilled_bytes: pressure.spilled_bytes,
+            budget_bytes: pressure.budget_bytes,
+            peak_resident_bytes: pressure.peak_resident_bytes,
+            spill_failures: pressure.spill_failures,
         }
     }
 }
@@ -128,13 +150,33 @@ pub struct Worker {
 }
 
 impl Worker {
-    /// Binds and starts serving. Use port 0 to let the OS pick.
+    /// Binds and starts serving with default resources (unbounded
+    /// memory). Use port 0 to let the OS pick.
     pub fn spawn(addr: impl ToSocketAddrs) -> std::io::Result<Worker> {
+        Worker::spawn_with(addr, WorkerOptions::default())
+    }
+
+    /// Binds and starts serving with an explicit resource
+    /// configuration (memory budget, spill directory, chaos knobs).
+    pub fn spawn_with(addr: impl ToSocketAddrs, options: WorkerOptions) -> std::io::Result<Worker> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let spill_dir = options.spill_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!(
+                "sidr-worker-spill-{}-{}",
+                std::process::id(),
+                local.port()
+            ))
+        });
+        let tier_cfg = TierConfig {
+            budget_bytes: options.budget_bytes,
+            fail_all_spills: options.fail_spills,
+            ..TierConfig::default()
+        };
         let shared = Arc::new(Shared {
             addr: Mutex::new(Some(local)),
             jobs: Mutex::new(HashMap::new()),
+            store: PartitionStore::on_disk(tier_cfg, spill_dir),
             dead: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             tasks_in_flight: AtomicU64::new(0),
@@ -152,7 +194,7 @@ impl Worker {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
-                    let mut conns = accept_shared.conns.lock().unwrap();
+                    let mut conns = accept_shared.conns.lock();
                     // Compact closed entries so the list tracks live
                     // connections, not lifetime history.
                     conns.retain(|s| s.peer_addr().is_ok());
@@ -189,7 +231,7 @@ impl Worker {
     /// it is the ground truth for which maps the fault layer must
     /// re-execute.
     pub fn committed_maps(&self, job: u64) -> Vec<(usize, u32)> {
-        let jobs = self.shared.jobs.lock().unwrap();
+        let jobs = self.shared.jobs.lock();
         let mut v: Vec<(usize, u32)> = jobs
             .get(&job)
             .map(|j| j.committed.iter().copied().collect())
@@ -227,13 +269,23 @@ impl Worker {
         // Wake the blocking acceptor so it observes the flag and drops
         // the listener.
         let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.acceptor.lock().unwrap().take() {
+        if let Some(h) = self.acceptor.lock().take() {
             let _ = h.join();
         }
-        for s in self.shared.conns.lock().unwrap().drain(..) {
+        for s in self.shared.conns.lock().drain(..) {
             let _ = s.shutdown(std::net::Shutdown::Both);
         }
-        self.shared.jobs.lock().unwrap().clear();
+        let jobs: Vec<u64> = {
+            let mut jobs = self.shared.jobs.lock();
+            let ids = jobs.keys().copied().collect();
+            jobs.clear();
+            ids
+        };
+        // Wipe both tiers: a dead process loses its memory *and* its
+        // local disk as far as the fleet is concerned.
+        for job in jobs {
+            self.shared.store.remove_job(job);
+        }
     }
 
     /// Blocks until the worker is killed (daemon mode for the CLI).
@@ -289,20 +341,37 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
                 input,
                 opts,
             } => {
-                let resp = match JobSpec::from_json(&spec_json)
-                    .and_then(|spec| SpecExecutor::new(Path::new(&input), spec, opts))
-                {
-                    Ok(exec) => {
-                        shared.jobs.lock().unwrap().insert(
-                            job,
-                            JobStore {
-                                exec: Arc::new(exec),
-                                parts: HashMap::new(),
-                                committed: HashSet::new(),
-                                consumed: HashSet::new(),
-                            },
-                        );
-                        WorkerResponse::Prepared { job }
+                let resp = match JobSpec::from_json(&spec_json) {
+                    Ok(spec) => {
+                        // Invert `I_ℓ` into per-map pending-consumer
+                        // counts: the tier ranks spill victims coldest
+                        // first, and "cold" is "few reducers still
+                        // waiting on this map's partitions".
+                        let mut pending = vec![0u64; spec.splits.len()];
+                        for deps in &spec.reduce_deps {
+                            for &m in deps {
+                                if let Some(c) = pending.get_mut(m) {
+                                    *c += 1;
+                                }
+                            }
+                        }
+                        let fault_plan = opts.fault_plan.clone();
+                        match SpecExecutor::new(Path::new(&input), spec, opts) {
+                            Ok(exec) => {
+                                shared.store.prepare_job(job, fault_plan, &pending);
+                                shared.jobs.lock().insert(
+                                    job,
+                                    JobStore {
+                                        exec: Arc::new(exec),
+                                        committed: HashSet::new(),
+                                        consumed: HashSet::new(),
+                                        lost: HashSet::new(),
+                                    },
+                                );
+                                WorkerResponse::Prepared { job }
+                            }
+                            Err(e) => failed(format!("prepare job {job}: {e}"), false),
+                        }
                     }
                     Err(e) => failed(format!("prepare job {job}: {e}"), false),
                 };
@@ -351,7 +420,10 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
                 frame::send(&mut writer, &WorkerResponse::Released).is_ok()
             }
             WorkerRequest::Finish { job } => {
-                shared.jobs.lock().unwrap().remove(&job);
+                shared.jobs.lock().remove(&job);
+                // Sweep both tiers: volatile intermediate data leaves
+                // no spill files behind after the job ends.
+                shared.store.remove_job(job);
                 frame::send(&mut writer, &WorkerResponse::Finished).is_ok()
             }
         };
@@ -359,6 +431,34 @@ fn handle_connection(shared: Arc<Shared>, stream: TcpStream) {
             return;
         }
         let _ = writer.flush();
+    }
+}
+
+/// Armed count of task attempts that should panic on entry (test
+/// hook), gated by [`PANIC_JOB`] so parallel tests in one process
+/// cannot consume each other's armed panics.
+static PANIC_INJECT: AtomicU64 = AtomicU64::new(0);
+static PANIC_JOB: AtomicU64 = AtomicU64::new(0);
+
+/// Arms the next `n` task attempts of job `job` in this process to
+/// panic mid-task. The panic is caught at the attempt boundary and
+/// reported as a retryable failure; with the workspace sync facade no
+/// shared lock is poisoned by the unwind, so the worker keeps serving
+/// pings, tasks and fetches afterwards — which the regression test
+/// asserts.
+#[doc(hidden)]
+pub fn inject_task_panics(job: u64, n: u64) {
+    PANIC_JOB.store(job, Ordering::SeqCst);
+    PANIC_INJECT.store(n, Ordering::SeqCst);
+}
+
+fn maybe_panic_in_task(job: u64) {
+    if PANIC_JOB.load(Ordering::SeqCst) == job
+        && PANIC_INJECT
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+    {
+        panic!("injected task panic (test hook)");
     }
 }
 
@@ -382,7 +482,7 @@ fn is_fatal(e: &SidrError) -> bool {
 
 fn run_map(shared: &Shared, job: u64, task: usize, attempt: u32) -> WorkerResponse {
     let exec = {
-        let jobs = shared.jobs.lock().unwrap();
+        let jobs = shared.jobs.lock();
         match jobs.get(&job) {
             Some(j) => Arc::clone(&j.exec),
             None => return failed(format!("job {job} is not prepared here"), false),
@@ -390,21 +490,49 @@ fn run_map(shared: &Shared, job: u64, task: usize, attempt: u32) -> WorkerRespon
     };
     shared.tasks_in_flight.fetch_add(1, Ordering::Relaxed);
     shared.map_attempts.fetch_add(1, Ordering::Relaxed);
-    let result = exec.run_map(task, attempt);
+    // Task code is user-extensible and may panic; the catch turns a
+    // panicking attempt into a retryable failure instead of killing
+    // the handler thread (whose death would leave the connection's
+    // clone in `conns` holding the socket open — a hung coordinator,
+    // not a failed attempt). The sync facade (parking_lot) guarantees
+    // no lock is poisoned by the unwind.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        maybe_panic_in_task(job);
+        exec.run_map(task, attempt)
+    }));
     shared.tasks_in_flight.fetch_sub(1, Ordering::Relaxed);
+    let result = match result {
+        Ok(r) => r,
+        Err(_) => {
+            return failed(
+                format!("map {task} attempt {attempt}: task panicked on this worker"),
+                false,
+            )
+        }
+    };
     match result {
         Ok(out) => {
-            let mut jobs = shared.jobs.lock().unwrap();
-            let Some(store) = jobs.get_mut(&job) else {
-                return failed(format!("job {job} vanished mid-map"), false);
-            };
             let mut partitions = Vec::with_capacity(out.partitions.len());
+            // Insert the bytes before committing the generation:
+            // inserting may spill *other* partitions synchronously
+            // (backpressure on the producing task's own thread), and a
+            // peek must never see a committed generation whose bytes
+            // are not yet in the store.
             for (reducer, bytes) in out.partitions {
                 partitions.push(reducer);
-                store
-                    .parts
-                    .insert((task, reducer, attempt), Arc::new(bytes));
+                shared
+                    .store
+                    .insert((job, task, reducer, attempt), Arc::new(bytes));
             }
+            let mut jobs = shared.jobs.lock();
+            let Some(store) = jobs.get_mut(&job) else {
+                // Finish raced the map; drop what we just stored.
+                drop(jobs);
+                for &reducer in &partitions {
+                    shared.store.remove(&(job, task, reducer, attempt));
+                }
+                return failed(format!("job {job} vanished mid-map"), false);
+            };
             store.committed.insert((task, attempt));
             WorkerResponse::MapDone {
                 job,
@@ -425,35 +553,74 @@ enum Peek {
     Missing,
 }
 
-/// Non-consuming read of one held partition generation.
+/// Non-consuming read of one held partition generation. A spilled
+/// replica is read back through the tier and re-validated; a failed
+/// read-back means the generation is *lost* — reported `Missing` so
+/// the coordinator re-executes the producing map, never `Empty`
+/// (which would silently drop its records from the output).
 fn peek_partition(shared: &Shared, job: u64, map: usize, reducer: usize, epoch: u32) -> Peek {
-    let jobs = shared.jobs.lock().unwrap();
-    let Some(store) = jobs.get(&job) else {
-        return Peek::Missing;
-    };
-    if store.consumed.contains(&(map, reducer, epoch)) {
-        // Volatile intermediate data: an earlier copy phase consumed
-        // this generation.
-        return Peek::Missing;
+    {
+        let jobs = shared.jobs.lock();
+        let Some(store) = jobs.get(&job) else {
+            return Peek::Missing;
+        };
+        if store.consumed.contains(&(map, reducer, epoch)) {
+            // Volatile intermediate data: an earlier copy phase
+            // consumed this generation.
+            return Peek::Missing;
+        }
+        if store.lost.contains(&(map, reducer, epoch)) {
+            return Peek::Missing;
+        }
+        if !store.committed.contains(&(map, epoch)) {
+            return Peek::Missing;
+        }
     }
-    if !store.committed.contains(&(map, epoch)) {
-        return Peek::Missing;
-    }
-    match store.parts.get(&(map, reducer, epoch)) {
-        Some(bytes) => Peek::Data(Arc::clone(bytes)),
-        None => Peek::Empty,
+    // The jobs lock is dropped here: a spilled partition's read-back
+    // does disk I/O and must not serialize every other request behind
+    // it.
+    match shared.store.get(&(job, map, reducer, epoch)) {
+        Ok(Some(bytes)) => Peek::Data(bytes),
+        Ok(None) => {
+            // Committed but not in the store: the map produced nothing
+            // for this reducer — unless the whole job was finished
+            // between the two locks, in which case it is gone.
+            if shared.jobs.lock().contains_key(&job) {
+                Peek::Empty
+            } else {
+                Peek::Missing
+            }
+        }
+        Err(e) => {
+            // The spilled replica failed its read-back CRC: the bytes
+            // are unrecoverable on this worker. Record the loss so
+            // retries don't re-probe a damaged file.
+            eprintln!("[worker] partition (job={job} m{map} r{reducer} e{epoch}) lost: {e}");
+            let mut jobs = shared.jobs.lock();
+            if let Some(store) = jobs.get_mut(&job) {
+                store.lost.insert((map, reducer, epoch));
+            }
+            Peek::Missing
+        }
     }
 }
 
 /// Consumes partitions after a successful copy phase.
 fn release(shared: &Shared, job: u64, reducer: usize, maps: &[(usize, u32)]) {
-    let mut jobs = shared.jobs.lock().unwrap();
-    let Some(store) = jobs.get_mut(&job) else {
-        return;
-    };
+    {
+        let mut jobs = shared.jobs.lock();
+        let Some(store) = jobs.get_mut(&job) else {
+            return;
+        };
+        for &(map, epoch) in maps {
+            store.consumed.insert((map, reducer, epoch));
+        }
+    }
     for &(map, epoch) in maps {
-        store.parts.remove(&(map, reducer, epoch));
-        store.consumed.insert((map, reducer, epoch));
+        shared.store.remove(&(job, map, reducer, epoch));
+        // The map just lost a pending consumer — it ranks colder for
+        // the next spill-victim selection.
+        shared.store.consumer_released(job, map);
     }
 }
 
@@ -481,7 +648,7 @@ fn run_reduce(
     expected_raw: Option<u64>,
 ) -> bool {
     let exec = {
-        let jobs = shared.jobs.lock().unwrap();
+        let jobs = shared.jobs.lock();
         match jobs.get(&job) {
             Some(j) => Arc::clone(&j.exec),
             None => {
@@ -496,23 +663,39 @@ fn run_reduce(
     let self_addr = shared
         .addr
         .lock()
-        .unwrap()
+        .as_ref()
         .map(|a| a.to_string())
         .unwrap_or_default();
     shared.tasks_in_flight.fetch_add(1, Ordering::Relaxed);
     shared.reduce_attempts.fetch_add(1, Ordering::Relaxed);
-    let usable = run_reduce_inner(
-        shared,
-        writer,
-        job,
-        reducer,
-        &exec,
-        &self_addr,
-        &sources,
-        expected_raw,
-    );
+    // Same panic boundary as `run_map`: a panicking attempt must
+    // surface as a failed attempt, not a severed-but-half-open
+    // connection.
+    let usable = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        maybe_panic_in_task(job);
+        run_reduce_inner(
+            shared,
+            writer,
+            job,
+            reducer,
+            &exec,
+            &self_addr,
+            &sources,
+            expected_raw,
+        )
+    }));
     shared.tasks_in_flight.fetch_sub(1, Ordering::Relaxed);
-    usable
+    match usable {
+        Ok(u) => u,
+        Err(_) => frame::send(
+            writer,
+            &failed(
+                format!("reduce {reducer}: task panicked on this worker"),
+                false,
+            ),
+        )
+        .is_ok(),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

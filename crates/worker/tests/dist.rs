@@ -4,7 +4,7 @@
 //! `I_ℓ` (§6) its committed map output participated in — no global
 //! re-execution, no lost or duplicated keyblocks.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -20,8 +20,9 @@ use sidr_mapreduce::{
 };
 use sidr_scifile::gen::{DatasetSpec, ValueModel};
 use sidr_scifile::ScincFile;
+use sidr_serve::fleet::{PartitionStatus, WorkerConn, WorkerRequest, WorkerResponse};
 use sidr_serve::{Client, Fleet, FleetConfig, Server, ServerConfig, SubmitOptions};
-use sidr_worker::Worker;
+use sidr_worker::{Worker, WorkerOptions};
 
 /// Builds a spec and (once per tag) its dataset from a query.
 fn fixture(
@@ -447,6 +448,290 @@ fn speculative_twin_runs_on_different_worker_and_wins() {
         twin_host, primary_host,
         "speculative dispatch must prefer a worker not already running the primary"
     );
+}
+
+/// Spawns a fleet of budgeted workers, each with its own spill
+/// directory under the test temp root.
+fn spawn_budgeted_workers(
+    n: usize,
+    tag: &str,
+    budget: u64,
+    fail_spills: bool,
+) -> (Vec<Worker>, Vec<PathBuf>) {
+    let dirs: Vec<PathBuf> = (0..n)
+        .map(|i| {
+            std::env::temp_dir().join(format!("sidr-spill-test-{}-{tag}-{i}", std::process::id()))
+        })
+        .collect();
+    let workers = dirs
+        .iter()
+        .map(|d| {
+            Worker::spawn_with(
+                "127.0.0.1:0",
+                WorkerOptions {
+                    budget_bytes: budget,
+                    spill_dir: Some(d.clone()),
+                    fail_spills,
+                },
+            )
+            .expect("bind loopback")
+        })
+        .collect();
+    (workers, dirs)
+}
+
+/// Every `.smof` (or stray `.tmp`) file under `dir`, recursively.
+fn spill_files(dir: &Path) -> Vec<PathBuf> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                walk(&p, out);
+            } else {
+                out.push(p);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(dir, &mut out);
+    out
+}
+
+/// Tentpole: a fleet squeezed under a 1-byte resident budget spills
+/// *every* partition to the disk tier and reads each back (validated)
+/// on fetch — and the output is still byte-identical to the
+/// single-process reference, with zero recovery re-executions. After
+/// `Finish`, the job's spill namespace is swept: volatile
+/// intermediate data leaves no orphaned files on disk.
+#[test]
+fn budgeted_fleet_spills_everything_and_output_is_identical() {
+    let (spec, input) = fig08_scale_fixture("spilled");
+    let expected = run_local(&spec, &input);
+    let num_maps = spec.splits.len();
+
+    let (workers, dirs) = spawn_budgeted_workers(3, "spilled", 1, false);
+    // Gate the copy phase so every committed partition is still held
+    // (and therefore spilled) when we sample the pressure summary.
+    for w in &workers {
+        w.set_fetch_delay(Duration::from_secs(600));
+    }
+    let fleet = fleet_of(&workers);
+    let mut spilled_at_peak = 0u64;
+    let (result, got) = {
+        let workers = &workers;
+        let spilled = &mut spilled_at_peak;
+        run_distributed(
+            workers,
+            &fleet,
+            &spec,
+            &input,
+            exec_opts(FaultPlan::none()),
+            move |job| {
+                wait_until(|| committed_total(workers, job) == num_maps);
+                *spilled = workers.iter().map(|w| w.stat().spilled_bytes).sum();
+                for w in workers.iter() {
+                    w.set_fetch_delay(Duration::ZERO);
+                }
+            },
+        )
+    };
+
+    assert_eq!(got, expected, "spilling must not change a single byte");
+    assert!(
+        reexecuted_maps(&result.events).is_empty(),
+        "healthy spills are not losses; nothing re-executes"
+    );
+    assert!(
+        spilled_at_peak > 0,
+        "a 1-byte budget must push partitions to the disk tier"
+    );
+    // Admission makes room before tallying, so the resident watermark
+    // is a hard bound: a 1-byte budget admits nothing.
+    for w in &workers {
+        let stat = w.stat();
+        assert!(
+            stat.peak_resident_bytes <= stat.budget_bytes,
+            "peak {} exceeds budget {}",
+            stat.peak_resident_bytes,
+            stat.budget_bytes
+        );
+        assert_eq!(stat.spill_failures, 0, "no injected failures here");
+    }
+    // Orphan sweep: Finish must have deleted every job namespace.
+    for d in &dirs {
+        let leftovers = spill_files(d);
+        assert!(
+            leftovers.is_empty(),
+            "orphaned spill files after job end: {leftovers:?}"
+        );
+    }
+}
+
+/// ENOSPC degrades gracefully: with every spill write failing, the
+/// over-budget partitions stay pinned resident (pressure advisory,
+/// not data loss), the job completes byte-identical, and nothing
+/// re-executes.
+#[test]
+fn enospc_spill_failures_stay_resident_and_complete() {
+    let (spec, input) = tiny_fixture("enospc");
+    let expected = run_local(&spec, &input);
+    let num_maps = spec.splits.len();
+
+    let (workers, _dirs) = spawn_budgeted_workers(3, "enospc", 1, true);
+    for w in &workers {
+        w.set_fetch_delay(Duration::from_secs(600));
+    }
+    let fleet = fleet_of(&workers);
+    let mut failures_at_peak = 0u64;
+    let (result, got) = {
+        let workers = &workers;
+        let failures = &mut failures_at_peak;
+        run_distributed(
+            workers,
+            &fleet,
+            &spec,
+            &input,
+            exec_opts(FaultPlan::none()),
+            move |job| {
+                wait_until(|| committed_total(workers, job) == num_maps);
+                *failures = workers.iter().map(|w| w.stat().spill_failures).sum();
+                for w in workers.iter() {
+                    w.set_fetch_delay(Duration::ZERO);
+                }
+            },
+        )
+    };
+
+    assert_eq!(got, expected, "a full disk must not change the output");
+    assert!(
+        reexecuted_maps(&result.events).is_empty(),
+        "ENOSPC fallback keeps partitions resident — no data loss, no recovery"
+    );
+    assert!(
+        failures_at_peak > 0,
+        "every spill attempt must have failed and been counted"
+    );
+}
+
+/// Spill-tier disk rot routes through the same `I_ℓ`-scoped recovery
+/// as a dead worker: two maps' spilled replicas are damaged (one bit
+/// flip, one truncation), their read-backs fail the CRC, the holders
+/// report the partitions lost, and exactly those two maps re-execute
+/// — output byte-identical to the fault-free reference.
+#[test]
+fn corrupt_spill_readback_reexecutes_exactly_the_damaged_maps() {
+    let (spec, input) = tiny_fixture("readback");
+    let expected = run_local(&spec, &input);
+    let damaged = [2usize, 5usize];
+    let plan = FaultPlan::none()
+        .with(FaultTarget::Map(damaged[0]), 0, FaultKind::SpillReadCorrupt)
+        .with(
+            FaultTarget::Map(damaged[1]),
+            0,
+            FaultKind::SpillReadTruncate,
+        );
+
+    let (workers, _dirs) = spawn_budgeted_workers(3, "readback", 1, false);
+    let fleet = fleet_of(&workers);
+    let (result, got) = run_distributed(&workers, &fleet, &spec, &input, exec_opts(plan), |_| {});
+
+    let mut re = reexecuted_maps(&result.events);
+    re.sort_unstable();
+    re.dedup();
+    assert_eq!(
+        re,
+        damaged.to_vec(),
+        "recovery must re-execute exactly the damaged partitions' maps"
+    );
+    assert_eq!(
+        got, expected,
+        "output must survive spill-tier rot unchanged"
+    );
+}
+
+/// Satellite of the sync-facade change: a task attempt that panics
+/// mid-task surfaces as a retryable failure without poisoning the
+/// worker's shared state. The same connection must keep answering
+/// pings, re-running tasks and serving fetches afterwards.
+#[test]
+fn panicked_task_attempt_leaves_worker_serving() {
+    // Distinctive job id: the panic hook is gated by job so parallel
+    // tests in this binary (whose coordinator-assigned ids are small
+    // integers) cannot consume the armed panic.
+    const PANIC_JOB_ID: u64 = 0x51D2_7E57;
+    let (spec, input) = tiny_fixture("panic");
+    let worker = Worker::spawn("127.0.0.1:0").expect("bind loopback");
+    let addr = worker.addr().to_string();
+
+    let mut conn = WorkerConn::dial(&addr, Some(Duration::from_secs(30))).expect("dial");
+    conn.send(&WorkerRequest::Prepare {
+        job: PANIC_JOB_ID,
+        spec_json: spec.to_json(),
+        input: input.clone(),
+        opts: exec_opts(FaultPlan::none()),
+    })
+    .unwrap();
+    assert!(matches!(
+        conn.recv().unwrap(),
+        WorkerResponse::Prepared { .. }
+    ));
+
+    // Arm the hook: the next task attempt panics on entry. The panic
+    // is caught at the attempt boundary and reported as a retryable
+    // failure — the connection stays up.
+    sidr_worker::inject_task_panics(PANIC_JOB_ID, 1);
+    conn.send(&WorkerRequest::RunMap {
+        job: PANIC_JOB_ID,
+        task: 0,
+        attempt: 0,
+    })
+    .unwrap();
+    match conn.recv().unwrap() {
+        WorkerResponse::Failed { detail, fatal, .. } => {
+            assert!(!fatal, "a panicked attempt is retryable, not fatal");
+            assert!(
+                detail.contains("panicked"),
+                "failure must name the panic: {detail}"
+            );
+        }
+        other => panic!("expected Failed for the panicked attempt, got {other:?}"),
+    }
+
+    // A poisoned std mutex would now wedge every subsequent request;
+    // the parking_lot facade just unlocks. Same connection: ping,
+    // re-run the map, fetch a partition.
+    conn.send(&WorkerRequest::Ping).unwrap();
+    match conn.recv().unwrap() {
+        WorkerResponse::Pong(stat) => assert!(stat.alive, "worker must report alive"),
+        other => panic!("expected Pong, got {other:?}"),
+    }
+    conn.send(&WorkerRequest::RunMap {
+        job: PANIC_JOB_ID,
+        task: 0,
+        attempt: 1,
+    })
+    .unwrap();
+    let partitions = match conn.recv().unwrap() {
+        WorkerResponse::MapDone { partitions, .. } => partitions,
+        other => panic!("map after the panic must succeed, got {other:?}"),
+    };
+    let reducer = *partitions.first().expect("map 0 feeds a reducer");
+    conn.send(&WorkerRequest::FetchPartition {
+        job: PANIC_JOB_ID,
+        map: 0,
+        reducer,
+        epoch: 1,
+    })
+    .unwrap();
+    match conn.recv().unwrap() {
+        WorkerResponse::Partition { status } => assert_eq!(status, PartitionStatus::Data),
+        other => panic!("expected Partition, got {other:?}"),
+    }
+    let bytes = conn.recv_raw().unwrap();
+    assert!(!bytes.is_empty(), "fetched partition carries SMOF bytes");
 }
 
 /// The serving path end-to-end: a coordinator configured with
